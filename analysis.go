@@ -1,0 +1,121 @@
+package repro
+
+import (
+	"io"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/crit"
+	"repro/internal/dot"
+	"repro/internal/sdf"
+	"repro/internal/ssta"
+	"repro/internal/sta"
+	"repro/internal/wnss"
+)
+
+// PathInfo is one enumerated timing path through the design.
+type PathInfo struct {
+	Source  string   // launching primary input
+	Gates   []string // logic gates, input to output
+	Arrival float64  // endpoint arrival, ps
+}
+
+// WorstPaths enumerates the k slowest deterministic paths, slowest first.
+func (d *Design) WorstPaths(k int) []PathInfo {
+	r := sta.Analyze(d.d)
+	paths := r.KWorstPaths(d.d, k)
+	out := make([]PathInfo, len(paths))
+	for i, p := range paths {
+		info := PathInfo{Arrival: p.Arrival}
+		if p.Source != circuit.None {
+			info.Source = d.d.Circuit.Gate(p.Source).Name
+		}
+		info.Gates = make([]string, len(p.Gates))
+		for j, g := range p.Gates {
+			info.Gates[j] = d.d.Circuit.Gate(g).Name
+		}
+		out[i] = info
+	}
+	return out
+}
+
+// GateCriticality is one gate's probability of lying on the critical
+// path under process variation.
+type GateCriticality struct {
+	Gate        string
+	Criticality float64
+}
+
+// Criticality returns the n statistically most critical gates, using the
+// Monte-Carlo estimator when trials > 0 and the fast analytic
+// approximation otherwise.
+func (d *Design) Criticality(n, trials int, seed int64) ([]GateCriticality, error) {
+	var res *crit.Result
+	if trials > 0 {
+		var err error
+		res, err = crit.MonteCarlo(d.d, d.vm, trials, seed)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		full := ssta.Analyze(d.d, d.vm, ssta.Options{})
+		res = crit.Analytic(d.d, full)
+	}
+	top := res.Top(n)
+	out := make([]GateCriticality, 0, len(top))
+	for _, id := range top {
+		if !d.d.Circuit.Gate(id).Fn.IsLogic() {
+			continue
+		}
+		out = append(out, GateCriticality{
+			Gate:        d.d.Circuit.Gate(id).Name,
+			Criticality: res.Criticality[id],
+		})
+	}
+	return out, nil
+}
+
+// SaveSDF writes the design's statistical delay corners as an SDF 3.0
+// file with (mu - k sigma : mu : mu + k sigma) triples.
+func (d *Design) SaveSDF(w io.Writer, kSigma float64) error {
+	return sdf.Write(w, d.d, d.vm, kSigma)
+}
+
+// SaveDOT renders the circuit as Graphviz DOT, colored by analytic gate
+// criticality with the WNSS path highlighted — the visual counterpart of
+// the paper's Figure 3.
+func (d *Design) SaveDOT(w io.Writer, lambda float64) error {
+	full := ssta.Analyze(d.d, d.vm, ssta.Options{})
+	heat := crit.Analytic(d.d, full).Criticality
+	return dot.Write(w, d.d.Circuit, dot.Options{
+		Heat:      dot.NormalizeHeat(heat),
+		Highlight: wnss.Trace(d.d, full, d.vm, lambda),
+		RankLR:    true,
+	})
+}
+
+// ConstrainedResult reports an OptimizeConstrained run.
+type ConstrainedResult struct {
+	Met        bool    // final design meets the mean budget
+	LambdaUsed float64 // weight of the kept sizing (-1 = the input sizing)
+	OptResult
+}
+
+// OptimizeConstrained minimizes the delay sigma subject to a statistical
+// mean budget (ps), the paper's constrained mode. The design is modified
+// in place.
+func (d *Design) OptimizeConstrained(maxMean float64) (ConstrainedResult, error) {
+	r, err := core.MinimizeSigmaUnderDelay(d.d, d.vm, maxMean, core.Options{})
+	if err != nil {
+		return ConstrainedResult{}, err
+	}
+	return ConstrainedResult{
+		Met:        r.Met,
+		LambdaUsed: r.LambdaUsed,
+		OptResult: OptResult{
+			MeanBefore: r.Initial.Mean, MeanAfter: r.Final.Mean,
+			SigmaBefore: r.Initial.Sigma, SigmaAfter: r.Final.Sigma,
+			AreaBefore: r.Initial.Area, AreaAfter: r.Final.Area,
+		},
+	}, nil
+}

@@ -1,0 +1,88 @@
+package repro
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWorstPathsFacade(t *testing.T) {
+	d, err := Generate("alu2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := d.WorstPaths(5)
+	if len(paths) != 5 {
+		t.Fatalf("paths = %d", len(paths))
+	}
+	for i := 1; i < len(paths); i++ {
+		if paths[i].Arrival > paths[i-1].Arrival+1e-9 {
+			t.Fatal("paths not sorted")
+		}
+	}
+	if paths[0].Source == "" || len(paths[0].Gates) == 0 {
+		t.Fatalf("path incomplete: %+v", paths[0])
+	}
+}
+
+func TestCriticalityFacadeBothEstimators(t *testing.T) {
+	d, err := Generate("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := d.Criticality(10, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := d.Criticality(10, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mc) == 0 || len(an) == 0 {
+		t.Fatal("no critical gates returned")
+	}
+	if mc[0].Criticality <= 0 || mc[0].Criticality > 1 {
+		t.Fatalf("MC criticality out of range: %+v", mc[0])
+	}
+	if an[0].Criticality <= 0 {
+		t.Fatalf("analytic criticality empty: %+v", an[0])
+	}
+}
+
+func TestSaveSDFFacade(t *testing.T) {
+	d, err := Generate("alu2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.SaveSDF(&buf, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(DELAYFILE") {
+		t.Fatal("not SDF")
+	}
+}
+
+func TestOptimizeConstrainedFacade(t *testing.T) {
+	d, err := Generate("alu2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.OptimizeMeanDelay(); err != nil {
+		t.Fatal(err)
+	}
+	before := d.Analyze()
+	r, err := d.OptimizeConstrained(before.Mean * 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Met {
+		t.Fatalf("generous budget not met: %+v", r)
+	}
+	if r.SigmaAfter >= r.SigmaBefore {
+		t.Fatalf("sigma not reduced: %+v", r)
+	}
+	if _, err := d.OptimizeConstrained(-5); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}

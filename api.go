@@ -1,0 +1,255 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/cells"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/montecarlo"
+	"repro/internal/ssta"
+	"repro/internal/synth"
+	"repro/internal/variation"
+	"repro/internal/wnss"
+	"repro/internal/yield"
+)
+
+// Design is a technology-mapped circuit bound to the built-in library and
+// variation model, ready for analysis and optimization.
+type Design struct {
+	d  *synth.Design
+	vm *variation.Model
+}
+
+// Benchmarks returns the benchmark names of the paper's Table 1, in table
+// order (alu1..alu3, c432..c7552).
+func Benchmarks() []string { return gen.ISCASNames() }
+
+// Generate builds the named benchmark circuit (see Benchmarks), maps it
+// onto the default library and attaches the default variation model.
+func Generate(name string) (*Design, error) {
+	c, err := gen.ISCASLike(name)
+	if err != nil {
+		return nil, err
+	}
+	return FromCircuit(c)
+}
+
+// LoadBench parses an ISCAS .bench netlist and maps it.
+func LoadBench(r io.Reader, name string) (*Design, error) {
+	c, err := benchfmt.Parse(r, name)
+	if err != nil {
+		return nil, err
+	}
+	return FromCircuit(c)
+}
+
+// FromCircuit maps an arbitrary generic netlist onto the default library.
+func FromCircuit(c *circuit.Circuit) (*Design, error) {
+	lib := cells.Default90nm()
+	d, err := synth.Map(c, lib)
+	if err != nil {
+		return nil, err
+	}
+	return &Design{d: d, vm: variation.Default(lib)}, nil
+}
+
+// SaveBench writes the design's netlist in .bench format (sizes are not
+// representable in .bench and are not persisted).
+func (d *Design) SaveBench(w io.Writer) error {
+	return benchfmt.Write(w, d.d.Circuit)
+}
+
+// Clone returns an independent copy of the design (shared library and
+// variation model, cloned netlist and sizing).
+func (d *Design) Clone() *Design {
+	return &Design{
+		d:  &synth.Design{Circuit: d.d.Circuit.Clone(), Lib: d.d.Lib},
+		vm: d.vm,
+	}
+}
+
+// Internal exposes the underlying mapped design and variation model for
+// advanced callers inside this module (the experiment harness, benches).
+func (d *Design) Internal() (*synth.Design, *variation.Model) { return d.d, d.vm }
+
+// Stats summarizes the design.
+type Stats struct {
+	Name    string
+	Gates   int     // logic gates
+	Inputs  int     // primary inputs
+	Outputs int     // primary outputs
+	Depth   int     // logic levels
+	Area    float64 // total cell area, um^2
+}
+
+// Stats returns the design's current statistics.
+func (d *Design) Stats() Stats {
+	s := d.d.Circuit.ComputeStats()
+	return Stats{
+		Name:    d.d.Circuit.Name,
+		Gates:   s.Gates,
+		Inputs:  s.Inputs,
+		Outputs: s.Outputs,
+		Depth:   s.Depth,
+		Area:    d.d.Area(),
+	}
+}
+
+// Analysis reports the statistical timing of a design.
+type Analysis struct {
+	// Mean and Sigma are the first two moments of the circuit delay (the
+	// max over all primary outputs), in ps.
+	Mean, Sigma float64
+	// NominalDelay is the deterministic STA delay, ps.
+	NominalDelay float64
+	// PDFX and PDFY sample the circuit-delay density for plotting.
+	PDFX, PDFY []float64
+
+	full *ssta.Result
+}
+
+// Analyze runs FULLSSTA (the accurate discrete-PDF engine).
+func (d *Design) Analyze() *Analysis {
+	full := ssta.Analyze(d.d, d.vm, ssta.Options{})
+	xs, ps := full.CircuitPDF.Support()
+	return &Analysis{
+		Mean:         full.Mean,
+		Sigma:        full.Sigma,
+		NominalDelay: full.STA.MaxArrival,
+		PDFX:         xs,
+		PDFY:         ps,
+		full:         full,
+	}
+}
+
+// Yield returns the probability that the circuit meets clock period T.
+func (a *Analysis) Yield(T float64) float64 { return a.full.Yield(T) }
+
+// PeriodForYield returns the smallest clock period achieving the target
+// yield.
+func (a *Analysis) PeriodForYield(target float64) (float64, error) {
+	return yield.PeriodFor(a.full.CircuitPDF, target)
+}
+
+// MonteCarlo runs the golden-reference sampling engine.
+func (d *Design) MonteCarlo(samples int, seed int64) (*Analysis, error) {
+	mc, err := montecarlo.Analyze(d.d, d.vm, samples, seed)
+	if err != nil {
+		return nil, err
+	}
+	p := mc.PDF(15)
+	xs, ps := p.Support()
+	full := ssta.Analyze(d.d, d.vm, ssta.Options{}) // for Yield support
+	return &Analysis{
+		Mean: mc.Mean, Sigma: mc.Sigma,
+		NominalDelay: full.STA.MaxArrival,
+		PDFX:         xs, PDFY: ps,
+		full: full,
+	}, nil
+}
+
+// OptResult summarizes one optimization run.
+type OptResult struct {
+	MeanBefore, MeanAfter   float64
+	SigmaBefore, SigmaAfter float64
+	AreaBefore, AreaAfter   float64
+	Iterations              int
+	Runtime                 time.Duration
+	StoppedBy               string
+}
+
+// DeltaSigmaPct returns the sigma change in percent (negative = reduced).
+func (r OptResult) DeltaSigmaPct() float64 {
+	if r.SigmaBefore == 0 {
+		return 0
+	}
+	return 100 * (r.SigmaAfter - r.SigmaBefore) / r.SigmaBefore
+}
+
+// DeltaMeanPct returns the mean change in percent.
+func (r OptResult) DeltaMeanPct() float64 {
+	if r.MeanBefore == 0 {
+		return 0
+	}
+	return 100 * (r.MeanAfter - r.MeanBefore) / r.MeanBefore
+}
+
+// DeltaAreaPct returns the area change in percent.
+func (r OptResult) DeltaAreaPct() float64 {
+	if r.AreaBefore == 0 {
+		return 0
+	}
+	return 100 * (r.AreaAfter - r.AreaBefore) / r.AreaBefore
+}
+
+func fromCore(r *core.Result) OptResult {
+	return OptResult{
+		MeanBefore: r.Initial.Mean, MeanAfter: r.Final.Mean,
+		SigmaBefore: r.Initial.Sigma, SigmaAfter: r.Final.Sigma,
+		AreaBefore: r.Initial.Area, AreaAfter: r.Final.Area,
+		Iterations: r.Iterations,
+		Runtime:    r.Runtime,
+		StoppedBy:  r.StoppedBy,
+	}
+}
+
+// OptimizeMeanDelay runs the deterministic mean-delay greedy sizer (the
+// paper's "Original" designs are produced by running this on a freshly
+// mapped netlist). The design is modified in place.
+func (d *Design) OptimizeMeanDelay() (OptResult, error) {
+	r, err := core.MeanDelayGreedy(d.d, d.vm, core.Options{})
+	if err != nil {
+		return OptResult{}, err
+	}
+	return fromCore(r), nil
+}
+
+// OptimizeStatistical runs the paper's StatisticalGreedy variance
+// optimizer with the sigma weight lambda (the paper evaluates 3 and 9).
+// The design is modified in place.
+func (d *Design) OptimizeStatistical(lambda float64) (OptResult, error) {
+	if lambda < 0 {
+		return OptResult{}, fmt.Errorf("repro: negative lambda %g", lambda)
+	}
+	r, err := core.StatisticalGreedy(d.d, d.vm, core.Options{Lambda: lambda})
+	if err != nil {
+		return OptResult{}, err
+	}
+	return fromCore(r), nil
+}
+
+// RecoverArea trims gate sizes that do not pay for themselves, keeping
+// the verified statistical cost within slackFrac of its value at entry.
+// It returns the area saved in um^2.
+func (d *Design) RecoverArea(lambda, slackFrac float64) (float64, error) {
+	return core.RecoverArea(d.d, d.vm, core.Options{Lambda: lambda}, slackFrac)
+}
+
+// WNSSPath traces the worst negative statistical slack path and returns
+// the gate names from inputs to the worst output.
+func (d *Design) WNSSPath(lambda float64) []string {
+	full := ssta.Analyze(d.d, d.vm, ssta.Options{})
+	path := wnss.Trace(d.d, full, d.vm, lambda)
+	names := make([]string, len(path))
+	for i, id := range path {
+		names[i] = d.d.Circuit.Gate(id).Name
+	}
+	return names
+}
+
+// CriticalPath traces the deterministic worst-slack path, for comparison
+// with WNSSPath.
+func (d *Design) CriticalPath() []string {
+	full := ssta.Analyze(d.d, d.vm, ssta.Options{})
+	path := full.STA.CriticalPath(d.d)
+	names := make([]string, len(path))
+	for i, id := range path {
+		names[i] = d.d.Circuit.Gate(id).Name
+	}
+	return names
+}

@@ -1,0 +1,63 @@
+// Command benchgen emits the built-in benchmark circuits as ISCAS .bench
+// netlists, so they can be inspected, exchanged or fed back to the other
+// tools.
+//
+//	benchgen -o circuits/              # all 13 benchmarks
+//	benchgen -o circuits/ c432 c6288   # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro"
+	"repro/internal/benchfmt"
+	"repro/internal/gen"
+)
+
+func main() {
+	var (
+		outDir = flag.String("o", ".", "output directory")
+		list   = flag.Bool("list", false, "list available benchmarks and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, n := range repro.Benchmarks() {
+			fmt.Println(n)
+		}
+		return
+	}
+	names := flag.Args()
+	if len(names) == 0 {
+		names = repro.Benchmarks()
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fail(err)
+	}
+	for _, name := range names {
+		c, err := gen.ISCASLike(name)
+		if err != nil {
+			fail(err)
+		}
+		path := filepath.Join(*outDir, name+".bench")
+		f, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		if err := benchfmt.Write(f, c); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s: %d gates -> %s\n", name, c.NumLogicGates(), path)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(1)
+}

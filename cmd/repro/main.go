@@ -1,0 +1,256 @@
+// Command repro regenerates the tables and figures of the paper's
+// evaluation section:
+//
+//	repro table1 [-csv] [circuit ...]   Table 1 (all 13 circuits by default)
+//	repro fig1   [-circuit name]        Figure 1: circuit delay PDFs
+//	repro fig3                          Figure 3: WNSS trace walkthrough
+//	repro fig4   [-circuit name]        Figure 4: lambda sweep frontier
+//	repro erf                           Section 4.3 erf-approximation table
+//	repro engines [circuit ...]         Engine accuracy/speed comparison
+//	repro correlation [circuit ...]     Correlation-aware engine vs independence
+//	repro all                           Everything above in sequence
+//
+// See DESIGN.md for the experiment index and EXPERIMENTS.md for a
+// recorded reference run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/corrssta"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/report"
+	"repro/internal/ssta"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "table1":
+		err = runTable1(args)
+	case "fig1":
+		err = runFig1(args)
+	case "fig3":
+		err = runFig3(args)
+	case "fig4":
+		err = runFig4(args)
+	case "erf":
+		err = runErf(args)
+	case "engines":
+		err = runEngines(args)
+	case "correlation":
+		err = runCorrelation(args)
+	case "all":
+		for _, c := range []func([]string) error{runTable1, runFig1, runFig3, runFig4, runErf, runEngines, runCorrelation} {
+			if err = c(nil); err != nil {
+				break
+			}
+			fmt.Println()
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: repro <table1|fig1|fig3|fig4|erf|engines|correlation|all> [flags]`)
+}
+
+func runTable1(args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	csv := fs.Bool("csv", false, "emit CSV instead of a formatted table")
+	fs.Parse(args)
+	names := fs.Args()
+	if len(names) == 0 {
+		names = gen.ISCASNames()
+	}
+	rows, err := experiments.Table1(names, experiments.Config{})
+	if err != nil {
+		return err
+	}
+	tab := &report.Table{
+		Title: "Table 1: statistical gate sizing on the benchmark circuits (paper Table 1)",
+		Headers: []string{"circuit", "gates", "paper-gates", "orig σ/μ",
+			"Δμ%(λ3)", "Δσ%(λ3)", "σ/μ(λ3)", "ΔA%(λ3)", "t(λ3)",
+			"Δμ%(λ9)", "Δσ%(λ9)", "σ/μ(λ9)", "ΔA%(λ9)", "t(λ9)"},
+	}
+	for _, r := range rows {
+		tab.AddRow(r.Name, r.Gates, r.PaperGates, fmt.Sprintf("%.3f", r.OrigRatio),
+			pct(r.DMeanPct[0]), pct(r.DSigmaPct[0]), fmt.Sprintf("%.3f", r.NewRatio[0]), pct(r.DAreaPct[0]), r.Runtime[0].Round(1e6),
+			pct(r.DMeanPct[1]), pct(r.DSigmaPct[1]), fmt.Sprintf("%.3f", r.NewRatio[1]), pct(r.DAreaPct[1]), r.Runtime[1].Round(1e6))
+	}
+	if *csv {
+		return tab.WriteCSV(os.Stdout)
+	}
+	return tab.Write(os.Stdout)
+}
+
+func pct(v float64) string { return fmt.Sprintf("%+.0f%%", v) }
+
+func runFig1(args []string) error {
+	fs := flag.NewFlagSet("fig1", flag.ExitOnError)
+	circuit := fs.String("circuit", "c880", "benchmark to plot")
+	fs.Parse(args)
+	res, err := experiments.Fig1(*circuit, experiments.Config{})
+	if err != nil {
+		return err
+	}
+	series := []report.Series{
+		seriesOf("original (mean-optimized)", res.Original.Support),
+		seriesOf("optimization 1 (lambda=3)", res.Opt1.Support),
+		seriesOf("optimization 2 (lambda=9)", res.Opt2.Support),
+	}
+	if err := report.Plot(os.Stdout, "Figure 1: circuit output delay PDF — "+res.Name, series, 72, 18); err != nil {
+		return err
+	}
+	fmt.Printf("\nperiod marker T = %.0f ps: yield original %.3f, opt1 %.3f, opt2 %.3f\n",
+		res.T, res.YieldOriginal, res.YieldOpt1, res.YieldOpt2)
+	fmt.Printf("sigma: original %.1f ps, opt1 %.1f ps, opt2 %.1f ps\n",
+		res.Original.Sigma(), res.Opt1.Sigma(), res.Opt2.Sigma())
+	return nil
+}
+
+func seriesOf(label string, support func() ([]float64, []float64)) report.Series {
+	xs, ps := support()
+	return report.Series{Label: label, X: xs, Y: ps}
+}
+
+func runFig3(args []string) error {
+	res := experiments.Fig3(0)
+	fmt.Println("Figure 3: tracing the worst negative statistical slack (WNSS) path")
+	fmt.Println("arrival moments: A(320,27) B(310,45) C(357,32) D(190,41) E(392,35)")
+	fmt.Println("topology: X <- {E, D};  E <- {A, B, C}")
+	for _, s := range res.Steps {
+		how := "variance-sensitivity comparison"
+		if s.ByDominance {
+			how = "dominance shortcut (eq. 5/6)"
+		}
+		fmt.Printf("  at %s: fanins %s -> chose %s via %s\n",
+			s.Gate, strings.Join(s.FaninNames, ","), s.Chosen, how)
+	}
+	fmt.Printf("WNSS path (output first): %s\n", strings.Join(res.Path, " -> "))
+	return nil
+}
+
+func runFig4(args []string) error {
+	fs := flag.NewFlagSet("fig4", flag.ExitOnError)
+	circuit := fs.String("circuit", "c432", "benchmark to sweep")
+	fs.Parse(args)
+	pts, err := experiments.Fig4(*circuit, nil, experiments.Config{})
+	if err != nil {
+		return err
+	}
+	var s report.Series
+	s.Label = "lambda sweep"
+	tab := &report.Table{
+		Title:   "Figure 4: normalized mean vs sigma for " + *circuit,
+		Headers: []string{"lambda", "mean (norm)", "sigma (norm)"},
+	}
+	for _, p := range pts {
+		name := fmt.Sprintf("%g", p.Lambda)
+		if p.Lambda < 0 {
+			name = "original"
+		}
+		tab.AddRow(name, fmt.Sprintf("%.4f", p.MeanNorm), fmt.Sprintf("%.4f", p.SigmaNorm))
+		s.X = append(s.X, p.MeanNorm)
+		s.Y = append(s.Y, p.SigmaNorm)
+	}
+	if err := tab.Write(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return report.Plot(os.Stdout, "normalized mean (x) vs sigma (y)", []report.Series{s}, 60, 14)
+}
+
+func runErf(args []string) error {
+	rows := experiments.ErfAccuracy()
+	tab := &report.Table{
+		Title:   "Section 4.3: quadratic erf approximation accuracy (claim: two decimal places)",
+		Headers: []string{"range", "max error", "mean error"},
+	}
+	for _, r := range rows {
+		tab.AddRow(fmt.Sprintf("[%.1f, %.1f]", r.Lo, r.Hi),
+			fmt.Sprintf("%.5f", r.MaxErr), fmt.Sprintf("%.5f", r.MeanErr))
+	}
+	return tab.Write(os.Stdout)
+}
+
+func runCorrelation(args []string) error {
+	names := args
+	if len(names) == 0 {
+		names = []string{"c499", "c1908"}
+	}
+	tab := &report.Table{
+		Title:   "Correlation-aware engine (the paper's PCA upgrade path) vs independence, correlated MC as truth",
+		Headers: []string{"circuit", "share", "MC σ", "canonical σ", "err%", "independent σ", "err%"},
+	}
+	for _, name := range names {
+		d, vm, err := experiments.NewDesign(name)
+		if err != nil {
+			return err
+		}
+		for _, share := range []float64{0.3, 0.6} {
+			opts := corrssta.Options{Share: share}
+			mc, err := corrssta.MonteCarlo(d, vm, opts, 20000, 7)
+			if err != nil {
+				return err
+			}
+			canon := corrssta.Analyze(d, vm, opts)
+			indep := ssta.Analyze(d, vm, ssta.Options{})
+			tab.AddRow(name, fmt.Sprintf("%.1f", share),
+				fmt.Sprintf("%.1f", mc.Sigma),
+				fmt.Sprintf("%.1f", canon.Sigma),
+				fmt.Sprintf("%.1f", 100*abs(canon.Sigma-mc.Sigma)/mc.Sigma),
+				fmt.Sprintf("%.1f", indep.Sigma),
+				fmt.Sprintf("%.1f", 100*abs(indep.Sigma-mc.Sigma)/mc.Sigma))
+		}
+	}
+	return tab.Write(os.Stdout)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func runEngines(args []string) error {
+	names := args
+	if len(names) == 0 {
+		names = []string{"alu2", "c432", "c880", "c1908"}
+	}
+	rows, err := experiments.Engines(names, 20000, experiments.Config{})
+	if err != nil {
+		return err
+	}
+	tab := &report.Table{
+		Title: "Engine comparison: Monte Carlo (golden) vs FULLSSTA vs global FASSTA",
+		Headers: []string{"circuit", "gates", "MC μ", "MC σ",
+			"FULL μerr%", "FULL σerr%", "FAST μerr%", "FAST σerr%",
+			"dominance%", "t(MC)", "t(FULL)", "t(FAST)"},
+	}
+	for _, r := range rows {
+		tab.AddRow(r.Name, r.Gates,
+			fmt.Sprintf("%.0f", r.MCMean), fmt.Sprintf("%.1f", r.MCSigma),
+			fmt.Sprintf("%.1f", r.FullMeanErrPct), fmt.Sprintf("%.1f", r.FullSigmaErrPct),
+			fmt.Sprintf("%.1f", r.FastMeanErrPct), fmt.Sprintf("%.1f", r.FastSigmaErrPct),
+			fmt.Sprintf("%.0f", r.DominancePct),
+			r.MCTime.Round(1e6), r.FullTime.Round(1e6), r.FastTime.Round(1e3))
+	}
+	return tab.Write(os.Stdout)
+}

@@ -1,0 +1,122 @@
+// Command ssta analyzes the statistical timing of a circuit with all
+// three engines — deterministic STA, FULLSSTA (discrete PDFs) and Monte
+// Carlo — and prints moments, yield points and the WNSS path.
+//
+//	ssta -gen c880
+//	ssta -bench netlist.bench -mc 50000 -lambda 9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		genName = flag.String("gen", "", "generate a built-in benchmark")
+		bench   = flag.String("bench", "", "load an ISCAS .bench netlist")
+		mc      = flag.Int("mc", 20000, "Monte-Carlo samples (0 disables)")
+		seed    = flag.Int64("seed", 1, "Monte-Carlo seed")
+		lambda  = flag.Float64("lambda", 3, "lambda for the WNSS trace")
+		path    = flag.Bool("path", true, "print the WNSS and deterministic critical paths")
+		kpaths  = flag.Int("paths", 0, "enumerate the k worst deterministic paths")
+		critN   = flag.Int("crit", 0, "print the n most critical gates (statistical criticality)")
+		sdfOut  = flag.String("sdf", "", "write statistical delay corners to this SDF file")
+	)
+	flag.Parse()
+
+	d, err := load(*genName, *bench)
+	if err != nil {
+		fail(err)
+	}
+	s := d.Stats()
+	fmt.Printf("%s: %d gates, depth %d, area %.0f um^2\n", s.Name, s.Gates, s.Depth, s.Area)
+
+	a := d.Analyze()
+	fmt.Printf("deterministic STA: %.1f ps\n", a.NominalDelay)
+	fmt.Printf("FULLSSTA:          mu %.1f ps, sigma %.1f ps (sigma/mu %.4f)\n",
+		a.Mean, a.Sigma, a.Sigma/a.Mean)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		T, err := a.PeriodForYield(q)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("  period for %.0f%% yield: %.1f ps\n", q*100, T)
+	}
+	if *mc > 0 {
+		m, err := d.MonteCarlo(*mc, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("Monte Carlo (%d):  mu %.1f ps, sigma %.1f ps\n", *mc, m.Mean, m.Sigma)
+		fmt.Printf("  FULLSSTA error: mu %+.1f%%, sigma %+.1f%%\n",
+			100*(a.Mean-m.Mean)/m.Mean, 100*(a.Sigma-m.Sigma)/m.Sigma)
+	}
+	if *path {
+		wnss := d.WNSSPath(*lambda)
+		det := d.CriticalPath()
+		fmt.Printf("WNSS path (lambda=%g, %d gates): %s\n", *lambda, len(wnss), strings.Join(tail(wnss, 6), " -> "))
+		fmt.Printf("WNS  path (deterministic, %d gates): %s\n", len(det), strings.Join(tail(det, 6), " -> "))
+	}
+	if *kpaths > 0 {
+		fmt.Printf("%d worst deterministic paths:\n", *kpaths)
+		for i, p := range d.WorstPaths(*kpaths) {
+			fmt.Printf("  %2d  %8.1f ps  %s: %s\n", i+1, p.Arrival, p.Source, strings.Join(tail(p.Gates, 5), " -> "))
+		}
+	}
+	if *critN > 0 {
+		gates, err := d.Criticality(*critN, 5000, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%d most critical gates (Monte-Carlo criticality):\n", *critN)
+		for _, g := range gates {
+			fmt.Printf("  %-20s %.3f\n", g.Gate, g.Criticality)
+		}
+	}
+	if *sdfOut != "" {
+		f, err := os.Create(*sdfOut)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := d.SaveSDF(f, 3); err != nil {
+			fail(err)
+		}
+		fmt.Printf("3-sigma delay corners written to %s\n", *sdfOut)
+	}
+}
+
+// tail keeps the last n entries, prefixing an ellipsis if truncated.
+func tail(s []string, n int) []string {
+	if len(s) <= n {
+		return s
+	}
+	return append([]string{"..."}, s[len(s)-n:]...)
+}
+
+func load(genName, bench string) (*repro.Design, error) {
+	switch {
+	case genName != "" && bench != "":
+		return nil, fmt.Errorf("use either -gen or -bench, not both")
+	case genName != "":
+		return repro.Generate(genName)
+	case bench != "":
+		f, err := os.Open(bench)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return repro.LoadBench(f, bench)
+	}
+	return nil, fmt.Errorf("nothing to analyze: pass -gen <name> or -bench <file>")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ssta:", err)
+	os.Exit(1)
+}

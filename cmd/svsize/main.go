@@ -1,0 +1,141 @@
+// Command svsize is the statistical variance-aware gate sizer: it loads
+// or generates a circuit, establishes the mean-delay-optimized baseline,
+// runs the paper's StatisticalGreedy optimizer at a chosen lambda, and
+// reports the before/after statistics.
+//
+//	svsize -gen c432 -lambda 9
+//	svsize -bench netlist.bench -lambda 3 -recover 0.01 -out sized.bench
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		genName = flag.String("gen", "", "generate a built-in benchmark (see -list)")
+		bench   = flag.String("bench", "", "load an ISCAS .bench netlist")
+		vlog    = flag.String("verilog", "", "load a structural Verilog netlist")
+		libFile = flag.String("lib", "", "map onto a Liberty (.lib) library instead of the built-in one")
+		lambda  = flag.Float64("lambda", 3, "sigma weight in the cost mu + lambda*sigma")
+		recover = flag.Float64("recover", 0.01, "area-recovery cost slack fraction (0 disables)")
+		skipMD  = flag.Bool("skip-baseline", false, "skip the mean-delay baseline pass")
+		out     = flag.String("out", "", "write the sized netlist to this .bench file")
+		list    = flag.Bool("list", false, "list built-in benchmarks and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, n := range repro.Benchmarks() {
+			fmt.Println(n)
+		}
+		return
+	}
+	d, err := load(*genName, *bench, *vlog, *libFile)
+	if err != nil {
+		fail(err)
+	}
+	s := d.Stats()
+	fmt.Printf("%s: %d gates, %d inputs, %d outputs, depth %d, area %.0f um^2\n",
+		s.Name, s.Gates, s.Inputs, s.Outputs, s.Depth, s.Area)
+
+	if !*skipMD {
+		r, err := d.OptimizeMeanDelay()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("mean-delay baseline: nominal %.0f -> %.0f ps (%d iterations, %v)\n",
+			r.MeanBefore, r.MeanAfter, r.Iterations, r.Runtime.Round(1e6))
+	}
+	before := d.Analyze()
+	fmt.Printf("original:  mu %.1f ps, sigma %.1f ps (sigma/mu %.4f)\n",
+		before.Mean, before.Sigma, before.Sigma/before.Mean)
+
+	r, err := d.OptimizeStatistical(*lambda)
+	if err != nil {
+		fail(err)
+	}
+	if *recover > 0 {
+		saved, err := d.RecoverArea(*lambda, *recover)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("area recovery: %.0f um^2 reclaimed\n", saved)
+	}
+	after := d.Analyze()
+	fmt.Printf("optimized: mu %.1f ps (%+.1f%%), sigma %.1f ps (%+.1f%%), area %.0f um^2 (%+.1f%%)\n",
+		after.Mean, 100*(after.Mean-before.Mean)/before.Mean,
+		after.Sigma, 100*(after.Sigma-before.Sigma)/before.Sigma,
+		d.Stats().Area, 100*(d.Stats().Area-s.Area)/s.Area)
+	fmt.Printf("optimizer: %d iterations, stopped by %s, %v\n", r.Iterations, r.StoppedBy, r.Runtime.Round(1e6))
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := d.SaveBench(f); err != nil {
+			fail(err)
+		}
+		fmt.Printf("netlist written to %s (sizes are not part of .bench)\n", *out)
+	}
+}
+
+func load(genName, bench, vlog, libFile string) (*repro.Design, error) {
+	sources := 0
+	for _, s := range []string{genName, bench, vlog} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("pass exactly one of -gen, -bench, -verilog")
+	}
+	if libFile != "" {
+		if bench == "" {
+			return nil, fmt.Errorf("-lib currently requires -bench")
+		}
+		lf, err := os.Open(libFile)
+		if err != nil {
+			return nil, err
+		}
+		defer lf.Close()
+		lib, err := repro.LoadLiberty(lf)
+		if err != nil {
+			return nil, err
+		}
+		f, err := os.Open(bench)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return repro.LoadBenchWithLibrary(f, bench, lib)
+	}
+	switch {
+	case genName != "":
+		return repro.Generate(genName)
+	case bench != "":
+		f, err := os.Open(bench)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return repro.LoadBench(f, bench)
+	default:
+		f, err := os.Open(vlog)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return repro.LoadVerilog(f, vlog)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "svsize:", err)
+	os.Exit(1)
+}

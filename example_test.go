@@ -1,0 +1,64 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// Generate a benchmark circuit and inspect it.
+func ExampleGenerate() {
+	d, err := repro.Generate("alu2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := d.Stats()
+	fmt.Printf("%s: %d gates, %d inputs, %d outputs, depth %d\n",
+		s.Name, s.Gates, s.Inputs, s.Outputs, s.Depth)
+	// Output:
+	// alu2: 158 gates, 27 inputs, 13 outputs, depth 12
+}
+
+// The paper's full flow: mean-delay baseline, then variance optimization.
+func ExampleDesign_OptimizeStatistical() {
+	d, err := repro.Generate("c432")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := d.OptimizeMeanDelay(); err != nil {
+		log.Fatal(err)
+	}
+	r, err := d.OptimizeStatistical(9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sigma reduced: %v\n", r.SigmaAfter < r.SigmaBefore)
+	// Output:
+	// sigma reduced: true
+}
+
+// Statistical analysis and yield queries.
+func ExampleAnalysis_Yield() {
+	d, err := repro.Generate("alu2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := d.Analyze()
+	generous := a.Mean + 10*a.Sigma
+	fmt.Printf("yield at mu+10sigma: %.0f%%\n", 100*a.Yield(generous))
+	// Output:
+	// yield at mu+10sigma: 100%
+}
+
+// Tracing the worst negative statistical slack path.
+func ExampleDesign_WNSSPath() {
+	d, err := repro.Generate("alu2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := d.WNSSPath(9)
+	fmt.Printf("WNSS path has %d gates ending at an output\n", len(path))
+	// Output:
+	// WNSS path has 12 gates ending at an output
+}

@@ -1,0 +1,41 @@
+// Correlation walkthrough: the paper's accurate engine assumes fanin
+// arrival times are independent, which is exact on tree circuits but
+// wrong on reconvergent ones. The paper points to PCA-style methods as
+// the outer-loop upgrade; internal/corrssta implements that upgrade with
+// first-order canonical forms over a quad-tree spatial model. This
+// example quantifies what it buys on an error-correcting circuit, the
+// most reconvergent structure in the benchmark set.
+//
+//	go run ./examples/correlation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	d, err := repro.Generate("c499")
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := d.Stats()
+	fmt.Printf("%s: %d gates, depth %d — every data bit feeds several XOR trees,\n", s.Name, s.Gates, s.Depth)
+	fmt.Println("so almost every internal max sees correlated operands.")
+	fmt.Println()
+
+	for _, share := range []float64{0.2, 0.5, 0.8} {
+		r := d.AnalyzeCorrelated(share)
+		fmt.Printf("spatially shared variance %.0f%%:\n", share*100)
+		fmt.Printf("  correlation-aware sigma: %7.1f ps\n", r.Sigma)
+		fmt.Printf("  independence-assuming:   %7.1f ps (%.0f%% underestimate)\n",
+			r.IndependentSigma, 100*(1-r.IndependentSigma/r.Sigma))
+	}
+	fmt.Println()
+	fmt.Println("The independence assumption underestimates sigma more as spatial")
+	fmt.Println("correlation grows — optimizing against it would leave real variance")
+	fmt.Println("on the table, which is why the paper flags PCA-based analysis as the")
+	fmt.Println("drop-in upgrade for its outer loop.")
+}

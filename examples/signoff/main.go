@@ -1,0 +1,62 @@
+// Sign-off handoff walkthrough: after variance optimization, export the
+// design in the formats a conventional flow consumes — the netlist as
+// structural Verilog and .bench, the library as Liberty, the statistical
+// delay corners as SDF, and a criticality-colored DOT rendering.
+//
+//	go run ./examples/signoff [output-dir]
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro"
+)
+
+func main() {
+	outDir := "signoff-out"
+	if len(os.Args) > 1 {
+		outDir = os.Args[1]
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	d, err := repro.Generate("c880")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := d.OptimizeMeanDelay(); err != nil {
+		log.Fatal(err)
+	}
+	r, err := d.OptimizeStatistical(9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("c880 optimized: sigma %+.1f%%, mean %+.1f%%, area %+.1f%%\n",
+		r.DeltaSigmaPct(), r.DeltaMeanPct(), r.DeltaAreaPct())
+
+	emit := func(name string, write func(io.Writer) error) {
+		path := filepath.Join(outDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := write(f); err != nil {
+			log.Fatal(err)
+		}
+		st, _ := f.Stat()
+		fmt.Printf("  wrote %-18s %6d bytes\n", name, st.Size())
+	}
+	emit("c880.bench", d.SaveBench)
+	emit("c880.v", d.SaveVerilog)
+	emit("repro90.lib", d.SaveLiberty)
+	emit("c880.sdf", func(w io.Writer) error { return d.SaveSDF(w, 3) })
+	emit("c880.dot", func(w io.Writer) error { return d.SaveDOT(w, 9) })
+
+	fmt.Println("render the criticality map with: dot -Tsvg", filepath.Join(outDir, "c880.dot"), "-o c880.svg")
+}

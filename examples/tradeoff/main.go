@@ -1,0 +1,52 @@
+// Trade-off walkthrough (the paper's Figure 4 scenario): sweep the sigma
+// weight lambda on the c432-class circuit and trace out the mean/sigma
+// frontier the user-controlled weight exposes.
+//
+//	go run ./examples/tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	pts, err := experiments.Fig4("c432", []float64{0, 1, 3, 6, 9}, experiments.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tab := &report.Table{
+		Title:   "lambda sweep on c432 (values normalized to the original mean)",
+		Headers: []string{"lambda", "mean", "sigma", "sigma/mean"},
+	}
+	var s report.Series
+	s.Label = "sweep"
+	for _, p := range pts {
+		name := fmt.Sprintf("%g", p.Lambda)
+		if p.Lambda < 0 {
+			name = "original"
+		}
+		tab.AddRow(name,
+			fmt.Sprintf("%.4f", p.MeanNorm),
+			fmt.Sprintf("%.4f", p.SigmaNorm),
+			fmt.Sprintf("%.4f", p.SigmaNorm/p.MeanNorm))
+		s.X = append(s.X, p.MeanNorm)
+		s.Y = append(s.Y, p.SigmaNorm)
+	}
+	if err := tab.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := report.Plot(os.Stdout, "normalized mean (x) vs normalized sigma (y)",
+		[]report.Series{s}, 60, 14); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nReading the frontier: larger lambda buys lower sigma; the mean and")
+	fmt.Println("area paid for it grow, and past the unsystematic-variation floor no")
+	fmt.Println("further reduction is available (the paper's observation about lambda > 9).")
+}

@@ -1,0 +1,64 @@
+// Yield walkthrough (the paper's Figure 1 scenario): compare the circuit
+// delay distribution of a mean-optimized design against two variance
+// optimizations, and read the distributions as manufacturing yield at a
+// target clock period.
+//
+//	go run ./examples/yield
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	const circuit = "c880"
+
+	res, err := experiments.Fig1(circuit, experiments.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Render the three PDFs like the paper's Figure 1.
+	toSeries := func(label string, sup func() ([]float64, []float64)) report.Series {
+		xs, ps := sup()
+		return report.Series{Label: label, X: xs, Y: ps}
+	}
+	err = report.Plot(os.Stdout, "circuit output delay PDF — "+circuit, []report.Series{
+		toSeries("original (mean-optimized)", res.Original.Support),
+		toSeries("optimization 1 (lambda=3)", res.Opt1.Support),
+		toSeries("optimization 2 (lambda=9)", res.Opt2.Support),
+	}, 72, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nsigma: %.1f ps (original) -> %.1f (lambda=3) -> %.1f (lambda=9)\n",
+		res.Original.Sigma(), res.Opt1.Sigma(), res.Opt2.Sigma())
+	fmt.Printf("yield at T = %.0f ps: %.3f -> %.3f -> %.3f\n",
+		res.T, res.YieldOriginal, res.YieldOpt1, res.YieldOpt2)
+
+	// Sweep the clock period: the tighter distributions reach high yield
+	// at shorter periods than the original's tail allows.
+	d, err := repro.Generate(circuit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := d.OptimizeMeanDelay(); err != nil {
+		log.Fatal(err)
+	}
+	a := d.Analyze()
+	fmt.Println("\nperiods needed by the mean-optimized design:")
+	for _, q := range []float64{0.50, 0.90, 0.99, 0.999} {
+		T, err := a.PeriodForYield(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %.1f%% yield at %.0f ps\n", q*100, T)
+	}
+}

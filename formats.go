@@ -1,0 +1,86 @@
+package repro
+
+import (
+	"io"
+
+	"repro/internal/benchfmt"
+	"repro/internal/cells"
+	"repro/internal/corrssta"
+	"repro/internal/liberty"
+	"repro/internal/synth"
+	"repro/internal/variation"
+	"repro/internal/verilog"
+)
+
+// LoadVerilog parses a gate-level structural Verilog module (primitive
+// gates only) and maps it onto the default library.
+func LoadVerilog(r io.Reader, name string) (*Design, error) {
+	c, err := verilog.Parse(r, name)
+	if err != nil {
+		return nil, err
+	}
+	return FromCircuit(c)
+}
+
+// SaveVerilog writes the design's netlist as structural Verilog.
+func (d *Design) SaveVerilog(w io.Writer) error {
+	return verilog.Write(w, d.d.Circuit)
+}
+
+// LoadBenchSeq parses an ISCAS-89-style sequential .bench netlist,
+// cutting registers into pseudo primary inputs/outputs so the
+// register-to-register combinational core can be analyzed and sized. The
+// returned FF list records the cut points (Q net, D net).
+func LoadBenchSeq(r io.Reader, name string) (*Design, []benchfmt.FF, error) {
+	c, info, err := benchfmt.ParseSeq(r, name)
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := FromCircuit(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, info.FFs, nil
+}
+
+// SaveLiberty exports the design's cell library in Liberty (.lib) format.
+func (d *Design) SaveLiberty(w io.Writer) error {
+	return liberty.Write(w, d.d.Lib)
+}
+
+// LoadLiberty reads a Liberty library (the subset written by SaveLiberty)
+// for use with LoadBenchWithLibrary.
+func LoadLiberty(r io.Reader) (*cells.Library, error) {
+	return liberty.Parse(r)
+}
+
+// LoadBenchWithLibrary parses a .bench netlist and maps it onto the
+// given library.
+func LoadBenchWithLibrary(r io.Reader, name string, lib *cells.Library) (*Design, error) {
+	c, err := benchfmt.Parse(r, name)
+	if err != nil {
+		return nil, err
+	}
+	d, err := synth.Map(c, lib)
+	if err != nil {
+		return nil, err
+	}
+	return &Design{d: d, vm: variation.Default(lib)}, nil
+}
+
+// CorrelatedAnalysis reports a correlation-aware timing analysis.
+type CorrelatedAnalysis struct {
+	Mean, Sigma float64
+	// IndependentSigma is what the independence-assuming FULLSSTA
+	// reports on the same design, for comparison.
+	IndependentSigma float64
+}
+
+// AnalyzeCorrelated runs the canonical-form correlation-aware engine
+// (the paper's suggested PCA-style outer-loop upgrade) with the given
+// fraction of each gate's delay variance spatially shared (0 < share <= 1).
+func (d *Design) AnalyzeCorrelated(share float64) *CorrelatedAnalysis {
+	r := corrssta.Analyze(d.d, d.vm, corrssta.Options{Share: share})
+	indep := d.Analyze()
+	return &CorrelatedAnalysis{Mean: r.Mean, Sigma: r.Sigma, IndependentSigma: indep.Sigma}
+}

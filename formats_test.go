@@ -1,0 +1,89 @@
+package repro
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestVerilogRoundTripThroughFacade(t *testing.T) {
+	d, err := Generate("alu2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.SaveVerilog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := LoadVerilog(&buf, "alu2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Stats().Inputs != d.Stats().Inputs || d2.Stats().Outputs != d.Stats().Outputs {
+		t.Fatal("verilog round trip changed port counts")
+	}
+}
+
+func TestLibertyRoundTripThroughFacade(t *testing.T) {
+	d, err := Generate("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lib bytes.Buffer
+	if err := d.SaveLiberty(&lib); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := LoadLiberty(&lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remap the same netlist onto the re-imported library: analysis must
+	// agree with the original to float accuracy.
+	var net bytes.Buffer
+	if err := d.SaveBench(&net); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := LoadBenchWithLibrary(&net, "c432", parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, a2 := d.Analyze(), d2.Analyze()
+	if diff := abs(a1.Mean-a2.Mean) / a1.Mean; diff > 1e-9 {
+		t.Fatalf("Liberty round trip changed timing: %g vs %g", a1.Mean, a2.Mean)
+	}
+}
+
+func TestSequentialLoad(t *testing.T) {
+	src := `INPUT(a)
+OUTPUT(y)
+q = DFF(d)
+d = NAND(a, q)
+y = NOT(q)
+`
+	design, ffs, err := LoadBenchSeq(strings.NewReader(src), "seq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ffs) != 1 || ffs[0].Q != "q" || ffs[0].D != "d" {
+		t.Fatalf("ffs = %+v", ffs)
+	}
+	a := design.Analyze()
+	if a.Mean <= 0 {
+		t.Fatal("core not analyzable")
+	}
+}
+
+func TestAnalyzeCorrelated(t *testing.T) {
+	d, err := Generate("c499")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := d.AnalyzeCorrelated(0.6)
+	if r.Sigma <= r.IndependentSigma {
+		t.Errorf("correlated sigma %g not above independent %g on a reconvergent circuit",
+			r.Sigma, r.IndependentSigma)
+	}
+	if r.Mean <= 0 {
+		t.Fatal("bad mean")
+	}
+}

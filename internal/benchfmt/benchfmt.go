@@ -1,0 +1,195 @@
+// Package benchfmt reads and writes the ISCAS .bench netlist format:
+//
+//	# comment
+//	INPUT(G1)
+//	OUTPUT(G17)
+//	G10 = NAND(G1, G3)
+//	G17 = NOT(G10)
+//
+// Only combinational circuits are supported; DFF lines are rejected with a
+// clear error (the paper restricts itself to combinational circuits).
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+var fnByBenchName = map[string]circuit.Fn{
+	"AND":  circuit.And,
+	"NAND": circuit.Nand,
+	"OR":   circuit.Or,
+	"NOR":  circuit.Nor,
+	"XOR":  circuit.Xor,
+	"XNOR": circuit.Xnor,
+	"NOT":  circuit.Not,
+	"INV":  circuit.Not,
+	"BUF":  circuit.Buf,
+	"BUFF": circuit.Buf,
+}
+
+var benchNameByFn = map[circuit.Fn]string{
+	circuit.And: "AND", circuit.Nand: "NAND",
+	circuit.Or: "OR", circuit.Nor: "NOR",
+	circuit.Xor: "XOR", circuit.Xnor: "XNOR",
+	circuit.Not: "NOT", circuit.Buf: "BUFF",
+}
+
+// Parse reads a .bench netlist. The circuit name is taken from the caller
+// since the format has no name line.
+func Parse(r io.Reader, name string) (*circuit.Circuit, error) {
+	c := circuit.New(name)
+	type pending struct {
+		gate   string
+		fn     circuit.Fn
+		fanins []string
+		line   int
+	}
+	var defs []pending
+	var outputs []string
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(strings.ToUpper(line), "INPUT(") && strings.HasSuffix(line, ")"):
+			n := strings.TrimSpace(line[len("INPUT(") : len(line)-1])
+			if n == "" {
+				return nil, fmt.Errorf("benchfmt:%d: empty INPUT name", lineNo)
+			}
+			if _, err := c.AddGate(n, circuit.Input); err != nil {
+				return nil, fmt.Errorf("benchfmt:%d: %v", lineNo, err)
+			}
+		case strings.HasPrefix(strings.ToUpper(line), "OUTPUT(") && strings.HasSuffix(line, ")"):
+			n := strings.TrimSpace(line[len("OUTPUT(") : len(line)-1])
+			if n == "" {
+				return nil, fmt.Errorf("benchfmt:%d: empty OUTPUT name", lineNo)
+			}
+			outputs = append(outputs, n)
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, fmt.Errorf("benchfmt:%d: unrecognized line %q", lineNo, line)
+			}
+			lhs := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			open := strings.Index(rhs, "(")
+			if open < 0 || !strings.HasSuffix(rhs, ")") {
+				return nil, fmt.Errorf("benchfmt:%d: malformed gate definition %q", lineNo, line)
+			}
+			fnName := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+			if fnName == "DFF" {
+				return nil, fmt.Errorf("benchfmt:%d: sequential element DFF not supported (combinational circuits only)", lineNo)
+			}
+			fn, ok := fnByBenchName[fnName]
+			if !ok {
+				return nil, fmt.Errorf("benchfmt:%d: unknown function %q", lineNo, fnName)
+			}
+			var fanins []string
+			for _, f := range strings.Split(rhs[open+1:len(rhs)-1], ",") {
+				f = strings.TrimSpace(f)
+				if f == "" {
+					return nil, fmt.Errorf("benchfmt:%d: empty fanin in %q", lineNo, line)
+				}
+				fanins = append(fanins, f)
+			}
+			if len(fanins) == 0 {
+				return nil, fmt.Errorf("benchfmt:%d: gate %q has no fanins", lineNo, lhs)
+			}
+			if _, err := c.AddGate(lhs, fn); err != nil {
+				return nil, fmt.Errorf("benchfmt:%d: %v", lineNo, err)
+			}
+			defs = append(defs, pending{gate: lhs, fn: fn, fanins: fanins, line: lineNo})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchfmt: read: %v", err)
+	}
+	// Second pass: connect fanins (they may be declared after use).
+	for _, d := range defs {
+		dst := c.MustLookup(d.gate)
+		for _, f := range d.fanins {
+			src, ok := c.Lookup(f)
+			if !ok {
+				return nil, fmt.Errorf("benchfmt:%d: gate %q references undefined net %q", d.line, d.gate, f)
+			}
+			if err := c.Connect(src, dst); err != nil {
+				return nil, fmt.Errorf("benchfmt:%d: %v", d.line, err)
+			}
+		}
+	}
+	for _, o := range outputs {
+		id, ok := c.Lookup(o)
+		if !ok {
+			return nil, fmt.Errorf("benchfmt: OUTPUT(%s) references undefined net", o)
+		}
+		if err := c.MarkOutput(id); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Write emits the circuit in .bench format. Gates are written in
+// topological order so the file is also human-readable as a levelized
+// netlist. Constants are not representable in .bench and cause an error.
+func Write(w io.Writer, c *circuit.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s: %d inputs, %d outputs, %d gates\n",
+		c.Name, len(c.Inputs()), len(c.Outputs), c.NumLogicGates())
+	for _, id := range c.Inputs() {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Gate(id).Name)
+	}
+	// Stable output order: declaration order.
+	for _, id := range c.Outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Gate(id).Name)
+	}
+	topo, err := c.TopoOrder()
+	if err != nil {
+		return err
+	}
+	for _, id := range topo {
+		g := c.Gate(id)
+		if !g.Fn.IsLogic() {
+			if g.Fn == circuit.Const0 || g.Fn == circuit.Const1 {
+				return fmt.Errorf("benchfmt: constant gate %q not representable in .bench", g.Name)
+			}
+			continue
+		}
+		fnName, ok := benchNameByFn[g.Fn]
+		if !ok {
+			return fmt.Errorf("benchfmt: function %s of gate %q not representable", g.Fn, g.Name)
+		}
+		names := make([]string, len(g.Fanin))
+		for i, s := range g.Fanin {
+			names[i] = c.Gate(s).Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, fnName, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+// FnNames returns the .bench function keywords accepted by Parse, sorted;
+// useful for CLI help text.
+func FnNames() []string {
+	var names []string
+	for n := range fnByBenchName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

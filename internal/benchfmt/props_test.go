@@ -1,0 +1,63 @@
+package benchfmt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/logicsim"
+)
+
+// Round-tripping any random DAG through .bench preserves both structure
+// counts and function.
+func TestRoundTripRandomDAGsProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		c := gen.RandomDAG("r", 8, 60, 5, seed)
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			t.Logf("write: %v", err)
+			return false
+		}
+		re, err := Parse(bytes.NewReader(buf.Bytes()), "r")
+		if err != nil {
+			t.Logf("parse: %v", err)
+			return false
+		}
+		if re.NumLogicGates() != c.NumLogicGates() ||
+			len(re.Inputs()) != len(c.Inputs()) ||
+			len(re.Outputs) != len(c.Outputs) {
+			return false
+		}
+		res, err := logicsim.CheckEquivalence(c, re, 200, seed)
+		if err != nil {
+			t.Logf("equiv: %v", err)
+			return false
+		}
+		return res.Equivalent
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Double round trip is a fixed point: bench -> circuit -> bench -> circuit
+// produces byte-identical bench text the second time.
+func TestRoundTripFixedPoint(t *testing.T) {
+	c := gen.RandomDAG("r", 6, 40, 4, 99)
+	var b1 bytes.Buffer
+	if err := Write(&b1, c); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Parse(bytes.NewReader(b1.Bytes()), "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b2 bytes.Buffer
+	if err := Write(&b2, c2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("bench text not a fixed point of the round trip")
+	}
+}

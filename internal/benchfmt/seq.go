@@ -1,0 +1,155 @@
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+// FF records one flip-flop cut during sequential parsing: the register
+// output Q became a pseudo primary input, and the register input D a
+// pseudo primary output of the combinational core.
+type FF struct {
+	Q string // register output net (now a PI of the core)
+	D string // register input net (now a PO of the core)
+}
+
+// SeqInfo describes how a sequential netlist was cut.
+type SeqInfo struct {
+	FFs []FF
+	// RealInputs / RealOutputs count the original (non-register) PIs and
+	// POs; the pseudo ones are appended after them in the core's port
+	// lists.
+	RealInputs, RealOutputs int
+}
+
+// ParseSeq reads an ISCAS-89-style .bench netlist that may contain DFF
+// elements and returns the combinational core with registers cut: every
+// `Q = DFF(D)` contributes a pseudo primary input Q and a pseudo primary
+// output D. Timing analysis of the core then measures the
+// register-to-register paths, which is exactly what a sequential sizing
+// flow optimizes (the paper restricts its discussion to combinational
+// circuits; this is the standard reduction).
+func ParseSeq(r io.Reader, name string) (*circuit.Circuit, *SeqInfo, error) {
+	c := circuit.New(name)
+	info := &SeqInfo{}
+	type pending struct {
+		gate   string
+		fanins []string
+		line   int
+	}
+	var defs []pending
+	var outputs []string
+	var ffInputs []string // D nets, marked as pseudo-POs after linking
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		upper := strings.ToUpper(line)
+		switch {
+		case strings.HasPrefix(upper, "INPUT(") && strings.HasSuffix(line, ")"):
+			n := strings.TrimSpace(line[len("INPUT(") : len(line)-1])
+			if _, err := c.AddGate(n, circuit.Input); err != nil {
+				return nil, nil, fmt.Errorf("benchfmt:%d: %v", lineNo, err)
+			}
+			info.RealInputs++
+		case strings.HasPrefix(upper, "OUTPUT(") && strings.HasSuffix(line, ")"):
+			outputs = append(outputs, strings.TrimSpace(line[len("OUTPUT("):len(line)-1]))
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, nil, fmt.Errorf("benchfmt:%d: unrecognized line %q", lineNo, line)
+			}
+			lhs := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			open := strings.Index(rhs, "(")
+			if open < 0 || !strings.HasSuffix(rhs, ")") {
+				return nil, nil, fmt.Errorf("benchfmt:%d: malformed gate definition %q", lineNo, line)
+			}
+			fnName := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+			rawFanins := strings.Split(rhs[open+1:len(rhs)-1], ",")
+			var fanins []string
+			for _, f := range rawFanins {
+				f = strings.TrimSpace(f)
+				if f != "" {
+					fanins = append(fanins, f)
+				}
+			}
+			if fnName == "DFF" {
+				if len(fanins) != 1 {
+					return nil, nil, fmt.Errorf("benchfmt:%d: DFF takes one input, got %d", lineNo, len(fanins))
+				}
+				// Cut: Q becomes a pseudo-PI, D a pseudo-PO.
+				if _, err := c.AddGate(lhs, circuit.Input); err != nil {
+					return nil, nil, fmt.Errorf("benchfmt:%d: %v", lineNo, err)
+				}
+				info.FFs = append(info.FFs, FF{Q: lhs, D: fanins[0]})
+				ffInputs = append(ffInputs, fanins[0])
+				continue
+			}
+			fn, ok := fnByBenchName[fnName]
+			if !ok {
+				return nil, nil, fmt.Errorf("benchfmt:%d: unknown function %q", lineNo, fnName)
+			}
+			if len(fanins) == 0 {
+				return nil, nil, fmt.Errorf("benchfmt:%d: gate %q has no fanins", lineNo, lhs)
+			}
+			if _, err := c.AddGate(lhs, fn); err != nil {
+				return nil, nil, fmt.Errorf("benchfmt:%d: %v", lineNo, err)
+			}
+			defs = append(defs, pending{gate: lhs, fanins: fanins, line: lineNo})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("benchfmt: read: %v", err)
+	}
+	for _, d := range defs {
+		dst := c.MustLookup(d.gate)
+		for _, f := range d.fanins {
+			src, ok := c.Lookup(f)
+			if !ok {
+				return nil, nil, fmt.Errorf("benchfmt:%d: gate %q references undefined net %q", d.line, d.gate, f)
+			}
+			if err := c.Connect(src, dst); err != nil {
+				return nil, nil, fmt.Errorf("benchfmt:%d: %v", d.line, err)
+			}
+		}
+	}
+	info.RealOutputs = len(outputs)
+	markPO := func(netName string) error {
+		id, ok := c.Lookup(netName)
+		if !ok {
+			return fmt.Errorf("benchfmt: net %q referenced as output is undefined", netName)
+		}
+		return c.MarkOutput(id)
+	}
+	for _, o := range outputs {
+		if err := markPO(o); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, d := range ffInputs {
+		// A D net may also be a real PO or feed several FFs; MarkOutput
+		// rejects duplicates, which we tolerate here.
+		if id, ok := c.Lookup(d); ok {
+			if err := c.MarkOutput(id); err == nil {
+				_ = id
+			}
+			continue
+		}
+		return nil, nil, fmt.Errorf("benchfmt: DFF input %q is undefined", d)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return c, info, nil
+}

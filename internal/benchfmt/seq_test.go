@@ -1,0 +1,100 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+// s27-like: a small ISCAS-89 style sequential netlist.
+const seqSrc = `# tiny sequential circuit
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+q1 = DFF(d1)
+q2 = DFF(d2)
+d1 = NAND(a, q2)
+d2 = NOR(b, q1)
+y = XOR(q1, q2)
+`
+
+func TestParseSeqCutsRegisters(t *testing.T) {
+	c, info, err := ParseSeq(strings.NewReader(seqSrc), "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.FFs) != 2 {
+		t.Fatalf("FFs = %d, want 2", len(info.FFs))
+	}
+	if info.RealInputs != 2 || info.RealOutputs != 1 {
+		t.Fatalf("real ports = %d/%d", info.RealInputs, info.RealOutputs)
+	}
+	// Core PIs: a, b + q1, q2 (pseudo).
+	if got := len(c.Inputs()); got != 4 {
+		t.Fatalf("core inputs = %d, want 4", got)
+	}
+	// Core POs: y + d1, d2 (pseudo).
+	if got := len(c.Outputs); got != 3 {
+		t.Fatalf("core outputs = %d, want 3", got)
+	}
+	// Pseudo-PIs are Input gates; the cut broke the q1 <-> q2 cycle.
+	if c.Gate(c.MustLookup("q1")).Fn != circuit.Input {
+		t.Error("q1 not a pseudo input")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.TopoOrder(); err != nil {
+		t.Fatalf("core not acyclic: %v", err)
+	}
+}
+
+func TestParseSeqSharedDNet(t *testing.T) {
+	// A net that is both a real PO and a DFF input must be marked once.
+	src := `INPUT(a)
+OUTPUT(x)
+q = DFF(x)
+x = NOT(a)
+`
+	c, info, err := ParseSeq(strings.NewReader(src), "share")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Outputs) != 1 {
+		t.Fatalf("outputs = %d, want 1 (deduplicated)", len(c.Outputs))
+	}
+	if len(info.FFs) != 1 {
+		t.Fatal("FF lost")
+	}
+}
+
+func TestParseSeqErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"dff arity", "INPUT(a)\nq = DFF(a, a)\n"},
+		{"dangling D", "INPUT(a)\nq = DFF(zz)\n"},
+		{"unknown fn", "INPUT(a)\nx = FROB(a)\n"},
+	}
+	for _, tc := range cases {
+		if _, _, err := ParseSeq(strings.NewReader(tc.src), tc.name); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestParseSeqPureCombinationalMatchesParse(t *testing.T) {
+	c1, err := Parse(strings.NewReader(c17), "c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, info, err := ParseSeq(strings.NewReader(c17), "c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.FFs) != 0 {
+		t.Fatal("phantom FFs")
+	}
+	if c1.NumLogicGates() != c2.NumLogicGates() || len(c1.Outputs) != len(c2.Outputs) {
+		t.Fatal("combinational parse diverges from Parse")
+	}
+}

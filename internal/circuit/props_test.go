@@ -1,0 +1,157 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Clone is a deep structural copy: every field matches and no storage is
+// shared.
+func TestClonePropertyDeepEqual(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomDAG(rng, 40)
+		cp := c.Clone()
+		if cp.NumGates() != c.NumGates() || len(cp.Outputs) != len(c.Outputs) {
+			return false
+		}
+		for i := range c.Gates {
+			a, b := &c.Gates[i], &cp.Gates[i]
+			if a.Name != b.Name || a.Fn != b.Fn || len(a.Fanin) != len(b.Fanin) ||
+				len(a.Fanout) != len(b.Fanout) || a.SizeIdx != b.SizeIdx {
+				return false
+			}
+			for j := range a.Fanin {
+				if a.Fanin[j] != b.Fanin[j] {
+					return false
+				}
+			}
+		}
+		// Mutating the clone leaves the original untouched.
+		if len(cp.Gates) > 0 && len(cp.Gates[0].Fanout) > 0 {
+			cp.Gates[0].Fanout[0] = None
+			if c.Gates[0].Fanout[0] == None {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TopoOrder is deterministic: repeated calls after cache invalidation
+// return the same order.
+func TestTopoOrderDeterministic(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomDAG(rng, 60)
+		t1 := append([]GateID(nil), c.MustTopoOrder()...)
+		// Invalidate the cache via a harmless mutation + identical rebuild.
+		c.dirty()
+		t2 := c.MustTopoOrder()
+		if len(t1) != len(t2) {
+			return false
+		}
+		for i := range t1 {
+			if t1[i] != t2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Depth equals the longest path length measured by explicit DFS.
+func TestDepthMatchesDFS(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomDAG(rng, 50)
+		var depth func(GateID) int
+		memo := make(map[GateID]int)
+		depth = func(id GateID) int {
+			if v, ok := memo[id]; ok {
+				return v
+			}
+			g := c.Gate(id)
+			if !g.Fn.IsLogic() {
+				return 0
+			}
+			best := 0
+			for _, f := range g.Fanin {
+				if d := depth(f); d > best {
+					best = d
+				}
+			}
+			memo[id] = best + 1
+			return best + 1
+		}
+		want := 0
+		for i := range c.Gates {
+			if d := depth(GateID(i)); d > want {
+				want = d
+			}
+		}
+		return c.Depth() == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TransitiveFanin and TransitiveFanout are adjoint: g is in TFI(h) iff h
+// is in TFO(g).
+func TestConeAdjointness(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomDAG(rng, 50)
+		g := GateID(rng.Intn(c.NumGates()))
+		h := GateID(rng.Intn(c.NumGates()))
+		in := func(list []GateID, id GateID) bool {
+			for _, x := range list {
+				if x == id {
+					return true
+				}
+			}
+			return false
+		}
+		tfiH := c.TransitiveFanin([]GateID{h}, -1)
+		tfoG := c.TransitiveFanout([]GateID{g}, -1)
+		return in(tfiH, g) == in(tfoG, h)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// SizeSnapshot/RestoreSizes round-trips any assignment.
+func TestSizeSnapshotRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomDAG(rng, 30)
+		want := make([]int, c.NumGates())
+		for i := range c.Gates {
+			c.Gates[i].SizeIdx = rng.Intn(8)
+			want[i] = c.Gates[i].SizeIdx
+		}
+		snap := c.SizeSnapshot()
+		for i := range c.Gates {
+			c.Gates[i].SizeIdx = 0
+		}
+		c.RestoreSizes(snap)
+		for i := range c.Gates {
+			if c.Gates[i].SizeIdx != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ssta"
+	"repro/internal/synth"
+	"repro/internal/variation"
+)
+
+// ConstrainedResult reports a MinimizeSigmaUnderDelay run.
+type ConstrainedResult struct {
+	// Met reports whether the final design satisfies Mean <= MaxMean.
+	Met bool
+	// LambdaUsed is the largest weight whose result still met the bound.
+	LambdaUsed float64
+	Final      Snapshot
+	Initial    Snapshot
+}
+
+// MinimizeSigmaUnderDelay sizes the design to minimize the delay standard
+// deviation subject to a statistical-mean budget — the paper's
+// "constrained mode" (section 2.1: optimize first, then respect the
+// constraint). It ratchets the sigma weight up a ladder, keeping the
+// lowest-sigma sizing whose mean stays within maxMean; each rung
+// continues from the previous one (the same continuation the Table 1
+// protocol uses). If even lambda = 0 violates the budget, the
+// least-violating sizing is kept and Met is false.
+func MinimizeSigmaUnderDelay(d *synth.Design, vm *variation.Model, maxMean float64, opts Options) (*ConstrainedResult, error) {
+	if maxMean <= 0 {
+		return nil, fmt.Errorf("core: non-positive mean budget %g", maxMean)
+	}
+	ladder := []float64{0, 1, 3, 6, 9, 15}
+	full := ssta.Analyze(d, vm, ssta.Options{Points: opts.PDFPoints})
+	res := &ConstrainedResult{
+		Initial:    snapshot(d, full, 0),
+		LambdaUsed: -1,
+	}
+	bestSizes := d.Circuit.SizeSnapshot()
+	bestSigma := res.Initial.Sigma
+	bestMean := res.Initial.Mean
+	res.Met = bestMean <= maxMean
+	res.Final = res.Initial
+
+	for _, lambda := range ladder {
+		o := opts
+		o.Lambda = lambda
+		if _, err := StatisticalGreedy(d, vm, o); err != nil {
+			return nil, err
+		}
+		f := ssta.Analyze(d, vm, ssta.Options{Points: opts.PDFPoints})
+		mean, sigma := f.Mean, f.Sigma
+		improves := false
+		switch {
+		case mean <= maxMean && (!res.Met || sigma < bestSigma):
+			// First feasible sizing, or a feasible one with lower sigma.
+			improves = true
+			res.Met = true
+		case !res.Met && mean < bestMean:
+			// Still infeasible everywhere: prefer the least violation.
+			improves = true
+		}
+		if improves {
+			bestSizes = d.Circuit.SizeSnapshot()
+			bestSigma, bestMean = sigma, mean
+			res.LambdaUsed = lambda
+			res.Final = snapshot(d, f, lambda)
+		}
+	}
+	d.Circuit.RestoreSizes(bestSizes)
+	return res, nil
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gen"
+	"repro/internal/ssta"
+)
+
+func mustISCAS(t *testing.T, name string) *circuit.Circuit {
+	t.Helper()
+	c, err := gen.ISCASLike(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConstrainedRejectsBadBudget(t *testing.T) {
+	d, vm := setup(t, gen.ParityTree("p", 4))
+	if _, err := MinimizeSigmaUnderDelay(d, vm, 0, Options{}); err == nil {
+		t.Fatal("budget 0 accepted")
+	}
+}
+
+func TestConstrainedMeetsGenerousBudget(t *testing.T) {
+	d, vm := original(t, mustISCAS(t, "alu2"))
+	f0 := ssta.Analyze(d, vm, ssta.Options{})
+	budget := f0.Mean * 1.10
+	r, err := MinimizeSigmaUnderDelay(d, vm, budget, Options{MaxIters: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Met {
+		t.Fatalf("generous budget not met: %+v", r)
+	}
+	if r.Final.Mean > budget+1e-6 {
+		t.Fatalf("final mean %g exceeds budget %g", r.Final.Mean, budget)
+	}
+	if r.Final.Sigma >= r.Initial.Sigma {
+		t.Fatalf("sigma not reduced under budget: %g -> %g", r.Initial.Sigma, r.Final.Sigma)
+	}
+	// The design in memory must match the reported final state.
+	f := ssta.Analyze(d, vm, ssta.Options{})
+	if f.Mean > budget+1e-6 {
+		t.Fatalf("restored design violates budget: %g", f.Mean)
+	}
+}
+
+func TestConstrainedImpossibleBudget(t *testing.T) {
+	d, vm := original(t, mustISCAS(t, "alu2"))
+	f0 := ssta.Analyze(d, vm, ssta.Options{})
+	r, err := MinimizeSigmaUnderDelay(d, vm, f0.Mean*0.01, Options{MaxIters: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Met {
+		t.Fatal("impossible budget reported as met")
+	}
+	// The kept design is the least violating one seen.
+	if r.Final.Mean > r.Initial.Mean+1e-6 {
+		t.Fatalf("least-violation tracking failed: %g > %g", r.Final.Mean, r.Initial.Mean)
+	}
+}
+
+func TestConstrainedTighterBudgetNoBetterSigma(t *testing.T) {
+	mk := func(frac float64) float64 {
+		d, vm := original(t, mustISCAS(t, "c432"))
+		f0 := ssta.Analyze(d, vm, ssta.Options{})
+		r, err := MinimizeSigmaUnderDelay(d, vm, f0.Mean*frac, Options{MaxIters: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Final.Sigma
+	}
+	loose := mk(1.15)
+	tight := mk(1.005)
+	if loose > tight*1.10 {
+		t.Fatalf("loose budget (sigma %g) worse than tight (%g)", loose, tight)
+	}
+}

@@ -1,0 +1,531 @@
+// Package core implements the paper's primary contribution: the
+// StatisticalGreedy gate-sizing optimizer (Fig. 2) that reduces the
+// variance of a circuit's delay, plus the deterministic mean-delay greedy
+// baseline that produces the "Original" designs of Table 1, and an area
+// recovery pass.
+//
+// StatisticalGreedy runs two nested statistical engines, exactly as the
+// paper prescribes: the slow accurate FULLSSTA in the outer loop (tracks
+// the statistical state of the whole circuit and the WNSS path) and the
+// fast FASSTA in the inner loop (scores every candidate size of every
+// gate on the WNSS path over a small extracted subcircuit).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/cells"
+	"repro/internal/circuit"
+
+	"repro/internal/fassta"
+	"repro/internal/ssta"
+	"repro/internal/sta"
+	"repro/internal/synth"
+	"repro/internal/variation"
+	"repro/internal/wnss"
+)
+
+// Options tunes the optimizers. The zero value requests the paper's
+// defaults.
+type Options struct {
+	// Lambda is the weight of sigma in the cost mu + lambda*sigma
+	// (paper eq. 7). The paper evaluates 3 and 9.
+	Lambda float64
+	// MaxIters caps the outer loop; 0 means 100.
+	MaxIters int
+	// SubcktDepth is the extraction radius; 0 means 2 (paper).
+	SubcktDepth int
+	// PDFPoints is FULLSSTA's sampling rate; 0 means 12.
+	PDFPoints int
+	// Patience is how many consecutive non-improving outer iterations to
+	// tolerate before stopping; 0 means 8 (the cost trajectory is not
+	// monotone: a bad batch is often recovered two or three iterations
+	// later, and the best-seen sizing is restored at the end anyway).
+	Patience int
+	// TargetCost, when positive, stops the optimizer as soon as the
+	// circuit cost drops to it (constrained mode).
+	TargetCost float64
+	// MinGain is the minimum subcircuit-cost improvement (in ps) for a
+	// resize to be scheduled; 0 means 1e-6.
+	MinGain float64
+	// TopKPaths is how many of the statistically worst outputs have their
+	// WNSS paths optimized per iteration; 0 means 16. The circuit variance
+	// is a max over all outputs, so several near-critical outputs
+	// contribute (the paper discusses exactly this multi-output effect);
+	// optimizing only the single worst path strands the others at high
+	// variance.
+	TopKPaths int
+	// MaxStep bounds how many size indices a gate may move per outer
+	// iteration; 0 means 1 (one notch per iteration, re-analyzed
+	// globally in between). Negative scans all sizes in one shot, the
+	// literal paper inner loop, which is prone to batch overshoot.
+	MaxStep int
+	// ConeMove additionally tries, each iteration, a uniform one-notch
+	// bump of the whole fanin cone of the worst outputs. It is an
+	// aggressive extension beyond the paper's path-local moves; off by
+	// default, exercised by the ablation benches.
+	ConeMove bool
+}
+
+func (o Options) maxIters() int {
+	if o.MaxIters <= 0 {
+		return 100
+	}
+	return o.MaxIters
+}
+
+func (o Options) patience() int {
+	if o.Patience <= 0 {
+		return 8
+	}
+	return o.Patience
+}
+
+func (o Options) minGain() float64 {
+	if o.MinGain <= 0 {
+		return 1e-6
+	}
+	return o.MinGain
+}
+
+func (o Options) topK() int {
+	if o.TopKPaths <= 0 {
+		return 16
+	}
+	return o.TopKPaths
+}
+
+func (o Options) maxStep() int {
+	if o.MaxStep == 0 {
+		return 1
+	}
+	if o.MaxStep < 0 {
+		return 0 // unlimited
+	}
+	return o.MaxStep
+}
+
+// Snapshot captures the statistical state of a design at one point.
+type Snapshot struct {
+	Mean  float64 // circuit delay mean, ps
+	Sigma float64 // circuit delay std deviation, ps
+	Cost  float64 // max over POs of mean + lambda*sigma
+	Area  float64 // total cell area, um^2
+}
+
+// IterStats records one outer iteration for analysis and plotting.
+type IterStats struct {
+	Iter    int
+	Cost    float64
+	Mean    float64
+	Sigma   float64
+	Area    float64
+	PathLen int    // WNSS (or WNS) path length examined
+	Resized int    // gates actually rescheduled this iteration
+	Move    string // which move was kept: "per-gate", "path-bump", "cone-bump"
+}
+
+// Result reports an optimization run.
+type Result struct {
+	Initial    Snapshot
+	Final      Snapshot
+	History    []IterStats
+	Iterations int
+	Runtime    time.Duration
+	// StoppedBy explains termination: "converged", "target", "max-iters".
+	StoppedBy string
+}
+
+func snapshot(d *synth.Design, full *ssta.Result, lambda float64) Snapshot {
+	return Snapshot{
+		Mean:  full.Mean,
+		Sigma: full.Sigma,
+		Cost:  full.Cost(d, lambda),
+		Area:  d.Area(),
+	}
+}
+
+// StatisticalGreedy sizes the design in place to minimize
+// max_i(mean_i + lambda*sigma_i) over the primary outputs. It follows the
+// paper's pseudo-code: trace the WNSS path with the accurate engine,
+// evaluate candidate sizes for each path gate with the fast engine,
+// schedule the winners, resize in a batch, repeat until constraints are
+// met or no further improvement can be made. The best-seen sizing is kept.
+func StatisticalGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Result, error) {
+	start := time.Now()
+	res := &Result{StoppedBy: "max-iters"}
+	ex := fassta.NewExtractor(d)
+
+	full := ssta.Analyze(d, vm, ssta.Options{Points: opts.PDFPoints})
+	res.Initial = snapshot(d, full, opts.Lambda)
+	best := res.Initial
+	bestSizes := d.Circuit.SizeSnapshot()
+	bad := 0
+
+	for iter := 0; iter < opts.maxIters(); iter++ {
+		res.Iterations = iter + 1
+		cur := snapshot(d, full, opts.Lambda)
+		// Lexicographic best: lower cost wins; at (numerically) equal
+		// cost prefer the lower sigma, so cost-neutral mean/sigma trades
+		// can never leave the final design with a worse sigma than an
+		// earlier iterate.
+		if cur.Cost < best.Cost-1e-9 || (cur.Cost < best.Cost+1e-9 && cur.Sigma < best.Sigma) {
+			best = cur
+			bestSizes = d.Circuit.SizeSnapshot()
+			bad = 0
+		} else if iter > 0 {
+			bad++
+			if bad >= opts.patience() {
+				res.StoppedBy = "converged"
+				break
+			}
+		}
+		if opts.TargetCost > 0 && cur.Cost <= opts.TargetCost {
+			res.StoppedBy = "target"
+			break
+		}
+
+		path := wnss.TraceTopK(d, full, vm, opts.Lambda, opts.topK())
+		if len(path) == 0 {
+			res.StoppedBy = "converged"
+			break
+		}
+
+		// Move A (the paper's inner loop): greedy per-gate resizing along
+		// the WNSS paths, each gate scored on its extracted subcircuit.
+		startSizes := d.Circuit.SizeSnapshot()
+		resized := 0
+		bestSingleGain := 0.0
+		bestSingleGate, bestSingleSize := circuit.None, 0
+		for _, g := range path {
+			s := ex.Extract(full, vm, g, opts.SubcktDepth)
+			bestSize, bestCost, curCost := s.BestSize(opts.Lambda, opts.maxStep())
+			if bestSize != d.Circuit.Gate(g).SizeIdx && bestCost < curCost-opts.minGain() {
+				if gain := curCost - bestCost; gain > bestSingleGain {
+					bestSingleGain = gain
+					bestSingleGate, bestSingleSize = g, bestSize
+				}
+				d.Circuit.Gate(g).SizeIdx = bestSize
+				resized++
+			}
+		}
+		fullA := ssta.Analyze(d, vm, ssta.Options{Points: opts.PDFPoints})
+		costA := fullA.Cost(d, opts.Lambda)
+		sizesA := d.Circuit.SizeSnapshot()
+
+		// Move B: a coordinated escape — one notch up on every path gate
+		// simultaneously. Single-gate moves can be individually rejected
+		// because each one slows its (still small) drivers, even though
+		// upsizing the whole path together is strictly better (internal
+		// R*C is size-invariant, and lower sigma also lowers the
+		// statistical mean of the max). Trying the uniform move and
+		// keeping whichever of A/B wins globally escapes that
+		// coordination trap while staying greedy.
+		d.Circuit.RestoreSizes(startSizes)
+		bumped := 0
+		for _, g := range path {
+			gate := d.Circuit.Gate(g)
+			if gate.SizeIdx+1 < d.Lib.NumSizes(cells.Kind(gate.CellRef)) {
+				gate.SizeIdx++
+				bumped++
+			}
+		}
+		costB := math.Inf(1)
+		var fullB *ssta.Result
+		var sizesB []int
+		if bumped > 0 {
+			fullB = ssta.Analyze(d, vm, ssta.Options{Points: opts.PDFPoints})
+			costB = fullB.Cost(d, opts.Lambda)
+			sizesB = d.Circuit.SizeSnapshot()
+		}
+
+		// Move C: the coarsest escape — one notch up on every gate in the
+		// transitive fanin cone of the worst outputs. Circuits with many
+		// parallel near-critical paths (e.g. a 27-channel priority
+		// encoder) would need one iteration per path under moves A/B;
+		// the cone move lifts them together.
+		coneBumped := 0
+		costC := math.Inf(1)
+		var fullC *ssta.Result
+		if opts.ConeMove {
+			d.Circuit.RestoreSizes(startSizes)
+			cone := d.Circuit.TransitiveFanin(worstOutputs(d, full, opts.Lambda, opts.topK()), -1)
+			for _, g := range cone {
+				gate := d.Circuit.Gate(g)
+				if !gate.Fn.IsLogic() {
+					continue
+				}
+				if gate.SizeIdx+1 < d.Lib.NumSizes(cells.Kind(gate.CellRef)) {
+					gate.SizeIdx++
+					coneBumped++
+				}
+			}
+			if coneBumped > 0 {
+				fullC = ssta.Analyze(d, vm, ssta.Options{Points: opts.PDFPoints})
+				costC = fullC.Cost(d, opts.Lambda)
+			}
+		} else {
+			d.Circuit.RestoreSizes(startSizes)
+		}
+
+		move := "per-gate"
+		switch {
+		case coneBumped > 0 && costC < costA && costC < costB:
+			full = fullC
+			resized = coneBumped
+			move = "cone-bump"
+		case bumped > 0 && costB < costA:
+			d.Circuit.RestoreSizes(sizesB)
+			full = fullB
+			resized = bumped
+			move = "path-bump"
+		default:
+			d.Circuit.RestoreSizes(sizesA)
+			full = fullA
+		}
+		// Move D, the verified single-step fallback: when every batch move
+		// made the global cost worse, a whole first batch has overshot.
+		// Retry with only the single most promising gate move; if even
+		// that fails globally, the iteration counts as non-improving and
+		// patience handles termination.
+		if full.Cost(d, opts.Lambda) >= cur.Cost && bestSingleGate != circuit.None {
+			d.Circuit.RestoreSizes(startSizes)
+			d.Circuit.Gate(bestSingleGate).SizeIdx = bestSingleSize
+			fullD := ssta.Analyze(d, vm, ssta.Options{Points: opts.PDFPoints})
+			if fullD.Cost(d, opts.Lambda) < cur.Cost {
+				full = fullD
+				resized = 1
+				move = "single"
+			} else {
+				// Keep the batch result anyway; best-restore protects us.
+				d.Circuit.RestoreSizes(sizesA)
+				full = fullA
+			}
+		}
+		res.History = append(res.History, IterStats{
+			Iter: iter, Cost: cur.Cost, Mean: cur.Mean, Sigma: cur.Sigma,
+			Area: cur.Area, PathLen: len(path), Resized: resized, Move: move,
+		})
+		if resized == 0 {
+			res.StoppedBy = "converged"
+			break
+		}
+	}
+
+	// Keep the best sizing seen.
+	final := snapshot(d, ssta.Analyze(d, vm, ssta.Options{Points: opts.PDFPoints}), opts.Lambda)
+	if best.Cost < final.Cost {
+		d.Circuit.RestoreSizes(bestSizes)
+		final = best
+	}
+	res.Final = final
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+// worstOutputs returns the POs among the top-k by mean + lambda*sigma.
+func worstOutputs(d *synth.Design, full *ssta.Result, lambda float64, k int) []circuit.GateID {
+	outs := append([]circuit.GateID(nil), d.Circuit.Outputs...)
+	sort.Slice(outs, func(i, j int) bool {
+		mi, mj := full.Node[outs[i]], full.Node[outs[j]]
+		return mi.Mean+lambda*mi.Sigma() > mj.Mean+lambda*mj.Sigma()
+	})
+	if k < len(outs) {
+		outs = outs[:k]
+	}
+	return outs
+}
+
+// MeanDelayGreedy is the deterministic baseline: greedy WNS-path sizing
+// that minimizes the nominal circuit delay. Running it on a freshly
+// mapped (minimum-size) design produces the paper's "Original" designs —
+// mean-optimal, with the widest performance spread.
+func MeanDelayGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Result, error) {
+	start := time.Now()
+	res := &Result{StoppedBy: "max-iters"}
+	ex := fassta.NewExtractor(d)
+
+	analyze := func() *ssta.Result { return &ssta.Result{STA: sta.Analyze(d)} }
+	nominal := analyze()
+	res.Initial = Snapshot{Mean: nominal.STA.MaxArrival, Cost: nominal.STA.MaxArrival, Area: d.Area()}
+	best := res.Initial
+	bestSizes := d.Circuit.SizeSnapshot()
+	bad := 0
+
+	for iter := 0; iter < opts.maxIters(); iter++ {
+		res.Iterations = iter + 1
+		cur := Snapshot{Mean: nominal.STA.MaxArrival, Cost: nominal.STA.MaxArrival, Area: d.Area()}
+		if cur.Cost < best.Cost {
+			best = cur
+			bestSizes = d.Circuit.SizeSnapshot()
+			bad = 0
+		} else if iter > 0 {
+			bad++
+			if bad >= opts.patience() {
+				res.StoppedBy = "converged"
+				break
+			}
+		}
+		if opts.TargetCost > 0 && cur.Cost <= opts.TargetCost {
+			res.StoppedBy = "target"
+			break
+		}
+
+		path := nominal.STA.CriticalPath(d)
+		if len(path) == 0 {
+			res.StoppedBy = "converged"
+			break
+		}
+		// Move A: greedy per-gate resizing along the WNS path.
+		startSizes := d.Circuit.SizeSnapshot()
+		resized := 0
+		for _, g := range path {
+			s := ex.Extract(nominal, vm, g, opts.SubcktDepth)
+			bestSize, bestCost, curCost := s.BestSizeDeterministic(opts.maxStep())
+			if bestSize != d.Circuit.Gate(g).SizeIdx && bestCost < curCost-opts.minGain() {
+				d.Circuit.Gate(g).SizeIdx = bestSize
+				resized++
+			}
+		}
+		fullA := analyze()
+		costA := fullA.STA.MaxArrival
+		sizesA := d.Circuit.SizeSnapshot()
+
+		// Move B: uniform one-notch bump of the whole path (same
+		// coordination escape as the statistical optimizer).
+		d.Circuit.RestoreSizes(startSizes)
+		bumped := 0
+		for _, g := range path {
+			gate := d.Circuit.Gate(g)
+			if gate.SizeIdx+1 < d.Lib.NumSizes(cells.Kind(gate.CellRef)) {
+				gate.SizeIdx++
+				bumped++
+			}
+		}
+		move := "per-gate"
+		if bumped > 0 {
+			fullB := analyze()
+			if fullB.STA.MaxArrival < costA {
+				nominal = fullB
+				resized = bumped
+				move = "path-bump"
+			}
+		}
+		if move == "per-gate" {
+			d.Circuit.RestoreSizes(sizesA)
+			nominal = fullA
+		}
+		res.History = append(res.History, IterStats{
+			Iter: iter, Cost: cur.Cost, Mean: cur.Mean, Area: cur.Area,
+			PathLen: len(path), Resized: resized, Move: move,
+		})
+		if resized == 0 {
+			res.StoppedBy = "converged"
+			break
+		}
+	}
+
+	finalSTA := sta.Analyze(d)
+	final := Snapshot{Mean: finalSTA.MaxArrival, Cost: finalSTA.MaxArrival, Area: d.Area()}
+	if best.Cost < final.Cost {
+		d.Circuit.RestoreSizes(bestSizes)
+		final = best
+	}
+	res.Final = final
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+// RecoverArea downsizes gates whose size does not pay for itself,
+// in globally verified batches: a gate is shrunk one step when its
+// subcircuit cost increases by no more than a small local slack, and a
+// whole batch is kept only if the verified global cost stays within
+// slackFrac of the cost at entry (otherwise the local slack is halved
+// and the batch retried). Gates are visited in reverse topological order
+// so output-side fat is trimmed first. Returns the area saved (um^2).
+func RecoverArea(d *synth.Design, vm *variation.Model, opts Options, slackFrac float64) (float64, error) {
+	if slackFrac < 0 {
+		return 0, fmt.Errorf("core: negative slack fraction %g", slackFrac)
+	}
+	ex := fassta.NewExtractor(d)
+	full := ssta.Analyze(d, vm, ssta.Options{Points: opts.PDFPoints})
+	entryCost := full.Cost(d, opts.Lambda)
+	budget := entryCost * (1 + slackFrac)
+	area0 := d.Area()
+	localSlack := entryCost * slackFrac / 4
+	if localSlack <= 0 {
+		localSlack = 1e-9
+	}
+
+	topo := d.Circuit.MustTopoOrder()
+	for pass := 0; pass < 40; pass++ {
+		before := d.Circuit.SizeSnapshot()
+		changed := 0
+		for i := len(topo) - 1; i >= 0; i-- {
+			g := d.Circuit.Gate(topo[i])
+			if !g.Fn.IsLogic() || g.SizeIdx == 0 {
+				continue
+			}
+			s := ex.Extract(full, vm, g.ID, opts.SubcktDepth)
+			curCost := s.Cost(g.SizeIdx, opts.Lambda)
+			if s.Cost(g.SizeIdx-1, opts.Lambda) <= curCost+localSlack {
+				g.SizeIdx--
+				changed++
+			}
+		}
+		if changed == 0 {
+			break
+		}
+		newFull := ssta.Analyze(d, vm, ssta.Options{Points: opts.PDFPoints})
+		if newFull.Cost(d, opts.Lambda) > budget {
+			// Batch overshot the global budget: roll back and retry more
+			// conservatively.
+			d.Circuit.RestoreSizes(before)
+			localSlack /= 2
+			if localSlack < 1e-6 {
+				break
+			}
+			continue
+		}
+		full = newFull
+	}
+	return area0 - d.Area(), nil
+}
+
+// Describe formats a one-line summary of a run for logs and CLIs.
+func (r *Result) Describe() string {
+	dMean := pct(r.Final.Mean, r.Initial.Mean)
+	dSigma := pct(r.Final.Sigma, r.Initial.Sigma)
+	dArea := pct(r.Final.Area, r.Initial.Area)
+	return fmt.Sprintf("iters=%d mean %+.1f%% sigma %+.1f%% area %+.1f%% (%s, %v)",
+		r.Iterations, dMean, dSigma, dArea, r.StoppedBy, r.Runtime.Round(time.Millisecond))
+}
+
+func pct(after, before float64) float64 {
+	if before == 0 {
+		return 0
+	}
+	return 100 * (after - before) / before
+}
+
+// SizeHistogram returns how many logic gates sit at each size index,
+// useful for inspecting what the optimizer did.
+func SizeHistogram(d *synth.Design) []int {
+	max := 0
+	for _, k := range d.Lib.Kinds() {
+		if n := d.Lib.NumSizes(k); n > max {
+			max = n
+		}
+	}
+	h := make([]int, max)
+	for i := range d.Circuit.Gates {
+		g := &d.Circuit.Gates[i]
+		if g.Fn.IsLogic() && g.CellRef >= 0 {
+			h[g.SizeIdx]++
+		}
+	}
+	return h
+}

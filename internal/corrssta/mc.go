@@ -1,0 +1,111 @@
+package corrssta
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/sta"
+	"repro/internal/synth"
+	"repro/internal/variation"
+)
+
+// MCResult is an empirical distribution from the correlated sampler.
+type MCResult struct {
+	Samples []float64
+	Mean    float64
+	Sigma   float64
+}
+
+// MonteCarlo is the golden reference for the correlated model: each trial
+// draws one value per shared spatial factor plus an independent residual
+// per gate, builds every gate delay from its canonical decomposition, and
+// propagates longest-path arrivals.
+func MonteCarlo(d *synth.Design, vm *variation.Model, opts Options, n int, seed int64) (*MCResult, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("corrssta: need a positive sample count, got %d", n)
+	}
+	c := d.Circuit
+	nominal := sta.Analyze(d)
+	place := LevelizedPlacement(c)
+	topo := c.MustTopoOrder()
+	nf := opts.NumFactors()
+	share := opts.share()
+	perLevel := share / float64(opts.quadLevels())
+
+	type gateVar struct {
+		mean    float64
+		resid   float64
+		sigPer  float64
+		factors []int
+	}
+	gates := make([]gateVar, c.NumGates())
+	for _, id := range topo {
+		g := c.Gate(id)
+		if g.Fn == circuit.Input {
+			continue
+		}
+		mean := nominal.Delay[id]
+		sigma := vm.Sigma(d.Cell(id), mean)
+		gates[id] = gateVar{
+			mean:    mean,
+			resid:   sigma * math.Sqrt(1-share),
+			sigPer:  sigma * math.Sqrt(perLevel),
+			factors: opts.factorsAt(place.X[id], place.Y[id]),
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	factors := make([]float64, nf)
+	arrival := make([]float64, c.NumGates())
+	samples := make([]float64, n)
+	var sum, sumsq float64
+	for trial := 0; trial < n; trial++ {
+		for j := range factors {
+			factors[j] = rng.NormFloat64()
+		}
+		for _, id := range topo {
+			g := c.Gate(id)
+			if g.Fn == circuit.Input {
+				arrival[id] = nominal.Arrival[id]
+				continue
+			}
+			worst := 0.0
+			for _, f := range g.Fanin {
+				if arrival[f] > worst {
+					worst = arrival[f]
+				}
+			}
+			gv := &gates[id]
+			delay := gv.mean + gv.resid*rng.NormFloat64()
+			for _, fi := range gv.factors {
+				delay += gv.sigPer * factors[fi]
+			}
+			if delay < 0 {
+				delay = 0
+			}
+			arrival[id] = worst + delay
+		}
+		cd := math.Inf(-1)
+		for _, po := range c.Outputs {
+			if arrival[po] > cd {
+				cd = arrival[po]
+			}
+		}
+		if len(c.Outputs) == 0 {
+			cd = 0
+		}
+		samples[trial] = cd
+		sum += cd
+		sumsq += cd * cd
+	}
+	sort.Float64s(samples)
+	mean := sum / float64(n)
+	v := sumsq/float64(n) - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return &MCResult{Samples: samples, Mean: mean, Sigma: math.Sqrt(v)}, nil
+}

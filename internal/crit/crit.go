@@ -1,0 +1,198 @@
+// Package crit computes statistical gate criticality: the probability
+// that a gate lies on the circuit's critical path under process
+// variation. The concept comes from the gate-criticality literature the
+// paper builds on (Hashimoto & Onodera, ISPD 2000 — reference [5], which
+// the paper notes "did not address the variance of the timing path
+// delays"); here it complements the WNSS trace as a diagnostic: the WNSS
+// path is one backward walk, the criticality histogram shows how
+// probability mass spreads over competing paths.
+//
+// Two estimators are provided: an exact-by-sampling Monte-Carlo estimator
+// (one critical-path trace per delay sample) and a fast analytic
+// approximation that propagates path-tightness products from the worst
+// output backward using the same Clark/tightness machinery as the
+// statistical engines.
+package crit
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/normal"
+	"repro/internal/ssta"
+	"repro/internal/sta"
+	"repro/internal/synth"
+	"repro/internal/variation"
+)
+
+// Result holds per-gate criticality probabilities in [0, 1], indexed by
+// GateID. Primary inputs carry the criticality of the paths starting at
+// them.
+type Result struct {
+	Criticality []float64
+}
+
+// Top returns the n most critical gates, most critical first.
+func (r *Result) Top(n int) []circuit.GateID {
+	ids := make([]circuit.GateID, len(r.Criticality))
+	for i := range ids {
+		ids[i] = circuit.GateID(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		return r.Criticality[ids[a]] > r.Criticality[ids[b]]
+	})
+	if n > len(ids) {
+		n = len(ids)
+	}
+	return ids[:n]
+}
+
+// MonteCarlo estimates criticality by sampling: every trial draws all
+// gate delays, finds the critical path deterministically, and increments
+// each path gate's count.
+func MonteCarlo(d *synth.Design, vm *variation.Model, trials int, seed int64) (*Result, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("crit: need positive trials, got %d", trials)
+	}
+	c := d.Circuit
+	nominal := sta.Analyze(d)
+	topo := c.MustTopoOrder()
+
+	means := make([]float64, c.NumGates())
+	sigmas := make([]float64, c.NumGates())
+	for _, id := range topo {
+		if c.Gate(id).Fn == circuit.Input {
+			continue
+		}
+		means[id] = nominal.Delay[id]
+		sigmas[id] = vm.Sigma(d.Cell(id), means[id])
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	arrival := make([]float64, c.NumGates())
+	argmax := make([]circuit.GateID, c.NumGates())
+	counts := make([]float64, c.NumGates())
+	for trial := 0; trial < trials; trial++ {
+		for _, id := range topo {
+			g := c.Gate(id)
+			if g.Fn == circuit.Input {
+				arrival[id] = 0
+				argmax[id] = circuit.None
+				continue
+			}
+			worst, worstID := math.Inf(-1), circuit.None
+			for _, f := range g.Fanin {
+				if arrival[f] > worst {
+					worst, worstID = arrival[f], f
+				}
+			}
+			if worstID == circuit.None {
+				worst = 0
+			}
+			arrival[id] = worst + variation.Sample(rng, means[id], sigmas[id])
+			argmax[id] = worstID
+		}
+		// Worst PO this trial, then walk the argmax chain back.
+		cur, best := circuit.None, math.Inf(-1)
+		for _, po := range c.Outputs {
+			if arrival[po] > best {
+				best, cur = arrival[po], po
+			}
+		}
+		for cur != circuit.None {
+			counts[cur]++
+			cur = argmax[cur]
+		}
+	}
+	for i := range counts {
+		counts[i] /= float64(trials)
+	}
+	return &Result{Criticality: counts}, nil
+}
+
+// Analytic approximates criticality from one FULLSSTA pass: the
+// criticality of a gate is the product of tightness probabilities along
+// the backward chain from the statistically worst output — P(this fanin
+// is the max) at every merge, computed with the same Clark alpha the max
+// operator uses. Probability flows from each output weighted by the
+// probability that output is the circuit max.
+func Analytic(d *synth.Design, full *ssta.Result) *Result {
+	c := d.Circuit
+	crit := make([]float64, c.NumGates())
+
+	// Weight each PO by its probability of being the circuit maximum,
+	// approximated by pairwise tightness against the running max.
+	poWeight := make(map[circuit.GateID]float64, len(c.Outputs))
+	if len(c.Outputs) > 0 {
+		// Iterate twice for a stable normalization: first pass computes
+		// unnormalized weights via tightness against the max of the rest.
+		total := 0.0
+		for _, po := range c.Outputs {
+			w := 1.0
+			for _, other := range c.Outputs {
+				if other == po {
+					continue
+				}
+				w *= tightness(full.Node[po], full.Node[other])
+			}
+			poWeight[po] = w
+			total += w
+		}
+		if total > 0 {
+			for po := range poWeight {
+				poWeight[po] /= total
+			}
+		}
+	}
+
+	// Flow criticality backward in reverse topological order.
+	topo := c.MustTopoOrder()
+	flow := make([]float64, c.NumGates())
+	for po, w := range poWeight {
+		flow[po] += w
+	}
+	for i := len(topo) - 1; i >= 0; i-- {
+		id := topo[i]
+		g := c.Gate(id)
+		crit[id] += flow[id]
+		if len(g.Fanin) == 0 || flow[id] == 0 {
+			continue
+		}
+		// Split the flow across fanins by tightness.
+		ws := make([]float64, len(g.Fanin))
+		total := 0.0
+		for k, f := range g.Fanin {
+			w := 1.0
+			for k2, f2 := range g.Fanin {
+				if k2 == k {
+					continue
+				}
+				w *= tightness(full.Node[f], full.Node[f2])
+			}
+			ws[k] = w
+			total += w
+		}
+		if total <= 0 {
+			continue
+		}
+		for k, f := range g.Fanin {
+			flow[f] += flow[id] * ws[k] / total
+		}
+	}
+	return &Result{Criticality: crit}
+}
+
+// tightness returns P(A >= B) for independent normals.
+func tightness(a, b normal.Moments) float64 {
+	s := math.Sqrt(a.Var + b.Var)
+	if s == 0 {
+		if a.Mean >= b.Mean {
+			return 1
+		}
+		return 0
+	}
+	return normal.Phi((a.Mean - b.Mean) / s)
+}

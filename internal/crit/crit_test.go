@@ -1,0 +1,156 @@
+package crit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cells"
+	"repro/internal/circuit"
+	"repro/internal/gen"
+	"repro/internal/ssta"
+	"repro/internal/synth"
+	"repro/internal/variation"
+)
+
+func setup(t *testing.T, c *circuit.Circuit) (*synth.Design, *variation.Model) {
+	t.Helper()
+	lib := cells.Default90nm()
+	d, err := synth.Map(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, variation.Default(lib)
+}
+
+func TestMonteCarloRejectsBadTrials(t *testing.T) {
+	d, vm := setup(t, gen.ParityTree("p", 4))
+	if _, err := MonteCarlo(d, vm, 0, 1); err == nil {
+		t.Fatal("trials=0 accepted")
+	}
+}
+
+func TestChainCriticalityIsOne(t *testing.T) {
+	// In a single chain every gate is always critical.
+	c := circuit.New("chain")
+	prev := c.MustAddGate("a", circuit.Input)
+	for i := 0; i < 6; i++ {
+		g := c.MustAddGate("", circuit.Not)
+		c.MustConnect(prev, g)
+		prev = g
+	}
+	c.MustMarkOutput(prev)
+	d, vm := setup(t, c)
+	mc, err := MonteCarlo(d, vm, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Circuit.Gates {
+		if d.Circuit.Gates[i].Fn.IsLogic() && math.Abs(mc.Criticality[i]-1) > 1e-12 {
+			t.Fatalf("chain gate %d criticality %g, want 1", i, mc.Criticality[i])
+		}
+	}
+	full := ssta.Analyze(d, vm, ssta.Options{})
+	an := Analytic(d, full)
+	for i := range d.Circuit.Gates {
+		if d.Circuit.Gates[i].Fn.IsLogic() && math.Abs(an.Criticality[i]-1) > 1e-9 {
+			t.Fatalf("analytic chain criticality %g, want 1", an.Criticality[i])
+		}
+	}
+}
+
+func TestSymmetricBranchesSplitEvenly(t *testing.T) {
+	// Two identical branches into an AND: each should be critical about
+	// half the time.
+	c := circuit.New("sym")
+	a := c.MustAddGate("a", circuit.Input)
+	b := c.MustAddGate("b", circuit.Input)
+	n1 := c.MustAddGate("n1", circuit.Not)
+	n2 := c.MustAddGate("n2", circuit.Not)
+	c.MustConnect(a, n1)
+	c.MustConnect(b, n2)
+	join := c.MustAddGate("join", circuit.And)
+	c.MustConnect(n1, join)
+	c.MustConnect(n2, join)
+	c.MustMarkOutput(join)
+	d, vm := setup(t, c)
+	mc, err := MonteCarlo(d, vm, 20000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := mc.Criticality[d.Circuit.MustLookup("n1")]
+	c2 := mc.Criticality[d.Circuit.MustLookup("n2")]
+	if math.Abs(c1-0.5) > 0.03 || math.Abs(c2-0.5) > 0.03 {
+		t.Fatalf("branch criticalities %g/%g, want ~0.5 each", c1, c2)
+	}
+	if cj := mc.Criticality[d.Circuit.MustLookup("join")]; cj != 1 {
+		t.Fatalf("join criticality %g, want 1", cj)
+	}
+	full := ssta.Analyze(d, vm, ssta.Options{})
+	an := Analytic(d, full)
+	a1 := an.Criticality[d.Circuit.MustLookup("n1")]
+	if math.Abs(a1-0.5) > 0.1 {
+		t.Fatalf("analytic branch criticality %g, want ~0.5", a1)
+	}
+}
+
+func TestAnalyticTracksMonteCarloOrdering(t *testing.T) {
+	d, vm := setup(t, gen.ALU("alu", 6))
+	mc, err := MonteCarlo(d, vm, 20000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := ssta.Analyze(d, vm, ssta.Options{})
+	an := Analytic(d, full)
+	// The analytic top-10 should be dominated by gates that Monte Carlo
+	// also finds substantially critical.
+	agree := 0
+	for _, id := range an.Top(10) {
+		if mc.Criticality[id] > 0.10 {
+			agree++
+		}
+	}
+	if agree < 6 {
+		t.Fatalf("only %d/10 analytic top gates are MC-critical", agree)
+	}
+}
+
+func TestCriticalityBounds(t *testing.T) {
+	d, vm := setup(t, gen.Comparator("cmp", 6))
+	mc, err := MonteCarlo(d, vm, 3000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := ssta.Analyze(d, vm, ssta.Options{})
+	an := Analytic(d, full)
+	for i := range mc.Criticality {
+		if mc.Criticality[i] < 0 || mc.Criticality[i] > 1 {
+			t.Fatalf("MC criticality out of bounds: %g", mc.Criticality[i])
+		}
+		if an.Criticality[i] < -1e-9 || an.Criticality[i] > 1+1e-9 {
+			t.Fatalf("analytic criticality out of bounds: %g", an.Criticality[i])
+		}
+	}
+}
+
+func TestTopOrdering(t *testing.T) {
+	r := &Result{Criticality: []float64{0.1, 0.9, 0.5, 0.0}}
+	top := r.Top(2)
+	if top[0] != 1 || top[1] != 2 {
+		t.Fatalf("Top = %v", top)
+	}
+	if len(r.Top(99)) != 4 {
+		t.Fatal("Top over-length not clamped")
+	}
+}
+
+func TestWorstOutputsDominateCriticality(t *testing.T) {
+	// Gates near the statistically worst output should carry more
+	// criticality than gates only reachable from fast outputs.
+	d, vm := setup(t, gen.ALU("alu", 8))
+	full := ssta.Analyze(d, vm, ssta.Options{})
+	an := Analytic(d, full)
+	worst := full.WorstOutput(d, 3)
+	if an.Criticality[worst] < 0.2 {
+		t.Fatalf("worst output criticality only %g", an.Criticality[worst])
+	}
+}

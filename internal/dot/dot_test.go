@@ -1,0 +1,76 @@
+package dot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gen"
+)
+
+func TestWriteBasicStructure(t *testing.T) {
+	c := gen.ParityTree("par", 4)
+	var buf bytes.Buffer
+	if err := Write(&buf, c, Options{RankLR: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph \"par\"", "rankdir=LR", "invtriangle", "->", "peripheries=2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// One edge line per fanin connection.
+	edges := 0
+	for i := range c.Gates {
+		edges += len(c.Gates[i].Fanin)
+	}
+	if got := strings.Count(out, "->"); got != edges {
+		t.Errorf("edges = %d, want %d", got, edges)
+	}
+}
+
+func TestHeatAndHighlight(t *testing.T) {
+	c := gen.ParityTree("par", 4)
+	heat := make([]float64, c.NumGates())
+	for i := range heat {
+		heat[i] = 1
+	}
+	var buf bytes.Buffer
+	err := Write(&buf, c, Options{Heat: heat, Highlight: []circuit.GateID{c.Outputs[0]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fillcolor=\"0.05 1.000 1.0\"") {
+		t.Error("heat color missing")
+	}
+	if !strings.Contains(out, "penwidth=3") {
+		t.Error("highlight missing")
+	}
+}
+
+func TestNormalizeHeat(t *testing.T) {
+	h := NormalizeHeat([]float64{0, 2, 4})
+	if h[0] != 0 || h[1] != 0.5 || h[2] != 1 {
+		t.Fatalf("normalize = %v", h)
+	}
+	z := NormalizeHeat([]float64{0, 0})
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatal("all-zero heat not preserved")
+	}
+}
+
+func TestClampHandlesBadValues(t *testing.T) {
+	c := gen.ParityTree("p", 3)
+	heat := make([]float64, c.NumGates())
+	heat[int(c.Outputs[0])] = 99 // out of range
+	var buf bytes.Buffer
+	if err := Write(&buf, c, Options{Heat: heat}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"0.05 1.000 1.0\"") {
+		t.Error("clamp failed")
+	}
+}

@@ -1,0 +1,310 @@
+package dpdf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/normal"
+)
+
+func TestPoint(t *testing.T) {
+	p := Point(42)
+	if p.Mean() != 42 || p.Variance() != 0 || p.Len() != 1 {
+		t.Fatalf("Point: mean=%g var=%g len=%d", p.Mean(), p.Variance(), p.Len())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromNormalPreservesMean(t *testing.T) {
+	for _, n := range []int{5, 10, 12, 15, 40} {
+		p := FromNormal(100, 15, n)
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p.Mean()-100) > 1e-9 {
+			t.Errorf("n=%d: mean = %.12f, want 100 exactly", n, p.Mean())
+		}
+	}
+}
+
+func TestFromNormalVarianceConverges(t *testing.T) {
+	// Quantization loses variance; more points lose less. At 12 points
+	// the loss should be modest (< 10%) and shrink monotonically-ish.
+	v12 := FromNormal(0, 10, 12).Variance()
+	v40 := FromNormal(0, 10, 40).Variance()
+	if v12 > 100 || v40 > 100 {
+		t.Fatalf("discrete variance exceeds continuous: v12=%g v40=%g", v12, v40)
+	}
+	if v12 < 88 {
+		t.Errorf("12-point variance = %g, lost more than 12%%", v12)
+	}
+	if v40 < v12 {
+		t.Errorf("more points should retain more variance: v40=%g < v12=%g", v40, v12)
+	}
+}
+
+func TestFromNormalZeroSigma(t *testing.T) {
+	p := FromNormal(7, 0, 12)
+	if p.Len() != 1 || p.Mean() != 7 {
+		t.Fatal("zero sigma should degenerate to a point")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]float64{1, 2}, []float64{0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New([]float64{2, 1}, []float64{0.5, 0.5}); err == nil {
+		t.Error("descending support accepted")
+	}
+	if _, err := New([]float64{1, 2}, []float64{0.7, 0.5}); err == nil {
+		t.Error("non-normalized accepted")
+	}
+	if _, err := New([]float64{1}, []float64{-1}); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if _, err := New(nil, nil); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+func TestSumMeansAndVariancesAdd(t *testing.T) {
+	prop := func(m1, m2, s1, s2 float64) bool {
+		mu1 := math.Mod(math.Abs(m1), 200)
+		mu2 := math.Mod(math.Abs(m2), 200)
+		sg1 := 1 + math.Mod(math.Abs(s1), 20)
+		sg2 := 1 + math.Mod(math.Abs(s2), 20)
+		a := FromNormal(mu1, sg1, 12)
+		b := FromNormal(mu2, sg2, 12)
+		c := Sum(a, b, 12)
+		if err := c.Validate(); err != nil {
+			return false
+		}
+		// Mean is exact by construction.
+		if math.Abs(c.Mean()-(a.Mean()+b.Mean())) > 1e-6 {
+			return false
+		}
+		// Variance within resampling loss.
+		want := a.Variance() + b.Variance()
+		return c.Variance() <= want+1e-6 && c.Variance() >= 0.80*want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumWithPointIsShift(t *testing.T) {
+	a := FromNormal(50, 5, 12)
+	c := Sum(a, Point(10), 12)
+	if math.Abs(c.Mean()-60) > 1e-9 {
+		t.Errorf("mean = %g, want 60", c.Mean())
+	}
+	if math.Abs(c.Variance()-a.Variance()) > 1e-9 {
+		t.Errorf("variance changed by point shift")
+	}
+}
+
+func TestMaxAgainstClark(t *testing.T) {
+	// For well-separated and overlapping normals, discrete Max should
+	// approximate Clark's exact moments.
+	cases := []struct{ muA, sA, muB, sB float64 }{
+		{100, 10, 100, 10},
+		{100, 5, 110, 20},
+		{320, 27, 310, 45},
+		{100, 10, 180, 10}, // dominant
+	}
+	for _, tc := range cases {
+		a := FromNormal(tc.muA, tc.sA, 15)
+		b := FromNormal(tc.muB, tc.sB, 15)
+		got := Max(a, b, 15)
+		want := normal.MaxExact(
+			normal.Moments{Mean: tc.muA, Var: tc.sA * tc.sA},
+			normal.Moments{Mean: tc.muB, Var: tc.sB * tc.sB})
+		scale := math.Max(tc.sA, tc.sB)
+		if math.Abs(got.Mean()-want.Mean) > 0.15*scale {
+			t.Errorf("case %+v: mean %g vs Clark %g", tc, got.Mean(), want.Mean)
+		}
+		if math.Abs(got.Sigma()-want.Sigma()) > 0.25*scale {
+			t.Errorf("case %+v: sigma %g vs Clark %g", tc, got.Sigma(), want.Sigma())
+		}
+	}
+}
+
+func TestMaxStochasticDominance(t *testing.T) {
+	// max(X,Y) stochastically dominates both X and Y:
+	// F_max(t) <= min(F_X(t), F_Y(t)) for all t.
+	a := FromNormal(100, 10, 12)
+	b := FromNormal(95, 25, 12)
+	m := Max(a, b, 24)
+	for _, tq := range []float64{60, 80, 100, 120, 140, 180} {
+		fm := m.CDF(tq)
+		if fm > a.CDF(tq)+1e-9 || fm > b.CDF(tq)+1e-9 {
+			t.Errorf("dominance violated at t=%g: Fmax=%g Fa=%g Fb=%g", tq, fm, a.CDF(tq), b.CDF(tq))
+		}
+	}
+}
+
+func TestMaxWithSelfRaisesMean(t *testing.T) {
+	// E[max(X, X')] > E[X] for iid X with positive variance.
+	a := FromNormal(100, 10, 15)
+	m := Max(a, a, 15)
+	if m.Mean() <= a.Mean() {
+		t.Errorf("E[max] = %g, want > %g", m.Mean(), a.Mean())
+	}
+}
+
+func TestMaxNEmptyAndSingle(t *testing.T) {
+	if MaxN(nil, 12).Mean() != 0 {
+		t.Error("MaxN(nil) != Point(0)")
+	}
+	a := FromNormal(10, 2, 12)
+	m := MaxN([]PDF{a}, 12)
+	if math.Abs(m.Mean()-a.Mean()) > 1e-12 {
+		t.Error("MaxN single not identity")
+	}
+}
+
+func TestCDFAndQuantileConsistency(t *testing.T) {
+	p := FromNormal(100, 10, 15)
+	if p.CDF(p.Min()-1) != 0 {
+		t.Error("CDF below support not 0")
+	}
+	if math.Abs(p.CDF(p.Max())-1) > 1e-9 {
+		t.Error("CDF at max not 1")
+	}
+	med := p.Quantile(0.5)
+	if math.Abs(med-100) > 5 {
+		t.Errorf("median = %g, want ~100", med)
+	}
+	if p.Quantile(0) != p.Min() || p.Quantile(1) != p.Max() {
+		t.Error("quantile extremes wrong")
+	}
+}
+
+func TestResamplePreservesMeanExactly(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(50)
+		xs := make([]float64, n)
+		ps := make([]float64, n)
+		x := rng.Float64()
+		total := 0.0
+		for i := 0; i < n; i++ {
+			x += rng.Float64() + 1e-6
+			xs[i] = x
+			ps[i] = rng.Float64() + 1e-9
+			total += ps[i]
+		}
+		for i := range ps {
+			ps[i] /= total
+		}
+		p, err := New(xs, ps)
+		if err != nil {
+			return false
+		}
+		r := p.Resample(10)
+		if r.Len() > 10 {
+			return false
+		}
+		return math.Abs(r.Mean()-p.Mean()) < 1e-9*math.Max(1, math.Abs(p.Mean()))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResampleNeverIncreasesVariance(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := FromNormal(rng.Float64()*100, 1+rng.Float64()*20, 40)
+		r := p.Resample(8)
+		return r.Variance() <= p.Variance()+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromSamplesMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	samples := make([]float64, 100000)
+	for i := range samples {
+		samples[i] = 100 + 10*rng.NormFloat64()
+	}
+	p := FromSamples(samples, 15)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Mean()-100) > 0.3 {
+		t.Errorf("mean = %g", p.Mean())
+	}
+	if math.Abs(p.Sigma()-10) > 1.0 {
+		t.Errorf("sigma = %g", p.Sigma())
+	}
+}
+
+func TestFromSamplesDegenerate(t *testing.T) {
+	p := FromSamples([]float64{5, 5, 5}, 10)
+	if p.Len() != 1 || p.Mean() != 5 {
+		t.Fatal("constant samples should give a point")
+	}
+	if FromSamples(nil, 10).Len() != 1 {
+		t.Fatal("empty samples should give a point")
+	}
+}
+
+func TestShift(t *testing.T) {
+	p := FromNormal(10, 2, 12)
+	s := p.Shift(5)
+	if math.Abs(s.Mean()-15) > 1e-12 || math.Abs(s.Variance()-p.Variance()) > 1e-12 {
+		t.Fatal("shift broke moments")
+	}
+}
+
+func TestMomentsBridge(t *testing.T) {
+	p := FromNormal(50, 7, 15)
+	m := p.Moments()
+	if math.Abs(m.Mean-p.Mean()) > 1e-12 || math.Abs(m.Var-p.Variance()) > 1e-12 {
+		t.Fatal("Moments() inconsistent")
+	}
+}
+
+func TestSupportReturnsCopies(t *testing.T) {
+	p := FromNormal(0, 1, 5)
+	xs, _ := p.Support()
+	xs[0] = -999
+	xs2, _ := p.Support()
+	if xs2[0] == -999 {
+		t.Fatal("Support leaked internal storage")
+	}
+}
+
+// TestLongChainStability exercises a deep chain of Sum/Max alternations,
+// the exact pattern FULLSSTA produces, checking probabilities stay
+// normalized, moments stay finite, and the Sum means stay exact. The Max
+// partner is well below the accumulator so it cannot shift the mean.
+func TestLongChainStability(t *testing.T) {
+	acc := Point(0)
+	for i := 0; i < 200; i++ {
+		d := FromNormal(20, 3, 12)
+		acc = Sum(acc, d, 12)
+		if i%3 == 0 {
+			other := FromNormal(acc.Mean()-20*acc.Sigma(), 2, 12)
+			acc = Max(acc, other, 12)
+		}
+		if err := acc.Validate(); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+	if math.Abs(acc.Mean()-200*20) > 2 {
+		t.Errorf("chain mean drifted: %g, want ~4000", acc.Mean())
+	}
+	// Variance-preserving resampling: Var must track 200 * 9 closely.
+	if math.Abs(acc.Variance()-200*9) > 0.05*200*9 {
+		t.Errorf("chain variance drifted: %g, want ~1800", acc.Variance())
+	}
+}

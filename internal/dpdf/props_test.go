@@ -1,0 +1,147 @@
+package dpdf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/normal"
+)
+
+func randomPDF(rng *rand.Rand) PDF {
+	return FromNormal(rng.Float64()*200, 0.5+rng.Float64()*30, 8+rng.Intn(12))
+}
+
+// Quantile is a right-inverse of CDF on the support.
+func TestQuantileCDFInverse(t *testing.T) {
+	prop := func(seed int64, qRaw float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPDF(rng)
+		q := math.Mod(math.Abs(qRaw), 1)
+		x := p.Quantile(q)
+		return p.CDF(x) >= q-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// CDF is monotone non-decreasing and hits {0, 1} outside the support.
+func TestCDFMonotone(t *testing.T) {
+	prop := func(seed int64, a, b float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPDF(rng)
+		x := math.Mod(a, 400)
+		y := math.Mod(b, 400)
+		if x > y {
+			x, y = y, x
+		}
+		if p.CDF(x) > p.CDF(y)+1e-12 {
+			return false
+		}
+		return p.CDF(p.Min()-1) == 0 && math.Abs(p.CDF(p.Max())-1) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Sum is commutative in moments.
+func TestSumCommutativeMoments(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomPDF(rng), randomPDF(rng)
+		ab := Sum(a, b, 12)
+		ba := Sum(b, a, 12)
+		return math.Abs(ab.Mean()-ba.Mean()) < 1e-9 &&
+			math.Abs(ab.Variance()-ba.Variance()) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Max is commutative and idempotent-ish in moments.
+func TestMaxCommutativeMoments(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomPDF(rng), randomPDF(rng)
+		ab := Max(a, b, 15)
+		ba := Max(b, a, 15)
+		return math.Abs(ab.Mean()-ba.Mean()) < 1e-9 &&
+			math.Abs(ab.Variance()-ba.Variance()) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Max dominates shifting: max(a, b) has mean >= both means.
+func TestMaxMeanDominates(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomPDF(rng), randomPDF(rng)
+		m := Max(a, b, 15)
+		return m.Mean() >= math.Max(a.Mean(), b.Mean())-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Sum associativity holds in moments (means exact, variances within
+// resampling tolerance).
+func TestSumAssociativeMoments(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randomPDF(rng), randomPDF(rng), randomPDF(rng)
+		l := Sum(Sum(a, b, 12), c, 12)
+		r := Sum(a, Sum(b, c, 12), 12)
+		if math.Abs(l.Mean()-r.Mean()) > 1e-6 {
+			return false
+		}
+		return math.Abs(l.Variance()-r.Variance()) < 0.05*math.Max(l.Variance(), 1)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Discrete Max agrees with Clark's exact moments within discretization
+// tolerance for random inputs.
+func TestMaxAgainstClarkProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		muA, sA := rng.Float64()*200, 1+rng.Float64()*25
+		muB, sB := rng.Float64()*200, 1+rng.Float64()*25
+		a := FromNormal(muA, sA, 15)
+		b := FromNormal(muB, sB, 15)
+		got := Max(a, b, 15)
+		want := normal.MaxExact(
+			normal.Moments{Mean: muA, Var: sA * sA},
+			normal.Moments{Mean: muB, Var: sB * sB})
+		scale := math.Max(sA, sB)
+		return math.Abs(got.Mean()-want.Mean) < 0.2*scale &&
+			math.Abs(got.Sigma()-want.Sigma()) < 0.3*scale
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Shift commutes with Sum: Sum(a.Shift(x), b) == Sum(a, b).Shift(x).
+func TestShiftCommutesWithSum(t *testing.T) {
+	prop := func(seed int64, dxRaw float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomPDF(rng), randomPDF(rng)
+		dx := math.Mod(dxRaw, 100)
+		l := Sum(a.Shift(dx), b, 12)
+		r := Sum(a, b, 12).Shift(dx)
+		return math.Abs(l.Mean()-r.Mean()) < 1e-6 &&
+			math.Abs(l.Variance()-r.Variance()) < 1e-3*math.Max(r.Variance(), 1)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

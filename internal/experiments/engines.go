@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/fassta"
+	"repro/internal/montecarlo"
+	"repro/internal/normal"
+	"repro/internal/ssta"
+	"repro/internal/synth"
+)
+
+// EngineRow compares the three statistical engines on one circuit:
+// Monte Carlo (golden), FULLSSTA (outer loop) and global FASSTA (the
+// moments-only fast engine run circuit-wide). This substantiates the
+// paper's nested-engine design choice of sections 4.2/4.3.
+type EngineRow struct {
+	Name  string
+	Gates int
+
+	MCMean, MCSigma     float64
+	FullMean, FullSigma float64
+	FastMean, FastSigma float64
+
+	FullMeanErrPct, FullSigmaErrPct float64 // vs MC
+	FastMeanErrPct, FastSigmaErrPct float64 // vs MC
+
+	MCTime, FullTime, FastTime time.Duration
+	// DominancePct is the fraction of pairwise max operations during the
+	// fast pass where the dominance shortcut (eqs. 5/6) fired — the paper
+	// observes it applies "in the vast majority of cases".
+	DominancePct float64
+}
+
+// Engines runs the three engines over the named circuits.
+func Engines(names []string, mcSamples int, cfg Config) ([]EngineRow, error) {
+	if mcSamples <= 0 {
+		mcSamples = 20000
+	}
+	var rows []EngineRow
+	for _, name := range names {
+		d, vm, err := NewDesign(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := Original(d, vm, cfg); err != nil {
+			return nil, err
+		}
+		row := EngineRow{Name: name, Gates: d.Circuit.NumLogicGates()}
+
+		t0 := time.Now()
+		mc, err := montecarlo.Analyze(d, vm, mcSamples, 1)
+		if err != nil {
+			return nil, err
+		}
+		row.MCTime = time.Since(t0)
+		row.MCMean, row.MCSigma = mc.Mean, mc.Sigma
+
+		t0 = time.Now()
+		full := ssta.Analyze(d, vm, ssta.Options{Points: cfg.PDFPoints})
+		row.FullTime = time.Since(t0)
+		row.FullMean, row.FullSigma = full.Mean, full.Sigma
+
+		t0 = time.Now()
+		fast := fassta.AnalyzeGlobal(d, vm, true)
+		row.FastTime = time.Since(t0)
+		row.FastMean, row.FastSigma = fast.Mean, fast.Sigma
+
+		row.FullMeanErrPct = 100 * math.Abs(full.Mean-mc.Mean) / mc.Mean
+		row.FullSigmaErrPct = 100 * math.Abs(full.Sigma-mc.Sigma) / mc.Sigma
+		row.FastMeanErrPct = 100 * math.Abs(fast.Mean-mc.Mean) / mc.Mean
+		row.FastSigmaErrPct = 100 * math.Abs(fast.Sigma-mc.Sigma) / mc.Sigma
+		row.DominancePct = dominanceFraction(d, fast)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// dominanceFraction counts, over every pairwise max a moments-only pass
+// performs, how often the dominance shortcut fires.
+func dominanceFraction(d *synth.Design, fast *fassta.GlobalResult) float64 {
+	total, dominated := 0, 0
+	for i := range d.Circuit.Gates {
+		g := &d.Circuit.Gates[i]
+		if !g.Fn.IsLogic() || len(g.Fanin) < 2 {
+			continue
+		}
+		acc := fast.Node[g.Fanin[0]]
+		for _, f := range g.Fanin[1:] {
+			total++
+			if normal.Dominance(acc, fast.Node[f]) != 0 {
+				dominated++
+			}
+			acc = normal.MaxApprox(acc, fast.Node[f])
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(dominated) / float64(total)
+}
+
+// ErfRow reports the accuracy of the paper's quadratic erf approximation
+// over one range of the argument.
+type ErfRow struct {
+	Lo, Hi          float64
+	MaxErr, MeanErr float64
+}
+
+// ErfAccuracy sweeps the approximation against the exact Phi, by range,
+// substantiating the "accurate to two decimal places" claim of section
+// 4.3.
+func ErfAccuracy() []ErfRow {
+	ranges := [][2]float64{{0, 1}, {1, 2.2}, {2.2, 2.6}, {2.6, 6}}
+	rows := make([]ErfRow, 0, len(ranges))
+	for _, rg := range ranges {
+		row := ErfRow{Lo: rg[0], Hi: rg[1]}
+		n := 0
+		for x := rg[0]; x <= rg[1]; x += 1e-4 {
+			e := math.Abs(normal.PhiApprox(x) - normal.Phi(x))
+			row.MeanErr += e
+			if e > row.MaxErr {
+				row.MaxErr = e
+			}
+			n++
+		}
+		row.MeanErr /= float64(n)
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/normal"
+	"repro/internal/wnss"
+)
+
+// Fig3Result reproduces the paper's Figure 3 walkthrough: a six-gate
+// circuit whose arc arrival moments are exactly the figure's numbers, and
+// the WNSS trace decisions made at each gate.
+type Fig3Result struct {
+	Steps []Fig3Step
+	// Path is the chosen WNSS path, output first.
+	Path []string
+}
+
+// Fig3 runs the WNSS tracing demo on the paper's example: output gate X
+// fed by E (392,35) and D (190,41); E fed by A (320,27), B (310,45) and
+// C (357,32). The numbers are the (mean, sigma) annotations of Figure 3.
+func Fig3(couplingC float64) *Fig3Result {
+	if couplingC <= 0 {
+		couplingC = 0.20 // default variation model coupling
+	}
+	names := []string{"A", "B", "C", "D", "E", "X"}
+	node := []normal.Moments{
+		{Mean: 320, Var: 27 * 27}, // A
+		{Mean: 310, Var: 45 * 45}, // B
+		{Mean: 357, Var: 32 * 32}, // C
+		{Mean: 190, Var: 41 * 41}, // D
+		{Mean: 392, Var: 35 * 35}, // E
+		{},                        // X (output; moments not needed)
+	}
+	fanins := map[int][]int{
+		5: {4, 3},    // X <- E, D
+		4: {0, 1, 2}, // E <- A, B, C
+	}
+	res := &Fig3Result{}
+	cur := 5 // X
+	res.Path = append(res.Path, names[cur])
+	for {
+		fi, ok := fanins[cur]
+		if !ok {
+			break
+		}
+		ids := make([]circuit.GateID, len(fi))
+		faninNames := make([]string, len(fi))
+		for i, f := range fi {
+			ids[i] = circuit.GateID(f)
+			faninNames[i] = names[f]
+		}
+		chosen := wnss.DominantFanin(ids, node, couplingC)
+		// Was the decision by dominance? True when every pairwise
+		// comparison against the winner fires eq. (5)/(6).
+		byDom := true
+		for _, f := range fi {
+			if f == int(chosen) {
+				continue
+			}
+			if normal.Dominance(node[chosen], node[f]) == 0 {
+				byDom = false
+			}
+		}
+		res.Steps = append(res.Steps, Fig3Step{
+			Gate:        names[cur],
+			FaninNames:  faninNames,
+			Chosen:      names[chosen],
+			ByDominance: byDom,
+		})
+		cur = int(chosen)
+		res.Path = append(res.Path, names[cur])
+	}
+	return res
+}

@@ -1,0 +1,113 @@
+package gen
+
+import "repro/internal/circuit"
+
+// ALU builds a w-bit arithmetic-logic unit in the 74181 spirit: two select
+// lines choose among AND, OR, XOR and ADD; the adder uses 4-bit
+// carry-lookahead groups (like the 74181/74182 pair), so the depth stays
+// near the real synthesized ALUs' (~12-16 levels) instead of a ripple
+// chain's 3 levels per bit. Inputs a0.., b0.., s0, s1, cin; outputs
+// f0..f{w-1}, cout. The per-bit gate count is ~14, so the width is the
+// tuning knob for matching the paper's circuit sizes.
+func ALU(name string, w int) *circuit.Circuit {
+	b := newBuilder(name)
+	a := b.inputBus("a", w)
+	bb := b.inputBus("b", w)
+	s0 := b.input("s0")
+	s1 := b.input("s1")
+	cin := b.input("cin")
+
+	ns0 := b.not(s0)
+	ns1 := b.not(s1)
+
+	// Propagate/generate per bit; g doubles as the AND op, p as the XOR.
+	p := make(Bus, w)
+	g := make(Bus, w)
+	for i := 0; i < w; i++ {
+		p[i] = b.xor(a[i], bb[i])
+		g[i] = b.and(a[i], bb[i])
+	}
+	// Lookahead carries in groups of 4 (group-level ripple).
+	carry := make(Bus, w+1)
+	carry[0] = cin
+	for base := 0; base < w; base += 4 {
+		end := base + 4
+		if end > w {
+			end = w
+		}
+		for i := base; i < end; i++ {
+			terms := []circuit.GateID{g[i]}
+			for j := i - 1; j >= base; j-- {
+				ands := []circuit.GateID{g[j]}
+				for k := j + 1; k <= i; k++ {
+					ands = append(ands, p[k])
+				}
+				terms = append(terms, b.and(ands...))
+			}
+			ands := []circuit.GateID{carry[base]}
+			for k := base; k <= i; k++ {
+				ands = append(ands, p[k])
+			}
+			terms = append(terms, b.and(ands...))
+			carry[i+1] = b.or(terms...)
+		}
+	}
+	var outs Bus
+	for i := 0; i < w; i++ {
+		orab := b.or(a[i], bb[i])
+		sum := b.xor(p[i], carry[i])
+		f := b.or(
+			b.and(g[i], ns1, ns0),
+			b.and(orab, ns1, s0),
+			b.and(p[i], s1, ns0),
+			b.and(sum, s1, s0),
+		)
+		outs = append(outs, f)
+	}
+	b.outputBus(outs)
+	b.output(carry[w])
+	return b.finish()
+}
+
+// Decoder builds an n-to-2^n line decoder with enable, a shallow wide-
+// fanout control block used in the c3540 recipe.
+func Decoder(name string, n int) *circuit.Circuit {
+	b := newBuilder(name)
+	sel := b.inputBus("s", n)
+	en := b.input("en")
+	inv := make(Bus, n)
+	for i, s := range sel {
+		inv[i] = b.not(s)
+	}
+	for v := 0; v < 1<<uint(n); v++ {
+		term := []circuit.GateID{en}
+		for i := 0; i < n; i++ {
+			if v&(1<<uint(i)) != 0 {
+				term = append(term, sel[i])
+			} else {
+				term = append(term, inv[i])
+			}
+		}
+		b.output(b.and(term...))
+	}
+	return b.finish()
+}
+
+// MuxTree builds a 2^n-to-1 multiplexer: data inputs d0..d{2^n-1}, select
+// s0..s{n-1}, one output.
+func MuxTree(name string, n int) *circuit.Circuit {
+	b := newBuilder(name)
+	data := b.inputBus("d", 1<<uint(n))
+	sel := b.inputBus("s", n)
+	level := append(Bus(nil), data...)
+	for i := 0; i < n; i++ {
+		ns := b.not(sel[i])
+		var next Bus
+		for j := 0; j < len(level); j += 2 {
+			next = append(next, b.or(b.and(level[j], ns), b.and(level[j+1], sel[i])))
+		}
+		level = next
+	}
+	b.output(level[0])
+	return b.finish()
+}

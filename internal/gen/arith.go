@@ -1,0 +1,190 @@
+package gen
+
+import "repro/internal/circuit"
+
+// RippleCarryAdder builds an n-bit adder: inputs a0..a{n-1}, b0..b{n-1},
+// cin; outputs s0..s{n-1}, cout.
+func RippleCarryAdder(name string, n int) *circuit.Circuit {
+	b := newBuilder(name)
+	a := b.inputBus("a", n)
+	bb := b.inputBus("b", n)
+	carry := b.input("cin")
+	var sums Bus
+	for i := 0; i < n; i++ {
+		var s circuit.GateID
+		s, carry = b.fullAdder(a[i], bb[i], carry)
+		sums = append(sums, s)
+	}
+	b.outputBus(sums)
+	b.output(carry)
+	return b.finish()
+}
+
+// CarryLookaheadAdder builds an n-bit adder with 4-bit lookahead groups
+// chained at the group level — shallower than ripple, more gates. It is
+// the adder family used in the wide c7552-like datapath.
+func CarryLookaheadAdder(name string, n int) *circuit.Circuit {
+	b := newBuilder(name)
+	a := b.inputBus("a", n)
+	bb := b.inputBus("b", n)
+	cin := b.input("cin")
+
+	p := make(Bus, n) // propagate
+	g := make(Bus, n) // generate
+	for i := 0; i < n; i++ {
+		p[i] = b.xor(a[i], bb[i])
+		g[i] = b.and(a[i], bb[i])
+	}
+	carry := make(Bus, n+1)
+	carry[0] = cin
+	for base := 0; base < n; base += 4 {
+		end := base + 4
+		if end > n {
+			end = n
+		}
+		// Within the group, expand each carry in terms of the group input
+		// carry: c_{i+1} = g_i | p_i g_{i-1} | ... | p_i..p_base c_base.
+		for i := base; i < end; i++ {
+			terms := []circuit.GateID{g[i]}
+			for j := i - 1; j >= base; j-- {
+				ands := []circuit.GateID{g[j]}
+				for k := j + 1; k <= i; k++ {
+					ands = append(ands, p[k])
+				}
+				terms = append(terms, b.and(ands...))
+			}
+			ands := []circuit.GateID{carry[base]}
+			for k := base; k <= i; k++ {
+				ands = append(ands, p[k])
+			}
+			terms = append(terms, b.and(ands...))
+			carry[i+1] = b.or(terms...)
+		}
+	}
+	var sums Bus
+	for i := 0; i < n; i++ {
+		sums = append(sums, b.xor(p[i], carry[i]))
+	}
+	b.outputBus(sums)
+	b.output(carry[n])
+	return b.finish()
+}
+
+// ArrayMultiplier builds an n x n array multiplier (the c6288 circuit
+// family): n^2 partial products reduced by a carry-save adder array and a
+// final ripple stage. This is the deepest circuit of the benchmark set.
+// With norStyle the adder cells are built NOR-only like the real c6288,
+// roughly doubling gate count and depth at identical function.
+func ArrayMultiplier(name string, n int, norStyle bool) *circuit.Circuit {
+	b := newBuilder(name)
+	fa, ha := b.fullAdder, b.halfAdder
+	if norStyle {
+		fa, ha = b.norFullAdder, b.norHalfAdder
+	}
+	a := b.inputBus("a", n)
+	bb := b.inputBus("b", n)
+
+	// Partial products pp[i][j] = a[j] & b[i], weight i+j.
+	pp := make([][]circuit.GateID, n)
+	for i := range pp {
+		pp[i] = make([]circuit.GateID, n)
+		for j := range pp[i] {
+			pp[i][j] = b.and(a[j], bb[i])
+		}
+	}
+	// True carry-save accumulation: carries are deferred diagonally to
+	// the next row instead of rippling within a row, so the array depth
+	// is rows x adder-depth (the real c6288 structure), not rows x width.
+	// Before row i: accS[j] has weight (i-1)+j, accC[j] has weight i+j.
+	prod := make(Bus, 0, 2*n)
+	accS := append(Bus(nil), pp[0]...)
+	accC := make(Bus, n)
+	for j := range accC {
+		accC[j] = circuit.None
+	}
+	add3 := func(x, y, z circuit.GateID) (s, c circuit.GateID) {
+		var ins Bus
+		for _, v := range []circuit.GateID{x, y, z} {
+			if v != circuit.None {
+				ins = append(ins, v)
+			}
+		}
+		switch len(ins) {
+		case 0:
+			return circuit.None, circuit.None
+		case 1:
+			return ins[0], circuit.None
+		case 2:
+			return ha(ins[0], ins[1])
+		default:
+			return fa(ins[0], ins[1], ins[2])
+		}
+	}
+	for i := 1; i < n; i++ {
+		prod = append(prod, accS[0]) // weight i-1 finalized
+		nextS := make(Bus, n)
+		nextC := make(Bus, n)
+		for j := 0; j < n; j++ {
+			hi := circuit.None // accS one position up, same weight i+j
+			if j+1 < len(accS) {
+				hi = accS[j+1]
+			}
+			nextS[j], nextC[j] = add3(pp[i][j], hi, accC[j])
+		}
+		accS, accC = nextS, nextC
+	}
+	// Final stage: merge the saved sums (weights n-1+j) and carries
+	// (weights n+j) with a ripple adder.
+	prod = append(prod, accS[0]) // weight n-1
+	carry := circuit.None
+	for j := 0; j < n; j++ {
+		hi := circuit.None
+		if j+1 < len(accS) {
+			hi = accS[j+1]
+		}
+		if j == n-1 {
+			// Weight 2n-1 is the top product bit: its carry-out is
+			// provably zero (an n x n product fits in 2n bits), so a
+			// bare XOR suffices.
+			var ins Bus
+			for _, v := range []circuit.GateID{hi, accC[j], carry} {
+				if v != circuit.None {
+					ins = append(ins, v)
+				}
+			}
+			prod = append(prod, b.xor(ins...))
+			break
+		}
+		var s circuit.GateID
+		s, carry = add3(hi, accC[j], carry)
+		prod = append(prod, s)
+	}
+	b.outputBus(prod)
+	return b.finish()
+}
+
+// Comparator builds an n-bit magnitude comparator with outputs eq and gt
+// (a > b). The c880/c2670/c7552 recipes use it as their control slice.
+func Comparator(name string, n int) *circuit.Circuit {
+	b := newBuilder(name)
+	a := b.inputBus("a", n)
+	bb := b.inputBus("b", n)
+	eqBits := make(Bus, n)
+	for i := 0; i < n; i++ {
+		eqBits[i] = b.xnor(a[i], bb[i])
+	}
+	eq := b.and(eqBits...)
+	// gt = OR_i ( a_i & !b_i & AND_{j>i} eq_j )
+	var terms Bus
+	for i := 0; i < n; i++ {
+		t := []circuit.GateID{a[i], b.not(bb[i])}
+		for j := i + 1; j < n; j++ {
+			t = append(t, eqBits[j])
+		}
+		terms = append(terms, b.and(t...))
+	}
+	gt := b.or(terms...)
+	b.output(eq)
+	b.output(gt)
+	return b.finish()
+}

@@ -1,0 +1,143 @@
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/circuit"
+)
+
+// PriorityInterrupt builds an n-channel maskable priority interrupt
+// controller (the c432 circuit family): per-channel request and mask
+// inputs, a priority-resolved grant per channel, and a binary encoding of
+// the granted channel. Channel 0 has the highest priority.
+func PriorityInterrupt(name string, n int) *circuit.Circuit {
+	b := newBuilder(name)
+	req := b.inputBus("r", n)
+	mask := b.inputBus("m", n)
+
+	act := make(Bus, n)
+	for i := 0; i < n; i++ {
+		act[i] = b.and(req[i], b.not(mask[i]))
+	}
+	// higher[i] = OR of act[0..i-1], computed with 4-channel lookahead
+	// blocks (block ORs + block-level prefix ripple) so the depth grows
+	// as n/4 rather than n — matching the ~17-level depth of the real
+	// 27-channel c432 rather than a 27-level ripple.
+	nBlocks := (n + 3) / 4
+	blockOr := make(Bus, nBlocks)
+	for k := 0; k < nBlocks; k++ {
+		lo, hi := 4*k, 4*k+4
+		if hi > n {
+			hi = n
+		}
+		blockOr[k] = b.or(act[lo:hi]...)
+	}
+	prefix := make(Bus, nBlocks) // prefix[k] = OR of blocks 0..k
+	prefix[0] = blockOr[0]
+	for k := 1; k < nBlocks; k++ {
+		prefix[k] = b.or(prefix[k-1], blockOr[k])
+	}
+	grant := make(Bus, n)
+	for i := 0; i < n; i++ {
+		k := i / 4
+		var terms Bus
+		if k > 0 {
+			terms = append(terms, prefix[k-1])
+		}
+		for j := 4 * k; j < i; j++ {
+			terms = append(terms, act[j])
+		}
+		if len(terms) == 0 {
+			grant[i] = b.buf(act[i])
+			continue
+		}
+		grant[i] = b.and(act[i], b.not(b.or(terms...)))
+	}
+	// any = interrupt pending.
+	b.output(b.buf(prefix[nBlocks-1]))
+	// Binary encoder over the one-hot grants.
+	bits := 0
+	for (1 << uint(bits)) < n {
+		bits++
+	}
+	for j := 0; j < bits; j++ {
+		var ins Bus
+		for i := 0; i < n; i++ {
+			if i&(1<<uint(j)) != 0 {
+				ins = append(ins, grant[i])
+			}
+		}
+		b.output(b.or(ins...))
+	}
+	return b.finish()
+}
+
+// RandomDAG builds a seeded random layered netlist with nIn inputs, nOut
+// outputs and approximately nGates logic gates. It is used by property
+// tests and as glue logic; the layered construction guarantees a DAG and a
+// controllable depth profile.
+func RandomDAG(name string, nIn, nGates, nOut int, seed int64) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	b := newBuilder(name)
+	pool := b.inputBus("i", nIn)
+	fns := []circuit.Fn{circuit.And, circuit.Or, circuit.Nand, circuit.Nor, circuit.Xor, circuit.Xnor, circuit.Not}
+	for g := 0; g < nGates; g++ {
+		fn := fns[rng.Intn(len(fns))]
+		arity := 1
+		if fn != circuit.Not {
+			arity = 2 + rng.Intn(3)
+		}
+		// Bias fanins toward recent gates to build depth.
+		ins := make(Bus, 0, arity)
+		for len(ins) < arity {
+			var pick circuit.GateID
+			if rng.Float64() < 0.7 && len(pool) > nIn {
+				pick = pool[nIn+rng.Intn(len(pool)-nIn)]
+			} else {
+				pick = pool[rng.Intn(len(pool))]
+			}
+			dup := false
+			for _, x := range ins {
+				if x == pick {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				ins = append(ins, pick)
+			}
+		}
+		pool = append(pool, b.gate(fn, ins...))
+	}
+	// Outputs: prefer sinks, fill with the most recent gates.
+	var sinks Bus
+	for i := range b.c.Gates {
+		g := &b.c.Gates[i]
+		if g.Fn.IsLogic() && len(g.Fanout) == 0 {
+			sinks = append(sinks, g.ID)
+		}
+	}
+	for i := len(pool) - 1; len(sinks) < nOut && i >= 0; i-- {
+		id := pool[i]
+		if !b.c.Gate(id).Fn.IsLogic() {
+			continue
+		}
+		dup := false
+		for _, s := range sinks {
+			if s == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			sinks = append(sinks, id)
+		}
+	}
+	if len(sinks) > nOut {
+		sinks = sinks[:nOut]
+	}
+	for _, s := range sinks {
+		b.output(s)
+	}
+	return b.finish()
+}

@@ -1,0 +1,84 @@
+package gen
+
+import "repro/internal/circuit"
+
+// ParityTree builds a balanced n-input XOR tree with one output.
+func ParityTree(name string, n int) *circuit.Circuit {
+	b := newBuilder(name)
+	in := b.inputBus("d", n)
+	b.output(b.xor(in...))
+	return b.finish()
+}
+
+// hammingPositions returns, for data width k, the 1-based code positions
+// assigned to data bits (non-powers-of-two) and the number of check bits r.
+func hammingPositions(k int) (dataPos []int, r int) {
+	r = 0
+	for (1 << uint(r)) < k+r+1 {
+		r++
+	}
+	for pos := 1; len(dataPos) < k; pos++ {
+		if pos&(pos-1) == 0 { // power of two: check-bit position
+			continue
+		}
+		dataPos = append(dataPos, pos)
+	}
+	return dataPos, r
+}
+
+// SEC builds a single-error-correcting decoder over a Hamming code with k
+// data bits (the c499/c1355/c1908 circuit family): inputs are the k
+// received data bits and r received check bits; the circuit recomputes the
+// syndrome and XOR-corrects each data bit whose position the syndrome
+// addresses. balanced selects balanced XOR trees; linear chains them,
+// producing the same function with a deeper structure (mirroring how c1355
+// is c499 with expanded XOR implementations).
+func SEC(name string, k int, balanced bool) *circuit.Circuit {
+	b := newBuilder(name)
+	data := b.inputBus("d", k)
+	dataPos, r := hammingPositions(k)
+	check := b.inputBus("c", r)
+
+	xorReduce := func(ins Bus) circuit.GateID {
+		if balanced {
+			return b.xor(ins...)
+		}
+		acc := ins[0]
+		for _, x := range ins[1:] {
+			acc = b.xor(acc, x)
+		}
+		return acc
+	}
+
+	// Syndrome bit j = parity over all code positions with bit j set,
+	// including the received check bit at position 2^j.
+	synd := make(Bus, r)
+	for j := 0; j < r; j++ {
+		var ins Bus
+		ins = append(ins, check[j])
+		for di, pos := range dataPos {
+			if pos&(1<<uint(j)) != 0 {
+				ins = append(ins, data[di])
+			}
+		}
+		synd[j] = xorReduce(ins)
+	}
+	nsynd := make(Bus, r)
+	for j, s := range synd {
+		nsynd[j] = b.not(s)
+	}
+	// Correct each data bit: flip when the syndrome equals its position.
+	for di, pos := range dataPos {
+		var term Bus
+		for j := 0; j < r; j++ {
+			if pos&(1<<uint(j)) != 0 {
+				term = append(term, synd[j])
+			} else {
+				term = append(term, nsynd[j])
+			}
+		}
+		hit := b.and(term...)
+		b.output(b.xor(data[di], hit))
+	}
+	return b.finish()
+}

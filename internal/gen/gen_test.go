@@ -1,0 +1,499 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logicsim"
+)
+
+// evalBus packs a bus value from a simulator run.
+func busValue(sim *logicsim.Simulator, out []bool, lo, n int) uint64 {
+	var v uint64
+	for i := 0; i < n; i++ {
+		if out[lo+i] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+func boolsOf(v uint64, n int) []bool {
+	b := make([]bool, n)
+	for i := 0; i < n; i++ {
+		b[i] = v&(1<<uint(i)) != 0
+	}
+	return b
+}
+
+func TestRippleCarryAdderFunctional(t *testing.T) {
+	const n = 8
+	c := RippleCarryAdder("rca8", n)
+	sim, err := logicsim.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		a := rng.Uint64() & 0xff
+		b := rng.Uint64() & 0xff
+		ci := rng.Uint64() & 1
+		in := append(append(boolsOf(a, n), boolsOf(b, n)...), ci == 1)
+		out, err := sim.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := busValue(sim, out, 0, n) | busValue(sim, out, n, 1)<<n
+		want := (a + b + ci) & 0x1ff
+		if got != want {
+			t.Fatalf("%d + %d + %d = %d, want %d", a, b, ci, got, want)
+		}
+	}
+}
+
+func TestCarryLookaheadAdderFunctional(t *testing.T) {
+	const n = 12
+	c := CarryLookaheadAdder("cla12", n)
+	sim, err := logicsim.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	mask := uint64(1<<n - 1)
+	for trial := 0; trial < 500; trial++ {
+		a := rng.Uint64() & mask
+		b := rng.Uint64() & mask
+		ci := rng.Uint64() & 1
+		in := append(append(boolsOf(a, n), boolsOf(b, n)...), ci == 1)
+		out, err := sim.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := busValue(sim, out, 0, n) | busValue(sim, out, n, 1)<<n
+		want := (a + b + ci) & (mask<<1 | 1)
+		if got != want {
+			t.Fatalf("%d + %d + %d = %d, want %d", a, b, ci, got, want)
+		}
+	}
+}
+
+func TestAddersEquivalent(t *testing.T) {
+	// RCA and CLA implement the same function.
+	res, err := logicsim.CheckEquivalence(
+		RippleCarryAdder("r", 6), CarryLookaheadAdder("l", 6), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Fatalf("RCA != CLA at input %v", res.FailingInput)
+	}
+}
+
+func TestArrayMultiplierFunctional(t *testing.T) {
+	const n = 6
+	c := ArrayMultiplier("mul6", n, false)
+	if got := len(c.Outputs); got != 2*n {
+		t.Fatalf("multiplier has %d outputs, want %d", got, 2*n)
+	}
+	sim, err := logicsim.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := uint64(1<<n - 1)
+	for a := uint64(0); a <= mask; a += 3 {
+		for b := uint64(0); b <= mask; b += 5 {
+			in := append(boolsOf(a, n), boolsOf(b, n)...)
+			out, err := sim.Eval(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := busValue(sim, out, 0, 2*n)
+			if got != a*b {
+				t.Fatalf("%d * %d = %d, want %d", a, b, got, a*b)
+			}
+		}
+	}
+}
+
+func TestALUFunctional(t *testing.T) {
+	const w = 8
+	c := ALU("alu8", w)
+	sim, err := logicsim.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	mask := uint64(1<<w - 1)
+	for trial := 0; trial < 800; trial++ {
+		a := rng.Uint64() & mask
+		b := rng.Uint64() & mask
+		op := rng.Intn(4)
+		ci := rng.Uint64() & 1
+		in := append(boolsOf(a, w), boolsOf(b, w)...)
+		in = append(in, op&1 != 0, op&2 != 0, ci == 1)
+		out, err := sim.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := busValue(sim, out, 0, w)
+		var want uint64
+		switch op {
+		case 0:
+			want = a & b
+		case 1:
+			want = a | b
+		case 2:
+			want = a ^ b
+		case 3:
+			want = (a + b + ci) & mask
+		}
+		if got != want {
+			t.Fatalf("op=%d a=%d b=%d ci=%d: got %d, want %d", op, a, b, ci, got, want)
+		}
+		// Carry-out must match for the add op.
+		if op == 3 {
+			co := busValue(sim, out, w, 1)
+			if co != (a+b+ci)>>w {
+				t.Fatalf("cout: got %d, want %d", co, (a+b+ci)>>w)
+			}
+		}
+	}
+}
+
+func TestComparatorFunctional(t *testing.T) {
+	const n = 5
+	c := Comparator("cmp5", n)
+	sim, err := logicsim.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 1<<n; a++ {
+		for b := uint64(0); b < 1<<n; b++ {
+			out, err := sim.Eval(append(boolsOf(a, n), boolsOf(b, n)...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out[0] != (a == b) || out[1] != (a > b) {
+				t.Fatalf("cmp(%d,%d) = eq:%v gt:%v", a, b, out[0], out[1])
+			}
+		}
+	}
+}
+
+func TestParityTreeFunctional(t *testing.T) {
+	const n = 9
+	c := ParityTree("par9", n)
+	sim, err := logicsim.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(0); v < 1<<n; v++ {
+		out, err := sim.Eval(boolsOf(v, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pop := 0
+		for i := 0; i < n; i++ {
+			if v&(1<<uint(i)) != 0 {
+				pop++
+			}
+		}
+		if out[0] != (pop%2 == 1) {
+			t.Fatalf("parity(%b) = %v", v, out[0])
+		}
+	}
+}
+
+func TestSECCorrectsSingleErrors(t *testing.T) {
+	const k = 11
+	c := SEC("sec11", k, true)
+	sim, err := logicsim.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataPos, r := hammingPositions(k)
+	rng := rand.New(rand.NewSource(4))
+	encode := func(data uint64) []bool {
+		// Compute check bits so that each syndrome is zero.
+		check := make([]bool, r)
+		for j := 0; j < r; j++ {
+			p := false
+			for di, pos := range dataPos {
+				if pos&(1<<uint(j)) != 0 && data&(1<<uint(di)) != 0 {
+					p = !p
+				}
+			}
+			check[j] = p
+		}
+		return append(boolsOf(data, k), check...)
+	}
+	for trial := 0; trial < 300; trial++ {
+		data := rng.Uint64() & (1<<k - 1)
+		word := encode(data)
+		// No error: decoder must return the data unchanged.
+		out, err := sim.Eval(word)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := busValue(sim, out, 0, k); got != data {
+			t.Fatalf("no-error decode changed data: %b -> %b", data, got)
+		}
+		// Single data-bit error: decoder must correct it.
+		flip := rng.Intn(k)
+		word[flip] = !word[flip]
+		out, err = sim.Eval(word)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := busValue(sim, out, 0, k); got != data {
+			t.Fatalf("error at bit %d not corrected: %b -> %b", flip, data, got)
+		}
+		word[flip] = !word[flip]
+	}
+}
+
+func TestSECBalancedAndLinearEquivalent(t *testing.T) {
+	res, err := logicsim.CheckEquivalence(SEC("a", 8, true), SEC("b", 8, false), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Fatalf("balanced and linear SEC differ at %v", res.FailingInput)
+	}
+}
+
+func TestPriorityInterruptFunctional(t *testing.T) {
+	const n = 6
+	c := PriorityInterrupt("pi6", n)
+	sim, err := logicsim.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 500; trial++ {
+		req := rng.Uint64() & (1<<n - 1)
+		mask := rng.Uint64() & (1<<n - 1)
+		out, err := sim.Eval(append(boolsOf(req, n), boolsOf(mask, n)...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		act := req &^ mask
+		wantAny := act != 0
+		if out[0] != wantAny {
+			t.Fatalf("any: req=%b mask=%b got %v", req, mask, out[0])
+		}
+		if wantAny {
+			// Lowest set bit of act is the granted channel.
+			ch := 0
+			for act&(1<<uint(ch)) == 0 {
+				ch++
+			}
+			bits := 0
+			for (1 << uint(bits)) < n {
+				bits++
+			}
+			got := busValue(sim, out, 1, bits)
+			if got != uint64(ch) {
+				t.Fatalf("encoded channel: req=%b mask=%b got %d want %d", req, mask, got, ch)
+			}
+		}
+	}
+}
+
+func TestDecoderFunctional(t *testing.T) {
+	const n = 3
+	c := Decoder("dec3", n)
+	sim, err := logicsim.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(0); v < 1<<n; v++ {
+		for _, en := range []bool{false, true} {
+			out, err := sim.Eval(append(boolsOf(v, n), en))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range out {
+				want := en && uint64(i) == v
+				if out[i] != want {
+					t.Fatalf("dec(%d,en=%v)[%d] = %v", v, en, i, out[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMuxTreeFunctional(t *testing.T) {
+	const n = 3
+	c := MuxTree("mux3", n)
+	sim, err := logicsim.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 300; trial++ {
+		data := rng.Uint64() & 0xff
+		sel := rng.Uint64() & 0x7
+		out, err := sim.Eval(append(boolsOf(data, 8), boolsOf(sel, n)...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := data&(1<<sel) != 0
+		if out[0] != want {
+			t.Fatalf("mux(%b, %d) = %v, want %v", data, sel, out[0], want)
+		}
+	}
+}
+
+func TestRandomDAGProperties(t *testing.T) {
+	prop := func(seed int64) bool {
+		c := RandomDAG("r", 8, 100, 6, seed)
+		if err := c.Validate(); err != nil {
+			return false
+		}
+		return len(c.Outputs) > 0 && c.NumLogicGates() >= 100
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomDAGDeterministic(t *testing.T) {
+	a := RandomDAG("r", 8, 50, 4, 123)
+	b := RandomDAG("r", 8, 50, 4, 123)
+	if a.NumGates() != b.NumGates() {
+		t.Fatal("same seed produced different circuits")
+	}
+	res, err := logicsim.CheckEquivalence(a, b, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Fatal("same seed produced functionally different circuits")
+	}
+}
+
+func TestComposeDisjointUnion(t *testing.T) {
+	a := ParityTree("p", 4)
+	b := Comparator("c", 3)
+	u := Compose("u", a, b)
+	if len(u.Inputs()) != len(a.Inputs())+len(b.Inputs()) {
+		t.Fatal("inputs not concatenated")
+	}
+	if len(u.Outputs) != len(a.Outputs)+len(b.Outputs) {
+		t.Fatal("outputs not concatenated")
+	}
+	if u.NumLogicGates() != a.NumLogicGates()+b.NumLogicGates() {
+		t.Fatal("gate count not additive")
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestISCASLikeAllNamesGenerate(t *testing.T) {
+	for _, name := range ISCASNames() {
+		c, err := ISCASLike(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.NumLogicGates() < 50 {
+			t.Errorf("%s: suspiciously small (%d gates)", name, c.NumLogicGates())
+		}
+	}
+	if _, err := ISCASLike("c9999"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestISCASNamesOrder(t *testing.T) {
+	names := ISCASNames()
+	want := []string{"alu1", "alu2", "alu3", "c432", "c499", "c880", "c1355",
+		"c1908", "c2670", "c3540", "c5315", "c6288", "c7552"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names[%d] = %s, want %s", i, names[i], want[i])
+		}
+	}
+}
+
+func TestGateDecompositionBoundsFanin(t *testing.T) {
+	b := newBuilder("wide")
+	ins := b.inputBus("i", 23)
+	out := b.and(ins...)
+	b.output(out)
+	c := b.finish()
+	for i := range c.Gates {
+		if len(c.Gates[i].Fanin) > 4 {
+			t.Fatalf("gate %s has fanin %d > 4", c.Gates[i].Name, len(c.Gates[i].Fanin))
+		}
+	}
+	// And the function must still be a 23-input AND.
+	sim, _ := logicsim.New(c)
+	all := make([]bool, 23)
+	for i := range all {
+		all[i] = true
+	}
+	out1, _ := sim.Eval(all)
+	if !out1[0] {
+		t.Fatal("AND of all-ones != 1")
+	}
+	all[11] = false
+	out2, _ := sim.Eval(all)
+	if out2[0] {
+		t.Fatal("AND with a zero != 0")
+	}
+}
+
+func TestWideInvertingDecomposition(t *testing.T) {
+	// NAND/NOR/XNOR of many inputs must keep their function after tree
+	// decomposition.
+	b := newBuilder("winv")
+	ins := b.inputBus("i", 9)
+	b.output(b.nand(ins...))
+	b.output(b.nor(ins...))
+	b.output(b.xnor(ins...))
+	c := b.finish()
+	sim, _ := logicsim.New(c)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		v := rng.Uint64() & 0x1ff
+		in := boolsOf(v, 9)
+		out, _ := sim.Eval(in)
+		andv, orv, xorv := true, false, false
+		for i := 0; i < 9; i++ {
+			andv = andv && in[i]
+			orv = orv || in[i]
+			xorv = xorv != in[i]
+		}
+		if out[0] != !andv || out[1] != !orv || out[2] != !xorv {
+			t.Fatalf("v=%b: got %v", v, out[:3])
+		}
+	}
+}
+
+func TestArrayMultiplierNORStyleEquivalent(t *testing.T) {
+	const n = 5
+	std := ArrayMultiplier("s", n, false)
+	nor := ArrayMultiplier("n", n, true)
+	res, err := logicsim.CheckEquivalence(std, nor, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Fatalf("NOR-style multiplier differs at %v", res.FailingInput)
+	}
+	if nor.NumLogicGates() <= std.NumLogicGates() {
+		t.Error("NOR style should use more gates")
+	}
+	if nor.Depth() <= std.Depth() {
+		t.Error("NOR style should be deeper")
+	}
+}

@@ -1,0 +1,143 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/circuit"
+)
+
+// PaperGateCounts records the mapped gate counts Table 1 of the paper
+// reports for each benchmark, used for reporting ours next to theirs.
+var PaperGateCounts = map[string]int{
+	"alu1": 234, "alu2": 161, "alu3": 215,
+	"c432": 203, "c499": 381, "c880": 301, "c1355": 378,
+	"c1908": 563, "c2670": 820, "c3540": 1245, "c5315": 2318,
+	"c6288": 2980, "c7552": 2763,
+}
+
+// iscasRecipes build a synthetic equivalent of each paper benchmark from
+// the circuit families its original belongs to (see DESIGN.md). Widths are
+// tuned so the mapped gate count lands near the paper's.
+var iscasRecipes = map[string]func() *circuit.Circuit{
+	// The paper's ALU circuits: parametric 74181-style ALUs.
+	"alu1": func() *circuit.Circuit { return ALU("alu1", 18) },
+	"alu2": func() *circuit.Circuit { return ALU("alu2", 12) },
+	"alu3": func() *circuit.Circuit { return ALU("alu3", 17) },
+	// c432: 27-channel interrupt controller.
+	"c432": func() *circuit.Circuit {
+		return Compose("c432",
+			PriorityInterrupt("prio", 27),
+			Comparator("cmp", 8),
+			MuxTree("mux", 3),
+		)
+	},
+	// c499: 32-bit single-error-correcting circuit.
+	"c499": func() *circuit.Circuit { return SEC("c499", 48, true) },
+	// c880: 8-bit ALU with parity and decode slices.
+	"c880": func() *circuit.Circuit {
+		return Compose("c880",
+			ALU("alu", 21),
+			ParityTree("par", 16),
+			Decoder("dec", 3),
+		)
+	},
+	// c1355: same function as c499 with expanded (chained) XOR structure.
+	"c1355": func() *circuit.Circuit { return SEC("c1355", 48, false) },
+	// c1908: 16-bit SEC/DED family: wider SEC plus parity and compare.
+	"c1908": func() *circuit.Circuit {
+		return Compose("c1908",
+			SEC("sec", 64, false),
+			ParityTree("par", 32),
+			Comparator("cmp", 16),
+		)
+	},
+	// c2670: 12-bit ALU and controller.
+	"c2670": func() *circuit.Circuit {
+		return Compose("c2670",
+			ALU("alu", 32),
+			Comparator("cmp", 24),
+			PriorityInterrupt("prio", 24),
+			ParityTree("par", 32),
+			Decoder("dec", 4),
+			MuxTree("mux", 4),
+		)
+	},
+	// c3540: 8-bit ALU with BCD/decode control.
+	"c3540": func() *circuit.Circuit {
+		return Compose("c3540",
+			ALU("alu_a", 48),
+			ALU("alu_b", 24),
+			Decoder("dec", 5),
+			Comparator("cmp", 24),
+			ParityTree("par", 64),
+			MuxTree("mux", 5),
+		)
+	},
+	// c5315: 9-bit ALU datapath with checking.
+	"c5315": func() *circuit.Circuit {
+		return Compose("c5315",
+			ALU("alu_a", 64),
+			ALU("alu_b", 48),
+			SEC("sec", 32, true),
+			Comparator("cmp", 32),
+			CarryLookaheadAdder("cla", 32),
+			PriorityInterrupt("prio", 32),
+		)
+	},
+	// c6288: 16x16 array multiplier, the deepest circuit of the set.
+	"c6288": func() *circuit.Circuit { return ArrayMultiplier("c6288", 16, true) },
+	// c7552: 32-bit adder/comparator datapath.
+	"c7552": func() *circuit.Circuit {
+		return Compose("c7552",
+			CarryLookaheadAdder("cla", 32),
+			RippleCarryAdder("rca", 20),
+			Comparator("cmp", 32),
+			ALU("alu_a", 64),
+			ALU("alu_b", 32),
+			SEC("sec", 48, true),
+			ParityTree("par", 64),
+			PriorityInterrupt("prio", 32),
+			MuxTree("mux", 5),
+			Decoder("dec", 5),
+		)
+	},
+}
+
+// ISCASLike generates the synthetic equivalent of the named paper
+// benchmark (alu1-3, c432..c7552).
+func ISCASLike(name string) (*circuit.Circuit, error) {
+	recipe, ok := iscasRecipes[name]
+	if !ok {
+		return nil, fmt.Errorf("gen: unknown benchmark %q (have %v)", name, ISCASNames())
+	}
+	return recipe(), nil
+}
+
+// ISCASNames returns the benchmark names in the paper's Table 1 order.
+func ISCASNames() []string {
+	names := make([]string, 0, len(iscasRecipes))
+	for n := range iscasRecipes {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		// Paper order: alu1-3 first, then cNNN by number.
+		oi, oj := tableOrder(names[i]), tableOrder(names[j])
+		return oi < oj
+	})
+	return names
+}
+
+func tableOrder(name string) int {
+	switch name {
+	case "alu1":
+		return 1
+	case "alu2":
+		return 2
+	case "alu3":
+		return 3
+	}
+	var n int
+	fmt.Sscanf(name, "c%d", &n)
+	return 10 + n
+}

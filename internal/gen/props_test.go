@@ -1,0 +1,105 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logicsim"
+)
+
+// Adders of random widths agree with Go integer arithmetic.
+func TestAdderWidthsProperty(t *testing.T) {
+	prop := func(seed int64, widthRaw uint8) bool {
+		w := 2 + int(widthRaw)%10
+		rca := RippleCarryAdder("r", w)
+		sim, err := logicsim.New(rca)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		mask := uint64(1<<uint(w) - 1)
+		for trial := 0; trial < 25; trial++ {
+			a := rng.Uint64() & mask
+			b := rng.Uint64() & mask
+			ci := rng.Uint64() & 1
+			in := append(append(boolsOf(a, w), boolsOf(b, w)...), ci == 1)
+			out, err := sim.Eval(in)
+			if err != nil {
+				return false
+			}
+			got := busValue(sim, out, 0, w) | busValue(sim, out, w, 1)<<uint(w)
+			if got != (a+b+ci)&(mask<<1|1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// RCA and CLA are equivalent at every width (exhaustive up to 2^(2w+1)
+// vectors for small w).
+func TestAdderFamilyEquivalenceProperty(t *testing.T) {
+	for w := 2; w <= 6; w++ {
+		res, err := logicsim.CheckEquivalence(
+			RippleCarryAdder("r", w), CarryLookaheadAdder("l", w), 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Equivalent {
+			t.Fatalf("width %d: adders differ at %v", w, res.FailingInput)
+		}
+	}
+}
+
+// Multipliers of random widths agree with Go arithmetic in both styles.
+func TestMultiplierWidthsProperty(t *testing.T) {
+	prop := func(seed int64, widthRaw uint8, norStyle bool) bool {
+		w := 2 + int(widthRaw)%5
+		m := ArrayMultiplier("m", w, norStyle)
+		sim, err := logicsim.New(m)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		mask := uint64(1<<uint(w) - 1)
+		for trial := 0; trial < 20; trial++ {
+			a := rng.Uint64() & mask
+			b := rng.Uint64() & mask
+			out, err := sim.Eval(append(boolsOf(a, w), boolsOf(b, w)...))
+			if err != nil {
+				return false
+			}
+			if busValue(sim, out, 0, 2*w) != a*b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 16}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Every generated block validates and has bounded fanin.
+func TestGeneratorInvariantsProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := RandomDAG("r", 4+rng.Intn(6), 30+rng.Intn(80), 3+rng.Intn(5), seed)
+		if err := c.Validate(); err != nil {
+			return false
+		}
+		for i := range c.Gates {
+			if len(c.Gates[i].Fanin) > 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

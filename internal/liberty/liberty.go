@@ -1,0 +1,313 @@
+// Package liberty reads and writes cell libraries in a practical subset
+// of the Liberty (.lib) format — the lingua franca for standard-cell
+// timing data. The built-in library can be exported for inspection by
+// other tools, and custom libraries (e.g. characterized from a different
+// process) can be loaded back and used by every engine in this module.
+//
+// Supported subset: library-level default attributes, cells with area,
+// input pins with capacitance, one output pin with a function string and
+// timing() groups holding cell_rise/cell_fall lookup tables over
+// (input_net_transition, total_output_net_capacitance), and rise/fall
+// transition tables. Rise and fall are written identically (this module
+// models one delay per cell) and averaged when read.
+package liberty
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/cells"
+)
+
+// Write emits the library as Liberty text.
+func Write(w io.Writer, lib *cells.Library) error {
+	b := &strings.Builder{}
+	fmt.Fprintf(b, "library (%s) {\n", lib.Name)
+	fmt.Fprintf(b, "  delay_model : table_lookup;\n")
+	fmt.Fprintf(b, "  time_unit : \"1ps\";\n")
+	fmt.Fprintf(b, "  capacitive_load_unit (1, ff);\n")
+	fmt.Fprintf(b, "  default_input_transition : %g;\n", lib.PrimaryInputSlew)
+	fmt.Fprintf(b, "  default_output_load : %g;\n", lib.PrimaryOutputLoad)
+	fmt.Fprintf(b, "  default_input_drive_resistance : %g;\n", lib.PrimaryInputRes)
+
+	for _, kind := range lib.Kinds() {
+		g := lib.Group(kind)
+		for _, c := range g.Cells {
+			writeCell(b, c)
+		}
+	}
+	fmt.Fprintf(b, "}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeCell(b *strings.Builder, c *cells.Cell) {
+	fmt.Fprintf(b, "  cell (%s) {\n", c.Name)
+	fmt.Fprintf(b, "    area : %g;\n", c.Area)
+	fmt.Fprintf(b, "    drive_strength : %g;\n", c.Drive)
+	for i := 0; i < c.Kind.Inputs(); i++ {
+		fmt.Fprintf(b, "    pin (%c) {\n", 'A'+i)
+		fmt.Fprintf(b, "      direction : input;\n")
+		fmt.Fprintf(b, "      capacitance : %g;\n", c.InputCap)
+		fmt.Fprintf(b, "    }\n")
+	}
+	fmt.Fprintf(b, "    pin (Y) {\n")
+	fmt.Fprintf(b, "      direction : output;\n")
+	fmt.Fprintf(b, "      function : \"%s\";\n", functionOf(c.Kind))
+	fmt.Fprintf(b, "      timing () {\n")
+	writeTable(b, "cell_rise", &c.Delay)
+	writeTable(b, "cell_fall", &c.Delay)
+	writeTable(b, "rise_transition", &c.OutSlew)
+	writeTable(b, "fall_transition", &c.OutSlew)
+	fmt.Fprintf(b, "      }\n")
+	fmt.Fprintf(b, "    }\n")
+	fmt.Fprintf(b, "  }\n")
+}
+
+func writeTable(b *strings.Builder, name string, t *cells.Table2D) {
+	fmt.Fprintf(b, "        %s (delay_template) {\n", name)
+	fmt.Fprintf(b, "          index_1 (\"%s\");\n", joinFloats(t.Slews))
+	fmt.Fprintf(b, "          index_2 (\"%s\");\n", joinFloats(t.Loads))
+	fmt.Fprintf(b, "          values ( \\\n")
+	for i, row := range t.Values {
+		sep := ", \\"
+		if i == len(t.Values)-1 {
+			sep = " \\"
+		}
+		fmt.Fprintf(b, "            \"%s\"%s\n", joinFloats(row), sep)
+	}
+	fmt.Fprintf(b, "          );\n")
+	fmt.Fprintf(b, "        }\n")
+}
+
+func joinFloats(xs []float64) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprintf("%g", x)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// functionOf renders a Liberty boolean function for the kind, using pin
+// names A, B, C, D.
+func functionOf(k cells.Kind) string {
+	pins := make([]string, k.Inputs())
+	for i := range pins {
+		pins[i] = string(rune('A' + i))
+	}
+	switch k {
+	case cells.INV:
+		return "!A"
+	case cells.BUF:
+		return "A"
+	case cells.AND2, cells.AND3, cells.AND4:
+		return strings.Join(pins, "*")
+	case cells.NAND2, cells.NAND3, cells.NAND4:
+		return "!(" + strings.Join(pins, "*") + ")"
+	case cells.OR2, cells.OR3, cells.OR4:
+		return strings.Join(pins, "+")
+	case cells.NOR2, cells.NOR3, cells.NOR4:
+		return "!(" + strings.Join(pins, "+") + ")"
+	case cells.XOR2:
+		return "A^B"
+	case cells.XNOR2:
+		return "!(A^B)"
+	}
+	return "?"
+}
+
+// KindOfCellName resolves a cell name of the form KIND_Xdrive back to its
+// kind (e.g. "NAND2_X4" -> NAND2).
+func KindOfCellName(name string) (cells.Kind, bool) {
+	base, _, found := strings.Cut(name, "_X")
+	if !found {
+		return 0, false
+	}
+	return cells.ParseKind(base)
+}
+
+// Parse reads a Liberty library written by Write (or a compatible
+// subset). Cells whose names do not follow the KIND_Xdrive convention
+// are rejected, since the mapper needs the kind.
+func Parse(r io.Reader) (*cells.Library, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("liberty: read: %v", err)
+	}
+	p := &parser{toks: lex(string(data))}
+	g, err := p.group()
+	if err != nil {
+		return nil, err
+	}
+	if g.name != "library" {
+		return nil, fmt.Errorf("liberty: top-level group is %q, want library", g.name)
+	}
+	lib := &cells.Library{Name: g.arg}
+	if v, ok := g.attrFloat("default_input_transition"); ok {
+		lib.PrimaryInputSlew = v
+	}
+	if v, ok := g.attrFloat("default_output_load"); ok {
+		lib.PrimaryOutputLoad = v
+	}
+	if v, ok := g.attrFloat("default_input_drive_resistance"); ok {
+		lib.PrimaryInputRes = v
+	}
+	groups := map[cells.Kind][]*cells.Cell{}
+	for _, sub := range g.subs {
+		if sub.name != "cell" {
+			continue
+		}
+		cell, err := parseCell(sub)
+		if err != nil {
+			return nil, err
+		}
+		groups[cell.Kind] = append(groups[cell.Kind], cell)
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("liberty: library %q has no cells", lib.Name)
+	}
+	for kind, cs := range groups {
+		sort.Slice(cs, func(i, j int) bool { return cs[i].Drive < cs[j].Drive })
+		for i, c := range cs {
+			c.SizeIdx = i
+		}
+		lib.AddGroup(&cells.Group{Kind: kind, Cells: cs})
+	}
+	if err := lib.Validate(); err != nil {
+		return nil, fmt.Errorf("liberty: parsed library invalid: %v", err)
+	}
+	return lib, nil
+}
+
+func parseCell(g *group) (*cells.Cell, error) {
+	kind, ok := KindOfCellName(g.arg)
+	if !ok {
+		return nil, fmt.Errorf("liberty: cell %q does not follow the KIND_Xdrive naming convention", g.arg)
+	}
+	c := &cells.Cell{Name: g.arg, Kind: kind}
+	if v, ok := g.attrFloat("area"); ok {
+		c.Area = v
+	}
+	if v, ok := g.attrFloat("drive_strength"); ok {
+		c.Drive = v
+	}
+	var haveDelay, haveSlew int
+	for _, pin := range g.subs {
+		if pin.name != "pin" {
+			continue
+		}
+		dir, _ := pin.attrString("direction")
+		switch dir {
+		case "input":
+			if v, ok := pin.attrFloat("capacitance"); ok {
+				c.InputCap = v
+			}
+		case "output":
+			for _, tg := range pin.subs {
+				if tg.name != "timing" {
+					continue
+				}
+				for _, tab := range tg.subs {
+					t, err := parseTable(tab)
+					if err != nil {
+						return nil, fmt.Errorf("liberty: cell %s: %v", c.Name, err)
+					}
+					switch tab.name {
+					case "cell_rise", "cell_fall":
+						c.Delay = averageTables(c.Delay, t, haveDelay)
+						haveDelay++
+					case "rise_transition", "fall_transition":
+						c.OutSlew = averageTables(c.OutSlew, t, haveSlew)
+						haveSlew++
+					}
+				}
+			}
+		default:
+			return nil, fmt.Errorf("liberty: cell %s: pin %s has no direction", c.Name, pin.arg)
+		}
+	}
+	if haveDelay == 0 {
+		return nil, fmt.Errorf("liberty: cell %s has no delay tables", c.Name)
+	}
+	if c.Drive == 0 {
+		// Fall back to the name suffix.
+		if _, suffix, ok := strings.Cut(c.Name, "_X"); ok {
+			fmt.Sscanf(suffix, "%g", &c.Drive)
+		}
+	}
+	if c.Drive == 0 || c.InputCap == 0 || c.Area == 0 {
+		return nil, fmt.Errorf("liberty: cell %s missing drive/capacitance/area", c.Name)
+	}
+	return c, nil
+}
+
+// averageTables merges rise/fall tables into one (this module models a
+// single delay per cell): the n-th incoming table is averaged in with
+// weight 1/(n+1).
+func averageTables(acc, t cells.Table2D, n int) cells.Table2D {
+	if n == 0 {
+		return t
+	}
+	for i := range acc.Values {
+		for j := range acc.Values[i] {
+			acc.Values[i][j] = (acc.Values[i][j]*float64(n) + t.Values[i][j]) / float64(n+1)
+		}
+	}
+	return acc
+}
+
+func parseTable(g *group) (cells.Table2D, error) {
+	var t cells.Table2D
+	idx1, ok := g.attrString("index_1")
+	if !ok {
+		return t, fmt.Errorf("table %s: missing index_1", g.name)
+	}
+	idx2, ok := g.attrString("index_2")
+	if !ok {
+		return t, fmt.Errorf("table %s: missing index_2", g.name)
+	}
+	var err error
+	if t.Slews, err = parseFloats(idx1); err != nil {
+		return t, err
+	}
+	if t.Loads, err = parseFloats(idx2); err != nil {
+		return t, err
+	}
+	rows, ok := g.attrList("values")
+	if !ok {
+		return t, fmt.Errorf("table %s: missing values", g.name)
+	}
+	for _, row := range rows {
+		vs, err := parseFloats(row)
+		if err != nil {
+			return t, err
+		}
+		if len(vs) != len(t.Loads) {
+			return t, fmt.Errorf("table %s: row has %d values, want %d", g.name, len(vs), len(t.Loads))
+		}
+		t.Values = append(t.Values, vs)
+	}
+	if len(t.Values) != len(t.Slews) {
+		return t, fmt.Errorf("table %s: %d rows, want %d", g.name, len(t.Values), len(t.Slews))
+	}
+	return t, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(p, "%g", &v); err != nil {
+			return nil, fmt.Errorf("bad number %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,147 @@
+// Package logicsim evaluates combinational circuits on Boolean vectors and
+// checks functional equivalence between two circuits by exhaustive or
+// random-vector simulation. It is the verification substrate behind the
+// circuit generators and the technology mapper: any structural transform
+// must leave the primary-output functions unchanged.
+package logicsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+)
+
+// Simulator evaluates one circuit repeatedly, reusing its value buffer.
+type Simulator struct {
+	c    *circuit.Circuit
+	topo []circuit.GateID
+	vals []bool
+}
+
+// New prepares a simulator for the circuit. It fails if the circuit is
+// cyclic.
+func New(c *circuit.Circuit) (*Simulator, error) {
+	topo, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{c: c, topo: topo, vals: make([]bool, c.NumGates())}, nil
+}
+
+// Eval applies the input vector (in circuit.Inputs() order) and returns
+// the output vector (in circuit.Outputs order). The returned slice is
+// reused across calls; copy it if you need to keep it.
+func (s *Simulator) Eval(inputs []bool) ([]bool, error) {
+	pis := s.c.Inputs()
+	if len(inputs) != len(pis) {
+		return nil, fmt.Errorf("logicsim: %d input values for %d primary inputs", len(inputs), len(pis))
+	}
+	for i, id := range pis {
+		s.vals[id] = inputs[i]
+	}
+	var faninBuf [8]bool
+	for _, id := range s.topo {
+		g := s.c.Gate(id)
+		switch g.Fn {
+		case circuit.Input:
+			continue
+		case circuit.Const0:
+			s.vals[id] = false
+			continue
+		case circuit.Const1:
+			s.vals[id] = true
+			continue
+		}
+		in := faninBuf[:0]
+		for _, f := range g.Fanin {
+			in = append(in, s.vals[f])
+		}
+		s.vals[id] = g.Fn.Eval(in)
+	}
+	outs := make([]bool, len(s.c.Outputs))
+	for i, id := range s.c.Outputs {
+		outs[i] = s.vals[id]
+	}
+	return outs, nil
+}
+
+// Value returns the value computed for a gate by the most recent Eval.
+func (s *Simulator) Value(id circuit.GateID) bool { return s.vals[id] }
+
+// EquivalenceResult reports the outcome of an equivalence check.
+type EquivalenceResult struct {
+	Equivalent   bool
+	Vectors      int    // vectors simulated
+	FailingInput []bool // first mismatching input vector, nil if equivalent
+	FailingPO    int    // index of the first mismatching output
+}
+
+// CheckEquivalence compares two circuits with the same PI/PO counts. If
+// the input count is at most exhaustiveLimit bits the check is exhaustive;
+// otherwise nVectors random vectors are simulated with the given seed.
+// PIs and POs are matched positionally (generators and the mapper preserve
+// order).
+func CheckEquivalence(a, b *circuit.Circuit, nVectors int, seed int64) (EquivalenceResult, error) {
+	const exhaustiveLimit = 14
+	if len(a.Inputs()) != len(b.Inputs()) {
+		return EquivalenceResult{}, fmt.Errorf("logicsim: PI count mismatch %d vs %d", len(a.Inputs()), len(b.Inputs()))
+	}
+	if len(a.Outputs) != len(b.Outputs) {
+		return EquivalenceResult{}, fmt.Errorf("logicsim: PO count mismatch %d vs %d", len(a.Outputs), len(b.Outputs))
+	}
+	sa, err := New(a)
+	if err != nil {
+		return EquivalenceResult{}, err
+	}
+	sb, err := New(b)
+	if err != nil {
+		return EquivalenceResult{}, err
+	}
+	n := len(a.Inputs())
+	check := func(vec []bool, count int) (EquivalenceResult, bool, error) {
+		oa, err := sa.Eval(vec)
+		if err != nil {
+			return EquivalenceResult{}, false, err
+		}
+		ob, err := sb.Eval(vec)
+		if err != nil {
+			return EquivalenceResult{}, false, err
+		}
+		for i := range oa {
+			if oa[i] != ob[i] {
+				return EquivalenceResult{
+					Equivalent:   false,
+					Vectors:      count,
+					FailingInput: append([]bool(nil), vec...),
+					FailingPO:    i,
+				}, true, nil
+			}
+		}
+		return EquivalenceResult{}, false, nil
+	}
+
+	vec := make([]bool, n)
+	if n <= exhaustiveLimit {
+		total := 1 << uint(n)
+		for v := 0; v < total; v++ {
+			for i := 0; i < n; i++ {
+				vec[i] = v&(1<<uint(i)) != 0
+			}
+			if res, bad, err := check(vec, v+1); err != nil || bad {
+				return res, err
+			}
+		}
+		return EquivalenceResult{Equivalent: true, Vectors: total}, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for v := 0; v < nVectors; v++ {
+		for i := 0; i < n; i++ {
+			vec[i] = rng.Intn(2) == 1
+		}
+		if res, bad, err := check(vec, v+1); err != nil || bad {
+			return res, err
+		}
+	}
+	return EquivalenceResult{Equivalent: true, Vectors: nVectors}, nil
+}

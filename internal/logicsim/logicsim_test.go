@@ -1,0 +1,210 @@
+package logicsim
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+// fullAdder builds a structural full adder: sum = a^b^cin, cout = majority.
+func fullAdder(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	c := circuit.New("fa")
+	a := c.MustAddGate("a", circuit.Input)
+	b := c.MustAddGate("b", circuit.Input)
+	ci := c.MustAddGate("cin", circuit.Input)
+	x1 := c.MustAddGate("x1", circuit.Xor)
+	c.MustConnect(a, x1)
+	c.MustConnect(b, x1)
+	sum := c.MustAddGate("sum", circuit.Xor)
+	c.MustConnect(x1, sum)
+	c.MustConnect(ci, sum)
+	a1 := c.MustAddGate("a1", circuit.And)
+	c.MustConnect(a, a1)
+	c.MustConnect(b, a1)
+	a2 := c.MustAddGate("a2", circuit.And)
+	c.MustConnect(x1, a2)
+	c.MustConnect(ci, a2)
+	co := c.MustAddGate("cout", circuit.Or)
+	c.MustConnect(a1, co)
+	c.MustConnect(a2, co)
+	c.MustMarkOutput(sum)
+	c.MustMarkOutput(co)
+	return c
+}
+
+func TestFullAdderTruthTable(t *testing.T) {
+	sim, err := New(fullAdder(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 8; v++ {
+		a, b, ci := v&1 != 0, v&2 != 0, v&4 != 0
+		out, err := sim.Eval([]bool{a, b, ci})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		if a {
+			n++
+		}
+		if b {
+			n++
+		}
+		if ci {
+			n++
+		}
+		wantSum := n%2 == 1
+		wantCo := n >= 2
+		if out[0] != wantSum || out[1] != wantCo {
+			t.Errorf("v=%d: got sum=%v cout=%v, want %v %v", v, out[0], out[1], wantSum, wantCo)
+		}
+	}
+}
+
+func TestEvalInputCountMismatch(t *testing.T) {
+	sim, _ := New(fullAdder(t))
+	if _, err := sim.Eval([]bool{true}); err == nil {
+		t.Fatal("expected input-count error")
+	}
+}
+
+func TestConstants(t *testing.T) {
+	c := circuit.New("k")
+	k1 := c.MustAddGate("k1", circuit.Const1)
+	k0 := c.MustAddGate("k0", circuit.Const0)
+	o := c.MustAddGate("o", circuit.And)
+	c.MustConnect(k1, o)
+	c.MustConnect(k0, o)
+	c.MustMarkOutput(o)
+	sim, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sim.Eval(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != false {
+		t.Fatal("AND(1,0) != 0")
+	}
+}
+
+func TestEquivalenceExhaustiveIdentical(t *testing.T) {
+	a := fullAdder(t)
+	b := fullAdder(t)
+	res, err := CheckEquivalence(a, b, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Fatalf("identical circuits reported different at vector %v", res.FailingInput)
+	}
+	if res.Vectors != 8 {
+		t.Errorf("exhaustive check ran %d vectors, want 8", res.Vectors)
+	}
+}
+
+func TestEquivalenceDetectsDifference(t *testing.T) {
+	a := fullAdder(t)
+	b := fullAdder(t)
+	// Break b: invert the sum (XOR -> XNOR). Note OR->XOR on cout would
+	// NOT break it: the two carry terms are mutually exclusive.
+	id := b.MustLookup("sum")
+	b.Gate(id).Fn = circuit.Xnor
+	res, err := CheckEquivalence(a, b, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Equivalent {
+		t.Fatal("broken circuit reported equivalent")
+	}
+	if res.FailingInput == nil || res.FailingPO != 0 {
+		t.Errorf("failing witness missing: %+v", res)
+	}
+}
+
+func TestEquivalenceStructuralVariants(t *testing.T) {
+	// NAND(a,b) == NOT(AND(a,b))
+	mk := func(useNand bool) *circuit.Circuit {
+		c := circuit.New("v")
+		a := c.MustAddGate("a", circuit.Input)
+		b := c.MustAddGate("b", circuit.Input)
+		var out circuit.GateID
+		if useNand {
+			out = c.MustAddGate("y", circuit.Nand)
+			c.MustConnect(a, out)
+			c.MustConnect(b, out)
+		} else {
+			n := c.MustAddGate("n", circuit.And)
+			c.MustConnect(a, n)
+			c.MustConnect(b, n)
+			out = c.MustAddGate("y", circuit.Not)
+			c.MustConnect(n, out)
+		}
+		c.MustMarkOutput(out)
+		return c
+	}
+	res, err := CheckEquivalence(mk(true), mk(false), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Fatal("NAND != NOT(AND)")
+	}
+}
+
+func TestEquivalencePICountMismatch(t *testing.T) {
+	a := fullAdder(t)
+	b := circuit.New("tiny")
+	x := b.MustAddGate("x", circuit.Input)
+	n := b.MustAddGate("n", circuit.Not)
+	b.MustConnect(x, n)
+	b.MustMarkOutput(n)
+	if _, err := CheckEquivalence(a, b, 0, 1); err == nil {
+		t.Fatal("expected PI mismatch error")
+	}
+}
+
+func TestRandomVectorPathForWideCircuits(t *testing.T) {
+	// 20 inputs forces the random-vector path.
+	mk := func() *circuit.Circuit {
+		c := circuit.New("wide")
+		var prev circuit.GateID = circuit.None
+		for i := 0; i < 20; i++ {
+			in := c.MustAddGate("", circuit.Input)
+			if prev == circuit.None {
+				prev = in
+				continue
+			}
+			x := c.MustAddGate("", circuit.Xor)
+			c.MustConnect(prev, x)
+			c.MustConnect(in, x)
+			prev = x
+		}
+		c.MustMarkOutput(prev)
+		return c
+	}
+	res, err := CheckEquivalence(mk(), mk(), 500, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent || res.Vectors != 500 {
+		t.Fatalf("random-vector equivalence failed: %+v", res)
+	}
+}
+
+func TestValueAfterEval(t *testing.T) {
+	c := fullAdder(t)
+	sim, _ := New(c)
+	if _, err := sim.Eval([]bool{true, true, false}); err != nil {
+		t.Fatal(err)
+	}
+	if !sim.Value(c.MustLookup("x1")) == true {
+		// x1 = a XOR b = false for (1,1).
+		t.Log("x1 =", sim.Value(c.MustLookup("x1")))
+	}
+	if sim.Value(c.MustLookup("a1")) != true {
+		t.Fatal("internal AND value wrong")
+	}
+}

@@ -1,0 +1,123 @@
+// Package montecarlo is the golden-reference statistical timing engine:
+// it draws one delay realization per gate per trial from the variation
+// model, propagates longest-path arrivals deterministically, and collects
+// the empirical distribution of the circuit delay. FULLSSTA and FASSTA
+// are validated against it in tests and in the engine-accuracy
+// experiment.
+package montecarlo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/dpdf"
+	"repro/internal/sta"
+	"repro/internal/synth"
+	"repro/internal/variation"
+)
+
+// Result is an empirical circuit-delay distribution.
+type Result struct {
+	Samples []float64 // sorted circuit delays, ps
+	Mean    float64
+	Sigma   float64
+}
+
+// Analyze runs n Monte-Carlo trials with the given seed. Nominal delays
+// and slews are frozen from one deterministic analysis; each trial
+// perturbs every gate delay independently (the paper's model: independent
+// normally distributed gate delays).
+func Analyze(d *synth.Design, vm *variation.Model, n int, seed int64) (*Result, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("montecarlo: need a positive sample count, got %d", n)
+	}
+	nominal := sta.Analyze(d)
+	c := d.Circuit
+	topo := c.MustTopoOrder()
+
+	means := make([]float64, c.NumGates())
+	sigmas := make([]float64, c.NumGates())
+	for _, id := range topo {
+		g := c.Gate(id)
+		if g.Fn == circuit.Input {
+			continue
+		}
+		means[id] = nominal.Delay[id]
+		sigmas[id] = vm.Sigma(d.Cell(id), means[id])
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	arrival := make([]float64, c.NumGates())
+	samples := make([]float64, n)
+	var sum, sumsq float64
+	for trial := 0; trial < n; trial++ {
+		for _, id := range topo {
+			g := c.Gate(id)
+			if g.Fn == circuit.Input {
+				arrival[id] = 0
+				continue
+			}
+			worst := 0.0
+			for _, f := range g.Fanin {
+				if arrival[f] > worst {
+					worst = arrival[f]
+				}
+			}
+			arrival[id] = worst + variation.Sample(rng, means[id], sigmas[id])
+		}
+		cd := math.Inf(-1)
+		for _, po := range c.Outputs {
+			if arrival[po] > cd {
+				cd = arrival[po]
+			}
+		}
+		if len(c.Outputs) == 0 {
+			cd = 0
+		}
+		samples[trial] = cd
+		sum += cd
+		sumsq += cd * cd
+	}
+	sort.Float64s(samples)
+	mean := sum / float64(n)
+	varc := sumsq/float64(n) - mean*mean
+	if varc < 0 {
+		varc = 0
+	}
+	return &Result{Samples: samples, Mean: mean, Sigma: math.Sqrt(varc)}, nil
+}
+
+// Quantile returns the q-quantile of the empirical distribution.
+func (r *Result) Quantile(q float64) float64 {
+	if len(r.Samples) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(r.Samples)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(r.Samples) {
+		i = len(r.Samples) - 1
+	}
+	return r.Samples[i]
+}
+
+// Yield returns the fraction of trials meeting the period T.
+func (r *Result) Yield(T float64) float64 {
+	// Samples are sorted: binary search.
+	i := sort.SearchFloat64s(r.Samples, T)
+	// Include equal values.
+	for i < len(r.Samples) && r.Samples[i] <= T {
+		i++
+	}
+	return float64(i) / float64(len(r.Samples))
+}
+
+// PDF converts the sample set into an n-point discrete PDF for plotting
+// next to FULLSSTA output.
+func (r *Result) PDF(points int) dpdf.PDF {
+	return dpdf.FromSamples(r.Samples, points)
+}

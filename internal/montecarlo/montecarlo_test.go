@@ -1,0 +1,144 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cells"
+	"repro/internal/circuit"
+	"repro/internal/gen"
+	"repro/internal/sta"
+	"repro/internal/synth"
+	"repro/internal/variation"
+)
+
+func setup(t *testing.T, c *circuit.Circuit) (*synth.Design, *variation.Model) {
+	t.Helper()
+	lib := cells.Default90nm()
+	d, err := synth.Map(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, variation.Default(lib)
+}
+
+func TestRejectsNonPositiveSamples(t *testing.T) {
+	d, vm := setup(t, gen.ParityTree("p", 4))
+	if _, err := Analyze(d, vm, 0, 1); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	d, vm := setup(t, gen.ParityTree("p", 8))
+	a, err := Analyze(d, vm, 500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Analyze(d, vm, 500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mean != b.Mean || a.Sigma != b.Sigma {
+		t.Fatal("same seed produced different results")
+	}
+	c, err := Analyze(d, vm, 500, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mean == c.Mean {
+		t.Fatal("different seeds produced identical results (suspicious)")
+	}
+}
+
+func TestMeanNearNominal(t *testing.T) {
+	d, vm := setup(t, gen.RippleCarryAdder("rca", 8))
+	nominal := sta.Analyze(d)
+	r, err := Analyze(d, vm, 10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E[max of RVs] >= max of means; and within 50% of nominal.
+	if r.Mean < nominal.MaxArrival*0.98 {
+		t.Errorf("MC mean %g far below nominal %g", r.Mean, nominal.MaxArrival)
+	}
+	if r.Mean > nominal.MaxArrival*1.5 {
+		t.Errorf("MC mean %g unreasonably above nominal %g", r.Mean, nominal.MaxArrival)
+	}
+}
+
+func TestSamplesSortedAndQuantiles(t *testing.T) {
+	d, vm := setup(t, gen.ALU("alu", 3))
+	r, err := Analyze(d, vm, 2000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(r.Samples); i++ {
+		if r.Samples[i] < r.Samples[i-1] {
+			t.Fatal("samples not sorted")
+		}
+	}
+	if r.Quantile(0) != r.Samples[0] {
+		t.Error("q0 != min")
+	}
+	if r.Quantile(0.999999) != r.Samples[len(r.Samples)-1] {
+		t.Error("q1 != max")
+	}
+	if r.Quantile(0.25) > r.Quantile(0.75) {
+		t.Error("quantiles not monotone")
+	}
+}
+
+func TestYieldBoundsAndMonotone(t *testing.T) {
+	d, vm := setup(t, gen.Comparator("cmp", 5))
+	r, err := Analyze(d, vm, 5000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y := r.Yield(r.Samples[0] - 1); y != 0 {
+		t.Errorf("yield below min = %g", y)
+	}
+	if y := r.Yield(r.Samples[len(r.Samples)-1]); y != 1 {
+		t.Errorf("yield at max = %g", y)
+	}
+	if r.Yield(r.Mean) < 0.3 || r.Yield(r.Mean) > 0.7 {
+		t.Errorf("yield at mean = %g, want near 0.5", r.Yield(r.Mean))
+	}
+}
+
+func TestPDFMatchesSampleMoments(t *testing.T) {
+	d, vm := setup(t, gen.ParityTree("p", 12))
+	r, err := Analyze(d, vm, 20000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := r.PDF(15)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Mean()-r.Mean) > 0.01*r.Mean {
+		t.Errorf("PDF mean %g vs sample mean %g", p.Mean(), r.Mean)
+	}
+	if math.Abs(p.Sigma()-r.Sigma) > 0.1*r.Sigma {
+		t.Errorf("PDF sigma %g vs sample sigma %g", p.Sigma(), r.Sigma)
+	}
+}
+
+func TestMoreVariationMoreSigma(t *testing.T) {
+	lib := cells.Default90nm()
+	d, err := synth.Map(gen.RippleCarryAdder("rca", 6), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := Analyze(d, variation.New(lib, 0.05, 0.05), 5000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Analyze(d, variation.New(lib, 0.3, 0.3), 5000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.Sigma <= lo.Sigma {
+		t.Errorf("sigma did not grow with variation coefficients: %g vs %g", lo.Sigma, hi.Sigma)
+	}
+}

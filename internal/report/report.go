@@ -1,0 +1,164 @@
+// Package report renders fixed-width tables, CSV files and ASCII plots
+// for the experiment harness — the textual equivalents of the paper's
+// Table 1 and Figures 1 and 4.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := line(t.Headers); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := line(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the table as CSV (no quoting needed for our numeric
+// content; commas in cells are replaced by semicolons defensively).
+func (t *Table) WriteCSV(w io.Writer) error {
+	san := func(s string) string { return strings.ReplaceAll(s, ",", ";") }
+	cells := make([]string, len(t.Headers))
+	for i, h := range t.Headers {
+		cells[i] = san(h)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		cells = cells[:0]
+		for _, c := range r {
+			cells = append(cells, san(c))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is one labeled line for an XY plot.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Plot renders labeled series as a crude ASCII scatter/line chart sized
+// width x height characters, with axes annotated by their ranges.
+func Plot(w io.Writer, title string, series []Series, width, height int) error {
+	if width < 16 {
+		width = 60
+	}
+	if height < 6 {
+		height = 18
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if minX > maxX {
+		return fmt.Errorf("report: no data to plot")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := []byte{'*', 'o', '+', 'x', '#', '@'}
+	for si, s := range series {
+		m := marks[si%len(marks)]
+		for i := range s.X {
+			cx := int(float64(width-1) * (s.X[i] - minX) / (maxX - minX))
+			cy := int(float64(height-1) * (s.Y[i] - minY) / (maxY - minY))
+			grid[height-1-cy][cx] = m
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "y: %.4g .. %.4g\n", minY, maxY)
+	for _, row := range grid {
+		fmt.Fprintf(w, "|%s\n", string(row))
+	}
+	fmt.Fprintf(w, "+%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(w, "x: %.4g .. %.4g\n", minX, maxX)
+	for si, s := range series {
+		fmt.Fprintf(w, "  %c %s\n", marks[si%len(marks)], s.Label)
+	}
+	return nil
+}

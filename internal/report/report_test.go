@@ -1,0 +1,112 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:   "demo",
+		Headers: []string{"name", "value", "pct"},
+	}
+	t.AddRow("alpha", 1.5, "+10%")
+	t.AddRow("beta-longer", 22.25, "-3%")
+	return t
+}
+
+func TestTableWriteAligned(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "pct") {
+		t.Error("missing headers")
+	}
+	if !strings.Contains(out, "1.500") {
+		t.Error("float not formatted to 3 decimals")
+	}
+	// Column alignment: 'value' column starts at the same offset in all rows.
+	head := strings.Index(lines[1], "value")
+	row := strings.Index(lines[3], "1.500")
+	if head != row {
+		t.Errorf("misaligned columns: header at %d, value at %d\n%s", head, row, out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if lines[0] != "name,value,pct" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "alpha,1.500,") {
+		t.Errorf("csv row = %q", lines[1])
+	}
+}
+
+func TestTableCSVSanitizesCommas(t *testing.T) {
+	tab := &Table{Headers: []string{"a,b"}}
+	tab.AddRow("x,y")
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), ",") != 0 {
+		t.Errorf("commas leaked: %q", buf.String())
+	}
+}
+
+func TestPlotRendersSeries(t *testing.T) {
+	var buf bytes.Buffer
+	err := Plot(&buf, "pdf", []Series{
+		{Label: "original", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 4, 9}},
+		{Label: "optimized", X: []float64{0, 1, 2, 3}, Y: []float64{9, 4, 1, 0}},
+	}, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "pdf") || !strings.Contains(out, "original") {
+		t.Error("missing title or legend")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("marks not plotted")
+	}
+	if !strings.Contains(out, "x: 0 .. 3") {
+		t.Errorf("x range missing:\n%s", out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Plot(&buf, "t", nil, 10, 5); err == nil {
+		t.Fatal("expected error for empty plot")
+	}
+}
+
+func TestPlotDegenerateRanges(t *testing.T) {
+	var buf bytes.Buffer
+	err := Plot(&buf, "t", []Series{{Label: "p", X: []float64{1}, Y: []float64{2}}}, 20, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Error("single point not plotted")
+	}
+}

@@ -1,0 +1,86 @@
+// Package sdf writes Standard Delay Format (SDF 3.0) files annotating
+// every mapped gate with its statistical delay corners: the
+// (min:typ:max) triple is (mu - 3 sigma, mu, mu + 3 sigma) from the
+// current sizing, the deterministic analysis and the variation model.
+// This is how the statistical results of this module hand off to a
+// conventional corner-based simulation or sign-off flow.
+package sdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/sta"
+	"repro/internal/synth"
+	"repro/internal/variation"
+)
+
+// Write emits the design's delays as SDF. kSigma sets the corner width
+// in standard deviations (3 is conventional; 0 emits typ-only triples).
+func Write(w io.Writer, d *synth.Design, vm *variation.Model, kSigma float64) error {
+	if kSigma < 0 {
+		return fmt.Errorf("sdf: negative corner width %g", kSigma)
+	}
+	nominal := sta.Analyze(d)
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "(DELAYFILE\n")
+	fmt.Fprintf(bw, "  (SDFVERSION \"3.0\")\n")
+	fmt.Fprintf(bw, "  (DESIGN \"%s\")\n", d.Circuit.Name)
+	fmt.Fprintf(bw, "  (TIMESCALE 1ps)\n")
+	for _, id := range d.Circuit.MustTopoOrder() {
+		g := d.Circuit.Gate(id)
+		if !g.Fn.IsLogic() || g.CellRef < 0 {
+			continue
+		}
+		cell := d.Cell(id)
+		mu := nominal.Delay[id]
+		sigma := vm.Sigma(cell, mu)
+		lo := mu - kSigma*sigma
+		if lo < 0 {
+			lo = 0
+		}
+		hi := mu + kSigma*sigma
+		fmt.Fprintf(bw, "  (CELL\n")
+		fmt.Fprintf(bw, "    (CELLTYPE \"%s\")\n", cell.Name)
+		fmt.Fprintf(bw, "    (INSTANCE %s)\n", g.Name)
+		fmt.Fprintf(bw, "    (DELAY (ABSOLUTE\n")
+		for i := 0; i < cell.Kind.Inputs(); i++ {
+			fmt.Fprintf(bw, "      (IOPATH %c Y (%.3f:%.3f:%.3f) (%.3f:%.3f:%.3f))\n",
+				'A'+i, lo, mu, hi, lo, mu, hi)
+		}
+		fmt.Fprintf(bw, "    ))\n")
+		fmt.Fprintf(bw, "  )\n")
+	}
+	fmt.Fprintf(bw, ")\n")
+	return bw.Flush()
+}
+
+// CornerSummary reports the aggregate corner spread of a design: the
+// total typ path delay of the worst path and its min/max corner delays,
+// a quick sanity view of how much the statistical window closes after
+// optimization.
+type CornerSummary struct {
+	WorstPathTyp float64
+	WorstPathMin float64
+	WorstPathMax float64
+}
+
+// Corners computes the summary along the deterministic critical path.
+func Corners(d *synth.Design, vm *variation.Model, kSigma float64) CornerSummary {
+	nominal := sta.Analyze(d)
+	var s CornerSummary
+	for _, id := range nominal.CriticalPath(d) {
+		g := d.Circuit.Gate(id)
+		if !g.Fn.IsLogic() {
+			continue
+		}
+		mu := nominal.Delay[id]
+		sigma := vm.Sigma(d.Cell(id), mu)
+		s.WorstPathTyp += mu
+		s.WorstPathMin += math.Max(0, mu-kSigma*sigma)
+		s.WorstPathMax += mu + kSigma*sigma
+	}
+	return s
+}

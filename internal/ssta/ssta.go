@@ -1,0 +1,131 @@
+// Package ssta implements FULLSSTA, the paper's accurate statistical
+// timing engine (section 4.2, after Liou et al., DAC 2001): arrival times
+// are discrete PDFs propagated through the circuit with Sum and Max
+// operators at a user-controlled sampling rate (10-15 points per PDF).
+//
+// Besides the output PDFs, the engine records the mean and variance of
+// the arrival time at every node — exactly what the paper stores for the
+// fast inner engine (FASSTA) and the WNSS path tracer to consume.
+package ssta
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/dpdf"
+	"repro/internal/normal"
+	"repro/internal/sta"
+	"repro/internal/synth"
+	"repro/internal/variation"
+)
+
+// Options controls the engine.
+type Options struct {
+	// Points is the PDF sampling rate; 0 means dpdf.DefaultPoints (12,
+	// the middle of the paper's 10-15 range).
+	Points int
+}
+
+func (o Options) points() int {
+	if o.Points <= 0 {
+		return dpdf.DefaultPoints
+	}
+	return o.Points
+}
+
+// Result is one FULLSSTA analysis. Slices are indexed by GateID.
+type Result struct {
+	// STA is the nominal deterministic analysis the statistical one is
+	// built on (frozen slews and mean delays).
+	STA *sta.Result
+	// Arrival holds the full arrival-time PDF at every node.
+	Arrival []dpdf.PDF
+	// Node holds the arrival moments at every node (mean/variance), the
+	// values FASSTA and the WNSS tracer read.
+	Node []normal.Moments
+	// GateDelay holds the delay RV moments of every logic gate.
+	GateDelay []normal.Moments
+	// CircuitPDF is the PDF of the circuit delay: Max over all POs.
+	CircuitPDF dpdf.PDF
+	// Mean and Sigma are the circuit-delay moments (of CircuitPDF).
+	Mean, Sigma float64
+}
+
+// Analyze runs FULLSSTA over the design under the variation model.
+func Analyze(d *synth.Design, vm *variation.Model, opts Options) *Result {
+	pts := opts.points()
+	nominal := sta.Analyze(d)
+	c := d.Circuit
+	n := c.NumGates()
+	r := &Result{
+		STA:       nominal,
+		Arrival:   make([]dpdf.PDF, n),
+		Node:      make([]normal.Moments, n),
+		GateDelay: make([]normal.Moments, n),
+	}
+	for _, id := range c.MustTopoOrder() {
+		g := c.Gate(id)
+		if g.Fn == circuit.Input {
+			r.Arrival[id] = dpdf.Point(0)
+			continue
+		}
+		mean := nominal.Delay[id]
+		sigma := vm.Sigma(d.Cell(id), mean)
+		r.GateDelay[id] = normal.Moments{Mean: mean, Var: sigma * sigma}
+
+		fanins := make([]dpdf.PDF, len(g.Fanin))
+		for i, f := range g.Fanin {
+			fanins[i] = r.Arrival[f]
+		}
+		arr := dpdf.MaxN(fanins, pts)
+		arr = dpdf.Sum(arr, dpdf.FromNormal(mean, sigma, pts), pts)
+		r.Arrival[id] = arr
+		r.Node[id] = arr.Moments()
+	}
+	pos := make([]dpdf.PDF, len(c.Outputs))
+	for i, po := range c.Outputs {
+		pos[i] = r.Arrival[po]
+	}
+	r.CircuitPDF = dpdf.MaxN(pos, pts)
+	r.Mean = r.CircuitPDF.Mean()
+	r.Sigma = r.CircuitPDF.Sigma()
+	return r
+}
+
+// Cost evaluates the paper's objective (eq. 7) at the circuit level:
+// max over primary outputs of mean_i + lambda * sigma_i.
+func (r *Result) Cost(d *synth.Design, lambda float64) float64 {
+	worst := math.Inf(-1)
+	for _, po := range d.Circuit.Outputs {
+		m := r.Node[po]
+		if c := m.Mean + lambda*m.Sigma(); c > worst {
+			worst = c
+		}
+	}
+	if len(d.Circuit.Outputs) == 0 {
+		return 0
+	}
+	return worst
+}
+
+// WorstOutput returns the PO with the highest mean + lambda*sigma — the
+// starting point of the WNSS trace.
+func (r *Result) WorstOutput(d *synth.Design, lambda float64) circuit.GateID {
+	worst := circuit.None
+	worstCost := math.Inf(-1)
+	for _, po := range d.Circuit.Outputs {
+		m := r.Node[po]
+		if c := m.Mean + lambda*m.Sigma(); c > worstCost {
+			worstCost = c
+			worst = po
+		}
+	}
+	return worst
+}
+
+// Yield returns the probability that the circuit delay meets the period T
+// (the Figure 1 interpretation: the fraction of manufactured units
+// functional at T).
+func (r *Result) Yield(T float64) float64 {
+	return r.CircuitPDF.CDF(T)
+}

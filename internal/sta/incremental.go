@@ -1,0 +1,168 @@
+package sta
+
+import (
+	"container/heap"
+
+	"repro/internal/circuit"
+	"repro/internal/synth"
+)
+
+// Incremental maintains a deterministic timing analysis across gate
+// resizes without full recomputation: changing one gate's size dirties
+// only the gate, its drivers (their load changed) and the downstream
+// cone reachable through actually-changed arrival times or slews. On
+// typical subcircuit-local changes this re-evaluates a few dozen gates
+// instead of the whole netlist.
+type Incremental struct {
+	d *synth.Design
+	r *Result
+
+	level []int32
+	// queue of dirty gates ordered by level (a gate must be re-evaluated
+	// after all its dirty fanins).
+	pq      levelQueue
+	inQueue []bool
+	rev     int
+}
+
+// NewIncremental runs one full analysis and prepares the incremental
+// state. The returned Result is owned by the Incremental and updated in
+// place by Resize; callers must not retain stale copies of its fields.
+func NewIncremental(d *synth.Design) *Incremental {
+	lv, _ := d.Circuit.Levels()
+	return &Incremental{
+		d:       d,
+		r:       Analyze(d),
+		level:   lv,
+		inQueue: make([]bool, d.Circuit.NumGates()),
+		rev:     d.Circuit.Revision(),
+	}
+}
+
+// Result returns the up-to-date analysis.
+func (inc *Incremental) Result() *Result { return inc.r }
+
+const epsTiming = 1e-9
+
+// Resize sets gate g to sizeIdx and repairs the analysis. It returns the
+// number of gates re-evaluated (a measure of the dirty region).
+func (inc *Incremental) Resize(g circuit.GateID, sizeIdx int) int {
+	c := inc.d.Circuit
+	if inc.rev != c.Revision() {
+		panic("sta: circuit structure changed under Incremental; rebuild it")
+	}
+	gate := c.Gate(g)
+	if gate.SizeIdx == sizeIdx {
+		return 0
+	}
+	gate.SizeIdx = sizeIdx
+	// Dirty: the gate itself (cell changed) and its drivers (their load
+	// changed). Everything downstream is discovered on the fly.
+	inc.push(g)
+	for _, f := range gate.Fanin {
+		if c.Gate(f).Fn.IsLogic() {
+			inc.push(f)
+		} else {
+			// A PI driver: its arrival depends on its load.
+			inc.push(f)
+		}
+	}
+	return inc.propagate()
+}
+
+// Refresh recomputes a gate in place after an external change (e.g. a
+// batch of size edits applied directly to the circuit); prefer Resize
+// where possible.
+func (inc *Incremental) Refresh(gates []circuit.GateID) int {
+	for _, g := range gates {
+		inc.push(g)
+		for _, f := range inc.d.Circuit.Gate(g).Fanin {
+			inc.push(f)
+		}
+	}
+	return inc.propagate()
+}
+
+func (inc *Incremental) push(g circuit.GateID) {
+	if !inc.inQueue[g] {
+		inc.inQueue[g] = true
+		heap.Push(&inc.pq, levelItem{level: inc.level[g], id: g})
+	}
+}
+
+func (inc *Incremental) propagate() int {
+	c := inc.d.Circuit
+	d := inc.d
+	r := inc.r
+	touched := 0
+	for inc.pq.Len() > 0 {
+		it := heap.Pop(&inc.pq).(levelItem)
+		id := it.id
+		inc.inQueue[id] = false
+		touched++
+		g := c.Gate(id)
+
+		var newArr, newSlew, newDelay, newInSlew float64
+		if g.Fn == circuit.Input {
+			newArr = d.Lib.PrimaryInputRes * d.Load(id)
+			newSlew = d.Lib.PrimaryInputSlew
+		} else {
+			arr, slew := worstFanin(r, g)
+			newInSlew = slew
+			cell := d.Cell(id)
+			load := d.Load(id)
+			newDelay = cell.Delay.Lookup(slew, load)
+			newSlew = cell.OutSlew.Lookup(slew, load)
+			newArr = arr + newDelay
+		}
+		changed := absDiff(newArr, r.Arrival[id]) > epsTiming ||
+			absDiff(newSlew, r.Slew[id]) > epsTiming
+		r.Arrival[id] = newArr
+		r.Slew[id] = newSlew
+		r.Delay[id] = newDelay
+		r.InSlew[id] = newInSlew
+		if changed {
+			for _, fo := range g.Fanout {
+				inc.push(fo)
+			}
+		}
+	}
+	// Repair the circuit-level summary (cheap: scan POs).
+	r.MaxArrival = 0
+	r.WorstPO = circuit.None
+	for _, po := range c.Outputs {
+		if r.WorstPO == circuit.None || r.Arrival[po] > r.MaxArrival {
+			r.MaxArrival = r.Arrival[po]
+			r.WorstPO = po
+		}
+	}
+	return touched
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+type levelItem struct {
+	level int32
+	id    circuit.GateID
+}
+
+type levelQueue []levelItem
+
+func (q levelQueue) Len() int           { return len(q) }
+func (q levelQueue) Less(i, j int) bool { return q[i].level < q[j].level }
+func (q levelQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *levelQueue) Push(x interface{}) {
+	*q = append(*q, x.(levelItem))
+}
+func (q *levelQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}

@@ -1,0 +1,146 @@
+package sta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gen"
+	"repro/internal/synth"
+)
+
+// assertMatchesFull checks the incremental state against a from-scratch
+// analysis.
+func assertMatchesFull(t *testing.T, inc *Incremental, d *synth.Design) {
+	t.Helper()
+	want := Analyze(d)
+	got := inc.Result()
+	for i := range want.Arrival {
+		if math.Abs(want.Arrival[i]-got.Arrival[i]) > 1e-6 {
+			t.Fatalf("gate %d arrival: incremental %g vs full %g", i, got.Arrival[i], want.Arrival[i])
+		}
+		if math.Abs(want.Slew[i]-got.Slew[i]) > 1e-6 {
+			t.Fatalf("gate %d slew diverged", i)
+		}
+		if math.Abs(want.Delay[i]-got.Delay[i]) > 1e-6 {
+			t.Fatalf("gate %d delay diverged", i)
+		}
+	}
+	if math.Abs(want.MaxArrival-got.MaxArrival) > 1e-6 {
+		t.Fatalf("MaxArrival: %g vs %g", got.MaxArrival, want.MaxArrival)
+	}
+	if want.WorstPO != got.WorstPO {
+		t.Fatalf("WorstPO: %d vs %d", got.WorstPO, want.WorstPO)
+	}
+}
+
+func TestIncrementalSingleResizeMatchesFull(t *testing.T) {
+	d := mapped(t, gen.ALU("alu", 6))
+	inc := NewIncremental(d)
+	// Resize a mid-circuit gate.
+	var target circuit.GateID = circuit.None
+	lv, depth := d.Circuit.Levels()
+	for i := range d.Circuit.Gates {
+		if d.Circuit.Gates[i].Fn.IsLogic() && int(lv[i]) == depth/2 {
+			target = circuit.GateID(i)
+			break
+		}
+	}
+	if target == circuit.None {
+		t.Fatal("no target")
+	}
+	touched := inc.Resize(target, 5)
+	if touched == 0 {
+		t.Fatal("no gates touched")
+	}
+	assertMatchesFull(t, inc, d)
+}
+
+func TestIncrementalRandomSequenceMatchesFull(t *testing.T) {
+	d := mapped(t, gen.SEC("sec", 16, true))
+	inc := NewIncremental(d)
+	rng := rand.New(rand.NewSource(11))
+	var logic []circuit.GateID
+	for i := range d.Circuit.Gates {
+		if d.Circuit.Gates[i].Fn.IsLogic() {
+			logic = append(logic, circuit.GateID(i))
+		}
+	}
+	for step := 0; step < 60; step++ {
+		g := logic[rng.Intn(len(logic))]
+		size := rng.Intn(d.Lib.NumSizes(d.Kind(g)))
+		inc.Resize(g, size)
+	}
+	assertMatchesFull(t, inc, d)
+}
+
+func TestIncrementalNoopResize(t *testing.T) {
+	d := mapped(t, gen.ParityTree("p", 8))
+	inc := NewIncremental(d)
+	var g circuit.GateID
+	for i := range d.Circuit.Gates {
+		if d.Circuit.Gates[i].Fn.IsLogic() {
+			g = circuit.GateID(i)
+			break
+		}
+	}
+	if touched := inc.Resize(g, d.Circuit.Gate(g).SizeIdx); touched != 0 {
+		t.Fatalf("no-op resize touched %d gates", touched)
+	}
+}
+
+func TestIncrementalDirtyRegionIsLocal(t *testing.T) {
+	// On a large circuit a single resize must touch far fewer gates than
+	// the netlist size.
+	c, err := gen.ISCASLike("c5315")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := mapped(t, c)
+	inc := NewIncremental(d)
+	lv, _ := d.Circuit.Levels()
+	// A gate near the outputs has a small downstream cone.
+	var target circuit.GateID = circuit.None
+	maxLv := int32(0)
+	for i := range d.Circuit.Gates {
+		if d.Circuit.Gates[i].Fn.IsLogic() && lv[i] > maxLv {
+			maxLv = lv[i]
+			target = circuit.GateID(i)
+		}
+	}
+	touched := inc.Resize(target, 4)
+	if touched == 0 || touched > d.Circuit.NumGates()/10 {
+		t.Fatalf("dirty region %d of %d gates", touched, d.Circuit.NumGates())
+	}
+	assertMatchesFull(t, inc, d)
+}
+
+func TestIncrementalRefreshAfterBatch(t *testing.T) {
+	d := mapped(t, gen.Comparator("cmp", 8))
+	inc := NewIncremental(d)
+	// Apply edits behind the Incremental's back, then Refresh.
+	var edited []circuit.GateID
+	n := 0
+	for i := range d.Circuit.Gates {
+		if d.Circuit.Gates[i].Fn.IsLogic() && n < 5 {
+			d.Circuit.Gates[i].SizeIdx = 3
+			edited = append(edited, circuit.GateID(i))
+			n++
+		}
+	}
+	inc.Refresh(edited)
+	assertMatchesFull(t, inc, d)
+}
+
+func TestIncrementalPanicsOnStructuralChange(t *testing.T) {
+	d := mapped(t, gen.ParityTree("p", 4))
+	inc := NewIncremental(d)
+	d.Circuit.MustAddGate("extra", circuit.Input)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic after structural mutation")
+		}
+	}()
+	inc.Resize(d.Circuit.Outputs[0], 3)
+}

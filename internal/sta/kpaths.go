@@ -1,0 +1,98 @@
+package sta
+
+import (
+	"container/heap"
+
+	"repro/internal/circuit"
+	"repro/internal/synth"
+)
+
+// Path is one enumerated timing path, input-to-output, with its total
+// arrival time at the endpoint. Source is the primary input the path
+// launches from (None for paths rooted at a source-less gate).
+type Path struct {
+	Source  circuit.GateID
+	Gates   []circuit.GateID
+	Arrival float64
+}
+
+// KWorstPaths enumerates the k slowest paths of the design in strictly
+// non-increasing arrival order (path peeling over the longest-path DAG
+// with a max-heap of partial suffixes). Deterministic timing only; the
+// statistical analogue of the single worst path is wnss.Trace.
+func (r *Result) KWorstPaths(d *synth.Design, k int) []Path {
+	c := d.Circuit
+	if k <= 0 || len(c.Outputs) == 0 {
+		return nil
+	}
+	// A partial suffix: the path from gate (exclusive of its fanins) to
+	// an endpoint, with tail = downstream delay including gate's own.
+	// Its best possible completion has value arr[gate] + tail - delay? —
+	// arrival[gate] already includes gate's delay, and tail holds the
+	// delays of the suffix gates after it, so the bound is
+	// arrival[gate] + tail.
+	h := &suffixHeap{}
+	value := func(s suffix) float64 { return r.Arrival[s.gate] + s.tail }
+	for _, po := range c.Outputs {
+		s := suffix{gate: po, chain: []circuit.GateID{po}}
+		heap.Push(h, heapItem{v: value(s), s: s})
+	}
+	var out []Path
+	for h.Len() > 0 && len(out) < k {
+		it := heap.Pop(h).(heapItem)
+		g := c.Gate(it.s.gate)
+		if g.Fn == circuit.Input || len(g.Fanin) == 0 {
+			// Complete: reverse the chain into input-to-output order; the
+			// launching PI is recorded separately from the logic gates.
+			chain := it.s.chain
+			src := circuit.None
+			path := make([]circuit.GateID, 0, len(chain))
+			for i := len(chain) - 1; i >= 0; i-- {
+				if c.Gate(chain[i]).Fn.IsLogic() {
+					path = append(path, chain[i])
+				} else if c.Gate(chain[i]).Fn == circuit.Input {
+					src = chain[i]
+				}
+			}
+			out = append(out, Path{Source: src, Gates: path, Arrival: it.v})
+			continue
+		}
+		for _, f := range g.Fanin {
+			ns := suffix{
+				gate:  f,
+				tail:  it.s.tail + r.Delay[it.s.gate],
+				chain: append(append([]circuit.GateID(nil), it.s.chain...), f),
+			}
+			heap.Push(h, heapItem{v: value(ns), s: ns})
+		}
+	}
+	return out
+}
+
+// suffix is a partial path from 'gate' to an endpoint: tail accumulates
+// the delays of the suffix gates after 'gate', chain records them
+// endpoint-first.
+type suffix struct {
+	gate  circuit.GateID
+	tail  float64
+	chain []circuit.GateID
+}
+
+type heapItem struct {
+	v float64
+	s suffix
+}
+
+type suffixHeap []heapItem
+
+func (h suffixHeap) Len() int            { return len(h) }
+func (h suffixHeap) Less(i, j int) bool  { return h[i].v > h[j].v } // max-heap
+func (h suffixHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *suffixHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *suffixHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

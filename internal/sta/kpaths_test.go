@@ -1,0 +1,121 @@
+package sta
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gen"
+)
+
+func TestKWorstPathsOrderingAndWorstMatch(t *testing.T) {
+	d := mapped(t, gen.ALU("alu", 6))
+	r := Analyze(d)
+	paths := r.KWorstPaths(d, 25)
+	if len(paths) == 0 {
+		t.Fatal("no paths")
+	}
+	// Non-increasing arrivals.
+	for i := 1; i < len(paths); i++ {
+		if paths[i].Arrival > paths[i-1].Arrival+1e-9 {
+			t.Fatalf("path %d arrival %g above predecessor %g", i, paths[i].Arrival, paths[i-1].Arrival)
+		}
+	}
+	// The single worst enumerated path matches MaxArrival and the
+	// CriticalPath trace.
+	if math.Abs(paths[0].Arrival-r.MaxArrival) > 1e-9 {
+		t.Fatalf("worst path %g != MaxArrival %g", paths[0].Arrival, r.MaxArrival)
+	}
+	cp := r.CriticalPath(d)
+	if len(cp) != len(paths[0].Gates) {
+		t.Fatalf("worst path length %d != critical path %d", len(paths[0].Gates), len(cp))
+	}
+	for i := range cp {
+		if cp[i] != paths[0].Gates[i] {
+			t.Fatalf("worst path diverges from CriticalPath at %d", i)
+		}
+	}
+}
+
+func TestKWorstPathsConnectivity(t *testing.T) {
+	d := mapped(t, gen.SEC("sec", 8, true))
+	r := Analyze(d)
+	for _, p := range r.KWorstPaths(d, 10) {
+		for i := 1; i < len(p.Gates); i++ {
+			found := false
+			for _, f := range d.Circuit.Gate(p.Gates[i]).Fanin {
+				if f == p.Gates[i-1] {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatal("path not connected")
+			}
+		}
+		// Ends at a PO.
+		last := p.Gates[len(p.Gates)-1]
+		isPO := false
+		for _, po := range d.Circuit.Outputs {
+			if po == last {
+				isPO = true
+			}
+		}
+		if !isPO {
+			t.Fatal("path does not end at a PO")
+		}
+	}
+}
+
+func TestKWorstPathsDistinct(t *testing.T) {
+	d := mapped(t, gen.Comparator("cmp", 5))
+	r := Analyze(d)
+	paths := r.KWorstPaths(d, 20)
+	seen := map[string]bool{}
+	for _, p := range paths {
+		key := string(rune(p.Source)) + ":"
+		for _, g := range p.Gates {
+			key += string(rune(g)) + ","
+		}
+		if seen[key] {
+			t.Fatal("duplicate (source, gates) path enumerated")
+		}
+		seen[key] = true
+	}
+}
+
+func TestKWorstPathsEdgeCases(t *testing.T) {
+	d := mapped(t, gen.ParityTree("p", 4))
+	r := Analyze(d)
+	if got := r.KWorstPaths(d, 0); got != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	// Asking for more paths than exist returns all of them.
+	all := r.KWorstPaths(d, 100000)
+	if len(all) == 0 || len(all) > 100000 {
+		t.Fatalf("paths = %d", len(all))
+	}
+	// A parity tree of 4 inputs has exactly 4 input-to-output paths.
+	if len(all) != 4 {
+		t.Fatalf("4-input XOR tree has %d paths, want 4", len(all))
+	}
+	_ = circuit.None
+}
+
+func TestKWorstPathsArrivalConsistent(t *testing.T) {
+	// Each path's arrival equals PI source arrival + sum of its gate
+	// delays.
+	d := mapped(t, gen.RippleCarryAdder("rca", 4))
+	r := Analyze(d)
+	for _, p := range r.KWorstPaths(d, 12) {
+		sum := 0.0
+		for _, g := range p.Gates {
+			sum += r.Delay[g]
+		}
+		if p.Source == circuit.None {
+			t.Fatal("path without a source PI")
+		}
+		if v := r.Arrival[p.Source] + sum; math.Abs(v-p.Arrival) > 1e-9 {
+			t.Fatalf("path arrival %g != source %g + delays %g", p.Arrival, r.Arrival[p.Source], sum)
+		}
+	}
+}

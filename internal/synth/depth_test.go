@@ -1,0 +1,32 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// Real ISCAS-85 logic depths, for reference when tuning the generators.
+var realDepths = map[string]int{
+	"c432": 17, "c499": 11, "c880": 24, "c1355": 24, "c1908": 40,
+	"c2670": 32, "c3540": 47, "c5315": 49, "c6288": 124, "c7552": 43,
+}
+
+func TestISCASLikeDepthsAndCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range gen.ISCASNames() {
+		c, err := gen.ISCASLike(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Map(c, lib(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-6s gates=%5d (paper %5d) depth=%3d (real %3d)",
+			name, d.Circuit.NumLogicGates(), gen.PaperGateCounts[name],
+			d.Circuit.Depth(), realDepths[name])
+	}
+}

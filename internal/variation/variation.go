@@ -1,0 +1,105 @@
+// Package variation models manufacturing-induced gate-delay variation.
+//
+// Following the paper's experimental setup (section 5, citing Cong and
+// Nassif), every gate delay receives two variation components:
+//
+//   - a systematic component proportional to the delay through the gate
+//     and shrinking with device size as 1/sqrt(A/Aref) (Pelgrom):
+//     sigma_sys = CProp * delay * sqrt(Aref/A). Upsizing a gate reduces
+//     its variation both by making it faster under its load and through
+//     the area term, at the price of slowing its drivers through the
+//     added input capacitance — the paper's central trade-off ("gate
+//     performance variations inversely proportional to their
+//     dimensions", section 4.4);
+//   - a random component for unsystematic manufacturing variation,
+//     inversely proportional to device area: sigma_rand =
+//     CRand * d0 * Aref/A.
+//
+// Both channels saturate — the systematic one at the intrinsic delay of
+// the largest cell, the random one at the largest stocked size — which
+// is why the paper observes that increasing the weight lambda beyond ~9
+// cannot reduce variance further.
+package variation
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/cells"
+)
+
+// Model computes the sigma of each gate's delay distribution.
+type Model struct {
+	// CProp scales the delay-proportional (systematic) component:
+	// sigma_sys = CProp * delay * sqrt(Aref/A).
+	CProp float64
+	// CRand scales the unsystematic component: sigma_rand =
+	// CRand * d0(kind) * (Aref/A), where d0 is the lightly loaded
+	// delay of the kind's smallest cell.
+	CRand float64
+	// SizeExp is the exponent of the systematic component's area scaling
+	// (Aref/A)^SizeExp: 0.5 is Pelgrom, 1.0 is the paper's "inversely
+	// proportional to dimensions".
+	SizeExp float64
+
+	lib     *cells.Library
+	refArea [cells.NumKinds]float64
+	d0      [cells.NumKinds]float64
+}
+
+// Default returns the model used by all experiments: 35% proportional and
+// 8%-of-reference-delay unsystematic variation at minimum size. These are
+// deliberately aggressive, matching the paper's forward-looking variation
+// injection (it cites Cong's and Nassif's projections): the paper's own
+// Table 1 reports sigma/mu up to 0.147 for a ~15-level ALU, which implies
+// per-gate sigma of a third to a half of the gate delay.
+func Default(lib *cells.Library) *Model {
+	return New(lib, 0.40, 0.08)
+}
+
+// New builds a model bound to a library with explicit coefficients.
+func New(lib *cells.Library, cProp, cRand float64) *Model {
+	return NewExp(lib, cProp, cRand, 1.0)
+}
+
+// NewExp builds a model with an explicit systematic size exponent.
+func NewExp(lib *cells.Library, cProp, cRand, sizeExp float64) *Model {
+	m := &Model{CProp: cProp, CRand: cRand, SizeExp: sizeExp, lib: lib}
+	for k := cells.Kind(0); k < cells.NumKinds; k++ {
+		g := lib.Group(k)
+		if g == nil || len(g.Cells) == 0 {
+			continue
+		}
+		c0 := g.Cells[0]
+		m.refArea[k] = c0.Area
+		// Lightly loaded, nominal slew: the kind's reference delay.
+		m.d0[k] = c0.Delay.Lookup(lib.PrimaryInputSlew, 2*c0.InputCap)
+	}
+	return m
+}
+
+// Sigma returns the standard deviation of the delay of a gate implemented
+// by cell, whose nominal (mean) delay under its current load is meanDelay.
+func (m *Model) Sigma(cell *cells.Cell, meanDelay float64) float64 {
+	areaRatio := m.refArea[cell.Kind] / cell.Area
+	return m.CProp*meanDelay*math.Pow(areaRatio, m.SizeExp) + m.CRand*m.d0[cell.Kind]*areaRatio
+}
+
+// MeanSigmaCoupling returns the coefficient c that relates a change in a
+// gate's mean delay to the accompanying change in its sigma. The paper
+// (section 4.4) uses "values for c equal to those assumed to relate mean
+// delay through a gate to its variance" — i.e. the proportional
+// coefficient.
+func (m *Model) MeanSigmaCoupling() float64 { return m.CProp }
+
+// Sample draws one realization of a gate delay with the given moments.
+// Delays are physically non-negative: samples are truncated at zero
+// (resampling would bias the comparison between engines; truncation at 0
+// matches how discrete PDFs clip their support).
+func Sample(rng *rand.Rand, mean, sigma float64) float64 {
+	d := mean + sigma*rng.NormFloat64()
+	if d < 0 {
+		return 0
+	}
+	return d
+}

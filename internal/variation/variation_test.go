@@ -1,0 +1,142 @@
+package variation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cells"
+)
+
+func TestSigmaShrinksWithDrive(t *testing.T) {
+	lib := cells.Default90nm()
+	m := Default(lib)
+	for _, k := range lib.Kinds() {
+		g := lib.Group(k)
+		// Same mean delay, larger cell -> smaller sigma.
+		prev := math.Inf(1)
+		for _, c := range g.Cells {
+			s := m.Sigma(c, 50)
+			if s >= prev {
+				t.Errorf("%s: sigma not decreasing with drive (%g >= %g)", c.Name, s, prev)
+			}
+			prev = s
+		}
+	}
+}
+
+func TestSigmaGrowsWithDelay(t *testing.T) {
+	lib := cells.Default90nm()
+	m := Default(lib)
+	c := lib.Cell(cells.NAND2, 2)
+	if m.Sigma(c, 100) <= m.Sigma(c, 50) {
+		t.Error("sigma not increasing with mean delay")
+	}
+}
+
+func TestSigmaHasRandomFloor(t *testing.T) {
+	lib := cells.Default90nm()
+	m := Default(lib)
+	c := lib.Cell(cells.NAND2, 0)
+	// Even at zero delay the unsystematic component remains.
+	if m.Sigma(c, 0) <= 0 {
+		t.Error("random floor missing")
+	}
+}
+
+func TestSigmaProportionalDecomposition(t *testing.T) {
+	lib := cells.Default90nm()
+	m := New(lib, 0.1, 0)
+	c := lib.Cell(cells.INV, 0)
+	// With CRand=0 and reference area, sigma = CProp * delay exactly.
+	if got := m.Sigma(c, 80); math.Abs(got-8) > 1e-12 {
+		t.Errorf("sigma = %g, want 8", got)
+	}
+}
+
+func TestInverseSizeScalingOfRandomComponent(t *testing.T) {
+	// The unsystematic component is inversely proportional to device
+	// size (paper section 4.4): with CProp = 0 an X4 cell has a quarter
+	// of the X1 sigma at equal mean delay. The delay-proportional
+	// component is size-independent: with CRand = 0 sigma depends on the
+	// delay only.
+	lib := cells.Default90nm()
+	g := lib.Group(cells.INV)
+	var x4 *cells.Cell
+	for _, c := range g.Cells {
+		if c.Drive == 4 {
+			x4 = c
+		}
+	}
+	if x4 == nil {
+		t.Fatal("no X4 INV in library")
+	}
+	mRand := New(lib, 0, 0.2)
+	s1 := mRand.Sigma(g.Cells[0], 50)
+	s4 := mRand.Sigma(x4, 50)
+	if math.Abs(s4-s1/4) > 1e-9 {
+		t.Errorf("1/size scaling of random part violated: s1=%g s4=%g", s1, s4)
+	}
+	// The systematic part scales as (Aref/A)^SizeExp: with the default
+	// exponent of 1 an X4 cell has a quarter of the X1 systematic sigma
+	// at equal delay, and with exponent 0 it is size-independent.
+	mProp := New(lib, 0.2, 0)
+	if math.Abs(mProp.Sigma(x4, 50)-mProp.Sigma(g.Cells[0], 50)/4) > 1e-9 {
+		t.Error("systematic part must scale 1/A at the default exponent")
+	}
+	mFlat := NewExp(lib, 0.2, 0, 0)
+	if mFlat.Sigma(g.Cells[0], 50) != mFlat.Sigma(x4, 50) {
+		t.Error("exponent 0 must make the systematic part size-independent")
+	}
+}
+
+func TestMeanSigmaCoupling(t *testing.T) {
+	lib := cells.Default90nm()
+	m := New(lib, 0.07, 0.2)
+	if m.MeanSigmaCoupling() != 0.07 {
+		t.Error("coupling must equal CProp")
+	}
+}
+
+func TestSampleNonNegativeAndUnbiased(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		d := Sample(rng, 100, 10)
+		if d < 0 {
+			t.Fatal("negative delay sample")
+		}
+		sum += d
+	}
+	mean := sum / n
+	// Truncation at 0 is negligible for mu/sigma = 10.
+	if math.Abs(mean-100) > 0.2 {
+		t.Errorf("sample mean = %g, want ~100", mean)
+	}
+}
+
+func TestSampleTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		if Sample(rng, 0, 50) < 0 {
+			t.Fatal("truncation failed")
+		}
+	}
+}
+
+func TestSigmaAlwaysPositiveProperty(t *testing.T) {
+	lib := cells.Default90nm()
+	m := Default(lib)
+	prop := func(kRaw, sizeRaw uint8, delayRaw float64) bool {
+		k := cells.Kind(kRaw % uint8(cells.NumKinds))
+		c := lib.Cell(k, int(sizeRaw)%lib.NumSizes(k))
+		d := math.Mod(math.Abs(delayRaw), 1000)
+		s := m.Sigma(c, d)
+		return s > 0 && !math.IsNaN(s) && !math.IsInf(s, 0)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

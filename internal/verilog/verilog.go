@@ -1,0 +1,325 @@
+// Package verilog reads and writes gate-level structural Verilog using
+// the language's built-in primitive gates (and/nand/or/nor/xor/xnor/
+// not/buf), the standard interchange form for mapped netlists alongside
+// .bench. The subset is Verilog-1995 structural: one module, port and
+// wire declarations, primitive instantiations with the output first.
+package verilog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+var fnByPrimitive = map[string]circuit.Fn{
+	"and": circuit.And, "nand": circuit.Nand,
+	"or": circuit.Or, "nor": circuit.Nor,
+	"xor": circuit.Xor, "xnor": circuit.Xnor,
+	"not": circuit.Not, "buf": circuit.Buf,
+}
+
+var primitiveByFn = map[circuit.Fn]string{
+	circuit.And: "and", circuit.Nand: "nand",
+	circuit.Or: "or", circuit.Nor: "nor",
+	circuit.Xor: "xor", circuit.Xnor: "xnor",
+	circuit.Not: "not", circuit.Buf: "buf",
+}
+
+// Write emits the circuit as a structural Verilog module. Net names are
+// sanitized to Verilog identifiers (ISCAS names are often numeric, which
+// Verilog forbids, so every name gets an `n_` prefix if needed).
+func Write(w io.Writer, c *circuit.Circuit) error {
+	bw := bufio.NewWriter(w)
+	name := sanitize(c.Name)
+	var ports []string
+	for _, id := range c.Inputs() {
+		ports = append(ports, sanitize(c.Gate(id).Name))
+	}
+	for i := range c.Outputs {
+		ports = append(ports, fmt.Sprintf("po_%d", i))
+	}
+	fmt.Fprintf(bw, "// generated from %s\n", c.Name)
+	fmt.Fprintf(bw, "module %s (%s);\n", name, strings.Join(ports, ", "))
+	for _, id := range c.Inputs() {
+		fmt.Fprintf(bw, "  input %s;\n", sanitize(c.Gate(id).Name))
+	}
+	for i := range c.Outputs {
+		fmt.Fprintf(bw, "  output po_%d;\n", i)
+	}
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		if g.Fn.IsLogic() {
+			fmt.Fprintf(bw, "  wire %s;\n", sanitize(g.Name))
+		}
+	}
+	topo, err := c.TopoOrder()
+	if err != nil {
+		return err
+	}
+	inst := 0
+	for _, id := range topo {
+		g := c.Gate(id)
+		if !g.Fn.IsLogic() {
+			if g.Fn == circuit.Const0 || g.Fn == circuit.Const1 {
+				return fmt.Errorf("verilog: constant gate %q not supported", g.Name)
+			}
+			continue
+		}
+		prim, ok := primitiveByFn[g.Fn]
+		if !ok {
+			return fmt.Errorf("verilog: no primitive for %s", g.Fn)
+		}
+		args := []string{sanitize(g.Name)}
+		for _, f := range g.Fanin {
+			args = append(args, sanitize(c.Gate(f).Name))
+		}
+		fmt.Fprintf(bw, "  %s g%d (%s);\n", prim, inst, strings.Join(args, ", "))
+		inst++
+	}
+	// Tie declared outputs to their driving nets.
+	for i, po := range c.Outputs {
+		fmt.Fprintf(bw, "  buf gpo%d (po_%d, %s);\n", i, i, sanitize(c.Gate(po).Name))
+	}
+	fmt.Fprintf(bw, "endmodule\n")
+	return bw.Flush()
+}
+
+// sanitize turns an arbitrary net name into a legal Verilog identifier.
+func sanitize(name string) string {
+	if name == "" {
+		return "n_unnamed"
+	}
+	var b strings.Builder
+	for _, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			b.WriteByte('_')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	s := b.String()
+	if s[0] >= '0' && s[0] <= '9' {
+		s = "n_" + s
+	}
+	return s
+}
+
+// Parse reads a structural Verilog module of the supported subset back
+// into a circuit. The module's input order defines the PI order and the
+// output declarations define the PO order.
+func Parse(r io.Reader, fallbackName string) (*circuit.Circuit, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("verilog: read: %v", err)
+	}
+	toks := tokenize(string(data))
+	p := &vparser{toks: toks}
+	return p.module(fallbackName)
+}
+
+func tokenize(src string) []string {
+	// Strip comments.
+	var clean strings.Builder
+	for i := 0; i < len(src); {
+		switch {
+		case strings.HasPrefix(src[i:], "//"):
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case strings.HasPrefix(src[i:], "/*"):
+			j := strings.Index(src[i+2:], "*/")
+			if j < 0 {
+				i = len(src)
+			} else {
+				i += j + 4
+			}
+		default:
+			clean.WriteByte(src[i])
+			i++
+		}
+	}
+	s := clean.String()
+	for _, p := range []string{"(", ")", ",", ";"} {
+		s = strings.ReplaceAll(s, p, " "+p+" ")
+	}
+	return strings.Fields(s)
+}
+
+type vparser struct {
+	toks []string
+	pos  int
+}
+
+func (p *vparser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *vparser) next() string {
+	t := p.peek()
+	if t != "" {
+		p.pos++
+	}
+	return t
+}
+
+func (p *vparser) expect(t string) error {
+	if got := p.next(); got != t {
+		return fmt.Errorf("verilog: expected %q, got %q", t, got)
+	}
+	return nil
+}
+
+// nameList parses ident (, ident)* up to a terminator.
+func (p *vparser) nameList(until string) ([]string, error) {
+	var names []string
+	for {
+		t := p.next()
+		switch t {
+		case until:
+			return names, nil
+		case ",":
+			continue
+		case "", ";", ")":
+			return nil, fmt.Errorf("verilog: unexpected %q in name list", t)
+		default:
+			names = append(names, t)
+		}
+	}
+}
+
+func (p *vparser) module(fallbackName string) (*circuit.Circuit, error) {
+	if err := p.expect("module"); err != nil {
+		return nil, err
+	}
+	name := p.next()
+	if name == "" {
+		name = fallbackName
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if _, err := p.nameList(")"); err != nil { // port order: re-derived from declarations
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+
+	c := circuit.New(name)
+	var (
+		outputs []string
+		insts   []vinst
+		wires   = map[string]bool{}
+	)
+	for {
+		t := p.next()
+		switch t {
+		case "endmodule":
+			return link(c, outputs, insts, wires)
+		case "":
+			return nil, fmt.Errorf("verilog: missing endmodule")
+		case "input":
+			names, err := p.nameList(";")
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range names {
+				if _, err := c.AddGate(n, circuit.Input); err != nil {
+					return nil, err
+				}
+			}
+		case "output":
+			names, err := p.nameList(";")
+			if err != nil {
+				return nil, err
+			}
+			outputs = append(outputs, names...)
+		case "wire":
+			names, err := p.nameList(";")
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range names {
+				wires[n] = true
+			}
+		default:
+			fn, ok := fnByPrimitive[t]
+			if !ok {
+				return nil, fmt.Errorf("verilog: unsupported construct %q", t)
+			}
+			instName := p.next() // instance name, ignored
+			if instName == "(" {
+				return nil, fmt.Errorf("verilog: primitive %q missing instance name", t)
+			}
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			args, err := p.nameList(")")
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			if len(args) < 2 {
+				return nil, fmt.Errorf("verilog: primitive %q with %d terminals", t, len(args))
+			}
+			insts = append(insts, vinst{fn, args})
+		}
+	}
+}
+
+// vinst is one parsed primitive instantiation.
+type vinst struct {
+	fn   circuit.Fn
+	args []string
+}
+
+// link materializes instances as gates (output terminal first, per the
+// Verilog primitive convention) and resolves output declarations.
+func link(c *circuit.Circuit, outputs []string, insts []vinst, wires map[string]bool) (*circuit.Circuit, error) {
+	for _, in := range insts {
+		if _, err := c.AddGate(in.args[0], in.fn); err != nil {
+			return nil, err
+		}
+	}
+	for _, in := range insts {
+		dst := c.MustLookup(in.args[0])
+		for _, src := range in.args[1:] {
+			id, ok := c.Lookup(src)
+			if !ok {
+				return nil, fmt.Errorf("verilog: net %q driven by nothing", src)
+			}
+			if err := c.Connect(id, dst); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, o := range outputs {
+		id, ok := c.Lookup(o)
+		if !ok {
+			return nil, fmt.Errorf("verilog: output %q undriven", o)
+		}
+		if err := c.MarkOutput(id); err != nil {
+			return nil, err
+		}
+	}
+	// Declared wires that never became gate outputs indicate a truncated
+	// or unsupported netlist.
+	for w := range wires {
+		if _, ok := c.Lookup(w); !ok {
+			return nil, fmt.Errorf("verilog: wire %q declared but never driven", w)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,134 @@
+package verilog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gen"
+	"repro/internal/logicsim"
+)
+
+func TestRoundTripPreservesFunction(t *testing.T) {
+	blocks := []*circuit.Circuit{
+		gen.RippleCarryAdder("rca", 4),
+		gen.Comparator("cmp", 4),
+		gen.ALU("alu", 3),
+		gen.SEC("sec", 6, true),
+	}
+	for _, c := range blocks {
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		re, err := Parse(bytes.NewReader(buf.Bytes()), c.Name)
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", c.Name, err, buf.String())
+		}
+		res, err := logicsim.CheckEquivalence(c, re, 400, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Equivalent {
+			t.Fatalf("%s: round trip changed function at %v", c.Name, res.FailingInput)
+		}
+	}
+}
+
+func TestWriteLandmarks(t *testing.T) {
+	c := gen.ParityTree("par", 4)
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"module par", "input d0;", "output po_0;", "xor g", "endmodule"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSanitizeNumericNames(t *testing.T) {
+	// ISCAS-style numeric names must become legal identifiers.
+	c := circuit.New("c17")
+	a := c.MustAddGate("1", circuit.Input)
+	b := c.MustAddGate("2", circuit.Input)
+	n := c.MustAddGate("10", circuit.Nand)
+	c.MustConnect(a, n)
+	c.MustConnect(b, n)
+	c.MustMarkOutput(n)
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), " 10 ") {
+		t.Error("raw numeric identifier leaked")
+	}
+	re, err := Parse(bytes.NewReader(buf.Bytes()), "c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.NumLogicGates() < 1 {
+		t.Fatal("gate lost")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"no module", "wire x;"},
+		{"missing endmodule", "module m (a); input a;"},
+		{"unknown construct", "module m (a); input a; frob g1 (x, a); endmodule"},
+		{"undriven net", "module m (a, y); input a; output y; and g1 (y, a, zz); endmodule"},
+		{"undriven output", "module m (a, y); input a; output y; endmodule"},
+		{"undriven wire", "module m (a); input a; wire w; endmodule"},
+		{"terminals", "module m (a); input a; not g1 (a); endmodule"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(strings.NewReader(tc.src), "x"); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestParseHandsWrittenModule(t *testing.T) {
+	src := `// half adder
+module ha (a, b, s, co);
+  input a, b;
+  output s, co;
+  wire s; wire co;
+  xor g0 (s, a, b);
+  and g1 (co, a, b);
+endmodule`
+	c, err := Parse(strings.NewReader(src), "ha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := logicsim.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 4; v++ {
+		a, b := v&1 != 0, v&2 != 0
+		out, err := sim.Eval([]bool{a, b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != (a != b) || out[1] != (a && b) {
+			t.Fatalf("ha(%v,%v) = %v", a, b, out)
+		}
+	}
+}
+
+func TestConstantsRejected(t *testing.T) {
+	c := circuit.New("k")
+	k := c.MustAddGate("k1", circuit.Const1)
+	b := c.MustAddGate("b", circuit.Buf)
+	c.MustConnect(k, b)
+	c.MustMarkOutput(b)
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err == nil {
+		t.Fatal("constant accepted")
+	}
+}

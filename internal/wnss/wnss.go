@@ -1,0 +1,139 @@
+// Package wnss traces the Worst Negative Statistical Slack path, the
+// paper's statistical analogue of the deterministic critical path
+// (section 4.4).
+//
+// Starting from the statistically worst primary output (highest mean +
+// lambda*sigma), the tracer walks backward. At each gate it must decide
+// which fanin dominates the variance at the gate's output — and unlike
+// the deterministic case it cannot simply take the fanin with the higher
+// mean or variance, because the statistical max is nonlinear and every
+// input contributes. The paper's procedure, reproduced here:
+//
+//  1. Compare fanins pairwise. If dominance eq. (5)/(6) holds
+//     (|mu_A - mu_B| >= 2.6 * sqrt(var_A + var_B)), the higher-mean input
+//     clearly dominates — pick it with no computation.
+//  2. Otherwise compare the sensitivities dVar(max)/dmu of the two inputs,
+//     approximated by a coupled forward finite difference: perturbing a
+//     mean by h also perturbs its sigma by c*h, because mean and sigma
+//     along a path move together (c is the variation model's
+//     mean-to-sigma coefficient; h is ~1% of the mean).
+package wnss
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/normal"
+	"repro/internal/ssta"
+	"repro/internal/synth"
+	"repro/internal/variation"
+)
+
+// HFrac is the finite-difference step as a fraction of the mean; the
+// paper uses values on the order of 1%.
+const HFrac = 0.01
+
+// Trace walks the WNSS path for the given cost weight lambda. The
+// returned path runs input-to-output and contains only logic gates, like
+// sta.Result.CriticalPath.
+func Trace(d *synth.Design, full *ssta.Result, vm *variation.Model, lambda float64) []circuit.GateID {
+	start := full.WorstOutput(d, lambda)
+	if start == circuit.None {
+		return nil
+	}
+	return TraceFrom(d, full, vm, start)
+}
+
+// TraceTopK traces WNSS paths from the k statistically worst outputs and
+// returns the union of their gates, ordered worst output first and
+// deduplicated. A circuit's variance is the max over all outputs, so once
+// the single worst path is locally optimal the next-worst outputs
+// dominate; visiting several per iteration is how the optimizer keeps
+// making progress (the paper notes all near-critical outputs contribute
+// to the overall variance).
+func TraceTopK(d *synth.Design, full *ssta.Result, vm *variation.Model, lambda float64, k int) []circuit.GateID {
+	outs := d.Circuit.Outputs
+	if len(outs) == 0 {
+		return nil
+	}
+	if k <= 0 {
+		k = 1
+	}
+	// Order outputs by descending cost.
+	type oc struct {
+		id   circuit.GateID
+		cost float64
+	}
+	ranked := make([]oc, len(outs))
+	for i, po := range outs {
+		m := full.Node[po]
+		ranked[i] = oc{po, m.Mean + lambda*m.Sigma()}
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].cost > ranked[j].cost })
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	seen := make(map[circuit.GateID]bool)
+	var union []circuit.GateID
+	for _, o := range ranked[:k] {
+		for _, g := range TraceFrom(d, full, vm, o.id) {
+			if !seen[g] {
+				seen[g] = true
+				union = append(union, g)
+			}
+		}
+	}
+	return union
+}
+
+// TraceFrom walks the WNSS path backward from a specific output gate.
+func TraceFrom(d *synth.Design, full *ssta.Result, vm *variation.Model, start circuit.GateID) []circuit.GateID {
+	c := d.Circuit
+	cCoef := vm.MeanSigmaCoupling()
+	var rev []circuit.GateID
+	id := start
+	for {
+		g := c.Gate(id)
+		if g.Fn == circuit.Input {
+			break
+		}
+		rev = append(rev, id)
+		if len(g.Fanin) == 0 {
+			break
+		}
+		id = DominantFanin(g.Fanin, full.Node, cCoef)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// DominantFanin runs the paper's pairwise tournament over the fanins'
+// arrival moments and returns the input with the dominant influence on
+// the output variance.
+func DominantFanin(fanins []circuit.GateID, node []normal.Moments, cCoef float64) circuit.GateID {
+	winner := fanins[0]
+	for _, cand := range fanins[1:] {
+		winner = dominantOfPair(winner, cand, node, cCoef)
+	}
+	return winner
+}
+
+func dominantOfPair(a, b circuit.GateID, node []normal.Moments, cCoef float64) circuit.GateID {
+	ma, mb := node[a], node[b]
+	switch normal.Dominance(ma, mb) {
+	case +1:
+		return a
+	case -1:
+		return b
+	}
+	// Neither dominates: compare the coupled variance sensitivities.
+	sa := math.Abs(normal.VarMaxSensitivity(ma, mb, cCoef, HFrac))
+	sb := math.Abs(normal.VarMaxSensitivity(mb, ma, cCoef, HFrac))
+	if sa >= sb {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,194 @@
+package wnss
+
+import (
+	"testing"
+
+	"repro/internal/cells"
+	"repro/internal/circuit"
+	"repro/internal/gen"
+	"repro/internal/normal"
+	"repro/internal/ssta"
+	"repro/internal/synth"
+	"repro/internal/variation"
+)
+
+func setup(t *testing.T, c *circuit.Circuit) (*synth.Design, *ssta.Result, *variation.Model) {
+	t.Helper()
+	lib := cells.Default90nm()
+	d, err := synth.Map(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := variation.Default(lib)
+	return d, ssta.Analyze(d, vm, ssta.Options{}), vm
+}
+
+// TestFig3PaperExample reproduces the decision of the paper's Figure 3:
+// arrival moments (mu, sigma) of (320,27), (310,45), (357,32), (392,35),
+// (190,41). The pair (320,27) vs (310,45) is the interesting one — close
+// means, so neither dominates, and the higher-VARIANCE input must win the
+// sensitivity comparison even though its mean is lower. The pair (357,32)
+// vs (190,41) is separated by far more than 2.6 sigma, so the higher-mean
+// input wins by dominance with no computation.
+func TestFig3PaperExample(t *testing.T) {
+	node := []normal.Moments{
+		{Mean: 320, Var: 27 * 27}, // 0
+		{Mean: 310, Var: 45 * 45}, // 1
+		{Mean: 357, Var: 32 * 32}, // 2
+		{Mean: 392, Var: 35 * 35}, // 3
+		{Mean: 190, Var: 41 * 41}, // 4
+	}
+	const c = 0.20 // the default variation model's mean-sigma coupling
+
+	// Close means: higher variance dominates.
+	if got := DominantFanin([]circuit.GateID{0, 1}, node, c); got != 1 {
+		t.Errorf("pair (320,27) vs (310,45): picked %d, want the high-variance input 1", got)
+	}
+	// Wide separation: dominance shortcut, higher mean wins.
+	if got := DominantFanin([]circuit.GateID{2, 4}, node, c); got != 2 {
+		t.Errorf("pair (357,32) vs (190,41): picked %d, want dominant input 2", got)
+	}
+	if normal.Dominance(node[2], node[4]) != +1 {
+		t.Error("dominance test should fire for (357,32) vs (190,41)")
+	}
+	if normal.Dominance(node[0], node[1]) != 0 {
+		t.Error("dominance test should NOT fire for (320,27) vs (310,45)")
+	}
+	// Tournament over three: (392,35) has both highest mean and high
+	// variance among {2,3,4} and must win.
+	if got := DominantFanin([]circuit.GateID{2, 3, 4}, node, c); got != 3 {
+		t.Errorf("tournament over three picked %d, want 3", got)
+	}
+}
+
+func TestTracePathConnectedAndEndsAtWorstPO(t *testing.T) {
+	d, full, vm := setup(t, gen.ALU("alu", 8))
+	for _, lambda := range []float64{0, 3, 9} {
+		path := Trace(d, full, vm, lambda)
+		if len(path) == 0 {
+			t.Fatalf("lambda=%g: empty path", lambda)
+		}
+		if path[len(path)-1] != full.WorstOutput(d, lambda) {
+			t.Fatalf("lambda=%g: path does not end at the worst output", lambda)
+		}
+		for i := 1; i < len(path); i++ {
+			connected := false
+			for _, f := range d.Circuit.Gate(path[i]).Fanin {
+				if f == path[i-1] {
+					connected = true
+					break
+				}
+			}
+			if !connected {
+				t.Fatalf("lambda=%g: path break at %d", lambda, i)
+			}
+		}
+		// First gate's chosen fanin chain reaches a primary input.
+		first := d.Circuit.Gate(path[0])
+		hasPIFanin := len(first.Fanin) == 0
+		for _, f := range first.Fanin {
+			if d.Circuit.Gate(f).Fn == circuit.Input {
+				hasPIFanin = true
+			}
+		}
+		if !hasPIFanin {
+			t.Fatalf("lambda=%g: path does not start at the inputs", lambda)
+		}
+	}
+}
+
+func TestTracePicksHighVarianceBranch(t *testing.T) {
+	// Two parallel chains into one AND: a long chain of big (low-sigma)
+	// gates vs a slightly shorter chain of minimum-size (high-sigma)
+	// gates. The deterministic critical path follows the longer-mean
+	// chain; the WNSS trace must follow the high-variance one once its
+	// variance sensitivity dominates.
+	c := circuit.New("branches")
+	a := c.MustAddGate("a", circuit.Input)
+	b := c.MustAddGate("b", circuit.Input)
+	// Chain 1 (will be upsized: low sigma), length 12.
+	prev := a
+	for i := 0; i < 12; i++ {
+		g := c.MustAddGate("", circuit.Not)
+		c.MustConnect(prev, g)
+		prev = g
+	}
+	chain1End := prev
+	// Chain 2 (kept minimum: high sigma), length 11.
+	prev = b
+	for i := 0; i < 11; i++ {
+		g := c.MustAddGate("", circuit.Not)
+		c.MustConnect(prev, g)
+		prev = g
+	}
+	chain2End := prev
+	join := c.MustAddGate("join", circuit.And)
+	c.MustConnect(chain1End, join)
+	c.MustConnect(chain2End, join)
+	c.MustMarkOutput(join)
+
+	lib := cells.Default90nm()
+	d, err := synth.Map(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Upsize chain 1 to its largest size: lower sigma (Pelgrom), slightly
+	// different mean.
+	id, _ := d.Circuit.Lookup("a")
+	cur := d.Circuit.Gate(id).Fanout[0]
+	for {
+		g := d.Circuit.Gate(cur)
+		if g.Name == "join" {
+			break
+		}
+		g.SizeIdx = 7
+		if len(g.Fanout) == 0 {
+			break
+		}
+		cur = g.Fanout[0]
+	}
+	vm := variation.Default(lib)
+	full := ssta.Analyze(d, vm, ssta.Options{})
+	joinID := d.Circuit.MustLookup("join")
+	m1 := full.Node[d.Circuit.Gate(joinID).Fanin[0]]
+	m2 := full.Node[d.Circuit.Gate(joinID).Fanin[1]]
+	if normal.Dominance(m1, m2) != 0 {
+		t.Skipf("test premise broken: one branch dominates outright (%v vs %v)", m1, m2)
+	}
+	if m2.Var <= m1.Var {
+		t.Skipf("test premise broken: chain2 variance %g not higher than chain1 %g", m2.Var, m1.Var)
+	}
+	path := Trace(d, full, vm, 3)
+	// The gate before join must come from chain 2 (the high-variance
+	// branch) if its sensitivity dominates.
+	beforeJoin := path[len(path)-2]
+	if beforeJoin != d.Circuit.Gate(joinID).Fanin[1] {
+		sa := normal.VarMaxSensitivity(m1, m2, vm.MeanSigmaCoupling(), HFrac)
+		sb := normal.VarMaxSensitivity(m2, m1, vm.MeanSigmaCoupling(), HFrac)
+		t.Fatalf("WNSS followed the low-variance branch (sens: %g vs %g; moments %v vs %v)",
+			sa, sb, m1, m2)
+	}
+}
+
+func TestTraceLengthBoundedByDepth(t *testing.T) {
+	d, full, vm := setup(t, gen.SEC("sec", 16, true))
+	path := Trace(d, full, vm, 3)
+	if len(path) > d.Circuit.Depth() {
+		t.Fatalf("path length %d exceeds depth %d", len(path), d.Circuit.Depth())
+	}
+}
+
+func TestTraceEmptyOnNoOutputs(t *testing.T) {
+	c := circuit.New("none")
+	c.MustAddGate("a", circuit.Input)
+	lib := cells.Default90nm()
+	d, err := synth.Map(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := variation.Default(lib)
+	full := ssta.Analyze(d, vm, ssta.Options{})
+	if got := Trace(d, full, vm, 3); got != nil {
+		t.Fatalf("expected nil path, got %v", got)
+	}
+}

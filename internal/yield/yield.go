@@ -1,0 +1,39 @@
+// Package yield interprets circuit-delay distributions as manufacturing
+// yield, the Figure 1 reading of the paper: at a target clock period T,
+// the yield is the fraction of manufactured units whose delay meets T.
+package yield
+
+import (
+	"fmt"
+
+	"repro/internal/dpdf"
+)
+
+// AtPeriod returns the yield of a delay distribution at clock period T.
+func AtPeriod(p dpdf.PDF, T float64) float64 {
+	return p.CDF(T)
+}
+
+// PeriodFor returns the smallest period achieving at least the target
+// yield (a quantile query).
+func PeriodFor(p dpdf.PDF, target float64) (float64, error) {
+	if target <= 0 || target > 1 {
+		return 0, fmt.Errorf("yield: target %g outside (0, 1]", target)
+	}
+	return p.Quantile(target), nil
+}
+
+// Sweep evaluates the yield at each period, for plotting yield curves.
+func Sweep(p dpdf.PDF, periods []float64) []float64 {
+	ys := make([]float64, len(periods))
+	for i, T := range periods {
+		ys[i] = p.CDF(T)
+	}
+	return ys
+}
+
+// SigmaPeriod returns mu + k*sigma of the distribution — the classic
+// "k-sigma" sign-off period.
+func SigmaPeriod(p dpdf.PDF, k float64) float64 {
+	return p.Mean() + k*p.Sigma()
+}
