@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test race vet bench bench-parallel
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency layer (internal/parallel and its users) is validated
+# under the race detector; this must stay green.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+# Serial-vs-parallel engine comparison; writes BENCH_parallel.json with
+# ns/op, speedup, and the host core count (speedup is bounded by it).
+bench-parallel:
+	$(GO) run ./cmd/benchpar

@@ -100,6 +100,28 @@ func (d *Design) Stats() Stats {
 	}
 }
 
+// RunOptions gathers the execution knobs shared by every analysis and
+// optimization entry point. The zero value is always valid and means
+// "library defaults".
+type RunOptions struct {
+	// Workers bounds the number of goroutines the engines may use: 0
+	// means one worker per available CPU, 1 forces the exact historical
+	// serial behavior. FULLSSTA and Monte Carlo produce bit-identical
+	// results for every value. StatisticalGreedy additionally scores
+	// sizing candidates concurrently when Workers is explicitly >= 2 —
+	// deterministic and host-independent for a fixed value, but a
+	// different (snapshot-scored) move ordering than the serial default
+	// (see internal/core.Options.Workers).
+	Workers int
+	// PDFPoints caps the discrete-PDF resolution of FULLSSTA (0 = the
+	// engine default).
+	PDFPoints int
+}
+
+func (o RunOptions) ssta() ssta.Options {
+	return ssta.Options{Points: o.PDFPoints, Workers: o.Workers}
+}
+
 // Analysis reports the statistical timing of a design.
 type Analysis struct {
 	// Mean and Sigma are the first two moments of the circuit delay (the
@@ -113,9 +135,15 @@ type Analysis struct {
 	full *ssta.Result
 }
 
-// Analyze runs FULLSSTA (the accurate discrete-PDF engine).
+// Analyze runs FULLSSTA (the accurate discrete-PDF engine) with default
+// options.
 func (d *Design) Analyze() *Analysis {
-	full := ssta.Analyze(d.d, d.vm, ssta.Options{})
+	return d.AnalyzeOpts(RunOptions{})
+}
+
+// AnalyzeOpts is Analyze with explicit execution options.
+func (d *Design) AnalyzeOpts(opts RunOptions) *Analysis {
+	full := ssta.Analyze(d.d, d.vm, opts.ssta())
 	xs, ps := full.CircuitPDF.Support()
 	return &Analysis{
 		Mean:         full.Mean,
@@ -136,15 +164,26 @@ func (a *Analysis) PeriodForYield(target float64) (float64, error) {
 	return yield.PeriodFor(a.full.CircuitPDF, target)
 }
 
-// MonteCarlo runs the golden-reference sampling engine.
+// MonteCarlo runs the golden-reference sampling engine with default
+// options. Results depend only on (samples, seed), never on the host's
+// core count.
 func (d *Design) MonteCarlo(samples int, seed int64) (*Analysis, error) {
-	mc, err := montecarlo.Analyze(d.d, d.vm, samples, seed)
+	return d.MonteCarloOpts(samples, seed, RunOptions{})
+}
+
+// MonteCarloOpts is MonteCarlo with explicit execution options; the same
+// options also drive the FULLSSTA pass that backs Yield queries on the
+// returned Analysis.
+func (d *Design) MonteCarloOpts(samples int, seed int64, opts RunOptions) (*Analysis, error) {
+	mc, err := montecarlo.AnalyzeOpts(d.d, d.vm, montecarlo.Options{
+		Trials: samples, Seed: seed, Workers: opts.Workers,
+	})
 	if err != nil {
 		return nil, err
 	}
 	p := mc.PDF(15)
 	xs, ps := p.Support()
-	full := ssta.Analyze(d.d, d.vm, ssta.Options{}) // for Yield support
+	full := ssta.Analyze(d.d, d.vm, opts.ssta()) // for Yield support
 	return &Analysis{
 		Mean: mc.Mean, Sigma: mc.Sigma,
 		NominalDelay: full.STA.MaxArrival,
@@ -213,10 +252,18 @@ func (d *Design) OptimizeMeanDelay() (OptResult, error) {
 // optimizer with the sigma weight lambda (the paper evaluates 3 and 9).
 // The design is modified in place.
 func (d *Design) OptimizeStatistical(lambda float64) (OptResult, error) {
+	return d.OptimizeStatisticalOpts(lambda, RunOptions{})
+}
+
+// OptimizeStatisticalOpts is OptimizeStatistical with explicit execution
+// options (worker count, PDF resolution).
+func (d *Design) OptimizeStatisticalOpts(lambda float64, opts RunOptions) (OptResult, error) {
 	if lambda < 0 {
 		return OptResult{}, fmt.Errorf("repro: negative lambda %g", lambda)
 	}
-	r, err := core.StatisticalGreedy(d.d, d.vm, core.Options{Lambda: lambda})
+	r, err := core.StatisticalGreedy(d.d, d.vm, core.Options{
+		Lambda: lambda, PDFPoints: opts.PDFPoints, Workers: opts.Workers,
+	})
 	if err != nil {
 		return OptResult{}, err
 	}

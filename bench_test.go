@@ -8,6 +8,7 @@ package repro
 // costs. EXPERIMENTS.md records a reference run.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -114,6 +115,48 @@ func benchFULLSSTA(b *testing.B, name string) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ssta.Analyze(d, vm, ssta.Options{})
+	}
+}
+
+// --- Parallel engines (cmd/benchpar turns these into BENCH_parallel.json) ---
+
+func BenchmarkFULLSSTAParallel1(b *testing.B) { benchFULLSSTAWorkers(b, 1) }
+func BenchmarkFULLSSTAParallel4(b *testing.B) { benchFULLSSTAWorkers(b, 4) }
+func BenchmarkFULLSSTAParallel8(b *testing.B) { benchFULLSSTAWorkers(b, 8) }
+
+func benchFULLSSTAWorkers(b *testing.B, workers int) {
+	d, vm, err := experiments.NewDesign("c6288")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ssta.Analyze(d, vm, ssta.Options{Workers: workers})
+	}
+}
+
+func BenchmarkMonteCarloParallel(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchMonteCarloWorkers(b, workers)
+		})
+	}
+}
+
+func benchMonteCarloWorkers(b *testing.B, workers int) {
+	d, vm, err := experiments.NewDesign("c432")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := montecarlo.AnalyzeOpts(d, vm, montecarlo.Options{
+			Trials: 10000, Seed: int64(i), Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

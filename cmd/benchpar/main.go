@@ -1,0 +1,123 @@
+// Command benchpar measures the parallel engines against their serial
+// baselines and writes the results to BENCH_parallel.json (or -out). It
+// runs the same workloads as BenchmarkFULLSSTAParallel* and
+// BenchmarkMonteCarloParallel in the root package, but through
+// testing.Benchmark so the numbers can be captured as structured JSON
+// alongside the host's core count — a speedup figure is meaningless
+// without knowing how many CPUs were available.
+//
+//	go run ./cmd/benchpar            # writes BENCH_parallel.json
+//	go run ./cmd/benchpar -out -     # prints the JSON to stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/montecarlo"
+	"repro/internal/ssta"
+)
+
+// Row is one engine/worker-count measurement. Speedup is serial ns/op
+// divided by this row's ns/op (1.0 for the serial rows themselves).
+type Row struct {
+	Engine  string  `json:"engine"`
+	Circuit string  `json:"circuit"`
+	Workers int     `json:"workers"`
+	NsPerOp int64   `json:"ns_per_op"`
+	Speedup float64 `json:"speedup_vs_serial"`
+}
+
+// Report is the schema of BENCH_parallel.json.
+type Report struct {
+	// HostCPUs is runtime.NumCPU() on the measuring host. Speedups are
+	// bounded by it: on a single-core host every parallel configuration
+	// legitimately measures ~1x.
+	HostCPUs   int   `json:"host_cpus"`
+	GOMAXPROCS int   `json:"gomaxprocs"`
+	Rows       []Row `json:"rows"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_parallel.json", "output file (- for stdout)")
+	sstaCircuit := flag.String("ssta-circuit", "c6288", "benchmark circuit for FULLSSTA")
+	mcCircuit := flag.String("mc-circuit", "c432", "benchmark circuit for Monte Carlo")
+	mcTrials := flag.Int("mc-trials", 10000, "Monte-Carlo trials per op")
+	flag.Parse()
+
+	rep := Report{HostCPUs: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	workerCounts := []int{1, 4, 8}
+
+	d, vm, err := experiments.NewDesign(*sstaCircuit)
+	if err != nil {
+		fail(err)
+	}
+	rep.Rows = append(rep.Rows, sweep("fullssta", *sstaCircuit, workerCounts, func(b *testing.B, workers int) {
+		for i := 0; i < b.N; i++ {
+			ssta.Analyze(d, vm, ssta.Options{Workers: workers})
+		}
+	})...)
+
+	md, mvm, err := experiments.NewDesign(*mcCircuit)
+	if err != nil {
+		fail(err)
+	}
+	rep.Rows = append(rep.Rows, sweep("montecarlo", *mcCircuit, workerCounts, func(b *testing.B, workers int) {
+		for i := 0; i < b.N; i++ {
+			if _, err := montecarlo.AnalyzeOpts(md, mvm, montecarlo.Options{
+				Trials: *mcTrials, Seed: int64(i), Workers: workers,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})...)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fail(err)
+	}
+	for _, r := range rep.Rows {
+		fmt.Printf("%-10s %-6s workers=%d  %12d ns/op  %.2fx\n",
+			r.Engine, r.Circuit, r.Workers, r.NsPerOp, r.Speedup)
+	}
+	fmt.Printf("host: %d CPUs (GOMAXPROCS %d) -> %s\n", rep.HostCPUs, rep.GOMAXPROCS, *out)
+}
+
+// sweep benchmarks fn at each worker count and derives speedups from the
+// workers=1 row.
+func sweep(engine, circuit string, workerCounts []int, fn func(b *testing.B, workers int)) []Row {
+	rows := make([]Row, 0, len(workerCounts))
+	var serial int64
+	for _, w := range workerCounts {
+		w := w
+		res := testing.Benchmark(func(b *testing.B) { fn(b, w) })
+		ns := res.NsPerOp()
+		if w == 1 {
+			serial = ns
+		}
+		speedup := 0.0
+		if serial > 0 && ns > 0 {
+			speedup = float64(serial) / float64(ns)
+		}
+		rows = append(rows, Row{Engine: engine, Circuit: circuit, Workers: w, NsPerOp: ns, Speedup: speedup})
+	}
+	return rows
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchpar:", err)
+	os.Exit(1)
+}

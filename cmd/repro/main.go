@@ -70,15 +70,25 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: repro <table1|fig1|fig3|fig4|erf|engines|correlation|all> [flags]`)
 }
 
+// workersFlag registers the shared -workers knob on a subcommand's flag
+// set. The analysis engines produce identical numbers for any value;
+// the optimizer scores candidates concurrently only when the flag is
+// explicitly >= 2 (deterministic, but a different move ordering than
+// the serial default — see DESIGN.md section 7).
+func workersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0, "engine worker goroutines (0 = all CPUs, 1 = serial; >= 2 also enables concurrent optimizer scoring)")
+}
+
 func runTable1(args []string) error {
 	fs := flag.NewFlagSet("table1", flag.ExitOnError)
 	csv := fs.Bool("csv", false, "emit CSV instead of a formatted table")
+	workers := workersFlag(fs)
 	fs.Parse(args)
 	names := fs.Args()
 	if len(names) == 0 {
 		names = gen.ISCASNames()
 	}
-	rows, err := experiments.Table1(names, experiments.Config{})
+	rows, err := experiments.Table1(names, experiments.Config{Workers: *workers})
 	if err != nil {
 		return err
 	}
@@ -104,8 +114,9 @@ func pct(v float64) string { return fmt.Sprintf("%+.0f%%", v) }
 func runFig1(args []string) error {
 	fs := flag.NewFlagSet("fig1", flag.ExitOnError)
 	circuit := fs.String("circuit", "c880", "benchmark to plot")
+	workers := workersFlag(fs)
 	fs.Parse(args)
-	res, err := experiments.Fig1(*circuit, experiments.Config{})
+	res, err := experiments.Fig1(*circuit, experiments.Config{Workers: *workers})
 	if err != nil {
 		return err
 	}
@@ -149,8 +160,9 @@ func runFig3(args []string) error {
 func runFig4(args []string) error {
 	fs := flag.NewFlagSet("fig4", flag.ExitOnError)
 	circuit := fs.String("circuit", "c432", "benchmark to sweep")
+	workers := workersFlag(fs)
 	fs.Parse(args)
-	pts, err := experiments.Fig4(*circuit, nil, experiments.Config{})
+	pts, err := experiments.Fig4(*circuit, nil, experiments.Config{Workers: *workers})
 	if err != nil {
 		return err
 	}
@@ -230,11 +242,14 @@ func abs(x float64) float64 {
 }
 
 func runEngines(args []string) error {
-	names := args
+	fs := flag.NewFlagSet("engines", flag.ExitOnError)
+	workers := workersFlag(fs)
+	fs.Parse(args)
+	names := fs.Args()
 	if len(names) == 0 {
 		names = []string{"alu2", "c432", "c880", "c1908"}
 	}
-	rows, err := experiments.Engines(names, 20000, experiments.Config{})
+	rows, err := experiments.Engines(names, 20000, experiments.Config{Workers: *workers})
 	if err != nil {
 		return err
 	}

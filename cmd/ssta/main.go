@@ -26,8 +26,10 @@ func main() {
 		kpaths  = flag.Int("paths", 0, "enumerate the k worst deterministic paths")
 		critN   = flag.Int("crit", 0, "print the n most critical gates (statistical criticality)")
 		sdfOut  = flag.String("sdf", "", "write statistical delay corners to this SDF file")
+		workers = flag.Int("workers", 0, "engine worker goroutines (0 = all CPUs, 1 = serial; analysis results are identical for any value)")
 	)
 	flag.Parse()
+	opts := repro.RunOptions{Workers: *workers}
 
 	d, err := load(*genName, *bench)
 	if err != nil {
@@ -36,7 +38,7 @@ func main() {
 	s := d.Stats()
 	fmt.Printf("%s: %d gates, depth %d, area %.0f um^2\n", s.Name, s.Gates, s.Depth, s.Area)
 
-	a := d.Analyze()
+	a := d.AnalyzeOpts(opts)
 	fmt.Printf("deterministic STA: %.1f ps\n", a.NominalDelay)
 	fmt.Printf("FULLSSTA:          mu %.1f ps, sigma %.1f ps (sigma/mu %.4f)\n",
 		a.Mean, a.Sigma, a.Sigma/a.Mean)
@@ -48,7 +50,7 @@ func main() {
 		fmt.Printf("  period for %.0f%% yield: %.1f ps\n", q*100, T)
 	}
 	if *mc > 0 {
-		m, err := d.MonteCarlo(*mc, *seed)
+		m, err := d.MonteCarloOpts(*mc, *seed, opts)
 		if err != nil {
 			fail(err)
 		}

@@ -26,8 +26,10 @@ func main() {
 		skipMD  = flag.Bool("skip-baseline", false, "skip the mean-delay baseline pass")
 		out     = flag.String("out", "", "write the sized netlist to this .bench file")
 		list    = flag.Bool("list", false, "list built-in benchmarks and exit")
+		workers = flag.Int("workers", 0, "engine worker goroutines (0 = all CPUs, 1 = serial; >= 2 also enables concurrent optimizer scoring)")
 	)
 	flag.Parse()
+	opts := repro.RunOptions{Workers: *workers}
 	if *list {
 		for _, n := range repro.Benchmarks() {
 			fmt.Println(n)
@@ -50,11 +52,11 @@ func main() {
 		fmt.Printf("mean-delay baseline: nominal %.0f -> %.0f ps (%d iterations, %v)\n",
 			r.MeanBefore, r.MeanAfter, r.Iterations, r.Runtime.Round(1e6))
 	}
-	before := d.Analyze()
+	before := d.AnalyzeOpts(opts)
 	fmt.Printf("original:  mu %.1f ps, sigma %.1f ps (sigma/mu %.4f)\n",
 		before.Mean, before.Sigma, before.Sigma/before.Mean)
 
-	r, err := d.OptimizeStatistical(*lambda)
+	r, err := d.OptimizeStatisticalOpts(*lambda, opts)
 	if err != nil {
 		fail(err)
 	}
@@ -65,7 +67,7 @@ func main() {
 		}
 		fmt.Printf("area recovery: %.0f um^2 reclaimed\n", saved)
 	}
-	after := d.Analyze()
+	after := d.AnalyzeOpts(opts)
 	fmt.Printf("optimized: mu %.1f ps (%+.1f%%), sigma %.1f ps (%+.1f%%), area %.0f um^2 (%+.1f%%)\n",
 		after.Mean, 100*(after.Mean-before.Mean)/before.Mean,
 		after.Sigma, 100*(after.Sigma-before.Sigma)/before.Sigma,

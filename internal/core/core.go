@@ -21,6 +21,7 @@ import (
 	"repro/internal/circuit"
 
 	"repro/internal/fassta"
+	"repro/internal/parallel"
 	"repro/internal/ssta"
 	"repro/internal/sta"
 	"repro/internal/synth"
@@ -68,6 +69,17 @@ type Options struct {
 	// aggressive extension beyond the paper's path-local moves; off by
 	// default, exercised by the ablation benches.
 	ConeMove bool
+	// Workers is the concurrency budget. It is passed to every FULLSSTA
+	// analysis (level-parallel PDF propagation, bit-exact at any worker
+	// count), and when EXPLICITLY set to 2 or more, candidate gates on
+	// the WNSS paths are also scored concurrently — each gate's FASSTA
+	// subcircuit evaluated against the iteration-start sizing, winners
+	// applied in path order, so the outcome is deterministic and
+	// host-independent. 0 (the default) and 1 keep the exact historical
+	// serial scoring, where each gate sees the tentative resizes of
+	// gates earlier on the path; 0 still lets the inner FULLSSTA passes
+	// use all CPUs, which cannot change any number.
+	Workers int
 }
 
 func (o Options) maxIters() int {
@@ -106,6 +118,12 @@ func (o Options) maxStep() int {
 		return 0 // unlimited
 	}
 	return o.MaxStep
+}
+
+// sstaOpts is the FULLSSTA configuration every analysis inside the
+// optimizers uses: the shared PDF sampling rate plus the worker budget.
+func (o Options) sstaOpts() ssta.Options {
+	return ssta.Options{Points: o.PDFPoints, Workers: o.Workers}
 }
 
 // Snapshot captures the statistical state of a design at one point.
@@ -159,7 +177,7 @@ func StatisticalGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Res
 	res := &Result{StoppedBy: "max-iters"}
 	ex := fassta.NewExtractor(d)
 
-	full := ssta.Analyze(d, vm, ssta.Options{Points: opts.PDFPoints})
+	full := ssta.Analyze(d, vm, opts.sstaOpts())
 	res.Initial = snapshot(d, full, opts.Lambda)
 	best := res.Initial
 	bestSizes := d.Circuit.SizeSnapshot()
@@ -200,19 +218,62 @@ func StatisticalGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Res
 		resized := 0
 		bestSingleGain := 0.0
 		bestSingleGate, bestSingleSize := circuit.None, 0
-		for _, g := range path {
-			s := ex.Extract(full, vm, g, opts.SubcktDepth)
-			bestSize, bestCost, curCost := s.BestSize(opts.Lambda, opts.maxStep())
-			if bestSize != d.Circuit.Gate(g).SizeIdx && bestCost < curCost-opts.minGain() {
-				if gain := curCost - bestCost; gain > bestSingleGain {
-					bestSingleGain = gain
-					bestSingleGate, bestSingleSize = g, bestSize
+		// Concurrent scoring is gated on the EXPLICIT worker count, not
+		// the resolved one: Workers 0 must mean "old sequential-apply
+		// semantics" on every host, or the default optimizer output
+		// would depend on the machine's core count. (The FULLSSTA calls
+		// above still parallelize under Workers 0 — they are bit-exact
+		// for any worker count, so resolving them to all CPUs is safe.)
+		if workers := opts.Workers; workers > 1 && len(path) > 1 {
+			// Concurrent scoring: every path gate's subcircuit is evaluated
+			// against the iteration-start sizing (the snapshot just taken),
+			// then the winners are applied in path order. Each evaluation is
+			// independent — Extract and BestSize only read the design — so
+			// the outcome is deterministic for any worker count. This
+			// differs from the serial loop only in that a gate's scoring no
+			// longer sees the tentative resizes of earlier path gates; the
+			// global re-analysis and the move-D fallback below correct any
+			// batch overshoot either way.
+			type scored struct {
+				size      int
+				gain      float64
+				improving bool
+			}
+			scores := make([]scored, len(path))
+			ex.Prime()
+			parallel.ForEach(workers, len(path), func(i int) {
+				s := ex.Extract(full, vm, path[i], opts.SubcktDepth)
+				bestSize, bestCost, curCost := s.BestSize(opts.Lambda, opts.maxStep())
+				if bestSize != d.Circuit.Gate(path[i]).SizeIdx && bestCost < curCost-opts.minGain() {
+					scores[i] = scored{size: bestSize, gain: curCost - bestCost, improving: true}
 				}
-				d.Circuit.Gate(g).SizeIdx = bestSize
+			})
+			for i, sc := range scores {
+				if !sc.improving {
+					continue
+				}
+				if sc.gain > bestSingleGain {
+					bestSingleGain = sc.gain
+					bestSingleGate, bestSingleSize = path[i], sc.size
+				}
+				d.Circuit.Gate(path[i]).SizeIdx = sc.size
 				resized++
 			}
+		} else {
+			for _, g := range path {
+				s := ex.Extract(full, vm, g, opts.SubcktDepth)
+				bestSize, bestCost, curCost := s.BestSize(opts.Lambda, opts.maxStep())
+				if bestSize != d.Circuit.Gate(g).SizeIdx && bestCost < curCost-opts.minGain() {
+					if gain := curCost - bestCost; gain > bestSingleGain {
+						bestSingleGain = gain
+						bestSingleGate, bestSingleSize = g, bestSize
+					}
+					d.Circuit.Gate(g).SizeIdx = bestSize
+					resized++
+				}
+			}
 		}
-		fullA := ssta.Analyze(d, vm, ssta.Options{Points: opts.PDFPoints})
+		fullA := ssta.Analyze(d, vm, opts.sstaOpts())
 		costA := fullA.Cost(d, opts.Lambda)
 		sizesA := d.Circuit.SizeSnapshot()
 
@@ -237,7 +298,7 @@ func StatisticalGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Res
 		var fullB *ssta.Result
 		var sizesB []int
 		if bumped > 0 {
-			fullB = ssta.Analyze(d, vm, ssta.Options{Points: opts.PDFPoints})
+			fullB = ssta.Analyze(d, vm, opts.sstaOpts())
 			costB = fullB.Cost(d, opts.Lambda)
 			sizesB = d.Circuit.SizeSnapshot()
 		}
@@ -264,7 +325,7 @@ func StatisticalGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Res
 				}
 			}
 			if coneBumped > 0 {
-				fullC = ssta.Analyze(d, vm, ssta.Options{Points: opts.PDFPoints})
+				fullC = ssta.Analyze(d, vm, opts.sstaOpts())
 				costC = fullC.Cost(d, opts.Lambda)
 			}
 		} else {
@@ -294,7 +355,7 @@ func StatisticalGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Res
 		if full.Cost(d, opts.Lambda) >= cur.Cost && bestSingleGate != circuit.None {
 			d.Circuit.RestoreSizes(startSizes)
 			d.Circuit.Gate(bestSingleGate).SizeIdx = bestSingleSize
-			fullD := ssta.Analyze(d, vm, ssta.Options{Points: opts.PDFPoints})
+			fullD := ssta.Analyze(d, vm, opts.sstaOpts())
 			if fullD.Cost(d, opts.Lambda) < cur.Cost {
 				full = fullD
 				resized = 1
@@ -316,7 +377,7 @@ func StatisticalGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Res
 	}
 
 	// Keep the best sizing seen.
-	final := snapshot(d, ssta.Analyze(d, vm, ssta.Options{Points: opts.PDFPoints}), opts.Lambda)
+	final := snapshot(d, ssta.Analyze(d, vm, opts.sstaOpts()), opts.Lambda)
 	if best.Cost < final.Cost {
 		d.Circuit.RestoreSizes(bestSizes)
 		final = best
@@ -451,7 +512,7 @@ func RecoverArea(d *synth.Design, vm *variation.Model, opts Options, slackFrac f
 		return 0, fmt.Errorf("core: negative slack fraction %g", slackFrac)
 	}
 	ex := fassta.NewExtractor(d)
-	full := ssta.Analyze(d, vm, ssta.Options{Points: opts.PDFPoints})
+	full := ssta.Analyze(d, vm, opts.sstaOpts())
 	entryCost := full.Cost(d, opts.Lambda)
 	budget := entryCost * (1 + slackFrac)
 	area0 := d.Area()
@@ -479,7 +540,7 @@ func RecoverArea(d *synth.Design, vm *variation.Model, opts Options, slackFrac f
 		if changed == 0 {
 			break
 		}
-		newFull := ssta.Analyze(d, vm, ssta.Options{Points: opts.PDFPoints})
+		newFull := ssta.Analyze(d, vm, opts.sstaOpts())
 		if newFull.Cost(d, opts.Lambda) > budget {
 			// Batch overshot the global budget: roll back and retry more
 			// conservatively.

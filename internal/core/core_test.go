@@ -234,3 +234,35 @@ func TestDeterministicRepeatability(t *testing.T) {
 		t.Fatalf("optimizer not deterministic: %+v vs %+v", a, b)
 	}
 }
+
+// TestStatisticalGreedyParallelScoring exercises the concurrent
+// candidate-scoring branch: with Workers > 1 the optimizer must still
+// reduce sigma versus the mean-optimized start, and — because scores are
+// applied in path order regardless of which goroutine produced them —
+// two runs from identical starting points must agree exactly.
+func TestStatisticalGreedyParallelScoring(t *testing.T) {
+	c, err := gen.ISCASLike("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *Result {
+		d, vm := original(t, c.Clone())
+		r, err := StatisticalGreedy(d, vm, Options{Lambda: 9, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a := run()
+	if a.Final.Sigma >= a.Initial.Sigma {
+		t.Fatalf("parallel scoring did not reduce sigma: %g -> %g",
+			a.Initial.Sigma, a.Final.Sigma)
+	}
+	b := run()
+	if a.Final.Mean != b.Final.Mean || a.Final.Sigma != b.Final.Sigma ||
+		a.Final.Area != b.Final.Area || a.Iterations != b.Iterations {
+		t.Fatalf("parallel scoring not deterministic across runs: (%g,%g,%g,%d) vs (%g,%g,%g,%d)",
+			a.Final.Mean, a.Final.Sigma, a.Final.Area, a.Iterations,
+			b.Final.Mean, b.Final.Sigma, b.Final.Area, b.Iterations)
+	}
+}

@@ -1,0 +1,215 @@
+package dpdf
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/normal"
+)
+
+// Scratch holds the reusable intermediate buffers of the Sum/Max kernels.
+// The operators form an n*m-point convolution (or a merged-support CDF
+// product), sort it, and bin it back down — all of which previously
+// allocated fresh slices per call. A Scratch keeps those intermediates
+// alive across calls, so the only remaining allocation per operation is
+// the returned PDF itself (at most maxPts points, which callers retain).
+//
+// A Scratch is not safe for concurrent use; give each worker goroutine
+// its own. The zero value is ready to use. Results are bit-identical to
+// the package-level operators — the scratch versions ARE the
+// implementation; Sum/Max/MaxN delegate here with a throwaway scratch.
+type Scratch struct {
+	wxs, wps []float64 // weighted-point workspace awaiting binning
+	idx      []int     // sort permutation over wxs
+	sx, sp   []float64 // sorted, deduplicated points
+	mass     []float64 // per-bin probability mass
+	sum      []float64 // per-bin mass-weighted coordinate sum
+	merge    []float64 // merged support workspace for Max
+	nxs, nps []float64 // TempNormal output, aliased by its return value
+}
+
+// NewScratch returns an empty scratch. Buffers grow on first use and are
+// then reused.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// Sum is the scratch-buffered distribution of X+Y for independent X, Y
+// (see the package-level Sum). Only the returned PDF is newly allocated.
+func (s *Scratch) Sum(a, b PDF, maxPts int) PDF {
+	if a.Len() == 1 {
+		return b.Shift(a.xs[0])
+	}
+	if b.Len() == 1 {
+		return a.Shift(b.xs[0])
+	}
+	s.wxs, s.wps = s.wxs[:0], s.wps[:0]
+	for i, xa := range a.xs {
+		for j, xb := range b.xs {
+			s.wxs = append(s.wxs, xa+xb)
+			s.wps = append(s.wps, a.ps[i]*b.ps[j])
+		}
+	}
+	return s.binWeighted(maxPts)
+}
+
+// Max is the scratch-buffered distribution of max(X, Y) for independent
+// X, Y (see the package-level Max).
+func (s *Scratch) Max(a, b PDF, maxPts int) PDF {
+	// Merge supports.
+	s.merge = append(append(s.merge[:0], a.xs...), b.xs...)
+	sort.Float64s(s.merge)
+	// Dedup.
+	uniq := s.merge[:1]
+	for _, x := range s.merge[1:] {
+		if x != uniq[len(uniq)-1] {
+			uniq = append(uniq, x)
+		}
+	}
+	s.wxs, s.wps = s.wxs[:0], s.wps[:0]
+	prev := 0.0
+	ia, ib := 0, 0
+	ca, cb := 0.0, 0.0
+	for _, x := range uniq {
+		for ia < a.Len() && a.xs[ia] <= x {
+			ca += a.ps[ia]
+			ia++
+		}
+		for ib < b.Len() && b.xs[ib] <= x {
+			cb += b.ps[ib]
+			ib++
+		}
+		f := ca * cb
+		if mass := f - prev; mass > 0 {
+			s.wxs = append(s.wxs, x)
+			s.wps = append(s.wps, mass)
+		}
+		prev = f
+	}
+	return s.binWeighted(maxPts)
+}
+
+// MaxN folds Max over a list of PDFs. An empty list yields Point(0).
+func (s *Scratch) MaxN(pdfs []PDF, maxPts int) PDF {
+	if len(pdfs) == 0 {
+		return Point(0)
+	}
+	acc := pdfs[0]
+	for _, p := range pdfs[1:] {
+		acc = s.Max(acc, p, maxPts)
+	}
+	return acc
+}
+
+// TempNormal discretizes N(mu, sigma^2) exactly like FromNormal but into
+// scratch-owned buffers: the returned PDF aliases the scratch and is only
+// valid until the next TempNormal call on the same scratch. It exists for
+// the one pattern the engines use — build a gate-delay PDF, convolve it
+// into an arrival, discard it — where the FromNormal allocation would be
+// garbage the moment Sum returns.
+func (s *Scratch) TempNormal(mu, sigma float64, n int) PDF {
+	if sigma <= 0 {
+		s.nxs = append(s.nxs[:0], mu)
+		s.nps = append(s.nps[:0], 1)
+		return PDF{xs: s.nxs, ps: s.nps}
+	}
+	if n < 2 {
+		n = 2
+	}
+	const span = 3.5
+	lo, hi := -span, span // in sigma units
+	width := (hi - lo) / float64(n)
+	s.nxs, s.nps = s.nxs[:0], s.nps[:0]
+	total := normal.Phi(hi) - normal.Phi(lo)
+	for i := 0; i < n; i++ {
+		a := lo + float64(i)*width
+		b := a + width
+		mass := (normal.Phi(b) - normal.Phi(a)) / total
+		if mass <= 0 {
+			continue
+		}
+		// Conditional mean of a standard normal on (a, b).
+		condMean := (normal.Pdf(a) - normal.Pdf(b)) / (normal.Phi(b) - normal.Phi(a))
+		s.nxs = append(s.nxs, mu+sigma*condMean)
+		s.nps = append(s.nps, mass)
+	}
+	return PDF{xs: s.nxs, ps: s.nps}
+}
+
+// binWeighted is fromWeighted over the scratch's weighted-point workspace
+// (s.wxs/s.wps): merge duplicates and bin down to at most maxPts points,
+// preserving the mean exactly and rescaling the support to restore the
+// exact pre-binning variance. Only the returned PDF is newly allocated.
+func (s *Scratch) binWeighted(maxPts int) PDF {
+	if len(s.wxs) == 0 {
+		return Point(0)
+	}
+	// Sort points by x.
+	if cap(s.idx) < len(s.wxs) {
+		s.idx = make([]int, len(s.wxs))
+	}
+	s.idx = s.idx[:len(s.wxs)]
+	for i := range s.idx {
+		s.idx[i] = i
+	}
+	idx, xs, ps := s.idx, s.wxs, s.wps
+	sort.Slice(idx, func(i, j int) bool { return xs[idx[i]] < xs[idx[j]] })
+	s.sx, s.sp = s.sx[:0], s.sp[:0]
+	for _, i := range idx {
+		if len(s.sx) > 0 && xs[i] == s.sx[len(s.sx)-1] {
+			s.sp[len(s.sp)-1] += ps[i]
+			continue
+		}
+		s.sx = append(s.sx, xs[i])
+		s.sp = append(s.sp, ps[i])
+	}
+	if maxPts < 1 {
+		maxPts = DefaultPoints
+	}
+	if len(s.sx) <= maxPts {
+		out := PDF{
+			xs: append(make([]float64, 0, len(s.sx)), s.sx...),
+			ps: append(make([]float64, 0, len(s.sp)), s.sp...),
+		}
+		return normalize(out)
+	}
+	lo, hi := s.sx[0], s.sx[len(s.sx)-1]
+	if lo == hi {
+		return Point(lo)
+	}
+	w := (hi - lo) / float64(maxPts)
+	if cap(s.mass) < maxPts {
+		s.mass = make([]float64, maxPts)
+		s.sum = make([]float64, maxPts)
+	}
+	s.mass, s.sum = s.mass[:maxPts], s.sum[:maxPts]
+	for b := range s.mass {
+		s.mass[b], s.sum[b] = 0, 0
+	}
+	for i, x := range s.sx {
+		b := int((x - lo) / w)
+		if b >= maxPts {
+			b = maxPts - 1
+		}
+		s.mass[b] += s.sp[i]
+		s.sum[b] += x * s.sp[i]
+	}
+	ox := make([]float64, 0, maxPts)
+	op := make([]float64, 0, maxPts)
+	for b := 0; b < maxPts; b++ {
+		if s.mass[b] <= 0 {
+			continue
+		}
+		ox = append(ox, s.sum[b]/s.mass[b])
+		op = append(op, s.mass[b])
+	}
+	out := normalize(PDF{xs: ox, ps: op})
+	// Restore the exact pre-binning variance by rescaling around the mean.
+	wantMean, wantVar := weightedMoments(s.sx, s.sp)
+	gotVar := out.Variance()
+	if gotVar > 0 && wantVar > 0 {
+		k := math.Sqrt(wantVar / gotVar)
+		for i := range out.xs {
+			out.xs[i] = wantMean + (out.xs[i]-wantMean)*k
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package dpdf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func scratchPDF(rng *rand.Rand, n int) PDF {
+	p := FromNormal(rng.Float64()*500, 1+rng.Float64()*50, n)
+	return p
+}
+
+// equalPDF demands bitwise equality — the scratch kernels are the
+// implementation of the package operators and must match exactly, not
+// just within tolerance.
+func equalPDF(a, b PDF) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.xs {
+		if a.xs[i] != b.xs[i] || a.ps[i] != b.ps[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestScratchSumMaxBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var s Scratch
+	for trial := 0; trial < 200; trial++ {
+		a := scratchPDF(rng, 2+rng.Intn(20))
+		b := scratchPDF(rng, 2+rng.Intn(20))
+		pts := 4 + rng.Intn(20)
+		if got, want := s.Sum(a, b, pts), Sum(a, b, pts); !equalPDF(got, want) {
+			t.Fatalf("trial %d: scratch Sum differs from package Sum", trial)
+		}
+		if got, want := s.Max(a, b, pts), Max(a, b, pts); !equalPDF(got, want) {
+			t.Fatalf("trial %d: scratch Max differs from package Max", trial)
+		}
+	}
+}
+
+func TestScratchReuseDoesNotCorruptResults(t *testing.T) {
+	// Interleave operations of very different sizes on ONE scratch and
+	// check each against a fresh computation: stale buffer contents from a
+	// larger earlier operation must never leak into a smaller later one.
+	rng := rand.New(rand.NewSource(23))
+	var s Scratch
+	for trial := 0; trial < 100; trial++ {
+		big := Sum(scratchPDF(rng, 40), scratchPDF(rng, 40), 60)
+		_ = s.Sum(big, big, 50) // pollute the workspace
+		a := scratchPDF(rng, 3)
+		b := scratchPDF(rng, 4)
+		if got, want := s.Sum(a, b, 8), Sum(a, b, 8); !equalPDF(got, want) {
+			t.Fatalf("trial %d: small Sum corrupted by prior large op", trial)
+		}
+		if got, want := s.Max(a, b, 8), Max(a, b, 8); !equalPDF(got, want) {
+			t.Fatalf("trial %d: small Max corrupted by prior large op", trial)
+		}
+	}
+}
+
+func TestScratchMaxNMatchesPackage(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var s Scratch
+	for trial := 0; trial < 50; trial++ {
+		pdfs := make([]PDF, 1+rng.Intn(5))
+		for i := range pdfs {
+			pdfs[i] = scratchPDF(rng, 2+rng.Intn(15))
+		}
+		if got, want := s.MaxN(pdfs, 12), MaxN(pdfs, 12); !equalPDF(got, want) {
+			t.Fatalf("trial %d: scratch MaxN differs", trial)
+		}
+	}
+	if got := s.MaxN(nil, 12); !equalPDF(got, Point(0)) {
+		t.Error("MaxN(nil) != Point(0)")
+	}
+}
+
+func TestTempNormalMatchesFromNormal(t *testing.T) {
+	var s Scratch
+	for _, tc := range []struct {
+		mu, sigma float64
+		n         int
+	}{{100, 10, 12}, {0, 1, 5}, {50, 0, 12}, {7, 3, 2}, {7, 3, 1}} {
+		got := s.TempNormal(tc.mu, tc.sigma, tc.n)
+		want := FromNormal(tc.mu, tc.sigma, tc.n)
+		if !equalPDF(got, want) {
+			t.Errorf("TempNormal(%g,%g,%d) differs from FromNormal", tc.mu, tc.sigma, tc.n)
+		}
+	}
+}
+
+func TestScratchResultsDoNotAliasScratch(t *testing.T) {
+	// A returned Sum/Max PDF must stay stable after further scratch use
+	// (engines retain arrival PDFs across many later operations).
+	rng := rand.New(rand.NewSource(9))
+	var s Scratch
+	a := scratchPDF(rng, 12)
+	b := scratchPDF(rng, 12)
+	got := s.Sum(a, b, 12)
+	snapXs, snapPs := got.Support()
+	for i := 0; i < 20; i++ {
+		s.Sum(scratchPDF(rng, 30), scratchPDF(rng, 30), 40)
+		s.Max(scratchPDF(rng, 30), scratchPDF(rng, 30), 40)
+	}
+	xs, ps := got.Support()
+	for i := range xs {
+		if xs[i] != snapXs[i] || ps[i] != snapPs[i] {
+			t.Fatal("retained PDF mutated by later scratch operations")
+		}
+	}
+}
+
+func BenchmarkSumAllocScratch(b *testing.B) {
+	p := FromNormal(100, 10, 12)
+	q := FromNormal(120, 15, 12)
+	var s Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sum(p, q, 12)
+	}
+}
+
+func BenchmarkSumAllocFresh(b *testing.B) {
+	p := FromNormal(100, 10, 12)
+	q := FromNormal(120, 15, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sum(p, q, 12)
+	}
+}

@@ -50,7 +50,9 @@ func Engines(names []string, mcSamples int, cfg Config) ([]EngineRow, error) {
 		row := EngineRow{Name: name, Gates: d.Circuit.NumLogicGates()}
 
 		t0 := time.Now()
-		mc, err := montecarlo.Analyze(d, vm, mcSamples, 1)
+		mc, err := montecarlo.AnalyzeOpts(d, vm, montecarlo.Options{
+			Trials: mcSamples, Seed: 1, Workers: cfg.Workers,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -58,7 +60,7 @@ func Engines(names []string, mcSamples int, cfg Config) ([]EngineRow, error) {
 		row.MCMean, row.MCSigma = mc.Mean, mc.Sigma
 
 		t0 = time.Now()
-		full := ssta.Analyze(d, vm, ssta.Options{Points: cfg.PDFPoints})
+		full := ssta.Analyze(d, vm, cfg.ssta())
 		row.FullTime = time.Since(t0)
 		row.FullMean, row.FullSigma = full.Mean, full.Sigma
 

@@ -22,6 +22,16 @@ import (
 type Config struct {
 	PDFPoints int // 0 = default 12
 	MaxIters  int // 0 = optimizer default
+	// Workers bounds engine concurrency (0 = all CPUs, 1 = serial). The
+	// analysis engines are bit-identical for any value; the optimizer
+	// switches to concurrent candidate scoring only when Workers >= 2
+	// (see core.Options.Workers), which changes its move ordering but
+	// stays deterministic for a fixed value.
+	Workers int
+}
+
+func (c Config) ssta() ssta.Options {
+	return ssta.Options{Points: c.PDFPoints, Workers: c.Workers}
 }
 
 // NewDesign generates, maps and returns the named benchmark with the
@@ -43,7 +53,7 @@ func NewDesign(name string) (*synth.Design, *variation.Model, error) {
 // by running the deterministic mean-delay optimizer.
 func Original(d *synth.Design, vm *variation.Model, cfg Config) error {
 	_, err := core.MeanDelayGreedy(d, vm, core.Options{
-		MaxIters: cfg.MaxIters, PDFPoints: cfg.PDFPoints,
+		MaxIters: cfg.MaxIters, PDFPoints: cfg.PDFPoints, Workers: cfg.Workers,
 	})
 	return err
 }
@@ -91,7 +101,7 @@ func Table1For(name string, cfg Config) (*Table1Row, error) {
 	if err := Original(d, vm, cfg); err != nil {
 		return nil, err
 	}
-	f0 := ssta.Analyze(d, vm, ssta.Options{Points: cfg.PDFPoints})
+	f0 := ssta.Analyze(d, vm, cfg.ssta())
 	area0 := d.Area()
 	row := &Table1Row{
 		Name:       name,
@@ -106,7 +116,7 @@ func Table1For(name string, cfg Config) (*Table1Row, error) {
 	prev := d
 	for i, lambda := range Lambdas {
 		dd := &synth.Design{Circuit: prev.Circuit.Clone(), Lib: d.Lib}
-		opts := core.Options{Lambda: lambda, MaxIters: cfg.MaxIters, PDFPoints: cfg.PDFPoints}
+		opts := core.Options{Lambda: lambda, MaxIters: cfg.MaxIters, PDFPoints: cfg.PDFPoints, Workers: cfg.Workers}
 		start := time.Now()
 		if _, err := core.StatisticalGreedy(dd, vm, opts); err != nil {
 			return nil, err
@@ -116,7 +126,7 @@ func Table1For(name string, cfg Config) (*Table1Row, error) {
 		if _, err := core.RecoverArea(dd, vm, opts, 0.003); err != nil {
 			return nil, err
 		}
-		f := ssta.Analyze(dd, vm, ssta.Options{Points: cfg.PDFPoints})
+		f := ssta.Analyze(dd, vm, cfg.ssta())
 		row.DMeanPct[i] = 100 * (f.Mean - f0.Mean) / f0.Mean
 		row.DSigmaPct[i] = 100 * (f.Sigma - f0.Sigma) / f0.Sigma
 		row.NewRatio[i] = f.Sigma / f.Mean
@@ -150,17 +160,17 @@ func Fig1(name string, cfg Config) (*Fig1Result, error) {
 	if err := Original(d, vm, cfg); err != nil {
 		return nil, err
 	}
-	f0 := ssta.Analyze(d, vm, ssta.Options{Points: cfg.PDFPoints})
+	f0 := ssta.Analyze(d, vm, cfg.ssta())
 	res := &Fig1Result{Name: name, Original: f0.CircuitPDF}
 
 	run := func(lambda float64) (dpdf.PDF, error) {
 		dd := &synth.Design{Circuit: d.Circuit.Clone(), Lib: d.Lib}
 		if _, err := core.StatisticalGreedy(dd, vm, core.Options{
-			Lambda: lambda, MaxIters: cfg.MaxIters, PDFPoints: cfg.PDFPoints,
+			Lambda: lambda, MaxIters: cfg.MaxIters, PDFPoints: cfg.PDFPoints, Workers: cfg.Workers,
 		}); err != nil {
 			return dpdf.PDF{}, err
 		}
-		return ssta.Analyze(dd, vm, ssta.Options{Points: cfg.PDFPoints}).CircuitPDF, nil
+		return ssta.Analyze(dd, vm, cfg.ssta()).CircuitPDF, nil
 	}
 	if res.Opt1, err = run(3); err != nil {
 		return nil, err
@@ -202,7 +212,7 @@ func Fig4(name string, lambdas []float64, cfg Config) ([]Fig4Point, error) {
 	if err := Original(d, vm, cfg); err != nil {
 		return nil, err
 	}
-	f0 := ssta.Analyze(d, vm, ssta.Options{Points: cfg.PDFPoints})
+	f0 := ssta.Analyze(d, vm, cfg.ssta())
 	points := make([]Fig4Point, 0, len(lambdas)+1)
 	// The paper's plot includes the original design as the reference
 	// point at normalized mean 1.0; Lambda = -1 marks it.
@@ -210,7 +220,7 @@ func Fig4(name string, lambdas []float64, cfg Config) ([]Fig4Point, error) {
 	for _, lambda := range lambdas {
 		dd := &synth.Design{Circuit: d.Circuit.Clone(), Lib: d.Lib}
 		r, err := core.StatisticalGreedy(dd, vm, core.Options{
-			Lambda: lambda, MaxIters: cfg.MaxIters, PDFPoints: cfg.PDFPoints,
+			Lambda: lambda, MaxIters: cfg.MaxIters, PDFPoints: cfg.PDFPoints, Workers: cfg.Workers,
 		})
 		if err != nil {
 			return nil, err

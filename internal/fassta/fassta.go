@@ -74,6 +74,15 @@ func NewExtractor(d *synth.Design) *Extractor {
 // Extract is like the package-level Extract but reuses the cached
 // topological index while the circuit structure is unchanged.
 func (e *Extractor) Extract(full *ssta.Result, vm *variation.Model, target circuit.GateID, depth int) *Subcircuit {
+	e.Prime()
+	return extract(e.d, full, vm, target, depth, e.topoPos)
+}
+
+// Prime builds (or refreshes) the cached topological index eagerly. The
+// optimizer calls it once before scoring subcircuits concurrently:
+// subsequent Extract calls only read the index, so they are safe to run
+// in parallel as long as the circuit structure is not mutated meanwhile.
+func (e *Extractor) Prime() {
 	if e.topoPos == nil || e.rev != e.d.Circuit.Revision() {
 		topo := e.d.Circuit.MustTopoOrder()
 		e.topoPos = make(map[circuit.GateID]int, len(topo))
@@ -82,7 +91,6 @@ func (e *Extractor) Extract(full *ssta.Result, vm *variation.Model, target circu
 		}
 		e.rev = e.d.Circuit.Revision()
 	}
-	return extract(e.d, full, vm, target, depth, e.topoPos)
 }
 
 // Extract builds the subcircuit of the given radius around target.

@@ -4,20 +4,55 @@
 // the empirical distribution of the circuit delay. FULLSSTA and FASSTA
 // are validated against it in tests and in the engine-accuracy
 // experiment.
+//
+// # Seed derivation and shard invariance
+//
+// Trials are sharded across workers, and every trial owns an independent
+// RNG stream derived from the root seed alone — never from the worker
+// that happens to run it. Trial t draws its gate delays from a PCG
+// generator (math/rand/v2) keyed with the pair
+//
+//	(SplitMix64(seed)[2t], SplitMix64(seed)[2t+1])
+//
+// where SplitMix64(seed)[i] is the i-th output of a SplitMix64 stream
+// rooted at the user seed (see internal/parallel.SeedStream). Because a
+// trial's stream depends only on (seed, t), the full sample set — and
+// therefore Mean, Sigma, every quantile and the derived PDF — is
+// bit-identical for any worker count. Stored experiment results keyed by
+// a seed stay reproducible on any host.
+//
+// This scheme replaced a single sequential math/rand stream shared by
+// all trials; results for a given seed differ numerically from that older
+// scheme (same distribution), which is why it is pinned down here.
 package montecarlo
 
 import (
 	"fmt"
 	"math"
-	"math/rand"
+	randv2 "math/rand/v2"
 	"sort"
 
 	"repro/internal/circuit"
 	"repro/internal/dpdf"
+	"repro/internal/parallel"
 	"repro/internal/sta"
 	"repro/internal/synth"
 	"repro/internal/variation"
 )
+
+// Options configures a Monte-Carlo run.
+type Options struct {
+	// Trials is the number of circuit-delay samples to draw (required,
+	// > 0).
+	Trials int
+	// Seed roots every trial's RNG stream (see the package comment for
+	// the derivation scheme).
+	Seed int64
+	// Workers shards trials across goroutines: 0 means one worker per
+	// available CPU, 1 forces a serial run. The result is bit-identical
+	// for any value.
+	Workers int
+}
 
 // Result is an empirical circuit-delay distribution.
 type Result struct {
@@ -26,11 +61,18 @@ type Result struct {
 	Sigma   float64
 }
 
-// Analyze runs n Monte-Carlo trials with the given seed. Nominal delays
-// and slews are frozen from one deterministic analysis; each trial
-// perturbs every gate delay independently (the paper's model: independent
-// normally distributed gate delays).
+// Analyze runs n Monte-Carlo trials with the given seed using the default
+// worker count (all CPUs). Nominal delays and slews are frozen from one
+// deterministic analysis; each trial perturbs every gate delay
+// independently (the paper's model: independent normally distributed gate
+// delays).
 func Analyze(d *synth.Design, vm *variation.Model, n int, seed int64) (*Result, error) {
+	return AnalyzeOpts(d, vm, Options{Trials: n, Seed: seed})
+}
+
+// AnalyzeOpts is Analyze with explicit options.
+func AnalyzeOpts(d *synth.Design, vm *variation.Model, opts Options) (*Result, error) {
+	n := opts.Trials
 	if n <= 0 {
 		return nil, fmt.Errorf("montecarlo: need a positive sample count, got %d", n)
 	}
@@ -49,39 +91,47 @@ func Analyze(d *synth.Design, vm *variation.Model, n int, seed int64) (*Result, 
 		sigmas[id] = vm.Sigma(d.Cell(id), means[id])
 	}
 
-	rng := rand.New(rand.NewSource(seed))
-	arrival := make([]float64, c.NumGates())
 	samples := make([]float64, n)
-	var sum, sumsq float64
-	for trial := 0; trial < n; trial++ {
-		for _, id := range topo {
-			g := c.Gate(id)
-			if g.Fn == circuit.Input {
-				arrival[id] = 0
-				continue
+	stream := parallel.NewSeedStream(opts.Seed)
+	parallel.Chunks(parallel.Resolve(opts.Workers), n, func(_, lo, hi int) {
+		arrival := make([]float64, c.NumGates())
+		for trial := lo; trial < hi; trial++ {
+			rng := randv2.New(randv2.NewPCG(stream.Uint64(2*trial), stream.Uint64(2*trial+1)))
+			for _, id := range topo {
+				g := c.Gate(id)
+				if g.Fn == circuit.Input {
+					arrival[id] = 0
+					continue
+				}
+				worst := 0.0
+				for _, f := range g.Fanin {
+					if arrival[f] > worst {
+						worst = arrival[f]
+					}
+				}
+				arrival[id] = worst + variation.SampleFrom(rng, means[id], sigmas[id])
 			}
-			worst := 0.0
-			for _, f := range g.Fanin {
-				if arrival[f] > worst {
-					worst = arrival[f]
+			cd := math.Inf(-1)
+			for _, po := range c.Outputs {
+				if arrival[po] > cd {
+					cd = arrival[po]
 				}
 			}
-			arrival[id] = worst + variation.Sample(rng, means[id], sigmas[id])
-		}
-		cd := math.Inf(-1)
-		for _, po := range c.Outputs {
-			if arrival[po] > cd {
-				cd = arrival[po]
+			if len(c.Outputs) == 0 {
+				cd = 0
 			}
+			samples[trial] = cd
 		}
-		if len(c.Outputs) == 0 {
-			cd = 0
-		}
-		samples[trial] = cd
+	})
+	sort.Float64s(samples)
+	// Moments are accumulated over the SORTED samples so the float
+	// summation order — and with it the reported Mean/Sigma — is
+	// independent of how trials were sharded.
+	var sum, sumsq float64
+	for _, cd := range samples {
 		sum += cd
 		sumsq += cd * cd
 	}
-	sort.Float64s(samples)
 	mean := sum / float64(n)
 	varc := sumsq/float64(n) - mean*mean
 	if varc < 0 {

@@ -142,3 +142,46 @@ func TestMoreVariationMoreSigma(t *testing.T) {
 		t.Errorf("sigma did not grow with variation coefficients: %g vs %g", lo.Sigma, hi.Sigma)
 	}
 }
+
+func TestShardCountInvariantSamples(t *testing.T) {
+	// The satellite guarantee: for a fixed seed the full sorted sample set
+	// is bit-identical no matter how many workers shard the trials.
+	d, vm := setup(t, gen.ALU("alu", 4))
+	ref, err := AnalyzeOpts(d, vm, Options{Trials: 3000, Seed: 77, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		r, err := AnalyzeOpts(d, vm, Options{Trials: 3000, Seed: 77, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Mean != ref.Mean || r.Sigma != ref.Sigma {
+			t.Errorf("workers=%d: moments (%v, %v) differ from serial (%v, %v)",
+				workers, r.Mean, r.Sigma, ref.Mean, ref.Sigma)
+		}
+		for i := range ref.Samples {
+			if r.Samples[i] != ref.Samples[i] {
+				t.Fatalf("workers=%d: sample %d differs: %v vs %v",
+					workers, i, r.Samples[i], ref.Samples[i])
+			}
+		}
+	}
+}
+
+func TestDefaultWorkersMatchSerial(t *testing.T) {
+	d, vm := setup(t, gen.ParityTree("p", 10))
+	ref, err := AnalyzeOpts(d, vm, Options{Trials: 1000, Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := Analyze(d, vm, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Samples {
+		if def.Samples[i] != ref.Samples[i] {
+			t.Fatalf("default-worker sample %d differs from serial", i)
+		}
+	}
+}

@@ -6,6 +6,12 @@
 // Besides the output PDFs, the engine records the mean and variance of
 // the arrival time at every node — exactly what the paper stores for the
 // fast inner engine (FASSTA) and the WNSS path tracer to consume.
+//
+// Propagation is levelized and optionally parallel: gates within one
+// topological level have no data dependencies on each other (every fanin
+// lives at a strictly lower level), so a level-barrier schedule computes
+// them concurrently with bit-identical results — each gate's PDF depends
+// only on its fanin PDFs and its own delay, never on evaluation order.
 package ssta
 
 import (
@@ -14,6 +20,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/dpdf"
 	"repro/internal/normal"
+	"repro/internal/parallel"
 	"repro/internal/sta"
 	"repro/internal/synth"
 	"repro/internal/variation"
@@ -24,6 +31,11 @@ type Options struct {
 	// Points is the PDF sampling rate; 0 means dpdf.DefaultPoints (12,
 	// the middle of the paper's 10-15 range).
 	Points int
+	// Workers is the number of goroutines propagating PDFs within each
+	// topological level: 0 means one per available CPU
+	// (runtime.GOMAXPROCS), 1 forces fully serial propagation. Any value
+	// produces bit-identical results; only the wall time changes.
+	Workers int
 }
 
 func (o Options) points() int {
@@ -51,9 +63,17 @@ type Result struct {
 	Mean, Sigma float64
 }
 
+// gateScratch is one worker's reusable state: the PDF-kernel buffers plus
+// a fanin gather slice.
+type gateScratch struct {
+	kern   dpdf.Scratch
+	fanins []dpdf.PDF
+}
+
 // Analyze runs FULLSSTA over the design under the variation model.
 func Analyze(d *synth.Design, vm *variation.Model, opts Options) *Result {
 	pts := opts.points()
+	workers := parallel.Resolve(opts.Workers)
 	nominal := sta.Analyze(d)
 	c := d.Circuit
 	n := c.NumGates()
@@ -63,7 +83,13 @@ func Analyze(d *synth.Design, vm *variation.Model, opts Options) *Result {
 		Node:      make([]normal.Moments, n),
 		GateDelay: make([]normal.Moments, n),
 	}
-	for _, id := range c.MustTopoOrder() {
+
+	// Per-gate delay moments and input arrivals: cheap, serial. sigmas
+	// keeps the exact sigma (not sqrt of the stored variance) so the PDF
+	// discretization below is bit-identical to what vm.Sigma produced.
+	topo := c.MustTopoOrder()
+	sigmas := make([]float64, n)
+	for _, id := range topo {
 		g := c.Gate(id)
 		if g.Fn == circuit.Input {
 			r.Arrival[id] = dpdf.Point(0)
@@ -71,17 +97,48 @@ func Analyze(d *synth.Design, vm *variation.Model, opts Options) *Result {
 		}
 		mean := nominal.Delay[id]
 		sigma := vm.Sigma(d.Cell(id), mean)
+		sigmas[id] = sigma
 		r.GateDelay[id] = normal.Moments{Mean: mean, Var: sigma * sigma}
+	}
 
-		fanins := make([]dpdf.PDF, len(g.Fanin))
-		for i, f := range g.Fanin {
-			fanins[i] = r.Arrival[f]
+	// propagate computes one gate's arrival PDF from its (already final)
+	// fanin PDFs, using the worker-owned scratch.
+	propagate := func(sc *gateScratch, id circuit.GateID) {
+		g := c.Gate(id)
+		sc.fanins = sc.fanins[:0]
+		for _, f := range g.Fanin {
+			sc.fanins = append(sc.fanins, r.Arrival[f])
 		}
-		arr := dpdf.MaxN(fanins, pts)
-		arr = dpdf.Sum(arr, dpdf.FromNormal(mean, sigma, pts), pts)
+		arr := sc.kern.MaxN(sc.fanins, pts)
+		arr = sc.kern.Sum(arr, sc.kern.TempNormal(r.GateDelay[id].Mean, sigmas[id], pts), pts)
 		r.Arrival[id] = arr
 		r.Node[id] = arr.Moments()
 	}
+
+	if workers <= 1 {
+		var sc gateScratch
+		for _, id := range topo {
+			if c.Gate(id).Fn != circuit.Input {
+				propagate(&sc, id)
+			}
+		}
+	} else {
+		// Bucket the non-input gates by topological level. Levels() also
+		// warms the circuit's lazy topo/level caches before any goroutine
+		// can race on them.
+		lv, depth := c.Levels()
+		buckets := make([][]circuit.GateID, depth+1)
+		for _, id := range topo {
+			if c.Gate(id).Fn != circuit.Input {
+				buckets[lv[id]] = append(buckets[lv[id]], id)
+			}
+		}
+		scratch := make([]gateScratch, workers)
+		parallel.Levels(workers, buckets, func(w int, id circuit.GateID) {
+			propagate(&scratch[w], id)
+		})
+	}
+
 	pos := make([]dpdf.PDF, len(c.Outputs))
 	for i, po := range c.Outputs {
 		pos[i] = r.Arrival[po]

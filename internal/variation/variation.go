@@ -92,11 +92,23 @@ func (m *Model) Sigma(cell *cells.Cell, meanDelay float64) float64 {
 // coefficient.
 func (m *Model) MeanSigmaCoupling() float64 { return m.CProp }
 
+// NormalSource is the minimal RNG surface the samplers need. Both
+// math/rand.Rand and math/rand/v2.Rand satisfy it; the sharded
+// Monte-Carlo engine passes cheap per-trial PCG streams.
+type NormalSource interface {
+	NormFloat64() float64
+}
+
 // Sample draws one realization of a gate delay with the given moments.
 // Delays are physically non-negative: samples are truncated at zero
 // (resampling would bias the comparison between engines; truncation at 0
 // matches how discrete PDFs clip their support).
 func Sample(rng *rand.Rand, mean, sigma float64) float64 {
+	return SampleFrom(rng, mean, sigma)
+}
+
+// SampleFrom is Sample over any normal-variate source.
+func SampleFrom(rng NormalSource, mean, sigma float64) float64 {
 	d := mean + sigma*rng.NormFloat64()
 	if d < 0 {
 		return 0
