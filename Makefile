@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-parallel
+.PHONY: all build test race vet bench bench-parallel serve e2e
 
 all: build vet test
 
@@ -25,3 +25,12 @@ bench:
 # ns/op, speedup, and the host core count (speedup is bounded by it).
 bench-parallel:
 	$(GO) run ./cmd/benchpar
+
+# Run the sstad service locally (Ctrl-C drains gracefully).
+serve:
+	$(GO) run ./cmd/sstad -addr :8329
+
+# End-to-end service tests: full stack (HTTP server + job queue +
+# design cache) driven through the public client package, under -race.
+e2e:
+	$(GO) test -race -v -run 'TestE2E' ./internal/server

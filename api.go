@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -116,6 +117,18 @@ type RunOptions struct {
 	// PDFPoints caps the discrete-PDF resolution of FULLSSTA (0 = the
 	// engine default).
 	PDFPoints int
+	// MaxIters caps the optimizers' outer loops (0 = the engine default,
+	// 100). Analysis entry points ignore it.
+	MaxIters int
+	// Ctx, when non-nil, lets the long-running entry points be cancelled
+	// mid-run: the optimizers poll it at the top of every outer
+	// iteration and the Monte-Carlo engine once per few dozen trials per
+	// shard, returning ctx.Err() as soon as cancellation is observed.
+	// nil means the run can never be cancelled. Single FULLSSTA analyses
+	// (Analyze, AnalyzeOpts) are not cancellation points — they finish
+	// in milliseconds-to-seconds; use AnalyzeCtx to reject work on an
+	// already-cancelled context.
+	Ctx context.Context
 }
 
 func (o RunOptions) ssta() ssta.Options {
@@ -155,6 +168,22 @@ func (d *Design) AnalyzeOpts(opts RunOptions) *Analysis {
 	}
 }
 
+// AnalyzeCtx is AnalyzeOpts with an explicit context: it refuses to start
+// (returning ctx.Err()) when ctx is already cancelled, and records ctx in
+// the options so future cancellation points inherit it. One FULLSSTA pass
+// is not internally interruptible — it completes in milliseconds to
+// seconds — so a cancellation arriving mid-analysis is only reported by
+// whichever caller polls ctx next.
+func (d *Design) AnalyzeCtx(ctx context.Context, opts RunOptions) (*Analysis, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		opts.Ctx = ctx
+	}
+	return d.AnalyzeOpts(opts), nil
+}
+
 // Yield returns the probability that the circuit meets clock period T.
 func (a *Analysis) Yield(T float64) float64 { return a.full.Yield(T) }
 
@@ -176,7 +205,7 @@ func (d *Design) MonteCarlo(samples int, seed int64) (*Analysis, error) {
 // returned Analysis.
 func (d *Design) MonteCarloOpts(samples int, seed int64, opts RunOptions) (*Analysis, error) {
 	mc, err := montecarlo.AnalyzeOpts(d.d, d.vm, montecarlo.Options{
-		Trials: samples, Seed: seed, Workers: opts.Workers,
+		Trials: samples, Seed: seed, Workers: opts.Workers, Ctx: opts.Ctx,
 	})
 	if err != nil {
 		return nil, err
@@ -241,7 +270,15 @@ func fromCore(r *core.Result) OptResult {
 // paper's "Original" designs are produced by running this on a freshly
 // mapped netlist). The design is modified in place.
 func (d *Design) OptimizeMeanDelay() (OptResult, error) {
-	r, err := core.MeanDelayGreedy(d.d, d.vm, core.Options{})
+	return d.OptimizeMeanDelayOpts(RunOptions{})
+}
+
+// OptimizeMeanDelayOpts is OptimizeMeanDelay with explicit execution
+// options.
+func (d *Design) OptimizeMeanDelayOpts(opts RunOptions) (OptResult, error) {
+	r, err := core.MeanDelayGreedy(d.d, d.vm, core.Options{
+		MaxIters: opts.MaxIters, Workers: opts.Workers, Ctx: opts.Ctx,
+	})
 	if err != nil {
 		return OptResult{}, err
 	}
@@ -263,6 +300,7 @@ func (d *Design) OptimizeStatisticalOpts(lambda float64, opts RunOptions) (OptRe
 	}
 	r, err := core.StatisticalGreedy(d.d, d.vm, core.Options{
 		Lambda: lambda, PDFPoints: opts.PDFPoints, Workers: opts.Workers,
+		MaxIters: opts.MaxIters, Ctx: opts.Ctx,
 	})
 	if err != nil {
 		return OptResult{}, err
@@ -274,7 +312,14 @@ func (d *Design) OptimizeStatisticalOpts(lambda float64, opts RunOptions) (OptRe
 // the verified statistical cost within slackFrac of its value at entry.
 // It returns the area saved in um^2.
 func (d *Design) RecoverArea(lambda, slackFrac float64) (float64, error) {
-	return core.RecoverArea(d.d, d.vm, core.Options{Lambda: lambda}, slackFrac)
+	return d.RecoverAreaOpts(lambda, slackFrac, RunOptions{})
+}
+
+// RecoverAreaOpts is RecoverArea with explicit execution options.
+func (d *Design) RecoverAreaOpts(lambda, slackFrac float64, opts RunOptions) (float64, error) {
+	return core.RecoverArea(d.d, d.vm, core.Options{
+		Lambda: lambda, PDFPoints: opts.PDFPoints, Workers: opts.Workers, Ctx: opts.Ctx,
+	}, slackFrac)
 }
 
 // WNSSPath traces the worst negative statistical slack path and returns

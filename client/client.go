@@ -1,0 +1,250 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// Client talks to one sstad instance. The zero value is not usable;
+// build with New.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (e.g. for
+// httptest servers or custom transports).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New builds a client for the service at base (e.g.
+// "http://localhost:8329").
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimRight(base, "/"),
+		// No global client timeout: job long-polls legitimately hold
+		// the connection open; callers bound requests with ctx.
+		hc: &http.Client{},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var eb ErrorBody
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			return fmt.Errorf("client: %s %s: %s (HTTP %d)", method, path, eb.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("client: %s %s: HTTP %d: %s", method, path, resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Submit enqueues a job and returns its initial status (usually
+// "queued"; "done" when served instantly).
+func (c *Client) Submit(ctx context.Context, req JobRequest) (*JobStatus, error) {
+	var s JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Job fetches the current status of a job.
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	var s JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Jobs lists every retained job, newest first.
+func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
+	var out []JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Cancel requests cancellation of a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, nil)
+}
+
+// Wait long-polls the job until it reaches a terminal state or ctx
+// expires. Each poll holds the request open server-side (the wait query
+// parameter), so this is cheap even for minutes-long optimizations.
+func (c *Client) Wait(ctx context.Context, id string) (*JobStatus, error) {
+	for {
+		var s JobStatus
+		err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"?wait=30s", nil, &s)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, err
+		}
+		if s.Terminal() {
+			return &s, nil
+		}
+	}
+}
+
+// Run is Submit followed by Wait: the blocking convenience call.
+func (c *Client) Run(ctx context.Context, req JobRequest) (*JobStatus, error) {
+	s, err := c.Submit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if s.Terminal() {
+		return s, nil
+	}
+	return c.Wait(ctx, s.ID)
+}
+
+// Stream follows the job's server-sent event stream, invoking fn for
+// every status update until the job is terminal, the server drops the
+// stream, or ctx expires. It returns the final status it observed.
+func (c *Client) Stream(ctx context.Context, id string, fn func(JobStatus)) (*JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/jobs/"+url.PathEscape(id)+"/stream", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("client: stream %s: HTTP %d: %s", id, resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	var last *JobStatus
+	dec := newSSEDecoder(resp.Body)
+	for {
+		data, err := dec.next()
+		if err != nil {
+			if last != nil && last.Terminal() {
+				return last, nil
+			}
+			return last, err
+		}
+		var s JobStatus
+		if err := json.Unmarshal(data, &s); err != nil {
+			return last, err
+		}
+		last = &s
+		if fn != nil {
+			fn(s)
+		}
+		if s.Terminal() {
+			return last, nil
+		}
+	}
+}
+
+// Health checks /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Metrics fetches the /metrics text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("client: metrics: HTTP %d", resp.StatusCode)
+	}
+	return string(data), nil
+}
+
+// sseDecoder is the minimal server-sent-events reader the stream
+// endpoint needs: it yields the data payload of each event (the server
+// sends one "data:" line per event, events separated by blank lines).
+type sseDecoder struct {
+	r *bufio.Reader
+}
+
+func newSSEDecoder(r io.Reader) *sseDecoder {
+	return &sseDecoder{r: bufio.NewReader(r)}
+}
+
+// next returns the data payload of the next event, or an error when the
+// stream ends.
+func (d *sseDecoder) next() ([]byte, error) {
+	var data []byte
+	for {
+		line, err := d.r.ReadString('\n')
+		if err != nil {
+			if len(data) > 0 {
+				return data, nil
+			}
+			return nil, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "":
+			if len(data) > 0 {
+				return data, nil
+			}
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
+		// Comments (":keepalive") and other fields are ignored.
+		}
+	}
+}

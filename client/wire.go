@@ -1,0 +1,193 @@
+// Package client is the typed Go client for the sstad service
+// (cmd/sstad): submit analysis and optimization jobs over HTTP JSON,
+// poll or long-poll them to completion, and decode the typed results.
+//
+// This file defines the wire types shared by the client and the server
+// (internal/server imports them), so the two sides cannot drift.
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Job operations accepted by POST /v1/jobs.
+const (
+	OpAnalyze    = "analyze"    // FULLSSTA moments + PDF + yield queries
+	OpMonteCarlo = "montecarlo" // golden-reference sampling engine
+	OpOptimize   = "optimize"   // StatisticalGreedy variance optimizer
+	OpRecover    = "recover"    // area recovery after optimization
+	OpWNSSPath   = "wnsspath"   // worst negative statistical slack path
+)
+
+// JobRequest is the body of POST /v1/jobs. Exactly one of Bench (an
+// ISCAS .bench netlist, inline) or Generate (a built-in benchmark name)
+// selects the design; the remaining fields parameterize the operation.
+type JobRequest struct {
+	Op       string `json:"op"`
+	Bench    string `json:"bench,omitempty"`
+	Generate string `json:"generate,omitempty"`
+	// Name labels an inline netlist (defaults to "design").
+	Name string `json:"name,omitempty"`
+
+	// Lambda is the sigma weight for optimize/recover/wnsspath (the
+	// paper evaluates 3 and 9).
+	Lambda float64 `json:"lambda,omitempty"`
+	// Samples and Seed drive the Monte-Carlo engine.
+	Samples int   `json:"samples,omitempty"`
+	Seed    int64 `json:"seed,omitempty"`
+	// Workers, PDFPoints and MaxIters mirror repro.RunOptions.
+	Workers   int `json:"workers,omitempty"`
+	PDFPoints int `json:"pdf_points,omitempty"`
+	MaxIters  int `json:"max_iters,omitempty"`
+	// SlackFrac is the recover operation's cost slack fraction.
+	SlackFrac float64 `json:"slack_frac,omitempty"`
+	// YieldPeriods asks analyze/montecarlo for the yield at each clock
+	// period T (ps); TargetYields asks for the smallest period reaching
+	// each target yield.
+	YieldPeriods []float64 `json:"yield_periods,omitempty"`
+	TargetYields []float64 `json:"target_yields,omitempty"`
+	// TimeoutSec, when > 0, sets the job's deadline.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+}
+
+// JobStatus is the representation of a job returned by the submit, poll
+// and stream endpoints.
+type JobStatus struct {
+	ID    string `json:"id"`
+	Op    string `json:"op"`
+	State string `json:"state"` // queued | running | done | failed | cancelled
+	Error string `json:"error,omitempty"`
+	// DesignHash is the content address (SHA-256 of the canonical
+	// netlist) the job's design resolved to.
+	DesignHash string `json:"design_hash,omitempty"`
+	// CacheHit is true when the result was served from the design
+	// cache's (design, options) memo without re-running the engines.
+	CacheHit bool      `json:"cache_hit,omitempty"`
+	Created time.Time `json:"created"`
+	// Started and Finished are the zero time until the job leaves the
+	// queue / reaches a terminal state.
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+	// Result holds the op-specific payload once State is "done"; decode
+	// it with the typed accessors below.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Terminal reports whether the job can no longer change state.
+func (s *JobStatus) Terminal() bool {
+	switch s.State {
+	case "done", "failed", "cancelled":
+		return true
+	}
+	return false
+}
+
+// YieldPoint is one answer to a YieldPeriods query.
+type YieldPoint struct {
+	Period float64 `json:"period"`
+	Yield  float64 `json:"yield"`
+}
+
+// PeriodPoint is one answer to a TargetYields query.
+type PeriodPoint struct {
+	TargetYield float64 `json:"target_yield"`
+	Period      float64 `json:"period"`
+}
+
+// AnalyzeResult is the payload of analyze and montecarlo jobs.
+type AnalyzeResult struct {
+	Mean         float64      `json:"mean"`
+	Sigma        float64      `json:"sigma"`
+	NominalDelay float64      `json:"nominal_delay"`
+	PDFX         []float64    `json:"pdf_x,omitempty"`
+	PDFY         []float64    `json:"pdf_y,omitempty"`
+	Yields       []YieldPoint `json:"yields,omitempty"`
+	Periods      []PeriodPoint `json:"periods,omitempty"`
+}
+
+// OptimizeResult is the payload of optimize jobs (mirrors
+// repro.OptResult; Runtime is seconds).
+type OptimizeResult struct {
+	MeanBefore  float64 `json:"mean_before"`
+	MeanAfter   float64 `json:"mean_after"`
+	SigmaBefore float64 `json:"sigma_before"`
+	SigmaAfter  float64 `json:"sigma_after"`
+	AreaBefore  float64 `json:"area_before"`
+	AreaAfter   float64 `json:"area_after"`
+	Iterations  int     `json:"iterations"`
+	StoppedBy   string  `json:"stopped_by"`
+	RuntimeSec  float64 `json:"runtime_sec"`
+}
+
+// RecoverResult is the payload of recover jobs.
+type RecoverResult struct {
+	AreaSaved float64 `json:"area_saved"`
+}
+
+// PathResult is the payload of wnsspath jobs: gate names from inputs to
+// the worst output.
+type PathResult struct {
+	Gates []string `json:"gates"`
+}
+
+func (s *JobStatus) decode(op string, v any) error {
+	if s.State != "done" {
+		return fmt.Errorf("client: job %s is %s, not done (err: %s)", s.ID, s.State, s.Error)
+	}
+	if s.Op != op {
+		return fmt.Errorf("client: job %s is a %s job, not %s", s.ID, s.Op, op)
+	}
+	return json.Unmarshal(s.Result, v)
+}
+
+// Analyze decodes the payload of a completed analyze job.
+func (s *JobStatus) Analyze() (*AnalyzeResult, error) {
+	var r AnalyzeResult
+	if err := s.decode(OpAnalyze, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// MonteCarlo decodes the payload of a completed montecarlo job.
+func (s *JobStatus) MonteCarlo() (*AnalyzeResult, error) {
+	var r AnalyzeResult
+	if err := s.decode(OpMonteCarlo, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Optimize decodes the payload of a completed optimize job.
+func (s *JobStatus) Optimize() (*OptimizeResult, error) {
+	var r OptimizeResult
+	if err := s.decode(OpOptimize, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Recover decodes the payload of a completed recover job.
+func (s *JobStatus) Recover() (*RecoverResult, error) {
+	var r RecoverResult
+	if err := s.decode(OpRecover, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// WNSSPath decodes the payload of a completed wnsspath job.
+func (s *JobStatus) WNSSPath() (*PathResult, error) {
+	var r PathResult
+	if err := s.decode(OpWNSSPath, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// ErrorBody is the JSON error envelope every non-2xx response carries.
+type ErrorBody struct {
+	Error string `json:"error"`
+}

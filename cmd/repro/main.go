@@ -20,6 +20,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/corrssta"
 	"repro/internal/experiments"
 	"repro/internal/gen"
@@ -71,19 +72,27 @@ func usage() {
 }
 
 // workersFlag registers the shared -workers knob on a subcommand's flag
-// set. The analysis engines produce identical numbers for any value;
-// the optimizer scores candidates concurrently only when the flag is
-// explicitly >= 2 (deterministic, but a different move ordering than
-// the serial default — see DESIGN.md section 7).
+// set (see internal/cliutil; the optimizer scores candidates
+// concurrently only when the flag is explicitly >= 2 — deterministic,
+// but a different move ordering than the serial default, DESIGN.md
+// section 7).
 func workersFlag(fs *flag.FlagSet) *int {
-	return fs.Int("workers", 0, "engine worker goroutines (0 = all CPUs, 1 = serial; >= 2 also enables concurrent optimizer scoring)")
+	return cliutil.WorkersFlag(fs)
+}
+
+// parseWorkers parses a subcommand's flags and validates the -workers
+// value, rejecting negatives with a clear error.
+func parseWorkers(fs *flag.FlagSet, workers *int, args []string) error {
+	return cliutil.ParseWorkers(fs, workers, args)
 }
 
 func runTable1(args []string) error {
 	fs := flag.NewFlagSet("table1", flag.ExitOnError)
 	csv := fs.Bool("csv", false, "emit CSV instead of a formatted table")
 	workers := workersFlag(fs)
-	fs.Parse(args)
+	if err := parseWorkers(fs, workers, args); err != nil {
+		return err
+	}
 	names := fs.Args()
 	if len(names) == 0 {
 		names = gen.ISCASNames()
@@ -115,7 +124,9 @@ func runFig1(args []string) error {
 	fs := flag.NewFlagSet("fig1", flag.ExitOnError)
 	circuit := fs.String("circuit", "c880", "benchmark to plot")
 	workers := workersFlag(fs)
-	fs.Parse(args)
+	if err := parseWorkers(fs, workers, args); err != nil {
+		return err
+	}
 	res, err := experiments.Fig1(*circuit, experiments.Config{Workers: *workers})
 	if err != nil {
 		return err
@@ -161,7 +172,9 @@ func runFig4(args []string) error {
 	fs := flag.NewFlagSet("fig4", flag.ExitOnError)
 	circuit := fs.String("circuit", "c432", "benchmark to sweep")
 	workers := workersFlag(fs)
-	fs.Parse(args)
+	if err := parseWorkers(fs, workers, args); err != nil {
+		return err
+	}
 	pts, err := experiments.Fig4(*circuit, nil, experiments.Config{Workers: *workers})
 	if err != nil {
 		return err
@@ -244,7 +257,9 @@ func abs(x float64) float64 {
 func runEngines(args []string) error {
 	fs := flag.NewFlagSet("engines", flag.ExitOnError)
 	workers := workersFlag(fs)
-	fs.Parse(args)
+	if err := parseWorkers(fs, workers, args); err != nil {
+		return err
+	}
 	names := fs.Args()
 	if len(names) == 0 {
 		names = []string{"alu2", "c432", "c880", "c1908"}

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/cliutil"
 )
 
 func main() {
@@ -26,9 +27,12 @@ func main() {
 		kpaths  = flag.Int("paths", 0, "enumerate the k worst deterministic paths")
 		critN   = flag.Int("crit", 0, "print the n most critical gates (statistical criticality)")
 		sdfOut  = flag.String("sdf", "", "write statistical delay corners to this SDF file")
-		workers = flag.Int("workers", 0, "engine worker goroutines (0 = all CPUs, 1 = serial; analysis results are identical for any value)")
+		workers = cliutil.WorkersFlag(flag.CommandLine)
 	)
 	flag.Parse()
+	if err := cliutil.CheckWorkers(*workers); err != nil {
+		fail(err)
+	}
 	opts := repro.RunOptions{Workers: *workers}
 
 	d, err := load(*genName, *bench)

@@ -1,0 +1,94 @@
+// Command sstad is the long-running SSTA/optimization service: an HTTP
+// JSON daemon exposing the library's analyze, Monte-Carlo, optimize,
+// area-recovery and path-query entry points as asynchronous jobs.
+//
+// Quick start:
+//
+//	sstad -addr :8329 &
+//	curl -s localhost:8329/healthz
+//	curl -s -X POST localhost:8329/v1/jobs \
+//	    -d '{"op":"analyze","generate":"c432"}'
+//	curl -s 'localhost:8329/v1/jobs/j000001?wait=30s'
+//	curl -s localhost:8329/metrics
+//
+// Identical (design, options) submissions are served from a
+// content-addressed cache; see DESIGN.md section 8 for the
+// architecture.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8329", "listen address")
+		workers      = cliutil.WorkersFlag(flag.CommandLine)
+		queueCap     = flag.Int("queue", 64, "max queued jobs before submits are rejected (429)")
+		cacheDesigns = flag.Int("cache-designs", 64, "max parsed designs kept in the content-addressed cache")
+		cacheResults = flag.Int("cache-results", 1024, "max (design, options) results memoized")
+		retention    = flag.Duration("retention", 15*time.Minute, "how long finished jobs stay pollable")
+		jobTimeout   = flag.Duration("job-timeout", 0, "default per-job deadline (0 = none)")
+		drain        = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+	if err := cliutil.CheckWorkers(*workers); err != nil {
+		fmt.Fprintln(os.Stderr, "sstad:", err)
+		os.Exit(2)
+	}
+	if *queueCap < 0 {
+		fmt.Fprintln(os.Stderr, "sstad: -queue must be >= 0")
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Config{
+		JobWorkers:    *workers,
+		QueueCapacity: *queueCap,
+		CacheDesigns:  *cacheDesigns,
+		CacheResults:  *cacheResults,
+		Retention:     *retention,
+		JobTimeout:    *jobTimeout,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("sstad listening on %s (job workers %d, queue %d)", *addr, *workers, *queueCap)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("sstad: serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("sstad: shutting down (drain %s)", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop accepting connections first, then cancel in-flight jobs.
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("sstad: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("sstad: job queue shutdown: %v", err)
+	}
+	log.Println("sstad: stopped")
+}

@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/cliutil"
 )
 
 func main() {
@@ -26,9 +27,12 @@ func main() {
 		skipMD  = flag.Bool("skip-baseline", false, "skip the mean-delay baseline pass")
 		out     = flag.String("out", "", "write the sized netlist to this .bench file")
 		list    = flag.Bool("list", false, "list built-in benchmarks and exit")
-		workers = flag.Int("workers", 0, "engine worker goroutines (0 = all CPUs, 1 = serial; >= 2 also enables concurrent optimizer scoring)")
+		workers = cliutil.WorkersFlag(flag.CommandLine)
 	)
 	flag.Parse()
+	if err := cliutil.CheckWorkers(*workers); err != nil {
+		fail(err)
+	}
 	opts := repro.RunOptions{Workers: *workers}
 	if *list {
 		for _, n := range repro.Benchmarks() {

@@ -87,3 +87,42 @@ func TestAnalyzeCorrelated(t *testing.T) {
 		t.Fatal("bad mean")
 	}
 }
+
+// benchRoundTrip asserts Load(Save(Load(x))) is a fixed point: the
+// second save must be byte-identical to the first, and the re-parsed
+// design must analyze identically (same netlist, same mapping).
+func benchRoundTrip(t *testing.T, name string) {
+	t.Helper()
+	d, err := Generate(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first bytes.Buffer
+	if err := d.SaveBench(&first); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := LoadBench(bytes.NewReader(first.Bytes()), name)
+	if err != nil {
+		t.Fatalf("re-parse saved .bench: %v", err)
+	}
+	var second bytes.Buffer
+	if err := d2.SaveBench(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatalf(".bench text not a fixed point under Load+Save:\n--- first ---\n%s\n--- second ---\n%s",
+			first.String(), second.String())
+	}
+	s1, s2 := d.Stats(), d2.Stats()
+	if s1 != s2 {
+		t.Fatalf(".bench round trip changed stats: %+v vs %+v", s1, s2)
+	}
+	a1, a2 := d.AnalyzeOpts(RunOptions{Workers: 1}), d2.AnalyzeOpts(RunOptions{Workers: 1})
+	if a1.Mean != a2.Mean || a1.Sigma != a2.Sigma || a1.NominalDelay != a2.NominalDelay {
+		t.Fatalf(".bench round trip changed timing: (%g, %g, %g) vs (%g, %g, %g)",
+			a1.Mean, a1.Sigma, a1.NominalDelay, a2.Mean, a2.Sigma, a2.NominalDelay)
+	}
+}
+
+func TestBenchRoundTripC432(t *testing.T) { benchRoundTrip(t, "c432") }
+func TestBenchRoundTripALU3(t *testing.T) { benchRoundTrip(t, "alu3") }

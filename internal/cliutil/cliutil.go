@@ -1,0 +1,43 @@
+// Package cliutil holds the small pieces shared by every command-line
+// entry point: the -workers flag (one registration point so the help
+// text stays consistent across cmd/ssta, cmd/svsize, cmd/repro and
+// cmd/sstad) and its validation. The engines treat Workers <= 0 as "one
+// per available CPU" internally, but at the CLI boundary a negative
+// value is almost always a typo (e.g. "-workers -4" intending 4), so
+// the commands reject it with a clear error instead of silently
+// saturating the host.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+)
+
+// WorkersFlag registers the shared -workers knob on fs (use
+// flag.CommandLine for commands that parse global flags). The analysis
+// engines produce identical numbers for any value; the optimizer scores
+// candidates concurrently only when the flag is explicitly >= 2.
+func WorkersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0,
+		"engine worker goroutines (0 = all CPUs, 1 = serial; >= 2 also enables concurrent optimizer scoring)")
+}
+
+// CheckWorkers validates a parsed -workers value: 0 (all CPUs) and any
+// positive count are accepted, negatives are rejected with an error that
+// names the flag.
+func CheckWorkers(n int) error {
+	if n < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = all CPUs), got %d", n)
+	}
+	return nil
+}
+
+// ParseWorkers is the one-call form used by tests and commands that
+// build their own flag sets: it parses args against fs (which must have
+// been given the flag via WorkersFlag) and validates the result.
+func ParseWorkers(fs *flag.FlagSet, workers *int, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return CheckWorkers(*workers)
+}

@@ -1,0 +1,53 @@
+package cliutil
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+func newFlagSet() (*flag.FlagSet, *int) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs, WorkersFlag(fs)
+}
+
+func TestWorkersFlagDefaultsToAllCPUs(t *testing.T) {
+	fs, w := newFlagSet()
+	if err := ParseWorkers(fs, w, nil); err != nil {
+		t.Fatal(err)
+	}
+	if *w != 0 {
+		t.Fatalf("default workers = %d, want 0", *w)
+	}
+}
+
+func TestWorkersFlagAcceptsValidCounts(t *testing.T) {
+	for _, args := range [][]string{{"-workers", "0"}, {"-workers", "1"}, {"-workers=8"}} {
+		fs, w := newFlagSet()
+		if err := ParseWorkers(fs, w, args); err != nil {
+			t.Fatalf("%v rejected: %v", args, err)
+		}
+	}
+}
+
+func TestWorkersFlagRejectsNegatives(t *testing.T) {
+	for _, args := range [][]string{{"-workers", "-1"}, {"-workers=-4"}} {
+		fs, w := newFlagSet()
+		err := ParseWorkers(fs, w, args)
+		if err == nil {
+			t.Fatalf("%v accepted, want error", args)
+		}
+		if !strings.Contains(err.Error(), "-workers") {
+			t.Fatalf("error does not name the flag: %v", err)
+		}
+	}
+}
+
+func TestWorkersFlagRejectsGarbage(t *testing.T) {
+	fs, w := newFlagSet()
+	if err := ParseWorkers(fs, w, []string{"-workers", "lots"}); err == nil {
+		t.Fatal("non-numeric value accepted")
+	}
+}

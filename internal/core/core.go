@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -69,6 +70,12 @@ type Options struct {
 	// aggressive extension beyond the paper's path-local moves; off by
 	// default, exercised by the ablation benches.
 	ConeMove bool
+	// Ctx, when non-nil, is polled at the top of every outer iteration
+	// (and between area-recovery passes): once it is cancelled or past
+	// its deadline the optimizer abandons the run and returns ctx.Err(),
+	// so a caller observes the cancellation within one iteration. nil
+	// means the run can never be cancelled.
+	Ctx context.Context
 	// Workers is the concurrency budget. It is passed to every FULLSSTA
 	// analysis (level-parallel PDF propagation, bit-exact at any worker
 	// count), and when EXPLICITLY set to 2 or more, candidate gates on
@@ -80,6 +87,14 @@ type Options struct {
 	// gates earlier on the path; 0 still lets the inner FULLSSTA passes
 	// use all CPUs, which cannot change any number.
 	Workers int
+}
+
+// ctxErr reports the cancellation state of the run's context.
+func (o Options) ctxErr() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
 }
 
 func (o Options) maxIters() int {
@@ -184,6 +199,9 @@ func StatisticalGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Res
 	bad := 0
 
 	for iter := 0; iter < opts.maxIters(); iter++ {
+		if err := opts.ctxErr(); err != nil {
+			return nil, err
+		}
 		res.Iterations = iter + 1
 		cur := snapshot(d, full, opts.Lambda)
 		// Lexicographic best: lower cost wins; at (numerically) equal
@@ -417,6 +435,9 @@ func MeanDelayGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Resul
 	bad := 0
 
 	for iter := 0; iter < opts.maxIters(); iter++ {
+		if err := opts.ctxErr(); err != nil {
+			return nil, err
+		}
 		res.Iterations = iter + 1
 		cur := Snapshot{Mean: nominal.STA.MaxArrival, Cost: nominal.STA.MaxArrival, Area: d.Area()}
 		if cur.Cost < best.Cost {
@@ -523,6 +544,9 @@ func RecoverArea(d *synth.Design, vm *variation.Model, opts Options, slackFrac f
 
 	topo := d.Circuit.MustTopoOrder()
 	for pass := 0; pass < 40; pass++ {
+		if err := opts.ctxErr(); err != nil {
+			return 0, err
+		}
 		before := d.Circuit.SizeSnapshot()
 		changed := 0
 		for i := len(topo) - 1; i >= 0; i-- {

@@ -1,0 +1,155 @@
+package designcache
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+func benchText(t *testing.T, name string) string {
+	t.Helper()
+	d, err := repro.Generate(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.SaveBench(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestParseInternsByContent(t *testing.T) {
+	c := New(0, 0)
+	text := benchText(t, "c432")
+	d1, h1, err := c.Parse(text, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, h2, err := c.Parse(text, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("same netlist hashed differently: %s vs %s", h1, h2)
+	}
+	if d1 != d2 {
+		t.Fatal("second parse did not return the cached design instance")
+	}
+	s := c.Stats()
+	if s.DesignHits != 1 || s.DesignMisses != 1 || s.Designs != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 design", s)
+	}
+}
+
+func TestHashIsFormattingInvariant(t *testing.T) {
+	c := New(0, 0)
+	text := benchText(t, "alu1")
+	// Reformat: blank lines and comments must not change the identity.
+	noisy := "# a comment\n\n" + strings.ReplaceAll(text, "\n", "\n\n")
+	_, h1, err := c.Parse(text, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, h2, err := c.Parse(noisy, "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatal("formatting noise changed the content address")
+	}
+}
+
+func TestDistinctDesignsDistinctHashes(t *testing.T) {
+	c := New(0, 0)
+	_, h1, err := c.Parse(benchText(t, "alu1"), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, h2, err := c.Parse(benchText(t, "c432"), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Fatal("different circuits collided")
+	}
+	if s := c.Stats(); s.Designs != 2 {
+		t.Fatalf("want 2 cached designs, have %d", s.Designs)
+	}
+}
+
+func TestResultMemoAndLRUEviction(t *testing.T) {
+	c := New(2, 2)
+	if _, ok := c.Result("h", "k1"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.PutResult("h", "k1", 1)
+	c.PutResult("h", "k2", 2)
+	if v, ok := c.Result("h", "k1"); !ok || v.(int) != 1 {
+		t.Fatalf("lost k1: %v %v", v, ok)
+	}
+	// k1 is now most recent; inserting k3 must evict k2.
+	c.PutResult("h", "k3", 3)
+	if _, ok := c.Result("h", "k2"); ok {
+		t.Fatal("k2 should have been evicted")
+	}
+	if _, ok := c.Result("h", "k3"); !ok {
+		t.Fatal("k3 missing")
+	}
+	s := c.Stats()
+	if s.Results != 2 {
+		t.Fatalf("want 2 results, have %d", s.Results)
+	}
+	if s.ResultHits != 2 || s.ResultMisses != 2 {
+		t.Fatalf("hit/miss accounting off: %+v", s)
+	}
+}
+
+func TestDesignLRUEviction(t *testing.T) {
+	c := New(1, 1)
+	_, h1, err := c.Parse(benchText(t, "alu1"), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Parse(benchText(t, "c432"), "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Design(h1); ok {
+		t.Fatal("oldest design should have been evicted")
+	}
+	if s := c.Stats(); s.Designs != 1 {
+		t.Fatalf("want 1 cached design, have %d", s.Designs)
+	}
+}
+
+// Concurrent interning and analysis of the same netlist must be safe:
+// the cache primes the circuit's lazy caches, so shared read-only
+// analyses cannot race (run under -race in CI).
+func TestConcurrentInternAndAnalyze(t *testing.T) {
+	c := New(0, 0)
+	text := benchText(t, "alu1")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d, _, err := c.Parse(text, fmt.Sprintf("n%d", i))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			a := d.Analyze()
+			if a.Mean <= 0 {
+				t.Errorf("bad analysis: %+v", a)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s := c.Stats(); s.Designs != 1 {
+		t.Fatalf("concurrent interning left %d designs, want 1", s.Designs)
+	}
+}

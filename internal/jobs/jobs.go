@@ -1,0 +1,435 @@
+// Package jobs is the asynchronous execution layer of the sstad service:
+// a bounded FIFO queue of long-running analysis/optimization functions,
+// drained by a fixed pool of workers, with per-job context cancellation
+// and deadlines, a queued/running/done/failed/cancelled lifecycle, and
+// retention-based garbage collection of finished jobs.
+//
+// The package is engine-agnostic — a job is just a func(ctx) (any,
+// error) — so it can queue every entry point the service exposes. It
+// leans on internal/parallel only for worker-count resolution; the pool
+// itself is a condition-variable FIFO drained by long-lived goroutines,
+// because a service queue (unbounded lifetime, dynamic arrivals,
+// cancellable entries) is a different shape than parallel's bounded
+// fork-join helpers.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether no further transitions can happen.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Fn is the unit of work: it must honor ctx (the engines poll it at
+// iteration/shard granularity) and return either a result or an error.
+type Fn func(ctx context.Context) (any, error)
+
+// Snapshot is an immutable copy of a job's state, safe to hold across
+// queue operations.
+type Snapshot struct {
+	ID       string
+	State    State
+	Result   any
+	Err      error
+	Created  time.Time
+	Started  time.Time // zero until the job leaves the queue
+	Finished time.Time // zero until the job reaches a terminal state
+}
+
+var (
+	// ErrFull is returned by Submit when the pending queue is at
+	// capacity; callers (the HTTP layer) translate it to a 429.
+	ErrFull = errors.New("jobs: queue full")
+	// ErrClosed is returned by Submit after Shutdown.
+	ErrClosed = errors.New("jobs: queue closed")
+	// ErrNotFound is returned for unknown (or already collected) job IDs.
+	ErrNotFound = errors.New("jobs: no such job")
+)
+
+// Options configures a Queue. The zero value is usable: one worker per
+// CPU, capacity 64, 15-minute retention, no default deadline.
+type Options struct {
+	// Workers is the number of jobs that may run concurrently; <= 0
+	// means one per available CPU (each job may itself fan out through
+	// internal/parallel, so the service default keeps this small).
+	Workers int
+	// Capacity bounds the pending (queued, not yet running) jobs; <= 0
+	// means 64. Submit returns ErrFull beyond it — backpressure instead
+	// of unbounded memory growth.
+	Capacity int
+	// Retention is how long finished jobs stay queryable before GC;
+	// <= 0 means 15 minutes.
+	Retention time.Duration
+	// MaxFinished additionally caps how many finished jobs are kept
+	// (oldest collected first); <= 0 means 1024.
+	MaxFinished int
+	// DefaultTimeout, when > 0, is applied as a deadline to jobs
+	// submitted without their own.
+	DefaultTimeout time.Duration
+}
+
+func (o Options) capacity() int {
+	if o.Capacity <= 0 {
+		return 64
+	}
+	return o.Capacity
+}
+
+func (o Options) retention() time.Duration {
+	if o.Retention <= 0 {
+		return 15 * time.Minute
+	}
+	return o.Retention
+}
+
+func (o Options) maxFinished() int {
+	if o.MaxFinished <= 0 {
+		return 1024
+	}
+	return o.MaxFinished
+}
+
+type job struct {
+	id       string
+	fn       Fn
+	timeout  time.Duration
+	state    State
+	result   any
+	err      error
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc // non-nil while running
+	done     chan struct{}      // closed on terminal transition
+}
+
+// Queue is the bounded FIFO job queue. Build with New, stop with
+// Shutdown.
+type Queue struct {
+	opts Options
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signalled on new pending work and on shutdown
+	jobs    map[string]*job
+	pending []*job // FIFO; may contain already-cancelled entries (skipped)
+	seq     uint64
+	queued  int // jobs in StateQueued (excludes cancelled-in-pending)
+	active  int
+	closed  bool
+
+	baseCtx  context.Context
+	baseStop context.CancelFunc
+	wg       sync.WaitGroup
+	now      func() time.Time // test seam
+}
+
+// New builds the queue and starts its workers.
+func New(opts Options) *Queue {
+	ctx, stop := context.WithCancel(context.Background())
+	q := &Queue{
+		opts:     opts,
+		jobs:     make(map[string]*job),
+		baseCtx:  ctx,
+		baseStop: stop,
+		now:      time.Now,
+	}
+	q.cond = sync.NewCond(&q.mu)
+	workers := parallel.Resolve(opts.Workers)
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go q.worker()
+	}
+	return q
+}
+
+// Submit enqueues fn with an optional per-job timeout (0 falls back to
+// Options.DefaultTimeout; negative means no deadline even if a default
+// exists). It returns the new job's ID, or ErrFull/ErrClosed.
+func (q *Queue) Submit(fn Fn, timeout time.Duration) (string, error) {
+	if timeout == 0 {
+		timeout = q.opts.DefaultTimeout
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return "", ErrClosed
+	}
+	q.gcLocked()
+	if q.queued >= q.opts.capacity() {
+		return "", ErrFull
+	}
+	q.seq++
+	j := &job{
+		id:      fmt.Sprintf("j%06d", q.seq),
+		fn:      fn,
+		timeout: timeout,
+		state:   StateQueued,
+		created: q.now(),
+		done:    make(chan struct{}),
+	}
+	q.jobs[j.id] = j
+	q.pending = append(q.pending, j)
+	q.queued++
+	q.cond.Signal()
+	return j.id, nil
+}
+
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	q.mu.Lock()
+	for {
+		// Pop the first still-queued job; drop cancelled leftovers.
+		var j *job
+		for j == nil {
+			for len(q.pending) == 0 && !q.closed {
+				q.cond.Wait()
+			}
+			if len(q.pending) == 0 && q.closed {
+				q.mu.Unlock()
+				return
+			}
+			j = q.pending[0]
+			q.pending = q.pending[1:]
+			if j.state != StateQueued { // cancelled while waiting
+				j = nil
+			}
+		}
+		q.queued--
+		q.active++
+		j.state = StateRunning
+		j.started = q.now()
+		ctx := q.baseCtx
+		var cancel context.CancelFunc
+		if j.timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, j.timeout)
+		} else {
+			ctx, cancel = context.WithCancel(ctx)
+		}
+		j.cancel = cancel
+		q.mu.Unlock()
+
+		result, err := safeRun(j.fn, ctx)
+		// A function that ignored ctx but raced with cancellation should
+		// still report the cancellation, not a half-baked success.
+		if err == nil && ctx.Err() != nil {
+			err = ctx.Err()
+		}
+		cancel()
+
+		q.mu.Lock()
+		q.active--
+		j.cancel = nil
+		j.finished = q.now()
+		switch {
+		case err == nil:
+			j.state = StateDone
+			j.result = result
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			j.state = StateCancelled
+			j.err = err
+		default:
+			j.state = StateFailed
+			j.err = err
+		}
+		close(j.done)
+	}
+}
+
+// safeRun confines a panicking job to a failed state instead of taking
+// the whole service down.
+func safeRun(fn Fn, ctx context.Context) (result any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("jobs: job panicked: %v", r)
+		}
+	}()
+	return fn(ctx)
+}
+
+// Get returns a snapshot of the job, or ErrNotFound.
+func (q *Queue) Get(id string) (Snapshot, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Snapshot{}, ErrNotFound
+	}
+	return snapshotLocked(j), nil
+}
+
+func snapshotLocked(j *job) Snapshot {
+	return Snapshot{
+		ID: j.id, State: j.state, Result: j.result, Err: j.err,
+		Created: j.created, Started: j.started, Finished: j.finished,
+	}
+}
+
+// List returns snapshots of every retained job, newest first.
+func (q *Queue) List() []Snapshot {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Snapshot, 0, len(q.jobs))
+	for _, j := range q.jobs {
+		out = append(out, snapshotLocked(j))
+	}
+	// Newest first by ID (IDs are a zero-padded sequence; insertion
+	// sort is fine at retention-bounded sizes).
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k].ID > out[k-1].ID; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}
+
+// Cancel requests cancellation: a queued job transitions to cancelled
+// immediately (workers skip it); a running job has its context cancelled
+// and transitions when the engine observes it. It reports whether the
+// job existed and was not already terminal.
+func (q *Queue) Cancel(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok || j.state.Terminal() {
+		return false
+	}
+	switch j.state {
+	case StateQueued:
+		q.queued--
+		j.state = StateCancelled
+		j.err = context.Canceled
+		j.finished = q.now()
+		close(j.done)
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return true
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires,
+// returning the latest snapshot either way (with ctx's error on
+// timeout, so long-pollers can report progress).
+func (q *Queue) Wait(ctx context.Context, id string) (Snapshot, error) {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	if !ok {
+		q.mu.Unlock()
+		return Snapshot{}, ErrNotFound
+	}
+	done := j.done
+	q.mu.Unlock()
+	select {
+	case <-done:
+		return q.Get(id)
+	case <-ctx.Done():
+		s, err := q.Get(id)
+		if err != nil {
+			return Snapshot{}, err
+		}
+		return s, ctx.Err()
+	}
+}
+
+// Depth returns the pending and running job counts (the queue-depth
+// metrics).
+func (q *Queue) Depth() (queued, running int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.queued, q.active
+}
+
+// CountByState returns how many retained jobs sit in each state.
+func (q *Queue) CountByState() map[State]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	m := make(map[State]int, 5)
+	for _, j := range q.jobs {
+		m[j.state]++
+	}
+	return m
+}
+
+// gcLocked drops finished jobs past the retention window, and the oldest
+// beyond MaxFinished. Callers hold q.mu.
+func (q *Queue) gcLocked() {
+	cutoff := q.now().Add(-q.opts.retention())
+	finished := make([]*job, 0, 16)
+	for _, j := range q.jobs {
+		if !j.state.Terminal() {
+			continue
+		}
+		if j.finished.Before(cutoff) {
+			delete(q.jobs, j.id)
+			continue
+		}
+		finished = append(finished, j)
+	}
+	if n := len(finished) - q.opts.maxFinished(); n > 0 {
+		// Evict the oldest finished jobs (smallest IDs).
+		for i := 1; i < len(finished); i++ {
+			for k := i; k > 0 && finished[k].id < finished[k-1].id; k-- {
+				finished[k], finished[k-1] = finished[k-1], finished[k]
+			}
+		}
+		for _, j := range finished[:n] {
+			delete(q.jobs, j.id)
+		}
+	}
+}
+
+// Shutdown stops accepting jobs, cancels everything queued or running,
+// and waits (bounded by ctx) for the workers to drain.
+func (q *Queue) Shutdown(ctx context.Context) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil
+	}
+	q.closed = true
+	for _, j := range q.jobs {
+		if j.state == StateQueued {
+			q.queued--
+			j.state = StateCancelled
+			j.err = context.Canceled
+			j.finished = q.now()
+			close(j.done)
+		}
+	}
+	q.pending = nil
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	q.baseStop() // cancels running job contexts
+
+	drained := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,63 @@
+package montecarlo
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+)
+
+// pollCountingCtx cancels after a fixed number of Err() polls, making the
+// shard-loop cancellation latency a deterministic assertion (see the
+// twin type in internal/core's tests).
+type pollCountingCtx struct {
+	context.Context
+	polls       atomic.Int64
+	cancelAfter int64
+}
+
+func (c *pollCountingCtx) Err() error {
+	if c.polls.Add(1) > c.cancelAfter {
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *pollCountingCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+
+func TestAnalyzeRejectsCancelledContext(t *testing.T) {
+	d, vm := setup(t, gen.ParityTree("p", 8))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := AnalyzeOpts(d, vm, Options{Trials: 1000, Seed: 1, Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestAnalyzeStopsWithinOneShardCheckOfCancel(t *testing.T) {
+	d, vm := setup(t, gen.ParityTree("p", 8))
+	// One serial shard of 100k trials polls the context once at entry and
+	// then every cancelCheckEvery trials — ~3000 polls for a run that
+	// completes. Cancelling on the third poll must stop the shard at its
+	// very next check, so the total poll count stays tiny.
+	ctx := &pollCountingCtx{Context: context.Background(), cancelAfter: 2}
+	_, err := AnalyzeOpts(d, vm, Options{Trials: 100000, Seed: 1, Workers: 1, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if got := ctx.polls.Load(); got > 5 {
+		t.Fatalf("shard kept polling after cancellation: %d polls (want <= 5, i.e. at most one extra check interval of %d trials)", got, cancelCheckEvery)
+	}
+}
+
+func TestCancelledMidRunWithDeadline(t *testing.T) {
+	d, vm := setup(t, gen.ParityTree("p", 8))
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := AnalyzeOpts(d, vm, Options{Trials: 100000, Seed: 1, Ctx: ctx}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}

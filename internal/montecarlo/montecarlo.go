@@ -27,10 +27,12 @@
 package montecarlo
 
 import (
+	"context"
 	"fmt"
 	"math"
 	randv2 "math/rand/v2"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/circuit"
 	"repro/internal/dpdf"
@@ -52,6 +54,25 @@ type Options struct {
 	// available CPU, 1 forces a serial run. The result is bit-identical
 	// for any value.
 	Workers int
+	// Ctx, when non-nil, lets the run be cancelled mid-flight: every
+	// shard polls it once per cancelCheckEvery trials, stops drawing
+	// samples as soon as it (or any other shard) observes cancellation,
+	// and AnalyzeOpts then returns ctx.Err() instead of a result. nil
+	// means the run can never be cancelled.
+	Ctx context.Context
+}
+
+// cancelCheckEvery is how many trials a shard runs between two polls of
+// Options.Ctx: frequent enough that cancellation lands within a small
+// fraction of a shard, rare enough that the shared ctx mutex never shows
+// up in profiles.
+const cancelCheckEvery = 32
+
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // Result is an empirical circuit-delay distribution.
@@ -91,11 +112,24 @@ func AnalyzeOpts(d *synth.Design, vm *variation.Model, opts Options) (*Result, e
 		sigmas[id] = vm.Sigma(d.Cell(id), means[id])
 	}
 
+	if err := ctxErr(opts.Ctx); err != nil {
+		return nil, err
+	}
 	samples := make([]float64, n)
 	stream := parallel.NewSeedStream(opts.Seed)
+	var cancelled atomic.Bool
 	parallel.Chunks(parallel.Resolve(opts.Workers), n, func(_, lo, hi int) {
 		arrival := make([]float64, c.NumGates())
 		for trial := lo; trial < hi; trial++ {
+			if (trial-lo)%cancelCheckEvery == 0 {
+				if cancelled.Load() {
+					return
+				}
+				if ctxErr(opts.Ctx) != nil {
+					cancelled.Store(true)
+					return
+				}
+			}
 			rng := randv2.New(randv2.NewPCG(stream.Uint64(2*trial), stream.Uint64(2*trial+1)))
 			for _, id := range topo {
 				g := c.Gate(id)
@@ -123,6 +157,9 @@ func AnalyzeOpts(d *synth.Design, vm *variation.Model, opts Options) (*Result, e
 			samples[trial] = cd
 		}
 	})
+	if err := ctxErr(opts.Ctx); err != nil {
+		return nil, err
+	}
 	sort.Float64s(samples)
 	// Moments are accumulated over the SORTED samples so the float
 	// summation order — and with it the reported Mean/Sigma — is

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning
+// sub-millisecond cache hits to minutes-long optimizations.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60, 300}
+
+// histogram is a fixed-bucket latency histogram (Prometheus semantics:
+// cumulative buckets plus sum and count).
+type histogram struct {
+	counts []uint64 // one per bucket, non-cumulative; exposition cumulates
+	inf    uint64
+	sum    float64
+	total  uint64
+}
+
+func (h *histogram) observe(v float64) {
+	for i, ub := range latencyBuckets {
+		if v <= ub {
+			h.counts[i]++
+			h.sum += v
+			h.total++
+			return
+		}
+	}
+	h.inf++
+	h.sum += v
+	h.total++
+}
+
+// metrics is the hand-rolled registry behind /metrics: per-endpoint
+// latency histograms, per-endpoint/status request counters, and job
+// counters. Gauges (queue depth, cache occupancy) are sampled at scrape
+// time from their owners.
+type metrics struct {
+	mu        sync.Mutex
+	latency   map[string]*histogram // endpoint label -> histogram
+	requests  map[reqKey]uint64
+	submitted map[string]uint64 // op -> jobs submitted
+	completed map[string]uint64 // terminal state -> jobs finished
+}
+
+type reqKey struct {
+	endpoint string
+	code     int
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		latency:   make(map[string]*histogram),
+		requests:  make(map[reqKey]uint64),
+		submitted: make(map[string]uint64),
+		completed: make(map[string]uint64),
+	}
+}
+
+func (m *metrics) observeRequest(endpoint string, code int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.latency[endpoint]
+	if !ok {
+		h = &histogram{counts: make([]uint64, len(latencyBuckets))}
+		m.latency[endpoint] = h
+	}
+	h.observe(d.Seconds())
+	m.requests[reqKey{endpoint, code}]++
+}
+
+func (m *metrics) jobSubmitted(op string) {
+	m.mu.Lock()
+	m.submitted[op]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) jobCompleted(state string) {
+	m.mu.Lock()
+	m.completed[state]++
+	m.mu.Unlock()
+}
+
+// gauge is one scrape-time sample appended by the server.
+type gauge struct {
+	name, help string
+	value      float64
+}
+
+// write renders the Prometheus text exposition format.
+func (m *metrics) write(w io.Writer, gauges []gauge) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP sstad_http_request_duration_seconds HTTP request latency by endpoint.")
+	fmt.Fprintln(w, "# TYPE sstad_http_request_duration_seconds histogram")
+	for _, ep := range sortedKeys(m.latency) {
+		h := m.latency[ep]
+		cum := uint64(0)
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "sstad_http_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n", ep, trimFloat(ub), cum)
+		}
+		fmt.Fprintf(w, "sstad_http_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum+h.inf)
+		fmt.Fprintf(w, "sstad_http_request_duration_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
+		fmt.Fprintf(w, "sstad_http_request_duration_seconds_count{endpoint=%q} %d\n", ep, h.total)
+	}
+
+	fmt.Fprintln(w, "# HELP sstad_http_requests_total HTTP requests by endpoint and status code.")
+	fmt.Fprintln(w, "# TYPE sstad_http_requests_total counter")
+	rkeys := make([]reqKey, 0, len(m.requests))
+	for k := range m.requests {
+		rkeys = append(rkeys, k)
+	}
+	sort.Slice(rkeys, func(i, j int) bool {
+		if rkeys[i].endpoint != rkeys[j].endpoint {
+			return rkeys[i].endpoint < rkeys[j].endpoint
+		}
+		return rkeys[i].code < rkeys[j].code
+	})
+	for _, k := range rkeys {
+		fmt.Fprintf(w, "sstad_http_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, m.requests[k])
+	}
+
+	fmt.Fprintln(w, "# HELP sstad_jobs_submitted_total Jobs submitted by operation.")
+	fmt.Fprintln(w, "# TYPE sstad_jobs_submitted_total counter")
+	for _, op := range sortedKeys(m.submitted) {
+		fmt.Fprintf(w, "sstad_jobs_submitted_total{op=%q} %d\n", op, m.submitted[op])
+	}
+
+	fmt.Fprintln(w, "# HELP sstad_jobs_completed_total Jobs finished by terminal state.")
+	fmt.Fprintln(w, "# TYPE sstad_jobs_completed_total counter")
+	for _, st := range sortedKeys(m.completed) {
+		fmt.Fprintf(w, "sstad_jobs_completed_total{state=%q} %d\n", st, m.completed[st])
+	}
+
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", g.name, g.help, g.name, g.name, g.value)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func trimFloat(f float64) string {
+	return fmt.Sprintf("%g", f)
+}

@@ -1,0 +1,567 @@
+// Package server is the HTTP layer of sstad, the long-running
+// SSTA/optimization service: it exposes the module's public API
+// (Analyze, MonteCarlo, OptimizeStatistical, RecoverArea, WNSSPath,
+// yield queries) as submit/poll/stream job endpoints, backed by the
+// bounded queue of internal/jobs and the content-addressed store of
+// internal/designcache.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             submit a job (client.JobRequest), 202 + status
+//	GET    /v1/jobs             list retained jobs, newest first
+//	GET    /v1/jobs/{id}        poll a job; ?wait=30s long-polls
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/jobs/{id}/stream server-sent events until terminal
+//	GET    /healthz             liveness + queue depth
+//	GET    /metrics             Prometheus text exposition
+//
+// Wire types live in the public client package so the two sides cannot
+// drift; this package converts between them and the internal engines.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/client"
+	"repro/internal/cliutil"
+	"repro/internal/designcache"
+	"repro/internal/jobs"
+)
+
+// Config tunes the service. The zero value is production-reasonable:
+// see the field comments for the defaults applied by New.
+type Config struct {
+	// JobWorkers is how many jobs run concurrently (0 = one per CPU).
+	// Each job can itself fan out via the engines' Workers option, so
+	// hosts serving large designs usually want this small.
+	JobWorkers int
+	// QueueCapacity bounds the pending queue (0 = 64); beyond it,
+	// submits are rejected with HTTP 429.
+	QueueCapacity int
+	// CacheDesigns / CacheResults bound the design cache LRUs
+	// (0 = designcache defaults).
+	CacheDesigns, CacheResults int
+	// Retention is how long finished jobs stay pollable (0 = 15 min).
+	Retention time.Duration
+	// JobTimeout is the default per-job deadline (0 = none).
+	JobTimeout time.Duration
+	// MaxBodyBytes bounds a submit body (0 = 32 MiB) — netlists are
+	// text; anything bigger is a client bug.
+	MaxBodyBytes int64
+	// MaxWait caps the long-poll ?wait parameter (0 = 60s).
+	MaxWait time.Duration
+}
+
+func (c Config) maxBody() int64 {
+	if c.MaxBodyBytes <= 0 {
+		return 32 << 20
+	}
+	return c.MaxBodyBytes
+}
+
+func (c Config) maxWait() time.Duration {
+	if c.MaxWait <= 0 {
+		return 60 * time.Second
+	}
+	return c.MaxWait
+}
+
+// jobMeta is the request-side information the queue does not track.
+type jobMeta struct {
+	op   string
+	hash string
+}
+
+// outcome wraps a job payload with its cache provenance.
+type outcome struct {
+	payload  any
+	cacheHit bool
+}
+
+// Server wires the queue, the cache and the HTTP handlers. Build with
+// New, serve via Handler, stop with Shutdown.
+type Server struct {
+	cfg   Config
+	queue *jobs.Queue
+	cache *designcache.Cache
+	met   *metrics
+	mux   *http.ServeMux
+
+	metaMu sync.Mutex
+	meta   map[string]jobMeta
+}
+
+// New builds a ready-to-serve Server.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg: cfg,
+		queue: jobs.New(jobs.Options{
+			Workers:        cfg.JobWorkers,
+			Capacity:       cfg.QueueCapacity,
+			Retention:      cfg.Retention,
+			DefaultTimeout: cfg.JobTimeout,
+		}),
+		cache: designcache.New(cfg.CacheDesigns, cfg.CacheResults),
+		met:   newMetrics(),
+		mux:   http.NewServeMux(),
+		meta:  make(map[string]jobMeta),
+	}
+	s.route("POST /v1/jobs", "submit", s.handleSubmit)
+	s.route("GET /v1/jobs", "list", s.handleList)
+	s.route("GET /v1/jobs/{id}", "poll", s.handleGet)
+	s.route("DELETE /v1/jobs/{id}", "cancel", s.handleCancel)
+	s.route("GET /v1/jobs/{id}/stream", "stream", s.handleStream)
+	s.route("GET /healthz", "healthz", s.handleHealthz)
+	s.route("GET /metrics", "metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the root handler (also usable under httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown stops the job queue: running jobs are cancelled through
+// their contexts and the workers drained (bounded by ctx).
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.queue.Shutdown(ctx)
+}
+
+// route installs a handler wrapped with latency/status instrumentation
+// under the endpoint label (the metrics dimension — stable even though
+// paths carry IDs).
+func (s *Server) route(pattern, endpoint string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		s.met.observeRequest(endpoint, rec.code, time.Since(start))
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.code = code
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, client.ErrorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// validOps is the accepted operation set.
+var validOps = map[string]bool{
+	client.OpAnalyze:    true,
+	client.OpMonteCarlo: true,
+	client.OpOptimize:   true,
+	client.OpRecover:    true,
+	client.OpWNSSPath:   true,
+}
+
+// validate rejects malformed requests before anything is enqueued.
+func validate(req *client.JobRequest) error {
+	if !validOps[req.Op] {
+		return fmt.Errorf("unknown op %q (want analyze|montecarlo|optimize|recover|wnsspath)", req.Op)
+	}
+	if (req.Bench == "") == (req.Generate == "") {
+		return errors.New("pass exactly one of bench (inline netlist) or generate (built-in name)")
+	}
+	if err := cliutil.CheckWorkers(req.Workers); err != nil {
+		return err
+	}
+	if req.Lambda < 0 {
+		return fmt.Errorf("lambda must be >= 0, got %g", req.Lambda)
+	}
+	if req.Op == client.OpMonteCarlo && req.Samples <= 0 {
+		return fmt.Errorf("montecarlo needs samples > 0, got %d", req.Samples)
+	}
+	if req.PDFPoints < 0 || req.MaxIters < 0 {
+		return errors.New("pdf_points and max_iters must be >= 0")
+	}
+	if req.SlackFrac < 0 {
+		return fmt.Errorf("slack_frac must be >= 0, got %g", req.SlackFrac)
+	}
+	for _, y := range req.TargetYields {
+		if y <= 0 || y >= 1 {
+			return fmt.Errorf("target yields must be in (0, 1), got %g", y)
+		}
+	}
+	if req.TimeoutSec < 0 {
+		return errors.New("timeout_sec must be >= 0")
+	}
+	return nil
+}
+
+// optsKey canonicalizes the option-relevant part of a request into the
+// result-memo key: the netlist and its display name are identity (the
+// design hash covers them), everything else is options.
+func optsKey(req client.JobRequest) string {
+	req.Bench, req.Generate, req.Name = "", "", ""
+	b, _ := json.Marshal(req)
+	return string(b)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.maxBody()+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if int64(len(body)) > s.cfg.maxBody() {
+		writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", s.cfg.maxBody())
+		return
+	}
+	var req client.JobRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if err := validate(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Resolve (and intern) the design now so malformed netlists fail
+	// the submit, not the job.
+	var (
+		d    *repro.Design
+		hash string
+	)
+	if req.Bench != "" {
+		name := req.Name
+		if name == "" {
+			name = "design"
+		}
+		d, hash, err = s.cache.Parse(req.Bench, name)
+	} else {
+		d, hash, err = s.cache.Generate(req.Generate)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "resolve design: %v", err)
+		return
+	}
+
+	key := optsKey(req)
+	fn := func(ctx context.Context) (any, error) {
+		if v, ok := s.cache.Result(hash, key); ok {
+			return outcome{payload: v, cacheHit: true}, nil
+		}
+		payload, err := s.execute(ctx, req, d)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.PutResult(hash, key, payload)
+		return outcome{payload: payload}, nil
+	}
+	var timeout time.Duration
+	if req.TimeoutSec > 0 {
+		timeout = time.Duration(req.TimeoutSec * float64(time.Second))
+	}
+	id, err := s.queue.Submit(s.completionCounted(fn), timeout)
+	if err != nil {
+		code := http.StatusServiceUnavailable
+		if errors.Is(err, jobs.ErrFull) {
+			code = http.StatusTooManyRequests
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	s.met.jobSubmitted(req.Op)
+	s.metaMu.Lock()
+	s.pruneMetaLocked()
+	s.meta[id] = jobMeta{op: req.Op, hash: hash}
+	s.metaMu.Unlock()
+
+	sn, err := s.queue.Get(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.status(sn))
+}
+
+// completionCounted wraps a job so terminal transitions feed the
+// completed-jobs counter.
+func (s *Server) completionCounted(fn jobs.Fn) jobs.Fn {
+	return func(ctx context.Context) (any, error) {
+		v, err := fn(ctx)
+		switch {
+		case err == nil:
+			s.met.jobCompleted(string(jobs.StateDone))
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			s.met.jobCompleted(string(jobs.StateCancelled))
+		default:
+			s.met.jobCompleted(string(jobs.StateFailed))
+		}
+		return v, err
+	}
+}
+
+// pruneMetaLocked drops metadata for jobs the queue has GC'd. Callers
+// hold metaMu.
+func (s *Server) pruneMetaLocked() {
+	if len(s.meta) < 64 {
+		return
+	}
+	for id := range s.meta {
+		if _, err := s.queue.Get(id); errors.Is(err, jobs.ErrNotFound) {
+			delete(s.meta, id)
+		}
+	}
+}
+
+// execute runs one job's engine work. Cached designs are shared and
+// read-only; mutating operations clone first.
+func (s *Server) execute(ctx context.Context, req client.JobRequest, d *repro.Design) (any, error) {
+	opts := repro.RunOptions{
+		Workers:   req.Workers,
+		PDFPoints: req.PDFPoints,
+		MaxIters:  req.MaxIters,
+		Ctx:       ctx,
+	}
+	switch req.Op {
+	case client.OpAnalyze:
+		a, err := d.AnalyzeCtx(ctx, opts)
+		if err != nil {
+			return nil, err
+		}
+		return analyzePayload(a, req)
+	case client.OpMonteCarlo:
+		a, err := d.MonteCarloOpts(req.Samples, req.Seed, opts)
+		if err != nil {
+			return nil, err
+		}
+		return analyzePayload(a, req)
+	case client.OpOptimize:
+		dd := d.Clone()
+		r, err := dd.OptimizeStatisticalOpts(req.Lambda, opts)
+		if err != nil {
+			return nil, err
+		}
+		return optimizePayload(r), nil
+	case client.OpRecover:
+		dd := d.Clone()
+		saved, err := dd.RecoverAreaOpts(req.Lambda, req.SlackFrac, opts)
+		if err != nil {
+			return nil, err
+		}
+		return client.RecoverResult{AreaSaved: saved}, nil
+	case client.OpWNSSPath:
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return client.PathResult{Gates: d.WNSSPath(req.Lambda)}, nil
+	}
+	return nil, fmt.Errorf("unreachable op %q", req.Op)
+}
+
+func analyzePayload(a *repro.Analysis, req client.JobRequest) (client.AnalyzeResult, error) {
+	res := client.AnalyzeResult{
+		Mean:         a.Mean,
+		Sigma:        a.Sigma,
+		NominalDelay: a.NominalDelay,
+		PDFX:         a.PDFX,
+		PDFY:         a.PDFY,
+	}
+	for _, T := range req.YieldPeriods {
+		res.Yields = append(res.Yields, client.YieldPoint{Period: T, Yield: a.Yield(T)})
+	}
+	for _, y := range req.TargetYields {
+		T, err := a.PeriodForYield(y)
+		if err != nil {
+			return client.AnalyzeResult{}, fmt.Errorf("period for yield %g: %w", y, err)
+		}
+		res.Periods = append(res.Periods, client.PeriodPoint{TargetYield: y, Period: T})
+	}
+	return res, nil
+}
+
+func optimizePayload(r repro.OptResult) client.OptimizeResult {
+	return client.OptimizeResult{
+		MeanBefore: r.MeanBefore, MeanAfter: r.MeanAfter,
+		SigmaBefore: r.SigmaBefore, SigmaAfter: r.SigmaAfter,
+		AreaBefore: r.AreaBefore, AreaAfter: r.AreaAfter,
+		Iterations: r.Iterations,
+		StoppedBy:  r.StoppedBy,
+		RuntimeSec: r.Runtime.Seconds(),
+	}
+}
+
+// status converts a queue snapshot into the wire representation.
+func (s *Server) status(sn jobs.Snapshot) client.JobStatus {
+	s.metaMu.Lock()
+	meta := s.meta[sn.ID]
+	s.metaMu.Unlock()
+	st := client.JobStatus{
+		ID:         sn.ID,
+		Op:         meta.op,
+		State:      string(sn.State),
+		DesignHash: meta.hash,
+		Created:    sn.Created,
+		Started:    sn.Started,
+		Finished:   sn.Finished,
+	}
+	if sn.Err != nil {
+		st.Error = sn.Err.Error()
+	}
+	if out, ok := sn.Result.(outcome); ok {
+		st.CacheHit = out.cacheHit
+		if b, err := json.Marshal(out.payload); err == nil {
+			st.Result = b
+		} else {
+			st.Error = fmt.Sprintf("encode result: %v", err)
+			st.State = string(jobs.StateFailed)
+		}
+	}
+	return st
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sn, err := s.queue.Get(id)
+	if errors.Is(err, jobs.ErrNotFound) {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" && !sn.State.Terminal() {
+		d, perr := time.ParseDuration(waitStr)
+		if perr != nil || d < 0 {
+			writeError(w, http.StatusBadRequest, "bad wait duration %q", waitStr)
+			return
+		}
+		if max := s.cfg.maxWait(); d > max {
+			d = max
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		// Timeout just returns the latest snapshot; the poller retries.
+		if wsn, werr := s.queue.Wait(ctx, id); werr == nil || errors.Is(werr, context.DeadlineExceeded) {
+			sn = wsn
+		}
+	}
+	writeJSON(w, http.StatusOK, s.status(sn))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	sns := s.queue.List()
+	out := make([]client.JobStatus, 0, len(sns))
+	for _, sn := range sns {
+		out = append(out, s.status(sn))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sn, err := s.queue.Get(id)
+	if errors.Is(err, jobs.ErrNotFound) {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	if !sn.State.Terminal() {
+		s.queue.Cancel(id)
+		sn, _ = s.queue.Get(id)
+	}
+	writeJSON(w, http.StatusOK, s.status(sn))
+}
+
+// handleStream is the server-sent-events endpoint: one "data:" event
+// per observed state change, closing after the terminal event.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.queue.Get(id); errors.Is(err, jobs.ErrNotFound) {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	var lastState jobs.State
+	for {
+		sn, err := s.queue.Get(id)
+		if err != nil {
+			return // GC'd mid-stream; the client sees EOF after a terminal event
+		}
+		if sn.State != lastState {
+			lastState = sn.State
+			b, err := json.Marshal(s.status(sn))
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "data: %s\n\n", b)
+			flusher.Flush()
+			if sn.State.Terminal() {
+				return
+			}
+		}
+		// Block until the state can have changed: terminal transition
+		// or a short tick (queued->running is not signalled).
+		ctx, cancel := context.WithTimeout(r.Context(), 250*time.Millisecond)
+		_, werr := s.queue.Wait(ctx, id)
+		cancel()
+		if r.Context().Err() != nil {
+			return
+		}
+		_ = werr
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	queued, running := s.queue.Depth()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":       "ok",
+		"jobs_queued":  queued,
+		"jobs_running": running,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	queued, running := s.queue.Depth()
+	cs := s.cache.Stats()
+	gauges := []gauge{
+		{"sstad_jobs_queue_depth", "Jobs waiting in the queue.", float64(queued)},
+		{"sstad_jobs_running", "Jobs currently executing.", float64(running)},
+		{"sstad_cache_design_hits_total", "Design cache hits (content-addressed interning).", float64(cs.DesignHits)},
+		{"sstad_cache_design_misses_total", "Design cache misses.", float64(cs.DesignMisses)},
+		{"sstad_cache_result_hits_total", "Result memo hits ((design, options) reuse).", float64(cs.ResultHits)},
+		{"sstad_cache_result_misses_total", "Result memo misses.", float64(cs.ResultMisses)},
+		{"sstad_cache_designs", "Designs currently cached.", float64(cs.Designs)},
+		{"sstad_cache_results", "Results currently memoized.", float64(cs.Results)},
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.write(w, gauges)
+}
