@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-parallel serve e2e
+.PHONY: all build test race vet lint lint-selftest bench bench-parallel serve e2e
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,23 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis gate: go vet plus the project's own invariant linter
+# (cmd/sstalint — globalrand, wallclock, stdoutprint, ctxloop, naninput;
+# see DESIGN.md section 9). Any finding fails the build.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/sstalint -root .
+
+# Prove the lint gate bites: sstalint must report findings (non-zero
+# exit) on the seeded-violation fixture tree. Exit 0 there means the
+# linter has gone blind, so this target inverts it.
+lint-selftest:
+	@if $(GO) run ./cmd/sstalint -root internal/lint/testdata/selftest >/dev/null 2>&1; then \
+		echo "lint-selftest: FAIL — no findings on the seeded-violation fixtures" >&2; exit 1; \
+	else \
+		echo "lint-selftest: ok (seeded violations detected)"; \
+	fi
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

@@ -1,7 +1,9 @@
 package repro
 
 import (
+	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/circuit"
 	"repro/internal/core"
@@ -85,6 +87,9 @@ func (d *Design) SaveSDF(w io.Writer, kSigma float64) error {
 // criticality with the WNSS path highlighted — the visual counterpart of
 // the paper's Figure 3.
 func (d *Design) SaveDOT(w io.Writer, lambda float64) error {
+	if err := validateLambda(lambda); err != nil {
+		return err
+	}
 	full := ssta.Analyze(d.d, d.vm, ssta.Options{})
 	heat := crit.Analytic(d.d, full).Criticality
 	return dot.Write(w, d.d.Circuit, dot.Options{
@@ -105,6 +110,9 @@ type ConstrainedResult struct {
 // mean budget (ps), the paper's constrained mode. The design is modified
 // in place.
 func (d *Design) OptimizeConstrained(maxMean float64) (ConstrainedResult, error) {
+	if math.IsNaN(maxMean) || math.IsInf(maxMean, 0) {
+		return ConstrainedResult{}, fmt.Errorf("repro: non-finite mean budget %g", maxMean)
+	}
 	r, err := core.MinimizeSigmaUnderDelay(d.d, d.vm, maxMean, core.Options{})
 	if err != nil {
 		return ConstrainedResult{}, err

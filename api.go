@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"repro/internal/benchfmt"
@@ -131,6 +132,36 @@ type RunOptions struct {
 	Ctx context.Context
 }
 
+// Validate rejects execution options no engine can honor: negative
+// worker counts, PDF resolutions or iteration caps. The zero value is
+// always valid. Entry points call it before touching the design, so an
+// invalid request never mutates anything.
+func (o RunOptions) Validate() error {
+	if o.Workers < 0 {
+		return fmt.Errorf("repro: negative worker count %d", o.Workers)
+	}
+	if o.PDFPoints < 0 {
+		return fmt.Errorf("repro: negative PDF resolution %d", o.PDFPoints)
+	}
+	if o.MaxIters < 0 {
+		return fmt.Errorf("repro: negative iteration cap %d", o.MaxIters)
+	}
+	return nil
+}
+
+// validateLambda rejects sigma weights that would poison every PDF
+// downstream: NaN and Inf propagate silently through mu + lambda*sigma
+// and surface as garbage results instead of an error.
+func validateLambda(lambda float64) error {
+	if math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+		return fmt.Errorf("repro: non-finite lambda %g", lambda)
+	}
+	if lambda < 0 {
+		return fmt.Errorf("repro: negative lambda %g", lambda)
+	}
+	return nil
+}
+
 func (o RunOptions) ssta() ssta.Options {
 	return ssta.Options{Points: o.PDFPoints, Workers: o.Workers}
 }
@@ -175,6 +206,9 @@ func (d *Design) AnalyzeOpts(opts RunOptions) *Analysis {
 // seconds — so a cancellation arriving mid-analysis is only reported by
 // whichever caller polls ctx next.
 func (d *Design) AnalyzeCtx(ctx context.Context, opts RunOptions) (*Analysis, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -204,6 +238,9 @@ func (d *Design) MonteCarlo(samples int, seed int64) (*Analysis, error) {
 // options also drive the FULLSSTA pass that backs Yield queries on the
 // returned Analysis.
 func (d *Design) MonteCarloOpts(samples int, seed int64, opts RunOptions) (*Analysis, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	mc, err := montecarlo.AnalyzeOpts(d.d, d.vm, montecarlo.Options{
 		Trials: samples, Seed: seed, Workers: opts.Workers, Ctx: opts.Ctx,
 	})
@@ -276,6 +313,9 @@ func (d *Design) OptimizeMeanDelay() (OptResult, error) {
 // OptimizeMeanDelayOpts is OptimizeMeanDelay with explicit execution
 // options.
 func (d *Design) OptimizeMeanDelayOpts(opts RunOptions) (OptResult, error) {
+	if err := opts.Validate(); err != nil {
+		return OptResult{}, err
+	}
 	r, err := core.MeanDelayGreedy(d.d, d.vm, core.Options{
 		MaxIters: opts.MaxIters, Workers: opts.Workers, Ctx: opts.Ctx,
 	})
@@ -295,8 +335,11 @@ func (d *Design) OptimizeStatistical(lambda float64) (OptResult, error) {
 // OptimizeStatisticalOpts is OptimizeStatistical with explicit execution
 // options (worker count, PDF resolution).
 func (d *Design) OptimizeStatisticalOpts(lambda float64, opts RunOptions) (OptResult, error) {
-	if lambda < 0 {
-		return OptResult{}, fmt.Errorf("repro: negative lambda %g", lambda)
+	if err := validateLambda(lambda); err != nil {
+		return OptResult{}, err
+	}
+	if err := opts.Validate(); err != nil {
+		return OptResult{}, err
 	}
 	r, err := core.StatisticalGreedy(d.d, d.vm, core.Options{
 		Lambda: lambda, PDFPoints: opts.PDFPoints, Workers: opts.Workers,

@@ -71,7 +71,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if resp.StatusCode/100 != 2 {
 		var eb ErrorBody
 		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
-			return fmt.Errorf("client: %s %s: %s (HTTP %d)", method, path, eb.Error, resp.StatusCode)
+			return &APIError{Method: method, Path: path, Status: resp.StatusCode, Body: eb}
 		}
 		return fmt.Errorf("client: %s %s: HTTP %d: %s", method, path, resp.StatusCode, strings.TrimSpace(string(data)))
 	}
@@ -79,6 +79,20 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		return nil
 	}
 	return json.Unmarshal(data, out)
+}
+
+// APIError is a non-2xx response whose body carried the service's JSON
+// error envelope. Callers that need the HTTP status or the structured
+// lint diagnostics unwrap it with errors.As.
+type APIError struct {
+	Method string
+	Path   string
+	Status int
+	Body   ErrorBody
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: %s %s: %s (HTTP %d)", e.Method, e.Path, e.Body.Error, e.Status)
 }
 
 // Submit enqueues a job and returns its initial status (usually
@@ -244,7 +258,7 @@ func (d *sseDecoder) next() ([]byte, error) {
 			}
 		case strings.HasPrefix(line, "data:"):
 			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
-		// Comments (":keepalive") and other fields are ignored.
+			// Comments (":keepalive") and other fields are ignored.
 		}
 	}
 }

@@ -65,7 +65,7 @@ type JobStatus struct {
 	// CacheHit is true when the result was served from the design
 	// cache's (design, options) memo without re-running the engines.
 	CacheHit bool      `json:"cache_hit,omitempty"`
-	Created time.Time `json:"created"`
+	Created  time.Time `json:"created"`
 	// Started and Finished are the zero time until the job leaves the
 	// queue / reaches a terminal state.
 	Started  time.Time `json:"started"`
@@ -98,12 +98,12 @@ type PeriodPoint struct {
 
 // AnalyzeResult is the payload of analyze and montecarlo jobs.
 type AnalyzeResult struct {
-	Mean         float64      `json:"mean"`
-	Sigma        float64      `json:"sigma"`
-	NominalDelay float64      `json:"nominal_delay"`
-	PDFX         []float64    `json:"pdf_x,omitempty"`
-	PDFY         []float64    `json:"pdf_y,omitempty"`
-	Yields       []YieldPoint `json:"yields,omitempty"`
+	Mean         float64       `json:"mean"`
+	Sigma        float64       `json:"sigma"`
+	NominalDelay float64       `json:"nominal_delay"`
+	PDFX         []float64     `json:"pdf_x,omitempty"`
+	PDFY         []float64     `json:"pdf_y,omitempty"`
+	Yields       []YieldPoint  `json:"yields,omitempty"`
 	Periods      []PeriodPoint `json:"periods,omitempty"`
 }
 
@@ -188,6 +188,22 @@ func (s *JobStatus) WNSSPath() (*PathResult, error) {
 }
 
 // ErrorBody is the JSON error envelope every non-2xx response carries.
+// Lint rejections additionally carry the structured diagnostics that
+// caused them.
 type ErrorBody struct {
-	Error string `json:"error"`
+	Error       string       `json:"error"`
+	Diagnostics []Diagnostic `json:"diagnostics,omitempty"`
+}
+
+// Diagnostic is one structural-lint finding, mirroring
+// internal/circuitlint.Diagnostic on the wire: the check that fired
+// ("cycle", "undriven", ...), its severity ("error" or "warning"), the
+// offending gate or net name when one is identifiable, the 1-based
+// netlist line, and a human-readable message.
+type Diagnostic struct {
+	Check    string `json:"check"`
+	Severity string `json:"severity"`
+	Gate     string `json:"gate,omitempty"`
+	Line     int    `json:"line,omitempty"`
+	Msg      string `json:"msg"`
 }

@@ -20,6 +20,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/circuitlint"
 	"repro/internal/cliutil"
 	"repro/internal/corrssta"
 	"repro/internal/experiments"
@@ -86,16 +87,48 @@ func parseWorkers(fs *flag.FlagSet, workers *int, args []string) error {
 	return cliutil.ParseWorkers(fs, workers, args)
 }
 
+// lintFlag registers the shared -lint knob on a subcommand's flag set
+// (see internal/cliutil): the named benchmark designs are structurally
+// linted before the experiment runs.
+func lintFlag(fs *flag.FlagSet) *bool { return cliutil.LintFlag(fs) }
+
+// lintDesigns generates and lints each named built-in benchmark when
+// enabled: diagnostics (with gate names) go to stderr, error-severity
+// findings abort the run.
+func lintDesigns(enabled bool, names ...string) error {
+	if !enabled {
+		return nil
+	}
+	for _, name := range names {
+		d, _, err := experiments.NewDesign(name)
+		if err != nil {
+			return err
+		}
+		diags := circuitlint.LintDesign(d)
+		for _, dg := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", name, dg)
+		}
+		if circuitlint.HasErrors(diags) {
+			return fmt.Errorf("%s fails lint: %d error finding(s)", name, len(circuitlint.Errors(diags)))
+		}
+	}
+	return nil
+}
+
 func runTable1(args []string) error {
 	fs := flag.NewFlagSet("table1", flag.ExitOnError)
 	csv := fs.Bool("csv", false, "emit CSV instead of a formatted table")
 	workers := workersFlag(fs)
+	lint := lintFlag(fs)
 	if err := parseWorkers(fs, workers, args); err != nil {
 		return err
 	}
 	names := fs.Args()
 	if len(names) == 0 {
 		names = gen.ISCASNames()
+	}
+	if err := lintDesigns(*lint, names...); err != nil {
+		return err
 	}
 	rows, err := experiments.Table1(names, experiments.Config{Workers: *workers})
 	if err != nil {
@@ -124,7 +157,11 @@ func runFig1(args []string) error {
 	fs := flag.NewFlagSet("fig1", flag.ExitOnError)
 	circuit := fs.String("circuit", "c880", "benchmark to plot")
 	workers := workersFlag(fs)
+	lint := lintFlag(fs)
 	if err := parseWorkers(fs, workers, args); err != nil {
+		return err
+	}
+	if err := lintDesigns(*lint, *circuit); err != nil {
 		return err
 	}
 	res, err := experiments.Fig1(*circuit, experiments.Config{Workers: *workers})
@@ -172,7 +209,11 @@ func runFig4(args []string) error {
 	fs := flag.NewFlagSet("fig4", flag.ExitOnError)
 	circuit := fs.String("circuit", "c432", "benchmark to sweep")
 	workers := workersFlag(fs)
+	lint := lintFlag(fs)
 	if err := parseWorkers(fs, workers, args); err != nil {
+		return err
+	}
+	if err := lintDesigns(*lint, *circuit); err != nil {
 		return err
 	}
 	pts, err := experiments.Fig4(*circuit, nil, experiments.Config{Workers: *workers})
@@ -215,9 +256,17 @@ func runErf(args []string) error {
 }
 
 func runCorrelation(args []string) error {
-	names := args
+	fs := flag.NewFlagSet("correlation", flag.ExitOnError)
+	lint := lintFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names := fs.Args()
 	if len(names) == 0 {
 		names = []string{"c499", "c1908"}
+	}
+	if err := lintDesigns(*lint, names...); err != nil {
+		return err
 	}
 	tab := &report.Table{
 		Title:   "Correlation-aware engine (the paper's PCA upgrade path) vs independence, correlated MC as truth",
@@ -257,12 +306,16 @@ func abs(x float64) float64 {
 func runEngines(args []string) error {
 	fs := flag.NewFlagSet("engines", flag.ExitOnError)
 	workers := workersFlag(fs)
+	lint := lintFlag(fs)
 	if err := parseWorkers(fs, workers, args); err != nil {
 		return err
 	}
 	names := fs.Args()
 	if len(names) == 0 {
 		names = []string{"alu2", "c432", "c880", "c1908"}
+	}
+	if err := lintDesigns(*lint, names...); err != nil {
+		return err
 	}
 	rows, err := experiments.Engines(names, 20000, experiments.Config{Workers: *workers})
 	if err != nil {

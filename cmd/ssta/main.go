@@ -28,6 +28,7 @@ func main() {
 		critN   = flag.Int("crit", 0, "print the n most critical gates (statistical criticality)")
 		sdfOut  = flag.String("sdf", "", "write statistical delay corners to this SDF file")
 		workers = cliutil.WorkersFlag(flag.CommandLine)
+		lint    = cliutil.LintFlag(flag.CommandLine)
 	)
 	flag.Parse()
 	if err := cliutil.CheckWorkers(*workers); err != nil {
@@ -35,7 +36,7 @@ func main() {
 	}
 	opts := repro.RunOptions{Workers: *workers}
 
-	d, err := load(*genName, *bench)
+	d, err := load(*genName, *bench, *lint)
 	if err != nil {
 		fail(err)
 	}
@@ -105,19 +106,18 @@ func tail(s []string, n int) []string {
 	return append([]string{"..."}, s[len(s)-n:]...)
 }
 
-func load(genName, bench string) (*repro.Design, error) {
+func load(genName, bench string, lint bool) (*repro.Design, error) {
 	switch {
 	case genName != "" && bench != "":
 		return nil, fmt.Errorf("use either -gen or -bench, not both")
 	case genName != "":
-		return repro.Generate(genName)
-	case bench != "":
-		f, err := os.Open(bench)
+		d, err := repro.Generate(genName)
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
-		return repro.LoadBench(f, bench)
+		return d, cliutil.CheckDesign(d, lint, os.Stderr)
+	case bench != "":
+		return cliutil.LoadBenchLinted(bench, lint, os.Stderr)
 	}
 	return nil, fmt.Errorf("nothing to analyze: pass -gen <name> or -bench <file>")
 }

@@ -1,0 +1,51 @@
+// Command sstalint runs the module's determinism and hygiene analyzers
+// (internal/lint) over a source tree and reports findings one per line:
+//
+//	path/file.go:42: globalrand: call to global rand.IntN; ...
+//
+// It exits 1 when any finding is reported, 2 on usage or I/O errors.
+// Suppress a single line with //lint:ignore <check> <reason>.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root to lint")
+	checks := flag.String("checks", "", "comma-separated checks to run (default all: "+strings.Join(lint.CheckNames(), ",")+")")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: sstalint [-root dir] [-checks c1,c2]\n\nchecks:\n")
+		for _, c := range lint.Checks() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", c.Name, c.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var names []string
+	if *checks != "" {
+		for _, n := range strings.Split(*checks, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	findings, err := lint.Run(*root, names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sstalint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "sstalint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

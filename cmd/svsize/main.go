@@ -28,6 +28,7 @@ func main() {
 		out     = flag.String("out", "", "write the sized netlist to this .bench file")
 		list    = flag.Bool("list", false, "list built-in benchmarks and exit")
 		workers = cliutil.WorkersFlag(flag.CommandLine)
+		lint    = cliutil.LintFlag(flag.CommandLine)
 	)
 	flag.Parse()
 	if err := cliutil.CheckWorkers(*workers); err != nil {
@@ -40,7 +41,7 @@ func main() {
 		}
 		return
 	}
-	d, err := load(*genName, *bench, *vlog, *libFile)
+	d, err := load(*genName, *bench, *vlog, *libFile, *lint)
 	if err != nil {
 		fail(err)
 	}
@@ -91,7 +92,7 @@ func main() {
 	}
 }
 
-func load(genName, bench, vlog, libFile string) (*repro.Design, error) {
+func load(genName, bench, vlog, libFile string, lint bool) (*repro.Design, error) {
 	sources := 0
 	for _, s := range []string{genName, bench, vlog} {
 		if s != "" {
@@ -119,25 +120,34 @@ func load(genName, bench, vlog, libFile string) (*repro.Design, error) {
 			return nil, err
 		}
 		defer f.Close()
-		return repro.LoadBenchWithLibrary(f, bench, lib)
-	}
-	switch {
-	case genName != "":
-		return repro.Generate(genName)
-	case bench != "":
-		f, err := os.Open(bench)
+		d, err := repro.LoadBenchWithLibrary(f, bench, lib)
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
-		return repro.LoadBench(f, bench)
+		// Library-mapped designs get the design-level lint (unmapped
+		// cells, size indices) in addition to the structural checks.
+		return d, cliutil.CheckDesign(d, lint, os.Stderr)
+	}
+	switch {
+	case genName != "":
+		d, err := repro.Generate(genName)
+		if err != nil {
+			return nil, err
+		}
+		return d, cliutil.CheckDesign(d, lint, os.Stderr)
+	case bench != "":
+		return cliutil.LoadBenchLinted(bench, lint, os.Stderr)
 	default:
 		f, err := os.Open(vlog)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
-		return repro.LoadVerilog(f, vlog)
+		d, err := repro.LoadVerilog(f, vlog)
+		if err != nil {
+			return nil, err
+		}
+		return d, cliutil.CheckDesign(d, lint, os.Stderr)
 	}
 }
 

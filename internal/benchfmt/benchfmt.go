@@ -41,107 +41,16 @@ var benchNameByFn = map[circuit.Fn]string{
 }
 
 // Parse reads a .bench netlist. The circuit name is taken from the caller
-// since the format has no name line.
+// since the format has no name line. It is the strict path: the first
+// syntactic or semantic problem aborts with an error. For a complete
+// structural diagnosis of a bad netlist, feed ParseNetlist's raw form to
+// internal/circuitlint instead.
 func Parse(r io.Reader, name string) (*circuit.Circuit, error) {
-	c := circuit.New(name)
-	type pending struct {
-		gate   string
-		fn     circuit.Fn
-		fanins []string
-		line   int
-	}
-	var defs []pending
-	var outputs []string
-
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		switch {
-		case strings.HasPrefix(strings.ToUpper(line), "INPUT(") && strings.HasSuffix(line, ")"):
-			n := strings.TrimSpace(line[len("INPUT(") : len(line)-1])
-			if n == "" {
-				return nil, fmt.Errorf("benchfmt:%d: empty INPUT name", lineNo)
-			}
-			if _, err := c.AddGate(n, circuit.Input); err != nil {
-				return nil, fmt.Errorf("benchfmt:%d: %v", lineNo, err)
-			}
-		case strings.HasPrefix(strings.ToUpper(line), "OUTPUT(") && strings.HasSuffix(line, ")"):
-			n := strings.TrimSpace(line[len("OUTPUT(") : len(line)-1])
-			if n == "" {
-				return nil, fmt.Errorf("benchfmt:%d: empty OUTPUT name", lineNo)
-			}
-			outputs = append(outputs, n)
-		default:
-			eq := strings.Index(line, "=")
-			if eq < 0 {
-				return nil, fmt.Errorf("benchfmt:%d: unrecognized line %q", lineNo, line)
-			}
-			lhs := strings.TrimSpace(line[:eq])
-			rhs := strings.TrimSpace(line[eq+1:])
-			open := strings.Index(rhs, "(")
-			if open < 0 || !strings.HasSuffix(rhs, ")") {
-				return nil, fmt.Errorf("benchfmt:%d: malformed gate definition %q", lineNo, line)
-			}
-			fnName := strings.ToUpper(strings.TrimSpace(rhs[:open]))
-			if fnName == "DFF" {
-				return nil, fmt.Errorf("benchfmt:%d: sequential element DFF not supported (combinational circuits only)", lineNo)
-			}
-			fn, ok := fnByBenchName[fnName]
-			if !ok {
-				return nil, fmt.Errorf("benchfmt:%d: unknown function %q", lineNo, fnName)
-			}
-			var fanins []string
-			for _, f := range strings.Split(rhs[open+1:len(rhs)-1], ",") {
-				f = strings.TrimSpace(f)
-				if f == "" {
-					return nil, fmt.Errorf("benchfmt:%d: empty fanin in %q", lineNo, line)
-				}
-				fanins = append(fanins, f)
-			}
-			if len(fanins) == 0 {
-				return nil, fmt.Errorf("benchfmt:%d: gate %q has no fanins", lineNo, lhs)
-			}
-			if _, err := c.AddGate(lhs, fn); err != nil {
-				return nil, fmt.Errorf("benchfmt:%d: %v", lineNo, err)
-			}
-			defs = append(defs, pending{gate: lhs, fn: fn, fanins: fanins, line: lineNo})
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("benchfmt: read: %v", err)
-	}
-	// Second pass: connect fanins (they may be declared after use).
-	for _, d := range defs {
-		dst := c.MustLookup(d.gate)
-		for _, f := range d.fanins {
-			src, ok := c.Lookup(f)
-			if !ok {
-				return nil, fmt.Errorf("benchfmt:%d: gate %q references undefined net %q", d.line, d.gate, f)
-			}
-			if err := c.Connect(src, dst); err != nil {
-				return nil, fmt.Errorf("benchfmt:%d: %v", d.line, err)
-			}
-		}
-	}
-	for _, o := range outputs {
-		id, ok := c.Lookup(o)
-		if !ok {
-			return nil, fmt.Errorf("benchfmt: OUTPUT(%s) references undefined net", o)
-		}
-		if err := c.MarkOutput(id); err != nil {
-			return nil, err
-		}
-	}
-	if err := c.Validate(); err != nil {
+	nl, err := ParseNetlist(r, name)
+	if err != nil {
 		return nil, err
 	}
-	return c, nil
+	return nl.Build()
 }
 
 // Write emits the circuit in .bench format. Gates are written in

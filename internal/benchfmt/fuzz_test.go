@@ -1,0 +1,51 @@
+package benchfmt_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchfmt"
+	"repro/internal/circuitlint"
+)
+
+// FuzzParseLint asserts the core robustness contract of the load path:
+// for arbitrary input bytes, tolerant parse followed by lint — and the
+// strict Parse — return errors or diagnostics, never panic. It also pins
+// the relationship between the two paths: if the strict parser accepts a
+// netlist, lint must find no error-severity diagnostics, and if lint is
+// error-clean the strict parser must accept (warnings like dangling gates
+// are allowed on both sides).
+func FuzzParseLint(f *testing.F) {
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+	f.Add("INPUT(a)\nOUTPUT(y)\ng1 = AND(a, g2)\ng2 = NOT(g1)\ny = NOT(a)\n")
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n")
+	f.Add("INPUT(a)\nINPUT(a)\nOUTPUT(a)\n")
+	f.Add("# comment only\n")
+	f.Add("y = DFF(d)\n")
+	f.Add("x = AND()\n")
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = AND(a, y)\n")
+	f.Add("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOT(a, b)\n")
+	f.Add("INPUT(a)\nOUTPUT(y)\nOUTPUT(y)\ny = NOT(a)\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		nl, err := benchfmt.ParseNetlist(strings.NewReader(src), "fuzz")
+		var diags []circuitlint.Diagnostic
+		if err == nil {
+			diags = circuitlint.LintNetlist(nl)
+			if _, berr := nl.Build(); berr != nil && !circuitlint.HasErrors(diags) {
+				t.Fatalf("lint error-clean but Build rejects: %v\nsrc:\n%s", berr, src)
+			}
+		}
+		c, perr := benchfmt.Parse(strings.NewReader(src), "fuzz")
+		if perr == nil {
+			if err != nil {
+				t.Fatalf("strict Parse accepted what ParseNetlist rejected: %v", err)
+			}
+			if circuitlint.HasErrors(diags) {
+				t.Fatalf("Parse accepted a netlist with lint errors:\n%s", circuitlint.Format(diags))
+			}
+			if c.NumGates() != len(nl.Inputs)+len(nl.Gates) {
+				t.Fatalf("built %d gates from %d inputs + %d defs", c.NumGates(), len(nl.Inputs), len(nl.Gates))
+			}
+		}
+	})
+}

@@ -1,0 +1,165 @@
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+// Port is one INPUT or OUTPUT declaration of a raw netlist, with the
+// source line it came from.
+type Port struct {
+	Name string
+	Line int
+}
+
+// RawGate is one gate definition line of a raw netlist. Fn is the parsed
+// function; Fanins are the referenced net names exactly as written.
+type RawGate struct {
+	Name   string
+	Fn     circuit.Fn
+	Fanins []string
+	Line   int
+}
+
+// Netlist is the raw, structurally unvalidated form of a .bench file:
+// every line has been tokenized and its function keyword resolved, but
+// no semantic checks (duplicate names, undriven nets, cycles) have run.
+// It exists so internal/circuitlint can report ALL structural problems
+// of a bad netlist as collected diagnostics, where the strict Parse path
+// fails on the first one.
+type Netlist struct {
+	Name    string
+	Inputs  []Port
+	Outputs []Port
+	Gates   []RawGate
+}
+
+// ParseNetlist reads a .bench file into its raw form. It errors only on
+// syntax: unrecognized lines, malformed definitions, empty names, empty
+// fanins, unknown or sequential (DFF) functions. Semantic problems are
+// left in the returned Netlist for Build or circuitlint to find.
+func ParseNetlist(r io.Reader, name string) (*Netlist, error) {
+	nl := &Netlist{Name: name}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(strings.ToUpper(line), "INPUT(") && strings.HasSuffix(line, ")"):
+			n := strings.TrimSpace(line[len("INPUT(") : len(line)-1])
+			if n == "" {
+				return nil, fmt.Errorf("benchfmt:%d: empty INPUT name", lineNo)
+			}
+			nl.Inputs = append(nl.Inputs, Port{Name: n, Line: lineNo})
+		case strings.HasPrefix(strings.ToUpper(line), "OUTPUT(") && strings.HasSuffix(line, ")"):
+			n := strings.TrimSpace(line[len("OUTPUT(") : len(line)-1])
+			if n == "" {
+				return nil, fmt.Errorf("benchfmt:%d: empty OUTPUT name", lineNo)
+			}
+			nl.Outputs = append(nl.Outputs, Port{Name: n, Line: lineNo})
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, fmt.Errorf("benchfmt:%d: unrecognized line %q", lineNo, line)
+			}
+			lhs := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			open := strings.Index(rhs, "(")
+			if open < 0 || !strings.HasSuffix(rhs, ")") {
+				return nil, fmt.Errorf("benchfmt:%d: malformed gate definition %q", lineNo, line)
+			}
+			if lhs == "" {
+				return nil, fmt.Errorf("benchfmt:%d: empty gate name in %q", lineNo, line)
+			}
+			fnName := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+			if fnName == "DFF" {
+				return nil, fmt.Errorf("benchfmt:%d: sequential element DFF not supported (combinational circuits only)", lineNo)
+			}
+			fn, ok := fnByBenchName[fnName]
+			if !ok {
+				return nil, fmt.Errorf("benchfmt:%d: unknown function %q", lineNo, fnName)
+			}
+			var fanins []string
+			for _, f := range strings.Split(rhs[open+1:len(rhs)-1], ",") {
+				f = strings.TrimSpace(f)
+				if f == "" {
+					return nil, fmt.Errorf("benchfmt:%d: empty fanin in %q", lineNo, line)
+				}
+				fanins = append(fanins, f)
+			}
+			if len(fanins) == 0 {
+				return nil, fmt.Errorf("benchfmt:%d: gate %q has no fanins", lineNo, lhs)
+			}
+			nl.Gates = append(nl.Gates, RawGate{Name: lhs, Fn: fn, Fanins: fanins, Line: lineNo})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchfmt: read: %v", err)
+	}
+	return nl, nil
+}
+
+// Build converts the raw netlist into a validated circuit. It fails on
+// the first semantic problem (duplicate name, undefined net, structural
+// invariant violation, cycle) — run circuitlint on the Netlist first for
+// a complete diagnosis.
+//
+// Gates are declared in file-line order, interleaving INPUT lines with
+// definitions exactly as the file does, so the GateID assignment — and
+// with it every ID-ordered downstream iteration — is identical to what
+// the historical single-pass parser produced.
+func (nl *Netlist) Build() (*circuit.Circuit, error) {
+	c := circuit.New(nl.Name)
+	ids := make([]circuit.GateID, len(nl.Gates))
+	in, gi := 0, 0
+	for in < len(nl.Inputs) || gi < len(nl.Gates) {
+		if in < len(nl.Inputs) && (gi >= len(nl.Gates) || nl.Inputs[in].Line < nl.Gates[gi].Line) {
+			p := nl.Inputs[in]
+			in++
+			if _, err := c.AddGate(p.Name, circuit.Input); err != nil {
+				return nil, fmt.Errorf("benchfmt:%d: %v", p.Line, err)
+			}
+			continue
+		}
+		g := nl.Gates[gi]
+		id, err := c.AddGate(g.Name, g.Fn)
+		if err != nil {
+			return nil, fmt.Errorf("benchfmt:%d: %v", g.Line, err)
+		}
+		ids[gi] = id
+		gi++
+	}
+	for i, g := range nl.Gates {
+		for _, f := range g.Fanins {
+			src, ok := c.Lookup(f)
+			if !ok {
+				return nil, fmt.Errorf("benchfmt:%d: gate %q references undefined net %q", g.Line, g.Name, f)
+			}
+			if err := c.Connect(src, ids[i]); err != nil {
+				return nil, fmt.Errorf("benchfmt:%d: %v", g.Line, err)
+			}
+		}
+	}
+	for _, o := range nl.Outputs {
+		id, ok := c.Lookup(o.Name)
+		if !ok {
+			return nil, fmt.Errorf("benchfmt: OUTPUT(%s) references undefined net", o.Name)
+		}
+		if err := c.MarkOutput(id); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

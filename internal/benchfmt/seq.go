@@ -38,6 +38,7 @@ func ParseSeq(r io.Reader, name string) (*circuit.Circuit, *SeqInfo, error) {
 	info := &SeqInfo{}
 	type pending struct {
 		gate   string
+		id     circuit.GateID
 		fanins []string
 		line   int
 	}
@@ -103,17 +104,18 @@ func ParseSeq(r io.Reader, name string) (*circuit.Circuit, *SeqInfo, error) {
 			if len(fanins) == 0 {
 				return nil, nil, fmt.Errorf("benchfmt:%d: gate %q has no fanins", lineNo, lhs)
 			}
-			if _, err := c.AddGate(lhs, fn); err != nil {
+			id, err := c.AddGate(lhs, fn)
+			if err != nil {
 				return nil, nil, fmt.Errorf("benchfmt:%d: %v", lineNo, err)
 			}
-			defs = append(defs, pending{gate: lhs, fanins: fanins, line: lineNo})
+			defs = append(defs, pending{gate: lhs, id: id, fanins: fanins, line: lineNo})
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, nil, fmt.Errorf("benchfmt: read: %v", err)
 	}
 	for _, d := range defs {
-		dst := c.MustLookup(d.gate)
+		dst := d.id
 		for _, f := range d.fanins {
 			src, ok := c.Lookup(f)
 			if !ok {

@@ -127,6 +127,12 @@ func (f Fn) Eval(in []bool) bool {
 	panic("circuit: Eval on unknown function " + f.String())
 }
 
+// FaninBounds returns the legal fanin count range for the function; a max
+// of -1 means unbounded. It is the exported face of the arity rules that
+// Connect and Validate enforce, used by internal/circuitlint to predict
+// them on raw netlists.
+func (f Fn) FaninBounds() (min, max int) { return f.minFanin(), f.maxFanin() }
+
 // minFanin returns the minimum legal fanin count for the function.
 func (f Fn) minFanin() int {
 	switch f {

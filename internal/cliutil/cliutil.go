@@ -5,12 +5,20 @@
 // per available CPU" internally, but at the CLI boundary a negative
 // value is almost always a typo (e.g. "-workers -4" intending 4), so
 // the commands reject it with a clear error instead of silently
-// saturating the host.
+// saturating the host. It also owns the shared -lint knob and the
+// structural-lint entry points the commands run on every design they
+// load (see internal/circuitlint).
 package cliutil
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
+	"os"
+
+	"repro"
+	"repro/internal/circuitlint"
 )
 
 // WorkersFlag registers the shared -workers knob on fs (use
@@ -40,4 +48,51 @@ func ParseWorkers(fs *flag.FlagSet, workers *int, args []string) error {
 		return err
 	}
 	return CheckWorkers(*workers)
+}
+
+// LintFlag registers the shared -lint knob: the structural design
+// linter (internal/circuitlint) runs on every design entering a command
+// unless explicitly disabled.
+func LintFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("lint", true,
+		"run the structural design linter before analysis; error findings abort (-lint=false skips)")
+}
+
+// LoadBenchLinted reads an ISCAS .bench file and builds the design,
+// first linting the raw netlist text when lint is true: every
+// diagnostic (with gate names and line numbers) goes to w, and
+// error-severity findings abort the load before any parse.
+func LoadBenchLinted(path string, lint bool, w io.Writer) (*repro.Design, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if lint {
+		diags := circuitlint.LintText(string(data), path)
+		if len(diags) > 0 {
+			fmt.Fprint(w, circuitlint.Format(diags))
+		}
+		if circuitlint.HasErrors(diags) {
+			return nil, fmt.Errorf("%s fails lint: %d error finding(s)", path, len(circuitlint.Errors(diags)))
+		}
+	}
+	return repro.LoadBench(bytes.NewReader(data), path)
+}
+
+// CheckDesign lints an already-built design (generated benchmarks,
+// Verilog or Liberty-mapped sources, where no raw .bench text exists).
+// Diagnostics go to w; error-severity findings become an error.
+func CheckDesign(d *repro.Design, lint bool, w io.Writer) error {
+	if !lint {
+		return nil
+	}
+	sd, _ := d.Internal()
+	diags := circuitlint.LintDesign(sd)
+	if len(diags) > 0 {
+		fmt.Fprint(w, circuitlint.Format(diags))
+	}
+	if circuitlint.HasErrors(diags) {
+		return fmt.Errorf("design fails lint: %d error finding(s)", len(circuitlint.Errors(diags)))
+	}
+	return nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/ssta"
 	"repro/internal/synth"
@@ -27,7 +28,10 @@ type ConstrainedResult struct {
 // protocol uses). If even lambda = 0 violates the budget, the
 // least-violating sizing is kept and Met is false.
 func MinimizeSigmaUnderDelay(d *synth.Design, vm *variation.Model, maxMean float64, opts Options) (*ConstrainedResult, error) {
-	if maxMean <= 0 {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if math.IsNaN(maxMean) || !(maxMean > 0) {
 		return nil, fmt.Errorf("core: non-positive mean budget %g", maxMean)
 	}
 	ladder := []float64{0, 1, 3, 6, 9, 15}

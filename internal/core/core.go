@@ -89,6 +89,40 @@ type Options struct {
 	Workers int
 }
 
+// validate rejects option values that would silently corrupt a run: a
+// non-finite or negative lambda poisons the cost mu + lambda*sigma, and
+// negative counts invert loop semantics. Every optimizer entry point
+// calls it before touching the design. MaxStep is exempt — negative is a
+// documented mode (scan all sizes) — and TargetCost only needs to be
+// finite (any value below the reachable cost range just never triggers).
+func (o Options) validate() error {
+	if math.IsNaN(o.Lambda) || math.IsInf(o.Lambda, 0) || o.Lambda < 0 {
+		return fmt.Errorf("core: invalid lambda %g", o.Lambda)
+	}
+	if math.IsNaN(o.TargetCost) || math.IsInf(o.TargetCost, 0) {
+		return fmt.Errorf("core: non-finite target cost %g", o.TargetCost)
+	}
+	if math.IsNaN(o.MinGain) || math.IsInf(o.MinGain, 0) || o.MinGain < 0 {
+		return fmt.Errorf("core: invalid min gain %g", o.MinGain)
+	}
+	for _, c := range []struct {
+		name string
+		v    int
+	}{
+		{"iteration cap", o.MaxIters},
+		{"subcircuit depth", o.SubcktDepth},
+		{"PDF resolution", o.PDFPoints},
+		{"patience", o.Patience},
+		{"path count", o.TopKPaths},
+		{"worker count", o.Workers},
+	} {
+		if c.v < 0 {
+			return fmt.Errorf("core: negative %s %d", c.name, c.v)
+		}
+	}
+	return nil
+}
+
 // ctxErr reports the cancellation state of the run's context.
 func (o Options) ctxErr() error {
 	if o.Ctx == nil {
@@ -188,6 +222,9 @@ func snapshot(d *synth.Design, full *ssta.Result, lambda float64) Snapshot {
 // schedule the winners, resize in a batch, repeat until constraints are
 // met or no further improvement can be made. The best-seen sizing is kept.
 func StatisticalGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	res := &Result{StoppedBy: "max-iters"}
 	ex := fassta.NewExtractor(d)
@@ -423,6 +460,9 @@ func worstOutputs(d *synth.Design, full *ssta.Result, lambda float64, k int) []c
 // mapped (minimum-size) design produces the paper's "Original" designs —
 // mean-optimal, with the widest performance spread.
 func MeanDelayGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	res := &Result{StoppedBy: "max-iters"}
 	ex := fassta.NewExtractor(d)
@@ -529,7 +569,10 @@ func MeanDelayGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Resul
 // and the batch retried). Gates are visited in reverse topological order
 // so output-side fat is trimmed first. Returns the area saved (um^2).
 func RecoverArea(d *synth.Design, vm *variation.Model, opts Options, slackFrac float64) (float64, error) {
-	if slackFrac < 0 {
+	if err := opts.validate(); err != nil {
+		return 0, err
+	}
+	if math.IsNaN(slackFrac) || math.IsInf(slackFrac, 0) || slackFrac < 0 {
 		return 0, fmt.Errorf("core: negative slack fraction %g", slackFrac)
 	}
 	ex := fassta.NewExtractor(d)

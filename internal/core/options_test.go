@@ -1,0 +1,46 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name string
+		opts Options
+		want string // substring of the error, "" = valid
+	}{
+		{"zero", Options{}, ""},
+		{"paper", Options{Lambda: 9, MaxIters: 50, PDFPoints: 12, TopKPaths: 16}, ""},
+		{"negMaxStepMode", Options{MaxStep: -1}, ""}, // documented scan-all mode
+		{"nanLambda", Options{Lambda: nan}, "invalid lambda"},
+		{"infLambda", Options{Lambda: inf}, "invalid lambda"},
+		{"negLambda", Options{Lambda: -3}, "invalid lambda"},
+		{"nanTarget", Options{TargetCost: nan}, "non-finite target cost"},
+		{"infMinGain", Options{MinGain: inf}, "invalid min gain"},
+		{"negMinGain", Options{MinGain: -1e-6}, "invalid min gain"},
+		{"negMaxIters", Options{MaxIters: -1}, "negative iteration cap"},
+		{"negDepth", Options{SubcktDepth: -2}, "negative subcircuit depth"},
+		{"negPoints", Options{PDFPoints: -12}, "negative PDF resolution"},
+		{"negPatience", Options{Patience: -1}, "negative patience"},
+		{"negPaths", Options{TopKPaths: -4}, "negative path count"},
+		{"negWorkers", Options{Workers: -8}, "negative worker count"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.opts.validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}

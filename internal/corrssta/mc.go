@@ -3,10 +3,11 @@ package corrssta
 import (
 	"fmt"
 	"math"
-	"math/rand"
+	"math/rand/v2"
 	"sort"
 
 	"repro/internal/circuit"
+	"repro/internal/parallel"
 	"repro/internal/sta"
 	"repro/internal/synth"
 	"repro/internal/variation"
@@ -57,7 +58,10 @@ func MonteCarlo(d *synth.Design, vm *variation.Model, opts Options, n int, seed 
 		}
 	}
 
-	rng := rand.New(rand.NewSource(seed))
+	// Seeded math/rand/v2 PCG stream (SplitMix64-derived state, the
+	// module-wide scheme): the sample set depends on (n, seed) alone.
+	stream := parallel.NewSeedStream(seed)
+	rng := rand.New(rand.NewPCG(stream.Uint64(0), stream.Uint64(1)))
 	factors := make([]float64, nf)
 	arrival := make([]float64, c.NumGates())
 	samples := make([]float64, n)

@@ -17,11 +17,12 @@ package crit
 import (
 	"fmt"
 	"math"
-	"math/rand"
+	"math/rand/v2"
 	"sort"
 
 	"repro/internal/circuit"
 	"repro/internal/normal"
+	"repro/internal/parallel"
 	"repro/internal/ssta"
 	"repro/internal/sta"
 	"repro/internal/synth"
@@ -71,7 +72,11 @@ func MonteCarlo(d *synth.Design, vm *variation.Model, trials int, seed int64) (*
 		sigmas[id] = vm.Sigma(d.Cell(id), means[id])
 	}
 
-	rng := rand.New(rand.NewSource(seed))
+	// One seeded math/rand/v2 PCG stream for the whole run, derived the
+	// same way the sharded engines derive theirs (SplitMix64 over the
+	// user seed): results depend on (trials, seed) alone.
+	stream := parallel.NewSeedStream(seed)
+	rng := rand.New(rand.NewPCG(stream.Uint64(0), stream.Uint64(1)))
 	arrival := make([]float64, c.NumGates())
 	argmax := make([]circuit.GateID, c.NumGates())
 	counts := make([]float64, c.NumGates())
@@ -92,7 +97,7 @@ func MonteCarlo(d *synth.Design, vm *variation.Model, trials int, seed int64) (*
 			if worstID == circuit.None {
 				worst = 0
 			}
-			arrival[id] = worst + variation.Sample(rng, means[id], sigmas[id])
+			arrival[id] = worst + variation.SampleFrom(rng, means[id], sigmas[id])
 			argmax[id] = worstID
 		}
 		// Worst PO this trial, then walk the argmax chain back.

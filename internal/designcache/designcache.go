@@ -35,6 +35,7 @@ import (
 	"sync"
 
 	"repro"
+	"repro/internal/circuitlint"
 )
 
 // DefaultDesigns and DefaultResults are the LRU bounds New applies when
@@ -140,6 +141,13 @@ func (c *Cache) Generate(name string) (*repro.Design, string, error) {
 // hit are returned and d is dropped; otherwise d itself is stored (with
 // its levelization primed) and returned with a miss counted.
 func (c *Cache) Intern(d *repro.Design) (*repro.Design, string, error) {
+	// The cache is the last gate before a design is shared service-wide:
+	// refuse anything with structural lint errors (warnings — dead logic
+	// — are analyzable and admitted).
+	sd, _ := d.Internal()
+	if diags := circuitlint.Errors(circuitlint.LintDesign(sd)); len(diags) > 0 {
+		return nil, "", fmt.Errorf("designcache: design fails lint: %s", diags[0].Msg)
+	}
 	hash, err := HashDesign(d)
 	if err != nil {
 		return nil, "", err
@@ -155,7 +163,6 @@ func (c *Cache) Intern(d *repro.Design) (*repro.Design, string, error) {
 	// Prime the lazy topological-order and level caches under the cache
 	// lock, so every future (possibly concurrent) reader takes the
 	// read-only fast path.
-	sd, _ := d.Internal()
 	sd.Circuit.Levels()
 	c.designs[hash] = c.designLRU.PushFront(&designEntry{hash: hash, d: d})
 	for c.designLRU.Len() > c.maxDesigns {

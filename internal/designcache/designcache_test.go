@@ -153,3 +153,37 @@ func TestConcurrentInternAndAnalyze(t *testing.T) {
 		t.Fatalf("concurrent interning left %d designs, want 1", s.Designs)
 	}
 }
+
+// TestInternRefusesLintFailure proves the cache is a lint gate: a design
+// with a structural error (here a corrupted drive-strength index) is
+// refused, while lint warnings (dead logic in the built-in benchmarks)
+// are admitted.
+func TestInternRefusesLintFailure(t *testing.T) {
+	c := New(0, 0)
+	d, err := repro.Generate("alu1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, _ := d.Internal()
+	for i := range sd.Circuit.Gates {
+		if g := &sd.Circuit.Gates[i]; g.Fn.IsLogic() {
+			g.SizeIdx = 999
+			break
+		}
+	}
+	if _, _, err := c.Intern(d); err == nil || !strings.Contains(err.Error(), "lint") {
+		t.Fatalf("corrupted design interned, err = %v", err)
+	}
+	if s := c.Stats(); s.Designs != 0 {
+		t.Fatalf("refused design still cached: %+v", s)
+	}
+
+	// c432 carries a dangling-buffer warning; warnings must not refuse.
+	good, err := repro.Generate("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Intern(good); err != nil {
+		t.Fatalf("warning-only design refused: %v", err)
+	}
+}

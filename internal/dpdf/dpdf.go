@@ -288,19 +288,31 @@ func normalize(p PDF) PDF {
 
 // Validate checks the PDF invariants (ascending support, non-negative
 // probabilities summing to one).
-func (p PDF) Validate() error {
-	if len(p.xs) == 0 || len(p.xs) != len(p.ps) {
+func (p PDF) Validate() error { return ValidateSupport(p.xs, p.ps) }
+
+// ValidateSupport checks a raw support/mass pair against the PDF
+// invariants: equal non-zero lengths, finite strictly ascending support,
+// finite non-negative mass summing to one (within 1e-6). It is the
+// well-formedness hook shared by PDF.Validate and internal/circuitlint.
+func ValidateSupport(xs, ps []float64) error {
+	if len(xs) == 0 || len(xs) != len(ps) {
 		return fmt.Errorf("dpdf: empty or mismatched PDF")
 	}
 	total := 0.0
-	for i := range p.xs {
-		if i > 0 && p.xs[i] <= p.xs[i-1] {
+	for i := range xs {
+		if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) {
+			return fmt.Errorf("dpdf: non-finite support value %g at %d", xs[i], i)
+		}
+		if i > 0 && xs[i] <= xs[i-1] {
 			return fmt.Errorf("dpdf: support not ascending at %d", i)
 		}
-		if p.ps[i] < 0 {
+		if math.IsNaN(ps[i]) || math.IsInf(ps[i], 0) {
+			return fmt.Errorf("dpdf: non-finite probability %g at %d", ps[i], i)
+		}
+		if ps[i] < 0 {
 			return fmt.Errorf("dpdf: negative probability at %d", i)
 		}
-		total += p.ps[i]
+		total += ps[i]
 	}
 	if math.Abs(total-1) > 1e-6 {
 		return fmt.Errorf("dpdf: total probability %g", total)

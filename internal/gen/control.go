@@ -1,9 +1,10 @@
 package gen
 
 import (
-	"math/rand"
+	"math/rand/v2"
 
 	"repro/internal/circuit"
+	"repro/internal/parallel"
 )
 
 // PriorityInterrupt builds an n-channel maskable priority interrupt
@@ -77,24 +78,28 @@ func PriorityInterrupt(name string, n int) *circuit.Circuit {
 // tests and as glue logic; the layered construction guarantees a DAG and a
 // controllable depth profile.
 func RandomDAG(name string, nIn, nGates, nOut int, seed int64) *circuit.Circuit {
-	rng := rand.New(rand.NewSource(seed))
+	// Seeded math/rand/v2 PCG stream (SplitMix64-derived state, the
+	// module-wide determinism scheme): the netlist depends on the
+	// arguments alone, never on global RNG state.
+	stream := parallel.NewSeedStream(seed)
+	rng := rand.New(rand.NewPCG(stream.Uint64(0), stream.Uint64(1)))
 	b := newBuilder(name)
 	pool := b.inputBus("i", nIn)
 	fns := []circuit.Fn{circuit.And, circuit.Or, circuit.Nand, circuit.Nor, circuit.Xor, circuit.Xnor, circuit.Not}
 	for g := 0; g < nGates; g++ {
-		fn := fns[rng.Intn(len(fns))]
+		fn := fns[rng.IntN(len(fns))]
 		arity := 1
 		if fn != circuit.Not {
-			arity = 2 + rng.Intn(3)
+			arity = 2 + rng.IntN(3)
 		}
 		// Bias fanins toward recent gates to build depth.
 		ins := make(Bus, 0, arity)
 		for len(ins) < arity {
 			var pick circuit.GateID
 			if rng.Float64() < 0.7 && len(pool) > nIn {
-				pick = pool[nIn+rng.Intn(len(pool)-nIn)]
+				pick = pool[nIn+rng.IntN(len(pool)-nIn)]
 			} else {
-				pick = pool[rng.Intn(len(pool))]
+				pick = pool[rng.IntN(len(pool))]
 			}
 			dup := false
 			for _, x := range ins {

@@ -1,0 +1,360 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// kernelDirs are the numeric kernel packages: code whose results must be
+// a pure function of its inputs. internal/core and internal/experiments
+// are deliberately absent — they report wall-clock Runtime by contract.
+var kernelDirs = map[string]bool{
+	"internal/ssta":       true,
+	"internal/sta":        true,
+	"internal/fassta":     true,
+	"internal/corrssta":   true,
+	"internal/dpdf":       true,
+	"internal/normal":     true,
+	"internal/montecarlo": true,
+	"internal/crit":       true,
+	"internal/wnss":       true,
+	"internal/variation":  true,
+	"internal/logicsim":   true,
+	"internal/yield":      true,
+	"internal/parallel":   true,
+	"internal/circuit":    true,
+	"internal/synth":      true,
+}
+
+// ctxDirs are the packages with cancellation support (long-running loops
+// take a context and must poll it).
+var ctxDirs = map[string]bool{
+	"internal/core":       true,
+	"internal/montecarlo": true,
+}
+
+// nanDirs are the packages whose exported entry points take user-supplied
+// float options and must validate them.
+var nanDirs = map[string]bool{
+	"":                    true, // module root (the public repro API)
+	"internal/core":       true,
+	"internal/montecarlo": true,
+}
+
+func everywhere(string) bool { return true }
+
+// importName returns the local name a file binds the import path to, or
+// "" if the path is not imported (blank imports also return "").
+func importName(f *ast.File, path, def string) string {
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != path {
+			continue
+		}
+		if imp.Name == nil {
+			return def
+		}
+		if imp.Name.Name == "_" {
+			return ""
+		}
+		return imp.Name.Name
+	}
+	return ""
+}
+
+// pkgCalls visits every call of the form <pkgName>.<fn>(...) in the file.
+func pkgCalls(f *ast.File, pkgName string, visit func(call *ast.CallExpr, fn string)) {
+	if pkgName == "" {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != pkgName || id.Obj != nil {
+			return true
+		}
+		visit(call, sel.Sel.Name)
+		return true
+	})
+}
+
+// globalrand: randomness must be reproducible. The legacy math/rand
+// package is banned outright (global, unseeded, pre-v2 stream), and the
+// global top-level functions of math/rand/v2 are banned because they
+// bypass the SplitMix64 seed-derivation scheme every engine shares.
+var globalRandCheck = &Check{
+	Name:    "globalrand",
+	Doc:     "no legacy math/rand and no global math/rand/v2 state; use seeded rand.New(rand.NewPCG(...))",
+	InScope: everywhere,
+	Run: func(f *File) []Finding {
+		var out []Finding
+		for _, imp := range f.AST.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == "math/rand" {
+				out = append(out, f.finding("globalrand", imp.Pos(),
+					"import of legacy math/rand; use math/rand/v2 seeded via internal/parallel.SeedStream"))
+			}
+		}
+		// Constructors are the only legitimate package-level calls; any
+		// other rand.X(...) draws from the process-global generator.
+		ctors := map[string]bool{"New": true, "NewPCG": true, "NewChaCha8": true}
+		randName := importName(f.AST, "math/rand/v2", "rand")
+		pkgCalls(f.AST, randName, func(call *ast.CallExpr, fn string) {
+			if !ctors[fn] {
+				out = append(out, f.finding("globalrand", call.Pos(), fmt.Sprintf(
+					"call to global %s.%s; draw from a seeded *rand.Rand (rand.New(rand.NewPCG(...))) instead", randName, fn)))
+			}
+		})
+		return out
+	},
+}
+
+// wallclock: numeric kernels must not read the clock — a result that
+// depends on time is not reproducible and not testable.
+var wallClockCheck = &Check{
+	Name:    "wallclock",
+	Doc:     "no time.Now/time.Sleep in numeric kernel packages",
+	InScope: func(dir string) bool { return kernelDirs[dir] },
+	Run: func(f *File) []Finding {
+		var out []Finding
+		banned := map[string]bool{
+			"Now": true, "Sleep": true, "Since": true, "Until": true,
+			"Tick": true, "After": true, "AfterFunc": true,
+		}
+		pkgCalls(f.AST, importName(f.AST, "time", "time"), func(call *ast.CallExpr, fn string) {
+			if banned[fn] {
+				out = append(out, f.finding("wallclock", call.Pos(), fmt.Sprintf(
+					"time.%s in a numeric kernel; results must not depend on the clock", fn)))
+			}
+		})
+		return out
+	},
+}
+
+// stdoutprint: library packages must stay silent; user-facing output
+// belongs to the cmd/ mains and internal/report, which write to an
+// explicit io.Writer.
+var stdoutPrintCheck = &Check{
+	Name: "stdoutprint",
+	Doc:  "no fmt.Print*/log.Print* in library packages",
+	InScope: func(dir string) bool {
+		return dir != "internal/report" &&
+			!strings.HasPrefix(dir, "cmd/") && dir != "cmd" &&
+			!strings.HasPrefix(dir, "examples/") && dir != "examples"
+	},
+	Run: func(f *File) []Finding {
+		var out []Finding
+		flag := func(call *ast.CallExpr, what string) {
+			out = append(out, f.finding("stdoutprint", call.Pos(), fmt.Sprintf(
+				"%s in a library package; return data or take an io.Writer", what)))
+		}
+		fmtBanned := map[string]bool{"Print": true, "Println": true, "Printf": true}
+		pkgCalls(f.AST, importName(f.AST, "fmt", "fmt"), func(call *ast.CallExpr, fn string) {
+			if fmtBanned[fn] {
+				flag(call, "fmt."+fn)
+			}
+		})
+		pkgCalls(f.AST, importName(f.AST, "log", "log"), func(call *ast.CallExpr, fn string) {
+			if strings.HasPrefix(fn, "Print") || strings.HasPrefix(fn, "Fatal") || strings.HasPrefix(fn, "Panic") {
+				flag(call, "log."+fn)
+			}
+		})
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Obj == nil && (id.Name == "print" || id.Name == "println") {
+				flag(call, "builtin "+id.Name)
+			}
+			return true
+		})
+		return out
+	},
+}
+
+// ctxloop: a function that is handed a cancellation context and then
+// loops must poll it inside a loop body, or a stuck optimization cannot
+// be cancelled. The heuristic is textual: the function references ctx
+// state (an identifier named ctx/ctxErr or a .Ctx field) and contains a
+// for/range statement, so some loop body must contain a poll — a call
+// whose name mentions ctxErr or ends in .Err().
+var ctxLoopCheck = &Check{
+	Name:    "ctxloop",
+	Doc:     "functions taking a cancellation context must poll it inside loops",
+	InScope: func(dir string) bool { return ctxDirs[dir] },
+	Run: func(f *File) []Finding {
+		var out []Finding
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !referencesCtx(fn.Body) {
+				continue
+			}
+			loops := 0
+			polled := false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				var body *ast.BlockStmt
+				switch l := n.(type) {
+				case *ast.ForStmt:
+					body = l.Body
+				case *ast.RangeStmt:
+					body = l.Body
+				default:
+					return true
+				}
+				loops++
+				if containsPoll(body) {
+					polled = true
+				}
+				return true
+			})
+			if loops > 0 && !polled {
+				out = append(out, f.finding("ctxloop", fn.Pos(), fmt.Sprintf(
+					"%s references a cancellation context and loops, but no loop polls it (call ctxErr/ctx.Err() in the loop body)", fn.Name.Name)))
+			}
+		}
+		return out
+	},
+}
+
+// referencesCtx reports whether the body mentions cancellation state.
+func referencesCtx(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			if x.Name == "ctx" || x.Name == "ctxErr" {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if x.Sel.Name == "Ctx" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// containsPoll reports whether the block (including nested function
+// literals) calls a cancellation poll.
+func containsPoll(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if strings.Contains(fun.Name, "ctxErr") {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "Err" || strings.Contains(fun.Sel.Name, "ctxErr") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// naninput: an exported function that accepts float parameters or an
+// options struct and returns an error must run validation before
+// computing — NaN or Inf in a lambda or sigma silently poisons every
+// PDF downstream, surfacing as garbage results rather than an error.
+// Single-statement wrappers that merely delegate are exempt: validation
+// belongs at the boundary they delegate to.
+var nanInputCheck = &Check{
+	Name:    "naninput",
+	Doc:     "exported entry points taking float options must validate NaN/Inf/negative inputs",
+	InScope: func(dir string) bool { return nanDirs[dir] },
+	Run: func(f *File) []Finding {
+		var out []Finding
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			if !returnsError(fn) || !takesFloatOrOptions(fn) {
+				continue
+			}
+			if len(fn.Body.List) == 1 {
+				if _, isRet := fn.Body.List[0].(*ast.ReturnStmt); isRet {
+					continue // delegation wrapper
+				}
+			}
+			if !callsValidation(fn.Body) {
+				out = append(out, f.finding("naninput", fn.Pos(), fmt.Sprintf(
+					"exported %s takes float options but never calls validation (validate/IsNaN/IsInf) before computing", fn.Name.Name)))
+			}
+		}
+		return out
+	},
+}
+
+func returnsError(fn *ast.FuncDecl) bool {
+	if fn.Type.Results == nil {
+		return false
+	}
+	for _, r := range fn.Type.Results.List {
+		if id, ok := r.Type.(*ast.Ident); ok && id.Name == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+func takesFloatOrOptions(fn *ast.FuncDecl) bool {
+	for _, p := range fn.Type.Params.List {
+		t := p.Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		switch x := t.(type) {
+		case *ast.Ident:
+			if x.Name == "float64" || x.Name == "float32" || strings.HasSuffix(x.Name, "Options") {
+				return true
+			}
+		case *ast.SelectorExpr:
+			if strings.HasSuffix(x.Sel.Name, "Options") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func callsValidation(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		name := ""
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		low := strings.ToLower(name)
+		if strings.Contains(low, "valid") || strings.Contains(low, "check") ||
+			name == "IsNaN" || name == "IsInf" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

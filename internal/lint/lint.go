@@ -1,0 +1,228 @@
+// Package lint is a stdlib-only static analyzer for this module: it
+// parses every Go source file under a root (go/parser, no go/types, no
+// external driver) and enforces the determinism and hygiene invariants
+// the numeric stack depends on. Each check has a stable name, a package
+// scope, and a line-level escape hatch:
+//
+//	//lint:ignore <check> <reason>
+//
+// placed on the offending line or the line directly above it.
+//
+// The checks:
+//
+//	globalrand  — no legacy math/rand, no global math/rand/v2 state;
+//	              randomness must flow through seeded generators
+//	              (internal/parallel.SeedStream + rand.New(rand.NewPCG)).
+//	wallclock   — no time.Now/time.Sleep in numeric kernel packages;
+//	              results must never depend on the clock.
+//	stdoutprint — no fmt.Print*/log.Print* in library packages; output
+//	              belongs to cmd/ mains and internal/report writers.
+//	ctxloop     — a function that takes a cancellation context and loops
+//	              must poll ctx inside a loop, or cancellation is dead.
+//	naninput    — exported entry points taking float options must call
+//	              validation before computing, or NaN/Inf poisons every
+//	              downstream PDF.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation.
+type Finding struct {
+	Check string // check name, e.g. "globalrand"
+	File  string // path relative to the lint root, slash-separated
+	Line  int
+	Msg   string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.File, f.Line, f.Check, f.Msg)
+}
+
+// Check is one named analyzer. InScope decides participation from the
+// module-relative package directory ("" is the module root package);
+// test files are skipped for every check.
+type Check struct {
+	Name    string
+	Doc     string
+	InScope func(dir string) bool
+	Run     func(f *File) []Finding
+}
+
+// File is one parsed source file handed to checks.
+type File struct {
+	Rel  string // module-relative path, slash-separated
+	Dir  string // module-relative directory, "" for the root package
+	Fset *token.FileSet
+	AST  *ast.File
+}
+
+func (f *File) finding(check string, pos token.Pos, msg string) Finding {
+	return Finding{Check: check, File: f.Rel, Line: f.Fset.Position(pos).Line, Msg: msg}
+}
+
+// Checks returns all registered checks, in reporting order.
+func Checks() []*Check {
+	return []*Check{globalRandCheck, wallClockCheck, stdoutPrintCheck, ctxLoopCheck, nanInputCheck}
+}
+
+// CheckNames returns the names of all registered checks.
+func CheckNames() []string {
+	cs := Checks()
+	names := make([]string, len(cs))
+	for i, c := range cs {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Run lints every non-test Go file under root with the named checks (all
+// when names is empty), honoring //lint:ignore suppressions. Findings are
+// sorted by file, line, then check. Directories named testdata, vendor,
+// or starting with "." or "_" are skipped.
+func Run(root string, names []string) ([]Finding, error) {
+	checks, err := selectChecks(names)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	fset := token.NewFileSet()
+	walkErr := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path == root {
+				return nil
+			}
+			if name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		astf, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("lint: parse %s: %v", rel, err)
+		}
+		dir := ""
+		if i := strings.LastIndex(rel, "/"); i >= 0 {
+			dir = rel[:i]
+		}
+		f := &File{Rel: rel, Dir: dir, Fset: fset, AST: astf}
+		ignores, bad := parseIgnores(f)
+		findings = append(findings, bad...)
+		for _, c := range checks {
+			if !c.InScope(dir) {
+				continue
+			}
+			for _, fd := range c.Run(f) {
+				if !ignores.covers(fd.Check, fd.Line) {
+					findings = append(findings, fd)
+				}
+			}
+		}
+		return nil
+	})
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Check < b.Check
+	})
+	return findings, nil
+}
+
+func selectChecks(names []string) ([]*Check, error) {
+	all := Checks()
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]*Check, len(all))
+	for _, c := range all {
+		byName[c.Name] = c
+	}
+	var out []*Check
+	for _, n := range names {
+		c, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown check %q (have %s)", n, strings.Join(CheckNames(), ", "))
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// ignoreSet maps source lines to the check names suppressed there. A
+// directive covers its own line and the next line, so it works both as a
+// trailing comment and on the line above the violation.
+type ignoreSet map[int]map[string]bool
+
+func (s ignoreSet) covers(check string, line int) bool {
+	return s[line][check] || s[line-1][check]
+}
+
+// parseIgnores extracts //lint:ignore directives. Malformed directives
+// (missing check name or reason) are themselves findings: a suppression
+// with no reason hides information from the next reader.
+func parseIgnores(f *File) (ignoreSet, []Finding) {
+	set := make(ignoreSet)
+	var bad []Finding
+	known := make(map[string]bool)
+	for _, c := range Checks() {
+		known[c.Name] = true
+	}
+	for _, cg := range f.AST.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+			if !ok {
+				continue
+			}
+			line := f.Fset.Position(c.Pos()).Line
+			fields := strings.Fields(text)
+			if len(fields) < 2 {
+				bad = append(bad, Finding{
+					Check: "lintignore", File: f.Rel, Line: line,
+					Msg: "malformed //lint:ignore directive: need \"//lint:ignore <check> <reason>\"",
+				})
+				continue
+			}
+			if !known[fields[0]] {
+				bad = append(bad, Finding{
+					Check: "lintignore", File: f.Rel, Line: line,
+					Msg: fmt.Sprintf("//lint:ignore names unknown check %q", fields[0]),
+				})
+				continue
+			}
+			if set[line] == nil {
+				set[line] = make(map[string]bool)
+			}
+			set[line][fields[0]] = true
+		}
+	}
+	return set, bad
+}

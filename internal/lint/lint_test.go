@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const selftest = "testdata/selftest"
+
+// key identifies a finding by file and check, ignoring the line so the
+// fixtures can evolve without renumbering the test.
+type key struct{ file, check string }
+
+func runSelftest(t *testing.T, checks []string) map[key]int {
+	t.Helper()
+	findings, err := Run(selftest, checks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[key]int)
+	for _, f := range findings {
+		got[key{filepath.ToSlash(f.File), f.Check}]++
+	}
+	return got
+}
+
+// TestSelftestFindings pins the exact finding multiset the seeded
+// violation tree must produce: every planted violation is reported,
+// every compliant twin and out-of-scope print stays silent, and the
+// escape hatch suppresses exactly one line.
+func TestSelftestFindings(t *testing.T) {
+	got := runSelftest(t, nil)
+	want := map[key]int{
+		{"internal/engine/bad.go", "globalrand"}:   4, // legacy import + global call + 2 failed suppressions
+		{"internal/engine/bad.go", "lintignore"}:   2, // malformed + unknown-check directives
+		{"internal/engine/bad.go", "stdoutprint"}:  1, // builtin println
+		{"internal/ssta/kernel.go", "wallclock"}:   3, // Now, Since, Sleep
+		{"internal/ssta/kernel.go", "stdoutprint"}: 1,
+		{"internal/core/opt.go", "ctxloop"}:        1, // BadLoop only
+		{"internal/core/opt.go", "naninput"}:       1, // BadEntry only
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("%s %s: got %d findings, want %d", k.file, k.check, got[k], n)
+		}
+	}
+	for k, n := range got {
+		if want[k] == 0 {
+			t.Errorf("unexpected findings: %s %s x%d", k.file, k.check, n)
+		}
+	}
+}
+
+// TestSuppression proves the //lint:ignore escape hatch: the suppressed
+// global draw in DrawSuppressed is absent while its unsuppressed twins
+// are present.
+func TestSuppression(t *testing.T) {
+	findings, err := Run(selftest, []string{"globalrand"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		// Directive hygiene (lintignore) is always on; only real checks
+		// obey the filter.
+		if f.Check != "globalrand" && f.Check != "lintignore" {
+			t.Errorf("check filter leaked: %v", f)
+		}
+	}
+	// DrawSuppressed's violation is on the line after its directive; no
+	// finding may fall inside that function (lines are brittle, so probe
+	// by counting: engine/bad.go has exactly 4 globalrand findings, and
+	// none between the directive and the next func).
+	n := 0
+	for _, f := range findings {
+		if f.Check == "globalrand" && strings.HasSuffix(f.File, "engine/bad.go") {
+			n++
+		}
+	}
+	if n != 4 {
+		t.Errorf("engine/bad.go: got %d globalrand findings, want 4 (suppression failed?)", n)
+	}
+}
+
+func TestUnknownCheckRejected(t *testing.T) {
+	if _, err := Run(selftest, []string{"nosuchcheck"}); err == nil {
+		t.Fatal("Run accepted an unknown check name")
+	}
+}
+
+// TestRepoIsClean is the enforcement test: the real module must lint
+// clean. A regression here means new code violated a determinism or
+// hygiene invariant (or needs a justified //lint:ignore).
+func TestRepoIsClean(t *testing.T) {
+	findings, err := Run("../..", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		var b strings.Builder
+		for _, f := range findings {
+			b.WriteString(f.String())
+			b.WriteByte('\n')
+		}
+		t.Fatalf("module has %d lint findings:\n%s", len(findings), b.String())
+	}
+}
+
+// TestFindingOrder pins deterministic output: findings sort by file,
+// line, check.
+func TestFindingOrder(t *testing.T) {
+	findings, err := Run(selftest, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(findings); i++ {
+		a, b := findings[i-1], findings[i]
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
+			t.Fatalf("findings out of order: %v before %v", a, b)
+		}
+	}
+}

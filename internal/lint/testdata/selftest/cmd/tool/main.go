@@ -1,0 +1,12 @@
+// Command tool is out of stdoutprint scope by design: mains own stdout.
+package main
+
+import (
+	"fmt"
+	"log"
+)
+
+func main() {
+	fmt.Println("tool output is fine here")
+	log.Printf("and so is logging")
+}

@@ -1,0 +1,91 @@
+// Package core is a seeded-violation fixture for the ctxloop and
+// naninput checks, with compliant twins proving the checks do not fire
+// on correct code.
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+)
+
+// Options mimics an optimizer options struct.
+type Options struct {
+	Lambda float64
+	Ctx    context.Context
+}
+
+func (o Options) ctxErr() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
+}
+
+func (o Options) validate() error {
+	if math.IsNaN(o.Lambda) {
+		return errors.New("nan lambda")
+	}
+	return nil
+}
+
+// BadLoop references its cancellation context but never polls it inside
+// the loop.
+func BadLoop(ctx context.Context, n int) error { // want ctxloop
+	if ctx == nil {
+		return nil
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	_ = total
+	return nil
+}
+
+// GoodLoop polls ctx every iteration; must not be flagged.
+func GoodLoop(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// goodOptLoop polls through the options helper; must not be flagged.
+func goodOptLoop(opts Options, n int) error {
+	for i := 0; i < n; i++ {
+		if err := opts.ctxErr(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BadEntry takes a float and an options struct and never validates.
+func BadEntry(lambda float64, opts Options) error { // want naninput
+	sum := lambda
+	for i := 0; i < 3; i++ {
+		sum *= 2
+	}
+	_ = sum
+	return nil
+}
+
+// GoodEntry validates first; must not be flagged.
+func GoodEntry(lambda float64, opts Options) error {
+	if err := opts.validate(); err != nil {
+		return err
+	}
+	_ = lambda
+	return nil
+}
+
+// Wrap is a single-return delegation wrapper; exempt by design.
+func Wrap(lambda float64) error {
+	return BadEntry(lambda, Options{})
+}
+
+// Scale takes floats but returns no error: out of the check's reach.
+func Scale(x float64) float64 { return 2 * x }

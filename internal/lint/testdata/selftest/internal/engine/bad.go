@@ -1,0 +1,41 @@
+// Package engine is a seeded-violation fixture for the sstalint
+// self-test: every marked line below must be reported, and the
+// suppressed one must not. It only needs to parse, not compile.
+package engine
+
+import (
+	legacyrand "math/rand" // want globalrand (legacy import)
+	"math/rand/v2"
+)
+
+func Draw() float64 {
+	return rand.Float64() // want globalrand (global v2 state)
+}
+
+func DrawLegacy() float64 {
+	return legacyrand.Float64()
+}
+
+func DrawSeeded(seed uint64) float64 {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	return rng.Float64() // ok: instance method, not package state
+}
+
+func DrawSuppressed() float64 {
+	//lint:ignore globalrand fixture proving the escape hatch works
+	return rand.Float64()
+}
+
+func DrawBadIgnore() float64 {
+	//lint:ignore globalrand
+	return rand.Float64() // want globalrand (malformed directive suppresses nothing)
+}
+
+func DrawUnknownIgnore() float64 {
+	//lint:ignore nosuchcheck because reasons
+	return rand.Float64() // want globalrand (unknown check suppresses nothing)
+}
+
+func Shout(x float64) {
+	println("x =", x) // want stdoutprint (builtin)
+}

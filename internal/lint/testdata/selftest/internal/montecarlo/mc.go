@@ -1,0 +1,44 @@
+// Package montecarlo is a compliant fixture: seeded randomness, a
+// polled cancellation loop and validated options. Nothing here may be
+// flagged.
+package montecarlo
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+)
+
+type Options struct {
+	Trials int
+	Ctx    context.Context
+}
+
+func (o Options) validate() error {
+	if o.Trials <= 0 {
+		return errors.New("need positive trials")
+	}
+	return nil
+}
+
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+func Run(opts Options, seed uint64) (float64, error) {
+	if err := opts.validate(); err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	sum := 0.0
+	for i := 0; i < opts.Trials; i++ {
+		if err := ctxErr(opts.Ctx); err != nil {
+			return 0, err
+		}
+		sum += rng.Float64()
+	}
+	return sum / float64(opts.Trials), nil
+}

@@ -1,0 +1,9 @@
+// Package report is out of stdoutprint scope by design: it is the
+// designated reporting layer. Its prints must not be flagged.
+package report
+
+import "fmt"
+
+func Banner(name string) {
+	fmt.Println("==", name, "==")
+}

@@ -1,0 +1,22 @@
+// Package ssta is a seeded-violation fixture: a numeric kernel that
+// reads the wall clock and prints progress, both banned.
+package ssta
+
+import (
+	"fmt"
+	"time"
+)
+
+func Propagate(xs []float64) float64 {
+	start := time.Now() // want wallclock
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	fmt.Println("propagated in", time.Since(start)) // want stdoutprint + wallclock
+	return sum
+}
+
+func Settle() {
+	time.Sleep(10 * time.Millisecond) // want wallclock
+}

@@ -7,9 +7,10 @@ package logicsim
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 
 	"repro/internal/circuit"
+	"repro/internal/parallel"
 )
 
 // Simulator evaluates one circuit repeatedly, reusing its value buffer.
@@ -134,10 +135,14 @@ func CheckEquivalence(a, b *circuit.Circuit, nVectors int, seed int64) (Equivale
 		}
 		return EquivalenceResult{Equivalent: true, Vectors: total}, nil
 	}
-	rng := rand.New(rand.NewSource(seed))
+	// Seeded math/rand/v2 PCG stream (SplitMix64-derived state, the
+	// module-wide determinism scheme): the vector set depends on the seed
+	// alone.
+	stream := parallel.NewSeedStream(seed)
+	rng := rand.New(rand.NewPCG(stream.Uint64(0), stream.Uint64(1)))
 	for v := 0; v < nVectors; v++ {
 		for i := 0; i < n; i++ {
-			vec[i] = rng.Intn(2) == 1
+			vec[i] = rng.IntN(2) == 1
 		}
 		if res, bad, err := check(vec, v+1); err != nil || bad {
 			return res, err

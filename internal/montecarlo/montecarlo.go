@@ -91,12 +91,24 @@ func Analyze(d *synth.Design, vm *variation.Model, n int, seed int64) (*Result, 
 	return AnalyzeOpts(d, vm, Options{Trials: n, Seed: seed})
 }
 
+// validate rejects sampling requests no run can satisfy; it runs before
+// any analysis so an invalid request costs nothing.
+func (o Options) validate() error {
+	if o.Trials <= 0 {
+		return fmt.Errorf("montecarlo: need a positive sample count, got %d", o.Trials)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("montecarlo: negative worker count %d", o.Workers)
+	}
+	return nil
+}
+
 // AnalyzeOpts is Analyze with explicit options.
 func AnalyzeOpts(d *synth.Design, vm *variation.Model, opts Options) (*Result, error) {
-	n := opts.Trials
-	if n <= 0 {
-		return nil, fmt.Errorf("montecarlo: need a positive sample count, got %d", n)
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
+	n := opts.Trials
 	nominal := sta.Analyze(d)
 	c := d.Circuit
 	topo := c.MustTopoOrder()

@@ -185,3 +185,19 @@ func TestDefaultWorkersMatchSerial(t *testing.T) {
 		}
 	}
 }
+
+func TestOptionsValidate(t *testing.T) {
+	d, vm := setup(t, gen.ParityTree("p", 4))
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"zeroTrials", Options{}},
+		{"negTrials", Options{Trials: -100, Seed: 1}},
+		{"negWorkers", Options{Trials: 100, Seed: 1, Workers: -2}},
+	} {
+		if _, err := AnalyzeOpts(d, vm, tc.opts); err == nil {
+			t.Errorf("%s: AnalyzeOpts accepted %+v", tc.name, tc.opts)
+		}
+	}
+}

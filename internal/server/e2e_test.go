@@ -2,6 +2,8 @@ package server
 
 import (
 	"context"
+	"errors"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -154,9 +156,9 @@ func TestE2ERepeatSubmitServedFromCache(t *testing.T) {
 	ctx := ctxT(t)
 
 	req := client.JobRequest{
-		Op:       client.OpAnalyze,
-		Generate: "c432",
-		Workers:  1,
+		Op:           client.OpAnalyze,
+		Generate:     "c432",
+		Workers:      1,
 		YieldPeriods: []float64{2000},
 	}
 	first, err := c.Run(ctx, req)
@@ -281,12 +283,12 @@ func TestE2EValidationAndErrors(t *testing.T) {
 
 	bad := []client.JobRequest{
 		{Op: "frobnicate", Generate: "c432"},
-		{Op: client.OpAnalyze},                                        // neither bench nor generate
-		{Op: client.OpAnalyze, Generate: "c432", Workers: -1},         // bad workers
-		{Op: client.OpMonteCarlo, Generate: "c432"},                   // samples missing
-		{Op: client.OpOptimize, Generate: "c432", Lambda: -1},         // bad lambda
-		{Op: client.OpAnalyze, Generate: "no-such-bench"},             // unknown design
-		{Op: client.OpAnalyze, Bench: "GARBAGE(", Name: "x"},          // unparsable netlist
+		{Op: client.OpAnalyze},                                // neither bench nor generate
+		{Op: client.OpAnalyze, Generate: "c432", Workers: -1}, // bad workers
+		{Op: client.OpMonteCarlo, Generate: "c432"},           // samples missing
+		{Op: client.OpOptimize, Generate: "c432", Lambda: -1}, // bad lambda
+		{Op: client.OpAnalyze, Generate: "no-such-bench"},     // unknown design
+		{Op: client.OpAnalyze, Bench: "GARBAGE(", Name: "x"},  // unparsable netlist
 		{Op: client.OpAnalyze, Generate: "c432", TargetYields: []float64{1.5}},
 	}
 	for i, req := range bad {
@@ -300,6 +302,76 @@ func TestE2EValidationAndErrors(t *testing.T) {
 	}
 	if err := c.Cancel(ctx, "j999999"); err == nil {
 		t.Error("cancelling an unknown job succeeded")
+	}
+}
+
+// TestE2ELintDiagnostics submits structurally invalid netlists and
+// asserts the service rejects them at submit time with HTTP 400 and a
+// machine-readable diagnostics array naming the check and the offending
+// gate/net.
+func TestE2ELintDiagnostics(t *testing.T) {
+	c, _ := startService(t)
+	ctx := ctxT(t)
+
+	cases := []struct {
+		name      string
+		bench     string
+		wantCheck string
+		wantGate  string
+	}{
+		{
+			name: "cycle",
+			bench: `INPUT(a)
+OUTPUT(y)
+g1 = AND(a, g2)
+g2 = NOT(g1)
+y = BUF(g1)
+`,
+			wantCheck: "cycle",
+			wantGate:  "g1",
+		},
+		{
+			name: "undriven",
+			bench: `INPUT(a)
+OUTPUT(y)
+y = AND(a, ghost)
+`,
+			wantCheck: "undriven",
+			wantGate:  "ghost",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := c.Submit(ctx, client.JobRequest{Op: client.OpAnalyze, Bench: tc.bench, Name: tc.name})
+			if err == nil {
+				t.Fatal("invalid netlist accepted")
+			}
+			var apiErr *client.APIError
+			if !errors.As(err, &apiErr) {
+				t.Fatalf("error is not an *client.APIError: %v", err)
+			}
+			if apiErr.Status != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400", apiErr.Status)
+			}
+			if !strings.Contains(apiErr.Body.Error, "fails lint") {
+				t.Errorf("error message %q does not mention lint", apiErr.Body.Error)
+			}
+			found := false
+			for _, d := range apiErr.Body.Diagnostics {
+				if d.Check == tc.wantCheck && strings.Contains(d.Gate+" "+d.Msg, tc.wantGate) {
+					found = true
+					if d.Severity != "error" {
+						t.Errorf("diagnostic %+v: severity %q, want error", d, d.Severity)
+					}
+					if d.Msg == "" {
+						t.Errorf("diagnostic %+v has no message", d)
+					}
+				}
+			}
+			if !found {
+				t.Errorf("no %q diagnostic naming %q in %+v", tc.wantCheck, tc.wantGate, apiErr.Body.Diagnostics)
+			}
+		})
 	}
 }
 

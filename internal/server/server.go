@@ -31,6 +31,7 @@ import (
 
 	"repro"
 	"repro/client"
+	"repro/internal/circuitlint"
 	"repro/internal/cliutil"
 	"repro/internal/designcache"
 	"repro/internal/jobs"
@@ -177,6 +178,27 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, client.ErrorBody{Error: fmt.Sprintf(format, args...)})
 }
 
+// writeLintError rejects a submission whose netlist failed structural
+// lint: HTTP 400 with every diagnostic (errors and warnings) mirrored
+// into the machine-readable wire form.
+func writeLintError(w http.ResponseWriter, diags []circuitlint.Diagnostic) {
+	wire := make([]client.Diagnostic, len(diags))
+	for i, d := range diags {
+		wire[i] = client.Diagnostic{
+			Check:    d.Check,
+			Severity: d.Severity,
+			Gate:     d.Gate,
+			Line:     d.Line,
+			Msg:      d.Msg,
+		}
+	}
+	nerr := len(circuitlint.Errors(diags))
+	writeJSON(w, http.StatusBadRequest, client.ErrorBody{
+		Error:       fmt.Sprintf("design fails lint: %d error(s)", nerr),
+		Diagnostics: wire,
+	})
+}
+
 // validOps is the accepted operation set.
 var validOps = map[string]bool{
 	client.OpAnalyze:    true,
@@ -259,6 +281,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		name := req.Name
 		if name == "" {
 			name = "design"
+		}
+		// Structural lint runs on the raw netlist before any parse so
+		// invalid designs are rejected here, with the full diagnostic
+		// list, rather than surfacing one parse error at a time.
+		if diags := circuitlint.LintText(req.Bench, name); circuitlint.HasErrors(diags) {
+			writeLintError(w, diags)
+			return
 		}
 		d, hash, err = s.cache.Parse(req.Bench, name)
 	} else {

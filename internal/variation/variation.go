@@ -23,7 +23,6 @@ package variation
 
 import (
 	"math"
-	"math/rand"
 
 	"repro/internal/cells"
 )
@@ -92,22 +91,21 @@ func (m *Model) Sigma(cell *cells.Cell, meanDelay float64) float64 {
 // coefficient.
 func (m *Model) MeanSigmaCoupling() float64 { return m.CProp }
 
-// NormalSource is the minimal RNG surface the samplers need. Both
-// math/rand.Rand and math/rand/v2.Rand satisfy it; the sharded
-// Monte-Carlo engine passes cheap per-trial PCG streams.
+// NormalSource is the minimal RNG surface the samplers need.
+// math/rand/v2.Rand satisfies it; the sharded Monte-Carlo engine passes
+// cheap per-trial PCG streams. (The legacy math/rand.Rand also satisfies
+// the interface, but no package in this module may construct one: the
+// determinism contract — enforced by the sstalint globalrand check — is
+// seeded math/rand/v2 streams derived via internal/parallel.SeedStream.)
 type NormalSource interface {
 	NormFloat64() float64
 }
 
-// Sample draws one realization of a gate delay with the given moments.
-// Delays are physically non-negative: samples are truncated at zero
-// (resampling would bias the comparison between engines; truncation at 0
-// matches how discrete PDFs clip their support).
-func Sample(rng *rand.Rand, mean, sigma float64) float64 {
-	return SampleFrom(rng, mean, sigma)
-}
-
-// SampleFrom is Sample over any normal-variate source.
+// SampleFrom draws one realization of a gate delay with the given
+// moments from any normal-variate source. Delays are physically
+// non-negative: samples are truncated at zero (resampling would bias the
+// comparison between engines; truncation at 0 matches how discrete PDFs
+// clip their support).
 func SampleFrom(rng NormalSource, mean, sigma float64) float64 {
 	d := mean + sigma*rng.NormFloat64()
 	if d < 0 {

@@ -2,12 +2,20 @@ package variation
 
 import (
 	"math"
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/cells"
+	"repro/internal/parallel"
 )
+
+// testRNG builds a seeded rand/v2 stream the way the engines do
+// (SplitMix64-derived PCG state, see internal/parallel.SeedStream).
+func testRNG(seed int64) *rand.Rand {
+	s := parallel.NewSeedStream(seed)
+	return rand.New(rand.NewPCG(s.Uint64(0), s.Uint64(1)))
+}
 
 func TestSigmaShrinksWithDrive(t *testing.T) {
 	lib := cells.Default90nm()
@@ -100,11 +108,11 @@ func TestMeanSigmaCoupling(t *testing.T) {
 }
 
 func TestSampleNonNegativeAndUnbiased(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
+	rng := testRNG(7)
 	var sum float64
 	const n = 200000
 	for i := 0; i < n; i++ {
-		d := Sample(rng, 100, 10)
+		d := SampleFrom(rng, 100, 10)
 		if d < 0 {
 			t.Fatal("negative delay sample")
 		}
@@ -118,9 +126,9 @@ func TestSampleNonNegativeAndUnbiased(t *testing.T) {
 }
 
 func TestSampleTruncation(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := testRNG(1)
 	for i := 0; i < 10000; i++ {
-		if Sample(rng, 0, 50) < 0 {
+		if SampleFrom(rng, 0, 50) < 0 {
 			t.Fatal("truncation failed")
 		}
 	}

@@ -285,13 +285,18 @@ type vinst struct {
 // link materializes instances as gates (output terminal first, per the
 // Verilog primitive convention) and resolves output declarations.
 func link(c *circuit.Circuit, outputs []string, insts []vinst, wires map[string]bool) (*circuit.Circuit, error) {
-	for _, in := range insts {
-		if _, err := c.AddGate(in.args[0], in.fn); err != nil {
+	// Keep the ids returned by AddGate so the connect pass needs no
+	// panicking lookup (this path is reachable from user netlist files).
+	ids := make([]circuit.GateID, len(insts))
+	for i, in := range insts {
+		id, err := c.AddGate(in.args[0], in.fn)
+		if err != nil {
 			return nil, err
 		}
+		ids[i] = id
 	}
-	for _, in := range insts {
-		dst := c.MustLookup(in.args[0])
+	for i, in := range insts {
+		dst := ids[i]
 		for _, src := range in.args[1:] {
 			id, ok := c.Lookup(src)
 			if !ok {
