@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-selftest bench bench-parallel serve e2e
+.PHONY: all build test race vet lint lint-selftest cover cover-update fuzz-smoke bench bench-parallel serve e2e
 
 all: build vet lint test
 
@@ -34,6 +34,23 @@ lint-selftest:
 	else \
 		echo "lint-selftest: ok (seeded violations detected)"; \
 	fi
+
+# Coverage ratchet: per-package statement coverage must not drop below
+# the floors pinned in COVERAGE.json (see cmd/covercheck). After
+# genuinely improving coverage, `make cover-update` raises the floors.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) run ./cmd/covercheck -profile cover.out
+
+cover-update:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) run ./cmd/covercheck -profile cover.out -update
+
+# Short fuzz pass (~30s) over the differential incremental-SSTA target
+# and the .bench parser; run in CI on every push.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzIncrementalResize -fuzztime 20s ./internal/difftest
+	$(GO) test -run xxx -fuzz FuzzParseLint -fuzztime 10s ./internal/benchfmt
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

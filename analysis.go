@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 
+	"repro/internal/cells"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/crit"
@@ -113,7 +114,9 @@ func (d *Design) OptimizeConstrained(maxMean float64) (ConstrainedResult, error)
 	if math.IsNaN(maxMean) || math.IsInf(maxMean, 0) {
 		return ConstrainedResult{}, fmt.Errorf("repro: non-finite mean budget %g", maxMean)
 	}
-	r, err := core.MinimizeSigmaUnderDelay(d.d, d.vm, maxMean, core.Options{})
+	// Incremental analysis is bit-identical to full recompute, so the
+	// constrained mode — which has no RunOptions parameter — always uses it.
+	r, err := core.MinimizeSigmaUnderDelay(d.d, d.vm, maxMean, core.Options{Incremental: true})
 	if err != nil {
 		return ConstrainedResult{}, err
 	}
@@ -126,4 +129,64 @@ func (d *Design) OptimizeConstrained(maxMean float64) (ConstrainedResult, error)
 			AreaBefore: r.Initial.Area, AreaAfter: r.Final.Area,
 		},
 	}, nil
+}
+
+// WhatIfEdit names one gate resize for WhatIf.
+type WhatIfEdit struct {
+	Gate string // gate name, as written in the netlist
+	Size int    // target size index (0 = minimum)
+}
+
+// WhatIfReport summarizes an incremental what-if analysis: the circuit
+// moments before and after the edits, and how much of the circuit the
+// dirty-cone repair actually had to re-evaluate.
+type WhatIfReport struct {
+	MeanBefore, SigmaBefore float64
+	MeanAfter, SigmaAfter   float64
+	// NodesRepaired counts the per-gate PDF evaluations the incremental
+	// repair performed; a from-scratch analysis evaluates every one of
+	// Gates. The results are bit-identical either way.
+	NodesRepaired int64
+	Gates         int
+}
+
+// WhatIf applies the named resizes through the incremental FULLSSTA
+// engine (ssta.Incremental), reports the statistical impact and the
+// repair cost, and rolls the design back to its prior sizing, so the
+// design is unchanged when it returns.
+func (d *Design) WhatIf(edits []WhatIfEdit, opts RunOptions) (WhatIfReport, error) {
+	if err := opts.Validate(); err != nil {
+		return WhatIfReport{}, err
+	}
+	if len(edits) == 0 {
+		return WhatIfReport{}, fmt.Errorf("repro: no edits to try")
+	}
+	changes := make([]ssta.SizeChange, len(edits))
+	for i, e := range edits {
+		id, ok := d.d.Circuit.Lookup(e.Gate)
+		if !ok {
+			return WhatIfReport{}, fmt.Errorf("repro: unknown gate %q", e.Gate)
+		}
+		g := d.d.Circuit.Gate(id)
+		if !g.Fn.IsLogic() {
+			return WhatIfReport{}, fmt.Errorf("repro: %q is not a resizable logic gate", e.Gate)
+		}
+		if n := d.d.Lib.NumSizes(cells.Kind(g.CellRef)); e.Size < 0 || e.Size >= n {
+			return WhatIfReport{}, fmt.Errorf("repro: size %d for %q out of range [0, %d)", e.Size, e.Gate, n)
+		}
+		changes[i] = ssta.SizeChange{Gate: id, Size: e.Size}
+	}
+	inc := ssta.NewIncremental(d.d, d.vm, opts.ssta())
+	before := inc.Result()
+	rep := WhatIfReport{
+		MeanBefore: before.Mean, SigmaBefore: before.Sigma,
+		Gates: d.d.Circuit.NumGates(),
+	}
+	evals0 := inc.Evals()
+	inc.ResizeAll(changes)
+	after := inc.Result()
+	rep.MeanAfter, rep.SigmaAfter = after.Mean, after.Sigma
+	rep.NodesRepaired = inc.Evals() - evals0
+	inc.Rollback()
+	return rep, nil
 }

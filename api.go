@@ -130,6 +130,14 @@ type RunOptions struct {
 	// in milliseconds-to-seconds; use AnalyzeCtx to reject work on an
 	// already-cancelled context.
 	Ctx context.Context
+	// FullRecompute disables the incremental dirty-cone timing engines
+	// inside the optimizers and re-runs every whole-circuit analysis from
+	// scratch instead. Both modes produce bit-identical sizings and
+	// results (internal/difftest proves the engines exact, the optimizer
+	// equivalence tests prove the runs identical), so the zero value is
+	// the fast incremental path and this flag exists for benchmarking and
+	// as an escape hatch (CLIs expose it as -incremental=false).
+	FullRecompute bool
 }
 
 // Validate rejects execution options no engine can honor: negative
@@ -265,7 +273,11 @@ type OptResult struct {
 	AreaBefore, AreaAfter   float64
 	Iterations              int
 	Runtime                 time.Duration
-	StoppedBy               string
+	// AnalysisTime is the share of Runtime spent in whole-circuit timing
+	// analysis — the part the incremental engines shrink (compare runs
+	// with and without RunOptions.FullRecompute).
+	AnalysisTime time.Duration
+	StoppedBy    string
 }
 
 // DeltaSigmaPct returns the sigma change in percent (negative = reduced).
@@ -297,9 +309,10 @@ func fromCore(r *core.Result) OptResult {
 		MeanBefore: r.Initial.Mean, MeanAfter: r.Final.Mean,
 		SigmaBefore: r.Initial.Sigma, SigmaAfter: r.Final.Sigma,
 		AreaBefore: r.Initial.Area, AreaAfter: r.Final.Area,
-		Iterations: r.Iterations,
-		Runtime:    r.Runtime,
-		StoppedBy:  r.StoppedBy,
+		Iterations:   r.Iterations,
+		Runtime:      r.Runtime,
+		AnalysisTime: r.AnalysisTime,
+		StoppedBy:    r.StoppedBy,
 	}
 }
 
@@ -318,6 +331,7 @@ func (d *Design) OptimizeMeanDelayOpts(opts RunOptions) (OptResult, error) {
 	}
 	r, err := core.MeanDelayGreedy(d.d, d.vm, core.Options{
 		MaxIters: opts.MaxIters, Workers: opts.Workers, Ctx: opts.Ctx,
+		Incremental: !opts.FullRecompute,
 	})
 	if err != nil {
 		return OptResult{}, err
@@ -344,6 +358,7 @@ func (d *Design) OptimizeStatisticalOpts(lambda float64, opts RunOptions) (OptRe
 	r, err := core.StatisticalGreedy(d.d, d.vm, core.Options{
 		Lambda: lambda, PDFPoints: opts.PDFPoints, Workers: opts.Workers,
 		MaxIters: opts.MaxIters, Ctx: opts.Ctx,
+		Incremental: !opts.FullRecompute,
 	})
 	if err != nil {
 		return OptResult{}, err
@@ -362,6 +377,7 @@ func (d *Design) RecoverArea(lambda, slackFrac float64) (float64, error) {
 func (d *Design) RecoverAreaOpts(lambda, slackFrac float64, opts RunOptions) (float64, error) {
 	return core.RecoverArea(d.d, d.vm, core.Options{
 		Lambda: lambda, PDFPoints: opts.PDFPoints, Workers: opts.Workers, Ctx: opts.Ctx,
+		Incremental: !opts.FullRecompute,
 	}, slackFrac)
 }
 

@@ -37,10 +37,14 @@ type JobRequest struct {
 	// Samples and Seed drive the Monte-Carlo engine.
 	Samples int   `json:"samples,omitempty"`
 	Seed    int64 `json:"seed,omitempty"`
-	// Workers, PDFPoints and MaxIters mirror repro.RunOptions.
-	Workers   int `json:"workers,omitempty"`
-	PDFPoints int `json:"pdf_points,omitempty"`
-	MaxIters  int `json:"max_iters,omitempty"`
+	// Workers, PDFPoints, MaxIters and FullRecompute mirror
+	// repro.RunOptions: the optimizers run their whole-circuit analyses
+	// incrementally unless FullRecompute is set, with bit-identical
+	// results either way.
+	Workers       int  `json:"workers,omitempty"`
+	PDFPoints     int  `json:"pdf_points,omitempty"`
+	MaxIters      int  `json:"max_iters,omitempty"`
+	FullRecompute bool `json:"full_recompute,omitempty"`
 	// SlackFrac is the recover operation's cost slack fraction.
 	SlackFrac float64 `json:"slack_frac,omitempty"`
 	// YieldPeriods asks analyze/montecarlo for the yield at each clock
@@ -119,6 +123,10 @@ type OptimizeResult struct {
 	Iterations  int     `json:"iterations"`
 	StoppedBy   string  `json:"stopped_by"`
 	RuntimeSec  float64 `json:"runtime_sec"`
+	// AnalysisTimeSec is the share of RuntimeSec spent in whole-circuit
+	// timing analysis (the part FullRecompute toggles between incremental
+	// repair and from-scratch recompute).
+	AnalysisTimeSec float64 `json:"analysis_time_sec,omitempty"`
 }
 
 // RecoverResult is the payload of recover jobs.

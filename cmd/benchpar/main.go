@@ -6,8 +6,15 @@
 // alongside the host's core count — a speedup figure is meaningless
 // without knowing how many CPUs were available.
 //
-//	go run ./cmd/benchpar            # writes BENCH_parallel.json
-//	go run ./cmd/benchpar -out -     # prints the JSON to stdout
+// It also measures the incremental dirty-cone engines against full
+// recomputation — single-resize repair on ssta.Incremental and
+// fassta.Incremental, and StatisticalGreedy's total analysis time with
+// Options.Incremental on vs off — and writes BENCH_incremental.json.
+// Both modes are bit-identical (internal/difftest), so only wall time
+// is compared.
+//
+//	go run ./cmd/benchpar            # writes BENCH_parallel.json + BENCH_incremental.json
+//	go run ./cmd/benchpar -out -     # prints the parallel JSON to stdout
 package main
 
 import (
@@ -18,9 +25,14 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/cells"
+	"repro/internal/circuit"
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fassta"
 	"repro/internal/montecarlo"
 	"repro/internal/ssta"
+	"repro/internal/synth"
 )
 
 // Row is one engine/worker-count measurement. Speedup is serial ns/op
@@ -43,11 +55,38 @@ type Report struct {
 	Rows       []Row `json:"rows"`
 }
 
+// IncRow is one full-vs-incremental measurement: the same workload
+// analyzed by full recomputation and by dirty-cone repair.
+type IncRow struct {
+	Engine  string `json:"engine"`
+	Circuit string `json:"circuit"`
+	// FullNs and IncrementalNs are ns/op for the resize-repair rows and
+	// total analysis wall time (ns) for the optimizer row.
+	FullNs        int64   `json:"full_ns"`
+	IncrementalNs int64   `json:"incremental_ns"`
+	Speedup       float64 `json:"speedup_full_over_incremental"`
+	// Detail carries row-specific context (gates touched, iterations).
+	Detail string `json:"detail,omitempty"`
+}
+
+// IncReport is the schema of BENCH_incremental.json. Unlike the
+// parallel speedups, these are single-worker numbers: incremental gains
+// come from pruning work, not from using more CPUs, so they hold on a
+// single-CPU host too.
+type IncReport struct {
+	HostCPUs   int      `json:"host_cpus"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Rows       []IncRow `json:"rows"`
+}
+
 func main() {
 	out := flag.String("out", "BENCH_parallel.json", "output file (- for stdout)")
 	sstaCircuit := flag.String("ssta-circuit", "c6288", "benchmark circuit for FULLSSTA")
 	mcCircuit := flag.String("mc-circuit", "c432", "benchmark circuit for Monte Carlo")
 	mcTrials := flag.Int("mc-trials", 10000, "Monte-Carlo trials per op")
+	incOut := flag.String("inc-out", "BENCH_incremental.json", "full-vs-incremental output file (empty disables)")
+	incCircuit := flag.String("inc-circuit", "c7552", "benchmark circuit for the incremental comparison (largest generated benchmark)")
+	incIters := flag.Int("inc-iters", 12, "StatisticalGreedy outer iteration cap for the analysis-time comparison (the run typically converges first)")
 	flag.Parse()
 
 	rep := Report{HostCPUs: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
@@ -94,6 +133,140 @@ func main() {
 			r.Engine, r.Circuit, r.Workers, r.NsPerOp, r.Speedup)
 	}
 	fmt.Printf("host: %d CPUs (GOMAXPROCS %d) -> %s\n", rep.HostCPUs, rep.GOMAXPROCS, *out)
+
+	if *incOut != "" {
+		incRep, err := incrementalReport(*incCircuit, *incIters)
+		if err != nil {
+			fail(err)
+		}
+		data, err := json.MarshalIndent(incRep, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*incOut, data, 0o644); err != nil {
+			fail(err)
+		}
+		for _, r := range incRep.Rows {
+			fmt.Printf("%-20s %-6s full %12d ns  incremental %12d ns  %.2fx  %s\n",
+				r.Engine, r.Circuit, r.FullNs, r.IncrementalNs, r.Speedup, r.Detail)
+		}
+		fmt.Printf("host: %d CPUs (GOMAXPROCS %d) -> %s\n", incRep.HostCPUs, incRep.GOMAXPROCS, *incOut)
+	}
+}
+
+// incrementalReport measures the dirty-cone engines against full
+// recomputation on one circuit. All rows run with Workers=1 so the
+// speedup reflects pruned work, not extra CPUs.
+func incrementalReport(name string, iters int) (*IncReport, error) {
+	rep := &IncReport{HostCPUs: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	d, vm, err := experiments.NewDesign(name)
+	if err != nil {
+		return nil, err
+	}
+	g, sizeA, sizeB, err := pickResizeGate(d)
+	if err != nil {
+		return nil, err
+	}
+	saved := d.Circuit.SizeSnapshot()
+
+	// Single-resize repair, FULLSSTA: every op toggles one mid-circuit
+	// gate and brings the analysis back up to date.
+	fullNs := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d.Circuit.Gate(g).SizeIdx = pick(i, sizeA, sizeB)
+			ssta.Analyze(d, vm, ssta.Options{Workers: 1})
+		}
+	}).NsPerOp()
+	d.Circuit.RestoreSizes(saved)
+	incNs := testing.Benchmark(func(b *testing.B) {
+		inc := ssta.NewIncremental(d, vm, ssta.Options{Workers: 1})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			inc.Resize(g, pick(i, sizeA, sizeB))
+		}
+	}).NsPerOp()
+	d.Circuit.RestoreSizes(saved)
+	rep.Rows = append(rep.Rows, incRow("ssta-resize", name, fullNs, incNs,
+		fmt.Sprintf("gate %d toggled %d<->%d", g, sizeA, sizeB)))
+
+	// Single-resize repair, FASSTA global moments.
+	fullNs = testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d.Circuit.Gate(g).SizeIdx = pick(i, sizeA, sizeB)
+			fassta.AnalyzeGlobal(d, vm, true)
+		}
+	}).NsPerOp()
+	d.Circuit.RestoreSizes(saved)
+	incNs = testing.Benchmark(func(b *testing.B) {
+		inc := fassta.NewIncremental(d, vm, true)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			inc.Resize(g, pick(i, sizeA, sizeB))
+		}
+	}).NsPerOp()
+	d.Circuit.RestoreSizes(saved)
+	rep.Rows = append(rep.Rows, incRow("fassta-resize", name, fullNs, incNs,
+		fmt.Sprintf("gate %d toggled %d<->%d", g, sizeA, sizeB)))
+
+	// StatisticalGreedy analysis time: identical runs (bit-identical
+	// sizings, proven by the optimizer equivalence tests) with the
+	// analyzer in full vs incremental mode. Each arm starts from the
+	// mean-delay-optimized baseline — the paper's "Original" design and
+	// the sizing StatisticalGreedy actually runs on — whose own analysis
+	// time is excluded from the comparison.
+	runOpt := func(incremental bool) (*core.Result, error) {
+		dd := &synth.Design{Circuit: d.Circuit.Clone(), Lib: d.Lib}
+		if _, err := core.MeanDelayGreedy(dd, vm, core.Options{Workers: 1, Incremental: true}); err != nil {
+			return nil, err
+		}
+		return core.StatisticalGreedy(dd, vm, core.Options{
+			Lambda: 3, MaxIters: iters, Workers: 1, Incremental: incremental,
+		})
+	}
+	rFull, err := runOpt(false)
+	if err != nil {
+		return nil, err
+	}
+	rInc, err := runOpt(true)
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, incRow("statgreedy-analysis", name,
+		rFull.AnalysisTime.Nanoseconds(), rInc.AnalysisTime.Nanoseconds(),
+		fmt.Sprintf("lambda=3 iters=%d total analysis wall time", rInc.Iterations)))
+	return rep, nil
+}
+
+func pick(i, a, b int) int {
+	if i%2 == 0 {
+		return b
+	}
+	return a
+}
+
+func incRow(engine, circuit string, fullNs, incNs int64, detail string) IncRow {
+	speedup := 0.0
+	if fullNs > 0 && incNs > 0 {
+		speedup = float64(fullNs) / float64(incNs)
+	}
+	return IncRow{Engine: engine, Circuit: circuit, FullNs: fullNs, IncrementalNs: incNs, Speedup: speedup, Detail: detail}
+}
+
+// pickResizeGate chooses a mid-topological logic gate with at least two
+// sizes, so the repaired cone is representative rather than degenerate.
+func pickResizeGate(d *synth.Design) (circuit.GateID, int, int, error) {
+	topo := d.Circuit.MustTopoOrder()
+	for off := 0; off < len(topo); off++ {
+		g := d.Circuit.Gate(topo[(len(topo)/2+off)%len(topo)])
+		if !g.Fn.IsLogic() {
+			continue
+		}
+		if n := d.Lib.NumSizes(cells.Kind(g.CellRef)); n >= 2 {
+			return g.ID, g.SizeIdx, (g.SizeIdx + 1) % n, nil
+		}
+	}
+	return circuit.None, 0, 0, fmt.Errorf("no resizable logic gate in %s", d.Circuit.Name)
 }
 
 // sweep benchmarks fn at each worker count and derives speedups from the

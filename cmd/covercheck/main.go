@@ -1,0 +1,184 @@
+// Command covercheck is the per-package coverage ratchet: it reads a
+// merged `go test -coverprofile` file, computes statement coverage per
+// package, and compares each against the floor pinned in COVERAGE.json.
+// Any package falling more than the ratchet's tolerance below its pin
+// fails the run (CI's coverage job), so coverage can only move up; run
+// with -update after genuinely improving coverage to raise the floors.
+//
+//	go test -coverprofile=cover.out ./...
+//	go run ./cmd/covercheck -profile cover.out            # check
+//	go run ./cmd/covercheck -profile cover.out -update    # re-pin
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Ratchet is the schema of COVERAGE.json.
+type Ratchet struct {
+	// TolerancePct absorbs run-to-run noise (build tags, timing-gated
+	// branches): a package only fails when it drops more than this many
+	// percentage points below its pin.
+	TolerancePct float64 `json:"tolerance_pct"`
+	// Packages maps import path to the pinned statement coverage (%).
+	Packages map[string]float64 `json:"packages"`
+}
+
+func main() {
+	profile := flag.String("profile", "cover.out", "merged coverage profile from go test -coverprofile")
+	ratchetFile := flag.String("ratchet", "COVERAGE.json", "ratchet file pinning per-package coverage floors")
+	update := flag.Bool("update", false, "rewrite the ratchet file with the current coverage")
+	flag.Parse()
+
+	cov, err := perPackageCoverage(*profile)
+	if err != nil {
+		fail(err)
+	}
+	if len(cov) == 0 {
+		fail(fmt.Errorf("profile %s contains no coverage blocks", *profile))
+	}
+
+	if *update {
+		// Pin floors rounded down to 0.1%, so the file stays readable and
+		// re-pinning an unchanged tree is a no-op.
+		for pkg, v := range cov {
+			cov[pkg] = math.Floor(v*10) / 10
+		}
+		r := Ratchet{TolerancePct: 0.5, Packages: cov}
+		if old, err := readRatchet(*ratchetFile); err == nil && old.TolerancePct > 0 {
+			r.TolerancePct = old.TolerancePct
+		}
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*ratchetFile, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("covercheck: pinned %d packages in %s\n", len(cov), *ratchetFile)
+		return
+	}
+
+	r, err := readRatchet(*ratchetFile)
+	if err != nil {
+		fail(fmt.Errorf("%v (run with -update to create it)", err))
+	}
+	var failures []string
+	pkgs := make([]string, 0, len(r.Packages))
+	for pkg := range r.Packages {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	for _, pkg := range pkgs {
+		pinned := r.Packages[pkg]
+		got, ok := cov[pkg]
+		if !ok {
+			// A pinned package vanished from the profile: either it was
+			// deleted (re-pin) or its tests no longer run (a regression).
+			failures = append(failures, fmt.Sprintf("%s: pinned %.1f%% but absent from profile", pkg, pinned))
+			continue
+		}
+		if got < pinned-r.TolerancePct {
+			failures = append(failures, fmt.Sprintf("%s: %.1f%% < pinned %.1f%% (tolerance %.1f)", pkg, got, pinned, r.TolerancePct))
+		}
+	}
+	for pkg, got := range cov {
+		if _, ok := r.Packages[pkg]; !ok {
+			fmt.Printf("covercheck: note: %s (%.1f%%) is not pinned yet; run -update to ratchet it\n", pkg, got)
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "covercheck: FAIL:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("covercheck: %d packages at or above their pinned coverage\n", len(pkgs))
+}
+
+// perPackageCoverage aggregates a coverage profile into statement
+// coverage per import path. Profile lines look like
+//
+//	repro/internal/ssta/ssta.go:12.34,20.2 5 1
+//
+// where the trailing fields are the statement count and the hit count.
+func perPackageCoverage(file string) (map[string]float64, error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	type counts struct{ covered, total int }
+	byPkg := map[string]*counts{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "mode:") || line == "" {
+			continue
+		}
+		colon := strings.LastIndex(line, ".go:")
+		if colon < 0 {
+			return nil, fmt.Errorf("malformed profile line %q", line)
+		}
+		pkg := path.Dir(line[:colon+3])
+		fields := strings.Fields(line[colon+4:])
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("malformed profile line %q", line)
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("malformed statement count in %q", line)
+		}
+		hits, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("malformed hit count in %q", line)
+		}
+		c := byPkg[pkg]
+		if c == nil {
+			c = &counts{}
+			byPkg[pkg] = c
+		}
+		c.total += stmts
+		if hits > 0 {
+			c.covered += stmts
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	cov := make(map[string]float64, len(byPkg))
+	for pkg, c := range byPkg {
+		if c.total > 0 {
+			cov[pkg] = 100 * float64(c.covered) / float64(c.total)
+		}
+	}
+	return cov, nil
+}
+
+func readRatchet(file string) (Ratchet, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return Ratchet{}, err
+	}
+	var r Ratchet
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Ratchet{}, fmt.Errorf("parse %s: %v", file, err)
+	}
+	return r, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "covercheck:", err)
+	os.Exit(1)
+}

@@ -92,6 +92,11 @@ func parseWorkers(fs *flag.FlagSet, workers *int, args []string) error {
 // linted before the experiment runs.
 func lintFlag(fs *flag.FlagSet) *bool { return cliutil.LintFlag(fs) }
 
+// incrementalFlag registers the shared -incremental knob (see
+// internal/cliutil): the optimizers repair timing incrementally by
+// default, with bit-identical results to a full recompute per pass.
+func incrementalFlag(fs *flag.FlagSet) *bool { return cliutil.IncrementalFlag(fs) }
+
 // lintDesigns generates and lints each named built-in benchmark when
 // enabled: diagnostics (with gate names) go to stderr, error-severity
 // findings abort the run.
@@ -119,6 +124,7 @@ func runTable1(args []string) error {
 	fs := flag.NewFlagSet("table1", flag.ExitOnError)
 	csv := fs.Bool("csv", false, "emit CSV instead of a formatted table")
 	workers := workersFlag(fs)
+	incr := incrementalFlag(fs)
 	lint := lintFlag(fs)
 	if err := parseWorkers(fs, workers, args); err != nil {
 		return err
@@ -130,7 +136,7 @@ func runTable1(args []string) error {
 	if err := lintDesigns(*lint, names...); err != nil {
 		return err
 	}
-	rows, err := experiments.Table1(names, experiments.Config{Workers: *workers})
+	rows, err := experiments.Table1(names, experiments.Config{Workers: *workers, FullRecompute: !*incr})
 	if err != nil {
 		return err
 	}
@@ -157,6 +163,7 @@ func runFig1(args []string) error {
 	fs := flag.NewFlagSet("fig1", flag.ExitOnError)
 	circuit := fs.String("circuit", "c880", "benchmark to plot")
 	workers := workersFlag(fs)
+	incr := incrementalFlag(fs)
 	lint := lintFlag(fs)
 	if err := parseWorkers(fs, workers, args); err != nil {
 		return err
@@ -164,7 +171,7 @@ func runFig1(args []string) error {
 	if err := lintDesigns(*lint, *circuit); err != nil {
 		return err
 	}
-	res, err := experiments.Fig1(*circuit, experiments.Config{Workers: *workers})
+	res, err := experiments.Fig1(*circuit, experiments.Config{Workers: *workers, FullRecompute: !*incr})
 	if err != nil {
 		return err
 	}
@@ -209,6 +216,7 @@ func runFig4(args []string) error {
 	fs := flag.NewFlagSet("fig4", flag.ExitOnError)
 	circuit := fs.String("circuit", "c432", "benchmark to sweep")
 	workers := workersFlag(fs)
+	incr := incrementalFlag(fs)
 	lint := lintFlag(fs)
 	if err := parseWorkers(fs, workers, args); err != nil {
 		return err
@@ -216,7 +224,7 @@ func runFig4(args []string) error {
 	if err := lintDesigns(*lint, *circuit); err != nil {
 		return err
 	}
-	pts, err := experiments.Fig4(*circuit, nil, experiments.Config{Workers: *workers})
+	pts, err := experiments.Fig4(*circuit, nil, experiments.Config{Workers: *workers, FullRecompute: !*incr})
 	if err != nil {
 		return err
 	}
@@ -306,6 +314,7 @@ func abs(x float64) float64 {
 func runEngines(args []string) error {
 	fs := flag.NewFlagSet("engines", flag.ExitOnError)
 	workers := workersFlag(fs)
+	incr := incrementalFlag(fs)
 	lint := lintFlag(fs)
 	if err := parseWorkers(fs, workers, args); err != nil {
 		return err
@@ -317,7 +326,7 @@ func runEngines(args []string) error {
 	if err := lintDesigns(*lint, names...); err != nil {
 		return err
 	}
-	rows, err := experiments.Engines(names, 20000, experiments.Config{Workers: *workers})
+	rows, err := experiments.Engines(names, 20000, experiments.Config{Workers: *workers, FullRecompute: !*incr})
 	if err != nil {
 		return err
 	}

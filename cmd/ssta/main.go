@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro"
@@ -27,6 +28,7 @@ func main() {
 		kpaths  = flag.Int("paths", 0, "enumerate the k worst deterministic paths")
 		critN   = flag.Int("crit", 0, "print the n most critical gates (statistical criticality)")
 		sdfOut  = flag.String("sdf", "", "write statistical delay corners to this SDF file")
+		whatIf  = flag.String("whatif", "", "comma-separated gate=size resizes to evaluate incrementally (design left unchanged)")
 		workers = cliutil.WorkersFlag(flag.CommandLine)
 		lint    = cliutil.LintFlag(flag.CommandLine)
 	)
@@ -85,6 +87,19 @@ func main() {
 			fmt.Printf("  %-20s %.3f\n", g.Gate, g.Criticality)
 		}
 	}
+	if *whatIf != "" {
+		edits, err := parseWhatIf(*whatIf)
+		if err != nil {
+			fail(err)
+		}
+		rep, err := d.WhatIf(edits, opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("what-if (%d edits): mu %.1f -> %.1f ps, sigma %.1f -> %.1f ps\n",
+			len(edits), rep.MeanBefore, rep.MeanAfter, rep.SigmaBefore, rep.SigmaAfter)
+		fmt.Printf("  incremental repair re-evaluated %d of %d gates\n", rep.NodesRepaired, rep.Gates)
+	}
 	if *sdfOut != "" {
 		f, err := os.Create(*sdfOut)
 		if err != nil {
@@ -96,6 +111,23 @@ func main() {
 		}
 		fmt.Printf("3-sigma delay corners written to %s\n", *sdfOut)
 	}
+}
+
+// parseWhatIf parses the -whatif syntax "gate=size,gate2=size2".
+func parseWhatIf(s string) ([]repro.WhatIfEdit, error) {
+	var edits []repro.WhatIfEdit
+	for _, part := range strings.Split(s, ",") {
+		name, sizeStr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("-whatif: %q is not gate=size", part)
+		}
+		size, err := strconv.Atoi(sizeStr)
+		if err != nil {
+			return nil, fmt.Errorf("-whatif: bad size in %q: %v", part, err)
+		}
+		edits = append(edits, repro.WhatIfEdit{Gate: strings.TrimSpace(name), Size: size})
+	}
+	return edits, nil
 }
 
 // tail keeps the last n entries, prefixing an ellipsis if truncated.

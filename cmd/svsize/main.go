@@ -28,13 +28,14 @@ func main() {
 		out     = flag.String("out", "", "write the sized netlist to this .bench file")
 		list    = flag.Bool("list", false, "list built-in benchmarks and exit")
 		workers = cliutil.WorkersFlag(flag.CommandLine)
+		incr    = cliutil.IncrementalFlag(flag.CommandLine)
 		lint    = cliutil.LintFlag(flag.CommandLine)
 	)
 	flag.Parse()
 	if err := cliutil.CheckWorkers(*workers); err != nil {
 		fail(err)
 	}
-	opts := repro.RunOptions{Workers: *workers}
+	opts := repro.RunOptions{Workers: *workers, FullRecompute: !*incr}
 	if *list {
 		for _, n := range repro.Benchmarks() {
 			fmt.Println(n)
@@ -50,7 +51,7 @@ func main() {
 		s.Name, s.Gates, s.Inputs, s.Outputs, s.Depth, s.Area)
 
 	if !*skipMD {
-		r, err := d.OptimizeMeanDelay()
+		r, err := d.OptimizeMeanDelayOpts(opts)
 		if err != nil {
 			fail(err)
 		}
@@ -66,7 +67,7 @@ func main() {
 		fail(err)
 	}
 	if *recover > 0 {
-		saved, err := d.RecoverArea(*lambda, *recover)
+		saved, err := d.RecoverAreaOpts(*lambda, *recover, opts)
 		if err != nil {
 			fail(err)
 		}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/ssta"
+	"repro/internal/sta"
+	"repro/internal/synth"
+	"repro/internal/variation"
+)
+
+// analyzer hands the optimizers the up-to-date whole-circuit analysis
+// for the design's CURRENT sizes, in one of two modes that are
+// guaranteed bit-identical (internal/difftest proves the engines are;
+// TestStatisticalGreedyIncrementalEquivalence proves the optimizers
+// land on identical sizings and Results):
+//
+//   - incremental (Options.Incremental): one ssta.Incremental (or
+//     exact-mode sta.Incremental for the deterministic optimizer) built
+//     up front; every refresh diffs the circuit's sizes against the
+//     engine's record and repairs only the dirty cones, and a refresh
+//     that lands exactly on the engine's pre-transaction sizing (the
+//     optimizers restore a snapshot after every tentative move) is
+//     served by the engine's Rollback without any re-analysis. The
+//     returned *Result is the engine's shared, in-place-updated object,
+//     which is why the optimizer loops capture costs as scalars instead
+//     of retaining result pointers across refreshes.
+//
+//   - full: a from-scratch analysis per refresh, memoized by exact size
+//     vector. The memo reproduces the historical optimizer behavior of
+//     holding onto move-A/B/C result objects and re-using them after a
+//     RestoreSizes, without a pointer dance in the loops: restoring a
+//     recently-analyzed configuration hits the memo and returns the
+//     very same object the historical code would have kept.
+type analyzer struct {
+	d       *synth.Design
+	analyze func() *ssta.Result // full recompute at current sizes
+	sync    func() *ssta.Result // incremental repair; nil in full mode
+
+	memoSizes [][]int
+	memoRes   []*ssta.Result
+
+	dur time.Duration
+}
+
+// analyzerMemo bounds the full-mode memo: an optimizer iteration
+// revisits at most the start/A/B/C/D configurations, so 8 entries keep
+// every hit the historical pointer reuse would have had.
+const analyzerMemo = 8
+
+// newStatAnalyzer builds the FULLSSTA analyzer (the statistical
+// optimizers' outer engine). In incremental mode the engine's initial
+// full analysis is charged to the analyzer's clock.
+func newStatAnalyzer(d *synth.Design, vm *variation.Model, opts Options) *analyzer {
+	a := &analyzer{d: d}
+	if opts.Incremental {
+		t0 := time.Now()
+		inc := ssta.NewIncremental(d, vm, opts.sstaOpts())
+		a.dur += time.Since(t0)
+		// last is the sizing the engine currently holds; prev is the one
+		// its open transaction would restore. Refreshing back to prev is
+		// served by Rollback — a journal copy-back instead of a cone
+		// repair — which gives the optimizers' restore-after-tentative-move
+		// pattern the same near-free revisit the full-mode memo gives it.
+		last := d.Circuit.SizeSnapshot()
+		var prev []int
+		a.sync = func() *ssta.Result {
+			cur := d.Circuit.SizeSnapshot()
+			switch {
+			case eqSizes(cur, last):
+				// Already up to date.
+			case prev != nil && eqSizes(cur, prev):
+				inc.Rollback()
+				last, prev = prev, nil
+			default:
+				// Sizes differ from the engine's record, so Sync is
+				// guaranteed to open a fresh transaction rolling back to
+				// what the engine held until now.
+				inc.Sync()
+				prev, last = last, cur
+			}
+			return inc.Result()
+		}
+	} else {
+		a.analyze = func() *ssta.Result { return ssta.Analyze(d, vm, opts.sstaOpts()) }
+	}
+	return a
+}
+
+// newDetAnalyzer builds the deterministic analyzer MeanDelayGreedy
+// uses, wrapping the sta result in the ssta.Result shell the subcircuit
+// extractor expects. Incremental mode uses the exact-equality cutoff so
+// both modes stay bit-identical.
+func newDetAnalyzer(d *synth.Design, opts Options) *analyzer {
+	a := &analyzer{d: d}
+	if opts.Incremental {
+		t0 := time.Now()
+		inc := sta.NewIncrementalExact(d)
+		a.dur += time.Since(t0)
+		a.sync = func() *ssta.Result {
+			inc.Sync()
+			return &ssta.Result{STA: inc.Result()}
+		}
+	} else {
+		a.analyze = func() *ssta.Result { return &ssta.Result{STA: sta.Analyze(d)} }
+	}
+	return a
+}
+
+// refresh returns the analysis of the design's current sizes, repairing
+// or recomputing as the mode requires. Wall time accumulates on the
+// analyzer's clock (reported as Result.AnalysisTime).
+func (a *analyzer) refresh() *ssta.Result {
+	t0 := time.Now()
+	defer func() { a.dur += time.Since(t0) }()
+	if a.sync != nil {
+		return a.sync()
+	}
+	sizes := a.d.Circuit.SizeSnapshot()
+	for i := len(a.memoSizes) - 1; i >= 0; i-- {
+		if eqSizes(a.memoSizes[i], sizes) {
+			return a.memoRes[i]
+		}
+	}
+	r := a.analyze()
+	a.memoSizes = append(a.memoSizes, sizes)
+	a.memoRes = append(a.memoRes, r)
+	if len(a.memoSizes) > analyzerMemo {
+		a.memoSizes = a.memoSizes[1:]
+		a.memoRes = a.memoRes[1:]
+	}
+	return r
+}
+
+func eqSizes(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -24,7 +24,6 @@ import (
 	"repro/internal/fassta"
 	"repro/internal/parallel"
 	"repro/internal/ssta"
-	"repro/internal/sta"
 	"repro/internal/synth"
 	"repro/internal/variation"
 	"repro/internal/wnss"
@@ -87,6 +86,17 @@ type Options struct {
 	// gates earlier on the path; 0 still lets the inner FULLSSTA passes
 	// use all CPUs, which cannot change any number.
 	Workers int
+	// Incremental selects dirty-cone incremental timing for every
+	// whole-circuit analysis inside the optimizers (ssta.Incremental for
+	// the statistical ones, the exact-mode sta.Incremental for
+	// MeanDelayGreedy): after one full analysis, each re-analysis repairs
+	// only the fanout cones of the gates that were resized, cutting off
+	// where values come out bit-identical. Results are bit-identical to
+	// full recomputation — only the wall time changes (the public
+	// repro.RunOptions surface and the CLIs default this ON and expose
+	// it as -incremental; the raw core.Options zero value keeps the
+	// historical full recompute).
+	Incremental bool
 }
 
 // validate rejects option values that would silently corrupt a run: a
@@ -202,6 +212,11 @@ type Result struct {
 	History    []IterStats
 	Iterations int
 	Runtime    time.Duration
+	// AnalysisTime is the wall time spent in whole-circuit timing
+	// analysis (full recomputes, or the initial analysis plus dirty-cone
+	// repairs when Options.Incremental is set) — the quantity the
+	// full-vs-incremental benchmark in cmd/benchpar compares.
+	AnalysisTime time.Duration
 	// StoppedBy explains termination: "converged", "target", "max-iters".
 	StoppedBy string
 }
@@ -229,7 +244,14 @@ func StatisticalGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Res
 	res := &Result{StoppedBy: "max-iters"}
 	ex := fassta.NewExtractor(d)
 
-	full := ssta.Analyze(d, vm, opts.sstaOpts())
+	// All whole-circuit analyses go through the analyzer, which serves
+	// them either by full recompute or by incremental dirty-cone repair
+	// (Options.Incremental) with bit-identical values. In incremental
+	// mode `full` is the engine's shared in-place-updated object, so the
+	// loop below captures every cost it needs as a scalar and re-refreshes
+	// after each RestoreSizes instead of retaining result pointers.
+	az := newStatAnalyzer(d, vm, opts)
+	full := az.refresh()
 	res.Initial = snapshot(d, full, opts.Lambda)
 	best := res.Initial
 	bestSizes := d.Circuit.SizeSnapshot()
@@ -265,6 +287,13 @@ func StatisticalGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Res
 		if len(path) == 0 {
 			res.StoppedBy = "converged"
 			break
+		}
+		// The cone move seeds from the iteration-start analysis; capture
+		// them now, before any refresh retargets the (possibly shared
+		// incremental) result object to a tentative configuration.
+		var coneSeeds []circuit.GateID
+		if opts.ConeMove {
+			coneSeeds = worstOutputs(d, full, opts.Lambda, opts.topK())
 		}
 
 		// Move A (the paper's inner loop): greedy per-gate resizing along
@@ -328,8 +357,7 @@ func StatisticalGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Res
 				}
 			}
 		}
-		fullA := ssta.Analyze(d, vm, opts.sstaOpts())
-		costA := fullA.Cost(d, opts.Lambda)
+		costA := az.refresh().Cost(d, opts.Lambda)
 		sizesA := d.Circuit.SizeSnapshot()
 
 		// Move B: a coordinated escape — one notch up on every path gate
@@ -350,11 +378,9 @@ func StatisticalGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Res
 			}
 		}
 		costB := math.Inf(1)
-		var fullB *ssta.Result
 		var sizesB []int
 		if bumped > 0 {
-			fullB = ssta.Analyze(d, vm, opts.sstaOpts())
-			costB = fullB.Cost(d, opts.Lambda)
+			costB = az.refresh().Cost(d, opts.Lambda)
 			sizesB = d.Circuit.SizeSnapshot()
 		}
 
@@ -365,10 +391,9 @@ func StatisticalGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Res
 		// the cone move lifts them together.
 		coneBumped := 0
 		costC := math.Inf(1)
-		var fullC *ssta.Result
 		if opts.ConeMove {
 			d.Circuit.RestoreSizes(startSizes)
-			cone := d.Circuit.TransitiveFanin(worstOutputs(d, full, opts.Lambda, opts.topK()), -1)
+			cone := d.Circuit.TransitiveFanin(coneSeeds, -1)
 			for _, g := range cone {
 				gate := d.Circuit.Gate(g)
 				if !gate.Fn.IsLogic() {
@@ -380,37 +405,44 @@ func StatisticalGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Res
 				}
 			}
 			if coneBumped > 0 {
-				fullC = ssta.Analyze(d, vm, opts.sstaOpts())
-				costC = fullC.Cost(d, opts.Lambda)
+				costC = az.refresh().Cost(d, opts.Lambda)
 			}
 		} else {
 			d.Circuit.RestoreSizes(startSizes)
 		}
 
+		// Pick the winner by the scalar costs, restore its sizes, and
+		// re-refresh so `full` is the analysis of the winning sizing. In
+		// full mode each refresh below is a memo hit returning the very
+		// object the historical code kept for that configuration.
 		move := "per-gate"
+		chosenCost := costA
 		switch {
 		case coneBumped > 0 && costC < costA && costC < costB:
-			full = fullC
+			// Sizes are already at the cone configuration.
+			full = az.refresh()
+			chosenCost = costC
 			resized = coneBumped
 			move = "cone-bump"
 		case bumped > 0 && costB < costA:
 			d.Circuit.RestoreSizes(sizesB)
-			full = fullB
+			full = az.refresh()
+			chosenCost = costB
 			resized = bumped
 			move = "path-bump"
 		default:
 			d.Circuit.RestoreSizes(sizesA)
-			full = fullA
+			full = az.refresh()
 		}
 		// Move D, the verified single-step fallback: when every batch move
 		// made the global cost worse, a whole first batch has overshot.
 		// Retry with only the single most promising gate move; if even
 		// that fails globally, the iteration counts as non-improving and
 		// patience handles termination.
-		if full.Cost(d, opts.Lambda) >= cur.Cost && bestSingleGate != circuit.None {
+		if chosenCost >= cur.Cost && bestSingleGate != circuit.None {
 			d.Circuit.RestoreSizes(startSizes)
 			d.Circuit.Gate(bestSingleGate).SizeIdx = bestSingleSize
-			fullD := ssta.Analyze(d, vm, opts.sstaOpts())
+			fullD := az.refresh()
 			if fullD.Cost(d, opts.Lambda) < cur.Cost {
 				full = fullD
 				resized = 1
@@ -418,7 +450,7 @@ func StatisticalGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Res
 			} else {
 				// Keep the batch result anyway; best-restore protects us.
 				d.Circuit.RestoreSizes(sizesA)
-				full = fullA
+				full = az.refresh()
 			}
 		}
 		res.History = append(res.History, IterStats{
@@ -432,13 +464,14 @@ func StatisticalGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Res
 	}
 
 	// Keep the best sizing seen.
-	final := snapshot(d, ssta.Analyze(d, vm, opts.sstaOpts()), opts.Lambda)
+	final := snapshot(d, az.refresh(), opts.Lambda)
 	if best.Cost < final.Cost {
 		d.Circuit.RestoreSizes(bestSizes)
 		final = best
 	}
 	res.Final = final
 	res.Runtime = time.Since(start)
+	res.AnalysisTime = az.dur
 	return res, nil
 }
 
@@ -467,8 +500,11 @@ func MeanDelayGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Resul
 	res := &Result{StoppedBy: "max-iters"}
 	ex := fassta.NewExtractor(d)
 
-	analyze := func() *ssta.Result { return &ssta.Result{STA: sta.Analyze(d)} }
-	nominal := analyze()
+	// Same analyzer discipline as StatisticalGreedy: `nominal` may be the
+	// incremental engine's shared object, so the loop keeps scalar costs
+	// and re-refreshes after every RestoreSizes.
+	az := newDetAnalyzer(d, opts)
+	nominal := az.refresh()
 	res.Initial = Snapshot{Mean: nominal.STA.MaxArrival, Cost: nominal.STA.MaxArrival, Area: d.Area()}
 	best := res.Initial
 	bestSizes := d.Circuit.SizeSnapshot()
@@ -512,8 +548,7 @@ func MeanDelayGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Resul
 				resized++
 			}
 		}
-		fullA := analyze()
-		costA := fullA.STA.MaxArrival
+		costA := az.refresh().STA.MaxArrival
 		sizesA := d.Circuit.SizeSnapshot()
 
 		// Move B: uniform one-notch bump of the whole path (same
@@ -528,18 +563,17 @@ func MeanDelayGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Resul
 			}
 		}
 		move := "per-gate"
-		if bumped > 0 {
-			fullB := analyze()
-			if fullB.STA.MaxArrival < costA {
-				nominal = fullB
-				resized = bumped
-				move = "path-bump"
-			}
+		if bumped > 0 && az.refresh().STA.MaxArrival < costA {
+			resized = bumped
+			move = "path-bump"
 		}
 		if move == "per-gate" {
 			d.Circuit.RestoreSizes(sizesA)
-			nominal = fullA
 		}
+		// Re-refresh so `nominal` is the analysis of the winning sizing
+		// (a memo hit returning the historical fullA/fullB object in full
+		// mode, a no-op repair in incremental mode).
+		nominal = az.refresh()
 		res.History = append(res.History, IterStats{
 			Iter: iter, Cost: cur.Cost, Mean: cur.Mean, Area: cur.Area,
 			PathLen: len(path), Resized: resized, Move: move,
@@ -550,14 +584,15 @@ func MeanDelayGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Resul
 		}
 	}
 
-	finalSTA := sta.Analyze(d)
-	final := Snapshot{Mean: finalSTA.MaxArrival, Cost: finalSTA.MaxArrival, Area: d.Area()}
+	finalArr := az.refresh().STA.MaxArrival
+	final := Snapshot{Mean: finalArr, Cost: finalArr, Area: d.Area()}
 	if best.Cost < final.Cost {
 		d.Circuit.RestoreSizes(bestSizes)
 		final = best
 	}
 	res.Final = final
 	res.Runtime = time.Since(start)
+	res.AnalysisTime = az.dur
 	return res, nil
 }
 
@@ -576,7 +611,8 @@ func RecoverArea(d *synth.Design, vm *variation.Model, opts Options, slackFrac f
 		return 0, fmt.Errorf("core: negative slack fraction %g", slackFrac)
 	}
 	ex := fassta.NewExtractor(d)
-	full := ssta.Analyze(d, vm, opts.sstaOpts())
+	az := newStatAnalyzer(d, vm, opts)
+	full := az.refresh()
 	entryCost := full.Cost(d, opts.Lambda)
 	budget := entryCost * (1 + slackFrac)
 	area0 := d.Area()
@@ -607,11 +643,14 @@ func RecoverArea(d *synth.Design, vm *variation.Model, opts Options, slackFrac f
 		if changed == 0 {
 			break
 		}
-		newFull := ssta.Analyze(d, vm, opts.sstaOpts())
+		newFull := az.refresh()
 		if newFull.Cost(d, opts.Lambda) > budget {
 			// Batch overshot the global budget: roll back and retry more
-			// conservatively.
+			// conservatively, re-refreshing so `full` again reflects the
+			// pre-batch sizing (a memo hit on the previous pass's analysis
+			// in full mode, a repair in incremental mode).
 			d.Circuit.RestoreSizes(before)
+			full = az.refresh()
 			localSlack /= 2
 			if localSlack < 1e-6 {
 				break

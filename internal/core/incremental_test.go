@@ -1,0 +1,158 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/synth"
+	"repro/internal/variation"
+)
+
+// The incremental analyzers must be invisible to the optimizers: every
+// run with core.Options.Incremental set must produce the exact sizing vector
+// and the exact core.Result (all floats bit-identical) of a full-recompute
+// run, on the paper's benchmarks, at both the serial and the concurrent
+// scoring worker counts. Timing fields are excluded by construction.
+
+func newOriginal(t *testing.T, name string) (*synth.Design, *variation.Model) {
+	t.Helper()
+	d, vm, err := experiments.NewDesign(name)
+	if err != nil {
+		t.Fatalf("NewDesign(%s): %v", name, err)
+	}
+	// The paper's starting point; run in full mode on both arms so the
+	// arms differ only in the optimizer under test.
+	if _, err := core.MeanDelayGreedy(d, vm, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	return d, vm
+}
+
+func requireEqualResults(t *testing.T, full, inc *core.Result) {
+	t.Helper()
+	if full.Initial != inc.Initial {
+		t.Fatalf("Initial differs: full %+v, incremental %+v", full.Initial, inc.Initial)
+	}
+	if full.Final != inc.Final {
+		t.Fatalf("Final differs: full %+v, incremental %+v", full.Final, inc.Final)
+	}
+	if full.Iterations != inc.Iterations || full.StoppedBy != inc.StoppedBy {
+		t.Fatalf("trajectory differs: full (%d, %s), incremental (%d, %s)",
+			full.Iterations, full.StoppedBy, inc.Iterations, inc.StoppedBy)
+	}
+	if len(full.History) != len(inc.History) {
+		t.Fatalf("history length differs: %d vs %d", len(full.History), len(inc.History))
+	}
+	for i := range full.History {
+		if full.History[i] != inc.History[i] {
+			t.Fatalf("history[%d] differs:\nfull        %+v\nincremental %+v",
+				i, full.History[i], inc.History[i])
+		}
+	}
+}
+
+func requireEqualSizes(t *testing.T, full, inc []int) {
+	t.Helper()
+	if len(full) != len(inc) {
+		t.Fatalf("size vector length differs: %d vs %d", len(full), len(inc))
+	}
+	for i := range full {
+		if full[i] != inc[i] {
+			t.Fatalf("sizing diverged at gate %d: full %d, incremental %d", i, full[i], inc[i])
+		}
+	}
+}
+
+func TestStatisticalGreedyIncrementalEquivalence(t *testing.T) {
+	for _, name := range []string{"c432", "alu3"} {
+		for _, workers := range []int{1, 4} {
+			name, workers := name, workers
+			t.Run(fmt.Sprintf("%s/workers%d", name, workers), func(t *testing.T) {
+				t.Parallel()
+				run := func(incremental bool) (*core.Result, []int) {
+					d, vm := newOriginal(t, name)
+					r, err := core.StatisticalGreedy(d, vm, core.Options{
+						Lambda: 9, MaxIters: 12, Workers: workers, Incremental: incremental,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return r, d.Circuit.SizeSnapshot()
+				}
+				rFull, sFull := run(false)
+				rInc, sInc := run(true)
+				requireEqualSizes(t, sFull, sInc)
+				requireEqualResults(t, rFull, rInc)
+				if rInc.AnalysisTime <= 0 {
+					t.Error("incremental run reported no analysis time")
+				}
+			})
+		}
+	}
+}
+
+// The cone move exercises the one optimizer path where the iteration-start
+// analysis is consulted after tentative configurations have been analyzed,
+// so it gets its own equivalence case.
+func TestStatisticalGreedyConeMoveIncrementalEquivalence(t *testing.T) {
+	run := func(incremental bool) (*core.Result, []int) {
+		d, vm := newOriginal(t, "c432")
+		r, err := core.StatisticalGreedy(d, vm, core.Options{
+			Lambda: 9, MaxIters: 8, ConeMove: true, Incremental: incremental,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, d.Circuit.SizeSnapshot()
+	}
+	rFull, sFull := run(false)
+	rInc, sInc := run(true)
+	requireEqualSizes(t, sFull, sInc)
+	requireEqualResults(t, rFull, rInc)
+}
+
+func TestMeanDelayGreedyIncrementalEquivalence(t *testing.T) {
+	for _, name := range []string{"c432", "alu3"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			run := func(incremental bool) (*core.Result, []int) {
+				d, vm, err := experiments.NewDesign(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := core.MeanDelayGreedy(d, vm, core.Options{Incremental: incremental})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r, d.Circuit.SizeSnapshot()
+			}
+			rFull, sFull := run(false)
+			rInc, sInc := run(true)
+			requireEqualSizes(t, sFull, sInc)
+			requireEqualResults(t, rFull, rInc)
+		})
+	}
+}
+
+func TestRecoverAreaIncrementalEquivalence(t *testing.T) {
+	run := func(incremental bool) (float64, []int) {
+		d, vm := newOriginal(t, "c432")
+		if _, err := core.StatisticalGreedy(d, vm, core.Options{Lambda: 3, MaxIters: 6}); err != nil {
+			t.Fatal(err)
+		}
+		saved, err := core.RecoverArea(d, vm, core.Options{Lambda: 3, Incremental: incremental}, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return saved, d.Circuit.SizeSnapshot()
+	}
+	savedFull, sFull := run(false)
+	savedInc, sInc := run(true)
+	requireEqualSizes(t, sFull, sInc)
+	if savedFull != savedInc {
+		t.Fatalf("area saved differs: full %g, incremental %g", savedFull, savedInc)
+	}
+}

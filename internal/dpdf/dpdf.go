@@ -169,6 +169,25 @@ func (p PDF) Moments() normal.Moments {
 	return normal.Moments{Mean: p.Mean(), Var: p.Variance()}
 }
 
+// Equal reports whether p and q are bit-identical: the same support and
+// probability vectors under exact float equality. This is the early-
+// cutoff predicate of the incremental FULLSSTA engine — the operators
+// are deterministic pure functions, so bit-equal inputs reproduce
+// bit-equal outputs and an unchanged node proves its whole downstream
+// recomputation unchanged. NaN values compare unequal, which errs on
+// the side of propagating.
+func (p PDF) Equal(q PDF) bool {
+	if len(p.xs) != len(q.xs) {
+		return false
+	}
+	for i := range p.xs {
+		if p.xs[i] != q.xs[i] || p.ps[i] != q.ps[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // CDF returns P(X <= t).
 func (p PDF) CDF(t float64) float64 {
 	c := 0.0

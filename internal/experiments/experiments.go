@@ -28,6 +28,11 @@ type Config struct {
 	// (see core.Options.Workers), which changes its move ordering but
 	// stays deterministic for a fixed value.
 	Workers int
+	// FullRecompute disables the optimizers' incremental dirty-cone
+	// analyzers and recomputes every whole-circuit analysis from scratch.
+	// Results are bit-identical either way; the default (false) is the
+	// fast incremental path.
+	FullRecompute bool
 }
 
 func (c Config) ssta() ssta.Options {
@@ -54,6 +59,7 @@ func NewDesign(name string) (*synth.Design, *variation.Model, error) {
 func Original(d *synth.Design, vm *variation.Model, cfg Config) error {
 	_, err := core.MeanDelayGreedy(d, vm, core.Options{
 		MaxIters: cfg.MaxIters, PDFPoints: cfg.PDFPoints, Workers: cfg.Workers,
+		Incremental: !cfg.FullRecompute,
 	})
 	return err
 }
@@ -116,7 +122,10 @@ func Table1For(name string, cfg Config) (*Table1Row, error) {
 	prev := d
 	for i, lambda := range Lambdas {
 		dd := &synth.Design{Circuit: prev.Circuit.Clone(), Lib: d.Lib}
-		opts := core.Options{Lambda: lambda, MaxIters: cfg.MaxIters, PDFPoints: cfg.PDFPoints, Workers: cfg.Workers}
+		opts := core.Options{
+			Lambda: lambda, MaxIters: cfg.MaxIters, PDFPoints: cfg.PDFPoints,
+			Workers: cfg.Workers, Incremental: !cfg.FullRecompute,
+		}
 		start := time.Now()
 		if _, err := core.StatisticalGreedy(dd, vm, opts); err != nil {
 			return nil, err
@@ -166,7 +175,8 @@ func Fig1(name string, cfg Config) (*Fig1Result, error) {
 	run := func(lambda float64) (dpdf.PDF, error) {
 		dd := &synth.Design{Circuit: d.Circuit.Clone(), Lib: d.Lib}
 		if _, err := core.StatisticalGreedy(dd, vm, core.Options{
-			Lambda: lambda, MaxIters: cfg.MaxIters, PDFPoints: cfg.PDFPoints, Workers: cfg.Workers,
+			Lambda: lambda, MaxIters: cfg.MaxIters, PDFPoints: cfg.PDFPoints,
+			Workers: cfg.Workers, Incremental: !cfg.FullRecompute,
 		}); err != nil {
 			return dpdf.PDF{}, err
 		}
@@ -220,7 +230,8 @@ func Fig4(name string, lambdas []float64, cfg Config) ([]Fig4Point, error) {
 	for _, lambda := range lambdas {
 		dd := &synth.Design{Circuit: d.Circuit.Clone(), Lib: d.Lib}
 		r, err := core.StatisticalGreedy(dd, vm, core.Options{
-			Lambda: lambda, MaxIters: cfg.MaxIters, PDFPoints: cfg.PDFPoints, Workers: cfg.Workers,
+			Lambda: lambda, MaxIters: cfg.MaxIters, PDFPoints: cfg.PDFPoints,
+			Workers: cfg.Workers, Incremental: !cfg.FullRecompute,
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,376 @@
+package fassta
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/normal"
+	"repro/internal/synth"
+	"repro/internal/variation"
+)
+
+// SizeChange is one gate resize in a ResizeAll batch.
+type SizeChange struct {
+	Gate circuit.GateID
+	Size int
+}
+
+// Incremental maintains a whole-circuit moments-only analysis (what
+// AnalyzeGlobal computes) across gate resizes without full
+// recomputation: a resize dirties the gate and its fanin drivers, then
+// repairs level-ordered through the fanout cone, stopping early at
+// nodes whose deterministic arrival/slew AND (mu, sigma^2) arrival
+// moments come out bit-identical to their previous values.
+//
+// The cutoff is exact float equality, not a tolerance: Clark's max and
+// the Add/Sigma arithmetic are deterministic pure functions, so
+// bit-equal inputs reproduce bit-equal outputs and the repaired
+// GlobalResult stays bit-identical to a from-scratch AnalyzeGlobal (the
+// differential harness in internal/difftest asserts this per node).
+//
+// Transaction semantics match ssta.Incremental: each state-changing
+// call commits the previous transaction; Rollback undoes the most
+// recent one — sizes and analysis both — without re-analysis.
+type Incremental struct {
+	d      *synth.Design
+	vm     *variation.Model
+	approx bool
+	maxFn  func(a, b normal.Moments) normal.Moments
+	r      *GlobalResult
+	level  []int32
+	queue  *circuit.LevelQueue
+	rev    int
+	// sizes is the engine's record of every gate's size as of the last
+	// repair, diffed by Sync after external batch edits.
+	sizes      []int
+	evals      []int64
+	totalEvals int64
+
+	journal   []gnodeSave
+	journaled []bool
+	sizeLog   []gsizeSave
+	summary   gsummarySave
+	hasTxn    bool
+}
+
+type gnodeSave struct {
+	id        circuit.GateID
+	node      normal.Moments
+	staArr    float64
+	staSlew   float64
+	staDelay  float64
+	staInSlew float64
+}
+
+type gsizeSave struct {
+	id      circuit.GateID
+	oldSize int
+}
+
+type gsummarySave struct {
+	mean, sigma float64
+	maxArrival  float64
+	worstPO     circuit.GateID
+}
+
+// NewIncremental runs one full AnalyzeGlobal and prepares the
+// incremental state. approx selects the paper's fast max (true) or the
+// exact Clark formulas (false), matching AnalyzeGlobal.
+func NewIncremental(d *synth.Design, vm *variation.Model, approx bool) *Incremental {
+	lv, _ := d.Circuit.Levels()
+	c := d.Circuit
+	n := c.NumGates()
+	maxFn := normal.MaxApprox
+	if !approx {
+		maxFn = normal.MaxExact
+	}
+	return &Incremental{
+		d:         d,
+		vm:        vm,
+		approx:    approx,
+		maxFn:     maxFn,
+		r:         AnalyzeGlobal(d, vm, approx),
+		level:     lv,
+		queue:     circuit.NewLevelQueue(n),
+		rev:       c.Revision(),
+		sizes:     c.SizeSnapshot(),
+		evals:     make([]int64, n),
+		journaled: make([]bool, n),
+	}
+}
+
+// Result returns the up-to-date analysis, owned by the engine.
+func (inc *Incremental) Result() *GlobalResult { return inc.r }
+
+// Evals returns the total number of node re-evaluations since
+// construction.
+func (inc *Incremental) Evals() int64 { return inc.totalEvals }
+
+// NodeEvals returns how often gate g has been re-evaluated since
+// construction.
+func (inc *Incremental) NodeEvals(g circuit.GateID) int64 { return inc.evals[g] }
+
+// Resize sets gate g to sizeIdx and repairs the analysis, returning the
+// number of gates re-evaluated. Resizing to the current size is a no-op
+// and does not open a new transaction.
+func (inc *Incremental) Resize(g circuit.GateID, sizeIdx int) int {
+	inc.checkRev()
+	gate := inc.d.Circuit.Gate(g)
+	if gate.SizeIdx == sizeIdx {
+		return 0
+	}
+	inc.begin()
+	inc.sizeLog = append(inc.sizeLog, gsizeSave{id: g, oldSize: gate.SizeIdx})
+	gate.SizeIdx = sizeIdx
+	inc.sizes[g] = sizeIdx
+	inc.seed(g)
+	return inc.propagate()
+}
+
+// ResizeAll applies a batch of resizes as ONE transaction and repairs
+// the union cone in a single level-ordered pass.
+func (inc *Incremental) ResizeAll(changes []SizeChange) int {
+	inc.checkRev()
+	c := inc.d.Circuit
+	dirty := false
+	for _, ch := range changes {
+		if c.Gate(ch.Gate).SizeIdx != ch.Size {
+			dirty = true
+			break
+		}
+	}
+	if !dirty {
+		return 0
+	}
+	inc.begin()
+	for _, ch := range changes {
+		gate := c.Gate(ch.Gate)
+		if gate.SizeIdx == ch.Size {
+			continue
+		}
+		inc.sizeLog = append(inc.sizeLog, gsizeSave{id: ch.Gate, oldSize: gate.SizeIdx})
+		gate.SizeIdx = ch.Size
+		inc.sizes[ch.Gate] = ch.Size
+		inc.seed(ch.Gate)
+	}
+	return inc.propagate()
+}
+
+// Sync diffs the circuit's current sizes against the engine's record
+// and repairs every externally-edited gate's cone as one transaction.
+// A later Rollback restores the pre-Sync sizes, undoing the external
+// edits too.
+func (inc *Incremental) Sync() int {
+	inc.checkRev()
+	c := inc.d.Circuit
+	dirty := false
+	for id := 0; id < c.NumGates(); id++ {
+		if c.Gate(circuit.GateID(id)).SizeIdx != inc.sizes[id] {
+			dirty = true
+			break
+		}
+	}
+	if !dirty {
+		return 0
+	}
+	inc.begin()
+	for id := 0; id < c.NumGates(); id++ {
+		g := circuit.GateID(id)
+		if s := c.Gate(g).SizeIdx; s != inc.sizes[id] {
+			inc.sizeLog = append(inc.sizeLog, gsizeSave{id: g, oldSize: inc.sizes[id]})
+			inc.sizes[id] = s
+			inc.seed(g)
+		}
+	}
+	return inc.propagate()
+}
+
+// Rollback undoes the most recent state-changing call: circuit sizes
+// and every journaled node revert to their exact prior values, without
+// re-analysis. A second Rollback (or one before any change) is a no-op.
+func (inc *Incremental) Rollback() {
+	inc.checkRev()
+	if !inc.hasTxn {
+		return
+	}
+	c := inc.d.Circuit
+	for i := len(inc.sizeLog) - 1; i >= 0; i-- {
+		s := inc.sizeLog[i]
+		c.Gate(s.id).SizeIdx = s.oldSize
+		inc.sizes[s.id] = s.oldSize
+	}
+	r := inc.r
+	for _, e := range inc.journal {
+		r.Node[e.id] = e.node
+		r.STA.Arrival[e.id] = e.staArr
+		r.STA.Slew[e.id] = e.staSlew
+		r.STA.Delay[e.id] = e.staDelay
+		r.STA.InSlew[e.id] = e.staInSlew
+		inc.journaled[e.id] = false
+	}
+	inc.journal = inc.journal[:0]
+	inc.sizeLog = inc.sizeLog[:0]
+	r.Mean = inc.summary.mean
+	r.Sigma = inc.summary.sigma
+	r.STA.MaxArrival = inc.summary.maxArrival
+	r.STA.WorstPO = inc.summary.worstPO
+	inc.hasTxn = false
+}
+
+func (inc *Incremental) checkRev() {
+	if inc.rev != inc.d.Circuit.Revision() {
+		panic("fassta: circuit structure changed under Incremental; rebuild it")
+	}
+}
+
+func (inc *Incremental) begin() {
+	for _, e := range inc.journal {
+		inc.journaled[e.id] = false
+	}
+	inc.journal = inc.journal[:0]
+	inc.sizeLog = inc.sizeLog[:0]
+	r := inc.r
+	inc.summary = gsummarySave{
+		mean:       r.Mean,
+		sigma:      r.Sigma,
+		maxArrival: r.STA.MaxArrival,
+		worstPO:    r.STA.WorstPO,
+	}
+	inc.hasTxn = true
+}
+
+func (inc *Incremental) seed(g circuit.GateID) {
+	inc.queue.Push(g, inc.level[g])
+	for _, f := range inc.d.Circuit.Gate(g).Fanin {
+		inc.queue.Push(f, inc.level[f])
+	}
+}
+
+func (inc *Incremental) save(id circuit.GateID) {
+	if inc.journaled[id] {
+		return
+	}
+	inc.journaled[id] = true
+	r := inc.r
+	inc.journal = append(inc.journal, gnodeSave{
+		id:        id,
+		node:      r.Node[id],
+		staArr:    r.STA.Arrival[id],
+		staSlew:   r.STA.Slew[id],
+		staDelay:  r.STA.Delay[id],
+		staInSlew: r.STA.InSlew[id],
+	})
+}
+
+func (inc *Incremental) propagate() int {
+	c := inc.d.Circuit
+	touched := 0
+	anyChanged := false
+	for {
+		id, ok := inc.queue.Pop()
+		if !ok {
+			break
+		}
+		touched++
+		inc.evals[id]++
+		inc.totalEvals++
+		if inc.recompute(id) {
+			anyChanged = true
+			for _, fo := range c.Gate(id).Fanout {
+				inc.queue.Push(fo, inc.level[fo])
+			}
+		}
+	}
+	if anyChanged {
+		inc.refreshSummary()
+	}
+	return touched
+}
+
+// recompute re-derives one node exactly as AnalyzeGlobal would — the
+// deterministic STA part first (mirroring sta.Analyze) and then the
+// arrival moments — and reports whether anything a downstream node
+// reads changed.
+func (inc *Incremental) recompute(id circuit.GateID) bool {
+	inc.save(id)
+	d := inc.d
+	r := inc.r
+	g := d.Circuit.Gate(id)
+
+	if g.Fn == circuit.Input {
+		newArr := d.Lib.PrimaryInputRes * d.Load(id)
+		newSlew := d.Lib.PrimaryInputSlew
+		changed := newArr != r.STA.Arrival[id] || newSlew != r.STA.Slew[id]
+		r.STA.Arrival[id] = newArr
+		r.STA.Slew[id] = newSlew
+		// The statistical arrival at a PI stays the zero Moments,
+		// matching AnalyzeGlobal.
+		return changed
+	}
+
+	var fArr, fSlew float64
+	for _, f := range g.Fanin {
+		if r.STA.Arrival[f] > fArr {
+			fArr = r.STA.Arrival[f]
+		}
+		if r.STA.Slew[f] > fSlew {
+			fSlew = r.STA.Slew[f]
+		}
+	}
+	cell := d.Cell(id)
+	load := d.Load(id)
+	newDelay := cell.Delay.Lookup(fSlew, load)
+	newSlew := cell.OutSlew.Lookup(fSlew, load)
+	newArr := fArr + newDelay
+	changed := newArr != r.STA.Arrival[id] || newSlew != r.STA.Slew[id]
+	r.STA.InSlew[id] = fSlew
+	r.STA.Delay[id] = newDelay
+	r.STA.Slew[id] = newSlew
+	r.STA.Arrival[id] = newArr
+
+	var arr normal.Moments
+	for i, f := range g.Fanin {
+		if i == 0 {
+			arr = r.Node[f]
+		} else {
+			arr = inc.maxFn(arr, r.Node[f])
+		}
+	}
+	sigma := inc.vm.Sigma(cell, newDelay)
+	node := arr.Add(normal.Moments{Mean: newDelay, Var: sigma * sigma})
+	if node != r.Node[id] {
+		changed = true
+	}
+	r.Node[id] = node
+	return changed
+}
+
+// refreshSummary recomputes the circuit-level summary exactly as
+// AnalyzeGlobal and sta.Analyze do.
+func (inc *Incremental) refreshSummary() {
+	c := inc.d.Circuit
+	r := inc.r
+	r.STA.MaxArrival = math.Inf(-1)
+	r.STA.WorstPO = circuit.None
+	for _, po := range c.Outputs {
+		if r.STA.Arrival[po] > r.STA.MaxArrival {
+			r.STA.MaxArrival = r.STA.Arrival[po]
+			r.STA.WorstPO = po
+		}
+	}
+	if len(c.Outputs) == 0 {
+		r.STA.MaxArrival = 0
+	}
+	var circ normal.Moments
+	first := true
+	for _, po := range c.Outputs {
+		if first {
+			circ = r.Node[po]
+			first = false
+			continue
+		}
+		circ = inc.maxFn(circ, r.Node[po])
+	}
+	r.Mean = circ.Mean
+	r.Sigma = circ.Sigma()
+}

@@ -1,0 +1,38 @@
+package server
+
+import (
+	"testing"
+
+	"repro/client"
+)
+
+// TestOptsKeyNormalization pins the result-memo key contract: design
+// identity is carried by the design hash (not the key), the
+// full-recompute flag is normalized out (both modes are bit-identical,
+// so either result answers either request), and genuinely
+// result-changing options still split the key.
+func TestOptsKeyNormalization(t *testing.T) {
+	base := client.JobRequest{Op: client.OpOptimize, Generate: "c432", Lambda: 3}
+
+	full := base
+	full.FullRecompute = true
+	if optsKey(base) != optsKey(full) {
+		t.Errorf("full_recompute must be normalized out of the result key:\n  inc:  %s\n  full: %s",
+			optsKey(base), optsKey(full))
+	}
+
+	renamed := base
+	renamed.Generate = ""
+	renamed.Bench = "INPUT(a)\nOUTPUT(a)\n"
+	renamed.Name = "other"
+	if optsKey(base) != optsKey(renamed) {
+		t.Errorf("design identity fields must not influence the result key:\n  a: %s\n  b: %s",
+			optsKey(base), optsKey(renamed))
+	}
+
+	otherLambda := base
+	otherLambda.Lambda = 9
+	if optsKey(base) == optsKey(otherLambda) {
+		t.Errorf("lambda changes results and must split the key: %s", optsKey(base))
+	}
+}

@@ -247,6 +247,11 @@ func validate(req *client.JobRequest) error {
 // design hash covers them), everything else is options.
 func optsKey(req client.JobRequest) string {
 	req.Bench, req.Generate, req.Name = "", "", ""
+	// Incremental vs full recompute is proven bit-identical on every
+	// engine output, so the flag is normalized out of the key: a cached
+	// incremental result answers a full-recompute request and vice versa
+	// (only the advisory runtime fields could differ).
+	req.FullRecompute = false
 	b, _ := json.Marshal(req)
 	return string(b)
 }
@@ -371,10 +376,11 @@ func (s *Server) pruneMetaLocked() {
 // read-only; mutating operations clone first.
 func (s *Server) execute(ctx context.Context, req client.JobRequest, d *repro.Design) (any, error) {
 	opts := repro.RunOptions{
-		Workers:   req.Workers,
-		PDFPoints: req.PDFPoints,
-		MaxIters:  req.MaxIters,
-		Ctx:       ctx,
+		Workers:       req.Workers,
+		PDFPoints:     req.PDFPoints,
+		MaxIters:      req.MaxIters,
+		FullRecompute: req.FullRecompute,
+		Ctx:           ctx,
 	}
 	switch req.Op {
 	case client.OpAnalyze:
@@ -438,9 +444,10 @@ func optimizePayload(r repro.OptResult) client.OptimizeResult {
 		MeanBefore: r.MeanBefore, MeanAfter: r.MeanAfter,
 		SigmaBefore: r.SigmaBefore, SigmaAfter: r.SigmaAfter,
 		AreaBefore: r.AreaBefore, AreaAfter: r.AreaAfter,
-		Iterations: r.Iterations,
-		StoppedBy:  r.StoppedBy,
-		RuntimeSec: r.Runtime.Seconds(),
+		Iterations:      r.Iterations,
+		StoppedBy:       r.StoppedBy,
+		RuntimeSec:      r.Runtime.Seconds(),
+		AnalysisTimeSec: r.AnalysisTime.Seconds(),
 	}
 }
 

@@ -1,8 +1,6 @@
 package sta
 
 import (
-	"container/heap"
-
 	"repro/internal/circuit"
 	"repro/internal/synth"
 )
@@ -13,6 +11,15 @@ import (
 // cone reachable through actually-changed arrival times or slews. On
 // typical subcircuit-local changes this re-evaluates a few dozen gates
 // instead of the whole netlist.
+//
+// Two change-detection modes exist. The default tolerance mode stops
+// propagation when a value moved by less than epsTiming — the right
+// trade for interactive queries, but the repaired analysis may drift
+// from a from-scratch Analyze by up to the tolerance per node. The
+// exact mode (NewIncrementalExact) cuts off only on exact float
+// equality, which keeps the repaired analysis bit-identical to a full
+// recompute — the contract the optimizer equivalence tests and the
+// statistical incremental engines rely on.
 type Incremental struct {
 	d *synth.Design
 	r *Result
@@ -20,22 +27,38 @@ type Incremental struct {
 	level []int32
 	// queue of dirty gates ordered by level (a gate must be re-evaluated
 	// after all its dirty fanins).
-	pq      levelQueue
-	inQueue []bool
-	rev     int
+	queue *circuit.LevelQueue
+	rev   int
+	exact bool
+	// sizes is the engine's record of every gate's size as of the last
+	// repair, diffed by Sync after external batch edits.
+	sizes []int
 }
 
 // NewIncremental runs one full analysis and prepares the incremental
-// state. The returned Result is owned by the Incremental and updated in
-// place by Resize; callers must not retain stale copies of its fields.
+// state (tolerance mode). The returned Result is owned by the
+// Incremental and updated in place by Resize; callers must not retain
+// stale copies of its fields.
 func NewIncremental(d *synth.Design) *Incremental {
+	return newIncremental(d, false)
+}
+
+// NewIncrementalExact is NewIncremental with the bit-exact cutoff:
+// repaired results are bit-identical to a from-scratch Analyze.
+func NewIncrementalExact(d *synth.Design) *Incremental {
+	return newIncremental(d, true)
+}
+
+func newIncremental(d *synth.Design, exact bool) *Incremental {
 	lv, _ := d.Circuit.Levels()
 	return &Incremental{
-		d:       d,
-		r:       Analyze(d),
-		level:   lv,
-		inQueue: make([]bool, d.Circuit.NumGates()),
-		rev:     d.Circuit.Revision(),
+		d:     d,
+		r:     Analyze(d),
+		level: lv,
+		queue: circuit.NewLevelQueue(d.Circuit.NumGates()),
+		rev:   d.Circuit.Revision(),
+		exact: exact,
+		sizes: d.Circuit.SizeSnapshot(),
 	}
 }
 
@@ -47,47 +70,70 @@ const epsTiming = 1e-9
 // Resize sets gate g to sizeIdx and repairs the analysis. It returns the
 // number of gates re-evaluated (a measure of the dirty region).
 func (inc *Incremental) Resize(g circuit.GateID, sizeIdx int) int {
+	inc.checkRev()
 	c := inc.d.Circuit
-	if inc.rev != c.Revision() {
-		panic("sta: circuit structure changed under Incremental; rebuild it")
-	}
 	gate := c.Gate(g)
 	if gate.SizeIdx == sizeIdx {
 		return 0
 	}
 	gate.SizeIdx = sizeIdx
-	// Dirty: the gate itself (cell changed) and its drivers (their load
-	// changed). Everything downstream is discovered on the fly.
-	inc.push(g)
-	for _, f := range gate.Fanin {
-		if c.Gate(f).Fn.IsLogic() {
-			inc.push(f)
-		} else {
-			// A PI driver: its arrival depends on its load.
-			inc.push(f)
-		}
-	}
+	inc.sizes[g] = sizeIdx
+	inc.seed(g)
 	return inc.propagate()
 }
 
 // Refresh recomputes a gate in place after an external change (e.g. a
 // batch of size edits applied directly to the circuit); prefer Resize
-// where possible.
+// or Sync where possible.
 func (inc *Incremental) Refresh(gates []circuit.GateID) int {
+	inc.checkRev()
+	c := inc.d.Circuit
 	for _, g := range gates {
-		inc.push(g)
-		for _, f := range inc.d.Circuit.Gate(g).Fanin {
-			inc.push(f)
-		}
+		inc.sizes[g] = c.Gate(g).SizeIdx
+		inc.seed(g)
 	}
 	return inc.propagate()
 }
 
-func (inc *Incremental) push(g circuit.GateID) {
-	if !inc.inQueue[g] {
-		inc.inQueue[g] = true
-		heap.Push(&inc.pq, levelItem{level: inc.level[g], id: g})
+// Sync diffs the circuit's current sizes against the engine's record
+// and repairs every externally-edited gate's cone. It is the catch-all
+// entry point for callers that mutate SizeIdx directly (the optimizers
+// do, in batches) and returns the number of gates re-evaluated.
+func (inc *Incremental) Sync() int {
+	inc.checkRev()
+	c := inc.d.Circuit
+	dirty := false
+	for id := 0; id < c.NumGates(); id++ {
+		if s := c.Gate(circuit.GateID(id)).SizeIdx; s != inc.sizes[id] {
+			inc.sizes[id] = s
+			inc.seed(circuit.GateID(id))
+			dirty = true
+		}
 	}
+	if !dirty {
+		return 0
+	}
+	return inc.propagate()
+}
+
+func (inc *Incremental) checkRev() {
+	if inc.rev != inc.d.Circuit.Revision() {
+		panic("sta: circuit structure changed under Incremental; rebuild it")
+	}
+}
+
+// seed dirties the resized gate (its cell changed) and its drivers
+// (their load changed — for a PI driver the arrival itself depends on
+// the load). Everything downstream is discovered on the fly.
+func (inc *Incremental) seed(g circuit.GateID) {
+	inc.push(g)
+	for _, f := range inc.d.Circuit.Gate(g).Fanin {
+		inc.push(f)
+	}
+}
+
+func (inc *Incremental) push(g circuit.GateID) {
+	inc.queue.Push(g, inc.level[g])
 }
 
 func (inc *Incremental) propagate() int {
@@ -95,10 +141,11 @@ func (inc *Incremental) propagate() int {
 	d := inc.d
 	r := inc.r
 	touched := 0
-	for inc.pq.Len() > 0 {
-		it := heap.Pop(&inc.pq).(levelItem)
-		id := it.id
-		inc.inQueue[id] = false
+	for {
+		id, ok := inc.queue.Pop()
+		if !ok {
+			break
+		}
 		touched++
 		g := c.Gate(id)
 
@@ -115,8 +162,13 @@ func (inc *Incremental) propagate() int {
 			newSlew = cell.OutSlew.Lookup(slew, load)
 			newArr = arr + newDelay
 		}
-		changed := absDiff(newArr, r.Arrival[id]) > epsTiming ||
-			absDiff(newSlew, r.Slew[id]) > epsTiming
+		var changed bool
+		if inc.exact {
+			changed = newArr != r.Arrival[id] || newSlew != r.Slew[id]
+		} else {
+			changed = absDiff(newArr, r.Arrival[id]) > epsTiming ||
+				absDiff(newSlew, r.Slew[id]) > epsTiming
+		}
 		r.Arrival[id] = newArr
 		r.Slew[id] = newSlew
 		r.Delay[id] = newDelay
@@ -144,25 +196,4 @@ func absDiff(a, b float64) float64 {
 		return a - b
 	}
 	return b - a
-}
-
-type levelItem struct {
-	level int32
-	id    circuit.GateID
-}
-
-type levelQueue []levelItem
-
-func (q levelQueue) Len() int           { return len(q) }
-func (q levelQueue) Less(i, j int) bool { return q[i].level < q[j].level }
-func (q levelQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *levelQueue) Push(x interface{}) {
-	*q = append(*q, x.(levelItem))
-}
-func (q *levelQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
 }
