@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-selftest cover cover-update fuzz-smoke bench bench-parallel serve e2e
+.PHONY: all build test race vet lint lint-selftest cover cover-update fuzz-smoke bench bench-parallel serve e2e chaos
 
 all: build vet lint test
 
@@ -46,11 +46,13 @@ cover-update:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) run ./cmd/covercheck -profile cover.out -update
 
-# Short fuzz pass (~30s) over the differential incremental-SSTA target
-# and the .bench parser; run in CI on every push.
+# Short fuzz pass (~40s) over the differential incremental-SSTA target,
+# the .bench parser, and the crash-journal replayer; run in CI on every
+# push.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzIncrementalResize -fuzztime 20s ./internal/difftest
 	$(GO) test -run xxx -fuzz FuzzParseLint -fuzztime 10s ./internal/benchfmt
+	$(GO) test -run xxx -fuzz FuzzJournalReplay -fuzztime 10s ./internal/journal
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
@@ -68,3 +70,11 @@ serve:
 # design cache) driven through the public client package, under -race.
 e2e:
 	$(GO) test -race -v -run 'TestE2E' ./internal/server
+
+# Fault-tolerance chaos suite, under -race: journal/recovery/idempotency
+# (internal/journal, internal/faultinject, client retry), the in-process
+# interrupt-and-restart tests (TestChaos*), and the subprocess kill -9
+# acceptance run (TestCrash*, builds a real sstad binary).
+chaos:
+	$(GO) test -race ./internal/journal ./internal/faultinject
+	$(GO) test -race -v -run 'TestChaos|TestCrash' ./internal/server

@@ -79,6 +79,13 @@ func (d *Design) Clone() *Design {
 // advanced callers inside this module (the experiment harness, benches).
 func (d *Design) Internal() (*synth.Design, *variation.Model) { return d.d, d.vm }
 
+// Sizes returns a copy of the design's sizing vector: one library size
+// index per gate, in gate order. Two runs of a deterministic optimizer
+// agree exactly iff their sizing vectors are identical, so this is the
+// canonical equality oracle for resume/recovery tests and for diffing
+// optimization outcomes.
+func (d *Design) Sizes() []int { return d.d.Circuit.SizeSnapshot() }
+
 // Stats summarizes the design.
 type Stats struct {
 	Name    string
@@ -138,6 +145,89 @@ type RunOptions struct {
 	// the fast incremental path and this flag exists for benchmarking and
 	// as an escape hatch (CLIs expose it as -incremental=false).
 	FullRecompute bool
+	// Checkpoint, when non-nil, receives a resumable optimizer state at
+	// the end of every CheckpointEvery-th outer iteration. Feeding a
+	// checkpoint back through Resume restarts the optimizer so that it
+	// retraces the uninterrupted run bit-for-bit (the engines are
+	// deterministic and every analysis is a pure function of the sizing
+	// vector). Analysis entry points ignore it. The callback runs on the
+	// optimizer goroutine and should return quickly.
+	Checkpoint func(OptCheckpoint)
+	// CheckpointEvery is the checkpoint emission period in outer
+	// iterations; 0 means every iteration.
+	CheckpointEvery int
+	// Resume, when non-nil, restarts an optimizer from a previously
+	// emitted checkpoint instead of the design's current sizing. The
+	// checkpoint must come from the same operation on a design of the
+	// same shape.
+	Resume *OptCheckpoint
+}
+
+// OptSnapshot is a point-in-time statistical summary inside a
+// checkpoint (the public mirror of the optimizer's internal snapshot).
+type OptSnapshot struct {
+	Mean  float64 `json:"mean"`
+	Sigma float64 `json:"sigma"`
+	Cost  float64 `json:"cost"`
+	Area  float64 `json:"area"`
+}
+
+// OptCheckpoint is a resumable optimizer state, serializable as JSON
+// for persistence (sstad journals one per optimization iteration). Its
+// fields mirror internal/core.Checkpoint; see RunOptions.Checkpoint for
+// the exactness guarantee.
+type OptCheckpoint struct {
+	Op         string      `json:"op"`
+	Iter       int         `json:"iter"`
+	Cost       float64     `json:"cost"`
+	Sizes      []int       `json:"sizes"`
+	BestSizes  []int       `json:"best_sizes,omitempty"`
+	Best       OptSnapshot `json:"best"`
+	Bad        int         `json:"bad"`
+	Initial    OptSnapshot `json:"initial"`
+	LocalSlack float64     `json:"local_slack,omitempty"`
+	Budget     float64     `json:"budget,omitempty"`
+	Area0      float64     `json:"area0,omitempty"`
+}
+
+func snapFromCore(s core.Snapshot) OptSnapshot {
+	return OptSnapshot{Mean: s.Mean, Sigma: s.Sigma, Cost: s.Cost, Area: s.Area}
+}
+
+func snapToCore(s OptSnapshot) core.Snapshot {
+	return core.Snapshot{Mean: s.Mean, Sigma: s.Sigma, Cost: s.Cost, Area: s.Area}
+}
+
+func checkpointFromCore(cp core.Checkpoint) OptCheckpoint {
+	return OptCheckpoint{
+		Op: cp.Op, Iter: cp.Iter, Cost: cp.Cost,
+		Sizes: cp.Sizes, BestSizes: cp.BestSizes,
+		Best: snapFromCore(cp.Best), Bad: cp.Bad, Initial: snapFromCore(cp.Initial),
+		LocalSlack: cp.LocalSlack, Budget: cp.Budget, Area0: cp.Area0,
+	}
+}
+
+func checkpointToCore(cp *OptCheckpoint) *core.Checkpoint {
+	if cp == nil {
+		return nil
+	}
+	return &core.Checkpoint{
+		Op: cp.Op, Iter: cp.Iter, Cost: cp.Cost,
+		Sizes: cp.Sizes, BestSizes: cp.BestSizes,
+		Best: snapToCore(cp.Best), Bad: cp.Bad, Initial: snapToCore(cp.Initial),
+		LocalSlack: cp.LocalSlack, Budget: cp.Budget, Area0: cp.Area0,
+	}
+}
+
+// checkpointing translates the public checkpoint knobs into their core
+// forms, shared by every optimizer entry point.
+func (o RunOptions) checkpointing() (func(core.Checkpoint), int, *core.Checkpoint) {
+	var cb func(core.Checkpoint)
+	if o.Checkpoint != nil {
+		public := o.Checkpoint
+		cb = func(cp core.Checkpoint) { public(checkpointFromCore(cp)) }
+	}
+	return cb, o.CheckpointEvery, checkpointToCore(o.Resume)
 }
 
 // Validate rejects execution options no engine can honor: negative
@@ -153,6 +243,9 @@ func (o RunOptions) Validate() error {
 	}
 	if o.MaxIters < 0 {
 		return fmt.Errorf("repro: negative iteration cap %d", o.MaxIters)
+	}
+	if o.CheckpointEvery < 0 {
+		return fmt.Errorf("repro: negative checkpoint period %d", o.CheckpointEvery)
 	}
 	return nil
 }
@@ -329,9 +422,11 @@ func (d *Design) OptimizeMeanDelayOpts(opts RunOptions) (OptResult, error) {
 	if err := opts.Validate(); err != nil {
 		return OptResult{}, err
 	}
+	cb, every, resume := opts.checkpointing()
 	r, err := core.MeanDelayGreedy(d.d, d.vm, core.Options{
 		MaxIters: opts.MaxIters, Workers: opts.Workers, Ctx: opts.Ctx,
 		Incremental: !opts.FullRecompute,
+		Checkpoint:  cb, CheckpointEvery: every, Resume: resume,
 	})
 	if err != nil {
 		return OptResult{}, err
@@ -355,10 +450,12 @@ func (d *Design) OptimizeStatisticalOpts(lambda float64, opts RunOptions) (OptRe
 	if err := opts.Validate(); err != nil {
 		return OptResult{}, err
 	}
+	cb, every, resume := opts.checkpointing()
 	r, err := core.StatisticalGreedy(d.d, d.vm, core.Options{
 		Lambda: lambda, PDFPoints: opts.PDFPoints, Workers: opts.Workers,
 		MaxIters: opts.MaxIters, Ctx: opts.Ctx,
 		Incremental: !opts.FullRecompute,
+		Checkpoint:  cb, CheckpointEvery: every, Resume: resume,
 	})
 	if err != nil {
 		return OptResult{}, err
@@ -375,9 +472,11 @@ func (d *Design) RecoverArea(lambda, slackFrac float64) (float64, error) {
 
 // RecoverAreaOpts is RecoverArea with explicit execution options.
 func (d *Design) RecoverAreaOpts(lambda, slackFrac float64, opts RunOptions) (float64, error) {
+	cb, every, resume := opts.checkpointing()
 	return core.RecoverArea(d.d, d.vm, core.Options{
 		Lambda: lambda, PDFPoints: opts.PDFPoints, Workers: opts.Workers, Ctx: opts.Ctx,
 		Incremental: !opts.FullRecompute,
+		Checkpoint:  cb, CheckpointEvery: every, Resume: resume,
 	}, slackFrac)
 }
 

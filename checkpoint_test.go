@@ -1,0 +1,163 @@
+package repro
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// collectCheckpoints runs the statistical optimizer on a fresh alu2,
+// capturing every emitted checkpoint, and returns them with the
+// finished design and result.
+func collectCheckpoints(t *testing.T, opts RunOptions) ([]OptCheckpoint, *Design, OptResult) {
+	t.Helper()
+	d, err := Generate("alu2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cps []OptCheckpoint
+	opts.Checkpoint = func(cp OptCheckpoint) { cps = append(cps, cp) }
+	res, err := d.OptimizeStatisticalOpts(9, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cps, d, res
+}
+
+func sizesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCheckpointResumeBitExact is the facade-level statement of the
+// resume contract: restarting from any mid-run checkpoint retraces the
+// uninterrupted run bit-for-bit (same final sizing vector, same
+// result), because every emitted checkpoint IS the loop-top state of
+// the next iteration.
+func TestCheckpointResumeBitExact(t *testing.T) {
+	base := RunOptions{Workers: 1, MaxIters: 8}
+	cps, ref, want := collectCheckpoints(t, base)
+	if len(cps) < 3 {
+		t.Fatalf("only %d checkpoints emitted, want at least 3", len(cps))
+	}
+	wantSizes := ref.Sizes()
+
+	// Resume from an early and a late checkpoint; serialize through
+	// JSON first, the way sstad's journal stores them.
+	for _, idx := range []int{1, len(cps) - 2} {
+		raw, err := json.Marshal(cps[idx])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cp OptCheckpoint
+		if err := json.Unmarshal(raw, &cp); err != nil {
+			t.Fatal(err)
+		}
+
+		d2, err := Generate("alu2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := base
+		opts.Resume = &cp
+		got, err := d2.OptimizeStatisticalOpts(9, opts)
+		if err != nil {
+			t.Fatalf("resume from checkpoint %d: %v", idx, err)
+		}
+		if !sizesEqual(d2.Sizes(), wantSizes) {
+			t.Fatalf("resume from checkpoint %d: sizing vector diverged from uninterrupted run", idx)
+		}
+		if got.Iterations != want.Iterations || got.StoppedBy != want.StoppedBy ||
+			got.SigmaAfter != want.SigmaAfter || got.MeanAfter != want.MeanAfter ||
+			got.AreaAfter != want.AreaAfter {
+			t.Fatalf("resume from checkpoint %d: result differs\nresumed: %+v\ndirect:  %+v", idx, got, want)
+		}
+	}
+}
+
+// TestCheckpointEveryThins checks the emission period knob: a period of
+// n emits roughly 1/n of the per-iteration stream, and the run itself
+// is unaffected.
+func TestCheckpointEveryThins(t *testing.T) {
+	every, _, res1 := collectCheckpoints(t, RunOptions{Workers: 1, MaxIters: 8, CheckpointEvery: 1})
+	thinned, _, res2 := collectCheckpoints(t, RunOptions{Workers: 1, MaxIters: 8, CheckpointEvery: 3})
+	if len(thinned) >= len(every) {
+		t.Fatalf("CheckpointEvery 3 emitted %d checkpoints, period 1 emitted %d", len(thinned), len(every))
+	}
+	if res1.SigmaAfter != res2.SigmaAfter || res1.Iterations != res2.Iterations {
+		t.Fatalf("checkpoint emission period changed the optimization: %+v vs %+v", res1, res2)
+	}
+	for _, cp := range thinned {
+		if cp.Op == "" || cp.Sizes == nil {
+			t.Fatalf("checkpoint missing op/sizes: %+v", cp)
+		}
+	}
+}
+
+// TestSizesIsACopy guards the equality oracle: mutating the returned
+// slice must not touch the design.
+func TestSizesIsACopy(t *testing.T) {
+	d, err := Generate("alu1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Sizes()
+	if len(s) == 0 {
+		t.Fatal("empty sizing vector")
+	}
+	s[0] += 7
+	if d.Sizes()[0] == s[0] {
+		t.Fatal("Sizes returned a view into the design, want a copy")
+	}
+}
+
+// TestRecoverAreaCheckpoints: the area-recovery pass reports resumable
+// checkpoints too (sstad journals them for OpRecover).
+func TestRecoverAreaCheckpoints(t *testing.T) {
+	d, err := Generate("alu2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.OptimizeStatisticalOpts(9, RunOptions{Workers: 1, MaxIters: 6}); err != nil {
+		t.Fatal(err)
+	}
+	var cps []OptCheckpoint
+	if _, err := d.RecoverAreaOpts(9, 0.05, RunOptions{
+		Workers:    1,
+		Checkpoint: func(cp OptCheckpoint) { cps = append(cps, cp) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, cp := range cps {
+		if cp.Op != "recover-area" {
+			t.Fatalf("recover checkpoint op = %q, want recover-area", cp.Op)
+		}
+	}
+}
+
+func TestOptResultDeltas(t *testing.T) {
+	r := OptResult{
+		MeanBefore: 200, MeanAfter: 210,
+		SigmaBefore: 10, SigmaAfter: 8,
+		AreaBefore: 100, AreaAfter: 125,
+	}
+	if got := r.DeltaSigmaPct(); got != -20 {
+		t.Fatalf("DeltaSigmaPct = %v, want -20", got)
+	}
+	if got := r.DeltaMeanPct(); got != 5 {
+		t.Fatalf("DeltaMeanPct = %v, want 5", got)
+	}
+	if got := r.DeltaAreaPct(); got != 25 {
+		t.Fatalf("DeltaAreaPct = %v, want 25", got)
+	}
+	var zero OptResult
+	if zero.DeltaSigmaPct() != 0 || zero.DeltaMeanPct() != 0 || zero.DeltaAreaPct() != 0 {
+		t.Fatal("zero-value deltas must be 0, not NaN")
+	}
+}

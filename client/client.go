@@ -5,18 +5,28 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strings"
+	"time"
 )
 
 // Client talks to one sstad instance. The zero value is not usable;
 // build with New.
+//
+// The client retries transient failures by default — connection errors,
+// dropped responses, and 429/502/503/504 replies — with exponentially
+// backed-off, jittered delays that honor the server's Retry-After
+// header (see RetryPolicy). Submissions carry an Idempotency-Key header
+// so a retried submit whose original attempt was actually admitted
+// returns the existing job instead of creating a duplicate.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry *retrier
 }
 
 // Option customizes a Client.
@@ -35,7 +45,8 @@ func New(base string, opts ...Option) *Client {
 		base: strings.TrimRight(base, "/"),
 		// No global client timeout: job long-polls legitimately hold
 		// the connection open; callers bound requests with ctx.
-		hc: &http.Client{},
+		hc:    &http.Client{},
+		retry: newRetrier(RetryPolicy{}),
 	}
 	for _, o := range opts {
 		o(c)
@@ -44,41 +55,85 @@ func New(base string, opts ...Option) *Client {
 }
 
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	return c.doHeaders(ctx, method, path, nil, body, out)
+}
+
+// doHeaders performs one logical request with the client's retry
+// policy: transport failures and retryable statuses are re-attempted
+// with jittered exponential backoff (floored by Retry-After) until the
+// policy's attempt budget or ctx runs out.
+func (c *Client) doHeaders(ctx context.Context, method, path string, hdr map[string]string, body, out any) error {
+	var payload []byte
 	if body != nil {
 		b, err := json.Marshal(body)
 		if err != nil {
 			return err
 		}
-		rd = bytes.NewReader(b)
+		payload = b
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		var after time.Duration
+		retryable := false
+		lastErr, after, retryable = c.once(ctx, method, path, hdr, payload, out)
+		if lastErr == nil || !retryable {
+			return lastErr
+		}
+		if attempt >= c.retry.policy.maxAttempts() {
+			return lastErr
+		}
+		if err := sleep(ctx, c.retry.delay(attempt, after)); err != nil {
+			return lastErr
+		}
+	}
+}
+
+// once performs a single HTTP exchange, reporting the error (nil on
+// success), any Retry-After hint, and whether a retry could help.
+func (c *Client) once(ctx context.Context, method, path string, hdr map[string]string, payload []byte, out any) (error, time.Duration, bool) {
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return err
+		return err, 0, false
 	}
-	if body != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		// Transport-level failure (connection refused/reset, dropped
+		// mid-response): retryable unless the caller gave up.
+		return err, 0, ctx.Err() == nil
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return err
+		return err, 0, ctx.Err() == nil
 	}
 	if resp.StatusCode/100 != 2 {
 		var eb ErrorBody
-		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
-			return &APIError{Method: method, Path: path, Status: resp.StatusCode, Body: eb}
+		if json.Unmarshal(data, &eb) != nil || eb.Error == "" {
+			// Non-JSON error body (proxy page, truncated reply): keep the
+			// raw text so nothing is swallowed, but still surface a typed
+			// error so callers can dispatch on the status.
+			eb = ErrorBody{Error: strings.TrimSpace(string(data))}
 		}
-		return fmt.Errorf("client: %s %s: HTTP %d: %s", method, path, resp.StatusCode, strings.TrimSpace(string(data)))
+		apiErr := &APIError{Method: method, Path: path, Status: resp.StatusCode, Body: eb}
+		return apiErr, retryAfter(resp.Header), retryableStatus(resp.StatusCode)
 	}
 	if out == nil {
-		return nil
+		return nil, 0, false
 	}
-	return json.Unmarshal(data, out)
+	if err := json.Unmarshal(data, out); err != nil {
+		return err, 0, false
+	}
+	return nil, 0, false
 }
 
 // APIError is a non-2xx response whose body carried the service's JSON
@@ -96,10 +151,14 @@ func (e *APIError) Error() string {
 }
 
 // Submit enqueues a job and returns its initial status (usually
-// "queued"; "done" when served instantly).
+// "queued"; "done" when served instantly). Each call draws a fresh
+// idempotency key and reuses it across its internal retries, so a
+// submit whose first attempt was admitted but whose response was lost
+// returns the original job rather than enqueuing a duplicate.
 func (c *Client) Submit(ctx context.Context, req JobRequest) (*JobStatus, error) {
 	var s JobStatus
-	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &s); err != nil {
+	hdr := map[string]string{"Idempotency-Key": newIdempotencyKey()}
+	if err := c.doHeaders(ctx, http.MethodPost, "/v1/jobs", hdr, req, &s); err != nil {
 		return nil, err
 	}
 	return &s, nil
@@ -160,9 +219,45 @@ func (c *Client) Run(ctx context.Context, req JobRequest) (*JobStatus, error) {
 }
 
 // Stream follows the job's server-sent event stream, invoking fn for
-// every status update until the job is terminal, the server drops the
-// stream, or ctx expires. It returns the final status it observed.
+// every status update until the job is terminal or ctx expires, and
+// returns the final status it observed. A stream that drops before the
+// terminal state — a server restart, a severed connection — is NOT a
+// job outcome: Stream transparently reconnects with the client's retry
+// backoff, and only after the attempt budget is exhausted returns the
+// last status seen alongside an error wrapping ErrStreamInterrupted.
+// Across a reconnect fn may see the same state twice (delivery is
+// at-least-once); updates never go backwards.
 func (c *Client) Stream(ctx context.Context, id string, fn func(JobStatus)) (*JobStatus, error) {
+	var last *JobStatus
+	failures := 0
+	for {
+		s, err := c.streamOnce(ctx, id, &last, fn)
+		if err == nil {
+			return s, nil
+		}
+		if ctx.Err() != nil {
+			return last, fmt.Errorf("%w: %w", ErrStreamInterrupted, ctx.Err())
+		}
+		// A non-retryable API error (404 unknown job, lint rejection)
+		// cannot be cured by reconnecting.
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && !retryableStatus(apiErr.Status) {
+			return last, err
+		}
+		failures++
+		if failures >= c.retry.policy.maxAttempts() {
+			return last, fmt.Errorf("%w: %w", ErrStreamInterrupted, err)
+		}
+		if serr := sleep(ctx, c.retry.delay(failures, 0)); serr != nil {
+			return last, fmt.Errorf("%w: %w", ErrStreamInterrupted, err)
+		}
+	}
+}
+
+// streamOnce follows one SSE connection until the job is terminal
+// (returned with nil error) or the connection fails. Progress observed
+// before the failure is retained in *last for the caller's retry loop.
+func (c *Client) streamOnce(ctx context.Context, id string, last **JobStatus, fn func(JobStatus)) (*JobStatus, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		c.base+"/v1/jobs/"+url.PathEscape(id)+"/stream", nil)
 	if err != nil {
@@ -175,28 +270,32 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(JobStatus)) (*Jo
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return nil, fmt.Errorf("client: stream %s: HTTP %d: %s", id, resp.StatusCode, strings.TrimSpace(string(data)))
+		var eb ErrorBody
+		if json.Unmarshal(data, &eb) != nil || eb.Error == "" {
+			eb = ErrorBody{Error: strings.TrimSpace(string(data))}
+		}
+		return nil, &APIError{Method: http.MethodGet, Path: "/v1/jobs/" + id + "/stream",
+			Status: resp.StatusCode, Body: eb}
 	}
-	var last *JobStatus
 	dec := newSSEDecoder(resp.Body)
 	for {
 		data, err := dec.next()
 		if err != nil {
-			if last != nil && last.Terminal() {
-				return last, nil
+			if *last != nil && (*last).Terminal() {
+				return *last, nil
 			}
-			return last, err
+			return nil, err
 		}
 		var s JobStatus
 		if err := json.Unmarshal(data, &s); err != nil {
-			return last, err
+			return nil, err
 		}
-		last = &s
+		*last = &s
 		if fn != nil {
 			fn(s)
 		}
 		if s.Terminal() {
-			return last, nil
+			return &s, nil
 		}
 	}
 }

@@ -1,0 +1,331 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testClient(ts *httptest.Server, opts ...Option) *Client {
+	opts = append([]Option{WithHTTPClient(ts.Client()),
+		WithRetry(RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond, Seed: 1})}, opts...)
+	return New(ts.URL, opts...)
+}
+
+func TestRetryRecoversFrom503(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		n := calls
+		mu.Unlock()
+		if n < 3 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	if err := testClient(ts).Health(context.Background()); err != nil {
+		t.Fatalf("health after transient 503s: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls)
+	}
+}
+
+func TestNoRetrySurfacesFirstFailure(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		http.Error(w, `{"error":"busy"}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithHTTPClient(ts.Client()), WithRetry(NoRetry))
+	err := c.Health(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want APIError 429", err)
+	}
+	if calls != 1 {
+		t.Fatalf("NoRetry made %d calls", calls)
+	}
+}
+
+func TestNonRetryableStatusFailsFast(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		http.Error(w, `{"error":"no such job"}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+
+	_, err := testClient(ts).Job(context.Background(), "j000001")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("err = %v, want APIError 404", err)
+	}
+	if calls != 1 {
+		t.Fatalf("404 retried: %d calls", calls)
+	}
+}
+
+func TestNonJSONErrorBodyStillTyped(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "<html>gateway error</html>", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	err := testClient(ts).Health(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("non-JSON error body not typed: %v", err)
+	}
+	if apiErr.Status != http.StatusBadRequest || apiErr.Body.Error == "" {
+		t.Fatalf("APIError lost detail: %+v", apiErr)
+	}
+}
+
+func TestRetryAfterIsFloor(t *testing.T) {
+	var mu sync.Mutex
+	var times []time.Time
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		times = append(times, time.Now())
+		n := len(times)
+		mu.Unlock()
+		if n == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"busy"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	start := time.Now()
+	if err := testClient(ts).Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The policy's MaxDelay is 5ms, but the server demanded a 1s pause:
+	// Retry-After must win.
+	if waited := time.Since(start); waited < 900*time.Millisecond {
+		t.Fatalf("retried after %v despite Retry-After: 1", waited)
+	}
+}
+
+func TestSubmitReusesIdempotencyKeyAcrossRetries(t *testing.T) {
+	var mu sync.Mutex
+	var keys []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		keys = append(keys, r.Header.Get("Idempotency-Key"))
+		n := len(keys)
+		mu.Unlock()
+		if n < 3 {
+			http.Error(w, `{"error":"full"}`, http.StatusTooManyRequests)
+			return
+		}
+		json.NewEncoder(w).Encode(JobStatus{ID: "j000001", State: "queued"})
+	}))
+	defer ts.Close()
+
+	c := testClient(ts)
+	s, err := c.Submit(context.Background(), JobRequest{Op: OpAnalyze, Generate: "c17"})
+	if err != nil || s.ID != "j000001" {
+		t.Fatalf("submit = (%+v, %v)", s, err)
+	}
+	if len(keys) != 3 || keys[0] == "" {
+		t.Fatalf("keys = %v", keys)
+	}
+	if keys[0] != keys[1] || keys[1] != keys[2] {
+		t.Fatalf("idempotency key changed across retries of one call: %v", keys)
+	}
+
+	// A SECOND Submit call is a new logical request: fresh key.
+	if _, err := c.Submit(context.Background(), JobRequest{Op: OpAnalyze, Generate: "c17"}); err != nil {
+		t.Fatal(err)
+	}
+	if keys[3] == keys[0] {
+		t.Fatal("distinct Submit calls shared an idempotency key")
+	}
+}
+
+func TestBackoffDeterministicForSeed(t *testing.T) {
+	seq := func(seed uint64) []time.Duration {
+		r := newRetrier(RetryPolicy{Seed: seed})
+		var out []time.Duration
+		for i := 1; i <= 8; i++ {
+			out = append(out, r.delay(i, 0))
+		}
+		return out
+	}
+	a, b := seq(7), seq(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at delay %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Delays stay under the cap.
+	r := newRetrier(RetryPolicy{BaseDelay: time.Second, MaxDelay: 2 * time.Second, Seed: 3})
+	for i := 1; i <= 10; i++ {
+		if d := r.delay(i, 0); d > 2*time.Second {
+			t.Fatalf("delay %d = %v exceeds cap", i, d)
+		}
+	}
+}
+
+// sseJob serves a job endpoint whose stream severs mid-job a set number
+// of times before finally completing the job.
+type sseJob struct {
+	mu       sync.Mutex
+	severals int // remaining streams to sever mid-job
+	streams  int
+}
+
+func (j *sseJob) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs/j000001/stream", func(w http.ResponseWriter, r *http.Request) {
+		j.mu.Lock()
+		j.streams++
+		sever := j.severals > 0
+		if sever {
+			j.severals--
+		}
+		j.mu.Unlock()
+		w.Header().Set("Content-Type", "text/event-stream")
+		send := func(s JobStatus) {
+			b, _ := json.Marshal(s)
+			fmt.Fprintf(w, "data: %s\n\n", b)
+			w.(http.Flusher).Flush()
+		}
+		send(JobStatus{ID: "j000001", State: "running"})
+		if sever {
+			// Drop the connection before any terminal state.
+			conn, _, _ := w.(http.Hijacker).Hijack()
+			conn.Close()
+			return
+		}
+		send(JobStatus{ID: "j000001", State: "done", Result: json.RawMessage(`{}`)})
+	})
+	return mux
+}
+
+func TestStreamReconnectsAcrossSeveredConnection(t *testing.T) {
+	j := &sseJob{severals: 2}
+	ts := httptest.NewServer(j.handler())
+	defer ts.Close()
+
+	var states []string
+	s, err := testClient(ts).Stream(context.Background(), "j000001", func(st JobStatus) {
+		states = append(states, st.State)
+	})
+	if err != nil {
+		t.Fatalf("stream with mid-job severs failed: %v (states %v)", err, states)
+	}
+	if s == nil || s.State != "done" {
+		t.Fatalf("final status = %+v", s)
+	}
+	if j.streams != 3 {
+		t.Fatalf("server saw %d stream connects, want 3", j.streams)
+	}
+}
+
+func TestStreamInterruptedIsTyped(t *testing.T) {
+	// Every stream severs: the retry budget runs out and the error must
+	// be classified as an interruption, not a job outcome.
+	j := &sseJob{severals: 1 << 20}
+	ts := httptest.NewServer(j.handler())
+	defer ts.Close()
+
+	c := New(ts.URL, WithHTTPClient(ts.Client()),
+		WithRetry(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Seed: 1}))
+	last, err := c.Stream(context.Background(), "j000001", nil)
+	if !errors.Is(err, ErrStreamInterrupted) {
+		t.Fatalf("err = %v, want ErrStreamInterrupted", err)
+	}
+	if last == nil || last.State != "running" {
+		t.Fatalf("last observed status = %+v, want the pre-sever running state", last)
+	}
+}
+
+func TestStreamUnknownJobFailsFast(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"no such job"}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+
+	_, err := testClient(ts).Stream(context.Background(), "jX", nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("err = %v, want APIError 404", err)
+	}
+	if errors.Is(err, ErrStreamInterrupted) {
+		t.Fatal("404 misclassified as interruption")
+	}
+}
+
+func TestRetryAfterParsing(t *testing.T) {
+	h := http.Header{}
+	if retryAfter(h) != 0 {
+		t.Fatal("absent header parsed as non-zero")
+	}
+	h.Set("Retry-After", "2")
+	if got := retryAfter(h); got != 2*time.Second {
+		t.Fatalf("delta-seconds = %v", got)
+	}
+	h.Set("Retry-After", "0.5")
+	if got := retryAfter(h); got != 500*time.Millisecond {
+		t.Fatalf("fractional seconds = %v", got)
+	}
+	h.Set("Retry-After", time.Now().Add(3*time.Second).UTC().Format(http.TimeFormat))
+	if got := retryAfter(h); got <= 0 || got > 3*time.Second {
+		t.Fatalf("http-date = %v", got)
+	}
+	h.Set("Retry-After", "garbage")
+	if retryAfter(h) != 0 {
+		t.Fatal("garbage parsed as non-zero")
+	}
+}
+
+func TestWaitSurvivesTransientOutage(t *testing.T) {
+	var mu sync.Mutex
+	polls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		polls++
+		n := polls
+		mu.Unlock()
+		switch {
+		case n == 1:
+			json.NewEncoder(w).Encode(JobStatus{ID: "j1", State: "running"})
+		case n < 4: // simulated restart window
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"restarting"}`, http.StatusServiceUnavailable)
+		default:
+			json.NewEncoder(w).Encode(JobStatus{ID: "j1", State: "done", Result: json.RawMessage(`{}`)})
+		}
+	}))
+	defer ts.Close()
+
+	s, err := testClient(ts).Wait(context.Background(), "j1")
+	if err != nil || s.State != "done" {
+		t.Fatalf("wait across outage = (%+v, %v)", s, err)
+	}
+}

@@ -1,0 +1,173 @@
+package client
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	mrand "math/rand/v2"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// RetryPolicy tunes the client's handling of transient failures:
+// connection errors, dropped responses, and 429/502/503/504 replies.
+// Delays use exponential backoff with full jitter (each wait is a
+// uniform draw from [0, min(MaxDelay, BaseDelay<<attempt))), with the
+// server's Retry-After header, when present, acting as a floor. The
+// zero value selects the defaults listed on each field; use NoRetry for
+// strict single-attempt behavior.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per request (first try
+	// included); <= 0 means 5. 1 disables retries.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff; <= 0 means 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff wait; <= 0 means 2s.
+	MaxDelay time.Duration
+	// Seed fixes the jitter sequence for deterministic tests; 0 draws a
+	// random seed.
+	Seed uint64
+}
+
+// NoRetry is the single-attempt policy: every failure surfaces
+// immediately.
+var NoRetry = RetryPolicy{MaxAttempts: 1}
+
+// WithRetry overrides the client's retry policy (the default is
+// RetryPolicy{}, i.e. retries enabled with the documented defaults).
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) { c.retry = newRetrier(p) }
+}
+
+func (p RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts <= 0 {
+		return 5
+	}
+	return p.MaxAttempts
+}
+
+func (p RetryPolicy) baseDelay() time.Duration {
+	if p.BaseDelay <= 0 {
+		return 100 * time.Millisecond
+	}
+	return p.BaseDelay
+}
+
+func (p RetryPolicy) maxDelay() time.Duration {
+	if p.MaxDelay <= 0 {
+		return 2 * time.Second
+	}
+	return p.MaxDelay
+}
+
+// retrier is the policy plus the jitter source (guarded: one client is
+// safe for concurrent use).
+type retrier struct {
+	policy RetryPolicy
+	mu     sync.Mutex
+	rng    *mrand.Rand
+}
+
+func newRetrier(p RetryPolicy) *retrier {
+	seed := p.Seed
+	if seed == 0 {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err == nil {
+			seed = binary.LittleEndian.Uint64(b[:])
+		} else {
+			seed = uint64(time.Now().UnixNano())
+		}
+	}
+	return &retrier{
+		policy: p,
+		rng:    mrand.New(mrand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+	}
+}
+
+// delay computes the wait before try number attempt (1-based: the wait
+// after the attempt-th failure), jittered, floored by the server's
+// Retry-After when it supplied one.
+func (r *retrier) delay(attempt int, retryAfter time.Duration) time.Duration {
+	ceil := r.policy.maxDelay()
+	if step := r.policy.baseDelay() << (attempt - 1); step < ceil {
+		ceil = step
+	}
+	r.mu.Lock()
+	d := time.Duration(r.rng.Float64() * float64(ceil))
+	r.mu.Unlock()
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// sleep waits for d or until ctx is done, reporting which.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retryAfter parses a Retry-After header: either delta-seconds or an
+// HTTP date. Zero means absent or unparseable.
+func retryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.ParseFloat(v, 64); err == nil && secs >= 0 {
+		return time.Duration(secs * float64(time.Second))
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// retryableStatus reports whether an HTTP status signals a transient
+// condition worth retrying: backpressure (429), the gateway family
+// (502/504), and explicit unavailability (503, which sstad returns
+// while shutting down).
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// ErrStreamInterrupted marks a job event stream that dropped before the
+// job reached a terminal state — a server restart or network fault, not
+// a job outcome. Stream reconnects transparently; this error surfaces
+// only once the retry budget is exhausted, wrapped with the underlying
+// cause, alongside the last status observed.
+var ErrStreamInterrupted = errors.New("client: stream interrupted before terminal state")
+
+// newIdempotencyKey draws a fresh 128-bit request identity. Submit
+// attaches one key to all retries of a single call, so the server can
+// collapse duplicates caused by ambiguous failures (a submit whose
+// response was lost may well have been admitted).
+func newIdempotencyKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to a time-based key; uniqueness is what matters, and
+		// a collision only risks deduping two submits into one.
+		return fmt.Sprintf("t-%d", time.Now().UnixNano())
+	}
+	return fmt.Sprintf("%x", b)
+}

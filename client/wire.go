@@ -70,6 +70,12 @@ type JobStatus struct {
 	// cache's (design, options) memo without re-running the engines.
 	CacheHit bool      `json:"cache_hit,omitempty"`
 	Created  time.Time `json:"created"`
+	// Attempt is the 1-based execution attempt (> 1 after crash
+	// recovery re-ran the job); 0 for jobs that have not started.
+	Attempt int `json:"attempt,omitempty"`
+	// Progress is the job's latest heartbeat while running: the
+	// optimizers report their outer-iteration position through it.
+	Progress *JobProgress `json:"progress,omitempty"`
 	// Started and Finished are the zero time until the job leaves the
 	// queue / reaches a terminal state.
 	Started  time.Time `json:"started"`
@@ -77,6 +83,17 @@ type JobStatus struct {
 	// Result holds the op-specific payload once State is "done"; decode
 	// it with the typed accessors below.
 	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// JobProgress is a running job's most recent heartbeat.
+type JobProgress struct {
+	// Iter is the next outer iteration of the optimizer (analysis ops
+	// report coarser milestones).
+	Iter int `json:"iter"`
+	// Cost is the circuit cost at the heartbeat, in ps.
+	Cost float64 `json:"cost"`
+	// Updated is when the heartbeat was recorded (server clock).
+	Updated time.Time `json:"updated"`
 }
 
 // Terminal reports whether the job can no longer change state.
@@ -127,6 +144,11 @@ type OptimizeResult struct {
 	// timing analysis (the part FullRecompute toggles between incremental
 	// repair and from-scratch recompute).
 	AnalysisTimeSec float64 `json:"analysis_time_sec,omitempty"`
+	// Sizes is the optimized sizing vector (one library size index per
+	// gate, in gate order): the canonical equality oracle for comparing
+	// two runs — a resumed-after-crash optimization matches its
+	// uninterrupted counterpart iff these vectors are identical.
+	Sizes []int `json:"sizes,omitempty"`
 }
 
 // RecoverResult is the payload of recover jobs.

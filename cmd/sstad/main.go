@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/faultinject"
 	"repro/internal/server"
 )
 
@@ -42,6 +43,10 @@ func main() {
 		retention    = flag.Duration("retention", 15*time.Minute, "how long finished jobs stay pollable")
 		jobTimeout   = flag.Duration("job-timeout", 0, "default per-job deadline (0 = none)")
 		drain        = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget on SIGINT/SIGTERM")
+		journalPath  = flag.String("journal", "", "append-only job journal enabling crash recovery (empty = durability off)")
+		maxAttempts  = flag.Int("max-attempts", 0, "max executions per journaled job across crash recoveries (0 = 3)")
+		stallTimeout = flag.Duration("stall-timeout", 0, "fail running optimizer jobs with no progress heartbeat for this long (0 = off)")
+		injectSpec   = flag.String("inject", "", "chaos-test fault injection, comma-separated site=<duration>|fail[:<n>] entries (empty = off)")
 	)
 	flag.Parse()
 	if err := cliutil.CheckWorkers(*workers); err != nil {
@@ -52,15 +57,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sstad: -queue must be >= 0")
 		os.Exit(2)
 	}
+	for _, check := range []error{
+		cliutil.CheckDuration("-retention", *retention),
+		cliutil.CheckDuration("-job-timeout", *jobTimeout),
+		cliutil.CheckDuration("-drain", *drain),
+		cliutil.CheckDuration("-stall-timeout", *stallTimeout),
+		cliutil.CheckAttempts("-max-attempts", *maxAttempts),
+	} {
+		if check != nil {
+			fmt.Fprintln(os.Stderr, "sstad:", check)
+			os.Exit(2)
+		}
+	}
 
-	srv := server.New(server.Config{
+	inj, err := faultinject.ParseSpec(*injectSpec, 1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sstad: -inject:", err)
+		os.Exit(2)
+	}
+
+	srv, err := server.New(server.Config{
 		JobWorkers:    *workers,
 		QueueCapacity: *queueCap,
 		CacheDesigns:  *cacheDesigns,
 		CacheResults:  *cacheResults,
 		Retention:     *retention,
 		JobTimeout:    *jobTimeout,
+		JournalPath:   *journalPath,
+		MaxAttempts:   *maxAttempts,
+		StallTimeout:  *stallTimeout,
+		Inject:        inj,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sstad:", err)
+		os.Exit(1)
+	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

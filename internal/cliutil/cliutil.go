@@ -15,7 +15,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"time"
 
 	"repro"
 	"repro/internal/circuitlint"
@@ -56,6 +58,41 @@ func ParseWorkers(fs *flag.FlagSet, workers *int, args []string) error {
 		return err
 	}
 	return CheckWorkers(*workers)
+}
+
+// CheckSeconds validates a seconds-valued knob (a request field like
+// timeout_sec, or a float flag): it must be a finite number >= 0. NaN
+// in particular would slip through a plain "< 0" comparison (every
+// comparison with NaN is false) and then poison every duration derived
+// from it, so it is rejected by name here.
+func CheckSeconds(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("%s must be a finite number of seconds, got %v", name, v)
+	}
+	if v < 0 {
+		return fmt.Errorf("%s must be >= 0 seconds, got %g", name, v)
+	}
+	return nil
+}
+
+// CheckDuration validates a duration-valued flag: zero (disabled or
+// "use the default") and positive values are accepted, negatives
+// rejected with an error naming the flag.
+func CheckDuration(name string, d time.Duration) error {
+	if d < 0 {
+		return fmt.Errorf("%s must be >= 0, got %v", name, d)
+	}
+	return nil
+}
+
+// CheckAttempts validates a bounded-retry count flag (sstad's
+// -max-attempts): 0 selects the built-in default, positive counts are
+// taken literally, negatives are rejected.
+func CheckAttempts(name string, n int) error {
+	if n < 0 {
+		return fmt.Errorf("%s must be >= 0 (0 = default), got %d", name, n)
+	}
+	return nil
 }
 
 // LintFlag registers the shared -lint knob: the structural design

@@ -3,8 +3,10 @@ package cliutil
 import (
 	"flag"
 	"io"
+	"math"
 	"strings"
 	"testing"
+	"time"
 )
 
 func newFlagSet() (*flag.FlagSet, *int) {
@@ -49,5 +51,82 @@ func TestWorkersFlagRejectsGarbage(t *testing.T) {
 	fs, w := newFlagSet()
 	if err := ParseWorkers(fs, w, []string{"-workers", "lots"}); err == nil {
 		t.Fatal("non-numeric value accepted")
+	}
+}
+
+func TestCheckSeconds(t *testing.T) {
+	cases := []struct {
+		name string
+		v    float64
+		ok   bool
+	}{
+		{"zero", 0, true},
+		{"positive", 30, true},
+		{"fractional", 0.25, true},
+		{"negative", -1, false},
+		{"negative fraction", -0.001, false},
+		{"NaN", math.NaN(), false},
+		{"+Inf", math.Inf(1), false},
+		{"-Inf", math.Inf(-1), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := CheckSeconds("timeout_sec", tc.v)
+			if (err == nil) != tc.ok {
+				t.Fatalf("CheckSeconds(%v) err = %v, want ok=%v", tc.v, err, tc.ok)
+			}
+			if err != nil && !strings.Contains(err.Error(), "timeout_sec") {
+				t.Fatalf("error does not name the knob: %v", err)
+			}
+		})
+	}
+}
+
+func TestCheckDuration(t *testing.T) {
+	cases := []struct {
+		name string
+		d    time.Duration
+		ok   bool
+	}{
+		{"zero (off)", 0, true},
+		{"positive", 30 * time.Second, true},
+		{"one nanosecond", time.Nanosecond, true},
+		{"negative", -time.Second, false},
+		{"negative nanosecond", -time.Nanosecond, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := CheckDuration("-stall-timeout", tc.d)
+			if (err == nil) != tc.ok {
+				t.Fatalf("CheckDuration(%v) err = %v, want ok=%v", tc.d, err, tc.ok)
+			}
+			if err != nil && !strings.Contains(err.Error(), "-stall-timeout") {
+				t.Fatalf("error does not name the flag: %v", err)
+			}
+		})
+	}
+}
+
+func TestCheckAttempts(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		ok   bool
+	}{
+		{"zero (default)", 0, true},
+		{"one", 1, true},
+		{"many", 10, true},
+		{"negative", -1, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := CheckAttempts("-max-attempts", tc.n)
+			if (err == nil) != tc.ok {
+				t.Fatalf("CheckAttempts(%d) err = %v, want ok=%v", tc.n, err, tc.ok)
+			}
+			if err != nil && !strings.Contains(err.Error(), "-max-attempts") {
+				t.Fatalf("error does not name the flag: %v", err)
+			}
+		})
 	}
 }

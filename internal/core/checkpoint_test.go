@@ -1,0 +1,238 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/synth"
+)
+
+// collect runs an optimizer with a checkpoint collector installed and
+// returns every emitted checkpoint.
+type collector struct {
+	cps []Checkpoint
+}
+
+func (c *collector) take(cp Checkpoint) { c.cps = append(c.cps, cp) }
+
+// at returns the checkpoint whose Iter is the largest not exceeding
+// iter — the one a crash shortly after that iteration would resume from.
+func (c *collector) at(t *testing.T, iter int) Checkpoint {
+	t.Helper()
+	var best *Checkpoint
+	for i := range c.cps {
+		if c.cps[i].Iter <= iter && (best == nil || c.cps[i].Iter > best.Iter) {
+			best = &c.cps[i]
+		}
+	}
+	if best == nil {
+		t.Fatalf("no checkpoint at or before iteration %d (have %d checkpoints)", iter, len(c.cps))
+	}
+	return *best
+}
+
+func cloneDesign(d *synth.Design) *synth.Design {
+	return &synth.Design{Circuit: d.Circuit.Clone(), Lib: d.Lib}
+}
+
+func sizesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// roundTrip serializes a checkpoint through JSON, the form the server
+// journals it in, so resume exactness is proven for the persisted form
+// rather than the in-memory struct.
+func roundTrip(t *testing.T, cp Checkpoint) Checkpoint {
+	t.Helper()
+	raw, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Checkpoint
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestStatisticalGreedyResumeBitExact(t *testing.T) {
+	c, err := gen.ISCASLike("alu2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, vm := original(t, c)
+	baseSizes := d.Circuit.SizeSnapshot()
+	opts := Options{Lambda: 9, MaxIters: 12}
+
+	// Uninterrupted reference run, collecting checkpoints.
+	col := &collector{}
+	ref := cloneDesign(d)
+	refOpts := opts
+	refOpts.Checkpoint = col.take
+	refRes, err := StatisticalGreedy(ref, vm, refOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSizes := ref.Circuit.SizeSnapshot()
+	if len(col.cps) < 3 {
+		t.Fatalf("only %d checkpoints emitted over %d iterations", len(col.cps), refRes.Iterations)
+	}
+	for _, cp := range col.cps {
+		if cp.Op != "statistical" || len(cp.Sizes) != len(baseSizes) {
+			t.Fatalf("malformed checkpoint: %+v", cp)
+		}
+	}
+
+	// "Crash" at several points and resume from the persisted (JSON
+	// round-tripped) checkpoint on a fresh clone of the pre-optimization
+	// design: the final sizing vector must be bit-identical.
+	for _, crashAfter := range []int{1, 3, len(col.cps)} {
+		cp := col.at(t, crashAfter)
+		resumed := cloneDesign(d)
+		resOpts := opts
+		rt := roundTrip(t, cp)
+		resOpts.Resume = &rt
+		resRes, err := StatisticalGreedy(resumed, vm, resOpts)
+		if err != nil {
+			t.Fatalf("resume from iter %d: %v", cp.Iter, err)
+		}
+		if got := resumed.Circuit.SizeSnapshot(); !sizesEqual(got, refSizes) {
+			t.Fatalf("resume from iter %d: sizing diverged from uninterrupted run", cp.Iter)
+		}
+		if resRes.Final.Cost != refRes.Final.Cost || resRes.Final.Sigma != refRes.Final.Sigma {
+			t.Fatalf("resume from iter %d: final (%g, %g) != reference (%g, %g)",
+				cp.Iter, resRes.Final.Cost, resRes.Final.Sigma, refRes.Final.Cost, refRes.Final.Sigma)
+		}
+		if resRes.Initial != refRes.Initial {
+			t.Fatalf("resume from iter %d: initial snapshot %+v != %+v", cp.Iter, resRes.Initial, refRes.Initial)
+		}
+		if resRes.Iterations != refRes.Iterations {
+			t.Fatalf("resume from iter %d: iterations %d != %d", cp.Iter, resRes.Iterations, refRes.Iterations)
+		}
+	}
+}
+
+func TestMeanDelayGreedyResumeBitExact(t *testing.T) {
+	d, vm := setup(t, gen.ALU("alu", 8))
+	opts := Options{MaxIters: 10}
+
+	col := &collector{}
+	ref := cloneDesign(d)
+	refOpts := opts
+	refOpts.Checkpoint = col.take
+	if _, err := MeanDelayGreedy(ref, vm, refOpts); err != nil {
+		t.Fatal(err)
+	}
+	refSizes := ref.Circuit.SizeSnapshot()
+	if len(col.cps) == 0 {
+		t.Fatal("no checkpoints emitted")
+	}
+
+	cp := roundTrip(t, col.at(t, 2))
+	resumed := cloneDesign(d)
+	resOpts := opts
+	resOpts.Resume = &cp
+	if _, err := MeanDelayGreedy(resumed, vm, resOpts); err != nil {
+		t.Fatal(err)
+	}
+	if got := resumed.Circuit.SizeSnapshot(); !sizesEqual(got, refSizes) {
+		t.Fatal("mean-delay resume diverged from uninterrupted run")
+	}
+}
+
+func TestRecoverAreaResumeBitExact(t *testing.T) {
+	c, err := gen.ISCASLike("alu2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, vm := original(t, c)
+	if _, err := StatisticalGreedy(d, vm, Options{Lambda: 9, MaxIters: 8}); err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Lambda: 9}
+
+	col := &collector{}
+	ref := cloneDesign(d)
+	refOpts := opts
+	refOpts.Checkpoint = col.take
+	refSaved, err := RecoverArea(ref, vm, refOpts, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSizes := ref.Circuit.SizeSnapshot()
+	if len(col.cps) == 0 {
+		t.Skip("recovery converged in a single pass; nothing to resume")
+	}
+	for _, cp := range col.cps {
+		if cp.Op != "recover-area" || cp.Budget <= 0 || cp.Area0 <= 0 {
+			t.Fatalf("malformed recover-area checkpoint: %+v", cp)
+		}
+	}
+
+	cp := roundTrip(t, col.cps[0])
+	resumed := cloneDesign(d)
+	resOpts := opts
+	resOpts.Resume = &cp
+	resSaved, err := RecoverArea(resumed, vm, resOpts, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resumed.Circuit.SizeSnapshot(); !sizesEqual(got, refSizes) {
+		t.Fatal("recover-area resume diverged from uninterrupted run")
+	}
+	if resSaved != refSaved {
+		t.Fatalf("resumed run saved %g um^2, reference %g", resSaved, refSaved)
+	}
+}
+
+func TestCheckpointEveryThrottlesEmission(t *testing.T) {
+	d, vm := setup(t, gen.ALU("alu", 8))
+	col := &collector{}
+	_, err := MeanDelayGreedy(d, vm, Options{
+		MaxIters: 9, Checkpoint: col.take, CheckpointEvery: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cp := range col.cps {
+		if cp.Iter%3 != 0 {
+			t.Fatalf("checkpoint at iter %d despite period 3", cp.Iter)
+		}
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	d, vm := setup(t, gen.ALU("alu", 8))
+	sizes := d.Circuit.SizeSnapshot()
+
+	// Wrong op.
+	_, err := StatisticalGreedy(d, vm, Options{Resume: &Checkpoint{Op: "mean-delay", Sizes: sizes}})
+	if err == nil || !strings.Contains(err.Error(), "resume checkpoint is for") {
+		t.Fatalf("wrong-op resume accepted: %v", err)
+	}
+	// Wrong design shape.
+	_, err = StatisticalGreedy(d, vm, Options{Resume: &Checkpoint{Op: "statistical", Sizes: sizes[:1]}})
+	if err == nil || !strings.Contains(err.Error(), "sizes") {
+		t.Fatalf("wrong-shape resume accepted: %v", err)
+	}
+	// Negative iteration.
+	_, err = StatisticalGreedy(d, vm, Options{Resume: &Checkpoint{Op: "statistical", Sizes: sizes, Iter: -1}})
+	if err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("negative-iter resume accepted: %v", err)
+	}
+	// Negative checkpoint period.
+	_, err = StatisticalGreedy(d, vm, Options{CheckpointEvery: -1})
+	if err == nil {
+		t.Fatal("negative checkpoint period accepted")
+	}
+}

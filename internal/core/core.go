@@ -86,6 +86,25 @@ type Options struct {
 	// gates earlier on the path; 0 still lets the inner FULLSSTA passes
 	// use all CPUs, which cannot change any number.
 	Workers int
+	// Checkpoint, when non-nil, receives a resumable state snapshot at
+	// the end of every CheckpointEvery-th outer iteration (pass, for
+	// RecoverArea). The snapshot is exactly the loop-carried state the
+	// next iteration's top reads — sizes, best-seen cost and sizing,
+	// patience counter — so an optimizer restarted from it via Resume
+	// retraces the uninterrupted run bit-for-bit (the engines are
+	// deterministic, and every analysis is a pure function of the sizing
+	// vector). The callback runs on the optimizer goroutine; it should
+	// be quick (persisting a checkpoint is fine, blocking on a network
+	// call is not).
+	Checkpoint func(Checkpoint)
+	// CheckpointEvery is the emission period in outer iterations;
+	// <= 0 means 1 (every iteration).
+	CheckpointEvery int
+	// Resume, when non-nil, restarts the optimizer from a previously
+	// emitted checkpoint instead of the design's current sizing. The
+	// checkpoint must come from the same operation on the same design
+	// (Op and sizing-vector length are validated).
+	Resume *Checkpoint
 	// Incremental selects dirty-cone incremental timing for every
 	// whole-circuit analysis inside the optimizers (ssta.Incremental for
 	// the statistical ones, the exact-mode sta.Incremental for
@@ -125,12 +144,81 @@ func (o Options) validate() error {
 		{"patience", o.Patience},
 		{"path count", o.TopKPaths},
 		{"worker count", o.Workers},
+		{"checkpoint period", o.CheckpointEvery},
 	} {
 		if c.v < 0 {
 			return fmt.Errorf("core: negative %s %d", c.name, c.v)
 		}
 	}
 	return nil
+}
+
+func (o Options) checkpointEvery() int {
+	if o.CheckpointEvery <= 0 {
+		return 1
+	}
+	return o.CheckpointEvery
+}
+
+// Checkpoint is a resumable optimizer state: the full loop-carried
+// state at an outer-iteration boundary. Because the engines are
+// deterministic and every timing analysis is a pure function of the
+// sizing vector, resuming from a checkpoint reproduces the
+// uninterrupted run's remaining iterations — and final sizing —
+// bit-for-bit.
+type Checkpoint struct {
+	// Op names the emitting optimizer ("statistical", "mean-delay",
+	// "recover-area"); Resume rejects a mismatch.
+	Op string `json:"op"`
+	// Iter is the next outer iteration (pass) to execute.
+	Iter int `json:"iter"`
+	// Cost is the circuit cost of Sizes, for progress reporting.
+	Cost float64 `json:"cost"`
+	// Sizes is the current sizing vector (circuit.SizeSnapshot form).
+	Sizes []int `json:"sizes"`
+	// BestSizes / Best / Bad are the best-seen tracking state of the
+	// greedy optimizers (unused by recover-area).
+	BestSizes []int    `json:"best_sizes,omitempty"`
+	Best      Snapshot `json:"best"`
+	Bad       int      `json:"bad"`
+	// Initial is the snapshot at the original (pre-resume) entry, so a
+	// resumed run reports deltas against the true starting point.
+	Initial Snapshot `json:"initial"`
+	// LocalSlack / Budget / Area0 are recover-area loop state.
+	LocalSlack float64 `json:"local_slack,omitempty"`
+	Budget     float64 `json:"budget,omitempty"`
+	Area0      float64 `json:"area0,omitempty"`
+}
+
+// resumeFor validates Options.Resume against the engine op and the
+// design's gate count, returning the checkpoint (nil when not resuming).
+func (o Options) resumeFor(op string, d *synth.Design) (*Checkpoint, error) {
+	cp := o.Resume
+	if cp == nil {
+		return nil, nil
+	}
+	if cp.Op != op {
+		return nil, fmt.Errorf("core: resume checkpoint is for %q, not %q", cp.Op, op)
+	}
+	if want := len(d.Circuit.SizeSnapshot()); len(cp.Sizes) != want {
+		return nil, fmt.Errorf("core: resume checkpoint has %d sizes, design has %d gates", len(cp.Sizes), want)
+	}
+	if cp.Iter < 0 {
+		return nil, fmt.Errorf("core: resume checkpoint has negative iteration %d", cp.Iter)
+	}
+	return cp, nil
+}
+
+// emit delivers a checkpoint if this iteration boundary is due.
+func (o Options) emit(cp Checkpoint) {
+	if o.Checkpoint == nil || cp.Iter%o.checkpointEvery() != 0 {
+		return
+	}
+	// Copies guard the engine's retained slices from the callback's
+	// consumer (which typically serializes asynchronously).
+	cp.Sizes = append([]int(nil), cp.Sizes...)
+	cp.BestSizes = append([]int(nil), cp.BestSizes...)
+	o.Checkpoint(cp)
 }
 
 // ctxErr reports the cancellation state of the run's context.
@@ -244,6 +332,14 @@ func StatisticalGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Res
 	res := &Result{StoppedBy: "max-iters"}
 	ex := fassta.NewExtractor(d)
 
+	resume, err := opts.resumeFor("statistical", d)
+	if err != nil {
+		return nil, err
+	}
+	if resume != nil {
+		d.Circuit.RestoreSizes(resume.Sizes)
+	}
+
 	// All whole-circuit analyses go through the analyzer, which serves
 	// them either by full recompute or by incremental dirty-cone repair
 	// (Options.Incremental) with bit-identical values. In incremental
@@ -256,8 +352,19 @@ func StatisticalGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Res
 	best := res.Initial
 	bestSizes := d.Circuit.SizeSnapshot()
 	bad := 0
+	startIter := 0
+	if resume != nil {
+		// Restore the loop-carried state exactly as the uninterrupted run
+		// would have held it at this iteration boundary.
+		res.Initial = resume.Initial
+		best = resume.Best
+		bestSizes = append([]int(nil), resume.BestSizes...)
+		bad = resume.Bad
+		startIter = resume.Iter
+		res.Iterations = startIter
+	}
 
-	for iter := 0; iter < opts.maxIters(); iter++ {
+	for iter := startIter; iter < opts.maxIters(); iter++ {
 		if err := opts.ctxErr(); err != nil {
 			return nil, err
 		}
@@ -457,6 +564,11 @@ func StatisticalGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Res
 			Iter: iter, Cost: cur.Cost, Mean: cur.Mean, Sigma: cur.Sigma,
 			Area: cur.Area, PathLen: len(path), Resized: resized, Move: move,
 		})
+		opts.emit(Checkpoint{
+			Op: "statistical", Iter: iter + 1, Cost: full.Cost(d, opts.Lambda),
+			Sizes: d.Circuit.SizeSnapshot(), BestSizes: bestSizes,
+			Best: best, Bad: bad, Initial: res.Initial,
+		})
 		if resized == 0 {
 			res.StoppedBy = "converged"
 			break
@@ -500,6 +612,14 @@ func MeanDelayGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Resul
 	res := &Result{StoppedBy: "max-iters"}
 	ex := fassta.NewExtractor(d)
 
+	resume, err := opts.resumeFor("mean-delay", d)
+	if err != nil {
+		return nil, err
+	}
+	if resume != nil {
+		d.Circuit.RestoreSizes(resume.Sizes)
+	}
+
 	// Same analyzer discipline as StatisticalGreedy: `nominal` may be the
 	// incremental engine's shared object, so the loop keeps scalar costs
 	// and re-refreshes after every RestoreSizes.
@@ -509,8 +629,17 @@ func MeanDelayGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Resul
 	best := res.Initial
 	bestSizes := d.Circuit.SizeSnapshot()
 	bad := 0
+	startIter := 0
+	if resume != nil {
+		res.Initial = resume.Initial
+		best = resume.Best
+		bestSizes = append([]int(nil), resume.BestSizes...)
+		bad = resume.Bad
+		startIter = resume.Iter
+		res.Iterations = startIter
+	}
 
-	for iter := 0; iter < opts.maxIters(); iter++ {
+	for iter := startIter; iter < opts.maxIters(); iter++ {
 		if err := opts.ctxErr(); err != nil {
 			return nil, err
 		}
@@ -578,6 +707,11 @@ func MeanDelayGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Resul
 			Iter: iter, Cost: cur.Cost, Mean: cur.Mean, Area: cur.Area,
 			PathLen: len(path), Resized: resized, Move: move,
 		})
+		opts.emit(Checkpoint{
+			Op: "mean-delay", Iter: iter + 1, Cost: nominal.STA.MaxArrival,
+			Sizes: d.Circuit.SizeSnapshot(), BestSizes: bestSizes,
+			Best: best, Bad: bad, Initial: res.Initial,
+		})
 		if resized == 0 {
 			res.StoppedBy = "converged"
 			break
@@ -611,6 +745,15 @@ func RecoverArea(d *synth.Design, vm *variation.Model, opts Options, slackFrac f
 		return 0, fmt.Errorf("core: negative slack fraction %g", slackFrac)
 	}
 	ex := fassta.NewExtractor(d)
+
+	resume, err := opts.resumeFor("recover-area", d)
+	if err != nil {
+		return 0, err
+	}
+	if resume != nil {
+		d.Circuit.RestoreSizes(resume.Sizes)
+	}
+
 	az := newStatAnalyzer(d, vm, opts)
 	full := az.refresh()
 	entryCost := full.Cost(d, opts.Lambda)
@@ -620,9 +763,20 @@ func RecoverArea(d *synth.Design, vm *variation.Model, opts Options, slackFrac f
 	if localSlack <= 0 {
 		localSlack = 1e-9
 	}
+	startPass := 0
+	if resume != nil {
+		// Loop state exactly as the uninterrupted run carried it at this
+		// pass boundary (budget was derived from the ORIGINAL entry cost,
+		// area0 from the pre-recovery area — both come from the
+		// checkpoint, not from the resumed design).
+		budget = resume.Budget
+		area0 = resume.Area0
+		localSlack = resume.LocalSlack
+		startPass = resume.Iter
+	}
 
 	topo := d.Circuit.MustTopoOrder()
-	for pass := 0; pass < 40; pass++ {
+	for pass := startPass; pass < 40; pass++ {
 		if err := opts.ctxErr(); err != nil {
 			return 0, err
 		}
@@ -644,7 +798,8 @@ func RecoverArea(d *synth.Design, vm *variation.Model, opts Options, slackFrac f
 			break
 		}
 		newFull := az.refresh()
-		if newFull.Cost(d, opts.Lambda) > budget {
+		newCost := newFull.Cost(d, opts.Lambda)
+		if newCost > budget {
 			// Batch overshot the global budget: roll back and retry more
 			// conservatively, re-refreshing so `full` again reflects the
 			// pre-batch sizing (a memo hit on the previous pass's analysis
@@ -655,9 +810,19 @@ func RecoverArea(d *synth.Design, vm *variation.Model, opts Options, slackFrac f
 			if localSlack < 1e-6 {
 				break
 			}
+			opts.emit(Checkpoint{
+				Op: "recover-area", Iter: pass + 1, Cost: full.Cost(d, opts.Lambda),
+				Sizes: d.Circuit.SizeSnapshot(),
+				LocalSlack: localSlack, Budget: budget, Area0: area0,
+			})
 			continue
 		}
 		full = newFull
+		opts.emit(Checkpoint{
+			Op: "recover-area", Iter: pass + 1, Cost: newCost,
+			Sizes: d.Circuit.SizeSnapshot(),
+			LocalSlack: localSlack, Budget: budget, Area0: area0,
+		})
 	}
 	return area0 - d.Area(), nil
 }

@@ -1,0 +1,178 @@
+// Package faultinject is the deterministic fault-injection harness the
+// chaos tests drive: named sites in the durability stack (journal
+// appends, fsyncs, job execution, client transport) call Fire, and an
+// Injector configured with per-site plans decides — from a seeded PCG
+// stream, so every run is reproducible — whether that hit returns an
+// injected error, sleeps, or panics.
+//
+// Production code paths hold a nil *Injector: Fire on a nil receiver is
+// a single branch returning nil, so instrumented sites cost nothing
+// when chaos is off. Tests build an Injector, install plans, and hand
+// it down through the owning package's Options.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the default error a firing site returns; chaos tests
+// assert on it (or on a Plan-specific Err) to distinguish injected
+// failures from real ones.
+var ErrInjected = errors.New("faultinject: injected failure")
+
+// Plan decides when a site fires and what happens when it does. The
+// triggers compose: a hit fires if ANY enabled trigger selects it.
+type Plan struct {
+	// FailFirst fires the first N hits of the site.
+	FailFirst int
+	// FailEvery, when > 0, fires every Nth hit (1-based: hit N, 2N, ...).
+	FailEvery int
+	// FailAfter, when > 0, fires every hit past the Nth.
+	FailAfter int
+	// Prob, when > 0, fires each hit with this probability, drawn from
+	// the injector's seeded stream (deterministic for a fixed seed and
+	// hit order).
+	Prob float64
+	// Err is returned by a firing hit; nil means ErrInjected.
+	Err error
+	// Delay is slept on every hit (firing or not), simulating slow I/O.
+	Delay time.Duration
+	// Panic makes a firing hit panic instead of returning the error,
+	// exercising the panic-isolation paths.
+	Panic bool
+}
+
+// Injector routes Fire calls to plans. The zero value is not usable;
+// build with New. All methods are safe for concurrent use, and every
+// method on a nil receiver is a no-op, so call sites never nil-check.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	plans map[string]Plan
+	hits  map[string]int
+	fired map[string]int
+}
+
+// New builds an injector whose probabilistic triggers draw from a PCG
+// stream seeded with seed (same seed + same hit order = same faults).
+func New(seed uint64) *Injector {
+	return &Injector{
+		rng:   rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		plans: make(map[string]Plan),
+		hits:  make(map[string]int),
+		fired: make(map[string]int),
+	}
+}
+
+// Set installs (or replaces) the plan for a site and resets its
+// counters.
+func (in *Injector) Set(site string, p Plan) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.plans[site] = p
+	in.hits[site] = 0
+	in.fired[site] = 0
+}
+
+// Clear removes the plan for a site (hits at it become free again).
+func (in *Injector) Clear(site string) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.plans, site)
+}
+
+// Fire registers one hit at the site and returns the injected error if
+// the site's plan selects this hit (or panics, if the plan says so).
+// Sites without a plan — and every site of a nil injector — return nil.
+func (in *Injector) Fire(site string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	p, ok := in.plans[site]
+	if !ok {
+		in.mu.Unlock()
+		return nil
+	}
+	in.hits[site]++
+	n := in.hits[site]
+	fires := p.FailFirst >= n ||
+		(p.FailEvery > 0 && n%p.FailEvery == 0) ||
+		(p.FailAfter > 0 && n > p.FailAfter) ||
+		(p.Prob > 0 && in.rng.Float64() < p.Prob)
+	if fires {
+		in.fired[site]++
+	}
+	in.mu.Unlock()
+
+	if p.Delay > 0 {
+		time.Sleep(p.Delay)
+	}
+	if !fires {
+		return nil
+	}
+	err := p.Err
+	if err == nil {
+		err = ErrInjected
+	}
+	if p.Panic {
+		panic(fmt.Sprintf("faultinject: site %s: %v", site, err))
+	}
+	return err
+}
+
+// Hits returns how many times the site was reached since its plan was
+// installed.
+func (in *Injector) Hits(site string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hits[site]
+}
+
+// Fired returns how many of those hits actually injected a fault.
+func (in *Injector) Fired(site string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired[site]
+}
+
+// RoundTripper drops or delays HTTP requests at a named site,
+// simulating the connection failures the client's retry layer must
+// absorb. A firing hit returns the injected error without forwarding
+// the request — from the caller's perspective, the connection died.
+type RoundTripper struct {
+	In   *Injector
+	Site string
+	// Base forwards surviving requests; nil means
+	// http.DefaultTransport.
+	Base http.RoundTripper
+}
+
+// RoundTrip implements http.RoundTripper.
+func (rt RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	if err := rt.In.Fire(rt.Site); err != nil {
+		return nil, fmt.Errorf("faultinject: %s: connection dropped: %w", rt.Site, err)
+	}
+	base := rt.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(req)
+}

@@ -1,0 +1,157 @@
+package faultinject
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestNilInjectorIsFree(t *testing.T) {
+	var in *Injector
+	if err := in.Fire("anywhere"); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	in.Set("anywhere", Plan{FailFirst: 1}) // must not panic
+	in.Clear("anywhere")
+	if in.Hits("anywhere") != 0 || in.Fired("anywhere") != 0 {
+		t.Fatal("nil injector reports counters")
+	}
+}
+
+func TestUnplannedSiteNeverFires(t *testing.T) {
+	in := New(1)
+	for i := 0; i < 100; i++ {
+		if err := in.Fire("quiet"); err != nil {
+			t.Fatalf("unplanned site fired on hit %d: %v", i, err)
+		}
+	}
+	if in.Hits("quiet") != 0 {
+		t.Fatal("unplanned sites should not be counted")
+	}
+}
+
+func TestFailFirstAndEvery(t *testing.T) {
+	in := New(7)
+	in.Set("s", Plan{FailFirst: 2, FailEvery: 5})
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if err := in.Fire("s"); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: unexpected error %v", i, err)
+			}
+			fired = append(fired, i)
+		}
+	}
+	want := []int{1, 2, 5, 10}
+	if len(fired) != len(want) {
+		t.Fatalf("fired on hits %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired on hits %v, want %v", fired, want)
+		}
+	}
+	if in.Hits("s") != 12 || in.Fired("s") != 4 {
+		t.Fatalf("counters = (%d, %d), want (12, 4)", in.Hits("s"), in.Fired("s"))
+	}
+}
+
+func TestFailAfter(t *testing.T) {
+	in := New(1)
+	in.Set("s", Plan{FailAfter: 3})
+	for i := 1; i <= 6; i++ {
+		err := in.Fire("s")
+		if i <= 3 && err != nil {
+			t.Fatalf("hit %d fired early: %v", i, err)
+		}
+		if i > 3 && err == nil {
+			t.Fatalf("hit %d should have fired", i)
+		}
+	}
+}
+
+func TestProbDeterministicForSeed(t *testing.T) {
+	pattern := func(seed uint64) []bool {
+		in := New(seed)
+		in.Set("p", Plan{Prob: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Fire("p") != nil
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+	c := pattern(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical 64-hit pattern")
+	}
+	n := 0
+	for _, f := range a {
+		if f {
+			n++
+		}
+	}
+	if n == 0 || n == len(a) {
+		t.Fatalf("prob 0.5 fired %d/%d times", n, len(a))
+	}
+}
+
+func TestCustomErrAndPanic(t *testing.T) {
+	in := New(1)
+	sentinel := errors.New("boom")
+	in.Set("e", Plan{FailFirst: 1, Err: sentinel})
+	if err := in.Fire("e"); !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want sentinel", err)
+	}
+
+	in.Set("p", Plan{FailFirst: 1, Panic: true})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic plan did not panic")
+		}
+		if !strings.Contains(r.(string), "site p") {
+			t.Fatalf("panic message %q does not name the site", r)
+		}
+	}()
+	in.Fire("p")
+}
+
+func TestRoundTripperDropsConnections(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	in := New(5)
+	in.Set("rt", Plan{FailFirst: 2})
+	hc := &http.Client{Transport: RoundTripper{In: in, Site: "rt"}}
+
+	for i := 1; i <= 2; i++ {
+		if _, err := hc.Get(ts.URL); err == nil {
+			t.Fatalf("request %d survived a planned drop", i)
+		}
+	}
+	resp, err := hc.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("request after drops failed: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,59 @@
+package faultinject
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ParseSpec builds an injector from a command-line specification, so
+// chaos harnesses can configure fault sites in a child process they
+// only control through flags (sstad's -inject). The grammar is a
+// comma-separated list of site=action entries:
+//
+//	site=<duration>   sleep that long on every hit (e.g. slow fsync)
+//	site=fail         inject an error on every hit
+//	site=fail:<n>     inject an error on the first n hits only
+//
+// An empty spec returns (nil, nil): a nil *Injector is the documented
+// "injection off" value at every site.
+func ParseSpec(spec string, seed uint64) (*Injector, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	in := New(seed)
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		site, action, ok := strings.Cut(entry, "=")
+		site, action = strings.TrimSpace(site), strings.TrimSpace(action)
+		if !ok || site == "" || action == "" {
+			return nil, fmt.Errorf("faultinject: bad spec entry %q, want site=<duration>|fail[:<n>]", entry)
+		}
+		var p Plan
+		switch {
+		case action == "fail":
+			p.FailAfter = 0
+			p.FailEvery = 1
+		case strings.HasPrefix(action, "fail:"):
+			var n int
+			if _, err := fmt.Sscanf(action, "fail:%d", &n); err != nil || n <= 0 {
+				return nil, fmt.Errorf("faultinject: bad fail count in %q, want fail:<positive n>", entry)
+			}
+			p.FailFirst = n
+		default:
+			d, err := time.ParseDuration(action)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: bad action %q in %q, want a duration or fail[:<n>]", action, entry)
+			}
+			if d < 0 {
+				return nil, fmt.Errorf("faultinject: negative delay in %q", entry)
+			}
+			p.Delay = d
+		}
+		in.Set(site, p)
+	}
+	return in, nil
+}

@@ -1,0 +1,90 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseSpecEmpty(t *testing.T) {
+	for _, spec := range []string{"", "   ", " , "} {
+		in, err := ParseSpec(spec, 1)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", spec, err)
+		}
+		if spec == "" && in != nil {
+			t.Fatalf("ParseSpec(%q) = %v, want nil injector (injection off)", spec, in)
+		}
+	}
+}
+
+func TestParseSpecDelay(t *testing.T) {
+	in, err := ParseSpec("server.checkpoint=5ms", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := in.Fire("server.checkpoint"); err != nil {
+		t.Fatalf("delay plan injected an error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("delay plan slept %v, want >= 5ms", elapsed)
+	}
+	if in.Hits("server.checkpoint") != 1 || in.Fired("server.checkpoint") != 0 {
+		t.Fatal("delay-only plan must count hits but never fire")
+	}
+}
+
+func TestParseSpecFail(t *testing.T) {
+	in, err := ParseSpec("journal.append.sync=fail", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := in.Fire("journal.append.sync"); err == nil {
+			t.Fatalf("hit %d: fail plan did not inject", i+1)
+		}
+	}
+}
+
+func TestParseSpecFailN(t *testing.T) {
+	in, err := ParseSpec("w=fail:2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Fire("w") == nil || in.Fire("w") == nil {
+		t.Fatal("first two hits must inject")
+	}
+	if err := in.Fire("w"); err != nil {
+		t.Fatalf("third hit injected: %v", err)
+	}
+}
+
+func TestParseSpecMultipleSites(t *testing.T) {
+	in, err := ParseSpec("a=1ms, b=fail", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Fire("a"); err != nil {
+		t.Fatalf("site a: %v", err)
+	}
+	if err := in.Fire("b"); err == nil {
+		t.Fatal("site b did not inject")
+	}
+}
+
+func TestParseSpecRejectsMalformed(t *testing.T) {
+	for _, spec := range []string{
+		"noequals",
+		"=5ms",
+		"site=",
+		"site=notaduration",
+		"site=-5ms",
+		"site=fail:0",
+		"site=fail:-1",
+		"site=fail:x",
+	} {
+		if _, err := ParseSpec(spec, 1); err == nil {
+			t.Errorf("ParseSpec(%q) accepted a malformed spec", spec)
+		}
+	}
+}

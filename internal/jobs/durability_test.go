@@ -1,0 +1,259 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recorder collects OnTransition snapshots for assertions.
+type recorder struct {
+	mu   sync.Mutex
+	seen []Snapshot
+}
+
+func (r *recorder) observe(sn Snapshot) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seen = append(r.seen, sn)
+}
+
+func (r *recorder) states(id string) []State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []State
+	for _, sn := range r.seen {
+		if sn.ID == id {
+			out = append(out, sn.State)
+		}
+	}
+	return out
+}
+
+func TestSubmitOptsExplicitID(t *testing.T) {
+	q := New(Options{Workers: 1})
+	defer q.Shutdown(context.Background())
+
+	block := make(chan struct{})
+	fn := func(ctx context.Context) (any, error) { <-block; return nil, nil }
+	id, err := q.SubmitOpts(fn, SubmitOptions{ID: "j000042"})
+	if err != nil || id != "j000042" {
+		t.Fatalf("explicit ID submit = (%q, %v)", id, err)
+	}
+	if _, err := q.SubmitOpts(fn, SubmitOptions{ID: "j000042"}); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate ID accepted: %v", err)
+	}
+	// Fresh IDs must continue past the replayed one.
+	id2, err := q.SubmitOpts(fn, SubmitOptions{})
+	if err != nil || id2 != "j000043" {
+		t.Fatalf("fresh ID after replay = (%q, %v), want j000043", id2, err)
+	}
+	close(block)
+	waitDone(t, q, id)
+	waitDone(t, q, id2)
+}
+
+func TestNewIDReservesWithoutEnqueuing(t *testing.T) {
+	q := New(Options{Workers: 1})
+	defer q.Shutdown(context.Background())
+
+	id := q.NewID()
+	if _, err := q.Get(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("reserved ID is queryable: %v", err)
+	}
+	got, err := q.SubmitOpts(func(ctx context.Context) (any, error) { return 1, nil },
+		SubmitOptions{ID: id})
+	if err != nil || got != id {
+		t.Fatalf("submit under reserved ID = (%q, %v)", got, err)
+	}
+	waitDone(t, q, id)
+}
+
+func TestOnTransitionSequence(t *testing.T) {
+	rec := &recorder{}
+	q := New(Options{Workers: 1, OnTransition: rec.observe})
+	defer q.Shutdown(context.Background())
+
+	okID, _ := q.Submit(func(ctx context.Context) (any, error) { return "r", nil }, 0)
+	waitDone(t, q, okID)
+	failID, _ := q.Submit(func(ctx context.Context) (any, error) { return nil, errors.New("x") }, 0)
+	waitDone(t, q, failID)
+
+	if got := rec.states(okID); len(got) != 2 || got[0] != StateRunning || got[1] != StateDone {
+		t.Fatalf("done job transitions = %v", got)
+	}
+	if got := rec.states(failID); len(got) != 2 || got[0] != StateRunning || got[1] != StateFailed {
+		t.Fatalf("failed job transitions = %v", got)
+	}
+}
+
+func TestOnTransitionCancelQueued(t *testing.T) {
+	rec := &recorder{}
+	q := New(Options{Workers: 1, OnTransition: rec.observe})
+	defer q.Shutdown(context.Background())
+
+	block := make(chan struct{})
+	defer close(block)
+	q.Submit(func(ctx context.Context) (any, error) { <-block; return nil, nil }, 0)
+	queued, _ := q.Submit(func(ctx context.Context) (any, error) { return nil, nil }, 0)
+	if !q.Cancel(queued) {
+		t.Fatal("cancel of queued job refused")
+	}
+	if got := rec.states(queued); len(got) != 1 || got[0] != StateCancelled {
+		t.Fatalf("cancelled-while-queued transitions = %v", got)
+	}
+}
+
+func TestShutdownSuppressesTransitions(t *testing.T) {
+	rec := &recorder{}
+	q := New(Options{Workers: 1, OnTransition: rec.observe})
+
+	started := make(chan struct{})
+	runID, _ := q.Submit(func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}, 0)
+	queuedID, _ := q.Submit(func(ctx context.Context) (any, error) { return nil, nil }, 0)
+	<-started
+	if err := q.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The running job got its start notification but neither job gets a
+	// terminal one: from the journal's point of view both are still
+	// pending, to be re-enqueued on restart.
+	if got := rec.states(runID); len(got) != 1 || got[0] != StateRunning {
+		t.Fatalf("interrupted running job transitions = %v", got)
+	}
+	if got := rec.states(queuedID); len(got) != 0 {
+		t.Fatalf("interrupted queued job transitions = %v", got)
+	}
+}
+
+func TestSetProgressVisibleInSnapshots(t *testing.T) {
+	q := New(Options{Workers: 1})
+	defer q.Shutdown(context.Background())
+
+	reported := make(chan struct{})
+	release := make(chan struct{})
+	var id string
+	idReady := make(chan struct{})
+	id, _ = q.Submit(func(ctx context.Context) (any, error) {
+		<-idReady
+		if !q.SetProgress(id, 7, 3.25) {
+			return nil, errors.New("SetProgress refused a running job")
+		}
+		close(reported)
+		<-release
+		return nil, nil
+	}, 0)
+	close(idReady)
+	<-reported
+
+	sn, err := q.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn.Progress == nil || sn.Progress.Iter != 7 || sn.Progress.Cost != 3.25 {
+		t.Fatalf("snapshot progress = %+v", sn.Progress)
+	}
+	if sn.Progress.Updated.IsZero() {
+		t.Fatal("progress heartbeat not stamped")
+	}
+	close(release)
+	final := waitDone(t, q, id)
+	if final.Err != nil {
+		t.Fatalf("job failed: %v", final.Err)
+	}
+	if final.Progress == nil || final.Progress.Iter != 7 {
+		t.Fatalf("terminal snapshot lost progress: %+v", final.Progress)
+	}
+
+	// Terminal jobs refuse heartbeats.
+	if q.SetProgress(id, 8, 1) {
+		t.Fatal("SetProgress accepted a finished job")
+	}
+	if q.SetProgress("nope", 1, 1) {
+		t.Fatal("SetProgress accepted an unknown job")
+	}
+}
+
+func TestStallWatchdogFailsSilentJob(t *testing.T) {
+	rec := &recorder{}
+	q := New(Options{
+		Workers:          1,
+		OnTransition:     rec.observe,
+		WatchdogInterval: 5 * time.Millisecond,
+	})
+	defer q.Shutdown(context.Background())
+
+	id, err := q.SubmitOpts(func(ctx context.Context) (any, error) {
+		<-ctx.Done() // never heartbeats; waits to be killed
+		return nil, ctx.Err()
+	}, SubmitOptions{StallTimeout: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn := waitDone(t, q, id)
+	if sn.State != StateFailed {
+		t.Fatalf("stalled job state = %s, want failed", sn.State)
+	}
+	if !errors.Is(sn.Err, ErrStalled) {
+		t.Fatalf("stalled job error = %v, want ErrStalled", sn.Err)
+	}
+	if got := rec.states(id); len(got) != 2 || got[1] != StateFailed {
+		t.Fatalf("stalled job transitions = %v", got)
+	}
+}
+
+func TestHeartbeatKeepsWatchdogAtBay(t *testing.T) {
+	q := New(Options{Workers: 1, WatchdogInterval: 5 * time.Millisecond})
+	defer q.Shutdown(context.Background())
+
+	var id string
+	idReady := make(chan struct{})
+	id, err := q.SubmitOpts(func(ctx context.Context) (any, error) {
+		<-idReady
+		for i := 0; i < 10; i++ {
+			select {
+			case <-ctx.Done():
+				return nil, fmt.Errorf("killed at beat %d: %w", i, context.Cause(ctx))
+			case <-time.After(10 * time.Millisecond):
+			}
+			q.SetProgress(id, i, float64(i))
+		}
+		return "survived", nil
+	}, SubmitOptions{StallTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(idReady)
+	sn := waitDone(t, q, id)
+	if sn.State != StateDone {
+		t.Fatalf("heartbeating job state = %s (err %v), want done", sn.State, sn.Err)
+	}
+}
+
+func TestUserCancelIsNotStall(t *testing.T) {
+	q := New(Options{Workers: 1, WatchdogInterval: time.Hour})
+	defer q.Shutdown(context.Background())
+
+	started := make(chan struct{})
+	id, _ := q.SubmitOpts(func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}, SubmitOptions{StallTimeout: time.Hour})
+	<-started
+	q.Cancel(id)
+	sn := waitDone(t, q, id)
+	if sn.State != StateCancelled {
+		t.Fatalf("user-cancelled job state = %s, want cancelled", sn.State)
+	}
+	if errors.Is(sn.Err, ErrStalled) {
+		t.Fatalf("user cancel misclassified as stall: %v", sn.Err)
+	}
+}

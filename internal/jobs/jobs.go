@@ -43,6 +43,16 @@ func (s State) Terminal() bool {
 // iteration/shard granularity) and return either a result or an error.
 type Fn func(ctx context.Context) (any, error)
 
+// Progress is a job's latest heartbeat: long-running work (the
+// optimizers, via their checkpoint callbacks) reports its position
+// through SetProgress, which both surfaces it to pollers and feeds the
+// stall watchdog.
+type Progress struct {
+	Iter    int
+	Cost    float64
+	Updated time.Time
+}
+
 // Snapshot is an immutable copy of a job's state, safe to hold across
 // queue operations.
 type Snapshot struct {
@@ -53,6 +63,7 @@ type Snapshot struct {
 	Created  time.Time
 	Started  time.Time // zero until the job leaves the queue
 	Finished time.Time // zero until the job reaches a terminal state
+	Progress *Progress // nil until the job first reports progress
 }
 
 var (
@@ -63,6 +74,13 @@ var (
 	ErrClosed = errors.New("jobs: queue closed")
 	// ErrNotFound is returned for unknown (or already collected) job IDs.
 	ErrNotFound = errors.New("jobs: no such job")
+	// ErrExists is returned by SubmitOpts when the explicit ID is
+	// already taken.
+	ErrExists = errors.New("jobs: job ID already exists")
+	// ErrStalled is the cancellation cause the watchdog attaches to a
+	// running job whose progress heartbeat exceeded its stall deadline;
+	// such jobs finish failed, not cancelled.
+	ErrStalled = errors.New("jobs: job stalled")
 )
 
 // Options configures a Queue. The zero value is usable: one worker per
@@ -85,6 +103,18 @@ type Options struct {
 	// DefaultTimeout, when > 0, is applied as a deadline to jobs
 	// submitted without their own.
 	DefaultTimeout time.Duration
+	// OnTransition, when non-nil, is invoked synchronously (queue lock
+	// released) whenever a job enters running or a terminal state: the
+	// durability write-through hook. Two deliberate gaps: submission is
+	// not reported (the submitter already holds the richer request
+	// context), and Shutdown-induced cancellations are not reported,
+	// because an interrupted job is not terminal from a durability
+	// point of view — journal replay re-enqueues it on restart.
+	OnTransition func(Snapshot)
+	// WatchdogInterval is how often the stall watchdog scans running
+	// jobs (<= 0 means 1 second). Only jobs submitted with a positive
+	// StallTimeout are watched.
+	WatchdogInterval time.Duration
 }
 
 func (o Options) capacity() int {
@@ -108,18 +138,28 @@ func (o Options) maxFinished() int {
 	return o.MaxFinished
 }
 
+func (o Options) watchdogInterval() time.Duration {
+	if o.WatchdogInterval <= 0 {
+		return time.Second
+	}
+	return o.WatchdogInterval
+}
+
 type job struct {
-	id       string
-	fn       Fn
-	timeout  time.Duration
-	state    State
-	result   any
-	err      error
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	cancel   context.CancelFunc // non-nil while running
-	done     chan struct{}      // closed on terminal transition
+	id        string
+	fn        Fn
+	timeout   time.Duration
+	stall     time.Duration // > 0: heartbeat deadline enforced while running
+	state     State
+	result    any
+	err       error
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	heartbeat time.Time // started, then bumped by each SetProgress
+	progress  *Progress
+	cancel    context.CancelCauseFunc // non-nil while running
+	done      chan struct{}           // closed on terminal transition
 }
 
 // Queue is the bounded FIFO job queue. Build with New, stop with
@@ -154,10 +194,11 @@ func New(opts Options) *Queue {
 	}
 	q.cond = sync.NewCond(&q.mu)
 	workers := parallel.Resolve(opts.Workers)
-	q.wg.Add(workers)
+	q.wg.Add(workers + 1)
 	for i := 0; i < workers; i++ {
 		go q.worker()
 	}
+	go q.watchdog()
 	return q
 }
 
@@ -165,6 +206,42 @@ func New(opts Options) *Queue {
 // Options.DefaultTimeout; negative means no deadline even if a default
 // exists). It returns the new job's ID, or ErrFull/ErrClosed.
 func (q *Queue) Submit(fn Fn, timeout time.Duration) (string, error) {
+	return q.SubmitOpts(fn, SubmitOptions{Timeout: timeout})
+}
+
+// SubmitOptions parameterizes SubmitOpts. The zero value matches
+// Submit(fn, 0).
+type SubmitOptions struct {
+	// ID, when non-empty, is the job's identity — journal replay uses
+	// it to preserve IDs across restarts (SubmitOpts returns ErrExists
+	// if it is taken). Empty allocates the next sequential ID.
+	ID string
+	// Timeout is the per-job deadline (0 falls back to
+	// Options.DefaultTimeout; negative means none even if a default
+	// exists).
+	Timeout time.Duration
+	// StallTimeout, when > 0, arms the heartbeat watchdog for this job:
+	// while running, it must call SetProgress at least this often
+	// (measured from start and from each heartbeat) or it is failed
+	// with ErrStalled as the cause.
+	StallTimeout time.Duration
+}
+
+// NewID allocates and returns the next job ID without enqueuing
+// anything. Durable submitters reserve the ID first, journal the
+// admission under it, then enqueue with SubmitOpts — so the journal
+// never sees a record for an ID it cannot attribute.
+func (q *Queue) NewID() string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.seq++
+	return fmt.Sprintf("j%06d", q.seq)
+}
+
+// SubmitOpts enqueues fn under o. It returns the job's ID, or
+// ErrFull/ErrClosed/ErrExists.
+func (q *Queue) SubmitOpts(fn Fn, o SubmitOptions) (string, error) {
+	timeout := o.Timeout
 	if timeout == 0 {
 		timeout = q.opts.DefaultTimeout
 	}
@@ -177,11 +254,25 @@ func (q *Queue) Submit(fn Fn, timeout time.Duration) (string, error) {
 	if q.queued >= q.opts.capacity() {
 		return "", ErrFull
 	}
-	q.seq++
+	id := o.ID
+	if id == "" {
+		q.seq++
+		id = fmt.Sprintf("j%06d", q.seq)
+	} else {
+		if _, taken := q.jobs[id]; taken {
+			return "", fmt.Errorf("%w: %s", ErrExists, id)
+		}
+		// Keep fresh IDs ahead of every replayed one.
+		var n uint64
+		if _, err := fmt.Sscanf(id, "j%d", &n); err == nil && n > q.seq {
+			q.seq = n
+		}
+	}
 	j := &job{
-		id:      fmt.Sprintf("j%06d", q.seq),
+		id:      id,
 		fn:      fn,
 		timeout: timeout,
+		stall:   o.StallTimeout,
 		state:   StateQueued,
 		created: q.now(),
 		done:    make(chan struct{}),
@@ -191,6 +282,14 @@ func (q *Queue) Submit(fn Fn, timeout time.Duration) (string, error) {
 	q.queued++
 	q.cond.Signal()
 	return j.id, nil
+}
+
+// notify delivers a transition snapshot to the observer. Callers must
+// NOT hold q.mu (the observer does I/O — journal appends).
+func (q *Queue) notify(sn Snapshot) {
+	if q.opts.OnTransition != nil {
+		q.opts.OnTransition(sn)
+	}
 }
 
 func (q *Queue) worker() {
@@ -217,15 +316,21 @@ func (q *Queue) worker() {
 		q.active++
 		j.state = StateRunning
 		j.started = q.now()
-		ctx := q.baseCtx
-		var cancel context.CancelFunc
+		j.heartbeat = j.started
+		// Layer a cancel-cause context (so the watchdog can attach
+		// ErrStalled and Cancel can attach context.Canceled) under the
+		// optional per-job deadline.
+		cctx, cancelCause := context.WithCancelCause(q.baseCtx)
+		ctx := cctx
+		var cancelTimeout context.CancelFunc
 		if j.timeout > 0 {
-			ctx, cancel = context.WithTimeout(ctx, j.timeout)
-		} else {
-			ctx, cancel = context.WithCancel(ctx)
+			ctx, cancelTimeout = context.WithTimeout(ctx, j.timeout)
 		}
-		j.cancel = cancel
+		j.cancel = cancelCause
+		started := snapshotLocked(j)
 		q.mu.Unlock()
+
+		q.notify(started)
 
 		result, err := safeRun(j.fn, ctx)
 		// A function that ignored ctx but raced with cancellation should
@@ -233,7 +338,11 @@ func (q *Queue) worker() {
 		if err == nil && ctx.Err() != nil {
 			err = ctx.Err()
 		}
-		cancel()
+		cause := context.Cause(ctx)
+		if cancelTimeout != nil {
+			cancelTimeout()
+		}
+		cancelCause(nil)
 
 		q.mu.Lock()
 		q.active--
@@ -243,6 +352,11 @@ func (q *Queue) worker() {
 		case err == nil:
 			j.state = StateDone
 			j.result = result
+		case errors.Is(cause, ErrStalled):
+			// Watchdog kill: the job did not make progress — a failure of
+			// the work, not a caller's change of mind.
+			j.state = StateFailed
+			j.err = cause
 		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 			j.state = StateCancelled
 			j.err = err
@@ -251,6 +365,61 @@ func (q *Queue) worker() {
 			j.err = err
 		}
 		close(j.done)
+		// Shutdown-induced cancellations are interruptions, not outcomes:
+		// suppressing the notification keeps them non-terminal in the
+		// journal, so restart recovery re-enqueues them.
+		suppress := q.closed && j.state == StateCancelled
+		finished := snapshotLocked(j)
+		q.mu.Unlock()
+
+		if !suppress {
+			q.notify(finished)
+		}
+		q.mu.Lock()
+	}
+}
+
+// SetProgress records a heartbeat for a running job: pollers see the
+// iteration/cost, and the stall watchdog's deadline resets. It reports
+// whether the job exists and is currently running.
+func (q *Queue) SetProgress(id string, iter int, cost float64) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok || j.state != StateRunning {
+		return false
+	}
+	now := q.now()
+	j.heartbeat = now
+	j.progress = &Progress{Iter: iter, Cost: cost, Updated: now}
+	return true
+}
+
+// watchdog periodically scans running jobs with a stall deadline and
+// cancels (with ErrStalled as the cause) any whose heartbeat is older
+// than its StallTimeout.
+func (q *Queue) watchdog() {
+	defer q.wg.Done()
+	ticker := time.NewTicker(q.opts.watchdogInterval())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-q.baseCtx.Done():
+			return
+		case <-ticker.C:
+		}
+		q.mu.Lock()
+		now := q.now()
+		for _, j := range q.jobs {
+			if j.state != StateRunning || j.stall <= 0 || j.cancel == nil {
+				continue
+			}
+			if idle := now.Sub(j.heartbeat); idle > j.stall {
+				j.cancel(fmt.Errorf("%w: no progress heartbeat for %v (stall limit %v)",
+					ErrStalled, idle.Round(time.Millisecond), j.stall))
+			}
+		}
+		q.mu.Unlock()
 	}
 }
 
@@ -277,10 +446,15 @@ func (q *Queue) Get(id string) (Snapshot, error) {
 }
 
 func snapshotLocked(j *job) Snapshot {
-	return Snapshot{
+	sn := Snapshot{
 		ID: j.id, State: j.state, Result: j.result, Err: j.err,
 		Created: j.created, Started: j.started, Finished: j.finished,
 	}
+	if j.progress != nil {
+		p := *j.progress
+		sn.Progress = &p
+	}
+	return sn
 }
 
 // List returns snapshots of every retained job, newest first.
@@ -307,11 +481,12 @@ func (q *Queue) List() []Snapshot {
 // job existed and was not already terminal.
 func (q *Queue) Cancel(id string) bool {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	j, ok := q.jobs[id]
 	if !ok || j.state.Terminal() {
+		q.mu.Unlock()
 		return false
 	}
+	var terminal *Snapshot
 	switch j.state {
 	case StateQueued:
 		q.queued--
@@ -319,10 +494,18 @@ func (q *Queue) Cancel(id string) bool {
 		j.err = context.Canceled
 		j.finished = q.now()
 		close(j.done)
+		sn := snapshotLocked(j)
+		terminal = &sn
 	case StateRunning:
 		if j.cancel != nil {
-			j.cancel()
+			j.cancel(context.Canceled)
 		}
+		// The worker observes the cancellation and notifies on the
+		// terminal transition; nothing to report yet.
+	}
+	q.mu.Unlock()
+	if terminal != nil {
+		q.notify(*terminal)
 	}
 	return true
 }
@@ -407,6 +590,9 @@ func (q *Queue) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	q.closed = true
+	// Shutdown cancellations are deliberately NOT reported through
+	// OnTransition: a job interrupted by a redeploy is not terminal in
+	// the journal, so restart recovery re-enqueues it.
 	for _, j := range q.jobs {
 		if j.state == StateQueued {
 			q.queued--

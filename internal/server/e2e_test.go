@@ -18,7 +18,10 @@ import (
 // exactly what cmd/sstad wires up, minus the socket flags.
 func startService(t *testing.T) (*client.Client, *Server) {
 	t.Helper()
-	srv := New(Config{JobWorkers: 2, JobTimeout: 2 * time.Minute})
+	srv, err := New(Config{JobWorkers: 2, JobTimeout: 2 * time.Minute})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()

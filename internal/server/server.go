@@ -26,7 +26,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
@@ -34,7 +36,9 @@ import (
 	"repro/internal/circuitlint"
 	"repro/internal/cliutil"
 	"repro/internal/designcache"
+	"repro/internal/faultinject"
 	"repro/internal/jobs"
+	"repro/internal/journal"
 )
 
 // Config tunes the service. The zero value is production-reasonable:
@@ -59,6 +63,29 @@ type Config struct {
 	MaxBodyBytes int64
 	// MaxWait caps the long-poll ?wait parameter (0 = 60s).
 	MaxWait time.Duration
+	// JournalPath, when non-empty, enables the durable job journal
+	// (internal/journal): every admission, attempt and outcome is
+	// fsynced to this file, and New replays it on startup — terminal
+	// jobs stay pollable, interrupted jobs are re-enqueued (optimizers
+	// resume from their latest checkpoint).
+	JournalPath string
+	// MaxAttempts bounds how many executions a journaled job may begin
+	// across crash recoveries before it is failed instead of re-run
+	// (0 = 3). It does not limit anything when the journal is off.
+	MaxAttempts int
+	// StallTimeout, when > 0, arms the heartbeat watchdog for optimizer
+	// jobs (optimize/recover, the ops that report checkpoint progress):
+	// a running job silent for longer is failed with jobs.ErrStalled.
+	StallTimeout time.Duration
+	// NoSync skips the per-append journal fsync. Chaos tests (and hosts
+	// explicitly trading durability for throughput) only.
+	NoSync bool
+	// Inject is the deterministic fault-injection hook threaded into
+	// the journal ("journal.append.write", "journal.append.sync") and
+	// the optimizer checkpoint path ("server.checkpoint", used with
+	// Delay plans to stretch runs for chaos tests); nil disables
+	// injection.
+	Inject *faultinject.Injector
 }
 
 func (c Config) maxBody() int64 {
@@ -75,10 +102,19 @@ func (c Config) maxWait() time.Duration {
 	return c.MaxWait
 }
 
+func (c Config) maxAttempts() int {
+	if c.MaxAttempts <= 0 {
+		return 3
+	}
+	return c.MaxAttempts
+}
+
 // jobMeta is the request-side information the queue does not track.
 type jobMeta struct {
-	op   string
-	hash string
+	op      string
+	hash    string
+	idemKey string
+	attempt int // 1-based execution attempts begun (across recoveries)
 }
 
 // outcome wraps a job payload with its cache provenance.
@@ -95,25 +131,56 @@ type Server struct {
 	cache *designcache.Cache
 	met   *metrics
 	mux   *http.ServeMux
+	jnl   *journal.Journal // nil when durability is off
 
 	metaMu sync.Mutex
 	meta   map[string]jobMeta
+	// idem maps Idempotency-Key -> job ID so a retried submit (same
+	// logical request, response lost) returns the original job.
+	idem map[string]string
+	// historic holds terminal jobs known only from the journal — their
+	// queue entries did not survive the restart, but clients waiting on
+	// them across it still get the real outcome.
+	historic map[string]client.JobStatus
+
+	journalAppends  atomic.Uint64
+	journalErrors   atomic.Uint64
+	jobsRecovered   atomic.Uint64
+	recoveryDropped atomic.Uint64
+	idemHits        atomic.Uint64
 }
 
-// New builds a ready-to-serve Server.
-func New(cfg Config) *Server {
+// New builds a ready-to-serve Server. With Config.JournalPath set it
+// opens (creating if absent) the journal, replays it, and recovers
+// interrupted work before returning — so by the time the listener is
+// up, every journaled job is either re-enqueued or terminally resolved.
+func New(cfg Config) (*Server, error) {
 	s := &Server{
-		cfg: cfg,
-		queue: jobs.New(jobs.Options{
-			Workers:        cfg.JobWorkers,
-			Capacity:       cfg.QueueCapacity,
-			Retention:      cfg.Retention,
-			DefaultTimeout: cfg.JobTimeout,
-		}),
-		cache: designcache.New(cfg.CacheDesigns, cfg.CacheResults),
-		met:   newMetrics(),
-		mux:   http.NewServeMux(),
-		meta:  make(map[string]jobMeta),
+		cfg:      cfg,
+		cache:    designcache.New(cfg.CacheDesigns, cfg.CacheResults),
+		met:      newMetrics(),
+		mux:      http.NewServeMux(),
+		meta:     make(map[string]jobMeta),
+		idem:     make(map[string]string),
+		historic: make(map[string]client.JobStatus),
+	}
+	var recs []journal.Record
+	if cfg.JournalPath != "" {
+		jnl, rs, err := journal.Open(cfg.JournalPath, journal.Options{NoSync: cfg.NoSync, Inject: cfg.Inject})
+		if err != nil {
+			return nil, err
+		}
+		s.jnl, recs = jnl, rs
+	}
+	s.queue = jobs.New(jobs.Options{
+		Workers:        cfg.JobWorkers,
+		Capacity:       cfg.QueueCapacity,
+		Retention:      cfg.Retention,
+		DefaultTimeout: cfg.JobTimeout,
+		OnTransition:   s.onTransition,
+	})
+	if s.jnl != nil {
+		s.recoverJobs(recs)
 	}
 	s.route("POST /v1/jobs", "submit", s.handleSubmit)
 	s.route("GET /v1/jobs", "list", s.handleList)
@@ -122,16 +189,85 @@ func New(cfg Config) *Server {
 	s.route("GET /v1/jobs/{id}/stream", "stream", s.handleStream)
 	s.route("GET /healthz", "healthz", s.handleHealthz)
 	s.route("GET /metrics", "metrics", s.handleMetrics)
-	return s
+	return s, nil
 }
 
 // Handler returns the root handler (also usable under httptest).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Shutdown stops the job queue: running jobs are cancelled through
-// their contexts and the workers drained (bounded by ctx).
+// Shutdown stops the job queue — running jobs are cancelled through
+// their contexts and the workers drained (bounded by ctx) — then closes
+// the journal. Interrupted jobs are deliberately NOT journaled as
+// terminal: the next startup re-enqueues them.
 func (s *Server) Shutdown(ctx context.Context) error {
-	return s.queue.Shutdown(ctx)
+	err := s.queue.Shutdown(ctx)
+	if s.jnl != nil {
+		if cerr := s.jnl.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// onTransition is the queue's durability hook: every start and terminal
+// transition is written through to the journal so a restart can
+// reconstruct each job's fate. It also maintains the attempt counter
+// surfaced on job statuses (journal on or off).
+func (s *Server) onTransition(sn jobs.Snapshot) {
+	switch sn.State {
+	case jobs.StateRunning:
+		s.metaMu.Lock()
+		m := s.meta[sn.ID]
+		m.attempt++
+		attempt := m.attempt
+		s.meta[sn.ID] = m
+		s.metaMu.Unlock()
+		s.journalAppend(journal.Record{Type: journal.TypeStart, Job: sn.ID, Attempt: attempt})
+	case jobs.StateDone:
+		rec := journal.Record{Type: journal.TypeDone, Job: sn.ID}
+		if out, ok := sn.Result.(outcome); ok {
+			rec.CacheHit = out.cacheHit
+			if b, err := json.Marshal(out.payload); err == nil {
+				rec.Result = b
+			}
+		}
+		s.journalAppend(rec)
+	case jobs.StateFailed:
+		s.journalAppend(journal.Record{Type: journal.TypeFailed, Job: sn.ID, Error: errText(sn.Err)})
+	case jobs.StateCancelled:
+		s.journalAppend(journal.Record{Type: journal.TypeCancelled, Job: sn.ID, Error: errText(sn.Err)})
+	}
+}
+
+func errText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// journalAppend writes a record, degrading (with an error counter, not
+// an outage) when the journal is off or the append fails. The one write
+// whose failure must abort its operation — the admission record — calls
+// the journal directly from handleSubmit instead.
+func (s *Server) journalAppend(rec journal.Record) {
+	if s.jnl == nil {
+		return
+	}
+	if err := s.jnl.Append(rec); err != nil {
+		s.journalErrors.Add(1)
+		return
+	}
+	s.journalAppends.Add(1)
+}
+
+// stallFor returns the heartbeat deadline to arm for an op: only the
+// optimizers report progress, so only they are watched.
+func (s *Server) stallFor(op string) time.Duration {
+	if op == client.OpOptimize || op == client.OpRecover {
+		return s.cfg.StallTimeout
+	}
+	return 0
 }
 
 // route installs a handler wrapped with latency/status instrumentation
@@ -236,8 +372,10 @@ func validate(req *client.JobRequest) error {
 			return fmt.Errorf("target yields must be in (0, 1), got %g", y)
 		}
 	}
-	if req.TimeoutSec < 0 {
-		return errors.New("timeout_sec must be >= 0")
+	// CheckSeconds also rejects NaN/Inf, which a plain "< 0" comparison
+	// would silently accept (NaN compares false to everything).
+	if err := cliutil.CheckSeconds("timeout_sec", req.TimeoutSec); err != nil {
+		return err
 	}
 	return nil
 }
@@ -276,6 +414,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// An Idempotency-Key we have already admitted means this submit is
+	// a retry of one whose response was lost: return the original job
+	// instead of enqueuing a duplicate.
+	idemKey := r.Header.Get("Idempotency-Key")
+	if idemKey != "" {
+		if st, ok := s.idempotentHit(idemKey); ok {
+			s.idemHits.Add(1)
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
+	}
+
 	// Resolve (and intern) the design now so malformed netlists fail
 	// the submit, not the job.
 	var (
@@ -303,35 +453,55 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := optsKey(req)
-	fn := func(ctx context.Context) (any, error) {
-		if v, ok := s.cache.Result(hash, key); ok {
-			return outcome{payload: v, cacheHit: true}, nil
+	// Journal-first admission: the ID is reserved up front, the submit
+	// record fsynced, and only then is the job enqueued — so a crash
+	// between the two leaves a journaled job recovery re-enqueues, never
+	// an acknowledged job the journal has no record of.
+	id := s.queue.NewID()
+	if s.jnl != nil {
+		rec := journal.Record{
+			Type: journal.TypeSubmit, Job: id,
+			Op: req.Op, Hash: hash, IdemKey: idemKey, Request: json.RawMessage(body),
 		}
-		payload, err := s.execute(ctx, req, d)
-		if err != nil {
-			return nil, err
+		if err := s.jnl.Append(rec); err != nil {
+			// Durability is part of the submit contract: an admission we
+			// cannot journal is an admission we must not acknowledge.
+			s.journalErrors.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "journal admission: %v", err)
+			return
 		}
-		s.cache.PutResult(hash, key, payload)
-		return outcome{payload: payload}, nil
+		s.journalAppends.Add(1)
 	}
+
+	fn := s.jobFn(id, req, d, hash, optsKey(req), nil)
 	var timeout time.Duration
 	if req.TimeoutSec > 0 {
 		timeout = time.Duration(req.TimeoutSec * float64(time.Second))
 	}
-	id, err := s.queue.Submit(s.completionCounted(fn), timeout)
+	_, err = s.queue.SubmitOpts(s.completionCounted(fn), jobs.SubmitOptions{
+		ID: id, Timeout: timeout, StallTimeout: s.stallFor(req.Op),
+	})
 	if err != nil {
+		// The admission record must not outlive the rejection, or replay
+		// would resurrect a job the client was told did not enqueue.
+		s.journalAppend(journal.Record{Type: journal.TypeCancelled, Job: id,
+			Error: "submit rejected: " + err.Error()})
 		code := http.StatusServiceUnavailable
 		if errors.Is(err, jobs.ErrFull) {
 			code = http.StatusTooManyRequests
 		}
+		w.Header().Set("Retry-After", "1")
 		writeError(w, code, "%v", err)
 		return
 	}
 	s.met.jobSubmitted(req.Op)
 	s.metaMu.Lock()
 	s.pruneMetaLocked()
-	s.meta[id] = jobMeta{op: req.Op, hash: hash}
+	s.meta[id] = jobMeta{op: req.Op, hash: hash, idemKey: idemKey}
+	if idemKey != "" {
+		s.idem[idemKey] = id
+	}
 	s.metaMu.Unlock()
 
 	sn, err := s.queue.Get(id)
@@ -340,6 +510,47 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, s.status(sn))
+}
+
+// idempotentHit resolves an Idempotency-Key to the status of the job it
+// originally admitted: live from the queue when retained, otherwise
+// from the journal's historic record.
+func (s *Server) idempotentHit(key string) (client.JobStatus, bool) {
+	s.metaMu.Lock()
+	id, ok := s.idem[key]
+	var hist client.JobStatus
+	histOK := false
+	if ok {
+		hist, histOK = s.historic[id]
+	}
+	s.metaMu.Unlock()
+	if !ok {
+		return client.JobStatus{}, false
+	}
+	if sn, err := s.queue.Get(id); err == nil {
+		return s.status(sn), true
+	}
+	if histOK {
+		return hist, true
+	}
+	return client.JobStatus{}, false
+}
+
+// jobFn builds the queue function for one job: result-memo check,
+// engine execution (with checkpoint/resume wiring for the optimizers),
+// memo fill.
+func (s *Server) jobFn(id string, req client.JobRequest, d *repro.Design, hash, key string, resume *repro.OptCheckpoint) jobs.Fn {
+	return func(ctx context.Context) (any, error) {
+		if v, ok := s.cache.Result(hash, key); ok {
+			return outcome{payload: v, cacheHit: true}, nil
+		}
+		payload, err := s.execute(ctx, id, req, d, resume)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.PutResult(hash, key, payload)
+		return outcome{payload: payload}, nil
+	}
 }
 
 // completionCounted wraps a job so terminal transitions feed the
@@ -359,28 +570,60 @@ func (s *Server) completionCounted(fn jobs.Fn) jobs.Fn {
 	}
 }
 
-// pruneMetaLocked drops metadata for jobs the queue has GC'd. Callers
-// hold metaMu.
+// pruneMetaLocked drops metadata (and idempotency-key entries) for jobs
+// the queue has GC'd. Callers hold metaMu.
 func (s *Server) pruneMetaLocked() {
 	if len(s.meta) < 64 {
 		return
 	}
-	for id := range s.meta {
+	for id, m := range s.meta {
 		if _, err := s.queue.Get(id); errors.Is(err, jobs.ErrNotFound) {
 			delete(s.meta, id)
+			if m.idemKey != "" {
+				delete(s.idem, m.idemKey)
+			}
 		}
 	}
 }
 
+// checkpointSink returns the optimizer checkpoint callback for a job:
+// each emission heartbeats the stall watchdog (surfacing progress to
+// pollers) and, when the journal is on, persists the resumable state.
+func (s *Server) checkpointSink(id string) func(repro.OptCheckpoint) {
+	return func(cp repro.OptCheckpoint) {
+		// Injection site "server.checkpoint": chaos runs install a Delay
+		// plan here to stretch optimizer iterations deterministically, so
+		// a kill/restart reliably lands mid-run. Delays never change
+		// results — the optimizer's math is untouched.
+		_ = s.cfg.Inject.Fire("server.checkpoint")
+		s.queue.SetProgress(id, cp.Iter, cp.Cost)
+		if s.jnl == nil {
+			return
+		}
+		b, err := json.Marshal(cp)
+		if err != nil {
+			return
+		}
+		s.journalAppend(journal.Record{Type: journal.TypeCheckpoint, Job: id, Checkpoint: b})
+	}
+}
+
 // execute runs one job's engine work. Cached designs are shared and
-// read-only; mutating operations clone first.
-func (s *Server) execute(ctx context.Context, req client.JobRequest, d *repro.Design) (any, error) {
+// read-only; mutating operations clone first. The optimizer ops get
+// the checkpoint callback (heartbeat + journal) and, after a crash
+// recovery, the resume state — the resumed run retraces the
+// uninterrupted one bit-for-bit (see internal/core).
+func (s *Server) execute(ctx context.Context, id string, req client.JobRequest, d *repro.Design, resume *repro.OptCheckpoint) (any, error) {
 	opts := repro.RunOptions{
 		Workers:       req.Workers,
 		PDFPoints:     req.PDFPoints,
 		MaxIters:      req.MaxIters,
 		FullRecompute: req.FullRecompute,
 		Ctx:           ctx,
+	}
+	if req.Op == client.OpOptimize || req.Op == client.OpRecover {
+		opts.Checkpoint = s.checkpointSink(id)
+		opts.Resume = resume
 	}
 	switch req.Op {
 	case client.OpAnalyze:
@@ -401,7 +644,11 @@ func (s *Server) execute(ctx context.Context, req client.JobRequest, d *repro.De
 		if err != nil {
 			return nil, err
 		}
-		return optimizePayload(r), nil
+		p := optimizePayload(r)
+		// The sizing vector is the canonical equality oracle: a resumed
+		// run matches its uninterrupted counterpart iff these match.
+		p.Sizes = dd.Sizes()
+		return p, nil
 	case client.OpRecover:
 		dd := d.Clone()
 		saved, err := dd.RecoverAreaOpts(req.Lambda, req.SlackFrac, opts)
@@ -462,8 +709,14 @@ func (s *Server) status(sn jobs.Snapshot) client.JobStatus {
 		State:      string(sn.State),
 		DesignHash: meta.hash,
 		Created:    sn.Created,
+		Attempt:    meta.attempt,
 		Started:    sn.Started,
 		Finished:   sn.Finished,
+	}
+	if sn.Progress != nil {
+		st.Progress = &client.JobProgress{
+			Iter: sn.Progress.Iter, Cost: sn.Progress.Cost, Updated: sn.Progress.Updated,
+		}
 	}
 	if sn.Err != nil {
 		st.Error = sn.Err.Error()
@@ -480,10 +733,25 @@ func (s *Server) status(sn jobs.Snapshot) client.JobStatus {
 	return st
 }
 
+// historicFor looks a job up in the journal-derived terminal set.
+func (s *Server) historicFor(id string) (client.JobStatus, bool) {
+	s.metaMu.Lock()
+	st, ok := s.historic[id]
+	s.metaMu.Unlock()
+	return st, ok
+}
+
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	sn, err := s.queue.Get(id)
 	if errors.Is(err, jobs.ErrNotFound) {
+		// A job finished before the restart is still answerable from the
+		// journal — a client Wait-ing across the restart sees the real
+		// outcome, not a 404.
+		if st, ok := s.historicFor(id); ok {
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
 		writeError(w, http.StatusNotFound, "no such job %q", id)
 		return
 	}
@@ -509,9 +777,19 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	sns := s.queue.List()
 	out := make([]client.JobStatus, 0, len(sns))
+	seen := make(map[string]bool, len(sns))
 	for _, sn := range sns {
+		seen[sn.ID] = true
 		out = append(out, s.status(sn))
 	}
+	s.metaMu.Lock()
+	for id, st := range s.historic {
+		if !seen[id] {
+			out = append(out, st)
+		}
+	}
+	s.metaMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID > out[j].ID })
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -519,6 +797,10 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	sn, err := s.queue.Get(id)
 	if errors.Is(err, jobs.ErrNotFound) {
+		if st, ok := s.historicFor(id); ok {
+			writeJSON(w, http.StatusOK, st) // already terminal
+			return
+		}
 		writeError(w, http.StatusNotFound, "no such job %q", id)
 		return
 	}
@@ -534,6 +816,17 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, err := s.queue.Get(id); errors.Is(err, jobs.ErrNotFound) {
+		if st, ok := s.historicFor(id); ok {
+			// One terminal event, then EOF: the stream contract holds
+			// even for jobs that finished before the restart.
+			if b, err := json.Marshal(st); err == nil {
+				w.Header().Set("Content-Type", "text/event-stream")
+				w.Header().Set("Cache-Control", "no-cache")
+				w.WriteHeader(http.StatusOK)
+				fmt.Fprintf(w, "data: %s\n\n", b)
+			}
+			return
+		}
 		writeError(w, http.StatusNotFound, "no such job %q", id)
 		return
 	}
@@ -597,6 +890,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"sstad_cache_result_misses_total", "Result memo misses.", float64(cs.ResultMisses)},
 		{"sstad_cache_designs", "Designs currently cached.", float64(cs.Designs)},
 		{"sstad_cache_results", "Results currently memoized.", float64(cs.Results)},
+		{"sstad_journal_appends_total", "Journal records durably appended.", float64(s.journalAppends.Load())},
+		{"sstad_journal_errors_total", "Journal append failures.", float64(s.journalErrors.Load())},
+		{"sstad_jobs_recovered_total", "Jobs re-enqueued from the journal at startup.", float64(s.jobsRecovered.Load())},
+		{"sstad_jobs_recovery_dropped_total", "Journaled jobs recovery resolved terminally instead of re-running (attempt budget exhausted or unrebuildable).", float64(s.recoveryDropped.Load())},
+		{"sstad_idempotent_hits_total", "Submits deduplicated by Idempotency-Key.", float64(s.idemHits.Load())},
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.met.write(w, gauges)
