@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-selftest cover cover-update fuzz-smoke bench bench-parallel serve e2e chaos
+.PHONY: all build test race vet lint lint-selftest cover cover-update fuzz-smoke bench bench-parallel bench-flat bench-flat-smoke serve e2e chaos
 
 all: build vet lint test
 
@@ -19,8 +19,8 @@ vet:
 	$(GO) vet ./...
 
 # Static analysis gate: go vet plus the project's own invariant linter
-# (cmd/sstalint — globalrand, wallclock, stdoutprint, ctxloop, naninput;
-# see DESIGN.md section 9). Any finding fails the build.
+# (cmd/sstalint — globalrand, wallclock, stdoutprint, ctxloop, naninput,
+# dpdfalloc; see DESIGN.md section 9). Any finding fails the build.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/sstalint -root .
@@ -61,6 +61,17 @@ bench:
 # ns/op, speedup, and the host core count (speedup is bounded by it).
 bench-parallel:
 	$(GO) run ./cmd/benchpar
+
+# Flat-arena engine and batched what-if vs their allocation-heavy
+# baselines; writes BENCH_flat.json (full run: c6288 kernels + c7552
+# optimizer analysis time).
+bench-flat:
+	$(GO) run ./cmd/benchpar -out '' -inc-out '' -flat-out BENCH_flat.json
+
+# CI variant: one small circuit, short caps — exercises every flat and
+# batched code path end to end in well under a minute.
+bench-flat-smoke:
+	$(GO) run ./cmd/benchpar -smoke -flat-out /dev/null
 
 # Run the sstad service locally (Ctrl-C drains gracefully).
 serve:

@@ -150,43 +150,66 @@ type WhatIfReport struct {
 	Gates         int
 }
 
-// WhatIf applies the named resizes through the incremental FULLSSTA
-// engine (ssta.Incremental), reports the statistical impact and the
-// repair cost, and rolls the design back to its prior sizing, so the
-// design is unchanged when it returns.
+// WhatIf evaluates the named resizes as one hypothetical sizing: it
+// reports the statistical impact and the repair cost without ever moving
+// the design, which is unchanged when it returns. Values are
+// bit-identical to actually applying the edits and re-analyzing.
 func (d *Design) WhatIf(edits []WhatIfEdit, opts RunOptions) (WhatIfReport, error) {
 	if err := opts.Validate(); err != nil {
 		return WhatIfReport{}, err
 	}
-	if len(edits) == 0 {
-		return WhatIfReport{}, fmt.Errorf("repro: no edits to try")
+	reps, err := d.WhatIfBatch([][]WhatIfEdit{edits}, opts)
+	if err != nil {
+		return WhatIfReport{}, err
 	}
-	changes := make([]ssta.SizeChange, len(edits))
-	for i, e := range edits {
-		id, ok := d.d.Circuit.Lookup(e.Gate)
-		if !ok {
-			return WhatIfReport{}, fmt.Errorf("repro: unknown gate %q", e.Gate)
-		}
-		g := d.d.Circuit.Gate(id)
-		if !g.Fn.IsLogic() {
-			return WhatIfReport{}, fmt.Errorf("repro: %q is not a resizable logic gate", e.Gate)
-		}
-		if n := d.d.Lib.NumSizes(cells.Kind(g.CellRef)); e.Size < 0 || e.Size >= n {
-			return WhatIfReport{}, fmt.Errorf("repro: size %d for %q out of range [0, %d)", e.Size, e.Gate, n)
-		}
-		changes[i] = ssta.SizeChange{Gate: id, Size: e.Size}
+	return reps[0], nil
+}
+
+// WhatIfBatch evaluates K candidate sizings — each a list of edits
+// against the design's current sizes — in one pass over the flat-arena
+// FULLSSTA engine (ssta.Flat.BatchWhatIf): the clean analysis is
+// computed once and every candidate repairs only its dirty cone into a
+// per-worker overlay. Reports come back in candidate order, each
+// bit-identical to what WhatIf on that candidate alone reports, and the
+// design is unchanged when it returns.
+func (d *Design) WhatIfBatch(cands [][]WhatIfEdit, opts RunOptions) ([]WhatIfReport, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
-	inc := ssta.NewIncremental(d.d, d.vm, opts.ssta())
-	before := inc.Result()
-	rep := WhatIfReport{
-		MeanBefore: before.Mean, SigmaBefore: before.Sigma,
-		Gates: d.d.Circuit.NumGates(),
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("repro: no candidates to try")
 	}
-	evals0 := inc.Evals()
-	inc.ResizeAll(changes)
-	after := inc.Result()
-	rep.MeanAfter, rep.SigmaAfter = after.Mean, after.Sigma
-	rep.NodesRepaired = inc.Evals() - evals0
-	inc.Rollback()
-	return rep, nil
+	changes := make([][]ssta.SizeChange, len(cands))
+	for ci, edits := range cands {
+		if len(edits) == 0 {
+			return nil, fmt.Errorf("repro: no edits to try")
+		}
+		changes[ci] = make([]ssta.SizeChange, len(edits))
+		for i, e := range edits {
+			id, ok := d.d.Circuit.Lookup(e.Gate)
+			if !ok {
+				return nil, fmt.Errorf("repro: unknown gate %q", e.Gate)
+			}
+			g := d.d.Circuit.Gate(id)
+			if !g.Fn.IsLogic() {
+				return nil, fmt.Errorf("repro: %q is not a resizable logic gate", e.Gate)
+			}
+			if n := d.d.Lib.NumSizes(cells.Kind(g.CellRef)); e.Size < 0 || e.Size >= n {
+				return nil, fmt.Errorf("repro: size %d for %q out of range [0, %d)", e.Size, e.Gate, n)
+			}
+			changes[ci][i] = ssta.SizeChange{Gate: id, Size: e.Size}
+		}
+	}
+	f := ssta.NewFlat(d.d, d.vm, opts.ssta())
+	outs := f.BatchWhatIf(changes, 0, opts.ssta().Workers)
+	reps := make([]WhatIfReport, len(outs))
+	for i, o := range outs {
+		reps[i] = WhatIfReport{
+			MeanBefore: f.Mean(), SigmaBefore: f.Sigma(),
+			MeanAfter: o.Mean, SigmaAfter: o.Sigma,
+			NodesRepaired: int64(o.Touched),
+			Gates:         d.d.Circuit.NumGates(),
+		}
+	}
+	return reps, nil
 }

@@ -63,6 +63,104 @@ func TestSaveSDFFacade(t *testing.T) {
 	}
 }
 
+func TestWhatIfFacadeMatchesApplying(t *testing.T) {
+	d, err := Generate("alu2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a resizable logic gate and a size different from its current one.
+	sd, _ := d.Internal()
+	var gate string
+	var gid int
+	for i := range sd.Circuit.Gates {
+		if sd.Circuit.Gates[i].Fn.IsLogic() {
+			gate, gid = sd.Circuit.Gates[i].Name, i
+			break
+		}
+	}
+	target := sd.Circuit.Gates[gid].SizeIdx + 1
+
+	before := d.Analyze()
+	sizes := d.Sizes()
+	rep, err := d.WhatIf([]WhatIfEdit{{Gate: gate, Size: target}}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range d.Sizes() {
+		if s != sizes[i] {
+			t.Fatal("WhatIf moved the design")
+		}
+	}
+	if rep.MeanBefore != before.Mean || rep.SigmaBefore != before.Sigma {
+		t.Fatalf("before-moments drifted: %+v vs %+v", rep, before)
+	}
+	if rep.NodesRepaired <= 0 || rep.NodesRepaired > int64(rep.Gates) {
+		t.Fatalf("repair count out of range: %+v", rep)
+	}
+
+	// Ground truth: actually apply the edit and re-analyze.
+	sd.Circuit.Gates[gid].SizeIdx = target
+	after := d.Analyze()
+	sd.Circuit.Gates[gid].SizeIdx = sizes[gid]
+	if rep.MeanAfter != after.Mean || rep.SigmaAfter != after.Sigma {
+		t.Fatalf("WhatIf moments (%v, %v) differ from applied analysis (%v, %v)",
+			rep.MeanAfter, rep.SigmaAfter, after.Mean, after.Sigma)
+	}
+}
+
+func TestWhatIfBatchFacade(t *testing.T) {
+	d, err := Generate("alu2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, _ := d.Internal()
+	var names []string
+	var cur []int
+	for i := range sd.Circuit.Gates {
+		if sd.Circuit.Gates[i].Fn.IsLogic() {
+			names = append(names, sd.Circuit.Gates[i].Name)
+			cur = append(cur, sd.Circuit.Gates[i].SizeIdx)
+			if len(names) == 3 {
+				break
+			}
+		}
+	}
+	cands := [][]WhatIfEdit{
+		{{Gate: names[0], Size: cur[0] + 1}},
+		{{Gate: names[1], Size: cur[1] + 2}, {Gate: names[2], Size: cur[2] + 1}},
+		{{Gate: names[0], Size: cur[0]}}, // no-op
+	}
+	reps, err := d.WhatIfBatch(cands, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != len(cands) {
+		t.Fatalf("got %d reports for %d candidates", len(reps), len(cands))
+	}
+	for i, c := range cands {
+		single, err := d.WhatIf(c, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reps[i] != single {
+			t.Fatalf("candidate %d: batch %+v != single %+v", i, reps[i], single)
+		}
+	}
+	if reps[2].MeanAfter != reps[2].MeanBefore || reps[2].NodesRepaired != 0 {
+		t.Fatalf("no-op candidate not clean: %+v", reps[2])
+	}
+
+	if _, err := d.WhatIfBatch(nil, RunOptions{}); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := d.WhatIfBatch([][]WhatIfEdit{{}}, RunOptions{}); err == nil {
+		t.Fatal("empty candidate accepted")
+	}
+	if _, err := d.WhatIfBatch([][]WhatIfEdit{{{Gate: "nope", Size: 0}}}, RunOptions{}); err == nil {
+		t.Fatal("unknown gate accepted")
+	}
+}
+
 func TestOptimizeConstrainedFacade(t *testing.T) {
 	d, err := Generate("alu2")
 	if err != nil {

@@ -13,14 +13,22 @@
 // Both modes are bit-identical (internal/difftest), so only wall time
 // is compared.
 //
-//	go run ./cmd/benchpar            # writes BENCH_parallel.json + BENCH_incremental.json
+// A third report, BENCH_flat.json, compares the flat-arena engine and
+// the batched what-if API against their allocation-heavy predecessors:
+// ssta.Flat.Recompute vs ssta.Analyze, BatchWhatIf vs sequential
+// resize-and-rollback probing, and StatisticalGreedy's total analysis
+// time with the incremental+batched analyzer vs full recomputation.
+//
+//	go run ./cmd/benchpar            # writes all three BENCH_*.json files
 //	go run ./cmd/benchpar -out -     # prints the parallel JSON to stdout
+//	go run ./cmd/benchpar -smoke     # CI mode: flat report only, one small circuit
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand/v2"
 	"os"
 	"runtime"
 	"testing"
@@ -79,60 +87,101 @@ type IncReport struct {
 	Rows       []IncRow `json:"rows"`
 }
 
+// FlatRow is one baseline-vs-flat-engine measurement.
+type FlatRow struct {
+	Engine  string `json:"engine"`
+	Circuit string `json:"circuit"`
+	// BaselineNs is the allocation-heavy predecessor (per op or total
+	// wall time, see Detail); FlatNs is the flat/batched replacement.
+	BaselineNs int64   `json:"baseline_ns"`
+	FlatNs     int64   `json:"flat_ns"`
+	Speedup    float64 `json:"speedup_baseline_over_flat"`
+	// AllocsPerOp is the flat arm's steady-state heap allocations per op
+	// (the design target for Flat.Recompute is 0).
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	Detail      string `json:"detail,omitempty"`
+}
+
+// FlatReport is the schema of BENCH_flat.json. Like the incremental
+// report these are single-worker numbers: the flat engine's gains come
+// from removing allocation and pointer chasing, and the batched what-if's
+// from sharing the clean cone prefix, so they hold on a 1-CPU host too.
+type FlatReport struct {
+	HostCPUs   int       `json:"host_cpus"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Rows       []FlatRow `json:"rows"`
+}
+
 func main() {
-	out := flag.String("out", "BENCH_parallel.json", "output file (- for stdout)")
+	out := flag.String("out", "BENCH_parallel.json", "parallel-sweep output file (- for stdout, empty disables the sweep)")
 	sstaCircuit := flag.String("ssta-circuit", "c6288", "benchmark circuit for FULLSSTA")
 	mcCircuit := flag.String("mc-circuit", "c432", "benchmark circuit for Monte Carlo")
 	mcTrials := flag.Int("mc-trials", 10000, "Monte-Carlo trials per op")
 	incOut := flag.String("inc-out", "BENCH_incremental.json", "full-vs-incremental output file (empty disables)")
 	incCircuit := flag.String("inc-circuit", "c7552", "benchmark circuit for the incremental comparison (largest generated benchmark)")
 	incIters := flag.Int("inc-iters", 12, "StatisticalGreedy outer iteration cap for the analysis-time comparison (the run typically converges first)")
+	flatOut := flag.String("flat-out", "BENCH_flat.json", "flat-kernel/batched-what-if output file (empty disables)")
+	flatCircuit := flag.String("flat-circuit", "c6288", "benchmark circuit for the flat-engine comparison")
+	smoke := flag.Bool("smoke", false, "CI smoke mode: run only the flat report on one small circuit with short caps")
 	flag.Parse()
 
-	rep := Report{HostCPUs: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
-	workerCounts := []int{1, 4, 8}
-
-	d, vm, err := experiments.NewDesign(*sstaCircuit)
-	if err != nil {
-		fail(err)
-	}
-	rep.Rows = append(rep.Rows, sweep("fullssta", *sstaCircuit, workerCounts, func(b *testing.B, workers int) {
-		for i := 0; i < b.N; i++ {
-			ssta.Analyze(d, vm, ssta.Options{Workers: workers})
+	if *smoke {
+		// One small circuit drives every flat/batched code path end to end;
+		// the numbers are not publication-grade, the exercise is the point.
+		flatRep, err := flatReport("alu2", "alu2", 2, 4)
+		if err != nil {
+			fail(err)
 		}
-	})...)
-
-	md, mvm, err := experiments.NewDesign(*mcCircuit)
-	if err != nil {
-		fail(err)
-	}
-	rep.Rows = append(rep.Rows, sweep("montecarlo", *mcCircuit, workerCounts, func(b *testing.B, workers int) {
-		for i := 0; i < b.N; i++ {
-			if _, err := montecarlo.AnalyzeOpts(md, mvm, montecarlo.Options{
-				Trials: *mcTrials, Seed: int64(i), Workers: workers,
-			}); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})...)
-
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fail(err)
-	}
-	data = append(data, '\n')
-	if *out == "-" {
-		os.Stdout.Write(data)
+		writeFlat(flatRep, *flatOut)
 		return
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fail(err)
+
+	if *out != "" {
+		rep := Report{HostCPUs: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+		workerCounts := scalingWorkers()
+
+		d, vm, err := experiments.NewDesign(*sstaCircuit)
+		if err != nil {
+			fail(err)
+		}
+		rep.Rows = append(rep.Rows, sweep("fullssta", *sstaCircuit, workerCounts, func(b *testing.B, workers int) {
+			for i := 0; i < b.N; i++ {
+				ssta.Analyze(d, vm, ssta.Options{Workers: workers})
+			}
+		})...)
+
+		md, mvm, err := experiments.NewDesign(*mcCircuit)
+		if err != nil {
+			fail(err)
+		}
+		rep.Rows = append(rep.Rows, sweep("montecarlo", *mcCircuit, workerCounts, func(b *testing.B, workers int) {
+			for i := 0; i < b.N; i++ {
+				if _, err := montecarlo.AnalyzeOpts(md, mvm, montecarlo.Options{
+					Trials: *mcTrials, Seed: int64(i), Workers: workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})...)
+
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		data = append(data, '\n')
+		if *out == "-" {
+			os.Stdout.Write(data)
+			return
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fail(err)
+		}
+		for _, r := range rep.Rows {
+			fmt.Printf("%-10s %-6s workers=%d  %12d ns/op  %.2fx\n",
+				r.Engine, r.Circuit, r.Workers, r.NsPerOp, r.Speedup)
+		}
+		fmt.Printf("host: %d CPUs (GOMAXPROCS %d) -> %s\n", rep.HostCPUs, rep.GOMAXPROCS, *out)
 	}
-	for _, r := range rep.Rows {
-		fmt.Printf("%-10s %-6s workers=%d  %12d ns/op  %.2fx\n",
-			r.Engine, r.Circuit, r.Workers, r.NsPerOp, r.Speedup)
-	}
-	fmt.Printf("host: %d CPUs (GOMAXPROCS %d) -> %s\n", rep.HostCPUs, rep.GOMAXPROCS, *out)
 
 	if *incOut != "" {
 		incRep, err := incrementalReport(*incCircuit, *incIters)
@@ -152,6 +201,160 @@ func main() {
 				r.Engine, r.Circuit, r.FullNs, r.IncrementalNs, r.Speedup, r.Detail)
 		}
 		fmt.Printf("host: %d CPUs (GOMAXPROCS %d) -> %s\n", incRep.HostCPUs, incRep.GOMAXPROCS, *incOut)
+	}
+
+	if *flatOut != "" {
+		flatRep, err := flatReport(*flatCircuit, *incCircuit, *incIters, 16)
+		if err != nil {
+			fail(err)
+		}
+		writeFlat(flatRep, *flatOut)
+	}
+}
+
+// scalingWorkers returns the per-core sweep: doubling worker counts up
+// to the host's CPU count, plus the count itself, so the report shows
+// how the engines scale on THIS host. On a single-CPU host the sweep is
+// just the serial row — any parallel "speedup" there would be noise.
+func scalingWorkers() []int {
+	n := runtime.NumCPU()
+	if n <= 1 {
+		return []int{1}
+	}
+	var ws []int
+	for w := 1; w < n; w *= 2 {
+		ws = append(ws, w)
+	}
+	return append(ws, n)
+}
+
+func writeFlat(rep *FlatReport, path string) {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fail(err)
+	}
+	for _, r := range rep.Rows {
+		fmt.Printf("%-20s %-6s baseline %12d ns  flat %12d ns  %.2fx  allocs/op %d  %s\n",
+			r.Engine, r.Circuit, r.BaselineNs, r.FlatNs, r.Speedup, r.AllocsPerOp, r.Detail)
+	}
+	fmt.Printf("host: %d CPUs (GOMAXPROCS %d) -> %s\n", rep.HostCPUs, rep.GOMAXPROCS, path)
+}
+
+// flatCandidates draws K what-if candidates (1-3 gate resizes each) with
+// a fixed-seed generator so both arms of the comparison score the exact
+// same hypothetical sizings.
+func flatCandidates(d *synth.Design, k int) [][]ssta.SizeChange {
+	rng := rand.New(rand.NewPCG(42, 1))
+	var logic []circuit.GateID
+	for i := range d.Circuit.Gates {
+		if d.Circuit.Gates[i].Fn.IsLogic() {
+			logic = append(logic, circuit.GateID(i))
+		}
+	}
+	cands := make([][]ssta.SizeChange, k)
+	for i := range cands {
+		for n := 1 + rng.IntN(3); n > 0; n-- {
+			id := logic[rng.IntN(len(logic))]
+			sizes := d.Lib.NumSizes(cells.Kind(d.Circuit.Gate(id).CellRef))
+			cands[i] = append(cands[i], ssta.SizeChange{Gate: id, Size: rng.IntN(sizes)})
+		}
+	}
+	return cands
+}
+
+// flatReport measures the flat-arena engine and the batched what-if API
+// against their allocation-heavy baselines, single-worker throughout.
+func flatReport(name, optName string, iters, numCands int) (*FlatReport, error) {
+	rep := &FlatReport{HostCPUs: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	d, vm, err := experiments.NewDesign(name)
+	if err != nil {
+		return nil, err
+	}
+
+	// Full re-analysis: heap-per-gate Analyze vs in-place Flat.Recompute.
+	// The flat arm's AllocsPerOp is the zero-steady-state-allocation pin.
+	baseNs := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ssta.Analyze(d, vm, ssta.Options{Workers: 1})
+		}
+	}).NsPerOp()
+	flat := ssta.NewFlat(d, vm, ssta.Options{Workers: 1})
+	flatRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			flat.Recompute()
+		}
+	})
+	rep.Rows = append(rep.Rows, flatRow("flat-recompute", name,
+		baseNs, flatRes.NsPerOp(), flatRes.AllocsPerOp(),
+		"full FULLSSTA analysis per op, workers=1"))
+
+	// Candidate scoring: sequential resize-and-rollback probing on the
+	// incremental engine vs one BatchWhatIf pass over the same candidates.
+	cands := flatCandidates(d, numCands)
+	inc := ssta.NewIncremental(d, vm, ssta.Options{Workers: 1})
+	seqNs := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, ch := range cands {
+				inc.ResizeAll(ch)
+				inc.Rollback()
+			}
+		}
+	}).NsPerOp()
+	batchRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			flat.BatchWhatIf(cands, 3, 1)
+		}
+	})
+	rep.Rows = append(rep.Rows, flatRow("batch-whatif", name,
+		seqNs, batchRes.NsPerOp(), batchRes.AllocsPerOp(),
+		fmt.Sprintf("%d candidates scored per op, workers=1", numCands)))
+
+	// StatisticalGreedy end-to-end analysis time: full recompute vs the
+	// incremental analyzer with batched what-if probes (the A/B/C/D
+	// candidate scoring now runs through ssta.Incremental.BatchWhatIf).
+	// BENCH_incremental.json's pre-batching figure is the floor to beat.
+	od, ovm, err := experiments.NewDesign(optName)
+	if err != nil {
+		return nil, err
+	}
+	runOpt := func(incremental bool) (*core.Result, error) {
+		dd := &synth.Design{Circuit: od.Circuit.Clone(), Lib: od.Lib}
+		if _, err := core.MeanDelayGreedy(dd, ovm, core.Options{Workers: 1, Incremental: true}); err != nil {
+			return nil, err
+		}
+		return core.StatisticalGreedy(dd, ovm, core.Options{
+			Lambda: 3, MaxIters: iters, Workers: 1, Incremental: incremental,
+		})
+	}
+	rFull, err := runOpt(false)
+	if err != nil {
+		return nil, err
+	}
+	rInc, err := runOpt(true)
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, flatRow("statgreedy-analysis", optName,
+		rFull.AnalysisTime.Nanoseconds(), rInc.AnalysisTime.Nanoseconds(), 0,
+		fmt.Sprintf("lambda=3 iters=%d total analysis wall time, batched probes", rInc.Iterations)))
+	return rep, nil
+}
+
+func flatRow(engine, circuit string, baseNs, flatNs, allocs int64, detail string) FlatRow {
+	speedup := 0.0
+	if baseNs > 0 && flatNs > 0 {
+		speedup = float64(baseNs) / float64(flatNs)
+	}
+	return FlatRow{
+		Engine: engine, Circuit: circuit,
+		BaselineNs: baseNs, FlatNs: flatNs, Speedup: speedup,
+		AllocsPerOp: allocs, Detail: detail,
 	}
 }
 

@@ -28,7 +28,7 @@ func main() {
 		kpaths  = flag.Int("paths", 0, "enumerate the k worst deterministic paths")
 		critN   = flag.Int("crit", 0, "print the n most critical gates (statistical criticality)")
 		sdfOut  = flag.String("sdf", "", "write statistical delay corners to this SDF file")
-		whatIf  = flag.String("whatif", "", "comma-separated gate=size resizes to evaluate incrementally (design left unchanged)")
+		whatIf  = flag.String("whatif", "", "gate=size resizes to evaluate without touching the design; comma-separated edits form one candidate, ';' separates batched candidates")
 		workers = cliutil.WorkersFlag(flag.CommandLine)
 		lint    = cliutil.LintFlag(flag.CommandLine)
 	)
@@ -88,17 +88,19 @@ func main() {
 		}
 	}
 	if *whatIf != "" {
-		edits, err := parseWhatIf(*whatIf)
+		cands, err := parseWhatIf(*whatIf)
 		if err != nil {
 			fail(err)
 		}
-		rep, err := d.WhatIf(edits, opts)
+		reps, err := d.WhatIfBatch(cands, opts)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("what-if (%d edits): mu %.1f -> %.1f ps, sigma %.1f -> %.1f ps\n",
-			len(edits), rep.MeanBefore, rep.MeanAfter, rep.SigmaBefore, rep.SigmaAfter)
-		fmt.Printf("  incremental repair re-evaluated %d of %d gates\n", rep.NodesRepaired, rep.Gates)
+		for i, rep := range reps {
+			fmt.Printf("what-if %d/%d (%d edits): mu %.1f -> %.1f ps, sigma %.1f -> %.1f ps\n",
+				i+1, len(reps), len(cands[i]), rep.MeanBefore, rep.MeanAfter, rep.SigmaBefore, rep.SigmaAfter)
+			fmt.Printf("  dirty-cone repair re-evaluated %d of %d gates\n", rep.NodesRepaired, rep.Gates)
+		}
 	}
 	if *sdfOut != "" {
 		f, err := os.Create(*sdfOut)
@@ -113,21 +115,26 @@ func main() {
 	}
 }
 
-// parseWhatIf parses the -whatif syntax "gate=size,gate2=size2".
-func parseWhatIf(s string) ([]repro.WhatIfEdit, error) {
-	var edits []repro.WhatIfEdit
-	for _, part := range strings.Split(s, ",") {
-		name, sizeStr, ok := strings.Cut(strings.TrimSpace(part), "=")
-		if !ok {
-			return nil, fmt.Errorf("-whatif: %q is not gate=size", part)
+// parseWhatIf parses the -whatif syntax "g1=2,g2=1;g3=0": commas join
+// edits within one candidate, semicolons separate batched candidates.
+func parseWhatIf(s string) ([][]repro.WhatIfEdit, error) {
+	var cands [][]repro.WhatIfEdit
+	for _, cand := range strings.Split(s, ";") {
+		var edits []repro.WhatIfEdit
+		for _, part := range strings.Split(cand, ",") {
+			name, sizeStr, ok := strings.Cut(strings.TrimSpace(part), "=")
+			if !ok {
+				return nil, fmt.Errorf("-whatif: %q is not gate=size", part)
+			}
+			size, err := strconv.Atoi(sizeStr)
+			if err != nil {
+				return nil, fmt.Errorf("-whatif: bad size in %q: %v", part, err)
+			}
+			edits = append(edits, repro.WhatIfEdit{Gate: strings.TrimSpace(name), Size: size})
 		}
-		size, err := strconv.Atoi(sizeStr)
-		if err != nil {
-			return nil, fmt.Errorf("-whatif: bad size in %q: %v", part, err)
-		}
-		edits = append(edits, repro.WhatIfEdit{Gate: strings.TrimSpace(name), Size: size})
+		cands = append(cands, edits)
 	}
-	return edits, nil
+	return cands, nil
 }
 
 // tail keeps the last n entries, prefixing an ellipsis if truncated.

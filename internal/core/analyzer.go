@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/circuit"
 	"repro/internal/ssta"
 	"repro/internal/sta"
 	"repro/internal/synth"
@@ -36,6 +37,11 @@ type analyzer struct {
 	d       *synth.Design
 	analyze func() *ssta.Result // full recompute at current sizes
 	sync    func() *ssta.Result // incremental repair; nil in full mode
+
+	// whatIfFn scores candidate sizings (changes against the design's
+	// current sizes) without moving the design or the engine; nil for the
+	// deterministic analyzer.
+	whatIfFn func(cands [][]ssta.SizeChange, lambda float64) []float64
 
 	memoSizes [][]int
 	memoRes   []*ssta.Result
@@ -81,8 +87,37 @@ func newStatAnalyzer(d *synth.Design, vm *variation.Model, opts Options) *analyz
 			}
 			return inc.Result()
 		}
+		a.whatIfFn = func(cands [][]ssta.SizeChange, lambda float64) []float64 {
+			// Align the engine with the circuit first (a no-op when the
+			// caller just refreshed, which is the optimizer's pattern),
+			// then score every candidate against that shared clean state.
+			a.sync()
+			outs := inc.BatchWhatIf(cands, lambda, opts.sstaOpts().Workers)
+			costs := make([]float64, len(outs))
+			for i := range outs {
+				costs[i] = outs[i].Cost
+			}
+			return costs
+		}
 	} else {
 		a.analyze = func() *ssta.Result { return ssta.Analyze(d, vm, opts.sstaOpts()) }
+		a.whatIfFn = func(cands [][]ssta.SizeChange, lambda float64) []float64 {
+			// Full mode reproduces the historical probe behavior exactly:
+			// apply each candidate, run the memoized full analysis, restore.
+			// The memo entries this populates are what makes the optimizer's
+			// follow-up refresh of the winning sizing a hit that returns the
+			// very object the historical code retained.
+			base := d.Circuit.SizeSnapshot()
+			costs := make([]float64, len(cands))
+			for i, ch := range cands {
+				for _, c := range ch {
+					d.Circuit.Gate(c.Gate).SizeIdx = c.Size
+				}
+				costs[i] = a.refreshUntimed().Cost(d, lambda)
+				d.Circuit.RestoreSizes(base)
+			}
+			return costs
+		}
 	}
 	return a
 }
@@ -113,6 +148,12 @@ func newDetAnalyzer(d *synth.Design, opts Options) *analyzer {
 func (a *analyzer) refresh() *ssta.Result {
 	t0 := time.Now()
 	defer func() { a.dur += time.Since(t0) }()
+	return a.refreshUntimed()
+}
+
+// refreshUntimed is refresh without the clock, for callers (whatIf) that
+// already hold it.
+func (a *analyzer) refreshUntimed() *ssta.Result {
 	if a.sync != nil {
 		return a.sync()
 	}
@@ -130,6 +171,30 @@ func (a *analyzer) refresh() *ssta.Result {
 		a.memoRes = a.memoRes[1:]
 	}
 	return r
+}
+
+// whatIf returns the circuit cost of each candidate sizing — expressed
+// as changes against the design's CURRENT sizes — without moving the
+// design. In incremental mode this is one batched dirty-cone pass over
+// per-worker overlays (ssta.Incremental.BatchWhatIf); in full mode it is
+// the historical apply/analyze/restore sequence through the memo. Both
+// return bit-identical costs.
+func (a *analyzer) whatIf(cands [][]ssta.SizeChange, lambda float64) []float64 {
+	t0 := time.Now()
+	defer func() { a.dur += time.Since(t0) }()
+	return a.whatIfFn(cands, lambda)
+}
+
+// changesBetween expresses a target sizing as the change list against a
+// base sizing — the candidate form whatIf consumes.
+func changesBetween(base, want []int) []ssta.SizeChange {
+	var ch []ssta.SizeChange
+	for i := range want {
+		if want[i] != base[i] {
+			ch = append(ch, ssta.SizeChange{Gate: circuit.GateID(i), Size: want[i]})
+		}
+	}
+	return ch
 }
 
 func eqSizes(a, b []int) bool {

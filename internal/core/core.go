@@ -464,7 +464,6 @@ func StatisticalGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Res
 				}
 			}
 		}
-		costA := az.refresh().Cost(d, opts.Lambda)
 		sizesA := d.Circuit.SizeSnapshot()
 
 		// Move B: a coordinated escape — one notch up on every path gate
@@ -484,10 +483,8 @@ func StatisticalGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Res
 				bumped++
 			}
 		}
-		costB := math.Inf(1)
 		var sizesB []int
 		if bumped > 0 {
-			costB = az.refresh().Cost(d, opts.Lambda)
 			sizesB = d.Circuit.SizeSnapshot()
 		}
 
@@ -497,7 +494,7 @@ func StatisticalGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Res
 		// encoder) would need one iteration per path under moves A/B;
 		// the cone move lifts them together.
 		coneBumped := 0
-		costC := math.Inf(1)
+		var sizesC []int
 		if opts.ConeMove {
 			d.Circuit.RestoreSizes(startSizes)
 			cone := d.Circuit.TransitiveFanin(coneSeeds, -1)
@@ -512,34 +509,48 @@ func StatisticalGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Res
 				}
 			}
 			if coneBumped > 0 {
-				costC = az.refresh().Cost(d, opts.Lambda)
+				sizesC = d.Circuit.SizeSnapshot()
 			}
-		} else {
-			d.Circuit.RestoreSizes(startSizes)
+		}
+		// Move A — the most common winner — is scored by refreshing the
+		// analyzer at its sizing: its application IS its analysis, so in
+		// incremental mode the engine's dirty-cone repair does double duty
+		// and no separate probe overlay is ever built for it. The remaining
+		// moves are scored as what-if candidates expressed against sizesA
+		// (the circuit's configuration at probe time); the costs are
+		// bit-identical to applying each move and re-analyzing, so the
+		// winner choice matches the historical sequential probing exactly.
+		d.Circuit.RestoreSizes(sizesA)
+		costA := az.refresh().Cost(d, opts.Lambda)
+		var cands [][]ssta.SizeChange
+		if bumped > 0 {
+			cands = append(cands, changesBetween(sizesA, sizesB))
+		}
+		if coneBumped > 0 {
+			cands = append(cands, changesBetween(sizesA, sizesC))
+		}
+		costB, costC := math.Inf(1), math.Inf(1)
+		if len(cands) > 0 {
+			costs := az.whatIf(cands, opts.Lambda)
+			if bumped > 0 {
+				costB = costs[0]
+			}
+			if coneBumped > 0 {
+				costC = costs[len(costs)-1]
+			}
 		}
 
-		// Pick the winner by the scalar costs, restore its sizes, and
-		// re-refresh so `full` is the analysis of the winning sizing. In
-		// full mode each refresh below is a memo hit returning the very
-		// object the historical code kept for that configuration.
+		// Pick the winner by the scalar costs; a non-A winner is applied
+		// (and `full` refreshed) once, after the move-D probe below has
+		// also been scored.
 		move := "per-gate"
 		chosenCost := costA
+		winnerSizes := sizesA
 		switch {
 		case coneBumped > 0 && costC < costA && costC < costB:
-			// Sizes are already at the cone configuration.
-			full = az.refresh()
-			chosenCost = costC
-			resized = coneBumped
-			move = "cone-bump"
+			chosenCost, winnerSizes, resized, move = costC, sizesC, coneBumped, "cone-bump"
 		case bumped > 0 && costB < costA:
-			d.Circuit.RestoreSizes(sizesB)
-			full = az.refresh()
-			chosenCost = costB
-			resized = bumped
-			move = "path-bump"
-		default:
-			d.Circuit.RestoreSizes(sizesA)
-			full = az.refresh()
+			chosenCost, winnerSizes, resized, move = costB, sizesB, bumped, "path-bump"
 		}
 		// Move D, the verified single-step fallback: when every batch move
 		// made the global cost worse, a whole first batch has overshot.
@@ -547,19 +558,23 @@ func StatisticalGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Res
 		// that fails globally, the iteration counts as non-improving and
 		// patience handles termination.
 		if chosenCost >= cur.Cost && bestSingleGate != circuit.None {
-			d.Circuit.RestoreSizes(startSizes)
-			d.Circuit.Gate(bestSingleGate).SizeIdx = bestSingleSize
-			fullD := az.refresh()
-			if fullD.Cost(d, opts.Lambda) < cur.Cost {
-				full = fullD
+			sizesD := append([]int(nil), startSizes...)
+			sizesD[bestSingleGate] = bestSingleSize
+			costD := az.whatIf([][]ssta.SizeChange{
+				changesBetween(sizesA, sizesD),
+			}, opts.Lambda)[0]
+			if costD < cur.Cost {
+				d.Circuit.RestoreSizes(sizesD)
 				resized = 1
 				move = "single"
 			} else {
 				// Keep the batch result anyway; best-restore protects us.
 				d.Circuit.RestoreSizes(sizesA)
-				full = az.refresh()
 			}
+		} else {
+			d.Circuit.RestoreSizes(winnerSizes)
 		}
+		full = az.refresh()
 		res.History = append(res.History, IterStats{
 			Iter: iter, Cost: cur.Cost, Mean: cur.Mean, Sigma: cur.Sigma,
 			Area: cur.Area, PathLen: len(path), Resized: resized, Move: move,

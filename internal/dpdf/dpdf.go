@@ -67,47 +67,11 @@ func FromNormal(mu, sigma float64, n int) PDF {
 
 // FromSamples builds an n-point PDF from empirical samples (equal-width
 // binning, conditional means). Used to convert Monte-Carlo output into a
-// comparable PDF.
+// comparable PDF. Paths converting many sample vectors should hold a
+// Scratch and call its FromSamples, which reuses the binning workspace.
 func FromSamples(samples []float64, n int) PDF {
-	if len(samples) == 0 {
-		return Point(0)
-	}
-	min, max := samples[0], samples[0]
-	for _, s := range samples {
-		if s < min {
-			min = s
-		}
-		if s > max {
-			max = s
-		}
-	}
-	if min == max {
-		return Point(min)
-	}
-	if n < 1 {
-		n = DefaultPoints
-	}
-	mass := make([]float64, n)
-	sum := make([]float64, n)
-	w := (max - min) / float64(n)
-	for _, s := range samples {
-		i := int((s - min) / w)
-		if i >= n {
-			i = n - 1
-		}
-		mass[i]++
-		sum[i] += s
-	}
-	var xs, ps []float64
-	total := float64(len(samples))
-	for i := 0; i < n; i++ {
-		if mass[i] == 0 {
-			continue
-		}
-		xs = append(xs, sum[i]/mass[i])
-		ps = append(ps, mass[i]/total)
-	}
-	return PDF{xs: xs, ps: ps}
+	var s Scratch
+	return s.FromSamples(samples, n)
 }
 
 // New builds a PDF from raw support/probability slices, validating the
@@ -285,24 +249,6 @@ func weightedMoments(xs, ps []float64) (mean, variance float64) {
 	}
 	variance /= total
 	return mean, variance
-}
-
-// normalize rescales probabilities to sum exactly to one, compensating
-// floating-point drift across long operator chains.
-func normalize(p PDF) PDF {
-	total := 0.0
-	for _, q := range p.ps {
-		total += q
-	}
-	if total <= 0 {
-		return Point(0)
-	}
-	if math.Abs(total-1) > 1e-15 {
-		for i := range p.ps {
-			p.ps[i] /= total
-		}
-	}
-	return p
 }
 
 // Validate checks the PDF invariants (ascending support, non-negative

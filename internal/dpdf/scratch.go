@@ -13,6 +13,8 @@ import (
 // allocated fresh slices per call. A Scratch keeps those intermediates
 // alive across calls, so the only remaining allocation per operation is
 // the returned PDF itself (at most maxPts points, which callers retain).
+// The Arena kernels (flat.go) go one step further and write results into
+// arena slots through the same cores, allocating nothing at all.
 //
 // A Scratch is not safe for concurrent use; give each worker goroutine
 // its own. The zero value is ready to use. Results are bit-identical to
@@ -20,12 +22,23 @@ import (
 // implementation; Sum/Max/MaxN delegate here with a throwaway scratch.
 type Scratch struct {
 	wxs, wps []float64 // weighted-point workspace awaiting binning
-	idx      []int     // sort permutation over wxs
 	sx, sp   []float64 // sorted, deduplicated points
 	mass     []float64 // per-bin probability mass
 	sum      []float64 // per-bin mass-weighted coordinate sum
 	merge    []float64 // merged support workspace for Max
 	nxs, nps []float64 // TempNormal output, aliased by its return value
+	ox, op   []float64 // binWeighted output staging before the PDF copy
+	fx, fp   []float64 // MaxNInto fold accumulator (flat.go)
+	fn       int       // points in the fold accumulator
+
+	// Standard-normal discretization table for TempNormal: bin masses and
+	// conditional means in sigma units depend only on the point count, not
+	// on (mu, sigma), so the erf-heavy table is computed once per n and the
+	// per-call work collapses to one affine fill. The cached values are the
+	// exact floats the inline computation produced, so TempNormal output is
+	// bit-identical with or without a warm cache.
+	normMass, normMean []float64
+	normN              int
 }
 
 // NewScratch returns an empty scratch. Buffers grow on first use and are
@@ -41,6 +54,13 @@ func (s *Scratch) Sum(a, b PDF, maxPts int) PDF {
 	if b.Len() == 1 {
 		return a.Shift(b.xs[0])
 	}
+	s.convolve(a, b)
+	return s.binWeighted(maxPts)
+}
+
+// convolve fills the weighted-point workspace with the full n*m
+// convolution of a and b.
+func (s *Scratch) convolve(a, b PDF) {
 	s.wxs, s.wps = s.wxs[:0], s.wps[:0]
 	for i, xa := range a.xs {
 		for j, xb := range b.xs {
@@ -48,12 +68,32 @@ func (s *Scratch) Sum(a, b PDF, maxPts int) PDF {
 			s.wps = append(s.wps, a.ps[i]*b.ps[j])
 		}
 	}
-	return s.binWeighted(maxPts)
 }
 
 // Max is the scratch-buffered distribution of max(X, Y) for independent
 // X, Y (see the package-level Max).
 func (s *Scratch) Max(a, b PDF, maxPts int) PDF {
+	s.maxWeighted(a, b)
+	return s.binWeighted(maxPts)
+}
+
+// maxWeighted fills the weighted-point workspace with the exact point
+// set of max(X, Y): the increments of F_X(t)*F_Y(t) over the merged
+// support. When one support lies entirely at or above the other —
+// separated distributions, e.g. normals more than ~2.6 sigma apart after
+// 3.5-sigma discretization — a support-bounds pre-check routes to
+// dominatedMax, which skips the merge/sort and emits the same values
+// bit-for-bit.
+func (s *Scratch) maxWeighted(a, b PDF) {
+	s.wxs, s.wps = s.wxs[:0], s.wps[:0]
+	if a.xs[0] >= b.xs[b.Len()-1] {
+		s.dominatedMax(a, b)
+		return
+	}
+	if b.xs[0] >= a.xs[a.Len()-1] {
+		s.dominatedMax(b, a)
+		return
+	}
 	// Merge supports.
 	s.merge = append(append(s.merge[:0], a.xs...), b.xs...)
 	sort.Float64s(s.merge)
@@ -64,7 +104,6 @@ func (s *Scratch) Max(a, b PDF, maxPts int) PDF {
 			uniq = append(uniq, x)
 		}
 	}
-	s.wxs, s.wps = s.wxs[:0], s.wps[:0]
 	prev := 0.0
 	ia, ib := 0, 0
 	ca, cb := 0.0, 0.0
@@ -84,7 +123,31 @@ func (s *Scratch) Max(a, b PDF, maxPts int) PDF {
 		}
 		prev = f
 	}
-	return s.binWeighted(maxPts)
+}
+
+// dominatedMax handles Max when hi's support starts at or above lo's
+// end. On the merged support every point of lo contributes zero mass
+// (hi's CDF is still zero there), and at each point of hi the factor
+// from lo is its full (rounded) probability total — so the general loop
+// degenerates to a single walk over hi. The arithmetic below replays the
+// general loop's operations exactly (the same running sums, the same
+// products), so the output is bit-identical, not merely equal in
+// distribution.
+func (s *Scratch) dominatedMax(hi, lo PDF) {
+	clo := 0.0
+	for _, p := range lo.ps {
+		clo += p
+	}
+	prev, chi := 0.0, 0.0
+	for i, x := range hi.xs {
+		chi += hi.ps[i]
+		f := chi * clo
+		if mass := f - prev; mass > 0 {
+			s.wxs = append(s.wxs, x)
+			s.wps = append(s.wps, mass)
+		}
+		prev = f
+	}
 }
 
 // MaxN folds Max over a list of PDFs. An empty list yields Point(0).
@@ -114,10 +177,26 @@ func (s *Scratch) TempNormal(mu, sigma float64, n int) PDF {
 	if n < 2 {
 		n = 2
 	}
+	if s.normN != n {
+		s.normTable(n)
+	}
+	s.nxs, s.nps = s.nxs[:0], s.nps[:0]
+	for i, mass := range s.normMass {
+		s.nxs = append(s.nxs, mu+sigma*s.normMean[i])
+		s.nps = append(s.nps, mass)
+	}
+	return PDF{xs: s.nxs, ps: s.nps}
+}
+
+// normTable fills the standard-normal bin table for n points: per-bin
+// probability mass and conditional mean over mu +- 3.5 sigma, in sigma
+// units. The arithmetic is exactly FromNormal's, so scaling the table by
+// (mu, sigma) reproduces FromNormal's floats bit for bit.
+func (s *Scratch) normTable(n int) {
 	const span = 3.5
 	lo, hi := -span, span // in sigma units
 	width := (hi - lo) / float64(n)
-	s.nxs, s.nps = s.nxs[:0], s.nps[:0]
+	s.normMass, s.normMean = s.normMass[:0], s.normMean[:0]
 	total := normal.Phi(hi) - normal.Phi(lo)
 	for i := 0; i < n; i++ {
 		a := lo + float64(i)*width
@@ -128,62 +207,148 @@ func (s *Scratch) TempNormal(mu, sigma float64, n int) PDF {
 		}
 		// Conditional mean of a standard normal on (a, b).
 		condMean := (normal.Pdf(a) - normal.Pdf(b)) / (normal.Phi(b) - normal.Phi(a))
-		s.nxs = append(s.nxs, mu+sigma*condMean)
-		s.nps = append(s.nps, mass)
+		s.normMass = append(s.normMass, mass)
+		s.normMean = append(s.normMean, condMean)
 	}
-	return PDF{xs: s.nxs, ps: s.nps}
+	s.normN = n
 }
 
-// binWeighted is fromWeighted over the scratch's weighted-point workspace
-// (s.wxs/s.wps): merge duplicates and bin down to at most maxPts points,
-// preserving the mean exactly and rescaling the support to restore the
-// exact pre-binning variance. Only the returned PDF is newly allocated.
-func (s *Scratch) binWeighted(maxPts int) PDF {
-	if len(s.wxs) == 0 {
+// FromNormal is the package-level FromNormal through the scratch's
+// workspace: the returned PDF is freshly allocated (callers retain it),
+// everything intermediate is reused.
+func (s *Scratch) FromNormal(mu, sigma float64, n int) PDF {
+	t := s.TempNormal(mu, sigma, n)
+	return PDF{
+		xs: append(make([]float64, 0, len(t.xs)), t.xs...),
+		ps: append(make([]float64, 0, len(t.ps)), t.ps...),
+	}
+}
+
+// FromSamples is the package-level FromSamples with the per-bin
+// mass/sum workspace taken from the scratch instead of freshly
+// allocated: Monte-Carlo comparison paths convert many sample vectors
+// and previously paid two slice allocations per conversion.
+func (s *Scratch) FromSamples(samples []float64, n int) PDF {
+	if len(samples) == 0 {
 		return Point(0)
 	}
-	// Sort points by x.
-	if cap(s.idx) < len(s.wxs) {
-		s.idx = make([]int, len(s.wxs))
+	min, max := samples[0], samples[0]
+	for _, v := range samples {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
 	}
-	s.idx = s.idx[:len(s.wxs)]
-	for i := range s.idx {
-		s.idx[i] = i
+	if min == max {
+		return Point(min)
 	}
-	idx, xs, ps := s.idx, s.wxs, s.wps
-	sort.Slice(idx, func(i, j int) bool { return xs[idx[i]] < xs[idx[j]] })
-	s.sx, s.sp = s.sx[:0], s.sp[:0]
-	for _, i := range idx {
-		if len(s.sx) > 0 && xs[i] == s.sx[len(s.sx)-1] {
-			s.sp[len(s.sp)-1] += ps[i]
+	if n < 1 {
+		n = DefaultPoints
+	}
+	s.growBins(n)
+	w := (max - min) / float64(n)
+	for _, v := range samples {
+		i := int((v - min) / w)
+		if i >= n {
+			i = n - 1
+		}
+		s.mass[i]++
+		s.sum[i] += v
+	}
+	if cap(s.ox) < n {
+		s.ox = make([]float64, n)
+		s.op = make([]float64, n)
+	}
+	total := float64(len(samples))
+	k := 0
+	for i := 0; i < n; i++ {
+		if s.mass[i] == 0 {
 			continue
 		}
-		s.sx = append(s.sx, xs[i])
-		s.sp = append(s.sp, ps[i])
+		s.ox[k] = s.sum[i] / s.mass[i]
+		s.op[k] = s.mass[i] / total
+		k++
+	}
+	return PDF{
+		xs: append(make([]float64, 0, k), s.ox[:k]...),
+		ps: append(make([]float64, 0, k), s.op[:k]...),
+	}
+}
+
+// growBins sizes the per-bin mass/sum workspace to n zeroed entries.
+func (s *Scratch) growBins(n int) {
+	if cap(s.mass) < n {
+		s.mass = make([]float64, n)
+		s.sum = make([]float64, n)
+	}
+	s.mass, s.sum = s.mass[:n], s.sum[:n]
+	for b := range s.mass {
+		s.mass[b], s.sum[b] = 0, 0
+	}
+}
+
+// binWeighted is binWeightedInto staged through scratch buffers, with
+// the result copied into a freshly allocated PDF — the allocating shape
+// the Sum/Max wrappers return.
+func (s *Scratch) binWeighted(maxPts int) PDF {
+	need := maxPts
+	if need < DefaultPoints {
+		need = DefaultPoints
+	}
+	if cap(s.ox) < need {
+		s.ox = make([]float64, need)
+		s.op = make([]float64, need)
+	}
+	n := s.binWeightedInto(maxPts, s.ox[:need], s.op[:need])
+	return PDF{
+		xs: append(make([]float64, 0, n), s.ox[:n]...),
+		ps: append(make([]float64, 0, n), s.op[:n]...),
+	}
+}
+
+// binWeightedInto is fromWeighted over the scratch's weighted-point
+// workspace (s.wxs/s.wps): merge duplicates and bin down to at most
+// maxPts points, preserving the mean exactly and rescaling the support
+// to restore the exact pre-binning variance. The result is written into
+// dx/dp (len >= maxPts, and >= DefaultPoints when maxPts < 1) and its
+// point count returned; nothing is allocated. This is the shared core
+// of Scratch.Sum/Max and the Arena kernels.
+//
+// Points with equal coordinates are merged in workspace order (the sort
+// is stable), making the merged mass — and therefore every downstream
+// bit — independent of sort internals.
+func (s *Scratch) binWeightedInto(maxPts int, dx, dp []float64) int {
+	if len(s.wxs) == 0 {
+		dx[0], dp[0] = 0, 1
+		return 1
+	}
+	sortPairs(s.wxs, s.wps)
+	s.sx, s.sp = s.sx[:0], s.sp[:0]
+	for i, x := range s.wxs {
+		if len(s.sx) > 0 && x == s.sx[len(s.sx)-1] {
+			s.sp[len(s.sp)-1] += s.wps[i]
+			continue
+		}
+		s.sx = append(s.sx, x)
+		s.sp = append(s.sp, s.wps[i])
 	}
 	if maxPts < 1 {
 		maxPts = DefaultPoints
 	}
 	if len(s.sx) <= maxPts {
-		out := PDF{
-			xs: append(make([]float64, 0, len(s.sx)), s.sx...),
-			ps: append(make([]float64, 0, len(s.sp)), s.sp...),
-		}
-		return normalize(out)
+		n := copy(dx, s.sx)
+		copy(dp, s.sp)
+		return normalizeInto(dx, dp, n)
 	}
 	lo, hi := s.sx[0], s.sx[len(s.sx)-1]
 	if lo == hi {
-		return Point(lo)
+		dx[0], dp[0] = lo, 1
+		return 1
 	}
 	w := (hi - lo) / float64(maxPts)
-	if cap(s.mass) < maxPts {
-		s.mass = make([]float64, maxPts)
-		s.sum = make([]float64, maxPts)
-	}
-	s.mass, s.sum = s.mass[:maxPts], s.sum[:maxPts]
-	for b := range s.mass {
-		s.mass[b], s.sum[b] = 0, 0
-	}
+	s.growBins(maxPts)
 	for i, x := range s.sx {
 		b := int((x - lo) / w)
 		if b >= maxPts {
@@ -192,24 +357,90 @@ func (s *Scratch) binWeighted(maxPts int) PDF {
 		s.mass[b] += s.sp[i]
 		s.sum[b] += x * s.sp[i]
 	}
-	ox := make([]float64, 0, maxPts)
-	op := make([]float64, 0, maxPts)
+	n := 0
 	for b := 0; b < maxPts; b++ {
 		if s.mass[b] <= 0 {
 			continue
 		}
-		ox = append(ox, s.sum[b]/s.mass[b])
-		op = append(op, s.mass[b])
+		dx[n] = s.sum[b] / s.mass[b]
+		dp[n] = s.mass[b]
+		n++
 	}
-	out := normalize(PDF{xs: ox, ps: op})
+	n = normalizeInto(dx, dp, n)
 	// Restore the exact pre-binning variance by rescaling around the mean.
 	wantMean, wantVar := weightedMoments(s.sx, s.sp)
-	gotVar := out.Variance()
+	gotVar := sliceVariance(dx[:n], dp[:n])
 	if gotVar > 0 && wantVar > 0 {
 		k := math.Sqrt(wantVar / gotVar)
-		for i := range out.xs {
-			out.xs[i] = wantMean + (out.xs[i]-wantMean)*k
+		for i := 0; i < n; i++ {
+			dx[i] = wantMean + (dx[i]-wantMean)*k
 		}
 	}
-	return out
+	return n
+}
+
+// sortPairs stably sorts the parallel (xs, ps) arrays by x (insertion
+// sort: the inputs are small — at most maxPts^2 points — and convolution
+// output arrives as ascending runs, which insertion sort exploits).
+// Stability fixes the merge order of equal coordinates.
+func sortPairs(xs, ps []float64) {
+	for i := 1; i < len(xs); i++ {
+		x, p := xs[i], ps[i]
+		j := i - 1
+		for j >= 0 && xs[j] > x {
+			xs[j+1], ps[j+1] = xs[j], ps[j]
+			j--
+		}
+		xs[j+1], ps[j+1] = x, p
+	}
+}
+
+// normalizeInto is normalize over raw slices: rescale dp[:n] to sum
+// exactly to one and return the (possibly collapsed-to-Point(0)) length.
+func normalizeInto(dx, dp []float64, n int) int {
+	total := 0.0
+	for _, q := range dp[:n] {
+		total += q
+	}
+	if total <= 0 {
+		dx[0], dp[0] = 0, 1
+		return 1
+	}
+	if math.Abs(total-1) > 1e-15 {
+		for i := 0; i < n; i++ {
+			dp[i] /= total
+		}
+	}
+	return n
+}
+
+// sliceMean is PDF.Mean over raw slices (identical arithmetic).
+func sliceMean(xs, ps []float64) float64 {
+	m := 0.0
+	for i, x := range xs {
+		m += x * ps[i]
+	}
+	return m
+}
+
+// sliceVariance is PDF.Variance over raw slices (identical arithmetic).
+func sliceVariance(xs, ps []float64) float64 {
+	m := sliceMean(xs, ps)
+	v := 0.0
+	for i, x := range xs {
+		d := x - m
+		v += d * d * ps[i]
+	}
+	return v
+}
+
+// shiftInto writes p translated by delta into dx/dp and returns p's
+// length — Shift without the allocation. Safe when dx/dp alias p's own
+// storage.
+func shiftInto(p PDF, delta float64, dx, dp []float64) int {
+	for i, x := range p.xs {
+		dx[i] = x + delta
+	}
+	copy(dp, p.ps)
+	return len(p.xs)
 }

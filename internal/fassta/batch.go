@@ -1,0 +1,290 @@
+package fassta
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/normal"
+	"repro/internal/parallel"
+)
+
+// WhatIfOutcome is the circuit-level summary of one hypothetical sizing
+// under the moments-only FASSTA analysis — bit-identical to applying the
+// changes via Incremental.ResizeAll and reading GlobalResult, without
+// the engine moving.
+type WhatIfOutcome struct {
+	// Mean and Sigma are the circuit-delay moments under the candidate.
+	Mean, Sigma float64
+	// Cost is max over POs of mean + lambda*sigma.
+	Cost float64
+	// MaxArrival is the deterministic circuit delay.
+	MaxArrival float64
+	// Touched counts node re-evaluations (the dirty-cone size).
+	Touched int
+	// Changed reports whether any node's timing actually moved; when
+	// false the summary fields equal the clean analysis.
+	Changed bool
+}
+
+// gWorker is one worker's overlay over the clean analysis: sparse
+// copy-on-write arrays for the deterministic values and arrival moments,
+// plus size overrides. Reset is O(touched).
+type gWorker struct {
+	queue             *circuit.LevelQueue
+	dirty             []bool
+	arr, slew, inSlew []float64
+	node              []normal.Moments
+	touched           []circuit.GateID
+	sizeOv            []int32 // -1 = no override
+	sizeTouched       []circuit.GateID
+}
+
+func newGWorker(n int) *gWorker {
+	w := &gWorker{
+		queue:  circuit.NewLevelQueue(n),
+		dirty:  make([]bool, n),
+		arr:    make([]float64, n),
+		slew:   make([]float64, n),
+		inSlew: make([]float64, n),
+		node:   make([]normal.Moments, n),
+		sizeOv: make([]int32, n),
+	}
+	for i := range w.sizeOv {
+		w.sizeOv[i] = -1
+	}
+	return w
+}
+
+func (w *gWorker) reset() {
+	for _, id := range w.touched {
+		w.dirty[id] = false
+	}
+	w.touched = w.touched[:0]
+	for _, id := range w.sizeTouched {
+		w.sizeOv[id] = -1
+	}
+	w.sizeTouched = w.sizeTouched[:0]
+}
+
+// BatchWhatIf evaluates K candidate sizings against the engine's current
+// analysis in one pass: the clean state is read-only, each candidate
+// repairs only its dirty cone into a per-worker overlay, and neither the
+// circuit nor the engine moves. Outcomes are bit-identical to applying
+// each candidate via ResizeAll and reading GlobalResult. Sizes are
+// absolute target indices; workers <= 0 means one per CPU; results do
+// not depend on the worker count. Panics if the circuit's sizes diverge
+// from the engine state (Sync first).
+func (inc *Incremental) BatchWhatIf(cands [][]SizeChange, lambda float64, workers int) []WhatIfOutcome {
+	inc.checkRev()
+	c := inc.d.Circuit
+	n := c.NumGates()
+	for id := 0; id < n; id++ {
+		if c.Gate(circuit.GateID(id)).SizeIdx != inc.sizes[id] {
+			panic("fassta: circuit sizes diverge from engine state; Sync before BatchWhatIf")
+		}
+	}
+	clean := WhatIfOutcome{
+		Mean:       inc.r.Mean,
+		Sigma:      inc.r.Sigma,
+		MaxArrival: inc.r.STA.MaxArrival,
+		Cost:       inc.poCost(lambda, func(po circuit.GateID) normal.Moments { return inc.r.Node[po] }),
+	}
+	outs := make([]WhatIfOutcome, len(cands))
+	workers = parallel.Resolve(workers)
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	state := make([]*gWorker, workers)
+	parallel.ForEachWorker(workers, len(cands), func(wi, i int) {
+		if state[wi] == nil {
+			state[wi] = newGWorker(n)
+		}
+		outs[i] = inc.evaluate(state[wi], cands[i], lambda, clean)
+	})
+	return outs
+}
+
+func (inc *Incremental) poCost(lambda float64, node func(circuit.GateID) normal.Moments) float64 {
+	worst := math.Inf(-1)
+	for _, po := range inc.d.Circuit.Outputs {
+		m := node(po)
+		if c := m.Mean + lambda*m.Sigma(); c > worst {
+			worst = c
+		}
+	}
+	if len(inc.d.Circuit.Outputs) == 0 {
+		return 0
+	}
+	return worst
+}
+
+func (w *gWorker) staArr(inc *Incremental, id circuit.GateID) float64 {
+	if w.dirty[id] {
+		return w.arr[id]
+	}
+	return inc.r.STA.Arrival[id]
+}
+
+func (w *gWorker) staSlew(inc *Incremental, id circuit.GateID) float64 {
+	if w.dirty[id] {
+		return w.slew[id]
+	}
+	return inc.r.STA.Slew[id]
+}
+
+func (w *gWorker) moments(inc *Incremental, id circuit.GateID) normal.Moments {
+	if w.dirty[id] {
+		return w.node[id]
+	}
+	return inc.r.Node[id]
+}
+
+func (w *gWorker) size(inc *Incremental, id circuit.GateID) int {
+	if s := w.sizeOv[id]; s >= 0 {
+		return int(s)
+	}
+	return inc.d.Circuit.Gate(id).SizeIdx
+}
+
+// load mirrors synth.Design.Load under the candidate's size overrides.
+func (w *gWorker) load(inc *Incremental, id circuit.GateID) float64 {
+	d := inc.d
+	g := d.Circuit.Gate(id)
+	load := 0.0
+	for _, fo := range g.Fanout {
+		load += d.CellAt(fo, w.size(inc, fo)).InputCap
+	}
+	for _, po := range d.Circuit.Outputs {
+		if po == id {
+			load += d.Lib.PrimaryOutputLoad
+			break
+		}
+	}
+	return load
+}
+
+func (inc *Incremental) evaluate(w *gWorker, changes []SizeChange, lambda float64, clean WhatIfOutcome) WhatIfOutcome {
+	c := inc.d.Circuit
+	for _, ch := range changes {
+		if c.Gate(ch.Gate).SizeIdx == ch.Size && w.sizeOv[ch.Gate] < 0 {
+			continue
+		}
+		if w.sizeOv[ch.Gate] < 0 {
+			w.sizeTouched = append(w.sizeTouched, ch.Gate)
+		}
+		w.sizeOv[ch.Gate] = int32(ch.Size)
+		w.queue.Push(ch.Gate, inc.level[ch.Gate])
+		for _, f := range c.Gate(ch.Gate).Fanin {
+			w.queue.Push(f, inc.level[f])
+		}
+	}
+	touched := 0
+	anyChanged := false
+	for {
+		id, ok := w.queue.Pop()
+		if !ok {
+			break
+		}
+		touched++
+		if inc.whatIfRecompute(w, id) {
+			anyChanged = true
+			for _, fo := range c.Gate(id).Fanout {
+				w.queue.Push(fo, inc.level[fo])
+			}
+		}
+	}
+	out := clean
+	out.Touched = touched
+	out.Changed = anyChanged
+	if anyChanged {
+		// Mirror refreshSummary through the overlay.
+		maxArr := math.Inf(-1)
+		for _, po := range c.Outputs {
+			if a := w.staArr(inc, po); a > maxArr {
+				maxArr = a
+			}
+		}
+		if len(c.Outputs) == 0 {
+			maxArr = 0
+		}
+		var circ normal.Moments
+		first := true
+		for _, po := range c.Outputs {
+			if first {
+				circ = w.moments(inc, po)
+				first = false
+				continue
+			}
+			circ = inc.maxFn(circ, w.moments(inc, po))
+		}
+		out.Mean = circ.Mean
+		out.Sigma = circ.Sigma()
+		out.MaxArrival = maxArr
+		out.Cost = inc.poCost(lambda, func(po circuit.GateID) normal.Moments { return w.moments(inc, po) })
+	}
+	w.reset()
+	return out
+}
+
+// whatIfRecompute is Incremental.recompute rerouted through the overlay:
+// identical arithmetic, with every read overlay-aware and every write
+// landing in the worker instead of the shared result.
+func (inc *Incremental) whatIfRecompute(w *gWorker, id circuit.GateID) bool {
+	d := inc.d
+	g := d.Circuit.Gate(id)
+
+	if g.Fn == circuit.Input {
+		newArr := d.Lib.PrimaryInputRes * w.load(inc, id)
+		newSlew := d.Lib.PrimaryInputSlew
+		changed := newArr != w.staArr(inc, id) || newSlew != w.staSlew(inc, id)
+		if !w.dirty[id] {
+			// Inputs carry zero arrival moments; seed the overlay copy so
+			// the dirty read path returns the same value.
+			w.node[id] = inc.r.Node[id]
+			w.dirty[id] = true
+			w.touched = append(w.touched, id)
+		}
+		w.arr[id] = newArr
+		w.slew[id] = newSlew
+		return changed
+	}
+
+	var fArr, fSlew float64
+	for _, f := range g.Fanin {
+		if a := w.staArr(inc, f); a > fArr {
+			fArr = a
+		}
+		if s := w.staSlew(inc, f); s > fSlew {
+			fSlew = s
+		}
+	}
+	cell := d.CellAt(id, w.size(inc, id))
+	load := w.load(inc, id)
+	newDelay := cell.Delay.Lookup(fSlew, load)
+	newSlew := cell.OutSlew.Lookup(fSlew, load)
+	newArr := fArr + newDelay
+	changed := newArr != w.staArr(inc, id) || newSlew != w.staSlew(inc, id)
+
+	var arr normal.Moments
+	for i, f := range g.Fanin {
+		if i == 0 {
+			arr = w.moments(inc, f)
+		} else {
+			arr = inc.maxFn(arr, w.moments(inc, f))
+		}
+	}
+	sigma := inc.vm.Sigma(cell, newDelay)
+	node := arr.Add(normal.Moments{Mean: newDelay, Var: sigma * sigma})
+	if node != inc.r.Node[id] {
+		changed = true
+	}
+	if !w.dirty[id] {
+		w.dirty[id] = true
+		w.touched = append(w.touched, id)
+	}
+	w.inSlew[id] = fSlew
+	w.slew[id] = newSlew
+	w.arr[id] = newArr
+	w.node[id] = node
+	return changed
+}

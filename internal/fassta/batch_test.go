@@ -1,0 +1,152 @@
+package fassta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cells"
+	"repro/internal/circuit"
+	"repro/internal/gen"
+	"repro/internal/normal"
+	"repro/internal/synth"
+	"repro/internal/variation"
+)
+
+func setupISCAS(t *testing.T, name string) (*synth.Design, *variation.Model) {
+	t.Helper()
+	c, err := gen.ISCASLike(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := cells.Default90nm()
+	d, err := synth.Map(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, variation.Default(lib)
+}
+
+func logicGates(d *synth.Design) []circuit.GateID {
+	var ids []circuit.GateID
+	for i := range d.Circuit.Gates {
+		if d.Circuit.Gates[i].Fn != circuit.Input {
+			ids = append(ids, circuit.GateID(i))
+		}
+	}
+	return ids
+}
+
+func randomCandidates(rng *rand.Rand, d *synth.Design, k int) [][]SizeChange {
+	logic := logicGates(d)
+	cands := make([][]SizeChange, 0, k)
+	for len(cands) < k {
+		var ch []SizeChange
+		for n := 1 + rng.Intn(3); n > 0; n-- {
+			id := logic[rng.Intn(len(logic))]
+			ch = append(ch, SizeChange{Gate: id, Size: rng.Intn(d.Lib.NumSizes(d.Kind(id)))})
+		}
+		cands = append(cands, ch)
+	}
+	id := logic[0]
+	cands[len(cands)-1] = []SizeChange{{Gate: id, Size: d.Circuit.Gate(id).SizeIdx}}
+	return cands
+}
+
+// poCostOf recomputes the batch API's cost metric independently from a
+// result's node moments.
+func poCostOf(d *synth.Design, node []normal.Moments, lambda float64) float64 {
+	worst := math.Inf(-1)
+	for _, po := range d.Circuit.Outputs {
+		m := node[po]
+		if c := m.Mean + lambda*m.Sigma(); c > worst {
+			worst = c
+		}
+	}
+	if len(d.Circuit.Outputs) == 0 {
+		return 0
+	}
+	return worst
+}
+
+// applySequentially computes one candidate's ground truth by actually
+// resizing through the engine and rolling back.
+func applySequentially(d *synth.Design, inc *Incremental, lambda float64, ch []SizeChange) WhatIfOutcome {
+	before := inc.Evals()
+	n := inc.ResizeAll(ch)
+	r := inc.Result()
+	out := WhatIfOutcome{
+		Mean:       r.Mean,
+		Sigma:      r.Sigma,
+		Cost:       poCostOf(d, r.Node, lambda),
+		MaxArrival: r.STA.MaxArrival,
+		Touched:    int(inc.Evals() - before),
+		Changed:    n > 0,
+	}
+	inc.Rollback()
+	return out
+}
+
+func TestBatchWhatIfMatchesSequentialResizes(t *testing.T) {
+	const lambda = 3.0
+	for _, name := range []string{"alu2", "c432", "c880"} {
+		for _, approx := range []bool{true, false} {
+			d, vm := setupISCAS(t, name)
+			rng := rand.New(rand.NewSource(int64(len(name)) * 17))
+			inc := NewIncremental(d, vm, approx)
+			cands := randomCandidates(rng, d, 12)
+
+			want := make([]WhatIfOutcome, len(cands))
+			for i, ch := range cands {
+				want[i] = applySequentially(d, inc, lambda, ch)
+			}
+			for _, workers := range []int{1, 4} {
+				got := inc.BatchWhatIf(cands, lambda, workers)
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s approx=%v workers=%d cand %d: outcome %+v, want %+v",
+							name, approx, workers, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBatchWhatIfLeavesEngineClean(t *testing.T) {
+	d, vm := setupISCAS(t, "c432")
+	inc := NewIncremental(d, vm, true)
+	clean := AnalyzeGlobal(d, vm, true)
+	sizes := d.Circuit.SizeSnapshot()
+
+	rng := rand.New(rand.NewSource(5))
+	inc.BatchWhatIf(randomCandidates(rng, d, 8), 3, 0)
+
+	for i, s := range d.Circuit.SizeSnapshot() {
+		if s != sizes[i] {
+			t.Fatalf("BatchWhatIf moved gate %d size", i)
+		}
+	}
+	r := inc.Result()
+	if r.Mean != clean.Mean || r.Sigma != clean.Sigma || r.STA.MaxArrival != clean.STA.MaxArrival {
+		t.Fatal("BatchWhatIf perturbed the engine summary")
+	}
+	for i := range clean.Node {
+		if r.Node[i] != clean.Node[i] {
+			t.Fatalf("BatchWhatIf perturbed node %d moments", i)
+		}
+	}
+}
+
+func TestBatchWhatIfStaleSizesPanics(t *testing.T) {
+	d, vm := setupISCAS(t, "alu2")
+	inc := NewIncremental(d, vm, true)
+	id := logicGates(d)[0]
+	d.Circuit.Gate(id).SizeIdx++
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BatchWhatIf on a stale engine did not panic")
+		}
+	}()
+	inc.BatchWhatIf([][]SizeChange{{{Gate: id, Size: 0}}}, 3, 1)
+}

@@ -85,6 +85,38 @@ func pkgCalls(f *ast.File, pkgName string, visit func(call *ast.CallExpr, fn str
 	})
 }
 
+// dpdfHotDirs are the packages whose inner loops run the discrete-PDF
+// kernels thousands of times per optimizer iteration.
+var dpdfHotDirs = map[string]bool{
+	"internal/ssta":   true,
+	"internal/fassta": true,
+	"internal/core":   true,
+}
+
+// dpdfalloc: the package-level dpdf.Sum/Max/MaxN conveniences build a
+// throwaway Scratch (and allocate result slices) on every call. That is
+// fine in cold paths and tests, but inside the timing engines and the
+// optimizer it turns the inner loop into an allocation storm; those
+// packages must route kernel calls through a reused dpdf.Scratch or a
+// dpdf.Arena.
+var dpdfAllocCheck = &Check{
+	Name:    "dpdfalloc",
+	Doc:     "no package-level dpdf.Sum/Max/MaxN in engine hot paths; use a reused Scratch or Arena",
+	InScope: func(dir string) bool { return dpdfHotDirs[dir] },
+	Run: func(f *File) []Finding {
+		var out []Finding
+		banned := map[string]bool{"Sum": true, "Max": true, "MaxN": true}
+		dpdfName := importName(f.AST, "repro/internal/dpdf", "dpdf")
+		pkgCalls(f.AST, dpdfName, func(call *ast.CallExpr, fn string) {
+			if banned[fn] {
+				out = append(out, f.finding("dpdfalloc", call.Pos(), fmt.Sprintf(
+					"package-level %s.%s allocates a Scratch per call; use a reused dpdf.Scratch method (or dpdf.Arena kernel) in engine hot paths", dpdfName, fn)))
+			}
+		})
+		return out
+	},
+}
+
 // globalrand: randomness must be reproducible. The legacy math/rand
 // package is banned outright (global, unseeded, pre-v2 stream), and the
 // global top-level functions of math/rand/v2 are banned because they

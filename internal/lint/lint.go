@@ -22,6 +22,10 @@
 //	naninput    — exported entry points taking float options must call
 //	              validation before computing, or NaN/Inf poisons every
 //	              downstream PDF.
+//	dpdfalloc   — no package-level dpdf.Sum/Max/MaxN in engine hot paths
+//	              (internal/ssta, internal/fassta, internal/core); those
+//	              conveniences allocate a Scratch per call, so the inner
+//	              loops must use a reused Scratch or an Arena.
 package lint
 
 import (
@@ -71,7 +75,7 @@ func (f *File) finding(check string, pos token.Pos, msg string) Finding {
 
 // Checks returns all registered checks, in reporting order.
 func Checks() []*Check {
-	return []*Check{globalRandCheck, wallClockCheck, stdoutPrintCheck, ctxLoopCheck, nanInputCheck}
+	return []*Check{globalRandCheck, wallClockCheck, stdoutPrintCheck, ctxLoopCheck, nanInputCheck, dpdfAllocCheck}
 }
 
 // CheckNames returns the names of all registered checks.

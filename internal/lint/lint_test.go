@@ -37,6 +37,7 @@ func TestSelftestFindings(t *testing.T) {
 		{"internal/engine/bad.go", "stdoutprint"}:  1, // builtin println
 		{"internal/ssta/kernel.go", "wallclock"}:   3, // Now, Since, Sleep
 		{"internal/ssta/kernel.go", "stdoutprint"}: 1,
+		{"internal/ssta/kernel.go", "dpdfalloc"}:   3, // Sum, Max, MaxN; Scratch twin silent
 		{"internal/core/opt.go", "ctxloop"}:        1, // BadLoop only
 		{"internal/core/opt.go", "naninput"}:       1, // BadEntry only
 	}

@@ -1,10 +1,13 @@
 // Package ssta is a seeded-violation fixture: a numeric kernel that
-// reads the wall clock and prints progress, both banned.
+// reads the wall clock, prints progress, and calls the allocating
+// package-level PDF kernels — all banned.
 package ssta
 
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/dpdf"
 )
 
 func Propagate(xs []float64) float64 {
@@ -19,4 +22,12 @@ func Propagate(xs []float64) float64 {
 
 func Settle() {
 	time.Sleep(10 * time.Millisecond) // want wallclock
+}
+
+func Combine(a, b dpdf.PDF) dpdf.PDF {
+	var s dpdf.Scratch
+	acc := dpdf.Sum(a, b, 12)            // want dpdfalloc
+	acc = dpdf.Max(acc, b, 12)           // want dpdfalloc
+	acc = dpdf.MaxN([]dpdf.PDF{acc}, 12) // want dpdfalloc
+	return s.Sum(acc, b, 12)             // compliant twin: reused Scratch
 }

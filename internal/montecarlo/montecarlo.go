@@ -218,5 +218,13 @@ func (r *Result) Yield(T float64) float64 {
 // PDF converts the sample set into an n-point discrete PDF for plotting
 // next to FULLSSTA output.
 func (r *Result) PDF(points int) dpdf.PDF {
-	return dpdf.FromSamples(r.Samples, points)
+	var s dpdf.Scratch
+	return s.FromSamples(r.Samples, points)
+}
+
+// PDFWith is PDF through a caller-owned scratch, for loops that convert
+// many sample sets (MC-vs-SSTA comparison benches) without re-allocating
+// the histogram workspace each time.
+func (r *Result) PDFWith(s *dpdf.Scratch, points int) dpdf.PDF {
+	return s.FromSamples(r.Samples, points)
 }

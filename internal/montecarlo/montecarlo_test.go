@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cells"
 	"repro/internal/circuit"
+	"repro/internal/dpdf"
 	"repro/internal/gen"
 	"repro/internal/sta"
 	"repro/internal/synth"
@@ -121,6 +122,15 @@ func TestPDFMatchesSampleMoments(t *testing.T) {
 	}
 	if math.Abs(p.Sigma()-r.Sigma) > 0.1*r.Sigma {
 		t.Errorf("PDF sigma %g vs sample sigma %g", p.Sigma(), r.Sigma)
+	}
+	// PDFWith is PDF through a caller-owned scratch: identical output,
+	// and the scratch is reusable across conversions.
+	var s dpdf.Scratch
+	if got := r.PDFWith(&s, 15); !got.Equal(p) {
+		t.Error("PDFWith differs from PDF")
+	}
+	if got := r.PDFWith(&s, 15); !got.Equal(p) {
+		t.Error("PDFWith with a warm scratch differs from PDF")
 	}
 }
 

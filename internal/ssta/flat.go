@@ -1,0 +1,268 @@
+package ssta
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/dpdf"
+	"repro/internal/normal"
+	"repro/internal/parallel"
+	"repro/internal/sta"
+	"repro/internal/synth"
+	"repro/internal/variation"
+)
+
+// Flat is the flat-array FULLSSTA engine: the same analysis as Analyze,
+// bit for bit, but with every node PDF stored in one contiguous
+// dpdf.Arena (structure-of-arrays, fixed stride) and the propagation
+// walking precomputed level buckets front to back — no per-gate PDF
+// allocation, no pointer chasing through heap-scattered slices. After
+// construction, Recompute re-runs the full analysis at the circuit's
+// current sizes with zero steady-state allocations (workers <= 1), which
+// is what makes it the engine of choice for loops that re-analyze the
+// same circuit many times (optimizer probes, batched what-if).
+//
+// A Flat is bound to the circuit structure at construction; like
+// Incremental it panics if the structure changes. It is not safe for
+// concurrent use, but Recompute with Workers > 1 parallelizes internally
+// over level barriers with bit-identical results.
+type Flat struct {
+	d       *synth.Design
+	vm      *variation.Model
+	opts    Options
+	pts     int
+	workers int
+	rev     int
+
+	sta       *sta.Result
+	arena     *dpdf.Arena // NumGates()+1 slots; the last is the circuit PDF
+	node      []normal.Moments
+	gateDelay []normal.Moments
+	sigmas    []float64
+	sizes     []int // sizes as of the last Recompute (BatchWhatIf guard)
+
+	topo    []circuit.GateID
+	level   []int32
+	buckets [][]circuit.GateID // non-input gates by topological level
+
+	sc          []flatScratch
+	mean, sigma float64
+}
+
+// flatScratch is one worker's reusable state: kernel buffers plus a
+// fanin-view gather slice.
+type flatScratch struct {
+	kern dpdf.Scratch
+	ops  []dpdf.PDF
+}
+
+// NewFlat builds the flat engine and runs the first full analysis.
+func NewFlat(d *synth.Design, vm *variation.Model, opts Options) *Flat {
+	pts := opts.points()
+	workers := parallel.Resolve(opts.Workers)
+	c := d.Circuit
+	n := c.NumGates()
+	lv, depth := c.Levels()
+	topo := c.MustTopoOrder()
+	f := &Flat{
+		d:       d,
+		vm:      vm,
+		opts:    opts,
+		pts:     pts,
+		workers: workers,
+		rev:     c.Revision(),
+		sta: &sta.Result{
+			Arrival: make([]float64, n),
+			Slew:    make([]float64, n),
+			Delay:   make([]float64, n),
+			InSlew:  make([]float64, n),
+			WorstPO: circuit.None,
+		},
+		arena:     dpdf.NewArena(n+1, pts),
+		node:      make([]normal.Moments, n),
+		gateDelay: make([]normal.Moments, n),
+		sigmas:    make([]float64, n),
+		sizes:     make([]int, n),
+		topo:      topo,
+		level:     lv,
+		buckets:   make([][]circuit.GateID, depth+1),
+		sc:        make([]flatScratch, workers),
+	}
+	for _, id := range topo {
+		if c.Gate(id).Fn == circuit.Input {
+			// The statistical arrival at a PI is Point(0), always.
+			f.arena.SetPoint(int(id), 0)
+		} else {
+			f.buckets[lv[id]] = append(f.buckets[lv[id]], id)
+		}
+	}
+	f.Recompute()
+	return f
+}
+
+// Recompute re-runs the full analysis at the circuit's current sizes,
+// in place. Results are bit-identical to a fresh Analyze; with
+// workers <= 1 the steady state allocates nothing.
+func (f *Flat) Recompute() {
+	if f.rev != f.d.Circuit.Revision() {
+		panic("ssta: circuit structure changed under Flat; rebuild it")
+	}
+	f.recomputeSTA()
+	c := f.d.Circuit
+	for _, id := range f.topo {
+		if c.Gate(id).Fn == circuit.Input {
+			continue
+		}
+		mean := f.sta.Delay[id]
+		sigma := f.vm.Sigma(f.d.Cell(id), mean)
+		f.sigmas[id] = sigma
+		f.gateDelay[id] = normal.Moments{Mean: mean, Var: sigma * sigma}
+	}
+	if f.workers <= 1 {
+		sc := &f.sc[0]
+		for _, bucket := range f.buckets {
+			for _, id := range bucket {
+				f.propagate(sc, id)
+			}
+		}
+	} else {
+		parallel.Levels(f.workers, f.buckets, func(w int, id circuit.GateID) {
+			f.propagate(&f.sc[w], id)
+		})
+	}
+	// Circuit PDF: Max over all POs, into the arena's extra slot.
+	sc := &f.sc[0]
+	sc.ops = sc.ops[:0]
+	for _, po := range c.Outputs {
+		sc.ops = append(sc.ops, f.arena.View(int(po)))
+	}
+	top := c.NumGates()
+	f.arena.MaxNInto(&sc.kern, top, sc.ops, f.pts)
+	m := f.arena.Moments(top)
+	f.mean = m.Mean
+	f.sigma = math.Sqrt(m.Var)
+	for id := 0; id < c.NumGates(); id++ {
+		f.sizes[id] = c.Gate(circuit.GateID(id)).SizeIdx
+	}
+}
+
+// recomputeSTA mirrors sta.Analyze in place: same topological order,
+// same operations, bit-identical values.
+func (f *Flat) recomputeSTA() {
+	c := f.d.Circuit
+	r := f.sta
+	for _, id := range f.topo {
+		g := c.Gate(id)
+		if g.Fn == circuit.Input {
+			r.Arrival[id] = f.d.Lib.PrimaryInputRes * f.d.Load(id)
+			r.Slew[id] = f.d.Lib.PrimaryInputSlew
+			continue
+		}
+		var arr, slew float64
+		for _, fid := range g.Fanin {
+			if r.Arrival[fid] > arr {
+				arr = r.Arrival[fid]
+			}
+			if r.Slew[fid] > slew {
+				slew = r.Slew[fid]
+			}
+		}
+		r.InSlew[id] = slew
+		cell := f.d.Cell(id)
+		load := f.d.Load(id)
+		r.Delay[id] = cell.Delay.Lookup(slew, load)
+		r.Slew[id] = cell.OutSlew.Lookup(slew, load)
+		r.Arrival[id] = arr + r.Delay[id]
+	}
+	r.MaxArrival = math.Inf(-1)
+	r.WorstPO = circuit.None
+	for _, po := range c.Outputs {
+		if r.Arrival[po] > r.MaxArrival {
+			r.MaxArrival = r.Arrival[po]
+			r.WorstPO = po
+		}
+	}
+	if len(c.Outputs) == 0 {
+		r.MaxArrival = 0
+	}
+}
+
+// propagate computes one gate's arrival PDF into its arena slot —
+// Analyze's propagate with the kernels running in place.
+func (f *Flat) propagate(sc *flatScratch, id circuit.GateID) {
+	g := f.d.Circuit.Gate(id)
+	sc.ops = sc.ops[:0]
+	for _, fid := range g.Fanin {
+		sc.ops = append(sc.ops, f.arena.View(int(fid)))
+	}
+	slot := int(id)
+	temp := sc.kern.TempNormal(f.gateDelay[id].Mean, f.sigmas[id], f.pts)
+	if len(sc.ops) == 1 {
+		// MaxN over one fanin is that fanin verbatim; fuse into the Sum.
+		f.arena.SumInto(&sc.kern, slot, sc.ops[0], temp, f.pts)
+	} else {
+		f.arena.MaxNInto(&sc.kern, slot, sc.ops, f.pts)
+		f.arena.SumInto(&sc.kern, slot, f.arena.View(slot), temp, f.pts)
+	}
+	f.node[id] = f.arena.Moments(slot)
+}
+
+// Mean and Sigma are the circuit-delay moments of the last Recompute.
+func (f *Flat) Mean() float64  { return f.mean }
+func (f *Flat) Sigma() float64 { return f.sigma }
+
+// STA returns the engine-owned deterministic analysis (updated in place
+// by Recompute).
+func (f *Flat) STA() *sta.Result { return f.sta }
+
+// NodeMoments returns the arrival moments at a node.
+func (f *Flat) NodeMoments(id circuit.GateID) normal.Moments { return f.node[id] }
+
+// CircuitPDF returns a copy of the circuit-delay PDF.
+func (f *Flat) CircuitPDF() dpdf.PDF { return f.arena.PDF(f.d.Circuit.NumGates()) }
+
+// Arrival returns a copy of the arrival PDF at a node.
+func (f *Flat) Arrival(id circuit.GateID) dpdf.PDF { return f.arena.PDF(int(id)) }
+
+// Cost evaluates the paper's objective exactly like Result.Cost.
+func (f *Flat) Cost(lambda float64) float64 {
+	worst := math.Inf(-1)
+	for _, po := range f.d.Circuit.Outputs {
+		m := f.node[po]
+		if c := m.Mean + lambda*m.Sigma(); c > worst {
+			worst = c
+		}
+	}
+	if len(f.d.Circuit.Outputs) == 0 {
+		return 0
+	}
+	return worst
+}
+
+// Result materializes a full, independently owned *Result from the
+// engine state — an allocation per node, so this is for inspection and
+// differential tests, not the hot loop.
+func (f *Flat) Result() *Result {
+	c := f.d.Circuit
+	n := c.NumGates()
+	r := &Result{
+		STA: &sta.Result{
+			Arrival:    append([]float64(nil), f.sta.Arrival...),
+			Slew:       append([]float64(nil), f.sta.Slew...),
+			Delay:      append([]float64(nil), f.sta.Delay...),
+			InSlew:     append([]float64(nil), f.sta.InSlew...),
+			MaxArrival: f.sta.MaxArrival,
+			WorstPO:    f.sta.WorstPO,
+		},
+		Arrival:    make([]dpdf.PDF, n),
+		Node:       append([]normal.Moments(nil), f.node...),
+		GateDelay:  append([]normal.Moments(nil), f.gateDelay...),
+		CircuitPDF: f.CircuitPDF(),
+		Mean:       f.mean,
+		Sigma:      f.sigma,
+	}
+	for id := 0; id < n; id++ {
+		r.Arrival[id] = f.arena.PDF(id)
+	}
+	return r
+}

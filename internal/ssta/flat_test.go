@@ -1,0 +1,229 @@
+package ssta
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cells"
+	"repro/internal/circuit"
+	"repro/internal/gen"
+	"repro/internal/synth"
+	"repro/internal/variation"
+)
+
+// flatFamily is the Table-1 slice the differential tests sweep: small
+// enough to keep CI fast, structurally diverse (reconvergence, wide
+// datapaths, deep multiply arrays are all represented).
+var flatFamily = []string{"alu2", "c432", "c499", "c880", "c1355"}
+
+func setupISCAS(t *testing.T, name string) (*synth.Design, *variation.Model) {
+	t.Helper()
+	c, err := gen.ISCASLike(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := cells.Default90nm()
+	d, err := synth.Map(c, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, variation.Default(lib)
+}
+
+// requireSameResult asserts two analyses are bit-identical on every
+// node-level and circuit-level field.
+func requireSameResult(t *testing.T, ctx string, got, want *Result) {
+	t.Helper()
+	if got.Mean != want.Mean || got.Sigma != want.Sigma {
+		t.Fatalf("%s: circuit moments differ: (%v,%v) vs (%v,%v)", ctx, got.Mean, got.Sigma, want.Mean, want.Sigma)
+	}
+	if !got.CircuitPDF.Equal(want.CircuitPDF) {
+		t.Fatalf("%s: circuit PDF differs", ctx)
+	}
+	if got.STA.MaxArrival != want.STA.MaxArrival || got.STA.WorstPO != want.STA.WorstPO {
+		t.Fatalf("%s: STA summary differs", ctx)
+	}
+	for i := range want.Arrival {
+		if got.STA.Arrival[i] != want.STA.Arrival[i] ||
+			got.STA.Slew[i] != want.STA.Slew[i] ||
+			got.STA.Delay[i] != want.STA.Delay[i] ||
+			got.STA.InSlew[i] != want.STA.InSlew[i] {
+			t.Fatalf("%s: STA node %d differs", ctx, i)
+		}
+		if !got.Arrival[i].Equal(want.Arrival[i]) {
+			t.Fatalf("%s: arrival PDF at node %d differs", ctx, i)
+		}
+		if got.Node[i] != want.Node[i] || got.GateDelay[i] != want.GateDelay[i] {
+			t.Fatalf("%s: moments at node %d differ", ctx, i)
+		}
+	}
+}
+
+func TestFlatBitIdenticalToAnalyze(t *testing.T) {
+	for _, name := range flatFamily {
+		d, vm := setupISCAS(t, name)
+		want := Analyze(d, vm, Options{Workers: 1})
+		for _, workers := range []int{1, 4} {
+			f := NewFlat(d, vm, Options{Workers: workers})
+			requireSameResult(t, name, f.Result(), want)
+			if f.Cost(3) != want.Cost(d, 3) {
+				t.Fatalf("%s workers=%d: Cost differs", name, workers)
+			}
+		}
+	}
+}
+
+func TestFlatRecomputeTracksResizes(t *testing.T) {
+	d, vm := setupISCAS(t, "c432")
+	f := NewFlat(d, vm, Options{Workers: 1})
+	rng := rand.New(rand.NewSource(19))
+	logic := logicGates(d)
+	for step := 0; step < 5; step++ {
+		for k := 0; k < 10; k++ {
+			id := logic[rng.Intn(len(logic))]
+			n := d.Lib.NumSizes(d.Kind(id))
+			d.Circuit.Gate(id).SizeIdx = rng.Intn(n)
+		}
+		f.Recompute()
+		requireSameResult(t, "recompute", f.Result(), Analyze(d, vm, Options{Workers: 1}))
+	}
+}
+
+func TestFlatRecomputeDoesNotAllocate(t *testing.T) {
+	d, vm := setupISCAS(t, "alu2")
+	f := NewFlat(d, vm, Options{Workers: 1})
+	if n := testing.AllocsPerRun(10, f.Recompute); n != 0 {
+		t.Fatalf("Flat.Recompute allocates %v per run, want 0", n)
+	}
+}
+
+func logicGates(d *synth.Design) []circuit.GateID {
+	var ids []circuit.GateID
+	for i := range d.Circuit.Gates {
+		if d.Circuit.Gates[i].Fn != circuit.Input {
+			ids = append(ids, circuit.GateID(i))
+		}
+	}
+	return ids
+}
+
+// randomCandidates draws K candidate sizings: mostly single-gate resizes
+// (the optimizer's probe shape), some multi-gate batches, and one
+// guaranteed no-op.
+func randomCandidates(rng *rand.Rand, d *synth.Design, k int) [][]SizeChange {
+	logic := logicGates(d)
+	cands := make([][]SizeChange, 0, k)
+	for len(cands) < k {
+		var ch []SizeChange
+		for n := 1 + rng.Intn(3); n > 0; n-- {
+			id := logic[rng.Intn(len(logic))]
+			ch = append(ch, SizeChange{Gate: id, Size: rng.Intn(d.Lib.NumSizes(d.Kind(id)))})
+		}
+		cands = append(cands, ch)
+	}
+	// A no-op candidate must come back Changed=false with clean numbers.
+	id := logic[0]
+	cands[len(cands)-1] = []SizeChange{{Gate: id, Size: d.Circuit.Gate(id).SizeIdx}}
+	return cands
+}
+
+// applySequentially computes the ground-truth outcome of one candidate
+// by actually resizing through the incremental engine and rolling back.
+func applySequentially(d *synth.Design, inc *Incremental, lambda float64, ch []SizeChange) WhatIfOutcome {
+	before := inc.Evals()
+	n := inc.ResizeAll(ch)
+	r := inc.Result()
+	out := WhatIfOutcome{
+		Mean:       r.Mean,
+		Sigma:      r.Sigma,
+		Cost:       r.Cost(d, lambda),
+		MaxArrival: r.STA.MaxArrival,
+		Touched:    int(inc.Evals() - before),
+		Changed:    n > 0,
+	}
+	inc.Rollback()
+	return out
+}
+
+func TestBatchWhatIfMatchesSequentialResizes(t *testing.T) {
+	const lambda = 3.0
+	for _, name := range flatFamily {
+		d, vm := setupISCAS(t, name)
+		rng := rand.New(rand.NewSource(int64(len(name)) * 31))
+		inc := NewIncremental(d, vm, Options{Workers: 1})
+		flat := NewFlat(d, vm, Options{Workers: 1})
+		cands := randomCandidates(rng, d, 12)
+
+		want := make([]WhatIfOutcome, len(cands))
+		for i, ch := range cands {
+			want[i] = applySequentially(d, inc, lambda, ch)
+		}
+		for _, workers := range []int{1, 4} {
+			for engine, got := range map[string][]WhatIfOutcome{
+				"incremental": inc.BatchWhatIf(cands, lambda, workers),
+				"flat":        flat.BatchWhatIf(cands, lambda, workers),
+			} {
+				for i := range got {
+					if got[i].Mean != want[i].Mean || got[i].Sigma != want[i].Sigma ||
+						got[i].Cost != want[i].Cost || got[i].MaxArrival != want[i].MaxArrival {
+						t.Fatalf("%s/%s workers=%d cand %d: outcome %+v, want %+v",
+							name, engine, workers, i, got[i], want[i])
+					}
+					if got[i].Touched != want[i].Touched {
+						t.Fatalf("%s/%s workers=%d cand %d: touched %d, want %d",
+							name, engine, workers, i, got[i].Touched, want[i].Touched)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBatchWhatIfLeavesEngineClean(t *testing.T) {
+	d, vm := setupISCAS(t, "c499")
+	inc := NewIncremental(d, vm, Options{Workers: 1})
+	flat := NewFlat(d, vm, Options{Workers: 1})
+	cleanInc := Analyze(d, vm, Options{Workers: 1})
+	sizes := d.Circuit.SizeSnapshot()
+
+	rng := rand.New(rand.NewSource(77))
+	cands := randomCandidates(rng, d, 8)
+	inc.BatchWhatIf(cands, 3, 0)
+	flat.BatchWhatIf(cands, 3, 0)
+
+	for i, s := range d.Circuit.SizeSnapshot() {
+		if s != sizes[i] {
+			t.Fatalf("BatchWhatIf moved gate %d size", i)
+		}
+	}
+	requireSameResult(t, "incremental engine after batch", inc.Result(), cleanInc)
+	requireSameResult(t, "flat engine after batch", flat.Result(), cleanInc)
+}
+
+func TestBatchWhatIfNoOpCandidate(t *testing.T) {
+	d, vm := setupISCAS(t, "alu2")
+	flat := NewFlat(d, vm, Options{Workers: 1})
+	id := logicGates(d)[3]
+	out := flat.BatchWhatIf([][]SizeChange{
+		{{Gate: id, Size: d.Circuit.Gate(id).SizeIdx}},
+	}, 3, 1)[0]
+	if out.Changed || out.Touched != 0 {
+		t.Fatalf("no-op candidate reported %+v", out)
+	}
+	if out.Mean != flat.Mean() || out.Sigma != flat.Sigma() {
+		t.Fatal("no-op candidate did not return the clean summary")
+	}
+}
+
+func TestBatchWhatIfStaleSizesPanics(t *testing.T) {
+	d, vm := setupISCAS(t, "alu2")
+	flat := NewFlat(d, vm, Options{Workers: 1})
+	id := logicGates(d)[0]
+	d.Circuit.Gate(id).SizeIdx++
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BatchWhatIf on a stale engine did not panic")
+		}
+	}()
+	flat.BatchWhatIf([][]SizeChange{{{Gate: id, Size: 0}}}, 3, 1)
+}

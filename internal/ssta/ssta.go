@@ -115,8 +115,8 @@ func Analyze(d *synth.Design, vm *variation.Model, opts Options) *Result {
 		r.Node[id] = arr.Moments()
 	}
 
+	var sc gateScratch
 	if workers <= 1 {
-		var sc gateScratch
 		for _, id := range topo {
 			if c.Gate(id).Fn != circuit.Input {
 				propagate(&sc, id)
@@ -143,7 +143,7 @@ func Analyze(d *synth.Design, vm *variation.Model, opts Options) *Result {
 	for i, po := range c.Outputs {
 		pos[i] = r.Arrival[po]
 	}
-	r.CircuitPDF = dpdf.MaxN(pos, pts)
+	r.CircuitPDF = sc.kern.MaxN(pos, pts)
 	r.Mean = r.CircuitPDF.Mean()
 	r.Sigma = r.CircuitPDF.Sigma()
 	return r
