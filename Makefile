@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-selftest cover cover-update fuzz-smoke bench bench-parallel bench-flat bench-flat-smoke serve e2e chaos
+.PHONY: all build test race vet lint lint-selftest cover cover-update fuzz-smoke bench bench-parallel bench-flat bench-flat-smoke serve e2e chaos cluster-e2e
 
 all: build vet lint test
 
@@ -89,3 +89,12 @@ e2e:
 chaos:
 	$(GO) test -race ./internal/journal ./internal/faultinject
 	$(GO) test -race -v -run 'TestChaos|TestCrash' ./internal/server
+
+# Multi-node e2e, under -race: the in-process cluster suite (sharded
+# merge bit-exactness, lease failover, stale fencing, design
+# replication, quotas) plus the subprocess acceptance run — a real
+# coordinator and two real workers, the lease holder SIGKILLed
+# mid-StatisticalGreedy, job finishing bit-identical to single-node.
+cluster-e2e:
+	$(GO) test -race ./internal/cluster
+	$(GO) test -race -v -run 'TestCluster|TestTenant|TestShed' ./internal/server

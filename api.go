@@ -359,6 +359,47 @@ func (d *Design) MonteCarloOpts(samples int, seed int64, opts RunOptions) (*Anal
 	}, nil
 }
 
+// MonteCarloShard draws the circuit-delay samples of trials [lo, hi) of
+// a Monte-Carlo run rooted at seed, in trial order. Every trial's RNG
+// stream is keyed by (seed, absolute trial index) alone, so
+// concatenating the shards of any partition of [0, n) — in range order,
+// regardless of which process or host drew each — and folding them
+// through MonteCarloFromSamples reproduces MonteCarloOpts(n, seed, ...)
+// bit-for-bit. This pair is the work unit of distributed Monte Carlo
+// (see internal/cluster).
+func (d *Design) MonteCarloShard(seed int64, lo, hi int, opts RunOptions) ([]float64, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return montecarlo.SampleRange(d.d, d.vm, montecarlo.Options{
+		Seed: seed, Workers: opts.Workers, Ctx: opts.Ctx,
+	}, lo, hi)
+}
+
+// MonteCarloFromSamples folds an externally assembled Monte-Carlo sample
+// set (the concatenation of MonteCarloShard ranges, in trial order) into
+// the same Analysis MonteCarloOpts would have produced had it drawn the
+// samples itself: moments accumulated over the sorted sample set, the
+// empirical PDF, and a FULLSSTA pass backing the Yield queries.
+func (d *Design) MonteCarloFromSamples(samples []float64, opts RunOptions) (*Analysis, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	mc, err := montecarlo.FromSamples(samples)
+	if err != nil {
+		return nil, err
+	}
+	p := mc.PDF(15)
+	xs, ps := p.Support()
+	full := ssta.Analyze(d.d, d.vm, opts.ssta()) // for Yield support
+	return &Analysis{
+		Mean: mc.Mean, Sigma: mc.Sigma,
+		NominalDelay: full.STA.MaxArrival,
+		PDFX:         xs, PDFY: ps,
+		full: full,
+	}, nil
+}
+
 // OptResult summarizes one optimization run.
 type OptResult struct {
 	MeanBefore, MeanAfter   float64

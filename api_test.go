@@ -189,3 +189,72 @@ func Generate_area(t *testing.T) float64 {
 	}
 	return d.Stats().Area
 }
+
+// TestMonteCarloShardMergeBitExact pins the public face of the
+// distributed Monte-Carlo contract: shards of any partition of [0, n),
+// drawn independently, concatenate and fold into exactly the Analysis a
+// single MonteCarloOpts call produces.
+func TestMonteCarloShardMergeBitExact(t *testing.T) {
+	d, err := Generate("alu2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, seed = 400, 7
+	opts := RunOptions{Workers: 1}
+	ref, err := d.MonteCarloOpts(n, seed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged []float64
+	for _, r := range [][2]int{{0, 150}, {150, 150}, {150, 400}} { // empty shard included
+		s, err := d.MonteCarloShard(seed, r[0], r[1], opts)
+		if err != nil {
+			t.Fatalf("shard [%d,%d): %v", r[0], r[1], err)
+		}
+		if len(s) != r[1]-r[0] {
+			t.Fatalf("shard [%d,%d) drew %d samples", r[0], r[1], len(s))
+		}
+		merged = append(merged, s...)
+	}
+	got, err := d.MonteCarloFromSamples(merged, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mean != ref.Mean || got.Sigma != ref.Sigma || got.NominalDelay != ref.NominalDelay {
+		t.Fatalf("merged moments (%v, %v) differ from single-run (%v, %v)",
+			got.Mean, got.Sigma, ref.Mean, ref.Sigma)
+	}
+	if len(got.PDFX) != len(ref.PDFX) {
+		t.Fatalf("PDF support %d vs %d", len(got.PDFX), len(ref.PDFX))
+	}
+	for i := range ref.PDFX {
+		if got.PDFX[i] != ref.PDFX[i] || got.PDFY[i] != ref.PDFY[i] {
+			t.Fatalf("PDF point %d differs after merge", i)
+		}
+	}
+	if gy, ry := got.Yield(ref.Mean), ref.Yield(ref.Mean); gy != ry {
+		t.Fatalf("Yield at mean differs: %v vs %v", gy, ry)
+	}
+}
+
+func TestMonteCarloShardRejectsBadInput(t *testing.T) {
+	d, err := Generate("alu1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.MonteCarloShard(1, -1, 3, RunOptions{}); err == nil {
+		t.Error("negative lo accepted")
+	}
+	if _, err := d.MonteCarloShard(1, 5, 2, RunOptions{}); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := d.MonteCarloShard(1, 0, 3, RunOptions{Workers: -1}); err == nil {
+		t.Error("negative workers accepted")
+	}
+	if _, err := d.MonteCarloFromSamples(nil, RunOptions{}); err == nil {
+		t.Error("empty sample set accepted")
+	}
+	if _, err := d.MonteCarloFromSamples([]float64{1}, RunOptions{Workers: -1}); err == nil {
+		t.Error("invalid options accepted")
+	}
+}

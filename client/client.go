@@ -10,6 +10,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -24,9 +25,10 @@ import (
 // so a retried submit whose original attempt was actually admitted
 // returns the existing job instead of creating a duplicate.
 type Client struct {
-	base  string
-	hc    *http.Client
-	retry *retrier
+	base   string
+	hc     *http.Client
+	retry  *retrier
+	tenant string
 }
 
 // Option customizes a Client.
@@ -36,6 +38,14 @@ type Option func(*Client)
 // httptest servers or custom transports).
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
+}
+
+// WithTenant stamps every submit with an X-Tenant header, the key the
+// server's per-tenant admission control (token-bucket quotas, priority
+// shedding) meters on. Empty (the default) submits as the anonymous
+// tenant.
+func WithTenant(tenant string) Option {
+	return func(c *Client) { c.tenant = tenant }
 }
 
 // New builds a client for the service at base (e.g.
@@ -53,6 +63,9 @@ func New(base string, opts ...Option) *Client {
 	}
 	return c
 }
+
+// BaseURL returns the service base URL the client was built with.
+func (c *Client) BaseURL() string { return c.base }
 
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
 	return c.doHeaders(ctx, method, path, nil, body, out)
@@ -158,6 +171,9 @@ func (e *APIError) Error() string {
 func (c *Client) Submit(ctx context.Context, req JobRequest) (*JobStatus, error) {
 	var s JobStatus
 	hdr := map[string]string{"Idempotency-Key": newIdempotencyKey()}
+	if c.tenant != "" {
+		hdr["X-Tenant"] = c.tenant
+	}
 	if err := c.doHeaders(ctx, http.MethodPost, "/v1/jobs", hdr, req, &s); err != nil {
 		return nil, err
 	}
@@ -173,13 +189,45 @@ func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
 	return &s, nil
 }
 
-// Jobs lists every retained job, newest first.
-func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
-	var out []JobStatus
-	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out); err != nil {
+// JobsPage fetches one page of the job listing, newest first: up to
+// limit jobs (0 = the server default, 100) strictly older than cursor
+// (empty = from the newest). The returned NextCursor, when non-empty,
+// fetches the following page.
+func (c *Client) JobsPage(ctx context.Context, limit int, cursor string) (*JobList, error) {
+	q := url.Values{}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	path := "/v1/jobs"
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var out JobList
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
 		return nil, err
 	}
-	return out, nil
+	return &out, nil
+}
+
+// Jobs lists every retained job, newest first, following the listing's
+// cursor pagination to exhaustion.
+func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
+	var all []JobStatus
+	cursor := ""
+	for {
+		page, err := c.JobsPage(ctx, 0, cursor)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, page.Jobs...)
+		if page.NextCursor == "" || len(page.Jobs) == 0 {
+			return all, nil
+		}
+		cursor = page.NextCursor
+	}
 }
 
 // Cancel requests cancellation of a queued or running job.
@@ -303,6 +351,16 @@ func (c *Client) streamOnce(ctx context.Context, id string, last **JobStatus, fn
 // Health checks /healthz.
 func (c *Client) Health(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Healthz fetches the typed /healthz body: liveness, queue depth, and
+// the node's build identity (role, revision, Go version).
+func (c *Client) Healthz(ctx context.Context) (*Healthz, error) {
+	var h Healthz
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
 }
 
 // Metrics fetches the /metrics text exposition.

@@ -19,6 +19,17 @@ const (
 	OpOptimize   = "optimize"   // StatisticalGreedy variance optimizer
 	OpRecover    = "recover"    // area recovery after optimization
 	OpWNSSPath   = "wnsspath"   // worst negative statistical slack path
+	OpWhatIf     = "whatif"     // batched candidate-sizing what-if scoring
+)
+
+// Priority classes accepted on JobRequest.Priority (empty = normal).
+// Priority shapes admission under congestion — low-priority submissions
+// are shed first as the queue fills — and, in cluster mode, the order in
+// which pending work is handed to lease-holding workers.
+const (
+	PriorityHigh   = "high"
+	PriorityNormal = "normal"
+	PriorityLow    = "low"
 )
 
 // JobRequest is the body of POST /v1/jobs. Exactly one of Bench (an
@@ -54,6 +65,20 @@ type JobRequest struct {
 	TargetYields []float64 `json:"target_yields,omitempty"`
 	// TimeoutSec, when > 0, sets the job's deadline.
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+	// Candidates parameterizes the whatif op: each candidate is a list
+	// of hypothetical gate resizes scored as one sizing. Reports come
+	// back in candidate order, bit-identical to scoring each candidate
+	// alone (cluster mode shards large candidate sets across workers).
+	Candidates [][]Edit `json:"candidates,omitempty"`
+	// Priority is the job's admission class: "high", "normal" (the
+	// default when empty) or "low". See the Priority constants.
+	Priority string `json:"priority,omitempty"`
+}
+
+// Edit names one hypothetical gate resize inside a whatif candidate.
+type Edit struct {
+	Gate string `json:"gate"`
+	Size int    `json:"size"`
 }
 
 // JobStatus is the representation of a job returned by the submit, poll
@@ -156,6 +181,23 @@ type RecoverResult struct {
 	AreaSaved float64 `json:"area_saved"`
 }
 
+// WhatIfReport is one candidate's score inside a WhatIfResult,
+// mirroring repro.WhatIfReport on the wire.
+type WhatIfReport struct {
+	MeanBefore    float64 `json:"mean_before"`
+	SigmaBefore   float64 `json:"sigma_before"`
+	MeanAfter     float64 `json:"mean_after"`
+	SigmaAfter    float64 `json:"sigma_after"`
+	NodesRepaired int64   `json:"nodes_repaired"`
+	Gates         int     `json:"gates"`
+}
+
+// WhatIfResult is the payload of whatif jobs: one report per candidate,
+// in request order.
+type WhatIfResult struct {
+	Reports []WhatIfReport `json:"reports"`
+}
+
 // PathResult is the payload of wnsspath jobs: gate names from inputs to
 // the worst output.
 type PathResult struct {
@@ -215,6 +257,38 @@ func (s *JobStatus) WNSSPath() (*PathResult, error) {
 		return nil, err
 	}
 	return &r, nil
+}
+
+// WhatIf decodes the payload of a completed whatif job.
+func (s *JobStatus) WhatIf() (*WhatIfResult, error) {
+	var r WhatIfResult
+	if err := s.decode(OpWhatIf, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// JobList is the paginated response of GET /v1/jobs: one page of
+// retained jobs, newest first, plus the cursor for the next page (empty
+// when this page is the last).
+type JobList struct {
+	Jobs []JobStatus `json:"jobs"`
+	// NextCursor, when non-empty, is passed as ?cursor= to fetch the
+	// page of strictly older jobs.
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// Healthz is the body of GET /healthz: liveness, queue depth, and the
+// node's build identity (so multi-node deployments can tell replicas —
+// and mid-rollout version skew — apart).
+type Healthz struct {
+	Status      string `json:"status"`
+	JobsQueued  int    `json:"jobs_queued"`
+	JobsRunning int    `json:"jobs_running"`
+	Role        string `json:"role,omitempty"`
+	Node        string `json:"node,omitempty"`
+	Revision    string `json:"revision,omitempty"`
+	GoVersion   string `json:"go_version,omitempty"`
 }
 
 // ErrorBody is the JSON error envelope every non-2xx response carries.

@@ -1,8 +1,9 @@
 // Command sstad is the long-running SSTA/optimization service: an HTTP
 // JSON daemon exposing the library's analyze, Monte-Carlo, optimize,
-// area-recovery and path-query entry points as asynchronous jobs.
+// area-recovery, what-if and path-query entry points as asynchronous
+// jobs.
 //
-// Quick start:
+// Quick start (single node):
 //
 //	sstad -addr :8329 &
 //	curl -s localhost:8329/healthz
@@ -11,8 +12,15 @@
 //	curl -s 'localhost:8329/v1/jobs/j000001?wait=30s'
 //	curl -s localhost:8329/metrics
 //
+// Multi-node: one coordinator owns the queue and journal and fans work
+// out to worker replicas over the lease protocol (internal/cluster):
+//
+//	sstad -cluster -addr :8329 -journal jobs.wal &
+//	sstad -worker -coordinator http://localhost:8329 -node-id w1 &
+//	sstad -worker -coordinator http://localhost:8329 -node-id w2 &
+//
 // Identical (design, options) submissions are served from a
-// content-addressed cache; see DESIGN.md section 8 for the
+// content-addressed cache; see DESIGN.md sections 8 and 13 for the
 // architecture.
 package main
 
@@ -28,7 +36,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/cliutil"
+	"repro/internal/cluster"
 	"repro/internal/faultinject"
 	"repro/internal/server"
 )
@@ -47,6 +57,15 @@ func main() {
 		maxAttempts  = flag.Int("max-attempts", 0, "max executions per journaled job across crash recoveries (0 = 3)")
 		stallTimeout = flag.Duration("stall-timeout", 0, "fail running optimizer jobs with no progress heartbeat for this long (0 = off)")
 		injectSpec   = flag.String("inject", "", "chaos-test fault injection, comma-separated site=<duration>|fail[:<n>] entries (empty = off)")
+
+		clusterMode = flag.Bool("cluster", false, "run as a cluster coordinator: jobs are dispatched to -worker replicas instead of executing locally")
+		workerMode  = flag.Bool("worker", false, "run as a worker replica pulling leased work from -coordinator")
+		coordURL    = flag.String("coordinator", "", "coordinator base URL (worker mode, e.g. http://host:8329)")
+		nodeID      = flag.String("node-id", "", "this node's name in leases and metrics (default: host-pid)")
+		leaseTTL    = flag.Duration("lease-ttl", 10*time.Second, "worker lease lifetime without a heartbeat (coordinator mode)")
+		leasePoll   = flag.Duration("lease-poll", 2*time.Second, "long-poll wait per lease acquire (worker mode)")
+		tenantRate  = flag.Float64("tenant-rate", 0, "per-tenant submit quota in jobs/second, keyed by X-Tenant (0 = unlimited)")
+		tenantBurst = flag.Int("tenant-burst", 0, "per-tenant submit burst (0 = max(2, ceil(rate)))")
 	)
 	flag.Parse()
 	if err := cliutil.CheckWorkers(*workers); err != nil {
@@ -62,12 +81,42 @@ func main() {
 		cliutil.CheckDuration("-job-timeout", *jobTimeout),
 		cliutil.CheckDuration("-drain", *drain),
 		cliutil.CheckDuration("-stall-timeout", *stallTimeout),
+		cliutil.CheckDuration("-lease-ttl", *leaseTTL),
+		cliutil.CheckDuration("-lease-poll", *leasePoll),
 		cliutil.CheckAttempts("-max-attempts", *maxAttempts),
 	} {
 		if check != nil {
 			fmt.Fprintln(os.Stderr, "sstad:", check)
 			os.Exit(2)
 		}
+	}
+	if *clusterMode && *workerMode {
+		fmt.Fprintln(os.Stderr, "sstad: -cluster and -worker are mutually exclusive")
+		os.Exit(2)
+	}
+	if *workerMode && *coordURL == "" {
+		fmt.Fprintln(os.Stderr, "sstad: -worker needs -coordinator")
+		os.Exit(2)
+	}
+	if *tenantRate < 0 {
+		fmt.Fprintln(os.Stderr, "sstad: -tenant-rate must be >= 0")
+		os.Exit(2)
+	}
+	node := *nodeID
+	if node == "" {
+		host, _ := os.Hostname()
+		node = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if *workerMode {
+		runWorker(ctx, workerConfig{
+			addr: *addr, coordinator: *coordURL, node: node,
+			workers: *workers, poll: *leasePoll, cacheDesigns: *cacheDesigns,
+		})
+		return
 	}
 
 	inj, err := faultinject.ParseSpec(*injectSpec, 1)
@@ -76,8 +125,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	jobWorkers := *workers
+	if *clusterMode && jobWorkers == 0 {
+		// Coordinator job slots hold cheap dispatch waits, not engine
+		// work: per-CPU sizing would strangle the fan-out on small hosts.
+		jobWorkers = 16
+	}
 	srv, err := server.New(server.Config{
-		JobWorkers:    *workers,
+		JobWorkers:    jobWorkers,
 		QueueCapacity: *queueCap,
 		CacheDesigns:  *cacheDesigns,
 		CacheResults:  *cacheResults,
@@ -87,6 +142,11 @@ func main() {
 		MaxAttempts:   *maxAttempts,
 		StallTimeout:  *stallTimeout,
 		Inject:        inj,
+		Cluster:       *clusterMode,
+		LeaseTTL:      *leaseTTL,
+		TenantRate:    *tenantRate,
+		TenantBurst:   *tenantBurst,
+		Node:          node,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sstad:", err)
@@ -98,12 +158,13 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
-
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("sstad listening on %s (job workers %d, queue %d)", *addr, *workers, *queueCap)
+	role := "single-node"
+	if *clusterMode {
+		role = "coordinator"
+	}
+	log.Printf("sstad %s listening on %s (job workers %d, queue %d)", role, *addr, jobWorkers, *queueCap)
 
 	select {
 	case err := <-errc:
@@ -122,4 +183,61 @@ func main() {
 		log.Printf("sstad: job queue shutdown: %v", err)
 	}
 	log.Println("sstad: stopped")
+}
+
+type workerConfig struct {
+	addr, coordinator, node string
+	workers                 int
+	poll                    time.Duration
+	cacheDesigns            int
+}
+
+// runWorker runs the worker replica: the lease loop plus a small
+// observability listener (/healthz with build identity, /metrics with
+// the worker's counters) so farm monitoring covers every node.
+func runWorker(ctx context.Context, cfg workerConfig) {
+	w, err := cluster.NewWorker(cluster.WorkerOptions{
+		Coordinator:  cfg.coordinator,
+		ID:           cfg.node,
+		Workers:      cfg.workers,
+		Poll:         cfg.poll,
+		CacheDesigns: cfg.cacheDesigns,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sstad:", err)
+		os.Exit(2)
+	}
+	build := buildinfo.Collect("worker", cfg.node)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(rw, `{"status":"ok","role":"worker","node":%q,"revision":%q,"go_version":%q}`+"\n",
+			build.Node, build.Revision, build.GoVersion)
+	})
+	mux.HandleFunc("GET /metrics", func(rw http.ResponseWriter, r *http.Request) {
+		st := w.Stats()
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprintf(rw, "# HELP sstad_worker_units_done_total Units executed and delivered.\n# TYPE sstad_worker_units_done_total counter\nsstad_worker_units_done_total{node=%q} %d\n", cfg.node, st.UnitsDone)
+		fmt.Fprintf(rw, "# HELP sstad_worker_units_failed_total Units that errored.\n# TYPE sstad_worker_units_failed_total counter\nsstad_worker_units_failed_total{node=%q} %d\n", cfg.node, st.UnitsFailed)
+		fmt.Fprintf(rw, "# HELP sstad_worker_stale_aborts_total Units abandoned because the lease was reassigned.\n# TYPE sstad_worker_stale_aborts_total counter\nsstad_worker_stale_aborts_total{node=%q} %d\n", cfg.node, st.StaleAborts)
+		fmt.Fprintf(rw, "# HELP sstad_worker_design_fetches_total Design-cache misses served by the coordinator.\n# TYPE sstad_worker_design_fetches_total counter\nsstad_worker_design_fetches_total{node=%q} %d\n", cfg.node, st.DesignFetches)
+		fmt.Fprintf(rw, "# HELP sstad_build_info Build identity of this node (value is always 1).\n# TYPE sstad_build_info gauge\nsstad_build_info{revision=%q,go_version=%q,role=\"worker\",node=%q,dirty=\"%t\"} 1\n",
+			build.Revision, build.GoVersion, build.Node, build.Dirty)
+	})
+	hs := &http.Server{Addr: cfg.addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("sstad: worker listener: %v", err)
+		}
+	}()
+
+	log.Printf("sstad worker %s pulling from %s (listening on %s)", cfg.node, cfg.coordinator, cfg.addr)
+	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("sstad: worker loop: %v", err)
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	hs.Shutdown(dctx)
+	log.Println("sstad: worker stopped")
 }

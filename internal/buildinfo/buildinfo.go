@@ -1,0 +1,52 @@
+// Package buildinfo reports what binary a node is running: the VCS
+// revision baked in by the go toolchain, the Go version, and the node's
+// role in a deployment (standalone, coordinator, worker). Multi-node
+// sstad farms expose it on /healthz and as the sstad_build_info metric
+// so replicas can be told apart during rollouts.
+package buildinfo
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Info identifies one running node.
+type Info struct {
+	// Revision is the VCS commit the binary was built from ("unknown"
+	// when the build carried no VCS stamp, e.g. go test binaries).
+	Revision string `json:"revision"`
+	// Dirty reports uncommitted changes at build time.
+	Dirty bool `json:"dirty,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Role is the node's place in the deployment: "standalone",
+	// "coordinator" or "worker".
+	Role string `json:"role"`
+	// Node is the operator-assigned node identity (worker ID, host
+	// label); empty for single-node deployments.
+	Node string `json:"node,omitempty"`
+}
+
+// Collect reads the build metadata the toolchain embedded and stamps it
+// with the node's role and identity.
+func Collect(role, node string) Info {
+	info := Info{
+		Revision:  "unknown",
+		GoVersion: runtime.Version(),
+		Role:      role,
+		Node:      node,
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}

@@ -1,0 +1,483 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/client"
+)
+
+// ErrLeaseGone rejects a heartbeat or completion whose lease has
+// expired, been reassigned, or belongs to a cancelled dispatch. The
+// holder must abandon the unit: another worker owns it now (or nobody
+// wants it), and its result would clobber the successor's.
+var ErrLeaseGone = errors.New("cluster: lease gone")
+
+// ErrPoolClosed rejects operations on a closed pool.
+var ErrPoolClosed = errors.New("cluster: pool closed")
+
+// UnitSpec describes one work unit before it enters the pool.
+type UnitSpec struct {
+	Job      string
+	Shard    int
+	Shards   int
+	Request  client.JobRequest
+	Hash     string
+	TrialLo  int
+	TrialHi  int
+	Resume   json.RawMessage
+	Priority int // PriorityHigh..PriorityLow
+}
+
+// Hooks observe a dispatch's lifecycle. OnCheckpoint fires on every
+// heartbeat that carries progress (iter/cost) or a checkpoint; the
+// checkpoint argument is nil for plain progress beats. Called without
+// the pool lock held, in heartbeat order per unit.
+type Hooks struct {
+	OnCheckpoint func(shard, iter int, cost float64, checkpoint json.RawMessage)
+}
+
+// PoolOptions configure a Pool.
+type PoolOptions struct {
+	// TTL is the lease lifetime without a heartbeat (default 10s).
+	TTL time.Duration
+	// ScanInterval is the expiry sweep period (default TTL/4).
+	ScanInterval time.Duration
+	// MaxUnitAttempts caps how many leases a single unit may burn before
+	// its dispatch fails (default 5).
+	MaxUnitAttempts int
+	// Now is the clock (tests override it; default time.Now).
+	Now func() time.Time
+}
+
+func (o *PoolOptions) defaults() {
+	if o.TTL <= 0 {
+		o.TTL = 10 * time.Second
+	}
+	if o.ScanInterval <= 0 {
+		o.ScanInterval = o.TTL / 4
+	}
+	if o.MaxUnitAttempts <= 0 {
+		o.MaxUnitAttempts = 5
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+}
+
+type unitState int
+
+const (
+	unitPending unitState = iota
+	unitLeased
+	unitDone
+	unitFailed
+	unitCancelled
+)
+
+type unit struct {
+	id       string
+	seq      uint64
+	spec     UnitSpec
+	state    unitState
+	leaseID  string
+	worker   string
+	deadline time.Time
+	attempts int
+	// resume is the freshest checkpoint streamed back by any holder; a
+	// re-lease after expiry seeds the next worker with it.
+	resume json.RawMessage
+	result json.RawMessage
+	err    string
+	disp   *dispatch
+}
+
+type dispatch struct {
+	units     []*unit
+	remaining int
+	done      chan struct{}
+	hooks     Hooks
+	cancelled bool
+}
+
+// PoolStats is a point-in-time snapshot for /metrics.
+type PoolStats struct {
+	Pending int
+	Leased  int
+	// Granted counts leases handed out, per worker.
+	Granted map[string]uint64
+	// Expired counts leases lost to TTL expiry; StaleDrops counts
+	// heartbeats/completions rejected with ErrLeaseGone.
+	Expired    uint64
+	StaleDrops uint64
+}
+
+// Pool is the coordinator's work-unit ledger: pending units ordered by
+// (priority, arrival), active leases with TTL deadlines, and per-job
+// dispatches waiting for their units to complete. All methods are safe
+// for concurrent use.
+type Pool struct {
+	opts PoolOptions
+
+	mu       sync.Mutex
+	pending  []*unit          // unordered; acquire picks min (priority, seq)
+	leases   map[string]*unit // lease ID -> holder
+	seq      uint64
+	leaseSeq uint64
+	closed   bool
+	notify   chan struct{} // 1-buffered wakeup for blocked Acquires
+
+	granted    map[string]uint64
+	expired    uint64
+	staleDrops uint64
+
+	stopScan chan struct{}
+	scanDone chan struct{}
+}
+
+// NewPool creates a pool and starts its expiry scanner.
+func NewPool(opts PoolOptions) *Pool {
+	opts.defaults()
+	p := &Pool{
+		opts:     opts,
+		leases:   make(map[string]*unit),
+		notify:   make(chan struct{}, 1),
+		granted:  make(map[string]uint64),
+		stopScan: make(chan struct{}),
+		scanDone: make(chan struct{}),
+	}
+	go p.scanLoop()
+	return p
+}
+
+// Close stops the expiry scanner. In-flight dispatches should already
+// have been cancelled (the server shuts its queue down first).
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.stopScan)
+	<-p.scanDone
+}
+
+// Dispatch enqueues specs as one unit group and blocks until every unit
+// completes or ctx is cancelled. Results come back in spec order. Any
+// unit failure (worker error, or attempts exhausted) fails the whole
+// dispatch; remaining units are withdrawn.
+func (p *Pool) Dispatch(ctx context.Context, specs []UnitSpec, hooks Hooks) ([]json.RawMessage, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	d := &dispatch{
+		units:     make([]*unit, len(specs)),
+		remaining: len(specs),
+		done:      make(chan struct{}),
+		hooks:     hooks,
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	for i, spec := range specs {
+		p.seq++
+		u := &unit{
+			id:     fmt.Sprintf("%s/%d", spec.Job, spec.Shard),
+			seq:    p.seq,
+			spec:   spec,
+			resume: spec.Resume,
+			disp:   d,
+		}
+		d.units[i] = u
+		p.pending = append(p.pending, u)
+	}
+	p.mu.Unlock()
+	p.wake()
+
+	select {
+	case <-d.done:
+	case <-ctx.Done():
+		p.cancelDispatch(d)
+		return nil, ctx.Err()
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	results := make([]json.RawMessage, len(d.units))
+	for i, u := range d.units {
+		if u.state == unitFailed {
+			return nil, fmt.Errorf("cluster: unit %s failed: %s", u.id, u.err)
+		}
+		results[i] = u.result
+	}
+	return results, nil
+}
+
+// cancelDispatch withdraws a dispatch's units: pending ones leave the
+// queue, leased ones are orphaned so the holder's next heartbeat or
+// completion gets ErrLeaseGone (cancellation propagates to the worker
+// without a push channel).
+func (p *Pool) cancelDispatch(d *dispatch) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	d.cancelled = true
+	for _, u := range d.units {
+		switch u.state {
+		case unitPending:
+			p.removePending(u)
+			u.state = unitCancelled
+		case unitLeased:
+			delete(p.leases, u.leaseID)
+			u.leaseID = ""
+			u.state = unitCancelled
+		}
+	}
+}
+
+func (p *Pool) removePending(target *unit) {
+	for i, u := range p.pending {
+		if u == target {
+			p.pending[i] = p.pending[len(p.pending)-1]
+			p.pending = p.pending[:len(p.pending)-1]
+			return
+		}
+	}
+}
+
+func (p *Pool) wake() {
+	select {
+	case p.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Acquire hands the caller the highest-priority pending unit as a fresh
+// lease, blocking up to wait (0 = no blocking) when the pool is idle.
+// Returns (nil, nil) when nothing became available.
+func (p *Pool) Acquire(ctx context.Context, worker string, wait time.Duration) (*Lease, error) {
+	deadline := p.opts.Now().Add(wait)
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil, ErrPoolClosed
+		}
+		if u := p.takePendingLocked(); u != nil {
+			p.leaseSeq++
+			u.leaseID = fmt.Sprintf("L%06d", p.leaseSeq)
+			u.worker = worker
+			u.state = unitLeased
+			u.attempts++
+			u.deadline = p.opts.Now().Add(p.opts.TTL)
+			p.leases[u.leaseID] = u
+			p.granted[worker]++
+			lease := &Lease{
+				ID:      u.leaseID,
+				Job:     u.spec.Job,
+				Shard:   u.spec.Shard,
+				Shards:  u.spec.Shards,
+				Request: u.spec.Request,
+				Hash:    u.spec.Hash,
+				TrialLo: u.spec.TrialLo,
+				TrialHi: u.spec.TrialHi,
+				Resume:  u.resume,
+				TTLSec:  p.opts.TTL.Seconds(),
+			}
+			p.mu.Unlock()
+			return lease, nil
+		}
+		p.mu.Unlock()
+
+		remain := deadline.Sub(p.opts.Now())
+		if remain <= 0 {
+			return nil, nil
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case <-p.notify:
+			timer.Stop()
+			// A wake token is consumed per waiter; re-arm for siblings in
+			// case more than one unit arrived.
+			p.mu.Lock()
+			if len(p.pending) > 1 {
+				p.wake()
+			}
+			p.mu.Unlock()
+		case <-timer.C:
+			return nil, nil
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-p.stopScan:
+			timer.Stop()
+			return nil, ErrPoolClosed
+		}
+	}
+}
+
+func (p *Pool) takePendingLocked() *unit {
+	best := -1
+	for i, u := range p.pending {
+		if best < 0 ||
+			u.spec.Priority < p.pending[best].spec.Priority ||
+			(u.spec.Priority == p.pending[best].spec.Priority && u.seq < p.pending[best].seq) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	u := p.pending[best]
+	p.pending[best] = p.pending[len(p.pending)-1]
+	p.pending = p.pending[:len(p.pending)-1]
+	return u
+}
+
+// Heartbeat renews a lease's TTL and records the holder's progress. A
+// non-nil checkpoint becomes the unit's resume state for any future
+// re-lease. Returns ErrLeaseGone for dead leases.
+func (p *Pool) Heartbeat(leaseID string, hb HeartbeatRequest) error {
+	p.mu.Lock()
+	u, ok := p.leases[leaseID]
+	if !ok || u.state != unitLeased {
+		p.staleDrops++
+		p.mu.Unlock()
+		return ErrLeaseGone
+	}
+	u.deadline = p.opts.Now().Add(p.opts.TTL)
+	if hb.Checkpoint != nil {
+		u.resume = hb.Checkpoint
+	}
+	hooks := u.disp.hooks
+	shard := u.spec.Shard
+	p.mu.Unlock()
+
+	if hooks.OnCheckpoint != nil {
+		hooks.OnCheckpoint(shard, hb.Iter, hb.Cost, hb.Checkpoint)
+	}
+	return nil
+}
+
+// Complete finishes a lease with a result or an error. Returns
+// ErrLeaseGone for dead leases (the caller's work is discarded —
+// someone else owns the unit now).
+func (p *Pool) Complete(leaseID string, c CompleteRequest) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	u, ok := p.leases[leaseID]
+	if !ok || u.state != unitLeased {
+		p.staleDrops++
+		return ErrLeaseGone
+	}
+	delete(p.leases, leaseID)
+	u.leaseID = ""
+	if c.Error != "" {
+		u.state = unitFailed
+		u.err = c.Error
+	} else {
+		u.state = unitDone
+		u.result = c.Result
+	}
+	p.finishUnitLocked(u)
+	return nil
+}
+
+// finishUnitLocked decrements the dispatch and, on a unit failure,
+// withdraws its siblings so the job fails promptly instead of burning
+// workers on a doomed fan-out.
+func (p *Pool) finishUnitLocked(u *unit) {
+	d := u.disp
+	d.remaining--
+	if u.state == unitFailed && !d.cancelled {
+		for _, sib := range d.units {
+			switch sib.state {
+			case unitPending:
+				p.removePending(sib)
+				sib.state = unitCancelled
+				d.remaining--
+			case unitLeased:
+				delete(p.leases, sib.leaseID)
+				sib.leaseID = ""
+				sib.state = unitCancelled
+				d.remaining--
+			}
+		}
+	}
+	if d.remaining <= 0 && !d.cancelled {
+		d.cancelled = true // idempotence guard for the close below
+		close(d.done)
+	}
+}
+
+func (p *Pool) scanLoop() {
+	defer close(p.scanDone)
+	t := time.NewTicker(p.opts.ScanInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stopScan:
+			return
+		case <-t.C:
+			p.expireLocked()
+		}
+	}
+}
+
+// expireLocked sweeps leases past their deadline: the unit goes back to
+// pending seeded with its freshest checkpoint, unless it has burned
+// MaxUnitAttempts leases — then the dispatch fails.
+func (p *Pool) expireLocked() {
+	now := p.opts.Now()
+	p.mu.Lock()
+	woke := false
+	for id, u := range p.leases {
+		if now.Before(u.deadline) {
+			continue
+		}
+		delete(p.leases, id)
+		u.leaseID = ""
+		p.expired++
+		if u.attempts >= p.opts.MaxUnitAttempts {
+			u.state = unitFailed
+			u.err = fmt.Sprintf("lease expired %d times (last holder %s)", u.attempts, u.worker)
+			p.finishUnitLocked(u)
+			continue
+		}
+		u.state = unitPending
+		p.pending = append(p.pending, u)
+		woke = true
+	}
+	p.mu.Unlock()
+	if woke {
+		p.wake()
+	}
+}
+
+// ExpireNow runs one expiry sweep immediately (tests drive expiry
+// deterministically through it instead of sleeping past ScanInterval).
+func (p *Pool) ExpireNow() { p.expireLocked() }
+
+// Stats snapshots the pool's counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	granted := make(map[string]uint64, len(p.granted))
+	for w, n := range p.granted {
+		granted[w] = n
+	}
+	return PoolStats{
+		Pending:    len(p.pending),
+		Leased:     len(p.leases),
+		Granted:    granted,
+		Expired:    p.expired,
+		StaleDrops: p.staleDrops,
+	}
+}

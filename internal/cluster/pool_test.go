@@ -1,0 +1,360 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/client"
+)
+
+// testClock is a manually-advanced clock so expiry tests never sleep.
+type testClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newTestClock() *testClock {
+	return &testClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestPool(t *testing.T, clock *testClock) *Pool {
+	t.Helper()
+	p := NewPool(PoolOptions{
+		TTL: 10 * time.Second,
+		// Long scan interval: tests drive expiry via ExpireNow.
+		ScanInterval:    time.Hour,
+		MaxUnitAttempts: 3,
+		Now:             clock.Now,
+	})
+	t.Cleanup(p.Close)
+	return p
+}
+
+func spec(job string, shard, prio int) UnitSpec {
+	return UnitSpec{Job: job, Shard: shard, Shards: 1, Priority: prio,
+		Request: client.JobRequest{Op: client.OpAnalyze, Generate: "alu2"}}
+}
+
+// dispatchAsync launches a Dispatch and returns channels with its outcome.
+func dispatchAsync(ctx context.Context, p *Pool, specs []UnitSpec, hooks Hooks) (chan []json.RawMessage, chan error) {
+	resc := make(chan []json.RawMessage, 1)
+	errc := make(chan error, 1)
+	go func() {
+		res, err := p.Dispatch(ctx, specs, hooks)
+		resc <- res
+		errc <- err
+	}()
+	return resc, errc
+}
+
+func TestPoolDispatchComplete(t *testing.T) {
+	p := newTestPool(t, newTestClock())
+	ctx := context.Background()
+	resc, errc := dispatchAsync(ctx, p, []UnitSpec{spec("j1", 0, PriorityNormal)}, Hooks{})
+
+	lease, err := p.Acquire(ctx, "w1", time.Second)
+	if err != nil || lease == nil {
+		t.Fatalf("acquire: lease=%v err=%v", lease, err)
+	}
+	if lease.Job != "j1" || lease.TTLSec != 10 {
+		t.Fatalf("lease = %+v, want job j1 ttl 10s", lease)
+	}
+	if err := p.Complete(lease.ID, CompleteRequest{Result: json.RawMessage(`{"x":1}`)}); err != nil {
+		t.Fatalf("complete: %v", err)
+	}
+	res, err := <-resc, <-errc
+	if err != nil {
+		t.Fatalf("dispatch: %v", err)
+	}
+	if string(res[0]) != `{"x":1}` {
+		t.Fatalf("dispatch result = %s", res[0])
+	}
+	if st := p.Stats(); st.Granted["w1"] != 1 || st.Pending != 0 || st.Leased != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestPoolPriorityOrder verifies acquires drain high before normal
+// before low, FIFO within a class.
+func TestPoolPriorityOrder(t *testing.T) {
+	p := newTestPool(t, newTestClock())
+	ctx := context.Background()
+	specs := []UnitSpec{
+		spec("low1", 0, PriorityLow),
+		spec("norm1", 0, PriorityNormal),
+		spec("high1", 0, PriorityHigh),
+		spec("norm2", 0, PriorityNormal),
+	}
+	var errcs []chan error
+	for i, sp := range specs {
+		_, errc := dispatchAsync(ctx, p, []UnitSpec{sp}, Hooks{})
+		errcs = append(errcs, errc)
+		// Serialize enqueue order so FIFO-within-class is deterministic.
+		for p.Stats().Pending < i+1 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	var order []string
+	for i := 0; i < 4; i++ {
+		lease, err := p.Acquire(ctx, "w", 0)
+		if err != nil || lease == nil {
+			t.Fatalf("acquire %d: lease=%v err=%v", i, lease, err)
+		}
+		order = append(order, lease.Job)
+		p.Complete(lease.ID, CompleteRequest{Result: json.RawMessage(`{}`)})
+	}
+	want := "high1,norm1,norm2,low1"
+	if got := strings.Join(order, ","); got != want {
+		t.Fatalf("drain order = %s, want %s", got, want)
+	}
+	for _, errc := range errcs {
+		if err := <-errc; err != nil {
+			t.Fatalf("dispatch: %v", err)
+		}
+	}
+}
+
+// TestPoolExpiryRequeuesWithCheckpoint is the failover core: a lease
+// that stops heartbeating is re-enqueued after TTL, and the next holder
+// receives the freshest checkpoint the dead one streamed back.
+func TestPoolExpiryRequeuesWithCheckpoint(t *testing.T) {
+	clock := newTestClock()
+	p := newTestPool(t, clock)
+	ctx := context.Background()
+	resc, errc := dispatchAsync(ctx, p, []UnitSpec{spec("j1", 0, PriorityNormal)}, Hooks{})
+
+	lease1, err := p.Acquire(ctx, "doomed", time.Second)
+	if err != nil || lease1 == nil {
+		t.Fatalf("acquire: %v %v", lease1, err)
+	}
+	if lease1.Resume != nil {
+		t.Fatalf("first lease carries resume %s, want none", lease1.Resume)
+	}
+	// Stream a checkpoint, then fall silent past the TTL.
+	cp := json.RawMessage(`{"iter":7}`)
+	if err := p.Heartbeat(lease1.ID, HeartbeatRequest{Iter: 7, Checkpoint: cp}); err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	clock.Advance(11 * time.Second)
+	p.ExpireNow()
+
+	if st := p.Stats(); st.Expired != 1 || st.Pending != 1 {
+		t.Fatalf("after expiry: stats = %+v", st)
+	}
+	lease2, err := p.Acquire(ctx, "successor", time.Second)
+	if err != nil || lease2 == nil {
+		t.Fatalf("re-acquire: %v %v", lease2, err)
+	}
+	if string(lease2.Resume) != `{"iter":7}` {
+		t.Fatalf("successor resume = %s, want the dead worker's checkpoint", lease2.Resume)
+	}
+	if lease2.ID == lease1.ID {
+		t.Fatal("re-lease reused the dead lease ID")
+	}
+
+	// The dead worker coming back must be fenced out on every verb.
+	if err := p.Heartbeat(lease1.ID, HeartbeatRequest{}); err != ErrLeaseGone {
+		t.Fatalf("stale heartbeat err = %v, want ErrLeaseGone", err)
+	}
+	if err := p.Complete(lease1.ID, CompleteRequest{Result: json.RawMessage(`{"stale":true}`)}); err != ErrLeaseGone {
+		t.Fatalf("stale complete err = %v, want ErrLeaseGone", err)
+	}
+
+	if err := p.Complete(lease2.ID, CompleteRequest{Result: json.RawMessage(`{"ok":true}`)}); err != nil {
+		t.Fatalf("successor complete: %v", err)
+	}
+	res, derr := <-resc, <-errc
+	if derr != nil {
+		t.Fatalf("dispatch: %v", derr)
+	}
+	if string(res[0]) != `{"ok":true}` {
+		t.Fatalf("dispatch took the stale result: %s", res[0])
+	}
+	if st := p.Stats(); st.StaleDrops != 2 {
+		t.Fatalf("stale drops = %d, want 2", st.StaleDrops)
+	}
+}
+
+// TestPoolHeartbeatRenewsTTL: a steadily-heartbeating lease survives
+// arbitrarily long.
+func TestPoolHeartbeatRenewsTTL(t *testing.T) {
+	clock := newTestClock()
+	p := newTestPool(t, clock)
+	ctx := context.Background()
+	_, errc := dispatchAsync(ctx, p, []UnitSpec{spec("j1", 0, PriorityNormal)}, Hooks{})
+
+	lease, _ := p.Acquire(ctx, "w1", time.Second)
+	if lease == nil {
+		t.Fatal("no lease")
+	}
+	for i := 0; i < 10; i++ {
+		clock.Advance(8 * time.Second) // < TTL each step, 80s total
+		if err := p.Heartbeat(lease.ID, HeartbeatRequest{Iter: i}); err != nil {
+			t.Fatalf("heartbeat %d: %v", i, err)
+		}
+		p.ExpireNow()
+	}
+	if st := p.Stats(); st.Expired != 0 || st.Leased != 1 {
+		t.Fatalf("renewed lease expired anyway: %+v", st)
+	}
+	p.Complete(lease.ID, CompleteRequest{Result: json.RawMessage(`{}`)})
+	if err := <-errc; err != nil {
+		t.Fatalf("dispatch: %v", err)
+	}
+}
+
+// TestPoolAttemptsExhausted: a unit that keeps losing its lease fails
+// its dispatch after MaxUnitAttempts.
+func TestPoolAttemptsExhausted(t *testing.T) {
+	clock := newTestClock()
+	p := newTestPool(t, clock)
+	ctx := context.Background()
+	_, errc := dispatchAsync(ctx, p, []UnitSpec{spec("j1", 0, PriorityNormal)}, Hooks{})
+
+	for i := 0; i < 3; i++ { // MaxUnitAttempts = 3
+		lease, err := p.Acquire(ctx, "flaky", time.Second)
+		if err != nil || lease == nil {
+			t.Fatalf("acquire %d: %v %v", i, lease, err)
+		}
+		clock.Advance(11 * time.Second)
+		p.ExpireNow()
+	}
+	err := <-errc
+	if err == nil || !strings.Contains(err.Error(), "expired 3 times") {
+		t.Fatalf("dispatch err = %v, want attempts-exhausted failure", err)
+	}
+}
+
+// TestPoolUnitErrorFailsDispatch: one failing unit fails the job and
+// withdraws its sibling shards.
+func TestPoolUnitErrorFailsDispatch(t *testing.T) {
+	p := newTestPool(t, newTestClock())
+	ctx := context.Background()
+	specs := []UnitSpec{spec("j1", 0, PriorityNormal), spec("j1", 1, PriorityNormal)}
+	_, errc := dispatchAsync(ctx, p, specs, Hooks{})
+
+	lease, _ := p.Acquire(ctx, "w1", time.Second)
+	if lease == nil {
+		t.Fatal("no lease")
+	}
+	if err := p.Complete(lease.ID, CompleteRequest{Error: "boom"}); err != nil {
+		t.Fatalf("complete: %v", err)
+	}
+	err := <-errc
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("dispatch err = %v, want the unit error", err)
+	}
+	if st := p.Stats(); st.Pending != 0 {
+		t.Fatalf("sibling shard still pending after dispatch failure: %+v", st)
+	}
+}
+
+// TestPoolDispatchCancel: cancelling the job ctx withdraws pending
+// units and orphans leased ones (the holder is fenced on next contact).
+func TestPoolDispatchCancel(t *testing.T) {
+	p := newTestPool(t, newTestClock())
+	ctx, cancel := context.WithCancel(context.Background())
+	specs := []UnitSpec{spec("j1", 0, PriorityNormal), spec("j1", 1, PriorityNormal)}
+	_, errc := dispatchAsync(ctx, p, specs, Hooks{})
+
+	lease, _ := p.Acquire(context.Background(), "w1", time.Second)
+	if lease == nil {
+		t.Fatal("no lease")
+	}
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("dispatch err = %v, want context.Canceled", err)
+	}
+	if err := p.Heartbeat(lease.ID, HeartbeatRequest{}); err != ErrLeaseGone {
+		t.Fatalf("heartbeat after cancel = %v, want ErrLeaseGone", err)
+	}
+	if st := p.Stats(); st.Pending != 0 || st.Leased != 0 {
+		t.Fatalf("cancel left units behind: %+v", st)
+	}
+}
+
+// TestPoolAcquireWaitsForWork: a long-polling acquire parked on an
+// empty pool is woken by a later dispatch.
+func TestPoolAcquireWaitsForWork(t *testing.T) {
+	p := newTestPool(t, newTestClock())
+	ctx := context.Background()
+
+	type got struct {
+		lease *Lease
+		err   error
+	}
+	gotc := make(chan got, 1)
+	go func() {
+		l, err := p.Acquire(ctx, "w1", 5*time.Second)
+		gotc <- got{l, err}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the acquire park
+	_, errc := dispatchAsync(ctx, p, []UnitSpec{spec("j1", 0, PriorityNormal)}, Hooks{})
+
+	select {
+	case g := <-gotc:
+		if g.err != nil || g.lease == nil {
+			t.Fatalf("woken acquire: %+v", g)
+		}
+		p.Complete(g.lease.ID, CompleteRequest{Result: json.RawMessage(`{}`)})
+	case <-time.After(3 * time.Second):
+		t.Fatal("parked acquire was not woken by dispatch")
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("dispatch: %v", err)
+	}
+}
+
+// TestPoolHeartbeatHook: progress and checkpoints flow to the
+// dispatch's OnCheckpoint hook.
+func TestPoolHeartbeatHook(t *testing.T) {
+	p := newTestPool(t, newTestClock())
+	ctx := context.Background()
+	var mu sync.Mutex
+	var iters []int
+	var cps []string
+	hooks := Hooks{OnCheckpoint: func(shard, iter int, cost float64, cp json.RawMessage) {
+		mu.Lock()
+		iters = append(iters, iter)
+		if cp != nil {
+			cps = append(cps, string(cp))
+		}
+		mu.Unlock()
+	}}
+	_, errc := dispatchAsync(ctx, p, []UnitSpec{spec("j1", 0, PriorityNormal)}, hooks)
+
+	lease, _ := p.Acquire(ctx, "w1", time.Second)
+	if lease == nil {
+		t.Fatal("no lease")
+	}
+	p.Heartbeat(lease.ID, HeartbeatRequest{Iter: 1, Cost: 10})
+	p.Heartbeat(lease.ID, HeartbeatRequest{Iter: 2, Cost: 9, Checkpoint: json.RawMessage(`{"iter":2}`)})
+	p.Complete(lease.ID, CompleteRequest{Result: json.RawMessage(`{}`)})
+	if err := <-errc; err != nil {
+		t.Fatalf("dispatch: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(iters) != 2 || iters[0] != 1 || iters[1] != 2 {
+		t.Fatalf("hook iters = %v", iters)
+	}
+	if len(cps) != 1 || cps[0] != `{"iter":2}` {
+		t.Fatalf("hook checkpoints = %v", cps)
+	}
+}

@@ -1,0 +1,135 @@
+// Package cluster turns sstad into a multi-node statistical-timing
+// farm. The coordinator owns the journal-backed job queue and a lease
+// pool of work units; worker replicas pull units over a small HTTP
+// protocol, execute them with the existing engines, and stream
+// per-iteration checkpoints back.
+//
+// # Protocol
+//
+// Workers talk to the coordinator with four endpoints (mounted by
+// internal/server when cluster mode is on):
+//
+//	POST /v1/leases                  acquire the next unit (?wait= long-polls; 204 = none)
+//	POST /v1/leases/{id}/heartbeat   renew the lease TTL, report progress, persist a checkpoint
+//	POST /v1/leases/{id}/complete    deliver the unit's result or error
+//	GET  /v1/designs/{sha256}        fetch a design's canonical .bench text by content hash
+//
+// A lease is a time-bounded exclusive claim: a worker that stops
+// heartbeating (crash, partition, SIGKILL) loses the unit when the TTL
+// expires and the coordinator re-enqueues it — seeded with the latest
+// checkpoint the dead worker streamed back, so an optimizer resumes
+// mid-run instead of restarting. Completions and heartbeats carry the
+// lease ID and are rejected with ErrLeaseGone once the lease has been
+// reassigned, so a worker that was merely slow cannot clobber its
+// successor's work.
+//
+// # Shard fan-out
+//
+// Large jobs split into independent units: Monte-Carlo trial ranges
+// (each trial's RNG stream is keyed by the absolute trial index, so any
+// partition merges bit-exactly — internal/montecarlo) and what-if
+// candidate subsets (candidates are independent scores against the same
+// clean analysis). The coordinator merges unit results positionally;
+// tests pin the merged payloads bit-identical to single-node execution.
+//
+// # Cache replication
+//
+// Designs travel by SHA-256 content address. The submit node interns the
+// design once; workers keep an LRU mirror (internal/designcache) and
+// fetch misses from GET /v1/designs/{hash}. The hash IS the replication
+// key — content-addressed entries are immutable, so no invalidation
+// protocol exists or is needed, and a worker verifies the fetched text
+// re-hashes to the address it asked for.
+package cluster
+
+import (
+	"encoding/json"
+
+	"repro/client"
+)
+
+// Lease is one work assignment: the wire body of a successful
+// POST /v1/leases.
+type Lease struct {
+	// ID is the lease token; every heartbeat and the completion must
+	// present it. A unit re-leased after an expiry gets a fresh ID, and
+	// the old one is dead.
+	ID string `json:"id"`
+	// Job is the coordinator-side job this unit belongs to (diagnostic;
+	// workers treat it as opaque).
+	Job string `json:"job"`
+	// Shard / Shards position this unit inside its job's fan-out
+	// (0 of 1 for unsharded jobs).
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	// Request is the work itself, in the public job vocabulary. For
+	// sharded whatif jobs Candidates holds just this unit's subset; for
+	// sharded Monte Carlo the trial range below overrides Samples.
+	Request client.JobRequest `json:"request"`
+	// Hash is the design's content address, resolvable via
+	// GET /v1/designs/{hash} (empty when Request.Generate names a
+	// built-in the worker can generate locally).
+	Hash string `json:"hash,omitempty"`
+	// TrialLo/TrialHi, when TrialHi > TrialLo, make this unit a
+	// Monte-Carlo trial-range shard: the worker returns the raw samples
+	// of trials [TrialLo, TrialHi) instead of a full analysis.
+	TrialLo int `json:"trial_lo,omitempty"`
+	TrialHi int `json:"trial_hi,omitempty"`
+	// Resume, when non-nil, is the optimizer checkpoint (wire form of
+	// repro.OptCheckpoint) execution must resume from — set after a
+	// coordinator restart or a lease migration.
+	Resume json.RawMessage `json:"resume,omitempty"`
+	// TTLSec is how long the lease lives without a heartbeat.
+	TTLSec float64 `json:"ttl_sec"`
+}
+
+// AcquireRequest is the body of POST /v1/leases.
+type AcquireRequest struct {
+	// Worker identifies the replica (for per-worker metrics and lease
+	// audit trails); required.
+	Worker string `json:"worker"`
+}
+
+// HeartbeatRequest is the body of POST /v1/leases/{id}/heartbeat:
+// a TTL renewal, optionally carrying progress and a checkpoint.
+type HeartbeatRequest struct {
+	Iter int     `json:"iter,omitempty"`
+	Cost float64 `json:"cost,omitempty"`
+	// Checkpoint, when non-nil, is a resumable optimizer state: the
+	// coordinator persists it (journal) and seeds any future re-lease of
+	// this unit with it.
+	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
+}
+
+// CompleteRequest is the body of POST /v1/leases/{id}/complete: exactly
+// one of Result (the unit's op-specific payload) or Error.
+type CompleteRequest struct {
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// MCShardResult is the unit payload of a Monte-Carlo trial-range shard:
+// the raw circuit-delay samples of [TrialLo, TrialHi), in trial order.
+type MCShardResult struct {
+	Samples []float64 `json:"samples"`
+}
+
+// Priority levels, dispatch-ordered: lower values are handed to workers
+// first.
+const (
+	PriorityHigh   = 0
+	PriorityNormal = 1
+	PriorityLow    = 2
+)
+
+// PriorityOf maps the wire priority class to its dispatch rank
+// (unknown or empty = normal).
+func PriorityOf(class string) int {
+	switch class {
+	case client.PriorityHigh:
+		return PriorityHigh
+	case client.PriorityLow:
+		return PriorityLow
+	}
+	return PriorityNormal
+}

@@ -187,3 +187,53 @@ func TestInternRefusesLintFailure(t *testing.T) {
 		t.Fatalf("warning-only design refused: %v", err)
 	}
 }
+
+// TestEvictionUnderConcurrentInternAndFetch hammers a capacity-2 design
+// cache from many goroutines rotating over three distinct netlists —
+// the cluster worker's mirror pattern, where fetches and evictions
+// interleave freely. Every Parse must return a usable design and every
+// Design hit a non-nil one, with the cache never exceeding its cap
+// (run under -race in CI).
+func TestEvictionUnderConcurrentInternAndFetch(t *testing.T) {
+	c := New(2, 1)
+	names := []string{"alu1", "alu2", "c432"}
+	texts := make([]string, len(names))
+	hashes := make([]string, len(names))
+	for i, n := range names {
+		texts[i] = benchText(t, n)
+		_, h, err := c.Parse(texts[i], n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashes[i] = h
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				i := (g + j) % len(names)
+				d, h, err := c.Parse(texts[i], names[i])
+				if err != nil {
+					t.Errorf("parse %s: %v", names[i], err)
+					return
+				}
+				if d == nil || h != hashes[i] {
+					t.Errorf("parse %s returned d=%v hash=%s, want hash %s", names[i], d, h, hashes[i])
+					return
+				}
+				// A concurrent fetch may hit or miss depending on eviction
+				// order, but a hit must never surface a nil design.
+				if d2, ok := c.Design(hashes[(i+1)%len(names)]); ok && d2 == nil {
+					t.Error("Design hit returned nil design")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := c.Stats(); s.Designs > 2 {
+		t.Fatalf("cache holds %d designs, cap is 2", s.Designs)
+	}
+}

@@ -103,12 +103,60 @@ func (o Options) validate() error {
 	return nil
 }
 
+// validateRange is validate for explicit-range sampling, where
+// Options.Trials is ignored and the [lo, hi) window stands in for it.
+func (o Options) validateRange(lo, hi int) error {
+	if lo < 0 || hi < lo {
+		return fmt.Errorf("montecarlo: bad trial range [%d, %d)", lo, hi)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("montecarlo: negative worker count %d", o.Workers)
+	}
+	return nil
+}
+
 // AnalyzeOpts is Analyze with explicit options.
 func AnalyzeOpts(d *synth.Design, vm *variation.Model, opts Options) (*Result, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
 	n := opts.Trials
+	samples, err := SampleRange(d, vm, opts, 0, n)
+	if err != nil {
+		return nil, err
+	}
+	sort.Float64s(samples)
+	// Moments are accumulated over the SORTED samples so the float
+	// summation order — and with it the reported Mean/Sigma — is
+	// independent of how trials were sharded.
+	var sum, sumsq float64
+	for _, cd := range samples {
+		sum += cd
+		sumsq += cd * cd
+	}
+	mean := sum / float64(n)
+	varc := sumsq/float64(n) - mean*mean
+	if varc < 0 {
+		varc = 0
+	}
+	return &Result{Samples: samples, Mean: mean, Sigma: math.Sqrt(varc)}, nil
+}
+
+// SampleRange draws the circuit-delay samples of trials [lo, hi) in
+// trial order. Because every trial's RNG stream is keyed by the absolute
+// trial index alone (see the package comment), the returned slice is a
+// contiguous window of the full trial sequence: concatenating disjoint
+// ranges that cover [0, n) reproduces exactly the sample set a
+// single-node AnalyzeOpts run draws, regardless of how the ranges were
+// split across processes or hosts. This is the work unit the cluster
+// layer fans out — shard merge bit-exactness rests on this property.
+//
+// Options.Trials is ignored (the range is explicit); Workers and Ctx
+// apply to this range.
+func SampleRange(d *synth.Design, vm *variation.Model, opts Options, lo, hi int) ([]float64, error) {
+	if err := opts.validateRange(lo, hi); err != nil {
+		return nil, err
+	}
 	nominal := sta.Analyze(d)
 	c := d.Circuit
 	topo := c.MustTopoOrder()
@@ -127,13 +175,14 @@ func AnalyzeOpts(d *synth.Design, vm *variation.Model, opts Options) (*Result, e
 	if err := ctxErr(opts.Ctx); err != nil {
 		return nil, err
 	}
+	n := hi - lo
 	samples := make([]float64, n)
 	stream := parallel.NewSeedStream(opts.Seed)
 	var cancelled atomic.Bool
-	parallel.Chunks(parallel.Resolve(opts.Workers), n, func(_, lo, hi int) {
+	parallel.Chunks(parallel.Resolve(opts.Workers), n, func(_, clo, chi int) {
 		arrival := make([]float64, c.NumGates())
-		for trial := lo; trial < hi; trial++ {
-			if (trial-lo)%cancelCheckEvery == 0 {
+		for i := clo; i < chi; i++ {
+			if (i-clo)%cancelCheckEvery == 0 {
 				if cancelled.Load() {
 					return
 				}
@@ -142,6 +191,7 @@ func AnalyzeOpts(d *synth.Design, vm *variation.Model, opts Options) (*Result, e
 					return
 				}
 			}
+			trial := lo + i // absolute trial index keys the stream
 			rng := randv2.New(randv2.NewPCG(stream.Uint64(2*trial), stream.Uint64(2*trial+1)))
 			for _, id := range topo {
 				g := c.Gate(id)
@@ -166,27 +216,41 @@ func AnalyzeOpts(d *synth.Design, vm *variation.Model, opts Options) (*Result, e
 			if len(c.Outputs) == 0 {
 				cd = 0
 			}
-			samples[trial] = cd
+			samples[i] = cd
 		}
 	})
 	if err := ctxErr(opts.Ctx); err != nil {
 		return nil, err
 	}
-	sort.Float64s(samples)
-	// Moments are accumulated over the SORTED samples so the float
-	// summation order — and with it the reported Mean/Sigma — is
-	// independent of how trials were sharded.
+	return samples, nil
+}
+
+// FromSamples folds an externally assembled sample set (the
+// concatenation of SampleRange shards, in trial order) into a Result,
+// exactly the way AnalyzeOpts folds its own samples: sort, then
+// accumulate moments over the sorted order so the float summation —
+// and with it Mean and Sigma — is independent of how trials were
+// sharded. Merging shards that cover [0, n) through this function is
+// bit-identical to a single AnalyzeOpts run with Trials = n.
+func FromSamples(samples []float64) (*Result, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("montecarlo: no samples to fold")
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
 	var sum, sumsq float64
-	for _, cd := range samples {
+	for _, cd := range sorted {
 		sum += cd
 		sumsq += cd * cd
 	}
-	mean := sum / float64(n)
-	varc := sumsq/float64(n) - mean*mean
+	n := float64(len(sorted))
+	mean := sum / n
+	varc := sumsq/n - mean*mean
 	if varc < 0 {
 		varc = 0
 	}
-	return &Result{Samples: samples, Mean: mean, Sigma: math.Sqrt(varc)}, nil
+	return &Result{Samples: sorted, Mean: mean, Sigma: math.Sqrt(varc)}, nil
 }
 
 // Quantile returns the q-quantile of the empirical distribution.

@@ -211,3 +211,92 @@ func TestOptionsValidate(t *testing.T) {
 		}
 	}
 }
+
+// TestSampleRangeShardMergeBitExact is the cluster layer's load-bearing
+// invariant stated as a local property: any partition of [0, n) into
+// contiguous ranges, sampled independently and concatenated in order,
+// reproduces the single-run sample sequence element for element, and
+// folding the concatenation through FromSamples reproduces AnalyzeOpts'
+// Mean/Sigma bit for bit.
+func TestSampleRangeShardMergeBitExact(t *testing.T) {
+	d, vm := setup(t, gen.RippleCarryAdder("rca", 8))
+	const n = 1000
+	opts := Options{Trials: n, Seed: 77, Workers: 2}
+
+	ref, err := AnalyzeOpts(d, vm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := SampleRange(d, vm, opts, 0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Deliberately uneven cuts, including an empty shard.
+	cuts := []int{0, 137, 137, 500, 999, n}
+	var merged []float64
+	for i := 0; i+1 < len(cuts); i++ {
+		shard, err := SampleRange(d, vm, opts, cuts[i], cuts[i+1])
+		if err != nil {
+			t.Fatalf("shard [%d,%d): %v", cuts[i], cuts[i+1], err)
+		}
+		if len(shard) != cuts[i+1]-cuts[i] {
+			t.Fatalf("shard [%d,%d) has %d samples", cuts[i], cuts[i+1], len(shard))
+		}
+		merged = append(merged, shard...)
+	}
+	for i := range full {
+		if merged[i] != full[i] {
+			t.Fatalf("sample %d differs after shard merge: %v vs %v", i, merged[i], full[i])
+		}
+	}
+
+	folded, err := FromSamples(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded.Mean != ref.Mean || folded.Sigma != ref.Sigma {
+		t.Fatalf("folded moments (%v, %v) differ from AnalyzeOpts (%v, %v)",
+			folded.Mean, folded.Sigma, ref.Mean, ref.Sigma)
+	}
+	for i := range ref.Samples {
+		if folded.Samples[i] != ref.Samples[i] {
+			t.Fatalf("sorted sample %d differs after fold", i)
+		}
+	}
+}
+
+func TestSampleRangeRejectsBadRange(t *testing.T) {
+	d, vm := setup(t, gen.ParityTree("p", 4))
+	if _, err := SampleRange(d, vm, Options{Seed: 1, Workers: -1}, 0, 2); err == nil {
+		t.Error("SampleRange accepted negative workers")
+	}
+	for _, tc := range [][2]int{{-1, 5}, {10, 3}} {
+		if _, err := SampleRange(d, vm, Options{Seed: 1}, tc[0], tc[1]); err == nil {
+			t.Errorf("SampleRange accepted range [%d, %d)", tc[0], tc[1])
+		}
+	}
+}
+
+func TestFromSamplesRejectsEmpty(t *testing.T) {
+	if _, err := FromSamples(nil); err == nil {
+		t.Fatal("FromSamples accepted an empty sample set")
+	}
+}
+
+func TestQuantileClamps(t *testing.T) {
+	r := &Result{Samples: []float64{1, 2, 3, 4}}
+	if got := r.Quantile(-0.5); got != 1 {
+		t.Fatalf("Quantile(-0.5) = %v, want first sample", got)
+	}
+	if got := r.Quantile(1.5); got != 4 {
+		t.Fatalf("Quantile(1.5) = %v, want last sample", got)
+	}
+	if got := r.Quantile(0.5); got != 3 {
+		t.Fatalf("Quantile(0.5) = %v, want 3", got)
+	}
+	empty := &Result{}
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", got)
+	}
+}

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"repro/client"
+)
+
+// admission is the per-tenant token bucket behind POST /v1/jobs. Each
+// tenant refills at rate submits/second up to burst; a submit spends
+// one token or is rejected 429 with a Retry-After that says when the
+// next token lands. Rate <= 0 disables quotas entirely (the default, so
+// single-tenant deployments see no behavior change).
+type admission struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	buckets map[string]*bucket
+	now     func() time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newAdmission(rate float64, burst int) *admission {
+	b := float64(burst)
+	if b <= 0 {
+		// Enough headroom for a small submit burst even at low rates.
+		if b = rate; b < 2 {
+			b = 2
+		}
+	}
+	return &admission{
+		rate:    rate,
+		burst:   b,
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// allow spends one token from the tenant's bucket. When it cannot, the
+// returned duration is how long until a token is available.
+func (a *admission) allow(tenant string) (time.Duration, bool) {
+	if a.rate <= 0 {
+		return 0, true
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.now()
+	bk, ok := a.buckets[tenant]
+	if !ok {
+		bk = &bucket{tokens: a.burst, last: now}
+		a.buckets[tenant] = bk
+	}
+	if dt := now.Sub(bk.last).Seconds(); dt > 0 {
+		bk.tokens += dt * a.rate
+		if bk.tokens > a.burst {
+			bk.tokens = a.burst
+		}
+	}
+	bk.last = now
+	if bk.tokens >= 1 {
+		bk.tokens--
+		return 0, true
+	}
+	wait := time.Duration((1 - bk.tokens) / a.rate * float64(time.Second))
+	return wait, false
+}
+
+// shedPriority implements congestion shedding by class: as the pending
+// queue fills, low-priority work is refused at half capacity and normal
+// at 90%, keeping the remaining headroom for high-priority submissions
+// (which are only ever refused by the queue's own full rejection).
+func shedPriority(priority string, queued, capacity int) bool {
+	switch priority {
+	case client.PriorityHigh:
+		return false
+	case client.PriorityLow:
+		return queued*2 >= capacity
+	default:
+		return queued*10 >= capacity*9
+	}
+}

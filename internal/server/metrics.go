@@ -43,13 +43,22 @@ type metrics struct {
 	mu        sync.Mutex
 	latency   map[string]*histogram // endpoint label -> histogram
 	requests  map[reqKey]uint64
-	submitted map[string]uint64 // op -> jobs submitted
-	completed map[string]uint64 // terminal state -> jobs finished
+	submitted map[string]uint64    // op -> jobs submitted
+	completed map[string]uint64    // terminal state -> jobs finished
+	admitted  map[tenantKey]uint64 // (tenant, priority) -> jobs admitted
+	throttled map[tenantKey]uint64 // (tenant, reason) -> submits rejected 429
 }
 
 type reqKey struct {
 	endpoint string
 	code     int
+}
+
+// tenantKey labels admission counters: dim is the priority class for
+// admissions and the rejection reason ("quota", "shed") for throttles.
+type tenantKey struct {
+	tenant string
+	dim    string
 }
 
 func newMetrics() *metrics {
@@ -58,6 +67,8 @@ func newMetrics() *metrics {
 		requests:  make(map[reqKey]uint64),
 		submitted: make(map[string]uint64),
 		completed: make(map[string]uint64),
+		admitted:  make(map[tenantKey]uint64),
+		throttled: make(map[tenantKey]uint64),
 	}
 }
 
@@ -82,6 +93,18 @@ func (m *metrics) jobSubmitted(op string) {
 func (m *metrics) jobCompleted(state string) {
 	m.mu.Lock()
 	m.completed[state]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) jobAdmitted(tenant, priority string) {
+	m.mu.Lock()
+	m.admitted[tenantKey{tenant, priority}]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) jobThrottled(tenant, reason string) {
+	m.mu.Lock()
+	m.throttled[tenantKey{tenant, reason}]++
 	m.mu.Unlock()
 }
 
@@ -138,9 +161,38 @@ func (m *metrics) write(w io.Writer, gauges []gauge) {
 		fmt.Fprintf(w, "sstad_jobs_completed_total{state=%q} %d\n", st, m.completed[st])
 	}
 
+	if len(m.admitted) > 0 {
+		fmt.Fprintln(w, "# HELP sstad_jobs_admitted_total Jobs admitted by tenant and priority class.")
+		fmt.Fprintln(w, "# TYPE sstad_jobs_admitted_total counter")
+		for _, k := range sortedTenantKeys(m.admitted) {
+			fmt.Fprintf(w, "sstad_jobs_admitted_total{tenant=%q,priority=%q} %d\n", k.tenant, k.dim, m.admitted[k])
+		}
+	}
+	if len(m.throttled) > 0 {
+		fmt.Fprintln(w, "# HELP sstad_jobs_throttled_total Submits rejected 429, by tenant and reason (quota, shed).")
+		fmt.Fprintln(w, "# TYPE sstad_jobs_throttled_total counter")
+		for _, k := range sortedTenantKeys(m.throttled) {
+			fmt.Fprintf(w, "sstad_jobs_throttled_total{tenant=%q,reason=%q} %d\n", k.tenant, k.dim, m.throttled[k])
+		}
+	}
+
 	for _, g := range gauges {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", g.name, g.help, g.name, g.name, g.value)
 	}
+}
+
+func sortedTenantKeys(m map[tenantKey]uint64) []tenantKey {
+	keys := make([]tenantKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].tenant != keys[j].tenant {
+			return keys[i].tenant < keys[j].tenant
+		}
+		return keys[i].dim < keys[j].dim
+	})
+	return keys
 }
 
 func sortedKeys[V any](m map[string]V) []string {

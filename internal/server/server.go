@@ -8,12 +8,20 @@
 // Endpoints:
 //
 //	POST   /v1/jobs             submit a job (client.JobRequest), 202 + status
-//	GET    /v1/jobs             list retained jobs, newest first
+//	GET    /v1/jobs             list retained jobs, newest first (?limit= + ?cursor= paginate)
 //	GET    /v1/jobs/{id}        poll a job; ?wait=30s long-polls
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/jobs/{id}/stream server-sent events until terminal
-//	GET    /healthz             liveness + queue depth
+//	GET    /healthz             liveness + queue depth + build identity
 //	GET    /metrics             Prometheus text exposition
+//
+// With Config.Cluster set the node becomes a coordinator: jobs are not
+// executed in-process but fanned out to worker replicas through the
+// lease endpoints of internal/cluster (POST /v1/leases and friends, see
+// coordinator.go), with Monte-Carlo trial ranges and what-if candidate
+// sets sharded across workers and merged bit-exactly. Submission is
+// additionally shaped by per-tenant token buckets and priority classes
+// (admission.go).
 //
 // Wire types live in the public client package so the two sides cannot
 // drift; this package converts between them and the internal engines.
@@ -27,18 +35,22 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro"
 	"repro/client"
+	"repro/internal/buildinfo"
 	"repro/internal/circuitlint"
 	"repro/internal/cliutil"
+	"repro/internal/cluster"
 	"repro/internal/designcache"
 	"repro/internal/faultinject"
 	"repro/internal/jobs"
 	"repro/internal/journal"
+	"repro/internal/oprun"
 )
 
 // Config tunes the service. The zero value is production-reasonable:
@@ -84,8 +96,45 @@ type Config struct {
 	// the journal ("journal.append.write", "journal.append.sync") and
 	// the optimizer checkpoint path ("server.checkpoint", used with
 	// Delay plans to stretch runs for chaos tests); nil disables
-	// injection.
+	// injection. In cluster mode the checkpoint site sits on the
+	// coordinator's heartbeat handler — workers stream checkpoints
+	// synchronously, so delaying it stretches their iterations too.
 	Inject *faultinject.Injector
+
+	// Cluster turns this node into a coordinator: jobs are dispatched to
+	// worker replicas through the lease endpoints instead of executing
+	// in-process. JobWorkers then bounds concurrent DISPATCHES (cheap
+	// waiting, not engine work) and should be sized generously.
+	Cluster bool
+	// LeaseTTL is how long a worker lease survives without a heartbeat
+	// before its unit is re-enqueued (0 = 10s).
+	LeaseTTL time.Duration
+	// LeaseScanInterval is the expiry sweep period (0 = LeaseTTL/4).
+	LeaseScanInterval time.Duration
+	// MaxLeaseAttempts caps leases burned per work unit before the job
+	// fails (0 = 5).
+	MaxLeaseAttempts int
+	// MCShardTrials is the Monte-Carlo trials-per-shard target: jobs
+	// larger than this split into trial-range units (0 = 20000).
+	MCShardTrials int
+	// MaxMCShards caps a single job's Monte-Carlo fan-out (0 = 8).
+	MaxMCShards int
+	// WhatIfShardSize is the candidates-per-shard target for whatif jobs
+	// (0 = 64).
+	WhatIfShardSize int
+
+	// TenantRate, when > 0, arms per-tenant admission control: each
+	// tenant (X-Tenant header; empty = "default") refills at TenantRate
+	// submits/second up to TenantBurst (0 = max(2, ceil(rate))), and
+	// submissions beyond that are rejected 429 with Retry-After.
+	TenantRate  float64
+	TenantBurst int
+
+	// Role and Node label this process in /healthz, /metrics and the
+	// build-info metric ("single", "coordinator", "worker"; node is a
+	// replica name). Empty values default to "single" / the process's
+	// best guess at a stable name.
+	Role, Node string
 }
 
 func (c Config) maxBody() int64 {
@@ -107,6 +156,51 @@ func (c Config) maxAttempts() int {
 		return 3
 	}
 	return c.MaxAttempts
+}
+
+func (c Config) queueCapacity() int {
+	if c.QueueCapacity <= 0 {
+		return 64
+	}
+	return c.QueueCapacity
+}
+
+func (c Config) leaseTTL() time.Duration {
+	if c.LeaseTTL <= 0 {
+		return 10 * time.Second
+	}
+	return c.LeaseTTL
+}
+
+func (c Config) mcShardTrials() int {
+	if c.MCShardTrials <= 0 {
+		return 20000
+	}
+	return c.MCShardTrials
+}
+
+func (c Config) maxMCShards() int {
+	if c.MaxMCShards <= 0 {
+		return 8
+	}
+	return c.MaxMCShards
+}
+
+func (c Config) whatIfShardSize() int {
+	if c.WhatIfShardSize <= 0 {
+		return 64
+	}
+	return c.WhatIfShardSize
+}
+
+func (c Config) role() string {
+	if c.Role == "" {
+		if c.Cluster {
+			return "coordinator"
+		}
+		return "single"
+	}
+	return c.Role
 }
 
 // jobMeta is the request-side information the queue does not track.
@@ -132,6 +226,9 @@ type Server struct {
 	met   *metrics
 	mux   *http.ServeMux
 	jnl   *journal.Journal // nil when durability is off
+	pool  *cluster.Pool    // nil outside cluster (coordinator) mode
+	adm   *admission
+	build buildinfo.Info
 
 	metaMu sync.Mutex
 	meta   map[string]jobMeta
@@ -163,6 +260,17 @@ func New(cfg Config) (*Server, error) {
 		meta:     make(map[string]jobMeta),
 		idem:     make(map[string]string),
 		historic: make(map[string]client.JobStatus),
+		adm:      newAdmission(cfg.TenantRate, cfg.TenantBurst),
+		build:    buildinfo.Collect(cfg.role(), cfg.Node),
+	}
+	// The pool must exist before the queue: recovered jobs can start
+	// dispatching the moment they are re-enqueued.
+	if cfg.Cluster {
+		s.pool = cluster.NewPool(cluster.PoolOptions{
+			TTL:             cfg.leaseTTL(),
+			ScanInterval:    cfg.LeaseScanInterval,
+			MaxUnitAttempts: cfg.MaxLeaseAttempts,
+		})
 	}
 	var recs []journal.Record
 	if cfg.JournalPath != "" {
@@ -189,6 +297,12 @@ func New(cfg Config) (*Server, error) {
 	s.route("GET /v1/jobs/{id}/stream", "stream", s.handleStream)
 	s.route("GET /healthz", "healthz", s.handleHealthz)
 	s.route("GET /metrics", "metrics", s.handleMetrics)
+	if s.pool != nil {
+		s.route("POST /v1/leases", "lease_acquire", s.handleLeaseAcquire)
+		s.route("POST /v1/leases/{id}/heartbeat", "lease_heartbeat", s.handleLeaseHeartbeat)
+		s.route("POST /v1/leases/{id}/complete", "lease_complete", s.handleLeaseComplete)
+		s.route("GET /v1/designs/{hash}", "design_get", s.handleDesignGet)
+	}
 	return s, nil
 }
 
@@ -201,6 +315,11 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // terminal: the next startup re-enqueues them.
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.queue.Shutdown(ctx)
+	if s.pool != nil {
+		// After the queue drains: cancelled dispatches have already
+		// withdrawn their units, so the pool only owes its scanner.
+		s.pool.Close()
+	}
 	if s.jnl != nil {
 		if cerr := s.jnl.Close(); err == nil {
 			err = cerr
@@ -342,12 +461,30 @@ var validOps = map[string]bool{
 	client.OpOptimize:   true,
 	client.OpRecover:    true,
 	client.OpWNSSPath:   true,
+	client.OpWhatIf:     true,
 }
 
 // validate rejects malformed requests before anything is enqueued.
 func validate(req *client.JobRequest) error {
 	if !validOps[req.Op] {
-		return fmt.Errorf("unknown op %q (want analyze|montecarlo|optimize|recover|wnsspath)", req.Op)
+		return fmt.Errorf("unknown op %q (want analyze|montecarlo|optimize|recover|wnsspath|whatif)", req.Op)
+	}
+	switch req.Priority {
+	case "", client.PriorityHigh, client.PriorityNormal, client.PriorityLow:
+	default:
+		return fmt.Errorf("unknown priority %q (want high|normal|low)", req.Priority)
+	}
+	if req.Op == client.OpWhatIf {
+		if len(req.Candidates) == 0 {
+			return errors.New("whatif needs at least one candidate")
+		}
+		for i, cand := range req.Candidates {
+			if len(cand) == 0 {
+				return fmt.Errorf("whatif candidate %d is empty", i)
+			}
+		}
+	} else if len(req.Candidates) > 0 {
+		return fmt.Errorf("candidates only apply to the whatif op, not %q", req.Op)
 	}
 	if (req.Bench == "") == (req.Generate == "") {
 		return errors.New("pass exactly one of bench (inline netlist) or generate (built-in name)")
@@ -390,6 +527,8 @@ func optsKey(req client.JobRequest) string {
 	// incremental result answers a full-recompute request and vice versa
 	// (only the advisory runtime fields could differ).
 	req.FullRecompute = false
+	// Priority orders scheduling, never results.
+	req.Priority = ""
 	b, _ := json.Marshal(req)
 	return string(b)
 }
@@ -416,7 +555,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	// An Idempotency-Key we have already admitted means this submit is
 	// a retry of one whose response was lost: return the original job
-	// instead of enqueuing a duplicate.
+	// instead of enqueuing a duplicate. Retries resolve before admission
+	// control — they are not new work and must not burn quota.
 	idemKey := r.Header.Get("Idempotency-Key")
 	if idemKey != "" {
 		if st, ok := s.idempotentHit(idemKey); ok {
@@ -424,6 +564,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, st)
 			return
 		}
+	}
+
+	// Per-tenant admission: the token bucket throttles chatty tenants;
+	// the priority shed sacrifices low classes first as the queue fills.
+	tenant := tenantOf(r)
+	if retryAfter, ok := s.adm.allow(tenant); !ok {
+		s.met.jobThrottled(tenant, "quota")
+		w.Header().Set("Retry-After", retryAfterSeconds(retryAfter))
+		writeError(w, http.StatusTooManyRequests, "tenant %q over submit quota", tenant)
+		return
+	}
+	if queued, _ := s.queue.Depth(); shedPriority(req.Priority, queued, s.cfg.queueCapacity()) {
+		s.met.jobThrottled(tenant, "shed")
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"queue congested: %s-priority submissions are being shed", priorityOrNormal(req.Priority))
+		return
 	}
 
 	// Resolve (and intern) the design now so malformed netlists fail
@@ -496,6 +653,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.jobSubmitted(req.Op)
+	s.met.jobAdmitted(tenant, priorityOrNormal(req.Priority))
 	s.metaMu.Lock()
 	s.pruneMetaLocked()
 	s.meta[id] = jobMeta{op: req.Op, hash: hash, idemKey: idemKey}
@@ -538,13 +696,24 @@ func (s *Server) idempotentHit(key string) (client.JobStatus, bool) {
 
 // jobFn builds the queue function for one job: result-memo check,
 // engine execution (with checkpoint/resume wiring for the optimizers),
-// memo fill.
+// memo fill. In cluster mode the execution step becomes a dispatch:
+// the job is planned into work units, fanned out to lease-holding
+// workers, and the unit results merged bit-exactly (coordinator.go) —
+// the memo and journal never see the difference.
 func (s *Server) jobFn(id string, req client.JobRequest, d *repro.Design, hash, key string, resume *repro.OptCheckpoint) jobs.Fn {
 	return func(ctx context.Context) (any, error) {
 		if v, ok := s.cache.Result(hash, key); ok {
 			return outcome{payload: v, cacheHit: true}, nil
 		}
-		payload, err := s.execute(ctx, id, req, d, resume)
+		var (
+			payload any
+			err     error
+		)
+		if s.pool != nil {
+			payload, err = s.dispatch(ctx, id, req, d, hash, resume)
+		} else {
+			payload, err = oprun.Run(ctx, req, d, resume, s.checkpointSink(id))
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -605,96 +774,6 @@ func (s *Server) checkpointSink(id string) func(repro.OptCheckpoint) {
 			return
 		}
 		s.journalAppend(journal.Record{Type: journal.TypeCheckpoint, Job: id, Checkpoint: b})
-	}
-}
-
-// execute runs one job's engine work. Cached designs are shared and
-// read-only; mutating operations clone first. The optimizer ops get
-// the checkpoint callback (heartbeat + journal) and, after a crash
-// recovery, the resume state — the resumed run retraces the
-// uninterrupted one bit-for-bit (see internal/core).
-func (s *Server) execute(ctx context.Context, id string, req client.JobRequest, d *repro.Design, resume *repro.OptCheckpoint) (any, error) {
-	opts := repro.RunOptions{
-		Workers:       req.Workers,
-		PDFPoints:     req.PDFPoints,
-		MaxIters:      req.MaxIters,
-		FullRecompute: req.FullRecompute,
-		Ctx:           ctx,
-	}
-	if req.Op == client.OpOptimize || req.Op == client.OpRecover {
-		opts.Checkpoint = s.checkpointSink(id)
-		opts.Resume = resume
-	}
-	switch req.Op {
-	case client.OpAnalyze:
-		a, err := d.AnalyzeCtx(ctx, opts)
-		if err != nil {
-			return nil, err
-		}
-		return analyzePayload(a, req)
-	case client.OpMonteCarlo:
-		a, err := d.MonteCarloOpts(req.Samples, req.Seed, opts)
-		if err != nil {
-			return nil, err
-		}
-		return analyzePayload(a, req)
-	case client.OpOptimize:
-		dd := d.Clone()
-		r, err := dd.OptimizeStatisticalOpts(req.Lambda, opts)
-		if err != nil {
-			return nil, err
-		}
-		p := optimizePayload(r)
-		// The sizing vector is the canonical equality oracle: a resumed
-		// run matches its uninterrupted counterpart iff these match.
-		p.Sizes = dd.Sizes()
-		return p, nil
-	case client.OpRecover:
-		dd := d.Clone()
-		saved, err := dd.RecoverAreaOpts(req.Lambda, req.SlackFrac, opts)
-		if err != nil {
-			return nil, err
-		}
-		return client.RecoverResult{AreaSaved: saved}, nil
-	case client.OpWNSSPath:
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		return client.PathResult{Gates: d.WNSSPath(req.Lambda)}, nil
-	}
-	return nil, fmt.Errorf("unreachable op %q", req.Op)
-}
-
-func analyzePayload(a *repro.Analysis, req client.JobRequest) (client.AnalyzeResult, error) {
-	res := client.AnalyzeResult{
-		Mean:         a.Mean,
-		Sigma:        a.Sigma,
-		NominalDelay: a.NominalDelay,
-		PDFX:         a.PDFX,
-		PDFY:         a.PDFY,
-	}
-	for _, T := range req.YieldPeriods {
-		res.Yields = append(res.Yields, client.YieldPoint{Period: T, Yield: a.Yield(T)})
-	}
-	for _, y := range req.TargetYields {
-		T, err := a.PeriodForYield(y)
-		if err != nil {
-			return client.AnalyzeResult{}, fmt.Errorf("period for yield %g: %w", y, err)
-		}
-		res.Periods = append(res.Periods, client.PeriodPoint{TargetYield: y, Period: T})
-	}
-	return res, nil
-}
-
-func optimizePayload(r repro.OptResult) client.OptimizeResult {
-	return client.OptimizeResult{
-		MeanBefore: r.MeanBefore, MeanAfter: r.MeanAfter,
-		SigmaBefore: r.SigmaBefore, SigmaAfter: r.SigmaAfter,
-		AreaBefore: r.AreaBefore, AreaAfter: r.AreaAfter,
-		Iterations:      r.Iterations,
-		StoppedBy:       r.StoppedBy,
-		RuntimeSec:      r.Runtime.Seconds(),
-		AnalysisTimeSec: r.AnalysisTime.Seconds(),
 	}
 }
 
@@ -774,23 +853,55 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.status(sn))
 }
 
+// listLimits bound GET /v1/jobs pages: the default when ?limit= is
+// absent and the hard cap a client may ask for.
+const (
+	defaultListLimit = 100
+	maxListLimit     = 1000
+)
+
+// handleList pages through retained jobs, newest first. Job IDs are
+// zero-padded sequence numbers, so lexicographic descent is creation
+// order descent and the cursor is simply the last ID of the previous
+// page: a page holds the first `limit` jobs with ID strictly below it.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	limit := defaultListLimit
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, "bad limit %q (want a positive integer)", ls)
+			return
+		}
+		if limit = n; limit > maxListLimit {
+			limit = maxListLimit
+		}
+	}
+	cursor := r.URL.Query().Get("cursor")
+
 	sns := s.queue.List()
 	out := make([]client.JobStatus, 0, len(sns))
 	seen := make(map[string]bool, len(sns))
 	for _, sn := range sns {
 		seen[sn.ID] = true
-		out = append(out, s.status(sn))
+		if cursor == "" || sn.ID < cursor {
+			out = append(out, s.status(sn))
+		}
 	}
 	s.metaMu.Lock()
 	for id, st := range s.historic {
-		if !seen[id] {
+		if !seen[id] && (cursor == "" || id < cursor) {
 			out = append(out, st)
 		}
 	}
 	s.metaMu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID > out[j].ID })
-	writeJSON(w, http.StatusOK, out)
+
+	list := client.JobList{Jobs: out}
+	if len(out) > limit {
+		list.Jobs = out[:limit]
+		list.NextCursor = out[limit-1].ID
+	}
+	writeJSON(w, http.StatusOK, list)
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -871,10 +982,14 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	queued, running := s.queue.Depth()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":       "ok",
-		"jobs_queued":  queued,
-		"jobs_running": running,
+	writeJSON(w, http.StatusOK, client.Healthz{
+		Status:      "ok",
+		JobsQueued:  queued,
+		JobsRunning: running,
+		Role:        s.build.Role,
+		Node:        s.build.Node,
+		Revision:    s.build.Revision,
+		GoVersion:   s.build.GoVersion,
 	})
 }
 
@@ -896,6 +1011,50 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"sstad_jobs_recovery_dropped_total", "Journaled jobs recovery resolved terminally instead of re-running (attempt budget exhausted or unrebuildable).", float64(s.recoveryDropped.Load())},
 		{"sstad_idempotent_hits_total", "Submits deduplicated by Idempotency-Key.", float64(s.idemHits.Load())},
 	}
+	var ps cluster.PoolStats
+	if s.pool != nil {
+		ps = s.pool.Stats()
+		gauges = append(gauges,
+			gauge{"sstad_cluster_units_pending", "Work units awaiting a worker lease.", float64(ps.Pending)},
+			gauge{"sstad_cluster_units_leased", "Work units currently leased to workers.", float64(ps.Leased)},
+			gauge{"sstad_cluster_leases_expired_total", "Leases lost to TTL expiry (unit re-enqueued or failed).", float64(ps.Expired)},
+			gauge{"sstad_cluster_stale_drops_total", "Heartbeats/completions rejected because the lease was gone.", float64(ps.StaleDrops)},
+		)
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.met.write(w, gauges)
+	if s.pool != nil {
+		fmt.Fprintln(w, "# HELP sstad_cluster_leases_granted_total Leases handed out, by worker.")
+		fmt.Fprintln(w, "# TYPE sstad_cluster_leases_granted_total counter")
+		for _, worker := range sortedKeys(ps.Granted) {
+			fmt.Fprintf(w, "sstad_cluster_leases_granted_total{worker=%q} %d\n", worker, ps.Granted[worker])
+		}
+	}
+	b := s.build
+	fmt.Fprintln(w, "# HELP sstad_build_info Build identity of this node (value is always 1).")
+	fmt.Fprintln(w, "# TYPE sstad_build_info gauge")
+	fmt.Fprintf(w, "sstad_build_info{revision=%q,go_version=%q,role=%q,node=%q,dirty=\"%t\"} 1\n",
+		b.Revision, b.GoVersion, b.Role, b.Node, b.Dirty)
+}
+
+// tenantOf resolves the submitting tenant: the X-Tenant header, or
+// "default" for unlabeled traffic (single-tenant deployments never need
+// to send the header).
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	return "default"
+}
+
+func priorityOrNormal(p string) string {
+	if p == "" {
+		return client.PriorityNormal
+	}
+	return p
+}
+
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(d/time.Second) + 1
+	return strconv.Itoa(secs)
 }
