@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-selftest cover cover-update fuzz-smoke bench bench-parallel bench-flat bench-flat-smoke serve e2e chaos cluster-e2e
+.PHONY: all build test race vet lint lint-typed lint-selftest cover cover-update fuzz-smoke bench bench-parallel bench-flat bench-flat-smoke serve e2e chaos cluster-e2e
 
 all: build vet lint test
 
@@ -18,21 +18,33 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Static analysis gate: go vet plus the project's own invariant linter
-# (cmd/sstalint — globalrand, wallclock, stdoutprint, ctxloop, naninput,
-# dpdfalloc; see DESIGN.md section 9). Any finding fails the build.
+# Static analysis gate: go vet plus both tiers of the project's own
+# invariant linter (cmd/sstalint). The parse tier covers globalrand,
+# wallclock, stdoutprint, ctxloop, naninput, dpdfalloc; the typed tier
+# (go/types over the whole module) covers maporder, floatmerge,
+# goroutinecapture, wirecontract. See DESIGN.md sections 9 and 14. Any
+# finding fails the build.
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/sstalint -root .
+	$(GO) run ./cmd/sstalint -root . -timing
+
+# Typed tier alone (CI runs it as its own timed step).
+lint-typed:
+	$(GO) run ./cmd/sstalint -root . -tier typed -timing
 
 # Prove the lint gate bites: sstalint must report findings (non-zero
-# exit) on the seeded-violation fixture tree. Exit 0 there means the
+# exit) on both seeded-violation fixture trees. Exit 0 there means the
 # linter has gone blind, so this target inverts it.
 lint-selftest:
-	@if $(GO) run ./cmd/sstalint -root internal/lint/testdata/selftest >/dev/null 2>&1; then \
-		echo "lint-selftest: FAIL — no findings on the seeded-violation fixtures" >&2; exit 1; \
+	@if $(GO) run ./cmd/sstalint -root internal/lint/testdata/selftest -tier parse >/dev/null 2>&1; then \
+		echo "lint-selftest: FAIL — no findings on the parse-tier fixtures" >&2; exit 1; \
 	else \
-		echo "lint-selftest: ok (seeded violations detected)"; \
+		echo "lint-selftest: ok (parse-tier seeded violations detected)"; \
+	fi
+	@if $(GO) run ./cmd/sstalint -root internal/lint/testdata/typed -tier typed >/dev/null 2>&1; then \
+		echo "lint-selftest: FAIL — no findings on the typed-tier fixtures" >&2; exit 1; \
+	else \
+		echo "lint-selftest: ok (typed-tier seeded violations detected)"; \
 	fi
 
 # Coverage ratchet: per-package statement coverage must not drop below

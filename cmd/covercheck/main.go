@@ -91,10 +91,15 @@ func main() {
 			failures = append(failures, fmt.Sprintf("%s: %.1f%% < pinned %.1f%% (tolerance %.1f)", pkg, got, pinned, r.TolerancePct))
 		}
 	}
-	for pkg, got := range cov {
+	unpinned := make([]string, 0, len(cov))
+	for pkg := range cov {
 		if _, ok := r.Packages[pkg]; !ok {
-			fmt.Printf("covercheck: note: %s (%.1f%%) is not pinned yet; run -update to ratchet it\n", pkg, got)
+			unpinned = append(unpinned, pkg)
 		}
+	}
+	sort.Strings(unpinned)
+	for _, pkg := range unpinned {
+		fmt.Printf("covercheck: note: %s (%.1f%%) is not pinned yet; run -update to ratchet it\n", pkg, cov[pkg])
 	}
 	if len(failures) > 0 {
 		for _, f := range failures {

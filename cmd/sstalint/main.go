@@ -3,26 +3,58 @@
 //
 //	path/file.go:42: globalrand: call to global rand.IntN; ...
 //
-// It exits 1 when any finding is reported, 2 on usage or I/O errors.
-// Suppress a single line with //lint:ignore <check> <reason>.
+// Two tiers run by default: the parse tier (single-file syntax checks)
+// and the typed tier (whole-module go/types checks: maporder,
+// floatmerge, goroutinecapture, wirecontract). -tier selects one; when
+// the root is not a Go module the typed tier degrades to a notice and
+// the parse tier still runs.
+//
+// -json emits the findings as a machine-readable diagnostics array
+// (same shape as sstad's circuitlint diagnostics: check, severity,
+// file, line, msg). -timing reports per-tier wall time to stderr.
+//
+// Exits 1 when any finding is reported, 2 on usage, I/O, or
+// type-check errors. Suppress a single line with
+// //lint:ignore <check> <reason>.
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/lint"
 )
 
+// diagnostic mirrors the wire shape of sstad's circuitlint diagnostics
+// array so CI tooling can consume both with one decoder.
+type diagnostic struct {
+	Check    string `json:"check"`
+	Severity string `json:"severity"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Msg      string `json:"msg"`
+}
+
 func main() {
 	root := flag.String("root", ".", "module root to lint")
-	checks := flag.String("checks", "", "comma-separated checks to run (default all: "+strings.Join(lint.CheckNames(), ",")+")")
+	checks := flag.String("checks", "", "comma-separated checks to run (default all: "+
+		strings.Join(append(lint.CheckNames(), lint.TypedCheckNames()...), ",")+")")
+	tier := flag.String("tier", "all", "which tier to run: all, parse, or typed")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON diagnostics array")
+	timing := flag.Bool("timing", false, "report per-tier wall time to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sstalint [-root dir] [-checks c1,c2]\n\nchecks:\n")
+		fmt.Fprintf(os.Stderr, "usage: sstalint [-root dir] [-tier all|parse|typed] [-checks c1,c2] [-json] [-timing]\n\nparse-tier checks:\n")
 		for _, c := range lint.Checks() {
-			fmt.Fprintf(os.Stderr, "  %-12s %s\n", c.Name, c.Doc)
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", c.Name, c.Doc)
+		}
+		fmt.Fprintf(os.Stderr, "\ntyped-tier checks:\n")
+		for _, c := range lint.TypedChecks() {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", c.Name, c.Doc)
 		}
 		flag.PrintDefaults()
 	}
@@ -36,13 +68,86 @@ func main() {
 			}
 		}
 	}
-	findings, err := lint.Run(*root, names)
+	parseNames, typedNames, err := lint.SplitCheckNames(names)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sstalint:", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+
+	runParse, runTyped := true, true
+	switch *tier {
+	case "all":
+	case "parse":
+		runTyped = false
+	case "typed":
+		runParse = false
+	default:
+		fmt.Fprintf(os.Stderr, "sstalint: unknown tier %q (have all, parse, typed)\n", *tier)
+		os.Exit(2)
+	}
+	// An explicit -checks selection narrows the tiers to the ones that
+	// own a selected check.
+	if len(names) > 0 {
+		runParse = runParse && len(parseNames) > 0
+		runTyped = runTyped && len(typedNames) > 0
+	}
+
+	var findings []lint.Finding
+	if runParse {
+		start := time.Now()
+		fds, err := lint.Run(*root, parseNames)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sstalint:", err)
+			os.Exit(2)
+		}
+		if *timing {
+			fmt.Fprintf(os.Stderr, "sstalint: parse tier: %d finding(s) in %v\n", len(fds), time.Since(start).Round(time.Millisecond))
+		}
+		findings = append(findings, fds...)
+	}
+	if runTyped {
+		start := time.Now()
+		fds, err := lint.RunTyped(*root, typedNames)
+		switch {
+		case errors.Is(err, lint.ErrNotAModule):
+			// A bare directory tree is lintable by syntax only; say so
+			// rather than failing, but only when the parse tier ran —
+			// an explicit -tier typed on a non-module is an error.
+			if !runParse {
+				fmt.Fprintln(os.Stderr, "sstalint:", err)
+				os.Exit(2)
+			}
+			fmt.Fprintf(os.Stderr, "sstalint: %s: not a Go module (no go.mod); typed checks skipped\n", *root)
+		case err != nil:
+			var tce *lint.TypeCheckError
+			if errors.As(err, &tce) {
+				fmt.Fprintln(os.Stderr, "sstalint: the tree does not type-check; fix the build before linting:")
+			}
+			fmt.Fprintln(os.Stderr, "sstalint:", err)
+			os.Exit(2)
+		default:
+			if *timing {
+				fmt.Fprintf(os.Stderr, "sstalint: typed tier: %d finding(s) in %v\n", len(fds), time.Since(start).Round(time.Millisecond))
+			}
+			findings = append(findings, fds...)
+		}
+	}
+
+	if *jsonOut {
+		diags := make([]diagnostic, 0, len(findings))
+		for _, f := range findings {
+			diags = append(diags, diagnostic{Check: f.Check, Severity: "error", File: f.File, Line: f.Line, Msg: f.Msg})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "sstalint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "sstalint: %d finding(s)\n", len(findings))

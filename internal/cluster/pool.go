@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -438,7 +439,16 @@ func (p *Pool) expireLocked() {
 	now := p.opts.Now()
 	p.mu.Lock()
 	woke := false
-	for id, u := range p.leases {
+	// Sweep in lease-ID order (IDs are a zero-padded sequence, so
+	// lexicographic = grant order): expired units re-enter pending in a
+	// deterministic order, not whatever order the map surfaces them in.
+	ids := make([]string, 0, len(p.leases))
+	for id := range p.leases {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		u := p.leases[id]
 		if now.Before(u.deadline) {
 			continue
 		}

@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -465,13 +466,8 @@ func (q *Queue) List() []Snapshot {
 	for _, j := range q.jobs {
 		out = append(out, snapshotLocked(j))
 	}
-	// Newest first by ID (IDs are a zero-padded sequence; insertion
-	// sort is fine at retention-bounded sizes).
-	for i := 1; i < len(out); i++ {
-		for k := i; k > 0 && out[k].ID > out[k-1].ID; k-- {
-			out[k], out[k-1] = out[k-1], out[k]
-		}
-	}
+	// Newest first by ID (IDs are a zero-padded sequence).
+	sort.Slice(out, func(i, k int) bool { return out[i].ID > out[k].ID })
 	return out
 }
 
@@ -570,11 +566,7 @@ func (q *Queue) gcLocked() {
 	}
 	if n := len(finished) - q.opts.maxFinished(); n > 0 {
 		// Evict the oldest finished jobs (smallest IDs).
-		for i := 1; i < len(finished); i++ {
-			for k := i; k > 0 && finished[k].id < finished[k-1].id; k-- {
-				finished[k], finished[k-1] = finished[k-1], finished[k]
-			}
-		}
+		sort.Slice(finished, func(i, k int) bool { return finished[i].id < finished[k].id })
 		for _, j := range finished[:n] {
 			delete(q.jobs, j.id)
 		}

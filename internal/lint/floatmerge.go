@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatMergeDirs are the worker-pool merge paths: the packages that
+// fold per-shard / per-worker float results back together. Bit-exact
+// shard merges are the system's headline guarantee (cluster results
+// must equal single-node results bit for bit), and float addition does
+// not commute bit-exactly, so merge order here must never depend on
+// scheduling.
+var floatMergeDirs = map[string]bool{
+	"internal/parallel":   true,
+	"internal/montecarlo": true,
+	"internal/cluster":    true,
+	"internal/server":     true,
+}
+
+// floatmerge: a float accumulation whose fold order is decided by the
+// scheduler — channel receive order, goroutine completion order —
+// silently varies in the last bits between runs and worker counts.
+// Flagged shapes:
+//
+//   - `for v := range ch { sum += v }` — ranging a channel;
+//   - `sum += <-ch` — a receive anywhere in the accumulation's value;
+//   - `go func() { ...; sum += v }()` — accumulation into a shared
+//     variable from inside a goroutine (completion order merges, and a
+//     mutex serializes but does not order them).
+//
+// Map-ordered float accumulation is the maporder check's half of this
+// invariant. The deterministic alternative is indexed slots: land each
+// worker's value at its own index, then fold the slice in index order.
+var floatMergeCheck = &TypedCheck{
+	Name:    "floatmerge",
+	Doc:     "no scheduler-ordered float accumulation (channel receives, goroutine completion) in merge paths; fold indexed slots in order",
+	InScope: func(dir string) bool { return floatMergeDirs[dir] },
+	RunPkg: func(p *Pkg) []Finding {
+		var out []Finding
+		for _, f := range p.Files {
+			forEachFuncBody(f.AST, func(body *ast.BlockStmt) {
+				ast.Inspect(body, func(n ast.Node) bool {
+					switch s := n.(type) {
+					case *ast.RangeStmt:
+						if _, isChan := typeUnder(p.Info, s.X).(*types.Chan); !isChan {
+							return true
+						}
+						for _, acc := range chanOrderedAccums(p.Info, s) {
+							out = append(out, f.finding("floatmerge", acc.Pos(),
+								"float accumulation in channel-receive order; receives land in arrival order, not a deterministic one"))
+						}
+					case *ast.AssignStmt:
+						if floatAccumTarget(p.Info, s) != nil && containsReceive(s) {
+							out = append(out, f.finding("floatmerge", s.Pos(),
+								"float accumulation of a channel receive; receive order is scheduling, not data, order"))
+						}
+					case *ast.GoStmt:
+						if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+							for _, acc := range sharedFloatAccums(p.Info, lit) {
+								out = append(out, f.finding("floatmerge", acc.Pos(),
+									"float accumulation into a shared variable from a goroutine; merge order is completion order"))
+							}
+						}
+					}
+					return true
+				})
+			})
+		}
+		return out
+	},
+}
+
+// chanOrderedAccums collects float accumulations (into loop-outer
+// variables) inside a range-over-channel body.
+func chanOrderedAccums(info *types.Info, rng *ast.RangeStmt) []*ast.AssignStmt {
+	var out []*ast.AssignStmt
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if s, ok := n.(*ast.AssignStmt); ok {
+			if obj := floatAccumTarget(info, s); obj != nil && declaredOutside(obj, rng) {
+				out = append(out, s)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// containsReceive reports a `<-ch` anywhere in the statement.
+func containsReceive(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sharedFloatAccums collects float accumulations inside a go-routine
+// literal whose targets are declared outside the literal — the shared-
+// accumulator pattern whose merge order is goroutine completion order.
+func sharedFloatAccums(info *types.Info, lit *ast.FuncLit) []*ast.AssignStmt {
+	var out []*ast.AssignStmt
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		s, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		obj := floatAccumTarget(info, s)
+		if obj == nil {
+			return true
+		}
+		if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+			out = append(out, s)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// goroutinecapture: closures launched with `go` share every captured
+// variable with the spawning goroutine by reference. Since go1.22 loop
+// variables are per-iteration, so the classic `go func() { use(i) }`
+// is safe — what remains dangerous, and what this check flags, is
+// capture of a variable that is *still mutated* across the goroutine
+// boundary:
+//
+//   - the spawner assigns the variable again after the go statement
+//     (the goroutine may read either value — a data race);
+//   - the closure itself writes a variable declared outside the loop
+//     that spawns it (every iteration's goroutine writes the same
+//     location — last write wins, racy).
+//
+// Exemptions, resolved through go/types: channels (sends/receives are
+// synchronization), sync/atomic values (guarded by construction), and
+// closures that take a mutex (method named Lock) before writing — the
+// write is serialized; whether its *order* matters is floatmerge's
+// question, not this one.
+var goroutineCaptureCheck = &TypedCheck{
+	Name: "goroutinecapture",
+	Doc:  "no goroutine capture of variables mutated across the spawn (reassigned after go, or written by every loop iteration's goroutine)",
+	RunPkg: func(p *Pkg) []Finding {
+		var out []Finding
+		for _, f := range p.Files {
+			forEachFuncBody(f.AST, func(body *ast.BlockStmt) {
+				ast.Inspect(body, func(n ast.Node) bool {
+					g, ok := n.(*ast.GoStmt)
+					if !ok {
+						return true
+					}
+					lit, ok := g.Call.Fun.(*ast.FuncLit)
+					if !ok {
+						return true
+					}
+					for _, bad := range capturedRaces(p.Info, body, g, lit) {
+						out = append(out, f.finding("goroutinecapture", g.Pos(), bad))
+					}
+					return true
+				})
+			})
+		}
+		return out
+	},
+}
+
+// capturedRaces returns one message per captured variable the goroutine
+// races on.
+func capturedRaces(info *types.Info, enclosing *ast.BlockStmt, g *ast.GoStmt, lit *ast.FuncLit) []string {
+	var msgs []string
+	seen := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		v, isVar := obj.(*types.Var)
+		if !isVar || v.IsField() || seen[v] {
+			return true
+		}
+		if v.Parent() == nil || v.Parent().Parent() == types.Universe {
+			return true // package-level state is stdoutprint/globalrand territory
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true // the closure's own params and locals
+		}
+		if isSyncSafe(v.Type()) {
+			return true
+		}
+		seen[v] = true
+		switch {
+		case assignedAfter(info, enclosing, g, v):
+			msgs = append(msgs, fmt.Sprintf(
+				"goroutine captures %q, which is reassigned after the go statement — the goroutine may observe either value", v.Name()))
+		case writesCaptured(info, lit, v) && declaredOutsideSpawningLoop(enclosing, g, v) && !locksBeforeUse(info, lit):
+			msgs = append(msgs, fmt.Sprintf(
+				"every iteration's goroutine writes the shared %q without a guard — last write wins", v.Name()))
+		}
+		return true
+	})
+	return msgs
+}
+
+// isSyncSafe reports types whose cross-goroutine use is synchronization
+// by design: channels, sync.* primitives, and sync/atomic values
+// (including pointers to them, the usual way they are captured).
+func isSyncSafe(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() {
+	case "sync", "sync/atomic":
+		return true
+	}
+	return false
+}
+
+// assignedAfter reports an assignment (or ++/--) to v positioned after
+// the go statement in the enclosing body, outside the closure itself.
+func assignedAfter(info *types.Info, enclosing *ast.BlockStmt, g *ast.GoStmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		if n.Pos() >= g.Pos() && n.End() <= g.End() {
+			return false // skip the go statement (and the closure) itself
+		}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Pos() < g.End() {
+				return true
+			}
+			for _, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && info.ObjectOf(id) == v {
+					found = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if s.Pos() < g.End() {
+				return true
+			}
+			if id, ok := s.X.(*ast.Ident); ok && info.ObjectOf(id) == v {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// writesCaptured reports an assignment (or ++/--) to v inside the
+// closure body.
+func writesCaptured(info *types.Info, lit *ast.FuncLit, v *types.Var) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && info.ObjectOf(id) == v {
+					found = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := s.X.(*ast.Ident); ok && info.ObjectOf(id) == v {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// declaredOutsideSpawningLoop reports whether the go statement sits
+// inside a for/range loop (within enclosing) that does NOT contain v's
+// declaration — i.e. every iteration's goroutine shares one v.
+func declaredOutsideSpawningLoop(enclosing *ast.BlockStmt, g *ast.GoStmt, v *types.Var) bool {
+	result := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			body = l.Body
+		case *ast.RangeStmt:
+			body = l.Body
+		default:
+			return true
+		}
+		if g.Pos() >= body.Pos() && g.End() <= body.End() {
+			// v declared before the loop (or after it) => shared across
+			// iterations. The loop's own per-iteration variables have
+			// positions inside [n.Pos(), body.End()].
+			if v.Pos() < n.Pos() || v.Pos() > n.End() {
+				result = true
+			}
+		}
+		return true
+	}
+	ast.Inspect(enclosing, walk)
+	return result
+}
+
+// locksBeforeUse reports whether the closure calls a Lock method — the
+// conventional sign that its shared writes are mutex-guarded. (Guarded
+// writes are serialized; deterministic *ordering* of float folds is
+// floatmerge's concern.)
+func locksBeforeUse(info *types.Info, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -196,10 +196,7 @@ func (s ignoreSet) covers(check string, line int) bool {
 func parseIgnores(f *File) (ignoreSet, []Finding) {
 	set := make(ignoreSet)
 	var bad []Finding
-	known := make(map[string]bool)
-	for _, c := range Checks() {
-		known[c.Name] = true
-	}
+	known := allCheckNames()
 	for _, cg := range f.AST.Comments {
 		for _, c := range cg.List {
 			text, ok := strings.CutPrefix(c.Text, "//lint:ignore")

@@ -1,0 +1,285 @@
+package lint
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ErrNotAModule reports that the lint root has no go.mod, so the typed
+// tier cannot resolve intra-module imports. Callers degrade gracefully:
+// cmd/sstalint skips the typed tier with a notice instead of failing.
+var ErrNotAModule = errors.New("lint: root is not a Go module (no go.mod)")
+
+// TypeCheckError wraps type-checking failures so callers can tell a
+// broken tree (user error, exit 2 with the compiler's message) from an
+// analyzer bug.
+type TypeCheckError struct {
+	Pkg  string // import path of the failing package
+	Errs []error
+}
+
+func (e *TypeCheckError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "lint: type-checking %s failed:", e.Pkg)
+	for i, err := range e.Errs {
+		if i == 8 {
+			fmt.Fprintf(&b, "\n\t... and %d more", len(e.Errs)-i)
+			break
+		}
+		fmt.Fprintf(&b, "\n\t%v", err)
+	}
+	return b.String()
+}
+
+// Module is one fully type-checked Go module, the input to the typed
+// checks. Pkgs is in deterministic dependency order (imports first,
+// ties broken by import path).
+type Module struct {
+	Root string // filesystem root (the directory holding go.mod)
+	Path string // module path from go.mod
+	Fset *token.FileSet
+	Pkgs []*Pkg
+}
+
+// Pkg is one type-checked package of a Module.
+type Pkg struct {
+	Dir   string // module-relative directory, "" for the root package
+	Path  string // import path
+	Files []*File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Lookup returns the module package with the given module-relative
+// directory, or nil.
+func (m *Module) Lookup(dir string) *Pkg {
+	for _, p := range m.Pkgs {
+		if p.Dir == dir {
+			return p
+		}
+	}
+	return nil
+}
+
+// LoadModule parses and type-checks every non-test package under root
+// with nothing but the standard library: module-internal imports
+// resolve against the parsed tree itself (checked in dependency order)
+// and everything else goes through go/importer's source importer, so
+// the loader needs no build cache, no network, and no external driver.
+// Directories named testdata or vendor, and those starting with "." or
+// "_", are skipped, matching Run.
+func LoadModule(root string) (*Module, error) {
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	pkgs, err := parseTree(root, modPath, fset)
+	if err != nil {
+		return nil, err
+	}
+	ordered, err := sortByImports(pkgs, modPath)
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Root: root, Path: modPath, Fset: fset, Pkgs: ordered}
+
+	// One shared source importer: it memoizes the std packages it
+	// type-checks, so the cost is paid once per process, not per package.
+	std := importer.ForCompiler(fset, "source", nil)
+	done := make(map[string]*types.Package, len(ordered))
+	for _, p := range ordered {
+		if err := typeCheck(p, fset, &moduleImporter{std: std, done: done}); err != nil {
+			return nil, err
+		}
+		done[p.Path] = p.Types
+	}
+	return m, nil
+}
+
+// modulePath reads the module directive from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return "", ErrNotAModule
+	}
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module"); ok {
+			if p := strings.TrimSpace(rest); p != "" {
+				return strings.Trim(p, `"`), nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: %s/go.mod has no module directive", root)
+}
+
+// parseTree parses every non-test .go file under root into per-directory
+// packages, keyed and named like Run's walk.
+func parseTree(root, modPath string, fset *token.FileSet) (map[string]*Pkg, error) {
+	pkgs := make(map[string]*Pkg)
+	walkErr := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path == root {
+				return nil
+			}
+			if name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		astf, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("lint: parse %s: %v", rel, err)
+		}
+		dir := ""
+		if i := strings.LastIndex(rel, "/"); i >= 0 {
+			dir = rel[:i]
+		}
+		p := pkgs[dir]
+		if p == nil {
+			ipath := modPath
+			if dir != "" {
+				ipath = modPath + "/" + dir
+			}
+			p = &Pkg{Dir: dir, Path: ipath}
+			pkgs[dir] = p
+		}
+		p.Files = append(p.Files, &File{Rel: rel, Dir: dir, Fset: fset, AST: astf})
+		return nil
+	})
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	for _, p := range pkgs {
+		sort.Slice(p.Files, func(i, j int) bool { return p.Files[i].Rel < p.Files[j].Rel })
+	}
+	return pkgs, nil
+}
+
+// sortByImports orders packages dependencies-first (DFS over the
+// module-internal import graph, children visited in sorted path order),
+// so each package type-checks after everything it imports.
+func sortByImports(pkgs map[string]*Pkg, modPath string) ([]*Pkg, error) {
+	byPath := make(map[string]*Pkg, len(pkgs))
+	paths := make([]string, 0, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+		paths = append(paths, p.Path)
+	}
+	sort.Strings(paths)
+
+	const (
+		unvisited = 0
+		visiting  = 1
+		doneMark  = 2
+	)
+	state := make(map[string]int, len(pkgs))
+	var ordered []*Pkg
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case doneMark:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle through %s", path)
+		}
+		state[path] = visiting
+		p := byPath[path]
+		deps := make([]string, 0, 8)
+		for _, f := range p.Files {
+			for _, imp := range f.AST.Imports {
+				ipath := strings.Trim(imp.Path.Value, `"`)
+				if ipath == modPath || strings.HasPrefix(ipath, modPath+"/") {
+					deps = append(deps, ipath)
+				}
+			}
+		}
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if byPath[dep] == nil {
+				return fmt.Errorf("lint: %s imports %s, which is not under the lint root", path, dep)
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = doneMark
+		ordered = append(ordered, p)
+		return nil
+	}
+	for _, path := range paths {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return ordered, nil
+}
+
+// moduleImporter resolves module-internal imports from the packages
+// already checked this load, and defers everything else to the source
+// importer.
+type moduleImporter struct {
+	std  types.Importer
+	done map[string]*types.Package
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := mi.done[path]; ok {
+		return p, nil
+	}
+	return mi.std.Import(path)
+}
+
+// typeCheck runs go/types over one parsed package, filling p.Types and
+// p.Info. Errors are collected (not fail-fast) so the report names every
+// problem in the package at once.
+func typeCheck(p *Pkg, fset *token.FileSet, imp types.Importer) error {
+	var errs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	files := make([]*ast.File, len(p.Files))
+	for i, f := range p.Files {
+		files[i] = f.AST
+	}
+	tpkg, _ := conf.Check(p.Path, fset, files, info)
+	if len(errs) > 0 {
+		return &TypeCheckError{Pkg: p.Path, Errs: errs}
+	}
+	p.Types, p.Info = tpkg, info
+	return nil
+}

@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// maporder: Go randomizes map iteration order, so ranging over a map
+// is only deterministic when the loop body's effects are order-
+// insensitive (map writes, deletes, integer counting). The check is
+// type-resolved: the range operand must actually be a map, and an
+// accumulation only counts as order-sensitive when its target really is
+// a float. Order-sensitive effects:
+//
+//   - appending to a slice declared outside the loop (element order
+//     becomes map order) — unless the slice is sorted after the loop in
+//     the same function, which is exactly the sorted-keys idiom;
+//   - accumulating into a float declared outside the loop (float
+//     addition does not commute bit-exactly);
+//   - emitting output (fmt.Fprint*/Print* or Write*/Encode methods);
+//   - sending on a channel.
+//
+// The fix is the sorted-keys idiom (collect keys, sort, range the
+// slice) or a reasoned //lint:ignore for genuinely order-free bodies.
+var mapOrderCheck = &TypedCheck{
+	Name: "maporder",
+	Doc:  "no order-sensitive work (append/float-accumulate/output/send) inside map iteration; sort the keys first",
+	RunPkg: func(p *Pkg) []Finding {
+		var out []Finding
+		for _, f := range p.Files {
+			forEachFuncBody(f.AST, func(body *ast.BlockStmt) {
+				ast.Inspect(body, func(n ast.Node) bool {
+					rng, ok := n.(*ast.RangeStmt)
+					if !ok {
+						return true
+					}
+					if _, isMap := typeUnder(p.Info, rng.X).(*types.Map); !isMap {
+						return true
+					}
+					if why := mapRangeOrderSensitive(p, body, rng); why != "" {
+						out = append(out, f.finding("maporder", rng.Pos(), fmt.Sprintf(
+							"map iteration order is random but the body %s; range sorted keys instead", why)))
+					}
+					return true
+				})
+			})
+		}
+		return out
+	},
+}
+
+// forEachFuncBody visits the body of every function declaration in the
+// file. Nested function literals are reached through the enclosing
+// body's traversal, so callbacks see each body exactly once as a root.
+func forEachFuncBody(f *ast.File, visit func(body *ast.BlockStmt)) {
+	for _, decl := range f.Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+			visit(fn.Body)
+		}
+	}
+}
+
+// typeUnder resolves an expression's type with named types and aliases
+// unwrapped to their underlying form ("" safe: nil for untyped nodes).
+func typeUnder(info *types.Info, e ast.Expr) types.Type {
+	t := info.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+// mapRangeOrderSensitive classifies the loop body's effects; it returns
+// a human-readable reason when iteration order leaks into results, or
+// "" when the body is order-insensitive (or saved by the sorted-keys
+// idiom).
+func mapRangeOrderSensitive(p *Pkg, enclosing *ast.BlockStmt, rng *ast.RangeStmt) string {
+	var appended []types.Object // outer slices appended to, pending the sort exemption
+	reason := ""
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			reason = "sends on a channel"
+		case *ast.AssignStmt:
+			if obj := appendTarget(p.Info, s); obj != nil && declaredOutside(obj, rng) {
+				appended = append(appended, obj)
+			}
+			if obj := floatAccumTarget(p.Info, s); obj != nil && declaredOutside(obj, rng) {
+				reason = "accumulates a float"
+			}
+		case *ast.CallExpr:
+			if isOutputCall(p.Info, s) {
+				reason = "emits output"
+			}
+		}
+		return true
+	})
+	if reason != "" {
+		return reason
+	}
+	if len(appended) == 0 {
+		return ""
+	}
+	for _, obj := range appended {
+		if !sortedAfter(p.Info, enclosing, rng, obj) {
+			return "appends to a slice that is never sorted afterwards"
+		}
+	}
+	return ""
+}
+
+// declaredOutside reports whether obj's declaration lies outside the
+// range statement — i.e. the variable survives the loop, so per-
+// iteration effects on it are observable in map order.
+func declaredOutside(obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+// refObject resolves the variable (or struct field) an lvalue names:
+// plain identifiers and selector expressions like p.pending. Field
+// resolution is per declaration, not per instance — good enough for a
+// linter.
+func refObject(info *types.Info, e ast.Expr) types.Object {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return info.ObjectOf(x)
+	case *ast.SelectorExpr:
+		return info.ObjectOf(x.Sel)
+	}
+	return nil
+}
+
+// appendTarget returns the object of v in `v = append(v, ...)` (any
+// assign token, identifier or field target), or nil.
+func appendTarget(info *types.Info, s *ast.AssignStmt) types.Object {
+	for i, rhs := range s.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "append" {
+			continue
+		}
+		if obj := info.Uses[id]; obj != nil && obj.Pkg() != nil {
+			continue // a local function shadowing the builtin
+		}
+		if i >= len(s.Lhs) {
+			continue
+		}
+		if obj := refObject(info, s.Lhs[i]); obj != nil {
+			return obj
+		}
+	}
+	return nil
+}
+
+// floatAccumTarget returns the accumulated variable when the statement
+// folds a float into an identifier: `x += v` / `x -= v` / `x *= v` /
+// `x /= v`, or the spelled-out `x = x + v` form. nil otherwise.
+func floatAccumTarget(info *types.Info, s *ast.AssignStmt) types.Object {
+	if len(s.Lhs) != 1 {
+		return nil
+	}
+	obj := refObject(info, s.Lhs[0])
+	if obj == nil || !isFloat(info.TypeOf(s.Lhs[0])) {
+		return nil
+	}
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return obj
+	case token.ASSIGN:
+		if bin, ok := s.Rhs[0].(*ast.BinaryExpr); ok {
+			if x := refObject(info, bin.X); x != nil && x == obj {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isOutputCall reports calls that externalize data in call order:
+// fmt.Fprint*/Print* (type-resolved to package fmt) and methods whose
+// name starts with Write, Print or Encode (io.Writer implementations,
+// json.Encoder, and friends).
+func isOutputCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	if obj := info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		return strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Print")
+	}
+	if info.Selections[sel] == nil {
+		return false // package-qualified non-fmt call, not a method
+	}
+	return strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "Print") ||
+		strings.HasPrefix(name, "Encode")
+}
+
+// sortedAfter reports whether obj is passed to a sort.*/slices.Sort*
+// call after the range statement inside the enclosing function body —
+// the back half of the sorted-keys idiom.
+func sortedAfter(info *types.Info, enclosing *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn := info.Uses[sel.Sel]
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		if arg := refObject(info, call.Args[0]); arg != nil && arg == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,22 @@
+// Package broken deliberately fails go/types: the typed-tier tests pin
+// that loading it surfaces a *TypeCheckError naming this package.
+package broken
+
+func Mismatch() int {
+	var s string = 42
+	return s
+}
+
+// ManyMismatches pushes the error count past the TypeCheckError
+// truncation threshold (8 shown, the rest summarized).
+func ManyMismatches() {
+	var a string = 1
+	var b string = 2
+	var c string = 3
+	var d string = 4
+	var e string = 5
+	var f string = 6
+	var g string = 7
+	var h string = 8
+	var i string = 9
+}

@@ -1,0 +1,39 @@
+// Package client is a seeded-violation fixture for the wirecontract
+// check: tag completeness and duplicate json names, plus the reference
+// copy of the StatusBody mirror (typedfix/client sorts before
+// typedfix/internal/cluster, so drift findings attach to the cluster
+// copy).
+package client
+
+// JobMeta is a wire struct (one field is json-tagged), so every
+// exported field needs a tag and json names must be unique.
+type JobMeta struct {
+	ID      string `json:"id"`
+	State   string // want wirecontract (untagged exported field)
+	Attempt int    `json:"id"` // want wirecontract (duplicate json name)
+	hidden  int    // unexported fields stay off the wire untagged
+	meta    string `xml:"m"` // a non-json tag is still "untagged" for json
+}
+
+// StatusBody is the reference mirror copy; clean on its own.
+type StatusBody struct {
+	Code  int     `json:"code"`
+	Ratio float64 `json:"ratio"`
+	Note  string  `json:"note"`
+}
+
+// PageInfo is the reference copy of a second mirror pair; the cluster
+// copy renames the field.
+type PageInfo struct {
+	Offset int `json:"offset"`
+}
+
+// GoodReport is fully tagged (explicit "-" counts as a decision) and
+// must stay silent.
+type GoodReport struct {
+	Name string `json:"name"`
+	N    int    `json:"n,omitempty"`
+	Skip string `json:"-"`
+}
+
+func use() { _ = JobMeta{}.hidden }

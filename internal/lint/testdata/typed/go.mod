@@ -1,0 +1,3 @@
+module typedfix
+
+go 1.22

@@ -1,0 +1,119 @@
+// Package cluster is a seeded-violation fixture for the typed lint
+// self-test (maporder and floatmerge). Unlike the parse-tier fixtures
+// this tree must type-check: the loader runs go/types over it.
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// BadKeys returns shard IDs in map order; the slice is never sorted.
+func BadKeys(shards map[string][]float64) []string {
+	var ids []string
+	for id := range shards { // want maporder (append, never sorted)
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// BadTotal folds shard weights in map order.
+func BadTotal(weights map[string]float64) float64 {
+	total := 0.0
+	for _, w := range weights { // want maporder (float accumulation)
+		total += w
+	}
+	return total
+}
+
+// BadTotalSpelled is the spelled-out accumulation form.
+func BadTotalSpelled(weights map[string]float64) float64 {
+	total := 0.0
+	for _, w := range weights { // want maporder (x = x + v form)
+		total = total + w
+	}
+	return total
+}
+
+// BadDump writes lines in map order.
+func BadDump(w io.Writer, weights map[string]float64) {
+	for id, v := range weights { // want maporder (emits output)
+		fmt.Fprintf(w, "%s %g\n", id, v)
+	}
+}
+
+// GoodKeys is the sorted-keys idiom — append, then sort — and must stay
+// silent.
+func GoodKeys(shards map[string][]float64) []string {
+	ids := make([]string, 0, len(shards))
+	for id := range shards {
+		ids = append(ids, id)
+	}
+	noop()
+	_ = strings.Join(ids, ",")
+	sort.Strings(ids)
+	return ids
+}
+
+func noop() {}
+
+// GoodLocalAppend shadows the append builtin; the check must not
+// mistake the local helper for the builtin and stays silent.
+func GoodLocalAppend(weights map[string]float64) []float64 {
+	append := func(s []float64, _ float64) []float64 { return s }
+	var out []float64
+	for _, w := range weights {
+		out = append(out, w)
+	}
+	noop()
+	sort.Float64s(out)
+	return out
+}
+
+// GoodCount counts entries; integer counting is order-insensitive.
+func GoodCount(weights map[string]float64) int {
+	n := 0
+	for range weights {
+		n++
+	}
+	return n
+}
+
+// SuppressedTotal proves the //lint:ignore escape hatch reaches the
+// typed tier.
+func SuppressedTotal(weights map[string]float64) float64 {
+	total := 0.0
+	//lint:ignore maporder fixture proving the typed escape hatch
+	for _, w := range weights {
+		total += w
+	}
+	return total
+}
+
+// BadChanFold folds channel receives in arrival order.
+func BadChanFold(ch chan float64) float64 {
+	sum := 0.0
+	for v := range ch {
+		sum += v // want floatmerge (channel-receive order)
+	}
+	return sum
+}
+
+// BadRecvFold accumulates a receive directly.
+func BadRecvFold(ch chan float64) float64 {
+	sum := 0.0
+	sum += <-ch // want floatmerge (receive in the accumulation)
+	return sum
+}
+
+// GoodIndexedFold folds per-worker slots in index order — the
+// deterministic merge this package's checks steer toward; silent.
+func GoodIndexedFold(slots []float64) float64 {
+	sum := 0.0
+	for _, v := range slots {
+		sum += v
+	}
+	return sum
+}

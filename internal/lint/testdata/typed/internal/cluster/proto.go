@@ -1,0 +1,33 @@
+package cluster
+
+import "encoding/json"
+
+// ShardResult never earned a json tag, so tag completeness cannot see
+// it; marshal reachability catches it because it crosses
+// json.Unmarshal below.
+type ShardResult struct {
+	Samples []float64 // want wirecontract (marshal-reachable, untagged)
+}
+
+// Envelope is marshalled and fully tagged; Inner is reachable through
+// its exported field.
+type Envelope struct {
+	Inner Inner            `json:"inner"`
+	Grid  map[string]Inner `json:"grid"`
+	Pair  [2]Inner         `json:"pair"`
+}
+
+// Inner is pulled into the wire closure by Envelope.
+type Inner struct {
+	Value float64 // want wirecontract (reachable through Envelope)
+}
+
+// Decode and Encode are the static encoding/json crossings that seed
+// the reachability rule.
+func Decode(raw []byte) (ShardResult, error) {
+	var s ShardResult
+	err := json.Unmarshal(raw, &s)
+	return s, err
+}
+
+func Encode(e Envelope) ([]byte, error) { return json.Marshal(e) }

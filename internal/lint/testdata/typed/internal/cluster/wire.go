@@ -1,0 +1,14 @@
+package cluster
+
+// StatusBody drifts from the typedfix/client mirror three ways: a tag
+// divergence, a type divergence, and a missing field.
+type StatusBody struct {
+	Code  int     `json:"status_code"` // want wirecontract (tag drift)
+	Ratio float32 `json:"ratio"`       // want wirecontract (type drift)
+	// Note is absent // want wirecontract (field-count drift, on the struct)
+}
+
+// PageInfo renames the mirrored field (same tag, different Go name).
+type PageInfo struct {
+	Start int `json:"offset"` // want wirecontract (field-name drift)
+}

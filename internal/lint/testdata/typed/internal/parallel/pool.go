@@ -1,0 +1,131 @@
+// Package parallel is a seeded-violation fixture for the typed lint
+// self-test (floatmerge and goroutinecapture).
+package parallel
+
+import "sync"
+
+// BadMutexFold folds into a shared float under a mutex: the writes are
+// serialized but still land in completion order, so floatmerge fires.
+// goroutinecapture must stay quiet — the closure takes the lock.
+func BadMutexFold(vals []float64) float64 {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sum := 0.0
+	for _, v := range vals {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			sum += v // want floatmerge (completion-order merge)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return sum
+}
+
+// BadReassign reassigns a captured variable after the go statement; the
+// goroutine may observe either value.
+func BadReassign(run func(int)) {
+	n := 4
+	go func() { // want goroutinecapture (reassigned after go)
+		run(n)
+	}()
+	n = 8
+	run(n)
+}
+
+// BadLastWriteWins has every iteration's goroutine write one shared
+// variable without a guard.
+func BadLastWriteWins(tasks []int) int {
+	last := 0
+	var wg sync.WaitGroup
+	for _, t := range tasks {
+		wg.Add(1)
+		go func() { // want goroutinecapture (shared write, no guard)
+			defer wg.Done()
+			last = t
+		}()
+	}
+	wg.Wait()
+	return last
+}
+
+// BadCounter has every iteration's goroutine bump one shared counter.
+func BadCounter(tasks []int) int {
+	count := 0
+	var wg sync.WaitGroup
+	for range tasks {
+		wg.Add(1)
+		go func() { // want goroutinecapture (shared ++ without a guard)
+			defer wg.Done()
+			count++
+		}()
+	}
+	wg.Wait()
+	return count
+}
+
+// BadClassicFor spawns from a classic for loop (not a range): the
+// shared write is just as racy there.
+func BadClassicFor(n int) int {
+	last := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // want goroutinecapture (shared write from for loop)
+			defer wg.Done()
+			last = i
+		}()
+	}
+	wg.Wait()
+	return last
+}
+
+// BadIncAfter increments a captured variable after the go statement.
+func BadIncAfter(run func(int)) {
+	n := 4
+	go func() { // want goroutinecapture (mutated after go via ++)
+		run(n)
+	}()
+	n++
+	run(n)
+}
+
+// GoodSlotWrites hands each goroutine its own index: element writes to
+// disjoint slots are the blessed pattern, and since go1.22 the loop
+// variables are per-iteration — silent on both counts.
+func GoodSlotWrites(vals []float64) []float64 {
+	out := make([]float64, len(vals))
+	var wg sync.WaitGroup
+	for i, v := range vals {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = v * 2
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// GoodChannelFanIn collects worker results over a channel (sends and
+// receives synchronize) and the collector lands them in indexed slots.
+func GoodChannelFanIn(vals []float64) []float64 {
+	type slot struct {
+		i int
+		v float64
+	}
+	ch := make(chan slot, len(vals))
+	for i, v := range vals {
+		go func() {
+			ch <- slot{i, v * 2}
+		}()
+	}
+	out := make([]float64, len(vals))
+	for range vals {
+		s := <-ch
+		out[s.i] = s.v
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+// This file is the type-aware tier of the linter: where the parse tier
+// (lint.go) sees one file's syntax at a time, this tier type-checks the
+// whole module once (loader.go) and runs checks that need go/types —
+// "is this a map being ranged", "is this accumulation a float", "do
+// these two wire structs agree field for field". Both tiers share the
+// check-name registry, the //lint:ignore escape hatch, and the fixture
+// conventions.
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TypedCheck is one named type-aware analyzer. Exactly one of RunPkg
+// (per-package checks) or RunMod (whole-module checks, e.g. cross-
+// package wire-contract comparison) is set. InScope, when non-nil,
+// restricts RunPkg to matching package directories.
+type TypedCheck struct {
+	Name    string
+	Doc     string
+	InScope func(dir string) bool
+	RunPkg  func(p *Pkg) []Finding
+	RunMod  func(m *Module) []Finding
+}
+
+// TypedChecks returns all registered typed checks, in reporting order.
+func TypedChecks() []*TypedCheck {
+	return []*TypedCheck{mapOrderCheck, floatMergeCheck, goroutineCaptureCheck, wireContractCheck}
+}
+
+// TypedCheckNames returns the names of all registered typed checks.
+func TypedCheckNames() []string {
+	cs := TypedChecks()
+	names := make([]string, len(cs))
+	for i, c := range cs {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// allCheckNames is every known check name, parse tier plus typed tier —
+// the vocabulary //lint:ignore directives are validated against.
+func allCheckNames() map[string]bool {
+	known := make(map[string]bool)
+	for _, c := range Checks() {
+		known[c.Name] = true
+	}
+	for _, c := range TypedChecks() {
+		known[c.Name] = true
+	}
+	return known
+}
+
+// SplitCheckNames partitions a user-supplied check selection into the
+// parse-tier and typed-tier subsets, rejecting unknown names.
+func SplitCheckNames(names []string) (parseNames, typedNames []string, err error) {
+	parseKnown := make(map[string]bool)
+	for _, c := range Checks() {
+		parseKnown[c.Name] = true
+	}
+	typedKnown := make(map[string]bool)
+	for _, c := range TypedChecks() {
+		typedKnown[c.Name] = true
+	}
+	for _, n := range names {
+		switch {
+		case parseKnown[n]:
+			parseNames = append(parseNames, n)
+		case typedKnown[n]:
+			typedNames = append(typedNames, n)
+		default:
+			return nil, nil, fmt.Errorf("lint: unknown check %q (have %s)",
+				n, strings.Join(append(CheckNames(), TypedCheckNames()...), ", "))
+		}
+	}
+	return parseNames, typedNames, nil
+}
+
+// RunTyped type-checks the module rooted at root and runs the named
+// typed checks (all when names is empty), honoring //lint:ignore
+// suppressions. Findings are sorted by file, line, then check.
+//
+// Directive hygiene (the lintignore pseudo-check) is owned by the parse
+// tier's Run: RunTyped consumes directives but never reports them, so
+// running both tiers over one tree yields each hygiene finding once.
+//
+// Roots without a go.mod return ErrNotAModule; trees that fail to
+// type-check return a *TypeCheckError naming every error in the failing
+// package.
+func RunTyped(root string, names []string) ([]Finding, error) {
+	checks, err := selectTypedChecks(names)
+	if err != nil {
+		return nil, err
+	}
+	m, err := LoadModule(root)
+	if err != nil {
+		return nil, err
+	}
+	return runTypedModule(m, checks), nil
+}
+
+func selectTypedChecks(names []string) ([]*TypedCheck, error) {
+	all := TypedChecks()
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]*TypedCheck, len(all))
+	for _, c := range all {
+		byName[c.Name] = c
+	}
+	var out []*TypedCheck
+	for _, n := range names {
+		c, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown typed check %q (have %s)", n, strings.Join(TypedCheckNames(), ", "))
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func runTypedModule(m *Module, checks []*TypedCheck) []Finding {
+	// Suppression sets per file, collected once for the whole module.
+	ignores := make(map[string]ignoreSet)
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			set, _ := parseIgnores(f) // hygiene findings belong to Run
+			ignores[f.Rel] = set
+		}
+	}
+	var findings []Finding
+	keep := func(fds []Finding) {
+		for _, fd := range fds {
+			if !ignores[fd.File].covers(fd.Check, fd.Line) {
+				findings = append(findings, fd)
+			}
+		}
+	}
+	for _, c := range checks {
+		if c.RunMod != nil {
+			keep(c.RunMod(m))
+			continue
+		}
+		for _, p := range m.Pkgs {
+			if c.InScope != nil && !c.InScope(p.Dir) {
+				continue
+			}
+			keep(c.RunPkg(p))
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Check < b.Check
+	})
+	return findings
+}

@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const typedfix = "testdata/typed"
+
+func runTypedSelftest(t *testing.T, checks []string) map[key]int {
+	t.Helper()
+	findings, err := RunTyped(typedfix, checks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[key]int)
+	for _, f := range findings {
+		got[key{filepath.ToSlash(f.File), f.Check}]++
+	}
+	return got
+}
+
+// TestTypedSelftestFindings pins the exact finding multiset the seeded
+// typedfix module must produce: every planted violation is reported,
+// every compliant twin (sorted-keys idiom, indexed slots, parameter
+// passing, fully-tagged structs) stays silent, and the escape hatch
+// suppresses exactly one map range.
+func TestTypedSelftestFindings(t *testing.T) {
+	got := runTypedSelftest(t, nil)
+	want := map[key]int{
+		{"internal/cluster/merge.go", "maporder"}:         4, // BadKeys, BadTotal, BadTotalSpelled, BadDump; Good*/Suppressed silent
+		{"internal/cluster/merge.go", "floatmerge"}:       2, // BadChanFold, BadRecvFold
+		{"internal/parallel/pool.go", "floatmerge"}:       1, // BadMutexFold (mutex serializes, completion order remains)
+		{"internal/parallel/pool.go", "goroutinecapture"}: 5, // BadReassign, BadLastWriteWins, BadCounter, BadClassicFor, BadIncAfter
+		{"client/wire.go", "wirecontract"}:                2, // JobMeta: untagged field + duplicate json name
+		{"internal/cluster/wire.go", "wirecontract"}:      4, // StatusBody: tag/type/field-count drift; PageInfo: name drift
+		{"internal/cluster/proto.go", "wirecontract"}:     2, // ShardResult.Samples + Inner.Value (marshal reachability)
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("%s %s: got %d findings, want %d", k.file, k.check, got[k], n)
+		}
+	}
+	for k, n := range got {
+		if want[k] == 0 {
+			t.Errorf("unexpected findings: %s %s x%d", k.file, k.check, n)
+		}
+	}
+}
+
+// TestTypedSuppression proves the //lint:ignore escape hatch reaches
+// the typed tier: SuppressedTotal's map-ordered float fold is absent
+// while its unsuppressed twin BadTotal is present.
+func TestTypedSuppression(t *testing.T) {
+	findings, err := RunTyped(typedfix, []string{"maporder"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, f := range findings {
+		if f.Check != "maporder" {
+			t.Errorf("check filter leaked: %v", f)
+		}
+		if strings.HasSuffix(f.File, "cluster/merge.go") {
+			n++
+		}
+	}
+	if n != 4 {
+		t.Errorf("cluster/merge.go: got %d maporder findings, want 4 (suppression failed?)", n)
+	}
+}
+
+// TestTypedUnknownCheckRejected mirrors the parse tier's guard.
+func TestTypedUnknownCheckRejected(t *testing.T) {
+	if _, err := RunTyped(typedfix, []string{"nosuchcheck"}); err == nil {
+		t.Fatal("RunTyped accepted an unknown check name")
+	}
+}
+
+// TestTypedNotAModule pins the degradation contract: a root without a
+// go.mod reports ErrNotAModule so callers (cmd/sstalint) can skip the
+// typed tier with a notice instead of failing the parse tier too.
+func TestTypedNotAModule(t *testing.T) {
+	_, err := RunTyped("testdata/selftest/internal/engine", nil)
+	if !errors.Is(err, ErrNotAModule) {
+		t.Fatalf("got %v, want ErrNotAModule", err)
+	}
+}
+
+// TestTypedBrokenModule pins the TypeCheckError contract: a module that
+// fails go/types must surface a *TypeCheckError naming the package, so
+// cmd/sstalint can say "fix the build before linting" instead of
+// reporting half-typed nonsense.
+func TestTypedBrokenModule(t *testing.T) {
+	_, err := RunTyped("testdata/broken", nil)
+	var tce *TypeCheckError
+	if !errors.As(err, &tce) {
+		t.Fatalf("got %v, want *TypeCheckError", err)
+	}
+	if !strings.Contains(err.Error(), "broken") {
+		t.Errorf("TypeCheckError does not name the failing package: %v", err)
+	}
+	// The fixture holds well over 8 type errors; the message must cap
+	// the list and summarize the remainder instead of dumping them all.
+	if !strings.Contains(err.Error(), "more") {
+		t.Errorf("TypeCheckError does not truncate long error lists: %v", err)
+	}
+}
+
+// TestRunParseError pins the parse tier's error contract on a file that
+// does not even parse.
+func TestRunParseError(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte("package x\nfunc {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(dir, nil); err == nil {
+		t.Fatal("Run accepted an unparseable file")
+	}
+	if _, err := RunTyped(dir, nil); !errors.Is(err, ErrNotAModule) {
+		t.Fatalf("RunTyped without go.mod: got %v, want ErrNotAModule", err)
+	}
+}
+
+// TestLoadModuleBadGoMod pins the loader's error on a go.mod with no
+// module directive.
+func TestLoadModuleBadGoMod(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("go 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte("package a\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModule(dir); err == nil {
+		t.Fatal("LoadModule accepted a go.mod without a module directive")
+	}
+}
+
+// TestSplitCheckNames partitions mixed selections and rejects unknowns.
+func TestSplitCheckNames(t *testing.T) {
+	parse, typed, err := SplitCheckNames([]string{"globalrand", "maporder", "wirecontract", "ctxloop"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(parse, ",") != "globalrand,ctxloop" {
+		t.Errorf("parse names: %v", parse)
+	}
+	if strings.Join(typed, ",") != "maporder,wirecontract" {
+		t.Errorf("typed names: %v", typed)
+	}
+	if _, _, err := SplitCheckNames([]string{"nosuchcheck"}); err == nil {
+		t.Fatal("SplitCheckNames accepted an unknown name")
+	}
+}
+
+// TestTypedRepoIsClean is the typed-tier enforcement test: the real
+// module must type-check and lint clean. A regression here means new
+// code ranges a map order-sensitively, folds floats in scheduler order,
+// races on a goroutine capture, or drifted a JSON wire struct.
+func TestTypedRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typed tier loads and type-checks the whole module")
+	}
+	findings, err := RunTyped("../..", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		var b strings.Builder
+		for _, f := range findings {
+			b.WriteString(f.String())
+			b.WriteByte('\n')
+		}
+		t.Fatalf("module has %d typed lint findings:\n%s", len(findings), b.String())
+	}
+}
+
+// TestTypedFindingOrder pins deterministic output across repeated runs
+// of the typed tier: findings sort by file, line, check, and two loads
+// of the same tree agree exactly.
+func TestTypedFindingOrder(t *testing.T) {
+	first, err := RunTyped(typedfix, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(first); i++ {
+		a, b := first[i-1], first[i]
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
+			t.Fatalf("findings out of order: %v before %v", a, b)
+		}
+	}
+	second, err := RunTyped(typedfix, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("run-to-run drift: %d vs %d findings", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("run-to-run drift at %d: %v vs %v", i, first[i], second[i])
+		}
+	}
+}
+
+// TestFindingString pins the one-line report format cmd/sstalint prints.
+func TestFindingString(t *testing.T) {
+	f := Finding{Check: "maporder", File: "a/b.go", Line: 7, Msg: "because"}
+	if got := f.String(); got != "a/b.go:7: maporder: because" {
+		t.Errorf("Finding.String() = %q", got)
+	}
+}
+
+// TestLoaderLookup pins the Module.Lookup contract the checks rely on.
+func TestLoaderLookup(t *testing.T) {
+	m, err := LoadModule(typedfix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Path != "typedfix" {
+		t.Errorf("module path: got %q", m.Path)
+	}
+	p := m.Lookup("internal/cluster")
+	if p == nil {
+		t.Fatal("Lookup(internal/cluster) = nil")
+	}
+	if p.Types == nil || p.Types.Scope().Lookup("StatusBody") == nil {
+		t.Error("internal/cluster type information is incomplete")
+	}
+	if m.Lookup("no/such/dir") != nil {
+		t.Error("Lookup invented a package")
+	}
+}

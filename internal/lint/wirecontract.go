@@ -1,0 +1,429 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// wireDirs are the packages whose exported structs form the HTTP JSON
+// protocol: the typed client (shared with the server by import), the
+// cluster lease/shard vocabulary, the coordinator/server handlers, the
+// structural-lint diagnostics mirrored into error bodies, and the
+// public API root (checkpoint wire form).
+var wireDirs = map[string]bool{
+	"":                     true,
+	"client":               true,
+	"internal/cluster":     true,
+	"internal/server":      true,
+	"internal/circuitlint": true,
+	"internal/jobs":        true,
+	"internal/journal":     true,
+	"internal/buildinfo":   true,
+	"internal/designcache": true,
+	"internal/faultinject": true,
+}
+
+// wirecontract: the JSON wire contract must not drift. Three rules, all
+// resolved through go/types rather than text:
+//
+//  1. Tag completeness — in a wire struct (an exported struct in a wire
+//     package with at least one json-tagged field), every exported
+//     field must carry an explicit json tag. An untagged field silently
+//     marshals under its Go name: the compiler stays happy while the
+//     protocol forks.
+//
+//  2. Mirror agreement — same-named wire structs in different wire
+//     packages (e.g. client.Diagnostic mirroring circuitlint.Diagnostic)
+//     must agree field for field: same field names in the same order,
+//     same json names and options, same types (package qualifiers
+//     stripped, so a mirrored nested type compares by shape name).
+//
+//  3. Marshal reachability — any named struct that is a static
+//     argument of encoding/json Marshal/Unmarshal/Encode/Decode, or is
+//     reachable from one through exported struct fields, must be fully
+//     json-tagged wherever it lives in the module. This catches wire
+//     types that never earned a tag at all.
+//
+// A deliberate non-wire struct that trips a rule takes a reasoned
+// //lint:ignore wirecontract on the offending field or type.
+var wireContractCheck = &TypedCheck{
+	Name: "wirecontract",
+	Doc:  "JSON wire structs must be fully tagged, mirror copies must agree field-for-field, and marshal-reachable structs must be tagged",
+	RunMod: func(m *Module) []Finding {
+		var out []Finding
+		structs := collectWireStructs(m)
+		out = append(out, checkTagCompleteness(structs)...)
+		out = append(out, checkMirrorAgreement(structs)...)
+		out = append(out, checkMarshalReachable(m)...)
+		return dedupeFindings(out)
+	},
+}
+
+// wireStruct is one exported struct declaration in a wire package.
+type wireStruct struct {
+	name   string
+	pkg    *Pkg
+	file   *File
+	decl   *ast.StructType
+	fields []wireField
+	tagged bool // at least one json-tagged field
+}
+
+// wireField is one exported field of a wireStruct.
+type wireField struct {
+	name     string
+	jsonName string // "" when untagged
+	jsonOpts string // ",omitempty" etc., tag remainder
+	typ      string // type with package qualifiers stripped
+	pos      ast.Node
+}
+
+// collectWireStructs gathers exported struct declarations from the wire
+// packages, in deterministic (package order, file order, declaration
+// order) sequence.
+func collectWireStructs(m *Module) []*wireStruct {
+	var out []*wireStruct
+	for _, p := range m.Pkgs {
+		if !wireDirs[p.Dir] {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, decl := range f.AST.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !ts.Name.IsExported() {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					ws := &wireStruct{name: ts.Name.Name, pkg: p, file: f, decl: st}
+					for _, fld := range st.Fields.List {
+						ftype := qualifierFreeType(p.Info, fld.Type)
+						jsonName, jsonOpts, hasTag := jsonTag(fld)
+						if hasTag {
+							ws.tagged = true
+						}
+						for _, id := range fld.Names {
+							if !id.IsExported() {
+								continue
+							}
+							ws.fields = append(ws.fields, wireField{
+								name: id.Name, jsonName: jsonName, jsonOpts: jsonOpts,
+								typ: ftype, pos: id,
+							})
+						}
+					}
+					out = append(out, ws)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// qualifierFreeType renders the field's type with package qualifiers
+// stripped, so client.JobRequest embedded in a cluster struct compares
+// equal to a mirrored JobRequest.
+func qualifierFreeType(info *types.Info, e ast.Expr) string {
+	t := info.TypeOf(e)
+	if t == nil {
+		return ""
+	}
+	return types.TypeString(t, func(*types.Package) string { return "" })
+}
+
+// jsonTag extracts the json struct tag: name, remaining options, and
+// whether a json key exists at all. `json:"-"` counts as tagged (an
+// explicit decision to keep the field off the wire).
+func jsonTag(fld *ast.Field) (name, opts string, ok bool) {
+	if fld.Tag == nil {
+		return "", "", false
+	}
+	tag := strings.Trim(fld.Tag.Value, "`")
+	v, found := reflect.StructTag(tag).Lookup("json")
+	if !found {
+		return "", "", false
+	}
+	if i := strings.IndexByte(v, ','); i >= 0 {
+		return v[:i], v[i:], true
+	}
+	return v, "", true
+}
+
+// checkTagCompleteness is rule 1: every exported field of a tagged wire
+// struct needs a json tag. It also catches duplicate json names inside
+// one struct (two fields claiming the same wire key: the later one
+// silently vanishes from output).
+func checkTagCompleteness(structs []*wireStruct) []Finding {
+	var out []Finding
+	for _, ws := range structs {
+		if !ws.tagged {
+			continue
+		}
+		seen := make(map[string]bool)
+		for _, fld := range ws.fields {
+			if fld.jsonName == "" && fld.jsonOpts == "" {
+				out = append(out, ws.file.finding("wirecontract", fld.pos.Pos(), fmt.Sprintf(
+					"wire struct %s: exported field %s has no json tag and would marshal under its Go name", ws.name, fld.name)))
+				continue
+			}
+			if fld.jsonName == "" || fld.jsonName == "-" {
+				continue
+			}
+			if seen[fld.jsonName] {
+				out = append(out, ws.file.finding("wirecontract", fld.pos.Pos(), fmt.Sprintf(
+					"wire struct %s: duplicate json name %q (field %s); one of them silently drops off the wire", ws.name, fld.jsonName, fld.name)))
+			}
+			seen[fld.jsonName] = true
+		}
+	}
+	return out
+}
+
+// checkMirrorAgreement is rule 2: same-named tagged wire structs across
+// packages must agree on field order, names, json tags and types. The
+// lexically-first package is the reference copy; findings attach to the
+// divergent copies.
+func checkMirrorAgreement(structs []*wireStruct) []Finding {
+	groups := make(map[string][]*wireStruct)
+	for _, ws := range structs {
+		if ws.tagged {
+			groups[ws.name] = append(groups[ws.name], ws)
+		}
+	}
+	names := make([]string, 0, len(groups))
+	for n := range groups {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var out []Finding
+	for _, n := range names {
+		group := groups[n]
+		if len(group) < 2 {
+			continue
+		}
+		sort.Slice(group, func(i, j int) bool { return group[i].pkg.Path < group[j].pkg.Path })
+		ref := group[0]
+		for _, ws := range group[1:] {
+			out = append(out, diffMirrors(ref, ws)...)
+		}
+	}
+	return out
+}
+
+// diffMirrors reports every field-level divergence of ws from ref.
+func diffMirrors(ref, ws *wireStruct) []Finding {
+	var out []Finding
+	report := func(pos ast.Node, format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		out = append(out, ws.file.finding("wirecontract", pos.Pos(), fmt.Sprintf(
+			"wire struct %s drifts from its %s mirror: %s", ws.name, ref.pkg.Path, msg)))
+	}
+	n := len(ref.fields)
+	if len(ws.fields) < n {
+		n = len(ws.fields)
+	}
+	for i := 0; i < n; i++ {
+		a, b := ref.fields[i], ws.fields[i]
+		switch {
+		case a.name != b.name:
+			report(b.pos, "field %d is %s, mirror has %s", i+1, b.name, a.name)
+		case a.jsonName != b.jsonName || a.jsonOpts != b.jsonOpts:
+			report(b.pos, "field %s is tagged %q, mirror has %q", b.name, b.jsonName+b.jsonOpts, a.jsonName+a.jsonOpts)
+		case a.typ != b.typ:
+			report(b.pos, "field %s has type %s, mirror has %s", b.name, b.typ, a.typ)
+		}
+	}
+	if len(ref.fields) != len(ws.fields) {
+		report(ws.decl, "it has %d exported fields, mirror has %d", len(ws.fields), len(ref.fields))
+	}
+	return out
+}
+
+// checkMarshalReachable is rule 3: named structs that statically reach
+// encoding/json calls must be tagged. Seeds are direct arguments of
+// Marshal/Unmarshal/(*Encoder).Encode/(*Decoder).Decode; the set closes
+// over exported struct fields (through pointers, slices, arrays and
+// maps) of module-local named types. Only structs with no json tags at
+// all are reported here — a struct that earned one tag is rule 1's
+// territory, so the two rules never double-report a field.
+func checkMarshalReachable(m *Module) []Finding {
+	seeds := marshalSeeds(m)
+	reach := closeOverFields(m, seeds)
+
+	var out []Finding
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.AST.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					obj := p.Info.Defs[ts.Name]
+					if obj == nil || !reach[obj] {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					anyTagged := false
+					for _, fld := range st.Fields.List {
+						if _, _, tagged := jsonTag(fld); tagged {
+							anyTagged = true
+							break
+						}
+					}
+					if anyTagged {
+						continue
+					}
+					for _, fld := range st.Fields.List {
+						for _, id := range fld.Names {
+							if !id.IsExported() {
+								continue
+							}
+							out = append(out, f.finding("wirecontract", id.Pos(), fmt.Sprintf(
+								"%s crosses encoding/json but field %s has no json tag; tag it (or //lint:ignore with the reason it is not wire data)", ts.Name.Name, id.Name)))
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// marshalSeeds collects the named module-local types appearing as
+// static arguments of encoding/json calls.
+func marshalSeeds(m *Module) map[types.Object]bool {
+	seeds := make(map[types.Object]bool)
+	addType := func(t types.Type) {
+		for _, named := range namedStructsIn(m, t) {
+			seeds[named.Obj()] = true
+		}
+	}
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := p.Info.Uses[sel.Sel]
+				if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "encoding/json" {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "Marshal", "MarshalIndent", "Unmarshal", "Encode", "Decode":
+				default:
+					return true
+				}
+				for _, arg := range call.Args {
+					if t := p.Info.TypeOf(arg); t != nil {
+						addType(t)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return seeds
+}
+
+// closeOverFields expands the seed set over exported struct fields.
+func closeOverFields(m *Module, seeds map[types.Object]bool) map[types.Object]bool {
+	reach := make(map[types.Object]bool)
+	var visit func(obj types.Object)
+	visit = func(obj types.Object) {
+		if reach[obj] {
+			return
+		}
+		reach[obj] = true
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			fld := st.Field(i)
+			if !fld.Exported() {
+				continue
+			}
+			for _, named := range namedStructsIn(m, fld.Type()) {
+				visit(named.Obj())
+			}
+		}
+	}
+	objs := make([]types.Object, 0, len(seeds))
+	for obj := range seeds {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+	for _, obj := range objs {
+		visit(obj)
+	}
+	return reach
+}
+
+// namedStructsIn unwraps pointers/slices/arrays/maps and returns the
+// module-local named struct types inside t (nil for std types like
+// time.Time or json.RawMessage — their wire shape is not ours to lint).
+func namedStructsIn(m *Module, t types.Type) []*types.Named {
+	switch u := t.(type) {
+	case *types.Pointer:
+		return namedStructsIn(m, u.Elem())
+	case *types.Slice:
+		return namedStructsIn(m, u.Elem())
+	case *types.Array:
+		return namedStructsIn(m, u.Elem())
+	case *types.Map:
+		return append(namedStructsIn(m, u.Key()), namedStructsIn(m, u.Elem())...)
+	case *types.Named:
+		obj := u.Obj()
+		if obj.Pkg() == nil {
+			return nil
+		}
+		path := obj.Pkg().Path()
+		if path != m.Path && !strings.HasPrefix(path, m.Path+"/") {
+			return nil
+		}
+		if _, ok := u.Underlying().(*types.Struct); !ok {
+			return nil
+		}
+		return []*types.Named{u}
+	}
+	return nil
+}
+
+// dedupeFindings removes exact duplicates (a struct can trip both the
+// completeness and the reachability rule on the same field).
+func dedupeFindings(in []Finding) []Finding {
+	seen := make(map[Finding]bool, len(in))
+	out := in[:0]
+	for _, f := range in {
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package normal
+
+import "testing"
+
+// TestDominanceDegenerate pins the zero-variance tie-break: with no
+// spread, dominance reduces to comparing means.
+func TestDominanceDegenerate(t *testing.T) {
+	lo := Moments{Mean: 1}
+	hi := Moments{Mean: 2}
+	if got := Dominance(hi, lo); got != +1 {
+		t.Errorf("Dominance(hi, lo) = %d, want +1", got)
+	}
+	if got := Dominance(lo, hi); got != -1 {
+		t.Errorf("Dominance(lo, hi) = %d, want -1", got)
+	}
+	same := Moments{Mean: 1}
+	if got := Dominance(same, same); got != +1 {
+		t.Errorf("Dominance(x, x) = %d, want +1 (d >= 0 wins ties)", got)
+	}
+}
+
+// TestClarkMaxDeterministic pins the both-deterministic shortcut: the
+// max of two zero-variance moments is the larger number.
+func TestClarkMaxDeterministic(t *testing.T) {
+	a := Moments{Mean: 3}
+	b := Moments{Mean: 2}
+	if got := MaxExact(a, b); got != a {
+		t.Errorf("MaxExact(a, b) = %+v, want %+v", got, a)
+	}
+	if got := MaxExact(b, a); got != a {
+		t.Errorf("MaxExact(b, a) = %+v, want %+v", got, a)
+	}
+}
+
+// TestMaxNExact pins the exact fold: empty input is the deterministic
+// zero arrival, and the fold is left-associative MaxExact.
+func TestMaxNExact(t *testing.T) {
+	if got := MaxNExact(nil); got != (Moments{}) {
+		t.Errorf("MaxNExact(nil) = %+v, want zero", got)
+	}
+	ms := []Moments{{Mean: 1, Var: 0.1}, {Mean: 2, Var: 0.2}, {Mean: 0.5, Var: 0.05}}
+	want := MaxExact(MaxExact(ms[0], ms[1]), ms[2])
+	if got := MaxNExact(ms); got != want {
+		t.Errorf("MaxNExact = %+v, want folded %+v", got, want)
+	}
+}

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/client"
+)
+
+// TestClusterWireJSONDeterministic is the wire-level determinism
+// regression test: the same job run through the cluster with different
+// worker counts must produce byte-identical result JSON — not just
+// equal decoded numbers. Field order, float formatting, and shard-merge
+// order all live in those bytes, so any scheduler-dependent merge shows
+// up here even if the decoded moments happen to agree.
+func TestClusterWireJSONDeterministic(t *testing.T) {
+	d, err := repro.Generate("c432")
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	path := d.WNSSPath(3)
+	if len(path) < 5 {
+		t.Fatalf("c432 WNSS path too short: %d", len(path))
+	}
+	cands := make([][]client.Edit, 5)
+	for i := range cands {
+		cands[i] = []client.Edit{{Gate: path[i], Size: 2}}
+	}
+
+	mcReq := client.JobRequest{
+		Op: client.OpMonteCarlo, Generate: "c432",
+		Samples: 2000, Seed: 7, Workers: 1,
+		YieldPeriods: []float64{1500},
+	}
+	wiReq := client.JobRequest{
+		Op: client.OpWhatIf, Generate: "c432", Workers: 1, Candidates: cands,
+	}
+
+	// 2000 trials at 500 per shard -> 4 Monte-Carlo units; 5 candidates
+	// at 2 per shard -> 3 whatif units. With 1 worker the units run in
+	// sequence, with 3 they interleave — the merged payload must not care.
+	run := func(nWorkers int) (mc, wi []byte) {
+		c, _, _ := startCoordinator(t, Config{MCShardTrials: 500, WhatIfShardSize: 2}, nWorkers)
+		ctx := ctxT(t)
+		st, err := c.Run(ctx, mcReq)
+		if err != nil || st.State != "done" {
+			t.Fatalf("montecarlo (%d workers): %v (state %s, err %s)", nWorkers, err, st.State, st.Error)
+		}
+		mc = append([]byte(nil), st.Result...)
+		st, err = c.Run(ctx, wiReq)
+		if err != nil || st.State != "done" {
+			t.Fatalf("whatif (%d workers): %v (state %s, err %s)", nWorkers, err, st.State, st.Error)
+		}
+		wi = append([]byte(nil), st.Result...)
+		return mc, wi
+	}
+
+	mc1, wi1 := run(1)
+	mc3, wi3 := run(3)
+	if !bytes.Equal(mc1, mc3) {
+		t.Errorf("montecarlo result JSON differs across worker counts:\n%s", firstJSONDiff(mc1, mc3))
+	}
+	if !bytes.Equal(wi1, wi3) {
+		t.Errorf("whatif result JSON differs across worker counts:\n%s", firstJSONDiff(wi1, wi3))
+	}
+}
+
+// firstJSONDiff renders the first point of divergence between two JSON
+// payloads with enough surrounding bytes to locate the field.
+func firstJSONDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	lo := i - 40
+	if lo < 0 {
+		lo = 0
+	}
+	win := func(s []byte) []byte {
+		hi := i + 40
+		if hi > len(s) {
+			hi = len(s)
+		}
+		if lo > len(s) {
+			return nil
+		}
+		return s[lo:hi]
+	}
+	return fmt.Sprintf("lengths %d vs %d, first divergence at byte %d:\n  1 worker: …%s…\n  3 workers: …%s…",
+		len(a), len(b), i, win(a), win(b))
+}
