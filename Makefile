@@ -63,6 +63,7 @@ cover-update:
 # push.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzIncrementalResize -fuzztime 20s ./internal/difftest
+	$(GO) test -run xxx -fuzz FuzzOptimizerInvariants -fuzztime 10s ./internal/difftest
 	$(GO) test -run xxx -fuzz FuzzParseLint -fuzztime 10s ./internal/benchfmt
 	$(GO) test -run xxx -fuzz FuzzJournalReplay -fuzztime 10s ./internal/journal
 

@@ -161,6 +161,16 @@ type RunOptions struct {
 	// checkpoint must come from the same operation on a design of the
 	// same shape.
 	Resume *OptCheckpoint
+	// Optimizer names the sizing backend Design.Optimize runs: one of
+	// Optimizers() ("statgreedy", "sensitivity", "meandelay",
+	// "recoverarea"); empty means the default, "statgreedy". The
+	// operation-specific entry points (OptimizeStatisticalOpts, ...)
+	// ignore it — they name their backend in the method.
+	Optimizer string
+	// Seed keys the sensitivity backend's deterministic tie-breaking
+	// between equal-score moves; any value (including the 0 default) is
+	// fully deterministic. The greedy backends ignore it.
+	Seed int64
 }
 
 // OptSnapshot is a point-in-time statistical summary inside a
@@ -246,6 +256,9 @@ func (o RunOptions) Validate() error {
 	}
 	if o.CheckpointEvery < 0 {
 		return fmt.Errorf("repro: negative checkpoint period %d", o.CheckpointEvery)
+	}
+	if _, ok := core.LookupOptimizer(o.Optimizer); !ok {
+		return fmt.Errorf("repro: unknown optimizer %q (want one of %v)", o.Optimizer, Optimizers())
 	}
 	return nil
 }
@@ -412,6 +425,15 @@ type OptResult struct {
 	// with and without RunOptions.FullRecompute).
 	AnalysisTime time.Duration
 	StoppedBy    string
+	// Evals counts the timing evaluations the run requested
+	// (whole-circuit analyses, batched what-if candidates, subcircuit
+	// scorings) and NodeEvals the per-gate evaluations behind the
+	// whole-circuit work: the work-done metrics the cross-optimizer
+	// scoreboard compares. Both depend on the analyzer mode
+	// (FullRecompute vs incremental) and are not part of the
+	// bit-exactness contract.
+	Evals     int64
+	NodeEvals int64
 }
 
 // DeltaSigmaPct returns the sigma change in percent (negative = reduced).
@@ -447,7 +469,48 @@ func fromCore(r *core.Result) OptResult {
 		Runtime:      r.Runtime,
 		AnalysisTime: r.AnalysisTime,
 		StoppedBy:    r.StoppedBy,
+		Evals:        r.Evals,
+		NodeEvals:    r.NodeEvals,
 	}
+}
+
+// Optimizers returns the names of the registered sizing backends,
+// sorted — the values RunOptions.Optimizer (and the CLIs' -optimizer
+// flag, and sstad's "optimizer" request field) accept.
+func Optimizers() []string { return core.Optimizers() }
+
+// DefaultOptimizer is the backend an empty RunOptions.Optimizer (or an
+// empty wire-level "optimizer" field) selects: the paper's
+// StatisticalGreedy. sstad normalizes the empty name to this one in its
+// result-memo key, so the default and an explicit request for it share
+// cached results.
+const DefaultOptimizer = core.DefaultOptimizer
+
+// Optimize runs the sizing backend named by opts.Optimizer (empty =
+// "statgreedy", the paper's StatisticalGreedy) with the sigma weight
+// lambda. The design is modified in place. The backend-specific entry
+// points remain for the two historical flows (OptimizeStatisticalOpts,
+// OptimizeMeanDelayOpts, RecoverAreaOpts); this is the uniform door the
+// -optimizer flag and sstad's "optimizer" field go through.
+func (d *Design) Optimize(lambda float64, opts RunOptions) (OptResult, error) {
+	if err := validateLambda(lambda); err != nil {
+		return OptResult{}, err
+	}
+	if err := opts.Validate(); err != nil {
+		return OptResult{}, err
+	}
+	o, _ := core.LookupOptimizer(opts.Optimizer) // existence checked by Validate
+	cb, every, resume := opts.checkpointing()
+	r, err := o.Run(d.d, d.vm, core.Options{
+		Lambda: lambda, PDFPoints: opts.PDFPoints, Workers: opts.Workers,
+		MaxIters: opts.MaxIters, Ctx: opts.Ctx, Seed: opts.Seed,
+		Incremental: !opts.FullRecompute,
+		Checkpoint:  cb, CheckpointEvery: every, Resume: resume,
+	})
+	if err != nil {
+		return OptResult{}, err
+	}
+	return fromCore(r), nil
 }
 
 // OptimizeMeanDelay runs the deterministic mean-delay greedy sizer (the

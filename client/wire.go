@@ -58,6 +58,15 @@ type JobRequest struct {
 	FullRecompute bool `json:"full_recompute,omitempty"`
 	// SlackFrac is the recover operation's cost slack fraction.
 	SlackFrac float64 `json:"slack_frac,omitempty"`
+	// Optimizer selects the sizing backend for optimize jobs: one of the
+	// registered names ("statgreedy", "sensitivity", "meandelay",
+	// "recoverarea"); empty means "statgreedy". Unknown names are
+	// rejected at submission with HTTP 400 and a machine-readable
+	// diagnostic (check "optimizer"). The name is normalized into the
+	// result-memo key, so an explicit "statgreedy" and the empty default
+	// share cached results while distinct backends never collide. Seed
+	// keys the sensitivity backend's deterministic tie-breaking.
+	Optimizer string `json:"optimizer,omitempty"`
 	// YieldPeriods asks analyze/montecarlo for the yield at each clock
 	// period T (ps); TargetYields asks for the smallest period reaching
 	// each target yield.
@@ -169,6 +178,12 @@ type OptimizeResult struct {
 	// timing analysis (the part FullRecompute toggles between incremental
 	// repair and from-scratch recompute).
 	AnalysisTimeSec float64 `json:"analysis_time_sec,omitempty"`
+	// Evals counts the timing evaluations the run requested and
+	// NodeEvals the per-gate evaluations behind them: work-done metrics
+	// (mode-dependent, excluded from the bit-exactness contract, like
+	// the timing fields).
+	Evals     int64 `json:"evals,omitempty"`
+	NodeEvals int64 `json:"node_evals,omitempty"`
 	// Sizes is the optimized sizing vector (one library size index per
 	// gate, in gate order): the canonical equality oracle for comparing
 	// two runs — a resumed-after-crash optimization matches its

@@ -19,9 +19,16 @@
 // resize-and-rollback probing, and StatisticalGreedy's total analysis
 // time with the incremental+batched analyzer vs full recomputation.
 //
-//	go run ./cmd/benchpar            # writes all three BENCH_*.json files
+// A fourth report, BENCH_optimizers.json, is the cross-optimizer
+// scoreboard: every sizing backend registered with the core.Optimizer
+// registry run from the same mean-delay-optimized starting point on a
+// set of Table-1 circuits, scored on the uniform statistical cost
+// mu + lambda*sigma plus area, iterations, analysis evals and wall
+// time. EXPERIMENTS.md carries the narrative version of this table.
+//
+//	go run ./cmd/benchpar            # writes all four BENCH_*.json files
 //	go run ./cmd/benchpar -out -     # prints the parallel JSON to stdout
-//	go run ./cmd/benchpar -smoke     # CI mode: flat report only, one small circuit
+//	go run ./cmd/benchpar -smoke     # CI mode: flat + scoreboard smoke, small circuits
 package main
 
 import (
@@ -31,7 +38,9 @@ import (
 	"math/rand/v2"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/cells"
 	"repro/internal/circuit"
@@ -122,7 +131,11 @@ func main() {
 	incIters := flag.Int("inc-iters", 12, "StatisticalGreedy outer iteration cap for the analysis-time comparison (the run typically converges first)")
 	flatOut := flag.String("flat-out", "BENCH_flat.json", "flat-kernel/batched-what-if output file (empty disables)")
 	flatCircuit := flag.String("flat-circuit", "c6288", "benchmark circuit for the flat-engine comparison")
-	smoke := flag.Bool("smoke", false, "CI smoke mode: run only the flat report on one small circuit with short caps")
+	optOut := flag.String("opt-out", "BENCH_optimizers.json", "cross-optimizer scoreboard output file (empty disables)")
+	optCircuits := flag.String("opt-circuits", "alu1,alu2,c432", "comma-separated circuits for the optimizer scoreboard")
+	optLambda := flag.Float64("opt-lambda", 9, "sigma weight for the optimizer scoreboard")
+	optIters := flag.Int("opt-iters", 0, "optimizer iteration cap for the scoreboard (0 = backend default)")
+	smoke := flag.Bool("smoke", false, "CI smoke mode: flat and scoreboard reports only, small circuits with short caps")
 	flag.Parse()
 
 	if *smoke {
@@ -133,6 +146,11 @@ func main() {
 			fail(err)
 		}
 		writeFlat(flatRep, *flatOut)
+		optRep, err := optimizerReport([]string{"alu1"}, *optLambda, 3)
+		if err != nil {
+			fail(err)
+		}
+		writeOpt(optRep, *optOut)
 		return
 	}
 
@@ -210,6 +228,54 @@ func main() {
 		}
 		writeFlat(flatRep, *flatOut)
 	}
+
+	if *optOut != "" {
+		optRep, err := optimizerReport(strings.Split(*optCircuits, ","), *optLambda, *optIters)
+		if err != nil {
+			fail(err)
+		}
+		writeOpt(optRep, *optOut)
+	}
+}
+
+// OptReport is the schema of BENCH_optimizers.json: the cross-optimizer
+// scoreboard (see internal/experiments.Scoreboard). Workers is 1 so the
+// runtimes compare algorithms, not host parallelism.
+type OptReport struct {
+	HostCPUs   int                         `json:"host_cpus"`
+	GOMAXPROCS int                         `json:"gomaxprocs"`
+	Lambda     float64                     `json:"lambda"`
+	Rows       []experiments.ScoreboardRow `json:"rows"`
+}
+
+func optimizerReport(circuits []string, lambda float64, iters int) (*OptReport, error) {
+	rows, err := experiments.Scoreboard(circuits,
+		[]string{"meandelay", "statgreedy", "sensitivity"}, lambda,
+		experiments.Config{MaxIters: iters, Workers: 1})
+	if err != nil {
+		return nil, err
+	}
+	return &OptReport{
+		HostCPUs: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Lambda: lambda, Rows: rows,
+	}, nil
+}
+
+func writeOpt(rep *OptReport, path string) {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fail(err)
+	}
+	for _, r := range rep.Rows {
+		fmt.Printf("%-6s %-12s cost %8.1f -> %8.1f  area %6.0f -> %6.0f  %3d iters (%s)  %8d evals  %v\n",
+			r.Circuit, r.Optimizer, r.CostBefore, r.CostAfter,
+			r.AreaBefore, r.AreaAfter, r.Iterations, r.StoppedBy, r.Evals, r.Runtime.Round(time.Millisecond))
+	}
+	fmt.Printf("host: %d CPUs (GOMAXPROCS %d), lambda=%g -> %s\n", rep.HostCPUs, rep.GOMAXPROCS, rep.Lambda, path)
 }
 
 // scalingWorkers returns the per-core sweep: doubling worker counts up

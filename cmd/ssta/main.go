@@ -29,6 +29,8 @@ func main() {
 		critN   = flag.Int("crit", 0, "print the n most critical gates (statistical criticality)")
 		sdfOut  = flag.String("sdf", "", "write statistical delay corners to this SDF file")
 		whatIf  = flag.String("whatif", "", "gate=size resizes to evaluate without touching the design; comma-separated edits form one candidate, ';' separates batched candidates")
+		backend = flag.String("optimizer", "",
+			fmt.Sprintf("size the design with this backend (%s) at -lambda before analyzing; empty analyzes as loaded", strings.Join(repro.Optimizers(), "|")))
 		workers = cliutil.WorkersFlag(flag.CommandLine)
 		lint    = cliutil.LintFlag(flag.CommandLine)
 	)
@@ -44,6 +46,17 @@ func main() {
 	}
 	s := d.Stats()
 	fmt.Printf("%s: %d gates, depth %d, area %.0f um^2\n", s.Name, s.Gates, s.Depth, s.Area)
+
+	if *backend != "" {
+		sized := opts
+		sized.Optimizer = *backend
+		r, err := d.Optimize(*lambda, sized)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("sized with %s (lambda=%g): sigma %.1f -> %.1f ps, %d iterations, %d evals\n",
+			*backend, *lambda, r.SigmaBefore, r.SigmaAfter, r.Iterations, r.Evals)
+	}
 
 	a := d.AnalyzeOpts(opts)
 	fmt.Printf("deterministic STA: %.1f ps\n", a.NominalDelay)

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro"
 	"repro/internal/cliutil"
@@ -23,6 +24,9 @@ func main() {
 		vlog    = flag.String("verilog", "", "load a structural Verilog netlist")
 		libFile = flag.String("lib", "", "map onto a Liberty (.lib) library instead of the built-in one")
 		lambda  = flag.Float64("lambda", 3, "sigma weight in the cost mu + lambda*sigma")
+		backend = flag.String("optimizer", repro.DefaultOptimizer,
+			fmt.Sprintf("sizing backend: %s", strings.Join(repro.Optimizers(), "|")))
+		seed    = flag.Int64("seed", 0, "tie-breaking seed for the sensitivity backend")
 		recover = flag.Float64("recover", 0.01, "area-recovery cost slack fraction (0 disables)")
 		skipMD  = flag.Bool("skip-baseline", false, "skip the mean-delay baseline pass")
 		out     = flag.String("out", "", "write the sized netlist to this .bench file")
@@ -35,7 +39,10 @@ func main() {
 	if err := cliutil.CheckWorkers(*workers); err != nil {
 		fail(err)
 	}
-	opts := repro.RunOptions{Workers: *workers, FullRecompute: !*incr}
+	opts := repro.RunOptions{Workers: *workers, FullRecompute: !*incr, Optimizer: *backend, Seed: *seed}
+	if err := opts.Validate(); err != nil {
+		fail(err)
+	}
 	if *list {
 		for _, n := range repro.Benchmarks() {
 			fmt.Println(n)
@@ -62,7 +69,7 @@ func main() {
 	fmt.Printf("original:  mu %.1f ps, sigma %.1f ps (sigma/mu %.4f)\n",
 		before.Mean, before.Sigma, before.Sigma/before.Mean)
 
-	r, err := d.OptimizeStatisticalOpts(*lambda, opts)
+	r, err := d.Optimize(*lambda, opts)
 	if err != nil {
 		fail(err)
 	}
@@ -78,7 +85,8 @@ func main() {
 		after.Mean, 100*(after.Mean-before.Mean)/before.Mean,
 		after.Sigma, 100*(after.Sigma-before.Sigma)/before.Sigma,
 		d.Stats().Area, 100*(d.Stats().Area-s.Area)/s.Area)
-	fmt.Printf("optimizer: %d iterations, stopped by %s, %v\n", r.Iterations, r.StoppedBy, r.Runtime.Round(1e6))
+	fmt.Printf("optimizer %s: %d iterations, stopped by %s, %v (%d evals)\n",
+		*backend, r.Iterations, r.StoppedBy, r.Runtime.Round(1e6), r.Evals)
 
 	if *out != "" {
 		f, err := os.Create(*out)

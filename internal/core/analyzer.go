@@ -47,6 +47,16 @@ type analyzer struct {
 	memoRes   []*ssta.Result
 
 	dur time.Duration
+
+	// evals counts whole-circuit analyses plus what-if candidates scored;
+	// nodeEvals counts the per-gate timing evaluations behind them (every
+	// gate for a full recompute, only the repaired cone for an incremental
+	// one). They surface as Result.Evals / Result.NodeEvals: the
+	// mode-dependent work metric the scoreboard compares, deliberately NOT
+	// part of the bit-exactness contract (a full-mode memo hit costs zero
+	// evals where an incremental no-op repair costs one).
+	evals     int64
+	nodeEvals int64
 }
 
 // analyzerMemo bounds the full-mode memo: an optimizer iteration
@@ -63,6 +73,8 @@ func newStatAnalyzer(d *synth.Design, vm *variation.Model, opts Options) *analyz
 		t0 := time.Now()
 		inc := ssta.NewIncremental(d, vm, opts.sstaOpts())
 		a.dur += time.Since(t0)
+		a.evals++
+		a.nodeEvals += int64(len(d.Circuit.Gates))
 		// last is the sizing the engine currently holds; prev is the one
 		// its open transaction would restore. Refreshing back to prev is
 		// served by Rollback — a journal copy-back instead of a cone
@@ -82,7 +94,8 @@ func newStatAnalyzer(d *synth.Design, vm *variation.Model, opts Options) *analyz
 				// Sizes differ from the engine's record, so Sync is
 				// guaranteed to open a fresh transaction rolling back to
 				// what the engine held until now.
-				inc.Sync()
+				a.evals++
+				a.nodeEvals += int64(inc.Sync())
 				prev, last = last, cur
 			}
 			return inc.Result()
@@ -96,7 +109,9 @@ func newStatAnalyzer(d *synth.Design, vm *variation.Model, opts Options) *analyz
 			costs := make([]float64, len(outs))
 			for i := range outs {
 				costs[i] = outs[i].Cost
+				a.nodeEvals += int64(outs[i].Touched)
 			}
+			a.evals += int64(len(outs))
 			return costs
 		}
 	} else {
@@ -132,8 +147,13 @@ func newDetAnalyzer(d *synth.Design, opts Options) *analyzer {
 		t0 := time.Now()
 		inc := sta.NewIncrementalExact(d)
 		a.dur += time.Since(t0)
+		a.evals++
+		a.nodeEvals += int64(len(d.Circuit.Gates))
 		a.sync = func() *ssta.Result {
-			inc.Sync()
+			if touched := inc.Sync(); touched > 0 {
+				a.evals++
+				a.nodeEvals += int64(touched)
+			}
 			return &ssta.Result{STA: inc.Result()}
 		}
 	} else {
@@ -164,6 +184,8 @@ func (a *analyzer) refreshUntimed() *ssta.Result {
 		}
 	}
 	r := a.analyze()
+	a.evals++
+	a.nodeEvals += int64(len(a.d.Circuit.Gates))
 	a.memoSizes = append(a.memoSizes, sizes)
 	a.memoRes = append(a.memoRes, r)
 	if len(a.memoSizes) > analyzerMemo {

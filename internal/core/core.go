@@ -105,6 +105,22 @@ type Options struct {
 	// checkpoint must come from the same operation on the same design
 	// (Op and sizing-vector length are validated).
 	Resume *Checkpoint
+	// Seed keys the deterministic tie-breaking hash SensitivitySizer
+	// uses to order equal-sensitivity moves. Any value (including 0, the
+	// default) gives a fully deterministic run; two runs agree iff their
+	// seeds agree. The greedy optimizers ignore it.
+	Seed int64
+	// AreaBudgetFrac bounds how much area SensitivitySizer may add per
+	// outer iteration, as a fraction of the current circuit area; 0 means
+	// 0.02 (2%). The budget shapes each iteration's committed move-set:
+	// the top move always commits (so progress is never budget-starved),
+	// and downsizing moves refund budget.
+	AreaBudgetFrac float64
+	// SlackFrac is the cost slack fraction of the area-recovery pass when
+	// it runs through the Optimizer interface ("recoverarea" backend);
+	// 0 means 0.01. The direct RecoverArea call takes it as an explicit
+	// argument instead.
+	SlackFrac float64
 	// Incremental selects dirty-cone incremental timing for every
 	// whole-circuit analysis inside the optimizers (ssta.Incremental for
 	// the statistical ones, the exact-mode sta.Incremental for
@@ -133,6 +149,12 @@ func (o Options) validate() error {
 	}
 	if math.IsNaN(o.MinGain) || math.IsInf(o.MinGain, 0) || o.MinGain < 0 {
 		return fmt.Errorf("core: invalid min gain %g", o.MinGain)
+	}
+	if math.IsNaN(o.AreaBudgetFrac) || math.IsInf(o.AreaBudgetFrac, 0) || o.AreaBudgetFrac < 0 {
+		return fmt.Errorf("core: invalid area budget fraction %g", o.AreaBudgetFrac)
+	}
+	if math.IsNaN(o.SlackFrac) || math.IsInf(o.SlackFrac, 0) || o.SlackFrac < 0 {
+		return fmt.Errorf("core: invalid slack fraction %g", o.SlackFrac)
 	}
 	for _, c := range []struct {
 		name string
@@ -168,7 +190,7 @@ func (o Options) checkpointEvery() int {
 // bit-for-bit.
 type Checkpoint struct {
 	// Op names the emitting optimizer ("statistical", "mean-delay",
-	// "recover-area"); Resume rejects a mismatch.
+	// "recover-area", "sensitivity"); Resume rejects a mismatch.
 	Op string `json:"op"`
 	// Iter is the next outer iteration (pass) to execute.
 	Iter int `json:"iter"`
@@ -257,6 +279,20 @@ func (o Options) topK() int {
 	return o.TopKPaths
 }
 
+func (o Options) areaBudgetFrac() float64 {
+	if o.AreaBudgetFrac <= 0 {
+		return 0.02
+	}
+	return o.AreaBudgetFrac
+}
+
+func (o Options) slackFrac() float64 {
+	if o.SlackFrac <= 0 {
+		return 0.01
+	}
+	return o.SlackFrac
+}
+
 func (o Options) maxStep() int {
 	if o.MaxStep == 0 {
 		return 1
@@ -307,6 +343,17 @@ type Result struct {
 	AnalysisTime time.Duration
 	// StoppedBy explains termination: "converged", "target", "max-iters".
 	StoppedBy string
+	// Evals counts the timing evaluations the run requested: whole-circuit
+	// analyses, batched what-if candidates, and FASSTA subcircuit scorings.
+	// NodeEvals counts the per-gate evaluations behind the whole-circuit
+	// work (every gate for a full recompute, only the repaired or probed
+	// cone for an incremental one). Both measure work done, not wall time —
+	// the quantity the cross-optimizer scoreboard compares — and, like the
+	// timing fields, they are NOT part of the bit-exactness contract:
+	// full-recompute and incremental runs land on identical sizings with
+	// different eval counts.
+	Evals     int64
+	NodeEvals int64
 }
 
 func snapshot(d *synth.Design, full *ssta.Result, lambda float64) Snapshot {
@@ -331,6 +378,7 @@ func StatisticalGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Res
 	start := time.Now()
 	res := &Result{StoppedBy: "max-iters"}
 	ex := fassta.NewExtractor(d)
+	var subEvals int64 // FASSTA subcircuit scorings (one per path gate examined)
 
 	resume, err := opts.resumeFor("statistical", d)
 	if err != nil {
@@ -464,6 +512,7 @@ func StatisticalGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Res
 				}
 			}
 		}
+		subEvals += int64(len(path))
 		sizesA := d.Circuit.SizeSnapshot()
 
 		// Move B: a coordinated escape — one notch up on every path gate
@@ -599,6 +648,8 @@ func StatisticalGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Res
 	res.Final = final
 	res.Runtime = time.Since(start)
 	res.AnalysisTime = az.dur
+	res.Evals = az.evals + subEvals
+	res.NodeEvals = az.nodeEvals
 	return res, nil
 }
 
@@ -626,6 +677,7 @@ func MeanDelayGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Resul
 	start := time.Now()
 	res := &Result{StoppedBy: "max-iters"}
 	ex := fassta.NewExtractor(d)
+	var subEvals int64
 
 	resume, err := opts.resumeFor("mean-delay", d)
 	if err != nil {
@@ -692,6 +744,7 @@ func MeanDelayGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Resul
 				resized++
 			}
 		}
+		subEvals += int64(len(path))
 		costA := az.refresh().STA.MaxArrival
 		sizesA := d.Circuit.SizeSnapshot()
 
@@ -742,6 +795,8 @@ func MeanDelayGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Resul
 	res.Final = final
 	res.Runtime = time.Since(start)
 	res.AnalysisTime = az.dur
+	res.Evals = az.evals + subEvals
+	res.NodeEvals = az.nodeEvals
 	return res, nil
 }
 
@@ -753,17 +808,33 @@ func MeanDelayGreedy(d *synth.Design, vm *variation.Model, opts Options) (*Resul
 // and the batch retried). Gates are visited in reverse topological order
 // so output-side fat is trimmed first. Returns the area saved (um^2).
 func RecoverArea(d *synth.Design, vm *variation.Model, opts Options, slackFrac float64) (float64, error) {
-	if err := opts.validate(); err != nil {
-		return 0, err
-	}
 	if math.IsNaN(slackFrac) || math.IsInf(slackFrac, 0) || slackFrac < 0 {
 		return 0, fmt.Errorf("core: negative slack fraction %g", slackFrac)
 	}
+	_, saved, err := recoverArea(d, vm, opts, slackFrac)
+	return saved, err
+}
+
+// recoverArea is the shared runner behind RecoverArea and the
+// "recoverarea" Optimizer backend: the historical pass loop, unchanged,
+// plus a Result so the interface port reports the same fields as every
+// other backend. The sizing trajectory is bit-identical to the
+// pre-refactor RecoverArea (the added snapshots are pure reads).
+func recoverArea(d *synth.Design, vm *variation.Model, opts Options, slackFrac float64) (*Result, float64, error) {
+	if err := opts.validate(); err != nil {
+		return nil, 0, err
+	}
+	if math.IsNaN(slackFrac) || math.IsInf(slackFrac, 0) || slackFrac < 0 {
+		return nil, 0, fmt.Errorf("core: negative slack fraction %g", slackFrac)
+	}
+	start := time.Now()
+	res := &Result{StoppedBy: "max-iters"}
+	var subEvals int64
 	ex := fassta.NewExtractor(d)
 
 	resume, err := opts.resumeFor("recover-area", d)
 	if err != nil {
-		return 0, err
+		return nil, 0, err
 	}
 	if resume != nil {
 		d.Circuit.RestoreSizes(resume.Sizes)
@@ -771,6 +842,7 @@ func RecoverArea(d *synth.Design, vm *variation.Model, opts Options, slackFrac f
 
 	az := newStatAnalyzer(d, vm, opts)
 	full := az.refresh()
+	res.Initial = snapshot(d, full, opts.Lambda)
 	entryCost := full.Cost(d, opts.Lambda)
 	budget := entryCost * (1 + slackFrac)
 	area0 := d.Area()
@@ -788,13 +860,18 @@ func RecoverArea(d *synth.Design, vm *variation.Model, opts Options, slackFrac f
 		area0 = resume.Area0
 		localSlack = resume.LocalSlack
 		startPass = resume.Iter
+		res.Iterations = startPass
+		if resume.Initial != (Snapshot{}) {
+			res.Initial = resume.Initial
+		}
 	}
 
 	topo := d.Circuit.MustTopoOrder()
 	for pass := startPass; pass < 40; pass++ {
 		if err := opts.ctxErr(); err != nil {
-			return 0, err
+			return nil, 0, err
 		}
+		res.Iterations = pass + 1
 		before := d.Circuit.SizeSnapshot()
 		changed := 0
 		for i := len(topo) - 1; i >= 0; i-- {
@@ -803,6 +880,7 @@ func RecoverArea(d *synth.Design, vm *variation.Model, opts Options, slackFrac f
 				continue
 			}
 			s := ex.Extract(full, vm, g.ID, opts.SubcktDepth)
+			subEvals++
 			curCost := s.Cost(g.SizeIdx, opts.Lambda)
 			if s.Cost(g.SizeIdx-1, opts.Lambda) <= curCost+localSlack {
 				g.SizeIdx--
@@ -810,6 +888,7 @@ func RecoverArea(d *synth.Design, vm *variation.Model, opts Options, slackFrac f
 			}
 		}
 		if changed == 0 {
+			res.StoppedBy = "converged"
 			break
 		}
 		newFull := az.refresh()
@@ -823,11 +902,12 @@ func RecoverArea(d *synth.Design, vm *variation.Model, opts Options, slackFrac f
 			full = az.refresh()
 			localSlack /= 2
 			if localSlack < 1e-6 {
+				res.StoppedBy = "converged"
 				break
 			}
 			opts.emit(Checkpoint{
 				Op: "recover-area", Iter: pass + 1, Cost: full.Cost(d, opts.Lambda),
-				Sizes: d.Circuit.SizeSnapshot(),
+				Sizes: d.Circuit.SizeSnapshot(), Initial: res.Initial,
 				LocalSlack: localSlack, Budget: budget, Area0: area0,
 			})
 			continue
@@ -835,11 +915,16 @@ func RecoverArea(d *synth.Design, vm *variation.Model, opts Options, slackFrac f
 		full = newFull
 		opts.emit(Checkpoint{
 			Op: "recover-area", Iter: pass + 1, Cost: newCost,
-			Sizes: d.Circuit.SizeSnapshot(),
+			Sizes: d.Circuit.SizeSnapshot(), Initial: res.Initial,
 			LocalSlack: localSlack, Budget: budget, Area0: area0,
 		})
 	}
-	return area0 - d.Area(), nil
+	res.Final = snapshot(d, az.refresh(), opts.Lambda)
+	res.Runtime = time.Since(start)
+	res.AnalysisTime = az.dur
+	res.Evals = az.evals + subEvals
+	res.NodeEvals = az.nodeEvals
+	return res, area0 - d.Area(), nil
 }
 
 // Describe formats a one-line summary of a run for logs and CLIs.

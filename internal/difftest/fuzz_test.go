@@ -7,6 +7,7 @@ import (
 	"repro/internal/benchfmt"
 	"repro/internal/cells"
 	"repro/internal/circuit"
+	"repro/internal/core"
 	"repro/internal/fassta"
 	"repro/internal/ssta"
 	"repro/internal/synth"
@@ -81,6 +82,53 @@ func FuzzIncrementalResize(f *testing.F) {
 			if err := CompareFASSTA(finc.Result(), fassta.AnalyzeGlobal(d, vm, true)); err != nil {
 				t.Fatalf("fassta diverged at op %d: %v\nsrc:\n%s", i, err, src)
 			}
+		}
+	})
+}
+
+// FuzzOptimizerInvariants is the cross-optimizer fuzz oracle: no
+// registered backend, on any netlist the load path accepts, under any
+// fuzzer-chosen (backend, lambda, iteration budget, workers, mode,
+// seed) combination, may return a design whose from-scratch re-analysis
+// disagrees with its reported Result, worsen its cost metric, or (for
+// the recovery pass) grow area — the CheckOptimizer contract.
+func FuzzOptimizerInvariants(f *testing.F) {
+	valid := "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\n" +
+		"g1 = NAND(a, b)\ng2 = NOT(g1)\ng3 = AND(g1, g2)\ny = OR(g2, g3)\nz = NOT(g3)\n"
+	for sel := byte(0); sel < 4; sel++ {
+		f.Add(valid, sel, byte(2), byte(1), int64(sel))
+	}
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", byte(3), byte(0), byte(0), int64(9))
+	f.Add("INPUT(a)\nOUTPUT(y)\ng1 = AND(a, g2)\ng2 = NOT(g1)\ny = NOT(a)\n", byte(0), byte(1), byte(2), int64(0))
+	f.Add("", byte(0), byte(0), byte(0), int64(0))
+	f.Fuzz(func(t *testing.T, src string, backendSel, lambdaSel, knobs byte, seed int64) {
+		c, err := benchfmt.Parse(strings.NewReader(src), "fuzz")
+		if err != nil {
+			return // rejected before any backend can run
+		}
+		if c.NumGates() > 256 {
+			return // keep per-input cost bounded (backends analyze repeatedly)
+		}
+		lib := cells.Default90nm()
+		d, err := synth.Map(c, lib)
+		if err != nil {
+			return // unmappable: also rejected pre-backend
+		}
+		vm := variation.Default(lib)
+
+		names := core.Optimizers()
+		name := names[int(backendSel)%len(names)]
+		lambda := []float64{0, 3, 9}[int(lambdaSel)%3]
+		opts := core.Options{
+			Lambda:      lambda,
+			MaxIters:    1 + int(knobs&0x03),
+			PDFPoints:   8,
+			Workers:     1 + 3*int(knobs>>2&0x01),
+			Incremental: knobs>>3&0x01 == 0,
+			Seed:        seed,
+		}
+		if _, err := CheckOptimizer(name, d, vm, opts); err != nil {
+			t.Fatalf("%v\nsrc:\n%s", err, src)
 		}
 	})
 }

@@ -184,3 +184,34 @@ func TestNewDesignDeterministic(t *testing.T) {
 		t.Fatal("NewDesign not deterministic")
 	}
 }
+
+// TestScoreboardSmall drives the cross-optimizer scoreboard end to end
+// on one small circuit: every backend runs from the same starting
+// point, reports its work counters, and the statistical backends must
+// not worsen the uniform cost metric.
+func TestScoreboardSmall(t *testing.T) {
+	rows, err := Scoreboard([]string{"alu1"}, []string{"meandelay", "statgreedy", "sensitivity"}, 9,
+		Config{MaxIters: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("%-6s %-12s cost %.1f -> %.1f, area %.0f -> %.0f, %d iters, %d evals, %v",
+			r.Circuit, r.Optimizer, r.CostBefore, r.CostAfter,
+			r.AreaBefore, r.AreaAfter, r.Iterations, r.Evals, r.Runtime)
+		if r.Evals <= 0 || r.Runtime <= 0 {
+			t.Errorf("%s/%s: work counters not reported: evals=%d runtime=%v",
+				r.Circuit, r.Optimizer, r.Evals, r.Runtime)
+		}
+		if r.Optimizer != "meandelay" && r.CostAfter > r.CostBefore {
+			t.Errorf("%s/%s: cost worsened %.1f -> %.1f",
+				r.Circuit, r.Optimizer, r.CostBefore, r.CostAfter)
+		}
+	}
+	if _, err := Scoreboard([]string{"alu1"}, []string{"frobnicate"}, 9, Config{}); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}

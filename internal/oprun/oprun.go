@@ -48,7 +48,12 @@ func Run(ctx context.Context, req client.JobRequest, d *repro.Design, resume *re
 		return AnalyzePayload(a, req)
 	case client.OpOptimize:
 		dd := d.Clone()
-		r, err := dd.OptimizeStatisticalOpts(req.Lambda, opts)
+		// Backend selection: req.Optimizer is validated at admission (the
+		// server rejects unknown names with 400), so Optimize's own
+		// validation only fires for direct library misuse.
+		opts.Optimizer = req.Optimizer
+		opts.Seed = req.Seed
+		r, err := dd.Optimize(req.Lambda, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -163,5 +168,7 @@ func OptimizePayload(r repro.OptResult) client.OptimizeResult {
 		StoppedBy:       r.StoppedBy,
 		RuntimeSec:      r.Runtime.Seconds(),
 		AnalysisTimeSec: r.AnalysisTime.Seconds(),
+		Evals:           r.Evals,
+		NodeEvals:       r.NodeEvals,
 	}
 }

@@ -180,6 +180,78 @@ func TestChaosRestartResumesOptimizeBitExact(t *testing.T) {
 	}
 }
 
+// TestChaosRestartResumesSensitivityBitExact extends the resume
+// contract to the sensitivity backend: a SensitivitySizer job killed
+// mid-run and recovered from its journaled checkpoint finishes with a
+// sizing vector bit-identical to the uninterrupted library run.
+func TestChaosRestartResumesSensitivityBitExact(t *testing.T) {
+	jp := filepath.Join(t.TempDir(), "jobs.journal")
+	cfg := Config{JobWorkers: 1, JobTimeout: 2 * time.Minute, JournalPath: jp, NoSync: true}
+
+	inj := faultinject.New(1)
+	inj.Set("server.checkpoint", faultinject.Plan{Delay: 25 * time.Millisecond})
+	cfgA := cfg
+	cfgA.Inject = inj
+
+	srvA, tsA, cA := newDurable(t, cfgA)
+	req := client.JobRequest{
+		Op: client.OpOptimize, Generate: "alu2",
+		Lambda: 9, Workers: 1, MaxIters: 12,
+		Optimizer: "sensitivity",
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	st, err := cA.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	awaitProgress(t, cA, st.ID, 2)
+	interrupt(t, srvA, tsA)
+
+	srvB, tsB, cB := newDurable(t, cfg)
+	defer interrupt(t, srvB, tsB)
+	if got := srvB.jobsRecovered.Load(); got != 1 {
+		t.Fatalf("jobs recovered on restart = %d, want 1", got)
+	}
+	final, err := cB.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("wait after restart: %v", err)
+	}
+	if final.State != "done" {
+		t.Fatalf("recovered job state = %s (err %q), want done", final.State, final.Error)
+	}
+	if final.Attempt != 2 {
+		t.Fatalf("recovered job attempt = %d, want 2 (original + post-crash)", final.Attempt)
+	}
+	got, err := final.Optimize()
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+
+	d, err := repro.Generate("alu2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := d.Optimize(9, repro.RunOptions{Workers: 1, MaxIters: 12, Optimizer: "sensitivity"})
+	if err != nil {
+		t.Fatalf("direct sensitivity run: %v", err)
+	}
+	wantSizes := d.Sizes()
+	if len(got.Sizes) != len(wantSizes) {
+		t.Fatalf("sizing vector length %d, want %d", len(got.Sizes), len(wantSizes))
+	}
+	for i := range wantSizes {
+		if got.Sizes[i] != wantSizes[i] {
+			t.Fatalf("resumed run diverged from uninterrupted run at gate %d: size %d vs %d",
+				i, got.Sizes[i], wantSizes[i])
+		}
+	}
+	if got.Iterations != want.Iterations || got.StoppedBy != want.StoppedBy ||
+		got.SigmaAfter != want.SigmaAfter || got.MeanAfter != want.MeanAfter {
+		t.Fatalf("resumed result differs from uninterrupted:\nresumed: %+v\ndirect:  %+v", got, want)
+	}
+}
+
 // TestChaosIdempotentSubmitNeverDuplicates: the same Idempotency-Key
 // resolves to the same job — within a process, after completion, and
 // across a restart.

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/client"
+)
+
+// TestE2EOptimizerSelection covers the optimizer field of the wire
+// contract end-to-end: each backend computes its own answer under its
+// own memo key (the default normalizes onto "statgreedy"), answers are
+// bit-stable across a server restart on the same journal, and an
+// unknown name is rejected at submit time with HTTP 400 and a
+// machine-readable "optimizer" diagnostic.
+func TestE2EOptimizerSelection(t *testing.T) {
+	jp := filepath.Join(t.TempDir(), "jobs.journal")
+	cfg := Config{JobWorkers: 2, JobTimeout: 2 * time.Minute, JournalPath: jp, NoSync: true}
+	srvA, tsA, c := newDurable(t, cfg)
+	ctx := ctxT(t)
+
+	mk := func(backend string) client.JobRequest {
+		return client.JobRequest{
+			Op: client.OpOptimize, Generate: "alu1",
+			Lambda: 9, Workers: 1, MaxIters: 4,
+			Optimizer: backend,
+		}
+	}
+
+	sens, err := c.Run(ctx, mk("sensitivity"))
+	if err != nil {
+		t.Fatalf("run sensitivity: %v", err)
+	}
+	if sens.State != "done" {
+		t.Fatalf("sensitivity job state = %s (err %q), want done", sens.State, sens.Error)
+	}
+	sensRes, err := sens.Optimize()
+	if err != nil {
+		t.Fatalf("decode sensitivity: %v", err)
+	}
+
+	// The service's answer is bit-for-bit the library's.
+	d, err := repro.Generate("alu1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := d.Optimize(9, repro.RunOptions{Workers: 1, MaxIters: 4, Optimizer: "sensitivity"})
+	if err != nil {
+		t.Fatalf("direct sensitivity run: %v", err)
+	}
+	if sensRes.SigmaAfter != want.SigmaAfter || sensRes.MeanAfter != want.MeanAfter ||
+		sensRes.Iterations != want.Iterations || sensRes.StoppedBy != want.StoppedBy {
+		t.Fatalf("service sensitivity differs from direct:\nservice: %+v\ndirect:  %+v", sensRes, want)
+	}
+	wantSizes := d.Sizes()
+	if len(sensRes.Sizes) != len(wantSizes) {
+		t.Fatalf("sizing vector length %d, want %d", len(sensRes.Sizes), len(wantSizes))
+	}
+	for i := range wantSizes {
+		if sensRes.Sizes[i] != wantSizes[i] {
+			t.Fatalf("service sizes diverge from direct at gate %d: %d vs %d", i, sensRes.Sizes[i], wantSizes[i])
+		}
+	}
+	if sensRes.Evals <= 0 {
+		t.Fatalf("evals not reported over the wire: %d", sensRes.Evals)
+	}
+
+	// A different backend on the same design+options must NOT be served
+	// from the sensitivity memo entry...
+	greedy, err := c.Run(ctx, mk("statgreedy"))
+	if err != nil {
+		t.Fatalf("run statgreedy: %v", err)
+	}
+	if greedy.CacheHit {
+		t.Fatal("statgreedy run wrongly served from the sensitivity memo entry")
+	}
+	// ...while the empty (default) spelling shares statgreedy's entry...
+	dflt, err := c.Run(ctx, mk(""))
+	if err != nil {
+		t.Fatalf("run default: %v", err)
+	}
+	if !dflt.CacheHit {
+		t.Fatal("default-optimizer run missed the statgreedy memo entry")
+	}
+	// ...and a repeat sensitivity submit hits its own.
+	again, err := c.Run(ctx, mk("sensitivity"))
+	if err != nil {
+		t.Fatalf("rerun sensitivity: %v", err)
+	}
+	if !again.CacheHit {
+		t.Fatal("repeat sensitivity submission was not served from the memo")
+	}
+	if string(again.Result) != string(sens.Result) {
+		t.Fatalf("memoized sensitivity result drifted:\nfirst: %s\nagain: %s", sens.Result, again.Result)
+	}
+
+	// Restart on the same journal: a fresh submit must produce the same
+	// bits (recomputed or recovered — the wire answer may not change).
+	interrupt(t, srvA, tsA)
+	srvB, tsB, cB := newDurable(t, cfg)
+	defer interrupt(t, srvB, tsB)
+	after, err := cB.Run(ctx, mk("sensitivity"))
+	if err != nil {
+		t.Fatalf("post-restart run: %v", err)
+	}
+	if after.State != "done" {
+		t.Fatalf("post-restart job state = %s (err %q), want done", after.State, after.Error)
+	}
+	afterRes, err := after.Optimize()
+	if err != nil {
+		t.Fatalf("decode post-restart: %v", err)
+	}
+	for i := range wantSizes {
+		if afterRes.Sizes[i] != wantSizes[i] {
+			t.Fatalf("post-restart sizes diverge at gate %d: %d vs %d", i, afterRes.Sizes[i], wantSizes[i])
+		}
+	}
+
+	// Unknown backend: HTTP 400 with a diagnostic naming the check.
+	_, err = cB.Submit(ctx, mk("frobnicate"))
+	if err == nil {
+		t.Fatal("unknown optimizer accepted")
+	}
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error is not a *client.APIError: %v", err)
+	}
+	if apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", apiErr.Status)
+	}
+	found := false
+	for _, diag := range apiErr.Body.Diagnostics {
+		if diag.Check == "optimizer" {
+			found = true
+			if diag.Severity != "error" || diag.Msg == "" {
+				t.Errorf("diagnostic %+v: want severity error with a message", diag)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no \"optimizer\" diagnostic in %+v", apiErr.Body.Diagnostics)
+	}
+
+	// The field is rejected on ops it cannot apply to.
+	if _, err := cB.Submit(ctx, client.JobRequest{
+		Op: client.OpAnalyze, Generate: "alu1", Optimizer: "statgreedy",
+	}); err == nil {
+		t.Fatal("optimizer on a non-optimize op accepted")
+	}
+}

@@ -35,4 +35,27 @@ func TestOptsKeyNormalization(t *testing.T) {
 	if optsKey(base) == optsKey(otherLambda) {
 		t.Errorf("lambda changes results and must split the key: %s", optsKey(base))
 	}
+
+	// The default backend and its explicit name share one memo entry; a
+	// different backend must split the key.
+	explicit := base
+	explicit.Optimizer = "statgreedy"
+	if optsKey(base) != optsKey(explicit) {
+		t.Errorf("default optimizer must normalize to its explicit name:\n  implicit: %s\n  explicit: %s",
+			optsKey(base), optsKey(explicit))
+	}
+	sens := base
+	sens.Optimizer = "sensitivity"
+	if optsKey(base) == optsKey(sens) {
+		t.Errorf("optimizer backend changes results and must split the key: %s", optsKey(base))
+	}
+
+	// On non-optimize ops the field is inert and cleared from the key.
+	analyze := client.JobRequest{Op: client.OpAnalyze, Generate: "c432"}
+	stray := analyze
+	stray.Optimizer = "statgreedy"
+	if optsKey(analyze) != optsKey(stray) {
+		t.Errorf("optimizer must be cleared from non-optimize keys:\n  a: %s\n  b: %s",
+			optsKey(analyze), optsKey(stray))
+	}
 }

@@ -36,6 +36,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -504,6 +505,9 @@ func validate(req *client.JobRequest) error {
 	if req.SlackFrac < 0 {
 		return fmt.Errorf("slack_frac must be >= 0, got %g", req.SlackFrac)
 	}
+	if req.Optimizer != "" && req.Op != client.OpOptimize {
+		return fmt.Errorf("optimizer only applies to the optimize op, not %q", req.Op)
+	}
 	for _, y := range req.TargetYields {
 		if y <= 0 || y >= 1 {
 			return fmt.Errorf("target yields must be in (0, 1), got %g", y)
@@ -529,8 +533,41 @@ func optsKey(req client.JobRequest) string {
 	req.FullRecompute = false
 	// Priority orders scheduling, never results.
 	req.Priority = ""
+	// The backend name IS results-relevant for optimize jobs: normalize
+	// the empty default to its canonical spelling, so the default and an
+	// explicit "statgreedy" share one memo entry while distinct backends
+	// can never collide. Other ops ignore the field entirely.
+	if req.Op == client.OpOptimize {
+		if req.Optimizer == "" {
+			req.Optimizer = repro.DefaultOptimizer
+		}
+	} else {
+		req.Optimizer = ""
+	}
 	b, _ := json.Marshal(req)
 	return string(b)
+}
+
+// validateOptimizer checks an optimize request's backend name against
+// the registry, returning the machine-readable diagnostic for the 400
+// envelope when the name is unknown (nil = valid). Mirrors the lint
+// rejection path: callers get the offending check by name instead of
+// parsing an error string.
+func validateOptimizer(req *client.JobRequest) *client.Diagnostic {
+	if req.Optimizer == "" {
+		return nil
+	}
+	names := repro.Optimizers()
+	for _, n := range names {
+		if n == req.Optimizer {
+			return nil
+		}
+	}
+	return &client.Diagnostic{
+		Check:    "optimizer",
+		Severity: "error",
+		Msg:      fmt.Sprintf("unknown optimizer %q (want one of %s)", req.Optimizer, strings.Join(names, "|")),
+	}
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -550,6 +587,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := validate(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if d := validateOptimizer(&req); d != nil {
+		writeJSON(w, http.StatusBadRequest, client.ErrorBody{
+			Error:       d.Msg,
+			Diagnostics: []client.Diagnostic{*d},
+		})
 		return
 	}
 

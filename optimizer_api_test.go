@@ -1,0 +1,88 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOptimizersListAndDefault(t *testing.T) {
+	names := Optimizers()
+	want := []string{"meandelay", "recoverarea", "sensitivity", "statgreedy"}
+	if len(names) != len(want) {
+		t.Fatalf("Optimizers() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Optimizers() = %v, want %v (sorted)", names, want)
+		}
+	}
+	found := false
+	for _, n := range names {
+		if n == DefaultOptimizer {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("DefaultOptimizer %q not in Optimizers() %v", DefaultOptimizer, names)
+	}
+}
+
+func TestRunOptionsRejectsUnknownOptimizer(t *testing.T) {
+	opts := RunOptions{Optimizer: "frobnicate"}
+	err := opts.Validate()
+	if err == nil {
+		t.Fatal("unknown optimizer accepted")
+	}
+	if !strings.Contains(err.Error(), "frobnicate") || !strings.Contains(err.Error(), "statgreedy") {
+		t.Fatalf("error %q should name the bad backend and the valid ones", err)
+	}
+	d, genErr := Generate("alu1")
+	if genErr != nil {
+		t.Fatal(genErr)
+	}
+	if _, err := d.Optimize(3, opts); err == nil {
+		t.Fatal("Optimize ran with an unknown backend")
+	}
+}
+
+// TestOptimizeBackendSelection runs every registered backend through
+// the facade's Optimize entry point: each must complete, report its
+// work counters, and (sensitivity, whose answers are worker-count
+// independent and seeded) reproduce its sizing bit-for-bit on a rerun.
+func TestOptimizeBackendSelection(t *testing.T) {
+	for _, backend := range Optimizers() {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			run := func() (OptResult, []int) {
+				d, err := Generate("alu1")
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := d.Optimize(9, RunOptions{
+					Workers: 1, MaxIters: 3, Optimizer: backend, Seed: 11,
+				})
+				if err != nil {
+					t.Fatalf("Optimize(%s): %v", backend, err)
+				}
+				return r, d.Sizes()
+			}
+			r, sizes := run()
+			if r.Evals <= 0 {
+				t.Fatalf("%s: Evals = %d, want > 0", backend, r.Evals)
+			}
+			if r.Iterations <= 0 || r.StoppedBy == "" {
+				t.Fatalf("%s: implausible result %+v", backend, r)
+			}
+			r2, sizes2 := run()
+			if r2.Iterations != r.Iterations || r2.StoppedBy != r.StoppedBy ||
+				r2.SigmaAfter != r.SigmaAfter || r2.MeanAfter != r.MeanAfter {
+				t.Fatalf("%s: rerun not deterministic:\nfirst:  %+v\nsecond: %+v", backend, r, r2)
+			}
+			for i := range sizes {
+				if sizes[i] != sizes2[i] {
+					t.Fatalf("%s: rerun sizes diverge at gate %d", backend, i)
+				}
+			}
+		})
+	}
+}
