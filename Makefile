@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-typed lint-selftest cover cover-update fuzz-smoke bench bench-parallel bench-flat bench-flat-smoke serve e2e chaos cluster-e2e
+.PHONY: all build test race vet lint lint-typed lint-selftest cover cover-update fuzz-smoke ingest-smoke bench bench-parallel bench-flat bench-flat-smoke serve e2e chaos cluster-e2e
 
 all: build vet lint test
 
@@ -58,14 +58,23 @@ cover-update:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) run ./cmd/covercheck -profile cover.out -update
 
-# Short fuzz pass (~40s) over the differential incremental-SSTA target,
-# the .bench parser, and the crash-journal replayer; run in CI on every
-# push.
+# Short fuzz pass (~70s) over the differential incremental-SSTA target,
+# the four format front doors (.bench, Liberty, Verilog, SDF), and the
+# crash-journal replayer; run in CI on every push.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzIncrementalResize -fuzztime 20s ./internal/difftest
 	$(GO) test -run xxx -fuzz FuzzOptimizerInvariants -fuzztime 10s ./internal/difftest
 	$(GO) test -run xxx -fuzz FuzzParseLint -fuzztime 10s ./internal/benchfmt
 	$(GO) test -run xxx -fuzz FuzzJournalReplay -fuzztime 10s ./internal/journal
+	$(GO) test -run xxx -fuzz FuzzLiberty -fuzztime 10s ./internal/liberty
+	$(GO) test -run xxx -fuzz FuzzVerilog -fuzztime 10s ./internal/verilog
+	$(GO) test -run xxx -fuzz FuzzSDF -fuzztime 10s ./internal/sdf
+
+# Ingestion memory-budget smoke: a generated ~500k-gate netlist must
+# stream through the governed Verilog parser under a 2 GiB GOMEMLIMIT
+# with bounded peak heap (the test skips unless INGEST_SMOKE is set).
+ingest-smoke:
+	INGEST_SMOKE=1 GOMEMLIMIT=2GiB $(GO) test -run TestSmokeLargeNetlist -v ./internal/verilog
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

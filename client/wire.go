@@ -32,15 +32,32 @@ const (
 	PriorityLow    = "low"
 )
 
+// Netlist formats accepted on JobRequest.Format (empty = bench).
+const (
+	FormatBench   = "bench"   // ISCAS .bench netlist
+	FormatVerilog = "verilog" // gate-level structural Verilog
+)
+
 // JobRequest is the body of POST /v1/jobs. Exactly one of Bench (an
-// ISCAS .bench netlist, inline) or Generate (a built-in benchmark name)
-// selects the design; the remaining fields parameterize the operation.
+// inline netlist) or Generate (a built-in benchmark name) selects the
+// design; the remaining fields parameterize the operation.
 type JobRequest struct {
 	Op       string `json:"op"`
 	Bench    string `json:"bench,omitempty"`
 	Generate string `json:"generate,omitempty"`
 	// Name labels an inline netlist (defaults to "design").
 	Name string `json:"name,omitempty"`
+	// Format names the syntax of the inline netlist in Bench: "bench"
+	// (ISCAS .bench, the default) or "verilog" (gate-level structural
+	// Verilog). Submissions are parsed under the server's ingestion
+	// budgets; an over-budget netlist is rejected 413, a malformed one
+	// 400 with positioned diagnostics.
+	Format string `json:"format,omitempty"`
+	// Liberty optionally carries an inline Liberty library (the subset
+	// written by the facade's SaveLiberty) to map the inline netlist
+	// onto instead of the default library. It does not combine with
+	// Generate: built-ins always use the default library.
+	Liberty string `json:"liberty,omitempty"`
 
 	// Lambda is the sigma weight for optimize/recover/wnsspath (the
 	// paper evaluates 3 and 9).
@@ -314,15 +331,18 @@ type ErrorBody struct {
 	Diagnostics []Diagnostic `json:"diagnostics,omitempty"`
 }
 
-// Diagnostic is one structural-lint finding, mirroring
-// internal/circuitlint.Diagnostic on the wire: the check that fired
-// ("cycle", "undriven", ...), its severity ("error" or "warning"), the
-// offending gate or net name when one is identifiable, the 1-based
-// netlist line, and a human-readable message.
+// Diagnostic is one structural-lint or ingestion finding, mirroring
+// internal/circuitlint.Diagnostic (and internal/ingest.Diagnostic) on
+// the wire: the check that fired ("cycle", "undriven", "budget",
+// "syntax", ...), its severity ("error" or "warning"), the offending
+// gate or net name when one is identifiable, the 1-based source line
+// and column (column only from the streaming parsers), and a
+// human-readable message.
 type Diagnostic struct {
 	Check    string `json:"check"`
 	Severity string `json:"severity"`
 	Gate     string `json:"gate,omitempty"`
 	Line     int    `json:"line,omitempty"`
+	Col      int    `json:"col,omitempty"`
 	Msg      string `json:"msg"`
 }

@@ -20,7 +20,9 @@ import (
 func main() {
 	var (
 		genName = flag.String("gen", "", "generate a built-in benchmark")
-		bench   = flag.String("bench", "", "load an ISCAS .bench netlist")
+		bench   = flag.String("bench", "", "load a netlist file (see -format)")
+		format  = flag.String("format", "bench", "netlist format of -bench: bench (ISCAS) or verilog (gate-level structural)")
+		libPath = flag.String("liberty", "", "map the netlist onto this Liberty library instead of the default")
 		mc      = flag.Int("mc", 20000, "Monte-Carlo samples (0 disables)")
 		seed    = flag.Int64("seed", 1, "Monte-Carlo seed")
 		lambda  = flag.Float64("lambda", 3, "lambda for the WNSS trace")
@@ -33,14 +35,21 @@ func main() {
 			fmt.Sprintf("size the design with this backend (%s) at -lambda before analyzing; empty analyzes as loaded", strings.Join(repro.Optimizers(), "|")))
 		workers = cliutil.WorkersFlag(flag.CommandLine)
 		lint    = cliutil.LintFlag(flag.CommandLine)
+		ingest  = cliutil.RegisterIngestFlags(flag.CommandLine)
 	)
 	flag.Parse()
 	if err := cliutil.CheckWorkers(*workers); err != nil {
 		fail(err)
 	}
+	if err := cliutil.CheckFormat(*format); err != nil {
+		fail(err)
+	}
+	if err := ingest.Check(); err != nil {
+		fail(err)
+	}
 	opts := repro.RunOptions{Workers: *workers}
 
-	d, err := load(*genName, *bench, *lint)
+	d, err := load(*genName, *bench, *format, *libPath, ingest.Limits(), *lint)
 	if err != nil {
 		fail(err)
 	}
@@ -158,18 +167,21 @@ func tail(s []string, n int) []string {
 	return append([]string{"..."}, s[len(s)-n:]...)
 }
 
-func load(genName, bench string, lint bool) (*repro.Design, error) {
+func load(genName, bench, format, libPath string, lim repro.IngestLimits, lint bool) (*repro.Design, error) {
 	switch {
 	case genName != "" && bench != "":
 		return nil, fmt.Errorf("use either -gen or -bench, not both")
 	case genName != "":
+		if libPath != "" {
+			return nil, fmt.Errorf("-liberty does not combine with -gen (built-ins use the default library)")
+		}
 		d, err := repro.Generate(genName)
 		if err != nil {
 			return nil, err
 		}
 		return d, cliutil.CheckDesign(d, lint, os.Stderr)
 	case bench != "":
-		return cliutil.LoadBenchLinted(bench, lint, os.Stderr)
+		return cliutil.LoadNetlist(bench, format, libPath, lim, lint, os.Stderr)
 	}
 	return nil, fmt.Errorf("nothing to analyze: pass -gen <name> or -bench <file>")
 }

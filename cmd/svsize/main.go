@@ -20,9 +20,11 @@ import (
 func main() {
 	var (
 		genName = flag.String("gen", "", "generate a built-in benchmark (see -list)")
-		bench   = flag.String("bench", "", "load an ISCAS .bench netlist")
-		vlog    = flag.String("verilog", "", "load a structural Verilog netlist")
-		libFile = flag.String("lib", "", "map onto a Liberty (.lib) library instead of the built-in one")
+		bench   = flag.String("bench", "", "load a netlist file (see -format)")
+		format  = flag.String("format", "bench", "netlist format of -bench: bench (ISCAS) or verilog (gate-level structural)")
+		vlog    = flag.String("verilog", "", "load a structural Verilog netlist (same as -bench <file> -format verilog)")
+		libFile = flag.String("lib", "", "map onto a Liberty (.lib) library instead of the built-in one (alias: -liberty)")
+		libAlt  = flag.String("liberty", "", "alias of -lib, matching ssta")
 		lambda  = flag.Float64("lambda", 3, "sigma weight in the cost mu + lambda*sigma")
 		backend = flag.String("optimizer", repro.DefaultOptimizer,
 			fmt.Sprintf("sizing backend: %s", strings.Join(repro.Optimizers(), "|")))
@@ -34,10 +36,23 @@ func main() {
 		workers = cliutil.WorkersFlag(flag.CommandLine)
 		incr    = cliutil.IncrementalFlag(flag.CommandLine)
 		lint    = cliutil.LintFlag(flag.CommandLine)
+		ingest  = cliutil.RegisterIngestFlags(flag.CommandLine)
 	)
 	flag.Parse()
 	if err := cliutil.CheckWorkers(*workers); err != nil {
 		fail(err)
+	}
+	if err := cliutil.CheckFormat(*format); err != nil {
+		fail(err)
+	}
+	if err := ingest.Check(); err != nil {
+		fail(err)
+	}
+	if *libAlt != "" {
+		if *libFile != "" && *libFile != *libAlt {
+			fail(fmt.Errorf("-lib and -liberty disagree; pass one"))
+		}
+		*libFile = *libAlt
 	}
 	opts := repro.RunOptions{Workers: *workers, FullRecompute: !*incr, Optimizer: *backend, Seed: *seed}
 	if err := opts.Validate(); err != nil {
@@ -49,7 +64,7 @@ func main() {
 		}
 		return
 	}
-	d, err := load(*genName, *bench, *vlog, *libFile, *lint)
+	d, err := load(*genName, *bench, *format, *vlog, *libFile, ingest.Limits(), *lint)
 	if err != nil {
 		fail(err)
 	}
@@ -101,7 +116,7 @@ func main() {
 	}
 }
 
-func load(genName, bench, vlog, libFile string, lint bool) (*repro.Design, error) {
+func load(genName, bench, format, vlog, libFile string, lim repro.IngestLimits, lint bool) (*repro.Design, error) {
 	sources := 0
 	for _, s := range []string{genName, bench, vlog} {
 		if s != "" {
@@ -111,53 +126,22 @@ func load(genName, bench, vlog, libFile string, lint bool) (*repro.Design, error
 	if sources != 1 {
 		return nil, fmt.Errorf("pass exactly one of -gen, -bench, -verilog")
 	}
-	if libFile != "" {
-		if bench == "" {
-			return nil, fmt.Errorf("-lib currently requires -bench")
-		}
-		lf, err := os.Open(libFile)
-		if err != nil {
-			return nil, err
-		}
-		defer lf.Close()
-		lib, err := repro.LoadLiberty(lf)
-		if err != nil {
-			return nil, err
-		}
-		f, err := os.Open(bench)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		d, err := repro.LoadBenchWithLibrary(f, bench, lib)
-		if err != nil {
-			return nil, err
-		}
-		// Library-mapped designs get the design-level lint (unmapped
-		// cells, size indices) in addition to the structural checks.
-		return d, cliutil.CheckDesign(d, lint, os.Stderr)
+	// -verilog <file> is shorthand for -bench <file> -format verilog;
+	// every file load funnels through the shared governed front door.
+	if vlog != "" {
+		bench, format = vlog, "verilog"
 	}
-	switch {
-	case genName != "":
+	if genName != "" {
+		if libFile != "" {
+			return nil, fmt.Errorf("-lib does not combine with -gen (built-ins use the default library)")
+		}
 		d, err := repro.Generate(genName)
 		if err != nil {
 			return nil, err
 		}
 		return d, cliutil.CheckDesign(d, lint, os.Stderr)
-	case bench != "":
-		return cliutil.LoadBenchLinted(bench, lint, os.Stderr)
-	default:
-		f, err := os.Open(vlog)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		d, err := repro.LoadVerilog(f, vlog)
-		if err != nil {
-			return nil, err
-		}
-		return d, cliutil.CheckDesign(d, lint, os.Stderr)
 	}
+	return cliutil.LoadNetlist(bench, format, libFile, lim, lint, os.Stderr)
 }
 
 func fail(err error) {

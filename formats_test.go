@@ -2,6 +2,8 @@ package repro
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -126,3 +128,76 @@ func benchRoundTrip(t *testing.T, name string) {
 
 func TestBenchRoundTripC432(t *testing.T) { benchRoundTrip(t, "c432") }
 func TestBenchRoundTripALU3(t *testing.T) { benchRoundTrip(t, "alu3") }
+
+func TestLoadVerilogOptsBudget(t *testing.T) {
+	d, err := Generate("alu2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.SaveVerilog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadVerilogOpts(bytes.NewReader(buf.Bytes()), "alu2", IngestLimits{MaxBytes: 64})
+	if !IsBudgetError(err) {
+		t.Fatalf("want budget error, got %v", err)
+	}
+	diags := Diagnostics(err)
+	if len(diags) == 0 {
+		t.Fatal("budget error carries no diagnostics")
+	}
+	if _, err := LoadVerilogOpts(bytes.NewReader(buf.Bytes()), "alu2", IngestLimits{}); err != nil {
+		t.Fatalf("default limits rejected a real design: %v", err)
+	}
+}
+
+func TestLoadVerilogWithLibraryAgrees(t *testing.T) {
+	d, err := Generate("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lib, net bytes.Buffer
+	if err := d.SaveLiberty(&lib); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SaveVerilog(&net); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := LoadLibertyOpts(&lib, IngestLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := LoadVerilogWithLibrary(&net, "c432", parsed, IngestLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Stats().Inputs != d.Stats().Inputs || d2.Stats().Outputs != d.Stats().Outputs {
+		t.Fatal("verilog+liberty load changed port counts")
+	}
+}
+
+func TestLoadBenchCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := LoadBenchCtx(ctx, strings.NewReader("INPUT(a)\nOUTPUT(a)\n"), "x")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestDiagnosticsOnMalformedVerilog(t *testing.T) {
+	_, err := LoadVerilog(strings.NewReader("module m(; endmodule"), "m")
+	if err == nil {
+		t.Fatal("malformed verilog accepted")
+	}
+	if IsBudgetError(err) {
+		t.Fatal("syntax error misclassified as budget")
+	}
+	diags := Diagnostics(err)
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics on malformed input")
+	}
+	if diags[0].Line == 0 {
+		t.Fatalf("diagnostic missing position: %+v", diags[0])
+	}
+}

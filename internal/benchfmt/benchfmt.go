@@ -12,6 +12,7 @@ package benchfmt
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -46,7 +47,15 @@ var benchNameByFn = map[circuit.Fn]string{
 // structural diagnosis of a bad netlist, feed ParseNetlist's raw form to
 // internal/circuitlint instead.
 func Parse(r io.Reader, name string) (*circuit.Circuit, error) {
-	nl, err := ParseNetlist(r, name)
+	return ParseCtx(context.Background(), r, name)
+}
+
+// ParseCtx is Parse with cancellation: the underlying line scan polls ctx
+// every ctxPollLines lines (see ParseNetlistCtx), so design loads started
+// on behalf of a cancelled request stop promptly instead of finishing a
+// multi-million-line file.
+func ParseCtx(ctx context.Context, r io.Reader, name string) (*circuit.Circuit, error) {
+	nl, err := ParseNetlistCtx(ctx, r, name)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,97 @@
+package benchfmt
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// pollCountingCtx mirrors the cancellation tests of the streaming
+// parsers (and montecarlo): it counts Err polls and starts reporting
+// Canceled after a fixed number, so the test can assert the parse
+// stops within one poll interval.
+type pollCountingCtx struct {
+	context.Context
+	polls       atomic.Int64
+	cancelAfter int64
+}
+
+func (c *pollCountingCtx) Err() error {
+	if c.polls.Add(1) > c.cancelAfter {
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *pollCountingCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+
+// chainLines emits a long single-fanin buffer chain in .bench syntax.
+func chainLines(n int) string {
+	var b strings.Builder
+	b.WriteString("INPUT(a)\n")
+	prev := "a"
+	for i := 0; i < n; i++ {
+		cur := fmt.Sprintf("g%d", i)
+		fmt.Fprintf(&b, "%s = BUFF(%s)\n", cur, prev)
+		prev = cur
+	}
+	fmt.Fprintf(&b, "OUTPUT(%s)\n", prev)
+	return b.String()
+}
+
+func TestParseCtxHonorsCancellationMidParse(t *testing.T) {
+	src := chainLines(10 * ctxPollLines)
+	ctx := &pollCountingCtx{Context: context.Background(), cancelAfter: 2}
+	_, err := ParseCtx(ctx, strings.NewReader(src), "chain")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if got := ctx.polls.Load(); got > 4 {
+		t.Fatalf("parse kept polling after cancellation: %d polls", got)
+	}
+}
+
+// countingReader counts how many bytes the scanner actually pulled.
+type countingReader struct {
+	r      io.Reader
+	served int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.served += int64(n)
+	return n, err
+}
+
+func TestParseCtxAlreadyCancelledDoesNoWork(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cr := &countingReader{r: strings.NewReader(chainLines(4 * ctxPollLines))}
+	_, err := ParseNetlistCtx(ctx, cr, "chain")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if cr.served != 0 {
+		t.Fatalf("cancelled parse still read %d bytes", cr.served)
+	}
+}
+
+func TestParseCtxNilContextParses(t *testing.T) {
+	c, err := ParseCtx(nil, strings.NewReader(chainLines(8)), "chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumLogicGates() != 8 {
+		t.Fatalf("gates = %d, want 8", c.NumLogicGates())
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+}

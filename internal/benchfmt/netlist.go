@@ -2,12 +2,18 @@ package benchfmt
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"strings"
 
 	"repro/internal/circuit"
 )
+
+// ctxPollLines is how many netlist lines pass between context polls in
+// ParseNetlistCtx: cancellation lands within a few microseconds of real
+// parse work without ctx.Err showing up in a profile.
+const ctxPollLines = 256
 
 // Port is one INPUT or OUTPUT declaration of a raw netlist, with the
 // source line it came from.
@@ -43,12 +49,32 @@ type Netlist struct {
 // fanins, unknown or sequential (DFF) functions. Semantic problems are
 // left in the returned Netlist for Build or circuitlint to find.
 func ParseNetlist(r io.Reader, name string) (*Netlist, error) {
+	return ParseNetlistCtx(context.Background(), r, name)
+}
+
+// ParseNetlistCtx is ParseNetlist with cancellation: ctx is polled every
+// ctxPollLines netlist lines so a caller-side deadline or cancel stops a
+// long parse mid-file. A nil ctx means context.Background. Cancellation
+// surfaces as the ctx error (context.Canceled / context.DeadlineExceeded),
+// matching the streaming parsers in internal/liberty, verilog and sdf.
+func ParseNetlistCtx(ctx context.Context, r io.Reader, name string) (*Netlist, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	nl := &Netlist{Name: name}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
+		if lineNo%ctxPollLines == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue

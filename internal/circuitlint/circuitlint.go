@@ -52,12 +52,16 @@ const (
 
 // Diagnostic is one structural problem. Gate names the offending gate or
 // net when there is one; Line is the source line for raw-netlist checks
-// (0 when unknown, e.g. for checks on already-built circuits).
+// (0 when unknown, e.g. for checks on already-built circuits). Col is the
+// 1-based column for diagnostics produced by the streaming parsers
+// (internal/ingest), which know positions to the byte; line-oriented
+// checks leave it 0.
 type Diagnostic struct {
 	Check    string `json:"check"`
 	Severity string `json:"severity"`
 	Gate     string `json:"gate,omitempty"`
 	Line     int    `json:"line,omitempty"`
+	Col      int    `json:"col,omitempty"`
 	Msg      string `json:"msg"`
 }
 

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cells"
 	"repro/internal/circuitlint"
 )
 
@@ -103,25 +104,152 @@ func LintFlag(fs *flag.FlagSet) *bool {
 		"run the structural design linter before analysis; error findings abort (-lint=false skips)")
 }
 
+// IngestFlags is the shared set of -ingest-max-* overrides: one
+// registration point so the budget knobs read identically across
+// cmd/ssta, cmd/svsize and cmd/sstad. Zero values select the production
+// defaults of internal/ingest.
+type IngestFlags struct {
+	MaxBytes  *int64
+	MaxTokens *int64
+	MaxIdent  *int
+	MaxDepth  *int
+	MaxGates  *int
+	MaxNets   *int
+	MaxErrors *int
+}
+
+// RegisterIngestFlags registers the -ingest-max-* knobs on fs.
+func RegisterIngestFlags(fs *flag.FlagSet) *IngestFlags {
+	return &IngestFlags{
+		MaxBytes:  fs.Int64("ingest-max-bytes", 0, "cap raw netlist/library input bytes (0 = default)"),
+		MaxTokens: fs.Int64("ingest-max-tokens", 0, "cap lexical tokens per parse (0 = default)"),
+		MaxIdent:  fs.Int("ingest-max-ident", 0, "cap identifier/string length in bytes (0 = default)"),
+		MaxDepth:  fs.Int("ingest-max-depth", 0, "cap grouping/paren nesting depth (0 = default)"),
+		MaxGates:  fs.Int("ingest-max-gates", 0, "cap gate/cell definitions per parse (0 = default)"),
+		MaxNets:   fs.Int("ingest-max-nets", 0, "cap declared nets/ports/pins per parse (0 = default)"),
+		MaxErrors: fs.Int("ingest-max-errors", 0, "cap recoverable diagnostics before aborting (0 = default)"),
+	}
+}
+
+// Check rejects negative budget overrides by flag name (0 = default).
+func (f *IngestFlags) Check() error {
+	for _, k := range []struct {
+		name string
+		v    int64
+	}{
+		{"-ingest-max-bytes", *f.MaxBytes},
+		{"-ingest-max-tokens", *f.MaxTokens},
+		{"-ingest-max-ident", int64(*f.MaxIdent)},
+		{"-ingest-max-depth", int64(*f.MaxDepth)},
+		{"-ingest-max-gates", int64(*f.MaxGates)},
+		{"-ingest-max-nets", int64(*f.MaxNets)},
+		{"-ingest-max-errors", int64(*f.MaxErrors)},
+	} {
+		if k.v < 0 {
+			return fmt.Errorf("%s must be >= 0 (0 = default), got %d", k.name, k.v)
+		}
+	}
+	return nil
+}
+
+// Limits converts the parsed overrides into the public budget envelope.
+func (f *IngestFlags) Limits() repro.IngestLimits {
+	return repro.IngestLimits{
+		MaxBytes: *f.MaxBytes, MaxTokens: *f.MaxTokens,
+		MaxIdent: *f.MaxIdent, MaxDepth: *f.MaxDepth,
+		MaxGates: *f.MaxGates, MaxNets: *f.MaxNets,
+		MaxErrors: *f.MaxErrors,
+	}
+}
+
+// CheckFormat validates a -format flag value.
+func CheckFormat(format string) error {
+	switch format {
+	case "", "bench", "verilog":
+		return nil
+	}
+	return fmt.Errorf("-format must be bench or verilog, got %q", format)
+}
+
+// LoadNetlist is the shared governed front door of the commands: it
+// loads a netlist file in the named format ("bench", the default, or
+// "verilog") under the budget envelope, optionally mapping it onto a
+// Liberty library file instead of the default library. For .bench input
+// the structural lint runs concurrently with the parse (the two walk
+// the same text independently) and error findings abort the load;
+// Verilog input streams straight from the file and is design-linted
+// after the build.
+func LoadNetlist(path, format, libertyPath string, lim repro.IngestLimits, lint bool, w io.Writer) (*repro.Design, error) {
+	var lib *cells.Library
+	if libertyPath != "" {
+		lf, err := os.Open(libertyPath)
+		if err != nil {
+			return nil, err
+		}
+		lib, err = repro.LoadLibertyOpts(lf, lim)
+		lf.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", libertyPath, err)
+		}
+	}
+	switch format {
+	case "", "bench":
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var lintCh chan []circuitlint.Diagnostic
+		if lint {
+			lintCh = make(chan []circuitlint.Diagnostic, 1)
+			text := string(data)
+			go func() { lintCh <- circuitlint.LintText(text, path) }()
+		}
+		var d *repro.Design
+		var perr error
+		if lib != nil {
+			d, perr = repro.LoadBenchWithLibrary(bytes.NewReader(data), path, lib)
+		} else {
+			d, perr = repro.LoadBenchCtx(lim.Ctx, bytes.NewReader(data), path)
+		}
+		if lintCh != nil {
+			diags := <-lintCh
+			if len(diags) > 0 {
+				fmt.Fprint(w, circuitlint.Format(diags))
+			}
+			if circuitlint.HasErrors(diags) {
+				return nil, fmt.Errorf("%s fails lint: %d error finding(s)", path, len(circuitlint.Errors(diags)))
+			}
+		}
+		return d, perr
+	case "verilog":
+		vf, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer vf.Close()
+		var d *repro.Design
+		if lib != nil {
+			d, err = repro.LoadVerilogWithLibrary(vf, path, lib, lim)
+		} else {
+			d, err = repro.LoadVerilogOpts(vf, path, lim)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := CheckDesign(d, lint, w); err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+	return nil, fmt.Errorf("unknown netlist format %q (want bench|verilog)", format)
+}
+
 // LoadBenchLinted reads an ISCAS .bench file and builds the design,
 // first linting the raw netlist text when lint is true: every
 // diagnostic (with gate names and line numbers) goes to w, and
-// error-severity findings abort the load before any parse.
+// error-severity findings abort the load.
 func LoadBenchLinted(path string, lint bool, w io.Writer) (*repro.Design, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	if lint {
-		diags := circuitlint.LintText(string(data), path)
-		if len(diags) > 0 {
-			fmt.Fprint(w, circuitlint.Format(diags))
-		}
-		if circuitlint.HasErrors(diags) {
-			return nil, fmt.Errorf("%s fails lint: %d error finding(s)", path, len(circuitlint.Errors(diags)))
-		}
-	}
-	return repro.LoadBench(bytes.NewReader(data), path)
+	return LoadNetlist(path, "bench", "", repro.IngestLimits{}, lint, w)
 }
 
 // CheckDesign lints an already-built design (generated benchmarks,

@@ -96,9 +96,16 @@ func New(maxDesigns, maxResults int) *Cache {
 }
 
 // HashDesign returns the design's content address: the SHA-256 (hex) of
-// its canonical .bench text with comment lines stripped. Comments carry
+// its canonical .bench text with comment lines stripped, followed by the
+// canonical Liberty text of the library it is mapped onto. Comments carry
 // the circuit's display name, which is presentation, not content — the
 // same netlist submitted under two names must land on one cache entry.
+// The library fingerprint keeps the same netlist mapped onto two
+// different libraries (timing-distinct designs) from colliding on one
+// entry; since every .bench-replicated reconstruction uses the default
+// library, a custom-library design that reaches a cluster worker fails
+// its hash check loudly instead of silently computing with the wrong
+// timing.
 func HashDesign(d *repro.Design) (string, error) {
 	var buf bytes.Buffer
 	if err := d.SaveBench(&buf); err != nil {
@@ -112,6 +119,12 @@ func HashDesign(d *repro.Design) (string, error) {
 		h.Write([]byte(line))
 		h.Write([]byte{'\n'})
 	}
+	var lib bytes.Buffer
+	if err := d.SaveLiberty(&lib); err != nil {
+		return "", fmt.Errorf("designcache: library fingerprint: %w", err)
+	}
+	h.Write([]byte("\x00liberty\x00"))
+	h.Write(lib.Bytes())
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/cells"
 )
 
 func benchText(t *testing.T, name string) string {
@@ -61,6 +62,44 @@ func TestHashIsFormattingInvariant(t *testing.T) {
 	}
 	if h1 != h2 {
 		t.Fatal("formatting noise changed the content address")
+	}
+}
+
+// TestLibraryChangesHash pins the library fingerprint: the same netlist
+// mapped onto two different libraries is two timing-distinct designs and
+// must occupy two cache entries.
+func TestLibraryChangesHash(t *testing.T) {
+	text := benchText(t, "alu1")
+	d1, err := repro.LoadBench(strings.NewReader(text), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := cells.Default90nm()
+	lib.PrimaryOutputLoad *= 2
+	d2, err := repro.LoadBenchWithLibrary(strings.NewReader(text), "x", lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := HashDesign(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := HashDesign(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Fatal("same netlist on two libraries collided on one content address")
+	}
+	c := New(0, 0)
+	if _, _, err := c.Intern(d1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Intern(d2); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Designs != 2 {
+		t.Fatalf("want 2 cached designs, have %d", s.Designs)
 	}
 }
 

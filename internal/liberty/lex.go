@@ -2,86 +2,41 @@ package liberty
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
+
+	"repro/internal/ingest"
 )
 
-// token kinds
-type tokKind int
+// The Liberty lexer is the shared governed lexer with Liberty's surface
+// syntax: (){}:; are punctuation, commas and the backslash line
+// continuations used inside values() are separators.
+type token = ingest.Token
 
 const (
-	tokIdent tokKind = iota
-	tokString
-	tokPunct // one of ( ) { } : ; ,
-	tokEOF
+	tokIdent  = ingest.TokenIdent
+	tokString = ingest.TokenString
+	tokPunct  = ingest.TokenPunct
+	tokEOF    = ingest.TokenEOF
 )
 
-type token struct {
-	kind tokKind
-	text string
-	line int
-}
+type posError = ingest.PosError
 
-// lex splits Liberty text into tokens, dropping comments and the
-// backslash line continuations used inside values().
-func lex(src string) []token {
-	var toks []token
-	line := 1
-	i := 0
-	n := len(src)
-	for i < n {
-		ch := src[i]
-		switch {
-		case ch == '\n':
-			line++
-			i++
-		case ch == ' ' || ch == '\t' || ch == '\r':
-			i++
-		case ch == '\\': // line continuation
-			i++
-		case ch == '/' && i+1 < n && src[i+1] == '*':
-			for i < n-1 && !(src[i] == '*' && src[i+1] == '/') {
-				if src[i] == '\n' {
-					line++
-				}
-				i++
-			}
-			i += 2
-		case ch == '/' && i+1 < n && src[i+1] == '/':
-			for i < n && src[i] != '\n' {
-				i++
-			}
-		case ch == '"':
-			j := i + 1
-			for j < n && src[j] != '"' {
-				if src[j] == '\n' {
-					line++
-				}
-				j++
-			}
-			toks = append(toks, token{tokString, src[i+1 : j], line})
-			i = j + 1
-		case strings.ContainsRune("(){}:;,", rune(ch)):
-			toks = append(toks, token{tokPunct, string(ch), line})
-			i++
-		default:
-			j := i
-			for j < n && !strings.ContainsRune(" \t\r\n(){}:;,\"\\", rune(src[j])) {
-				j++
-			}
-			toks = append(toks, token{tokIdent, src[i:j], line})
-			i = j
-		}
-	}
-	toks = append(toks, token{kind: tokEOF, line: line})
-	return toks
+var libertySpec = ingest.LexSpec{Puncts: "(){}:;", Skip: ",\\"}
+
+func newLexer(r *ingest.Reader, m *ingest.Meter, lim ingest.Limits) *ingest.Lexer {
+	return ingest.NewLexer(r, m, lim, libertySpec)
 }
 
 // group is a parsed Liberty group: name(arg) { attrs... subgroups... }.
+// The streaming parser materializes at most ONE top-level cell group at
+// a time (plus its nested pin/timing subtree), never the whole library.
 type group struct {
-	name  string
-	arg   string
-	attrs map[string][]string // attribute name -> values
-	subs  []*group
+	name      string
+	arg       string
+	line, col int
+	attrs     map[string][]string // attribute name -> values
+	subs      []*group
 }
 
 func (g *group) attrString(name string) (string, bool) {
@@ -97,8 +52,8 @@ func (g *group) attrFloat(name string) (float64, bool) {
 	if !ok {
 		return 0, false
 	}
-	var v float64
-	if _, err := fmt.Sscanf(s, "%g", &v); err != nil {
+	v, err := parseFloat(s)
+	if err != nil {
 		return 0, false
 	}
 	return v, true
@@ -109,139 +64,19 @@ func (g *group) attrList(name string) ([]string, bool) {
 	return vs, ok
 }
 
-type parser struct {
-	toks []token
-	pos  int
-}
-
-func (p *parser) peek() token { return p.toks[p.pos] }
-
-func (p *parser) next() token {
-	t := p.toks[p.pos]
-	if t.kind != tokEOF {
-		p.pos++
+// parseFloat accepts the leading-number semantics the historical
+// Sscanf("%g") parser used: "3.5x" parses as 3.5. Liberty files in the
+// wild carry unit suffixes in odd places, so the tolerance is kept.
+func parseFloat(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return v, nil
 	}
-	return t
-}
-
-func (p *parser) expect(text string) error {
-	t := p.next()
-	if t.kind != tokPunct || t.text != text {
-		return fmt.Errorf("liberty: line %d: expected %q, got %q", t.line, text, t.text)
-	}
-	return nil
-}
-
-// group parses IDENT ( arg? ) { body }.
-func (p *parser) group() (*group, error) {
-	name := p.next()
-	if name.kind != tokIdent {
-		return nil, fmt.Errorf("liberty: line %d: expected group name, got %q", name.line, name.text)
-	}
-	g := &groupT{name: name.text}
-	if err := p.expect("("); err != nil {
-		return nil, err
-	}
-	var args []string
-	for {
-		t := p.peek()
-		if t.kind == tokPunct && t.text == ")" {
-			p.next()
-			break
-		}
-		if t.kind == tokPunct && t.text == "," {
-			p.next()
-			continue
-		}
-		if t.kind == tokEOF {
-			return nil, fmt.Errorf("liberty: line %d: unexpected EOF in group args", t.line)
-		}
-		args = append(args, p.next().text)
-	}
-	g.arg = strings.Join(args, ",")
-	if err := p.expect("{"); err != nil {
-		return nil, err
-	}
-	if err := p.body(g); err != nil {
-		return nil, err
-	}
-	return (*group)(g), nil
-}
-
-// groupT is an alias so group() can build incrementally without exporting
-// mutation helpers.
-type groupT group
-
-func (p *parser) body(g *groupT) error {
-	if g.attrs == nil {
-		g.attrs = map[string][]string{}
-	}
-	for {
-		t := p.peek()
-		switch {
-		case t.kind == tokEOF:
-			return fmt.Errorf("liberty: line %d: unexpected EOF in group body", t.line)
-		case t.kind == tokPunct && t.text == "}":
-			p.next()
-			return nil
-		case t.kind == tokPunct && t.text == ";":
-			p.next()
-		case t.kind == tokIdent:
-			if err := p.statement(g); err != nil {
-				return err
-			}
-		default:
-			return fmt.Errorf("liberty: line %d: unexpected token %q", t.line, t.text)
+	// Longest parseable prefix.
+	for i := len(s) - 1; i > 0; i-- {
+		if v, err := strconv.ParseFloat(s[:i], 64); err == nil {
+			return v, nil
 		}
 	}
-}
-
-// statement parses either `name : value ;`, `name ( values ) ;` or a
-// nested group `name ( arg ) { ... }`.
-func (p *parser) statement(g *groupT) error {
-	name := p.next()
-	t := p.peek()
-	switch {
-	case t.kind == tokPunct && t.text == ":":
-		p.next()
-		v := p.next()
-		if v.kind == tokEOF {
-			return fmt.Errorf("liberty: line %d: missing attribute value", v.line)
-		}
-		g.attrs[name.text] = append(g.attrs[name.text], v.text)
-		return nil
-	case t.kind == tokPunct && t.text == "(":
-		// Look ahead: complex attribute or nested group?
-		save := p.pos
-		p.next() // consume (
-		var vals []string
-		for {
-			tt := p.peek()
-			if tt.kind == tokPunct && tt.text == ")" {
-				p.next()
-				break
-			}
-			if tt.kind == tokPunct && tt.text == "," {
-				p.next()
-				continue
-			}
-			if tt.kind == tokEOF {
-				return fmt.Errorf("liberty: line %d: unexpected EOF in attribute", tt.line)
-			}
-			vals = append(vals, p.next().text)
-		}
-		if nt := p.peek(); nt.kind == tokPunct && nt.text == "{" {
-			// Nested group: reparse from the saved position.
-			p.pos = save - 1
-			sub, err := p.group()
-			if err != nil {
-				return err
-			}
-			g.subs = append(g.subs, sub)
-			return nil
-		}
-		g.attrs[name.text] = append(g.attrs[name.text], vals...)
-		return nil
-	}
-	return fmt.Errorf("liberty: line %d: expected ':' or '(' after %q", t.line, name.text)
+	return 0, fmt.Errorf("bad number %q", s)
 }

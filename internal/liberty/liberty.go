@@ -13,12 +13,14 @@
 package liberty
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 
 	"repro/internal/cells"
+	"repro/internal/ingest"
 )
 
 // Write emits the library as Liberty text.
@@ -129,46 +131,410 @@ func KindOfCellName(name string) (cells.Kind, bool) {
 }
 
 // Parse reads a Liberty library written by Write (or a compatible
-// subset). Cells whose names do not follow the KIND_Xdrive convention
-// are rejected, since the mapper needs the kind.
+// subset) under the default resource budgets. Cells whose names do not
+// follow the KIND_Xdrive convention are rejected, since the mapper needs
+// the kind.
 func Parse(r io.Reader) (*cells.Library, error) {
-	data, err := io.ReadAll(r)
-	if err != nil {
-		return nil, fmt.Errorf("liberty: read: %v", err)
+	return ParseOpts(r, ingest.Default())
+}
+
+// ParseOpts reads a Liberty library in a single streaming pass under the
+// given budget envelope: at most one cell group is materialized at a
+// time, the context in lim is polled at token granularity, and malformed
+// constructs are recovered from with a bounded diagnostic list (surfaced
+// as an *ingest.Error) instead of first-error bailout. Context
+// cancellation propagates as the context's own error.
+func ParseOpts(r io.Reader, lim ingest.Limits) (*cells.Library, error) {
+	lim = lim.WithDefaults()
+	if err := lim.Ctx.Err(); err != nil {
+		return nil, err
 	}
-	p := &parser{toks: lex(string(data))}
-	g, err := p.group()
+	p := &parser{
+		lx:   newLexer(ingest.NewReader(r, lim), ingest.NewMeter(lim), lim),
+		lim:  lim,
+		diag: ingest.NewCollector("liberty", lim),
+	}
+	return p.library()
+}
+
+// parser is the streaming statement-at-a-time Liberty reader. depth
+// tracks how many { } groups are open so error recovery can resynchronize
+// to a statement boundary at library level, and stored bounds how many
+// attribute values one top-level statement may materialize.
+type parser struct {
+	lx     *ingest.Lexer
+	lim    ingest.Limits
+	diag   *ingest.Collector
+	depth  int
+	stored int
+}
+
+// fail files a lexer/parse error as a diagnostic. The returned error is
+// non-nil when the parse must stop now: context cancellation (propagated
+// unwrapped), a budget trip, or an exhausted error budget.
+func (p *parser) fail(err error) error {
+	if ingest.IsCtxErr(err) {
+		return err
+	}
+	line, col := p.lx.Pos()
+	msg := err
+	var pe *posError
+	if errors.As(err, &pe) {
+		line, col, msg = pe.Line, pe.Col, pe.Err
+	}
+	check := ingest.CheckSyntax
+	if ingest.IsBudgetSentinel(err) {
+		check = ingest.CheckBudget
+	}
+	ok := p.diag.Add(ingest.Diagnostic{
+		Check: check, Severity: ingest.SeverityError,
+		Line: line, Col: col, Msg: msg.Error(),
+	})
+	if check == ingest.CheckBudget || !ok {
+		return p.diag.Err()
+	}
+	p.lx.ClearErr()
+	return nil
+}
+
+// semantic files a structural diagnostic; false means the error budget
+// is exhausted.
+func (p *parser) semantic(line, col int, msg string) bool {
+	return p.diag.Add(ingest.Diagnostic{
+		Check: ingest.CheckSemantic, Severity: ingest.SeverityError,
+		Line: line, Col: col, Msg: msg,
+	})
+}
+
+// store counts materialized attribute values and subgroups against the
+// net/pin budget, bounding how much of one statement's subtree can be
+// held in memory at a time.
+func (p *parser) store(n int) error {
+	p.stored += n
+	if p.stored > p.lim.MaxNets {
+		return ingest.Budgetf("statement materializes more than %d values", p.lim.MaxNets)
+	}
+	return nil
+}
+
+type stmtKind int
+
+const (
+	stmtAttr  stmtKind = iota // name : v ;   or   name (v, v) ;
+	stmtGroup                 // name (arg) {   — body not yet consumed
+)
+
+type stmt struct {
+	kind      stmtKind
+	name      string
+	line, col int
+	values    []string
+}
+
+func (s *stmt) arg() string {
+	if len(s.values) == 0 {
+		return ""
+	}
+	return s.values[0]
+}
+
+// statement reads one statement whose name identifier has already been
+// consumed. For groups only the "(arg) {" opener is consumed; the caller
+// decides whether to materialize or skip the body.
+func (p *parser) statement(name token) (*stmt, error) {
+	st := &stmt{name: name.Text, line: name.Line, col: name.Col}
+	tok, err := p.lx.Next()
 	if err != nil {
 		return nil, err
 	}
-	if g.name != "library" {
-		return nil, fmt.Errorf("liberty: top-level group is %q, want library", g.name)
+	if tok.Kind != tokPunct {
+		return nil, &posError{Line: tok.Line, Col: tok.Col, Err: fmt.Errorf("unexpected %s after %q", tok, name.Text)}
 	}
-	lib := &cells.Library{Name: g.arg}
-	if v, ok := g.attrFloat("default_input_transition"); ok {
-		lib.PrimaryInputSlew = v
-	}
-	if v, ok := g.attrFloat("default_output_load"); ok {
-		lib.PrimaryOutputLoad = v
-	}
-	if v, ok := g.attrFloat("default_input_drive_resistance"); ok {
-		lib.PrimaryInputRes = v
-	}
-	groups := map[cells.Kind][]*cells.Cell{}
-	for _, sub := range g.subs {
-		if sub.name != "cell" {
-			continue
+	switch tok.Text {
+	case ":":
+		for {
+			tok, err := p.lx.Next()
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case tok.Kind == tokIdent || tok.Kind == tokString:
+				if err := p.store(1); err != nil {
+					return nil, err
+				}
+				st.values = append(st.values, tok.Text)
+			case tok.Kind == tokPunct && tok.Text == ";":
+				return st, nil
+			default:
+				return nil, &posError{Line: tok.Line, Col: tok.Col, Err: fmt.Errorf("unexpected %s in attribute %q", tok, st.name)}
+			}
 		}
-		cell, err := parseCell(sub)
+	case "(":
+	args:
+		for {
+			tok, err := p.lx.Next()
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case tok.Kind == tokIdent || tok.Kind == tokString:
+				if err := p.store(1); err != nil {
+					return nil, err
+				}
+				st.values = append(st.values, tok.Text)
+			case tok.Kind == tokPunct && tok.Text == ")":
+				break args
+			default:
+				return nil, &posError{Line: tok.Line, Col: tok.Col, Err: fmt.Errorf("unexpected %s in %q(...)", tok, st.name)}
+			}
+		}
+		tok, err = p.lx.Next()
 		if err != nil {
 			return nil, err
 		}
-		groups[cell.Kind] = append(groups[cell.Kind], cell)
+		switch {
+		case tok.Kind == tokPunct && tok.Text == ";":
+			return st, nil
+		case tok.Kind == tokPunct && tok.Text == "{":
+			if p.depth >= p.lim.MaxDepth {
+				return nil, &posError{Line: tok.Line, Col: tok.Col, Err:
+					ingest.Budgetf("group nesting exceeds the depth budget of %d", p.lim.MaxDepth)}
+			}
+			p.depth++
+			st.kind = stmtGroup
+			return st, nil
+		default:
+			return nil, &posError{Line: tok.Line, Col: tok.Col, Err: fmt.Errorf("expected ; or { after %q(...), got %s", st.name, tok)}
+		}
+	default:
+		return nil, &posError{Line: tok.Line, Col: tok.Col, Err: fmt.Errorf("unexpected %q after %q", tok.Text, name.Text)}
 	}
-	if len(groups) == 0 {
-		return nil, fmt.Errorf("liberty: library %q has no cells", lib.Name)
+}
+
+// groupBody materializes the body of an opened group into a group tree,
+// one statement at a time, recursing at most MaxDepth deep.
+func (p *parser) groupBody(st *stmt) (*group, error) {
+	g := &group{name: st.name, arg: st.arg(), line: st.line, col: st.col, attrs: map[string][]string{}}
+	for {
+		tok, err := p.lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case tok.Kind == tokEOF:
+			return nil, &posError{Line: tok.Line, Col: tok.Col, Err: fmt.Errorf("unexpected end of file in group %q", g.name)}
+		case tok.Kind == tokPunct && tok.Text == "}":
+			p.depth--
+			return g, nil
+		case tok.Kind == tokIdent:
+			sub, err := p.statement(tok)
+			if err != nil {
+				return nil, err
+			}
+			if sub.kind == stmtGroup {
+				child, err := p.groupBody(sub)
+				if err != nil {
+					return nil, err
+				}
+				if err := p.store(1); err != nil {
+					return nil, err
+				}
+				g.subs = append(g.subs, child)
+			} else {
+				g.attrs[sub.name] = sub.values
+			}
+		default:
+			return nil, &posError{Line: tok.Line, Col: tok.Col, Err: fmt.Errorf("unexpected %q in group %q", tok.Text, g.name)}
+		}
 	}
-	for kind, cs := range groups {
+}
+
+// skipGroup discards the body of an opened group without materializing
+// it: unknown groups (operating_conditions, lu_table_template, ...) cost
+// tokens, never memory. Junk inside a skipped group is tolerated.
+func (p *parser) skipGroup() error {
+	target := p.depth - 1
+	for {
+		tok, err := p.lx.Next()
+		if err != nil {
+			if ingest.IsCtxErr(err) || ingest.IsBudgetSentinel(err) {
+				return err
+			}
+			p.lx.ClearErr()
+			continue
+		}
+		switch {
+		case tok.Kind == tokEOF:
+			return &posError{Line: tok.Line, Col: tok.Col, Err: errors.New("unexpected end of file in skipped group")}
+		case tok.Kind == tokPunct && tok.Text == "{":
+			p.depth++
+		case tok.Kind == tokPunct && tok.Text == "}":
+			p.depth--
+			if p.depth <= target {
+				return nil
+			}
+		}
+	}
+}
+
+// resync recovers after a filed diagnostic: tokens are discarded until
+// the parse is back at the target group depth on a statement boundary.
+// The returned error is non-nil only when the parse must stop (ctx,
+// budget, or exhausted error budget).
+func (p *parser) resync(target int) error {
+	for {
+		tok, err := p.lx.Next()
+		if err != nil {
+			if f := p.fail(err); f != nil {
+				return f
+			}
+			continue
+		}
+		switch {
+		case tok.Kind == tokEOF:
+			return nil
+		case tok.Kind == tokPunct && tok.Text == ";":
+			if p.depth <= target {
+				return nil
+			}
+		case tok.Kind == tokPunct && tok.Text == "{":
+			p.depth++
+		case tok.Kind == tokPunct && tok.Text == "}":
+			p.depth--
+			if p.depth <= target {
+				return nil
+			}
+		}
+	}
+}
+
+// library drives the whole parse: header, then top-level statements one
+// at a time. Cell groups are materialized, converted and dropped;
+// everything else is skipped or distilled into the three library
+// defaults, so peak memory is one cell subtree regardless of input size.
+func (p *parser) library() (*cells.Library, error) {
+	tok, err := p.lx.Next()
+	if err != nil {
+		if f := p.fail(err); f != nil {
+			return nil, f
+		}
+		return nil, p.diag.Err()
+	}
+	if tok.Kind != tokIdent || tok.Text != "library" {
+		p.semantic(tok.Line, tok.Col, fmt.Sprintf("top-level group is %q, want library", tok.Text))
+		return nil, p.diag.Err()
+	}
+	head, err := p.statement(tok)
+	if err != nil {
+		if f := p.fail(err); f != nil {
+			return nil, f
+		}
+		return nil, p.diag.Err()
+	}
+	if head.kind != stmtGroup {
+		p.semantic(head.line, head.col, "library is an attribute, want a group")
+		return nil, p.diag.Err()
+	}
+	lib := &cells.Library{Name: head.arg()}
+	kinds := map[cells.Kind][]*cells.Cell{}
+	ncells := 0
+loop:
+	for p.depth > 0 {
+		tok, err := p.lx.Next()
+		if err != nil {
+			if f := p.fail(err); f != nil {
+				return nil, f
+			}
+			if f := p.resync(1); f != nil {
+				return nil, f
+			}
+			continue
+		}
+		switch {
+		case tok.Kind == tokEOF:
+			p.semantic(tok.Line, tok.Col, "unexpected end of file: library group not closed")
+			break loop
+		case tok.Kind == tokPunct && tok.Text == "}":
+			p.depth--
+		case tok.Kind == tokIdent:
+			p.stored = 0
+			st, err := p.statement(tok)
+			if err != nil {
+				if f := p.fail(err); f != nil {
+					return nil, f
+				}
+				if f := p.resync(1); f != nil {
+					return nil, f
+				}
+				continue
+			}
+			switch {
+			case st.kind == stmtAttr:
+				v := st.arg()
+				if v == "" {
+					break
+				}
+				switch st.name {
+				case "default_input_transition":
+					if f, err := parseFloat(v); err == nil {
+						lib.PrimaryInputSlew = f
+					}
+				case "default_output_load":
+					if f, err := parseFloat(v); err == nil {
+						lib.PrimaryOutputLoad = f
+					}
+				case "default_input_drive_resistance":
+					if f, err := parseFloat(v); err == nil {
+						lib.PrimaryInputRes = f
+					}
+				}
+			case st.name == "cell":
+				ncells++
+				if ncells > p.lim.MaxGates {
+					return nil, p.fail(ingest.Budgetf("library holds more than %d cells", p.lim.MaxGates))
+				}
+				g, err := p.groupBody(st)
+				if err != nil {
+					if f := p.fail(err); f != nil {
+						return nil, f
+					}
+					if f := p.resync(1); f != nil {
+						return nil, f
+					}
+					continue
+				}
+				cell, err := parseCell(g)
+				if err != nil {
+					if !p.semantic(g.line, g.col, err.Error()) {
+						return nil, p.diag.Err()
+					}
+					continue
+				}
+				kinds[cell.Kind] = append(kinds[cell.Kind], cell)
+			default:
+				if err := p.skipGroup(); err != nil {
+					if f := p.fail(err); f != nil {
+						return nil, f
+					}
+				}
+			}
+		default:
+			if f := p.fail(&posError{Line: tok.Line, Col: tok.Col, Err: fmt.Errorf("unexpected %q", tok.Text)}); f != nil {
+				return nil, f
+			}
+			if f := p.resync(1); f != nil {
+				return nil, f
+			}
+		}
+	}
+	if err := p.diag.Err(); err != nil {
+		return nil, err
+	}
+	if len(kinds) == 0 {
+		p.semantic(0, 0, fmt.Sprintf("library %q has no cells", lib.Name))
+		return nil, p.diag.Err()
+	}
+	for kind, cs := range kinds {
 		sort.Slice(cs, func(i, j int) bool { return cs[i].Drive < cs[j].Drive })
 		for i, c := range cs {
 			c.SizeIdx = i
@@ -176,7 +542,8 @@ func Parse(r io.Reader) (*cells.Library, error) {
 		lib.AddGroup(&cells.Group{Kind: kind, Cells: cs})
 	}
 	if err := lib.Validate(); err != nil {
-		return nil, fmt.Errorf("liberty: parsed library invalid: %v", err)
+		p.semantic(0, 0, fmt.Sprintf("parsed library invalid: %v", err))
+		return nil, p.diag.Err()
 	}
 	return lib, nil
 }

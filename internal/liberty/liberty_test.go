@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/cells"
+	"repro/internal/ingest"
 )
 
 func TestRoundTripDefaultLibrary(t *testing.T) {
@@ -158,11 +159,20 @@ func TestParseAveragesRiseFall(t *testing.T) {
 }
 
 func TestLexerHandlesCommentsAndContinuations(t *testing.T) {
-	toks := lex("a /* x\ny */ : 1; // trailing\nb \\\n: 2;")
+	lim := ingest.Default()
+	src := "a /* x\ny */ : 1; // trailing\nb \\\n: 2;"
+	lx := newLexer(ingest.NewReader(strings.NewReader(src), lim), ingest.NewMeter(lim), lim)
 	var idents []string
-	for _, tk := range toks {
-		if tk.kind == tokIdent {
-			idents = append(idents, tk.text)
+	for {
+		tk, err := lx.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tk.Kind == tokEOF {
+			break
+		}
+		if tk.Kind == tokIdent {
+			idents = append(idents, tk.Text)
 		}
 	}
 	if len(idents) != 4 || idents[0] != "a" || idents[2] != "b" {

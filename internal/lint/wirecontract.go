@@ -20,6 +20,7 @@ var wireDirs = map[string]bool{
 	"internal/cluster":     true,
 	"internal/server":      true,
 	"internal/circuitlint": true,
+	"internal/ingest":      true,
 	"internal/jobs":        true,
 	"internal/journal":     true,
 	"internal/buildinfo":   true,

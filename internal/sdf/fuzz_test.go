@@ -1,0 +1,80 @@
+package sdf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/ingest"
+)
+
+// fuzzLimits keeps hostile inputs cheap: every budget is small enough
+// that a pathological case can neither allocate much nor run long.
+func fuzzLimits() ingest.Limits {
+	return ingest.Limits{
+		MaxBytes: 64 << 10, MaxTokens: 1 << 16, MaxIdent: 128,
+		MaxDepth: 16, MaxGates: 256, MaxNets: 4096, MaxErrors: 8,
+	}
+}
+
+const fuzzSeedSDF = `(DELAYFILE
+  (SDFVERSION "3.0")
+  (DESIGN "alu")
+  (TIMESCALE 1ps)
+  (CELL
+    (CELLTYPE "NAND2_X2")
+    (INSTANCE alu_c_1)
+    (DELAY (ABSOLUTE
+      (IOPATH A Y (10.000:12.000:14.000) (10.000:12.000:14.000))
+      (IOPATH B Y (10.000:12.000:14.000) (10.000:12.000:14.000))
+    ))
+  )
+)
+`
+
+// FuzzSDF asserts the hostile-input contract of the streaming SDF
+// parser: for arbitrary bytes it returns a typed error or a valid File,
+// never panics, and any accepted file agrees with the strict build path
+// — File.Write re-emits it and one further Parse → Write round trip is
+// a byte-level fixed point.
+func FuzzSDF(f *testing.F) {
+	f.Add(fuzzSeedSDF)
+	f.Add("(DELAYFILE)")
+	f.Add("(DELAYFILE (SDFVERSION) (TIMESCALE) (CELL))")
+	f.Add("(NOTDELAYFILE)")
+	f.Add("(DELAYFILE (CELL (DELAY (ABSOLUTE (IOPATH A Y (1) (2))))))")
+	f.Add("(DELAYFILE (CELL (DELAY (ABSOLUTE (IOPATH A Y (x:y:z) (1:2:3))))))")
+	f.Add("(DELAYFILE (VOLTAGE 1.1) (PROCESS \"typ\") (CELL (CELLTYPE \"x\")))")
+	f.Add("(DELAYFILE (CELL (INSTANCE \"a b\")))")
+	f.Add("(((((")
+	f.Add("garbage // comment\n/* block */")
+	f.Fuzz(func(t *testing.T, src string) {
+		lim := fuzzLimits()
+		file, err := ParseOpts(strings.NewReader(src), lim)
+		if err != nil {
+			ie, ok := ingest.As(err)
+			if !ok {
+				t.Fatalf("untyped parse error: %v", err)
+			}
+			if len(ie.Diags) > lim.MaxErrors+1 {
+				t.Fatalf("unbounded diagnostics: %d", len(ie.Diags))
+			}
+			return
+		}
+		var first bytes.Buffer
+		if werr := file.Write(&first); werr != nil {
+			t.Fatalf("accepted file cannot be written: %v", werr)
+		}
+		again, rerr := Parse(bytes.NewReader(first.Bytes()))
+		if rerr != nil {
+			t.Fatalf("round trip rejected: %v\nsrc:\n%s\nemitted:\n%s", rerr, src, first.String())
+		}
+		var second bytes.Buffer
+		if werr := again.Write(&second); werr != nil {
+			t.Fatalf("re-parsed file cannot be written: %v", werr)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("SDF re-emission is not a fixed point\nfirst:\n%s\nsecond:\n%s", first.String(), second.String())
+		}
+	})
+}

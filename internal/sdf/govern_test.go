@@ -1,0 +1,229 @@
+package sdf
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cells"
+	"repro/internal/gen"
+	"repro/internal/ingest"
+	"repro/internal/synth"
+	"repro/internal/variation"
+)
+
+// synthText streams an endless syntactically-valid SDF prefix so the
+// byte budget — not a syntax error — is what stops the parse. It counts
+// how many bytes the parser actually pulled.
+type synthText struct {
+	header  string
+	filler  string
+	total   int64
+	served  int64
+	emitted int64
+}
+
+func (s *synthText) Read(p []byte) (int, error) {
+	if s.emitted >= s.total {
+		return 0, io.EOF
+	}
+	n := 0
+	for n < len(p) && s.emitted < s.total {
+		var src string
+		if s.emitted < int64(len(s.header)) {
+			src = s.header[s.emitted:]
+		} else {
+			src = s.filler[(s.emitted-int64(len(s.header)))%int64(len(s.filler)):]
+		}
+		c := copy(p[n:], src)
+		n += c
+		s.emitted += int64(c)
+	}
+	s.served += int64(n)
+	return n, nil
+}
+
+// TestParseRejectsHugeInputAtByteBudget: a 100MB synthetic delay file is
+// rejected at the byte budget without being materialized. The filler is
+// an unknown form, so it costs tokens but no memory at all.
+func TestParseRejectsHugeInputAtByteBudget(t *testing.T) {
+	const budget = 1 << 20
+	src := &synthText{
+		header: "(DELAYFILE\n",
+		filler: "  (VOLTAGE 1.1:1.2:1.3)\n",
+		total:  100 << 20,
+	}
+	_, err := ParseOpts(src, ingest.Limits{MaxBytes: budget})
+	if !ingest.IsBudget(err) {
+		t.Fatalf("want budget-class ingest error, got %v", err)
+	}
+	if slack := src.served - budget; slack < 0 || slack > 256<<10 {
+		t.Fatalf("parser pulled %d bytes for a %d-byte budget", src.served, budget)
+	}
+}
+
+// pollCountingCtx mirrors the montecarlo cancellation tests.
+type pollCountingCtx struct {
+	context.Context
+	polls       atomic.Int64
+	cancelAfter int64
+}
+
+func (c *pollCountingCtx) Err() error {
+	if c.polls.Add(1) > c.cancelAfter {
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *pollCountingCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+
+func TestParseHonorsCancellationMidParse(t *testing.T) {
+	d, vm := setup(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, d, vm, 3); err != nil {
+		t.Fatal(err)
+	}
+	ctx := &pollCountingCtx{Context: context.Background(), cancelAfter: 2}
+	_, err := ParseOpts(bytes.NewReader(buf.Bytes()), ingest.Limits{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if got := ctx.polls.Load(); got > 4 {
+		t.Fatalf("parse kept polling after cancellation: %d polls", got)
+	}
+}
+
+func TestParseAlreadyCancelledDoesNoWork(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	src := &synthText{header: "(DELAYFILE\n", filler: "  (X y)\n", total: 1 << 30}
+	_, err := ParseOpts(src, ingest.Limits{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if src.served != 0 {
+		t.Fatalf("cancelled parse still read %d bytes", src.served)
+	}
+}
+
+// TestParseCellBudget pins element-count governance: the number of
+// annotated cells is bounded by MaxGates regardless of input size.
+func TestParseCellBudget(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("(DELAYFILE\n")
+	for i := 0; i < 50; i++ {
+		b.WriteString("  (CELL (CELLTYPE \"INV_X1\") (INSTANCE g) )\n")
+	}
+	b.WriteString(")\n")
+	_, err := ParseOpts(strings.NewReader(b.String()), ingest.Limits{MaxGates: 10})
+	if !ingest.IsBudget(err) {
+		t.Fatalf("want budget-class error, got %v", err)
+	}
+}
+
+// TestParseDepthBudget pins runaway paren nesting rejection.
+func TestParseDepthBudget(t *testing.T) {
+	src := "(DELAYFILE " + strings.Repeat("(X ", 100)
+	_, err := ParseOpts(strings.NewReader(src), ingest.Limits{MaxDepth: 8})
+	if !ingest.IsBudget(err) {
+		t.Fatalf("want budget-class error, got %v", err)
+	}
+}
+
+// TestParseRecoversFromMalformedForms pins bounded multi-error
+// recovery: independent defective top-level forms each produce one
+// positioned diagnostic and the parse continues past them.
+func TestParseRecoversFromMalformedForms(t *testing.T) {
+	src := `(DELAYFILE
+  (SDFVERSION "3.0")
+  (CELL (CELLTYPE "INV_X1") (INSTANCE g0)
+    (DELAY (ABSOLUTE (IOPATH A Y (oops) (1.0:2.0:3.0)))))
+  (CELL (CELLTYPE "INV_X1") (INSTANCE g1)
+    (DELAY (ABSOLUTE (IOPATH A Y (1:2) (1.0:2.0:3.0)))))
+)
+`
+	_, err := Parse(strings.NewReader(src))
+	ie, ok := ingest.As(err)
+	if !ok {
+		t.Fatalf("want *ingest.Error, got %v", err)
+	}
+	if ie.Format != "sdf" {
+		t.Fatalf("format = %q", ie.Format)
+	}
+	if len(ie.Diags) != 2 {
+		t.Fatalf("want 2 diagnostics, got %d: %v", len(ie.Diags), ie.Diags)
+	}
+	for _, d := range ie.Diags {
+		if d.Line == 0 {
+			t.Fatalf("diagnostic missing position: %+v", d)
+		}
+	}
+	if ie.Budget() {
+		t.Fatal("malformed input misclassified as budget")
+	}
+}
+
+// TestWriteParseWriteFixedPoint pins Design→SDF fidelity on the
+// benchmark family: package Write's output parses losslessly and
+// File.Write re-emits it byte for byte.
+func TestWriteParseWriteFixedPoint(t *testing.T) {
+	lib := cells.Default90nm()
+	vm := variation.Default(lib)
+	for _, mk := range []struct {
+		name  string
+		gates int
+	}{
+		{"alu4", 0},
+		{"parity64", 64},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			var d *synth.Design
+			var err error
+			if mk.gates == 0 {
+				d, err = synth.Map(gen.ALU("alu", 4), lib)
+			} else {
+				d, err = synth.Map(gen.ParityTree("p", mk.gates), lib)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			var first bytes.Buffer
+			if err := Write(&first, d, vm, 3); err != nil {
+				t.Fatal(err)
+			}
+			f, err := Parse(bytes.NewReader(first.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.Version != "3.0" || f.Design != d.Circuit.Name || f.Timescale != "1ps" {
+				t.Fatalf("header lost: %+v", f)
+			}
+			if len(f.Cells) != d.Circuit.NumLogicGates() {
+				t.Fatalf("parsed %d cells, design has %d logic gates", len(f.Cells), d.Circuit.NumLogicGates())
+			}
+			for _, cd := range f.Cells {
+				if cd.CellType == "" || cd.Instance == "" || len(cd.Paths) == 0 {
+					t.Fatalf("cell annotation lost fields: %+v", cd)
+				}
+				for _, p := range cd.Paths {
+					if !(p.Rise.Min <= p.Rise.Typ && p.Rise.Typ <= p.Rise.Max) {
+						t.Fatalf("triple unordered after parse: %+v", p)
+					}
+				}
+			}
+			var second bytes.Buffer
+			if err := f.Write(&second); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				t.Fatal("SDF text is not a fixed point of Write -> Parse -> Write")
+			}
+		})
+	}
+}

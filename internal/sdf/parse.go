@@ -1,0 +1,515 @@
+package sdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/ingest"
+)
+
+// Triple is one (min:typ:max) delay corner triple in picoseconds.
+type Triple struct {
+	Min, Typ, Max float64
+}
+
+// IOPath is one timing arc of a cell instance.
+type IOPath struct {
+	From, To   string
+	Rise, Fall Triple
+}
+
+// CellDelay is the annotation of one gate instance.
+type CellDelay struct {
+	CellType, Instance string
+	Paths              []IOPath
+}
+
+// File is a parsed SDF delay file of the subset Write emits: a header
+// plus per-instance absolute IOPATH delays.
+type File struct {
+	Version   string
+	Design    string
+	Timescale string
+	Cells     []CellDelay
+}
+
+// sdfSpec is the s-expression surface syntax: parens punctuate, and the
+// colon-joined corner triples lex as single ident tokens.
+var sdfSpec = ingest.LexSpec{Puncts: "()"}
+
+// Parse reads an SDF file written by Write (or a compatible subset)
+// under the default resource budgets.
+func Parse(r io.Reader) (*File, error) {
+	return ParseOpts(r, ingest.Default())
+}
+
+// ParseOpts reads an SDF file in a single streaming pass under the given
+// budget envelope: cells are appended one at a time (never more than one
+// unfinished form in memory beyond the result), the context in lim is
+// polled at token granularity, and malformed forms are recovered from
+// with a bounded diagnostic list (surfaced as an *ingest.Error).
+// Context cancellation propagates as the context's own error.
+func ParseOpts(r io.Reader, lim ingest.Limits) (*File, error) {
+	lim = lim.WithDefaults()
+	if err := lim.Ctx.Err(); err != nil {
+		return nil, err
+	}
+	p := &sparser{
+		lx:   ingest.NewLexer(ingest.NewReader(r, lim), ingest.NewMeter(lim), lim, sdfSpec),
+		lim:  lim,
+		diag: ingest.NewCollector("sdf", lim),
+	}
+	return p.file()
+}
+
+// sparser is the streaming s-expression reader. depth tracks open parens
+// so error recovery can resynchronize to the top-level form list.
+type sparser struct {
+	lx    *ingest.Lexer
+	lim   ingest.Limits
+	diag  *ingest.Collector
+	depth int
+	paths int
+}
+
+func (p *sparser) fail(err error) error {
+	line, col := p.lx.Pos()
+	rec, fatal := p.diag.File(err, line, col)
+	if rec {
+		p.lx.ClearErr()
+	}
+	return fatal
+}
+
+func (p *sparser) semantic(line, col int, msg string) bool {
+	return p.diag.Add(ingest.Diagnostic{
+		Check: ingest.CheckSemantic, Severity: ingest.SeverityError,
+		Line: line, Col: col, Msg: msg,
+	})
+}
+
+// open consumes "(" (tracking nesting depth against the budget).
+func (p *sparser) open() error {
+	tok, err := p.lx.Next()
+	if err != nil {
+		return err
+	}
+	if tok.Kind != ingest.TokenPunct || tok.Text != "(" {
+		return ingest.Errf(tok.Line, tok.Col, "expected \"(\", got %s", tok)
+	}
+	if p.depth >= p.lim.MaxDepth {
+		return &ingest.PosError{Line: tok.Line, Col: tok.Col,
+			Err: ingest.Budgetf("paren nesting exceeds the depth budget of %d", p.lim.MaxDepth)}
+	}
+	p.depth++
+	return nil
+}
+
+// close consumes ")".
+func (p *sparser) close() error {
+	tok, err := p.lx.Next()
+	if err != nil {
+		return err
+	}
+	if tok.Kind != ingest.TokenPunct || tok.Text != ")" {
+		return ingest.Errf(tok.Line, tok.Col, "expected \")\", got %s", tok)
+	}
+	p.depth--
+	return nil
+}
+
+// atom consumes one ident or string token.
+func (p *sparser) atom(what string) (ingest.Token, error) {
+	tok, err := p.lx.Next()
+	if err != nil {
+		return tok, err
+	}
+	if tok.Kind != ingest.TokenIdent && tok.Kind != ingest.TokenString {
+		return tok, ingest.Errf(tok.Line, tok.Col, "expected %s, got %s", what, tok)
+	}
+	return tok, nil
+}
+
+// optAtom consumes one atom, or yields an empty one when the form
+// closes immediately (SDF permits empty header entries, and File.Write
+// must be able to re-emit files whose headers were absent).
+func (p *sparser) optAtom(what string) (ingest.Token, error) {
+	tok, err := p.lx.Peek()
+	if err != nil {
+		return tok, err
+	}
+	if tok.Kind == ingest.TokenPunct && tok.Text == ")" {
+		return ingest.Token{Kind: ingest.TokenString, Line: tok.Line, Col: tok.Col}, nil
+	}
+	return p.atom(what)
+}
+
+// skipForm discards the rest of an already-opened form, balancing
+// parens; junk inside a skipped form is tolerated (unknown SDF
+// constructs cost tokens, never memory).
+func (p *sparser) skipForm() error {
+	target := p.depth - 1
+	for {
+		tok, err := p.lx.Next()
+		if err != nil {
+			if ingest.IsCtxErr(err) || ingest.IsBudgetSentinel(err) {
+				return err
+			}
+			p.lx.ClearErr()
+			continue
+		}
+		switch {
+		case tok.Kind == ingest.TokenEOF:
+			return ingest.Errf(tok.Line, tok.Col, "unexpected end of file in skipped form")
+		case tok.Kind == ingest.TokenPunct && tok.Text == "(":
+			if p.depth >= p.lim.MaxDepth {
+				return &ingest.PosError{Line: tok.Line, Col: tok.Col,
+					Err: ingest.Budgetf("paren nesting exceeds the depth budget of %d", p.lim.MaxDepth)}
+			}
+			p.depth++
+		case tok.Kind == ingest.TokenPunct && tok.Text == ")":
+			p.depth--
+			if p.depth <= target {
+				return nil
+			}
+		}
+	}
+}
+
+// resync recovers after a filed diagnostic: tokens are discarded until
+// the parse is back at the target paren depth.
+func (p *sparser) resync(target int) error {
+	for {
+		tok, err := p.lx.Next()
+		if err != nil {
+			if f := p.fail(err); f != nil {
+				return f
+			}
+			continue
+		}
+		switch {
+		case tok.Kind == ingest.TokenEOF:
+			return nil
+		case tok.Kind == ingest.TokenPunct && tok.Text == "(":
+			p.depth++
+		case tok.Kind == ingest.TokenPunct && tok.Text == ")":
+			p.depth--
+			if p.depth <= target {
+				return nil
+			}
+		}
+	}
+}
+
+// form consumes "(" NAME, returning the name token.
+func (p *sparser) form() (ingest.Token, error) {
+	if err := p.open(); err != nil {
+		return ingest.Token{}, err
+	}
+	return p.atom("form name")
+}
+
+func (p *sparser) file() (*File, error) {
+	head, err := p.form()
+	if err != nil {
+		if f := p.fail(err); f != nil {
+			return nil, f
+		}
+		return nil, p.diag.Err()
+	}
+	if head.Text != "DELAYFILE" {
+		p.semantic(head.Line, head.Col, fmt.Sprintf("top-level form is %q, want DELAYFILE", head.Text))
+		return nil, p.diag.Err()
+	}
+	f := &File{}
+loop:
+	for p.depth > 0 {
+		tok, err := p.lx.Next()
+		if err != nil {
+			if fe := p.fail(err); fe != nil {
+				return nil, fe
+			}
+			if fe := p.resync(1); fe != nil {
+				return nil, fe
+			}
+			continue
+		}
+		switch {
+		case tok.Kind == ingest.TokenEOF:
+			p.semantic(tok.Line, tok.Col, "unexpected end of file: DELAYFILE not closed")
+			break loop
+		case tok.Kind == ingest.TokenPunct && tok.Text == ")":
+			p.depth--
+		case tok.Kind == ingest.TokenPunct && tok.Text == "(":
+			p.depth++
+			name, err := p.atom("form name")
+			if err == nil {
+				err = p.subform(f, name)
+			}
+			if err != nil {
+				if fe := p.fail(err); fe != nil {
+					return nil, fe
+				}
+				if fe := p.resync(1); fe != nil {
+					return nil, fe
+				}
+			}
+		default:
+			if fe := p.fail(ingest.Errf(tok.Line, tok.Col, "unexpected %s", tok)); fe != nil {
+				return nil, fe
+			}
+			if fe := p.resync(1); fe != nil {
+				return nil, fe
+			}
+		}
+	}
+	if err := p.diag.Err(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// subform dispatches one top-level form whose "(" NAME is consumed.
+func (p *sparser) subform(f *File, name ingest.Token) error {
+	switch name.Text {
+	case "SDFVERSION":
+		tok, err := p.optAtom("version")
+		if err != nil {
+			return err
+		}
+		f.Version = tok.Text
+		return p.close()
+	case "DESIGN":
+		tok, err := p.optAtom("design name")
+		if err != nil {
+			return err
+		}
+		f.Design = tok.Text
+		return p.close()
+	case "TIMESCALE":
+		tok, err := p.optAtom("timescale")
+		if err != nil {
+			return err
+		}
+		f.Timescale = tok.Text
+		return p.close()
+	case "CELL":
+		if len(f.Cells) >= p.lim.MaxGates {
+			return &ingest.PosError{Line: name.Line, Col: name.Col,
+				Err: ingest.Budgetf("file annotates more than %d cells", p.lim.MaxGates)}
+		}
+		cd, err := p.cell()
+		if err != nil {
+			return err
+		}
+		f.Cells = append(f.Cells, cd)
+		return nil
+	default:
+		return p.skipForm()
+	}
+}
+
+// cell parses the body of a (CELL ...) form.
+func (p *sparser) cell() (CellDelay, error) {
+	var cd CellDelay
+	for {
+		tok, err := p.lx.Next()
+		if err != nil {
+			return cd, err
+		}
+		switch {
+		case tok.Kind == ingest.TokenEOF:
+			return cd, ingest.Errf(tok.Line, tok.Col, "unexpected end of file in CELL")
+		case tok.Kind == ingest.TokenPunct && tok.Text == ")":
+			p.depth--
+			return cd, nil
+		case tok.Kind == ingest.TokenPunct && tok.Text == "(":
+			p.depth++
+			name, err := p.atom("form name")
+			if err != nil {
+				return cd, err
+			}
+			switch name.Text {
+			case "CELLTYPE":
+				t, err := p.optAtom("cell type")
+				if err != nil {
+					return cd, err
+				}
+				cd.CellType = t.Text
+				if err := p.close(); err != nil {
+					return cd, err
+				}
+			case "INSTANCE":
+				t, err := p.optAtom("instance name")
+				if err != nil {
+					return cd, err
+				}
+				cd.Instance = t.Text
+				if err := p.close(); err != nil {
+					return cd, err
+				}
+			case "DELAY":
+				if err := p.delay(&cd); err != nil {
+					return cd, err
+				}
+			default:
+				if err := p.skipForm(); err != nil {
+					return cd, err
+				}
+			}
+		default:
+			return cd, ingest.Errf(tok.Line, tok.Col, "unexpected %s in CELL", tok)
+		}
+	}
+}
+
+// delay parses (ABSOLUTE (IOPATH ...)...) inside an opened DELAY form,
+// then the DELAY close paren.
+func (p *sparser) delay(cd *CellDelay) error {
+	name, err := p.form()
+	if err != nil {
+		return err
+	}
+	if name.Text != "ABSOLUTE" {
+		if err := p.skipForm(); err != nil { // INCREMENT etc.: not modeled
+			return err
+		}
+		return p.close()
+	}
+	for {
+		tok, err := p.lx.Next()
+		if err != nil {
+			return err
+		}
+		switch {
+		case tok.Kind == ingest.TokenEOF:
+			return ingest.Errf(tok.Line, tok.Col, "unexpected end of file in ABSOLUTE")
+		case tok.Kind == ingest.TokenPunct && tok.Text == ")":
+			p.depth--
+			return p.close() // DELAY's own close
+		case tok.Kind == ingest.TokenPunct && tok.Text == "(":
+			p.depth++
+			name, err := p.atom("form name")
+			if err != nil {
+				return err
+			}
+			if name.Text != "IOPATH" {
+				if err := p.skipForm(); err != nil {
+					return err
+				}
+				continue
+			}
+			p.paths++
+			if p.paths > p.lim.MaxNets {
+				return &ingest.PosError{Line: name.Line, Col: name.Col,
+					Err: ingest.Budgetf("file annotates more than %d timing arcs", p.lim.MaxNets)}
+			}
+			path, err := p.iopath()
+			if err != nil {
+				return err
+			}
+			cd.Paths = append(cd.Paths, path)
+		default:
+			return ingest.Errf(tok.Line, tok.Col, "unexpected %s in ABSOLUTE", tok)
+		}
+	}
+}
+
+// iopath parses "FROM TO (triple) (triple))" after "(IOPATH".
+func (p *sparser) iopath() (IOPath, error) {
+	var ip IOPath
+	from, err := p.atom("input pin")
+	if err != nil {
+		return ip, err
+	}
+	to, err := p.atom("output pin")
+	if err != nil {
+		return ip, err
+	}
+	ip.From, ip.To = from.Text, to.Text
+	if ip.Rise, err = p.triple(); err != nil {
+		return ip, err
+	}
+	if ip.Fall, err = p.triple(); err != nil {
+		return ip, err
+	}
+	return ip, p.close()
+}
+
+// triple parses "(min:typ:max)" (or a single-value "(typ)", which SDF
+// allows and which expands to an equal-corner triple).
+func (p *sparser) triple() (Triple, error) {
+	var t Triple
+	if err := p.open(); err != nil {
+		return t, err
+	}
+	tok, err := p.atom("delay triple")
+	if err != nil {
+		return t, err
+	}
+	parts := strings.Split(tok.Text, ":")
+	vals := make([]float64, len(parts))
+	for i, s := range parts {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return t, ingest.Errf(tok.Line, tok.Col, "bad delay value %q", s)
+		}
+		vals[i] = v
+	}
+	switch len(vals) {
+	case 1:
+		t = Triple{vals[0], vals[0], vals[0]}
+	case 3:
+		t = Triple{vals[0], vals[1], vals[2]}
+	default:
+		return t, ingest.Errf(tok.Line, tok.Col, "delay triple %q has %d values, want 1 or 3", tok.Text, len(vals))
+	}
+	return t, p.close()
+}
+
+// safeToken renders a name so it re-lexes as the single atom it came
+// from: names that contain token-breaking bytes (whitespace, parens,
+// the comment slash) or are empty go back inside quotes, everything
+// else is emitted bare exactly like package-level Write does.
+func safeToken(s string) string {
+	if s == "" {
+		return `""`
+	}
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c <= ' ', c == '(', c == ')', c == '"', c == '/':
+			return `"` + s + `"`
+		}
+	}
+	return s
+}
+
+// Write re-emits the parsed file in exactly the shape package-level
+// Write produces (%.3f corners, same indentation), so
+// Write → Parse → File.Write is a byte-level fixed point.
+func (f *File) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "(DELAYFILE\n")
+	fmt.Fprintf(bw, "  (SDFVERSION \"%s\")\n", f.Version)
+	fmt.Fprintf(bw, "  (DESIGN \"%s\")\n", f.Design)
+	fmt.Fprintf(bw, "  (TIMESCALE %s)\n", safeToken(f.Timescale))
+	for _, cd := range f.Cells {
+		fmt.Fprintf(bw, "  (CELL\n")
+		fmt.Fprintf(bw, "    (CELLTYPE \"%s\")\n", cd.CellType)
+		fmt.Fprintf(bw, "    (INSTANCE %s)\n", safeToken(cd.Instance))
+		fmt.Fprintf(bw, "    (DELAY (ABSOLUTE\n")
+		for _, p := range cd.Paths {
+			fmt.Fprintf(bw, "      (IOPATH %s %s (%.3f:%.3f:%.3f) (%.3f:%.3f:%.3f))\n",
+				safeToken(p.From), safeToken(p.To),
+				p.Rise.Min, p.Rise.Typ, p.Rise.Max,
+				p.Fall.Min, p.Fall.Typ, p.Fall.Max)
+		}
+		fmt.Fprintf(bw, "    ))\n")
+		fmt.Fprintf(bw, "  )\n")
+	}
+	fmt.Fprintf(bw, ")\n")
+	return bw.Flush()
+}

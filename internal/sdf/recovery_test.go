@@ -1,0 +1,110 @@
+package sdf
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ingest"
+)
+
+// TestParseMalformedInputsDiagnose pins the error-recovery surface of
+// the governed SDF reader: each defective file must fail with a typed,
+// non-budget *ingest.Error containing the expected diagnostic — never a
+// panic, never a bare unclassified error.
+func TestParseMalformedInputsDiagnose(t *testing.T) {
+	cases := []struct {
+		name, src, wantMsg string
+	}{
+		{"no form at all", "hello\n", `expected "("`},
+		{"wrong top-level form", "(TIMINGFILE)\n", "want DELAYFILE"},
+		{"junk at top level", "(DELAYFILE stray )\n", "unexpected"},
+		{"eof in skipped form", "(DELAYFILE (VENDOR acme\n", "unexpected end of file"},
+		{"unclosed delayfile", "(DELAYFILE (SDFVERSION \"3.0\")\n", "DELAYFILE not closed"},
+		{"junk in cell", "(DELAYFILE (CELL stray))\n", "in CELL"},
+		{"eof in cell", "(DELAYFILE (CELL (CELLTYPE \"X\")\n", "end of file in CELL"},
+		{"junk in absolute", "(DELAYFILE (CELL (DELAY (ABSOLUTE stray))))\n", "in ABSOLUTE"},
+		{"eof in absolute", "(DELAYFILE (CELL (DELAY (ABSOLUTE\n", "end of file in ABSOLUTE"},
+		{"iopath missing pin", "(DELAYFILE (CELL (DELAY (ABSOLUTE (IOPATH A (1) (1))))))\n",
+			"expected output pin"},
+		{"two-value triple", "(DELAYFILE (CELL (DELAY (ABSOLUTE (IOPATH A Y (1:2) (1))))))\n",
+			"want 1 or 3"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.src))
+			ie, ok := ingest.As(err)
+			if !ok {
+				t.Fatalf("want *ingest.Error, got %v", err)
+			}
+			if ie.Budget() {
+				t.Fatalf("malformed input misclassified as budget: %v", ie)
+			}
+			found := false
+			for _, d := range ie.Diags {
+				if strings.Contains(d.Msg, tc.wantMsg) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no diagnostic contains %q: %v", tc.wantMsg, ie.Diags)
+			}
+		})
+	}
+}
+
+// TestParseToleratesUnknownAndOptionalForms: unknown top-level and
+// in-cell forms are skipped (nested parens and all), INCREMENT delay
+// sections are ignored, empty header entries are legal, and a
+// single-value triple expands to an equal-corner triple.
+func TestParseToleratesUnknownAndOptionalForms(t *testing.T) {
+	src := `(DELAYFILE
+  (SDFVERSION)
+  (DESIGN "top")
+  (VENDOR "acme" (NESTED a (DEEPER b)) trailing)
+  (CELL (CELLTYPE "INV_X1") (INSTANCE g0)
+    (TIMINGCHECK (SETUP a b))
+    (DELAY (INCREMENT (IOPATH A Y (9) (9)))))
+  (CELL (CELLTYPE "BUF_X1") (INSTANCE g1)
+    (DELAY (ABSOLUTE
+      (COND ignored)
+      (IOPATH A Y (1.5) (2.0:2.5:3.0)))))
+)
+`
+	f, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Version != "" || f.Design != "top" {
+		t.Fatalf("header = %+v", f)
+	}
+	if len(f.Cells) != 2 {
+		t.Fatalf("want 2 cells, got %d", len(f.Cells))
+	}
+	if n := len(f.Cells[0].Paths); n != 0 {
+		t.Fatalf("INCREMENT paths were not ignored: %d", n)
+	}
+	paths := f.Cells[1].Paths
+	if len(paths) != 1 {
+		t.Fatalf("paths = %+v", paths)
+	}
+	if paths[0].Rise != (Triple{1.5, 1.5, 1.5}) {
+		t.Fatalf("single-value triple did not expand: %+v", paths[0].Rise)
+	}
+	if paths[0].Fall != (Triple{2.0, 2.5, 3.0}) {
+		t.Fatalf("fall triple = %+v", paths[0].Fall)
+	}
+}
+
+// TestParseArcBudget pins the timing-arc (IOPATH) budget.
+func TestParseArcBudget(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("(DELAYFILE (CELL (CELLTYPE \"X\") (INSTANCE g) (DELAY (ABSOLUTE\n")
+	for i := 0; i < 20; i++ {
+		b.WriteString("  (IOPATH A Y (1) (1))\n")
+	}
+	b.WriteString("))))\n")
+	_, err := ParseOpts(strings.NewReader(b.String()), ingest.Limits{MaxNets: 5})
+	if !ingest.IsBudget(err) {
+		t.Fatalf("want budget-class error, got %v", err)
+	}
+}

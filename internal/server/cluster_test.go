@@ -3,8 +3,6 @@ package server
 import (
 	"bytes"
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -18,6 +16,7 @@ import (
 	"repro"
 	"repro/client"
 	"repro/internal/cluster"
+	"repro/internal/designcache"
 	"repro/internal/oprun"
 )
 
@@ -323,16 +322,15 @@ func TestClusterDesignReplication(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET design status %d", resp.StatusCode)
 	}
-	h := sha256.New()
-	for _, line := range strings.Split(string(body), "\n") {
-		if strings.HasPrefix(strings.TrimSpace(line), "#") {
-			continue
-		}
-		h.Write([]byte(line))
-		h.Write([]byte{'\n'})
+	// Verify the text the same way a worker replica does: re-parse it
+	// (default library, like any .bench replication) and re-derive its
+	// content address, which covers netlist and library fingerprint.
+	rd, err := repro.LoadBench(bytes.NewReader(body), "replicated")
+	if err != nil {
+		t.Fatalf("re-parse served design: %v", err)
 	}
-	if got := hex.EncodeToString(h.Sum(nil)); got != st.DesignHash {
-		t.Fatalf("served design hashes to %s, want %s", got, st.DesignHash)
+	if got, err := designcache.HashDesign(rd); err != nil || got != st.DesignHash {
+		t.Fatalf("served design hashes to %s (err %v), want %s", got, err, st.DesignHash)
 	}
 
 	if resp, err := http.Get(base + "/v1/designs/deadbeef"); err == nil {

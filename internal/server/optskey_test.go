@@ -30,6 +30,16 @@ func TestOptsKeyNormalization(t *testing.T) {
 			optsKey(base), optsKey(renamed))
 	}
 
+	// Format and Liberty are design identity too (the hash covers the
+	// parsed content and the library fingerprint), never option state.
+	formatted := renamed
+	formatted.Format = client.FormatVerilog
+	formatted.Liberty = "library (x) { }"
+	if optsKey(renamed) != optsKey(formatted) {
+		t.Errorf("format/liberty must be cleared from the result key:\n  a: %s\n  b: %s",
+			optsKey(renamed), optsKey(formatted))
+	}
+
 	otherLambda := base
 	otherLambda.Lambda = 9
 	if optsKey(base) == optsKey(otherLambda) {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"time"
@@ -70,20 +71,9 @@ func (s *Server) recoverOne(jr *journal.JobReplay) {
 		return
 	}
 
-	var (
-		d    *repro.Design
-		hash string
-		err  error
-	)
-	if req.Bench != "" {
-		name := req.Name
-		if name == "" {
-			name = "design"
-		}
-		d, hash, err = s.cache.Parse(req.Bench, name)
-	} else {
-		d, hash, err = s.cache.Generate(req.Generate)
-	}
+	// Replay resolves through the same governed path as a live submit,
+	// so journaled verilog/liberty submissions reconstruct identically.
+	d, hash, err := s.resolveDesign(context.Background(), &req)
 	if err != nil {
 		fail("recovery: resolve design: %v", err)
 		return

@@ -44,6 +44,7 @@ import (
 	"repro"
 	"repro/client"
 	"repro/internal/buildinfo"
+	"repro/internal/cells"
 	"repro/internal/circuitlint"
 	"repro/internal/cliutil"
 	"repro/internal/cluster"
@@ -74,6 +75,11 @@ type Config struct {
 	// MaxBodyBytes bounds a submit body (0 = 32 MiB) — netlists are
 	// text; anything bigger is a client bug.
 	MaxBodyBytes int64
+	// Ingest bounds the parsing of inline netlists and libraries on
+	// submit (zero fields select the production defaults in
+	// internal/ingest). A submission that trips one of these budgets is
+	// rejected 413; a malformed one 400 with positioned diagnostics.
+	Ingest repro.IngestLimits
 	// MaxWait caps the long-poll ?wait parameter (0 = 60s).
 	MaxWait time.Duration
 	// JournalPath, when non-empty, enables the durable job journal
@@ -445,6 +451,7 @@ func writeLintError(w http.ResponseWriter, diags []circuitlint.Diagnostic) {
 			Severity: d.Severity,
 			Gate:     d.Gate,
 			Line:     d.Line,
+			Col:      d.Col,
 			Msg:      d.Msg,
 		}
 	}
@@ -453,6 +460,122 @@ func writeLintError(w http.ResponseWriter, diags []circuitlint.Diagnostic) {
 		Error:       fmt.Sprintf("design fails lint: %d error(s)", nerr),
 		Diagnostics: wire,
 	})
+}
+
+// lintError carries a full circuitlint diagnosis out of resolveDesign so
+// the submit handler can answer with every structural problem at once.
+type lintError struct{ diags []circuitlint.Diagnostic }
+
+func (e *lintError) Error() string {
+	return fmt.Sprintf("design fails lint: %d error(s)", len(circuitlint.Errors(e.diags)))
+}
+
+// writeResolveError maps a design-resolution failure onto the wire
+// contract: structural lint and malformed input answer 400 with the
+// positioned diagnostic list; an ingestion budget violation (input too
+// big / too deep / too many elements) answers 413, mirroring the raw
+// body-size limit; everything else is a plain 400.
+func writeResolveError(w http.ResponseWriter, err error) {
+	var le *lintError
+	if errors.As(err, &le) {
+		writeLintError(w, le.diags)
+		return
+	}
+	diags := repro.Diagnostics(err)
+	if len(diags) == 0 && !repro.IsBudgetError(err) {
+		writeError(w, http.StatusBadRequest, "resolve design: %v", err)
+		return
+	}
+	code := http.StatusBadRequest
+	if repro.IsBudgetError(err) {
+		code = http.StatusRequestEntityTooLarge
+	}
+	wire := make([]client.Diagnostic, len(diags))
+	for i, d := range diags {
+		wire[i] = client.Diagnostic{
+			Check:    d.Check,
+			Severity: d.Severity,
+			Gate:     d.Gate,
+			Line:     d.Line,
+			Col:      d.Col,
+			Msg:      d.Msg,
+		}
+	}
+	writeJSON(w, code, client.ErrorBody{
+		Error:       fmt.Sprintf("resolve design: %v", err),
+		Diagnostics: wire,
+	})
+}
+
+// resolveDesign parses, lints and interns the request's design under the
+// server's ingestion budgets (with ctx threaded into the parse so a
+// dropped connection stops a large load mid-file). For .bench input the
+// structural lint runs concurrently with the parse — the two walk the
+// same text independently — and a lint failure wins the rejection so the
+// client sees the complete diagnosis, not the first parse error.
+func (s *Server) resolveDesign(ctx context.Context, req *client.JobRequest) (*repro.Design, string, error) {
+	if req.Bench == "" {
+		return s.cache.Generate(req.Generate)
+	}
+	name := req.Name
+	if name == "" {
+		name = "design"
+	}
+	lim := s.cfg.Ingest
+	lim.Ctx = ctx
+	var lib *cells.Library
+	if req.Liberty != "" {
+		l, err := repro.LoadLibertyOpts(strings.NewReader(req.Liberty), lim)
+		if err != nil {
+			return nil, "", fmt.Errorf("liberty: %w", err)
+		}
+		lib = l
+	}
+	if req.Format == client.FormatVerilog {
+		var (
+			d0  *repro.Design
+			err error
+		)
+		if lib != nil {
+			d0, err = repro.LoadVerilogWithLibrary(strings.NewReader(req.Bench), name, lib, lim)
+		} else {
+			d0, err = repro.LoadVerilogOpts(strings.NewReader(req.Bench), name, lim)
+		}
+		if err != nil {
+			return nil, "", err
+		}
+		return s.cache.Intern(d0)
+	}
+	lintCh := make(chan []circuitlint.Diagnostic, 1)
+	text := req.Bench
+	go func() { lintCh <- circuitlint.LintText(text, name) }()
+	var (
+		d    *repro.Design
+		hash string
+		perr error
+	)
+	if lib != nil {
+		d0, err := repro.LoadBenchWithLibrary(strings.NewReader(req.Bench), name, lib)
+		if err != nil {
+			perr = err
+		} else {
+			d, hash, perr = s.cache.Intern(d0)
+		}
+	} else {
+		d0, err := repro.LoadBenchCtx(ctx, strings.NewReader(req.Bench), name)
+		if err != nil {
+			perr = err
+		} else {
+			d, hash, perr = s.cache.Intern(d0)
+		}
+	}
+	if diags := <-lintCh; circuitlint.HasErrors(diags) {
+		return nil, "", &lintError{diags: diags}
+	}
+	if perr != nil {
+		return nil, "", perr
+	}
+	return d, hash, nil
 }
 
 // validOps is the accepted operation set.
@@ -490,6 +613,17 @@ func validate(req *client.JobRequest) error {
 	if (req.Bench == "") == (req.Generate == "") {
 		return errors.New("pass exactly one of bench (inline netlist) or generate (built-in name)")
 	}
+	switch req.Format {
+	case "", client.FormatBench, client.FormatVerilog:
+	default:
+		return fmt.Errorf("unknown format %q (want bench|verilog)", req.Format)
+	}
+	if req.Format != "" && req.Bench == "" {
+		return errors.New("format applies to an inline netlist (bench), not generate")
+	}
+	if req.Liberty != "" && req.Generate != "" {
+		return errors.New("liberty does not combine with generate (built-ins use the default library)")
+	}
 	if err := cliutil.CheckWorkers(req.Workers); err != nil {
 		return err
 	}
@@ -526,6 +660,12 @@ func validate(req *client.JobRequest) error {
 // design hash covers them), everything else is options.
 func optsKey(req client.JobRequest) string {
 	req.Bench, req.Generate, req.Name = "", "", ""
+	// Format is how the netlist was written down, not what it is: the
+	// design hash covers the parsed content. The library text is design
+	// identity too — HashDesign folds a Liberty fingerprint into the
+	// hash, so two submissions differing only in library land on two
+	// design entries, not two option keys.
+	req.Format, req.Liberty = "", ""
 	// Incremental vs full recompute is proven bit-identical on every
 	// engine output, so the flag is normalized out of the key: a cached
 	// incremental result answers a full-recompute request and vice versa
@@ -628,29 +768,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Resolve (and intern) the design now so malformed netlists fail
-	// the submit, not the job.
-	var (
-		d    *repro.Design
-		hash string
-	)
-	if req.Bench != "" {
-		name := req.Name
-		if name == "" {
-			name = "design"
-		}
-		// Structural lint runs on the raw netlist before any parse so
-		// invalid designs are rejected here, with the full diagnostic
-		// list, rather than surfacing one parse error at a time.
-		if diags := circuitlint.LintText(req.Bench, name); circuitlint.HasErrors(diags) {
-			writeLintError(w, diags)
-			return
-		}
-		d, hash, err = s.cache.Parse(req.Bench, name)
-	} else {
-		d, hash, err = s.cache.Generate(req.Generate)
-	}
+	// the submit, not the job. Parsing runs under the server's ingestion
+	// budgets with the request context threaded in, so an over-budget
+	// upload answers 413 and a dropped connection stops the load.
+	d, hash, err := s.resolveDesign(r.Context(), &req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "resolve design: %v", err)
+		writeResolveError(w, err)
 		return
 	}
 

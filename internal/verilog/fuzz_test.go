@@ -1,0 +1,70 @@
+package verilog
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/ingest"
+)
+
+func fuzzLimits() ingest.Limits {
+	return ingest.Limits{
+		MaxBytes: 64 << 10, MaxTokens: 1 << 16, MaxIdent: 128,
+		MaxDepth: 16, MaxGates: 512, MaxNets: 4096, MaxErrors: 8,
+	}
+}
+
+// FuzzVerilog asserts the hostile-input contract of the streaming
+// Verilog parser: for arbitrary bytes it returns a typed error or a
+// valid circuit, never panics, and any accepted circuit agrees with the
+// strict build path — Write can re-emit it and Parse accepts the
+// re-emission with identical structure.
+func FuzzVerilog(f *testing.F) {
+	f.Add("module m (a, y);\n  input a;\n  output y;\n  not g0 (y, a);\nendmodule\n")
+	f.Add("module m (a, b, y);\n  input a, b;\n  output y;\n  wire w;\n  and g0 (w, a, b);\n  buf g1 (y, w);\nendmodule\n")
+	f.Add("module m (a);\n  input a;\n")
+	f.Add("module m (a);\n  always @(posedge clk) q <= d;\nendmodule\n")
+	f.Add("module m (a, y);\n  input a;\n  output y;\n  and g0 (y, a, ghost);\nendmodule\n")
+	f.Add("module m (a, y);\n  input a;\n  output y;\n  not (y, a);\nendmodule\n")
+	f.Add("garbage")
+	f.Add("module m (a);\n  input a;\n  wire w;\nendmodule\n")
+	f.Add("module m (a, y);\n  input a;\n  output y;\n  not g0 (y, y);\nendmodule\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		lim := fuzzLimits()
+		c, err := ParseOpts(strings.NewReader(src), "fuzz", lim)
+		if err != nil {
+			ie, ok := ingest.As(err)
+			if !ok {
+				t.Fatalf("untyped parse error: %v", err)
+			}
+			if len(ie.Diags) > lim.MaxErrors+1 {
+				t.Fatalf("unbounded diagnostics: %d", len(ie.Diags))
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if werr := Write(&buf, c); werr != nil {
+			// Accepted circuits may still be unwritable (e.g. accepted
+			// cyclic nets fail TopoOrder) — but never by panicking.
+			return
+		}
+		again, rerr := Parse(bytes.NewReader(buf.Bytes()), "fuzz")
+		if rerr != nil {
+			t.Fatalf("round trip rejected: %v\nsrc:\n%s\nemitted:\n%s", rerr, src, buf.String())
+		}
+		// Write adds a PO tie buffer only for outputs whose driving gate
+		// is not already named po_<i>.
+		ties := 0
+		for i, po := range c.Outputs {
+			if sanitize(c.Gate(po).Name) != fmt.Sprintf("po_%d", i) {
+				ties++
+			}
+		}
+		if again.NumLogicGates() != c.NumLogicGates()+ties {
+			t.Fatalf("round trip changed logic gate count: %d != %d (+%d PO buffers)",
+				again.NumLogicGates(), c.NumLogicGates(), ties)
+		}
+	})
+}

@@ -1,0 +1,206 @@
+package verilog
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/ingest"
+)
+
+// synthText streams an endless syntactically-valid Verilog prefix so the
+// byte budget — not a syntax error — is what stops the parse. It counts
+// how many bytes the parser actually pulled.
+type synthText struct {
+	header  string
+	filler  string
+	total   int64
+	served  int64
+	emitted int64
+}
+
+func (s *synthText) Read(p []byte) (int, error) {
+	if s.emitted >= s.total {
+		return 0, io.EOF
+	}
+	n := 0
+	for n < len(p) && s.emitted < s.total {
+		var src string
+		if s.emitted < int64(len(s.header)) {
+			src = s.header[s.emitted:]
+		} else {
+			src = s.filler[(s.emitted-int64(len(s.header)))%int64(len(s.filler)):]
+		}
+		c := copy(p[n:], src)
+		n += c
+		s.emitted += int64(c)
+	}
+	s.served += int64(n)
+	return n, nil
+}
+
+// TestParseRejectsHugeInputAtByteBudget is the io.ReadAll regression
+// test: a 100MB synthetic netlist must be rejected at the byte budget
+// after reading only budget + O(read-ahead) bytes.
+func TestParseRejectsHugeInputAtByteBudget(t *testing.T) {
+	const budget = 1 << 20
+	src := &synthText{
+		header: "module huge (a);\n  input a;\n",
+		filler: "  wire w;\n",
+		total:  100 << 20,
+	}
+	_, err := ParseOpts(src, "huge", ingest.Limits{MaxBytes: budget})
+	if !ingest.IsBudget(err) {
+		t.Fatalf("want budget-class ingest error, got %v", err)
+	}
+	if slack := src.served - budget; slack < 0 || slack > 256<<10 {
+		t.Fatalf("parser pulled %d bytes for a %d-byte budget", src.served, budget)
+	}
+}
+
+// pollCountingCtx mirrors the montecarlo cancellation tests.
+type pollCountingCtx struct {
+	context.Context
+	polls       atomic.Int64
+	cancelAfter int64
+}
+
+func (c *pollCountingCtx) Err() error {
+	if c.polls.Add(1) > c.cancelAfter {
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *pollCountingCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+
+func TestParseHonorsCancellationMidParse(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, gen.ParityTree("p", 256)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := &pollCountingCtx{Context: context.Background(), cancelAfter: 2}
+	_, err := ParseOpts(bytes.NewReader(buf.Bytes()), "p", ingest.Limits{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if got := ctx.polls.Load(); got > 4 {
+		t.Fatalf("parse kept polling after cancellation: %d polls", got)
+	}
+}
+
+func TestParseAlreadyCancelledDoesNoWork(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	src := &synthText{header: "module m (a);\n", filler: "  wire w;\n", total: 1 << 30}
+	_, err := ParseOpts(src, "m", ingest.Limits{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if src.served != 0 {
+		t.Fatalf("cancelled parse still read %d bytes", src.served)
+	}
+}
+
+// TestParseGateBudget pins element-count governance independent of size.
+func TestParseGateBudget(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("module m (a);\n  input a;\n")
+	for i := 0; i < 100; i++ {
+		b.WriteString("  not g (w, a);\n")
+	}
+	b.WriteString("endmodule\n")
+	_, err := ParseOpts(strings.NewReader(b.String()), "m", ingest.Limits{MaxGates: 10})
+	if !ingest.IsBudget(err) {
+		t.Fatalf("want budget-class error, got %v", err)
+	}
+}
+
+// TestParseRecoversAndReportsMultipleDefects pins bounded multi-error
+// recovery with typed, positioned diagnostics.
+func TestParseRecoversAndReportsMultipleDefects(t *testing.T) {
+	src := `module m (a, y);
+  input a;
+  output y;
+  wire ghost;
+  always @(posedge clk) q <= d;
+  not g0 (y, a);
+  and g1 (w, a, nothere);
+endmodule
+`
+	_, err := Parse(strings.NewReader(src), "m")
+	ie, ok := ingest.As(err)
+	if !ok {
+		t.Fatalf("want *ingest.Error, got %v", err)
+	}
+	if ie.Format != "verilog" {
+		t.Fatalf("format = %q", ie.Format)
+	}
+	var sawUnsupported, sawUndriven, sawGhost bool
+	for _, d := range ie.Diags {
+		switch {
+		case strings.Contains(d.Msg, "unsupported construct"):
+			sawUnsupported = true
+			if d.Line != 5 {
+				t.Errorf("unsupported-construct diagnostic at line %d, want 5", d.Line)
+			}
+		case strings.Contains(d.Msg, "driven by nothing"):
+			sawUndriven = true
+			if d.Gate != "nothere" {
+				t.Errorf("undriven diagnostic names %q, want nothere", d.Gate)
+			}
+		case strings.Contains(d.Msg, "declared but never driven"):
+			sawGhost = true
+		}
+	}
+	if !sawUnsupported || !sawUndriven || !sawGhost {
+		t.Fatalf("missing expected diagnostics (unsupported=%v undriven=%v ghost=%v): %v",
+			sawUnsupported, sawUndriven, sawGhost, ie.Diags)
+	}
+	if ie.Budget() {
+		t.Fatal("malformed input misclassified as budget")
+	}
+}
+
+// TestRoundTripFixedPoint: Verilog -> Design -> Verilog must be a fixed
+// point after one normalization pass (gate and PI/PO structure are
+// preserved exactly; the text itself stabilizes because Write's
+// sanitized names parse back to themselves).
+func TestRoundTripFixedPoint(t *testing.T) {
+	for _, n := range []int{8, 64, 256} {
+		c := gen.ParityTree("p", n)
+		var first bytes.Buffer
+		if err := Write(&first, c); err != nil {
+			t.Fatal(err)
+		}
+		c2, err := Parse(bytes.NewReader(first.Bytes()), "p")
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if c2.NumGates() != c.NumGates()+len(c.Outputs) || len(c2.Outputs) != len(c.Outputs) {
+			t.Fatalf("n=%d: structure changed: %d gates vs %d (+%d PO buffers)",
+				n, c2.NumGates(), c.NumGates(), len(c.Outputs))
+		}
+		var second bytes.Buffer
+		if err := Write(&second, c2); err != nil {
+			t.Fatal(err)
+		}
+		c3, err := Parse(bytes.NewReader(second.Bytes()), "p")
+		if err != nil {
+			t.Fatalf("n=%d reparse: %v", n, err)
+		}
+		var third bytes.Buffer
+		if err := Write(&third, c3); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(second.Bytes(), third.Bytes()) {
+			t.Fatalf("n=%d: Verilog text is not a fixed point after normalization", n)
+		}
+	}
+}

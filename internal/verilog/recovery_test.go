@@ -1,0 +1,89 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ingest"
+)
+
+// TestParseMalformedInputsDiagnose pins the error-recovery surface: each
+// defective netlist must fail with a typed, non-budget *ingest.Error
+// whose first matching diagnostic carries the expected message — never a
+// panic, never a bare unclassified error.
+func TestParseMalformedInputsDiagnose(t *testing.T) {
+	cases := []struct {
+		name, src, wantMsg string
+	}{
+		{"not a module", "wire x;\n", "expected module"},
+		{"missing module name", "module (a);\nendmodule\n", "expected module name"},
+		{"missing port list", "module m ;\nendmodule\n", `expected "("`},
+		{"punct in port list", "module m (a; b);\nendmodule\n", "in name list"},
+		{"stray punct statement", "module m (a);\n input a;\n );\nendmodule\n", "unexpected"},
+		{"missing instance name", "module m (a, y);\n input a;\n output y;\n not (y, a);\nendmodule\n",
+			"missing instance name"},
+		{"too few terminals", "module m (a, y);\n input a;\n output y;\n not g0 (y);\n buf g1 (y, a);\nendmodule\n",
+			"1 terminals"},
+		{"duplicate input", "module m (a, y);\n input a;\n input a;\n output y;\n buf g0 (y, a);\nendmodule\n",
+			"duplicate gate name"},
+		{"undriven output", "module m (a, y);\n input a;\n output y;\nendmodule\n", "undriven"},
+		{"missing endmodule", "module m (a);\n input a;\n", "missing endmodule"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.src), "m")
+			ie, ok := ingest.As(err)
+			if !ok {
+				t.Fatalf("want *ingest.Error, got %v", err)
+			}
+			if ie.Budget() {
+				t.Fatalf("malformed input misclassified as budget: %v", ie)
+			}
+			found := false
+			for _, d := range ie.Diags {
+				if strings.Contains(d.Msg, tc.wantMsg) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no diagnostic contains %q: %v", tc.wantMsg, ie.Diags)
+			}
+		})
+	}
+}
+
+// TestParseWireDedupAndRecoveryKeepsGoodGates: a statement-level defect
+// must not take the rest of the module down with it — gates after the
+// bad statement still materialize — and repeated wire declarations
+// dedupe silently.
+func TestParseWireDedupAndRecoveryKeepsGoodGates(t *testing.T) {
+	src := `module m (a, b, y);
+  input a, b;
+  output y;
+  wire w, w, w;
+  bogus_prim g0 (w, a);
+  and g1 (w, a, b);
+  buf g2 (y, w);
+endmodule
+`
+	_, err := Parse(strings.NewReader(src), "m")
+	ie, ok := ingest.As(err)
+	if !ok {
+		t.Fatalf("want *ingest.Error, got %v", err)
+	}
+	// Exactly the one unsupported-construct diagnostic: the good gates
+	// after it linked cleanly (an undriven w or y would add more).
+	if len(ie.Diags) != 1 || !strings.Contains(ie.Diags[0].Msg, "unsupported construct") {
+		t.Fatalf("diags = %v", ie.Diags)
+	}
+}
+
+// TestParseNetBudget pins the declared-name budget (every port, wire and
+// pin reference counts).
+func TestParseNetBudget(t *testing.T) {
+	src := "module m (a, b, c, d, e, f, g, h);\n input a, b, c, d, e, f, g, h;\nendmodule\n"
+	_, err := ParseOpts(strings.NewReader(src), "m", ingest.Limits{MaxNets: 4})
+	if !ingest.IsBudget(err) {
+		t.Fatalf("want budget-class error, got %v", err)
+	}
+}

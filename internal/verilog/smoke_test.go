@@ -1,0 +1,70 @@
+package verilog
+
+import (
+	"bytes"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/ingest"
+)
+
+// TestSmokeLargeNetlist is the ingestion memory-budget smoke test (run
+// via `make ingest-smoke`, which sets INGEST_SMOKE and a GOMEMLIMIT
+// guard): a generated ~500k-gate netlist must parse under the default
+// production budgets with bounded peak heap — the streaming parser may
+// hold the circuit being built, but never a second materialized copy of
+// the text or an unbounded token backlog.
+func TestSmokeLargeNetlist(t *testing.T) {
+	if os.Getenv("INGEST_SMOKE") == "" {
+		t.Skip("set INGEST_SMOKE=1 (make ingest-smoke) to run the large-netlist smoke test")
+	}
+	const width = 3 << 19 // parity tree over 2-input XOR pairs: ~500k gates
+	c := gen.ParityTree("smoke", width)
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("netlist: %d gates, %.1f MB of text", c.NumLogicGates(), float64(buf.Len())/1e6)
+
+	stop := make(chan struct{})
+	var peak atomic.Uint64
+	go func() {
+		var ms runtime.MemStats
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				for {
+					p := peak.Load()
+					if ms.HeapAlloc <= p || peak.CompareAndSwap(p, ms.HeapAlloc) {
+						break
+					}
+				}
+			}
+		}
+	}()
+	start := time.Now()
+	c2, err := ParseOpts(bytes.NewReader(buf.Bytes()), "smoke", ingest.Limits{})
+	close(stop)
+	if err != nil {
+		t.Fatalf("default budgets rejected a %d-gate netlist: %v", c.NumLogicGates(), err)
+	}
+	t.Logf("parsed in %v, peak heap %.0f MB", time.Since(start).Round(time.Millisecond),
+		float64(peak.Load())/1e6)
+	if got, want := c2.NumLogicGates(), c.NumLogicGates(); got < want {
+		t.Fatalf("parse lost gates: %d < %d", got, want)
+	}
+	// The guard: parsing ~40 MB of text into a ~500k-gate circuit must
+	// not approach the 2 GiB GOMEMLIMIT the Makefile target runs under.
+	if p := peak.Load(); p > 1<<31 {
+		t.Fatalf("peak heap %d bytes exceeds the 2 GiB smoke budget", p)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"repro/internal/circuit"
+	"repro/internal/ingest"
 )
 
 var fnByPrimitive = map[string]circuit.Fn{
@@ -41,6 +42,18 @@ func Write(w io.Writer, c *circuit.Circuit) error {
 	for i := range c.Outputs {
 		ports = append(ports, fmt.Sprintf("po_%d", i))
 	}
+	// Outputs whose driving gate is already named po_<i> (i.e. a netlist
+	// this writer produced) are emitted as the port directly, so
+	// Write∘Parse is a fixed point instead of wrapping another buffer
+	// layer — and colliding on po_<i> — every round trip.
+	directOut := make([]bool, len(c.Outputs))
+	directGate := map[circuit.GateID]bool{}
+	for i, po := range c.Outputs {
+		if sanitize(c.Gate(po).Name) == fmt.Sprintf("po_%d", i) {
+			directOut[i] = true
+			directGate[po] = true
+		}
+	}
 	fmt.Fprintf(bw, "// generated from %s\n", c.Name)
 	fmt.Fprintf(bw, "module %s (%s);\n", name, strings.Join(ports, ", "))
 	for _, id := range c.Inputs() {
@@ -51,7 +64,7 @@ func Write(w io.Writer, c *circuit.Circuit) error {
 	}
 	for i := range c.Gates {
 		g := &c.Gates[i]
-		if g.Fn.IsLogic() {
+		if g.Fn.IsLogic() && !directGate[circuit.GateID(i)] {
 			fmt.Fprintf(bw, "  wire %s;\n", sanitize(g.Name))
 		}
 	}
@@ -79,8 +92,12 @@ func Write(w io.Writer, c *circuit.Circuit) error {
 		fmt.Fprintf(bw, "  %s g%d (%s);\n", prim, inst, strings.Join(args, ", "))
 		inst++
 	}
-	// Tie declared outputs to their driving nets.
+	// Tie declared outputs to their driving nets (unless the driving
+	// gate already is the port).
 	for i, po := range c.Outputs {
+		if directOut[i] {
+			continue
+		}
 		fmt.Fprintf(bw, "  buf gpo%d (po_%d, %s);\n", i, i, sanitize(c.Gate(po).Name))
 	}
 	fmt.Fprintf(bw, "endmodule\n")
@@ -108,223 +125,396 @@ func sanitize(name string) string {
 	return s
 }
 
+// verilogSpec is the surface syntax of the structural subset: ();
+// punctuate, commas are separators (the historical parser treated them
+// as skippable too).
+var verilogSpec = ingest.LexSpec{Puncts: "();", Skip: ","}
+
 // Parse reads a structural Verilog module of the supported subset back
-// into a circuit. The module's input order defines the PI order and the
-// output declarations define the PO order.
+// into a circuit under the default resource budgets. The module's input
+// order defines the PI order and the output declarations define the PO
+// order.
 func Parse(r io.Reader, fallbackName string) (*circuit.Circuit, error) {
-	data, err := io.ReadAll(r)
-	if err != nil {
-		return nil, fmt.Errorf("verilog: read: %v", err)
+	return ParseOpts(r, fallbackName, ingest.Default())
+}
+
+// ParseOpts reads a structural Verilog module in a single streaming pass
+// under the given budget envelope: the input text is never materialized
+// (only the circuit under construction is), the context in lim is polled
+// at token granularity, and malformed statements are recovered from with
+// a bounded diagnostic list (surfaced as an *ingest.Error) instead of
+// first-error bailout. Context cancellation propagates as the context's
+// own error.
+func ParseOpts(r io.Reader, fallbackName string, lim ingest.Limits) (*circuit.Circuit, error) {
+	lim = lim.WithDefaults()
+	if err := lim.Ctx.Err(); err != nil {
+		return nil, err
 	}
-	toks := tokenize(string(data))
-	p := &vparser{toks: toks}
+	p := &vparser{
+		lx:   ingest.NewLexer(ingest.NewReader(r, lim), ingest.NewMeter(lim), lim, verilogSpec),
+		lim:  lim,
+		diag: ingest.NewCollector("verilog", lim),
+	}
 	return p.module(fallbackName)
 }
 
-func tokenize(src string) []string {
-	// Strip comments.
-	var clean strings.Builder
-	for i := 0; i < len(src); {
-		switch {
-		case strings.HasPrefix(src[i:], "//"):
-			for i < len(src) && src[i] != '\n' {
-				i++
-			}
-		case strings.HasPrefix(src[i:], "/*"):
-			j := strings.Index(src[i+2:], "*/")
-			if j < 0 {
-				i = len(src)
-			} else {
-				i += j + 4
-			}
-		default:
-			clean.WriteByte(src[i])
-			i++
-		}
-	}
-	s := clean.String()
-	for _, p := range []string{"(", ")", ",", ";"} {
-		s = strings.ReplaceAll(s, p, " "+p+" ")
-	}
-	return strings.Fields(s)
-}
-
+// vparser is the streaming statement-at-a-time reader. gates and nets
+// count every declaration against the budget envelope.
 type vparser struct {
-	toks []string
-	pos  int
+	lx    *ingest.Lexer
+	lim   ingest.Limits
+	diag  *ingest.Collector
+	gates int
+	nets  int
 }
 
-func (p *vparser) peek() string {
-	if p.pos >= len(p.toks) {
-		return ""
+// fail files a lexer/parse error as a diagnostic; the returned error is
+// non-nil when the parse must stop now (ctx, budget, error budget).
+func (p *vparser) fail(err error) error {
+	line, col := p.lx.Pos()
+	rec, fatal := p.diag.File(err, line, col)
+	if rec {
+		p.lx.ClearErr()
 	}
-	return p.toks[p.pos]
+	return fatal
 }
 
-func (p *vparser) next() string {
-	t := p.peek()
-	if t != "" {
-		p.pos++
-	}
-	return t
+// semantic files a structural diagnostic (gate names the offending net
+// when known); false means the error budget is exhausted.
+func (p *vparser) semantic(gate string, line, col int, msg string) bool {
+	return p.diag.Add(ingest.Diagnostic{
+		Check: ingest.CheckSemantic, Severity: ingest.SeverityError,
+		Gate: gate, Line: line, Col: col, Msg: msg,
+	})
 }
 
-func (p *vparser) expect(t string) error {
-	if got := p.next(); got != t {
-		return fmt.Errorf("verilog: expected %q, got %q", t, got)
+// addGate counts one gate against the budget before it is materialized.
+func (p *vparser) addGate() error {
+	p.gates++
+	if p.gates > p.lim.MaxGates {
+		return ingest.Budgetf("netlist declares more than %d gates", p.lim.MaxGates)
 	}
 	return nil
 }
 
-// nameList parses ident (, ident)* up to a terminator.
+// addNet counts one declared name / pin reference against the budget.
+func (p *vparser) addNet() error {
+	p.nets++
+	if p.nets > p.lim.MaxNets {
+		return ingest.Budgetf("netlist references more than %d nets", p.lim.MaxNets)
+	}
+	return nil
+}
+
+// expect consumes the next token and requires it to be the punctuation s.
+func (p *vparser) expect(s string) error {
+	tok, err := p.lx.Next()
+	if err != nil {
+		return err
+	}
+	if tok.Kind != ingest.TokenPunct || tok.Text != s {
+		return ingest.Errf(tok.Line, tok.Col, "expected %q, got %s", s, tok)
+	}
+	return nil
+}
+
+// nameList parses ident... up to the punctuation until, counting each
+// name against the net budget (commas were consumed by the lexer).
 func (p *vparser) nameList(until string) ([]string, error) {
 	var names []string
 	for {
-		t := p.next()
-		switch t {
-		case until:
+		tok, err := p.lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case tok.Kind == ingest.TokenPunct && tok.Text == until:
 			return names, nil
-		case ",":
-			continue
-		case "", ";", ")":
-			return nil, fmt.Errorf("verilog: unexpected %q in name list", t)
+		case tok.Kind == ingest.TokenIdent:
+			if err := p.addNet(); err != nil {
+				return nil, err
+			}
+			names = append(names, tok.Text)
 		default:
-			names = append(names, t)
+			return nil, ingest.Errf(tok.Line, tok.Col, "unexpected %s in name list", tok)
 		}
 	}
 }
 
+// resyncStmt recovers after a filed diagnostic by discarding tokens up
+// to the next statement boundary (';') without consuming endmodule.
+func (p *vparser) resyncStmt() error {
+	for {
+		tok, err := p.lx.Peek()
+		if err != nil {
+			if f := p.fail(err); f != nil {
+				return f
+			}
+			continue
+		}
+		if tok.Kind == ingest.TokenEOF || (tok.Kind == ingest.TokenIdent && tok.Text == "endmodule") {
+			return nil
+		}
+		p.lx.Next()
+		if tok.Kind == ingest.TokenPunct && tok.Text == ";" {
+			return nil
+		}
+	}
+}
+
+// vinst is one parsed primitive instantiation: output terminal first,
+// then fanin nets, with the source position of the primitive keyword.
+type vinst struct {
+	fn        circuit.Fn
+	args      []string
+	line, col int
+}
+
 func (p *vparser) module(fallbackName string) (*circuit.Circuit, error) {
-	if err := p.expect("module"); err != nil {
-		return nil, err
+	// Header: module name ( ports ) ;  — port order is re-derived from
+	// the input/output declarations, as before. Header damage is not
+	// recoverable: without a module there is nothing to attach to.
+	tok, err := p.lx.Next()
+	if err != nil {
+		if f := p.fail(err); f != nil {
+			return nil, f
+		}
+		return nil, p.diag.Err()
 	}
-	name := p.next()
-	if name == "" {
-		name = fallbackName
+	if tok.Kind != ingest.TokenIdent || tok.Text != "module" {
+		p.semantic("", tok.Line, tok.Col, fmt.Sprintf("expected module, got %s", tok))
+		return nil, p.diag.Err()
 	}
-	if err := p.expect("("); err != nil {
-		return nil, err
+	name := fallbackName
+	tok, err = p.lx.Next()
+	if err == nil && tok.Kind == ingest.TokenIdent {
+		name = tok.Text
+		err = p.expect("(")
+	} else if err == nil {
+		err = ingest.Errf(tok.Line, tok.Col, "expected module name, got %s", tok)
 	}
-	if _, err := p.nameList(")"); err != nil { // port order: re-derived from declarations
-		return nil, err
+	if err == nil {
+		_, err = p.nameList(")")
 	}
-	if err := p.expect(";"); err != nil {
-		return nil, err
+	if err == nil {
+		err = p.expect(";")
+	}
+	if err != nil {
+		if f := p.fail(err); f != nil {
+			return nil, f
+		}
+		return nil, p.diag.Err()
 	}
 
 	c := circuit.New(name)
 	var (
 		outputs []string
 		insts   []vinst
-		wires   = map[string]bool{}
+		wires   []string
+		wireSet = map[string]bool{}
 	)
+loop:
 	for {
-		t := p.next()
-		switch t {
+		tok, err := p.lx.Next()
+		if err != nil {
+			if f := p.fail(err); f != nil {
+				return nil, f
+			}
+			if f := p.resyncStmt(); f != nil {
+				return nil, f
+			}
+			continue
+		}
+		if tok.Kind == ingest.TokenEOF {
+			p.semantic("", tok.Line, tok.Col, "missing endmodule")
+			break
+		}
+		if tok.Kind != ingest.TokenIdent {
+			if f := p.fail(ingest.Errf(tok.Line, tok.Col, "unexpected %s", tok)); f != nil {
+				return nil, f
+			}
+			if f := p.resyncStmt(); f != nil {
+				return nil, f
+			}
+			continue
+		}
+		switch tok.Text {
 		case "endmodule":
-			return link(c, outputs, insts, wires)
-		case "":
-			return nil, fmt.Errorf("verilog: missing endmodule")
+			break loop
 		case "input":
 			names, err := p.nameList(";")
 			if err != nil {
-				return nil, err
+				if f := p.fail(err); f != nil {
+					return nil, f
+				}
+				if f := p.resyncStmt(); f != nil {
+					return nil, f
+				}
+				continue
 			}
 			for _, n := range names {
+				if err := p.addGate(); err != nil {
+					return nil, p.fail(err)
+				}
 				if _, err := c.AddGate(n, circuit.Input); err != nil {
-					return nil, err
+					if !p.semantic(n, tok.Line, tok.Col, err.Error()) {
+						return nil, p.diag.Err()
+					}
 				}
 			}
 		case "output":
 			names, err := p.nameList(";")
 			if err != nil {
-				return nil, err
+				if f := p.fail(err); f != nil {
+					return nil, f
+				}
+				if f := p.resyncStmt(); f != nil {
+					return nil, f
+				}
+				continue
 			}
 			outputs = append(outputs, names...)
 		case "wire":
 			names, err := p.nameList(";")
 			if err != nil {
-				return nil, err
+				if f := p.fail(err); f != nil {
+					return nil, f
+				}
+				if f := p.resyncStmt(); f != nil {
+					return nil, f
+				}
+				continue
 			}
 			for _, n := range names {
-				wires[n] = true
+				if !wireSet[n] {
+					wireSet[n] = true
+					wires = append(wires, n)
+				}
 			}
 		default:
-			fn, ok := fnByPrimitive[t]
+			fn, ok := fnByPrimitive[tok.Text]
 			if !ok {
-				return nil, fmt.Errorf("verilog: unsupported construct %q", t)
+				if f := p.fail(ingest.Errf(tok.Line, tok.Col, "unsupported construct %q", tok.Text)); f != nil {
+					return nil, f
+				}
+				if f := p.resyncStmt(); f != nil {
+					return nil, f
+				}
+				continue
 			}
-			instName := p.next() // instance name, ignored
-			if instName == "(" {
-				return nil, fmt.Errorf("verilog: primitive %q missing instance name", t)
-			}
-			if err := p.expect("("); err != nil {
-				return nil, err
-			}
-			args, err := p.nameList(")")
+			inst, err := p.instantiation(fn, tok)
 			if err != nil {
-				return nil, err
+				if f := p.fail(err); f != nil {
+					return nil, f
+				}
+				if f := p.resyncStmt(); f != nil {
+					return nil, f
+				}
+				continue
 			}
-			if err := p.expect(";"); err != nil {
-				return nil, err
+			if len(inst.args) < 2 {
+				if !p.semantic("", inst.line, inst.col,
+					fmt.Sprintf("primitive %q with %d terminals", tok.Text, len(inst.args))) {
+					return nil, p.diag.Err()
+				}
+				continue
 			}
-			if len(args) < 2 {
-				return nil, fmt.Errorf("verilog: primitive %q with %d terminals", t, len(args))
+			if err := p.addGate(); err != nil {
+				return nil, p.fail(err)
 			}
-			insts = append(insts, vinst{fn, args})
+			insts = append(insts, inst)
 		}
 	}
+	p.link(c, outputs, insts, wires)
+	if err := p.diag.Err(); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
-// vinst is one parsed primitive instantiation.
-type vinst struct {
-	fn   circuit.Fn
-	args []string
+// instantiation parses "NAME ( args ) ;" after the primitive keyword.
+func (p *vparser) instantiation(fn circuit.Fn, prim ingest.Token) (vinst, error) {
+	in := vinst{fn: fn, line: prim.Line, col: prim.Col}
+	tok, err := p.lx.Next()
+	if err != nil {
+		return in, err
+	}
+	if tok.Kind != ingest.TokenIdent { // instance name, required but otherwise ignored
+		return in, ingest.Errf(tok.Line, tok.Col, "primitive %q missing instance name", prim.Text)
+	}
+	if err := p.expect("("); err != nil {
+		return in, err
+	}
+	if in.args, err = p.nameList(")"); err != nil {
+		return in, err
+	}
+	return in, p.expect(";")
 }
 
 // link materializes instances as gates (output terminal first, per the
 // Verilog primitive convention) and resolves output declarations.
-func link(c *circuit.Circuit, outputs []string, insts []vinst, wires map[string]bool) (*circuit.Circuit, error) {
+// Failures are filed as diagnostics so one bad net does not hide the
+// rest of the report.
+func (p *vparser) link(c *circuit.Circuit, outputs []string, insts []vinst, wires []string) {
 	// Keep the ids returned by AddGate so the connect pass needs no
 	// panicking lookup (this path is reachable from user netlist files).
 	ids := make([]circuit.GateID, len(insts))
+	valid := make([]bool, len(insts))
 	for i, in := range insts {
 		id, err := c.AddGate(in.args[0], in.fn)
 		if err != nil {
-			return nil, err
+			if !p.semantic(in.args[0], in.line, in.col, err.Error()) {
+				return
+			}
+			continue
 		}
-		ids[i] = id
+		ids[i], valid[i] = id, true
 	}
 	for i, in := range insts {
-		dst := ids[i]
+		if !valid[i] {
+			continue
+		}
 		for _, src := range in.args[1:] {
 			id, ok := c.Lookup(src)
 			if !ok {
-				return nil, fmt.Errorf("verilog: net %q driven by nothing", src)
+				if !p.semantic(src, in.line, in.col, fmt.Sprintf("net %q driven by nothing", src)) {
+					return
+				}
+				continue
 			}
-			if err := c.Connect(id, dst); err != nil {
-				return nil, err
+			if err := c.Connect(id, ids[i]); err != nil {
+				if !p.semantic(src, in.line, in.col, err.Error()) {
+					return
+				}
 			}
 		}
 	}
 	for _, o := range outputs {
 		id, ok := c.Lookup(o)
 		if !ok {
-			return nil, fmt.Errorf("verilog: output %q undriven", o)
+			if !p.semantic(o, 0, 0, fmt.Sprintf("output %q undriven", o)) {
+				return
+			}
+			continue
 		}
 		if err := c.MarkOutput(id); err != nil {
-			return nil, err
+			if !p.semantic(o, 0, 0, err.Error()) {
+				return
+			}
 		}
 	}
 	// Declared wires that never became gate outputs indicate a truncated
-	// or unsupported netlist.
-	for w := range wires {
+	// or unsupported netlist (declaration order keeps reports stable).
+	for _, w := range wires {
 		if _, ok := c.Lookup(w); !ok {
-			return nil, fmt.Errorf("verilog: wire %q declared but never driven", w)
+			if !p.semantic(w, 0, 0, fmt.Sprintf("wire %q declared but never driven", w)) {
+				return
+			}
 		}
 	}
-	if err := c.Validate(); err != nil {
-		return nil, err
+	if p.diag.Empty() {
+		if err := c.Validate(); err != nil {
+			p.semantic("", 0, 0, err.Error())
+		}
 	}
-	return c, nil
 }
